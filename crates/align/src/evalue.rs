@@ -1,0 +1,187 @@
+//! Karlin–Altschul statistics: λ, bit scores and E-values.
+//!
+//! The paper's edge criterion is "significant sequence similarity"; in
+//! BLAST-world, significance means a Karlin–Altschul E-value. For an
+//! ungapped local alignment scoring system (matrix `s`, background
+//! residue frequencies `p`), the scale parameter λ is the unique positive
+//! solution of
+//!
+//! ```text
+//! Σ_ij  p_i · p_j · exp(λ · s_ij) = 1
+//! ```
+//!
+//! and the expected number of alignments scoring ≥ S between sequences of
+//! lengths m and n is `E = K·m·n·exp(−λS)`. This module solves λ by
+//! bisection, converts raw scores to normalized bit scores, and offers an
+//! E-value-based acceptance check as an alternative to the raw-score
+//! thresholds in [`crate::significance`].
+
+use crate::matrix::SubstitutionMatrix;
+use gpclust_seqsim::alphabet::{ALPHABET_SIZE, BACKGROUND_FREQS};
+
+/// Karlin–Altschul parameters for one scoring system.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KarlinAltschul {
+    /// Scale parameter λ (nats per score unit).
+    pub lambda: f64,
+    /// Search-space constant K.
+    pub k: f64,
+}
+
+impl KarlinAltschul {
+    /// Solve λ for `matrix` under `freqs`, pairing K with the classic
+    /// ungapped BLOSUM62 value when the caller has no better calibration.
+    ///
+    /// # Panics
+    /// Panics if the scoring system has a non-negative expected score
+    /// (λ would not exist — the matrix is not usable for local alignment).
+    pub fn for_matrix(matrix: &SubstitutionMatrix, freqs: &[f64; ALPHABET_SIZE]) -> Self {
+        let expected: f64 = pairs(freqs)
+            .map(|(i, j, pij)| pij * matrix.score(i, j) as f64)
+            .sum();
+        assert!(
+            expected < 0.0,
+            "expected score {expected:.4} must be negative for K-A statistics"
+        );
+        let lambda = solve_lambda(matrix, freqs);
+        KarlinAltschul { lambda, k: 0.13 }
+    }
+
+    /// BLOSUM62 with Robinson–Robinson frequencies — the pipeline default.
+    pub fn blosum62() -> Self {
+        Self::for_matrix(&SubstitutionMatrix::blosum62(), &BACKGROUND_FREQS)
+    }
+
+    /// Normalized bit score: `(λ·S − ln K) / ln 2`.
+    pub fn bit_score(&self, raw: i32) -> f64 {
+        (self.lambda * raw as f64 - self.k.ln()) / std::f64::consts::LN_2
+    }
+
+    /// Expected alignments scoring ≥ `raw` in an `m × n` search space.
+    pub fn evalue(&self, raw: i32, m: usize, n: usize) -> f64 {
+        self.k * m as f64 * n as f64 * (-self.lambda * raw as f64).exp()
+    }
+
+    /// Significance check: is the E-value below `max_evalue`?
+    pub fn significant(&self, raw: i32, m: usize, n: usize, max_evalue: f64) -> bool {
+        self.evalue(raw, m, n) <= max_evalue
+    }
+}
+
+fn pairs(freqs: &[f64; ALPHABET_SIZE]) -> impl Iterator<Item = (u8, u8, f64)> + '_ {
+    (0..ALPHABET_SIZE as u8).flat_map(move |i| {
+        (0..ALPHABET_SIZE as u8)
+            .map(move |j| (i, j, freqs[i as usize] * freqs[j as usize]))
+    })
+}
+
+/// `f(λ) = Σ p_i p_j e^{λ s_ij} − 1`: negative at 0⁺ (expected score < 0),
+/// grows without bound — bisection between brackets.
+fn ka_f(matrix: &SubstitutionMatrix, freqs: &[f64; ALPHABET_SIZE], lambda: f64) -> f64 {
+    pairs(freqs)
+        .map(|(i, j, pij)| pij * (lambda * matrix.score(i, j) as f64).exp())
+        .sum::<f64>()
+        - 1.0
+}
+
+fn solve_lambda(matrix: &SubstitutionMatrix, freqs: &[f64; ALPHABET_SIZE]) -> f64 {
+    // Bracket: f(ε) < 0; expand hi until f(hi) > 0.
+    let mut lo = 1e-6;
+    let mut hi = 0.5;
+    while ka_f(matrix, freqs, hi) < 0.0 {
+        hi *= 2.0;
+        assert!(hi < 64.0, "failed to bracket lambda");
+    }
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if ka_f(matrix, freqs, mid) < 0.0 {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::alphabet::BackgroundSampler;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn blosum62_lambda_matches_published_value() {
+        // Ungapped BLOSUM62 λ ≈ 0.318 nats (NCBI's tabulated value is
+        // 0.3176 with slightly different background frequencies).
+        let ka = KarlinAltschul::blosum62();
+        assert!(
+            (0.30..0.34).contains(&ka.lambda),
+            "lambda = {}",
+            ka.lambda
+        );
+        // Verify it actually solves the K-A identity.
+        let f = ka_f(
+            &SubstitutionMatrix::blosum62(),
+            &BACKGROUND_FREQS,
+            ka.lambda,
+        );
+        assert!(f.abs() < 1e-9, "identity residual {f}");
+    }
+
+    #[test]
+    fn evalue_monotonicity() {
+        let ka = KarlinAltschul::blosum62();
+        // Higher scores → lower E-values; bigger search spaces → higher.
+        assert!(ka.evalue(100, 100, 100) > ka.evalue(120, 100, 100));
+        assert!(ka.evalue(100, 1000, 1000) > ka.evalue(100, 100, 100));
+        assert!(ka.evalue(300, 200, 200) < 1e-20);
+    }
+
+    #[test]
+    fn bit_scores_increase_linearly() {
+        let ka = KarlinAltschul::blosum62();
+        let b1 = ka.bit_score(50);
+        let b2 = ka.bit_score(100);
+        let b3 = ka.bit_score(150);
+        assert!(((b3 - b2) - (b2 - b1)).abs() < 1e-9);
+        assert!(b2 > b1);
+    }
+
+    #[test]
+    fn random_pairs_are_insignificant_related_are_significant() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bg = BackgroundSampler::new();
+        let sw = crate::sw::SmithWaterman::protein_default();
+        let ka = KarlinAltschul::blosum62();
+        let n = 150;
+        // Unrelated: E-value at the observed score should be large-ish.
+        let mut sig_random = 0;
+        for _ in 0..20 {
+            let a = bg.sample_seq(&mut rng, n);
+            let b = bg.sample_seq(&mut rng, n);
+            if ka.significant(sw.score(&a, &b), n, n, 1e-6) {
+                sig_random += 1;
+            }
+        }
+        assert_eq!(sig_random, 0, "random pairs at E<=1e-6");
+        // Identical sequences: overwhelmingly significant.
+        let a = bg.sample_seq(&mut rng, n);
+        assert!(ka.significant(sw.score(&a, &a), n, n, 1e-6));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be negative")]
+    fn rejects_positive_expected_score() {
+        let m = SubstitutionMatrix::uniform(5, 1); // all-positive scores
+        KarlinAltschul::for_matrix(&m, &BACKGROUND_FREQS);
+    }
+
+    #[test]
+    fn uniform_matrix_lambda_solves_identity() {
+        let m = SubstitutionMatrix::uniform(1, -1);
+        let ka = KarlinAltschul::for_matrix(&m, &BACKGROUND_FREQS);
+        assert!(ka.lambda > 0.0);
+        assert!(ka_f(&m, &BACKGROUND_FREQS, ka.lambda).abs() < 1e-9);
+    }
+}

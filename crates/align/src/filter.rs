@@ -1,0 +1,219 @@
+//! Candidate-pair generation via shared exact k-mers.
+//!
+//! pGraph identifies "promising pairs" with a suffix-tree maximal-match
+//! heuristic: a pair is promising if the two sequences share an exact match
+//! of length ≥ ψ. Enumerating pairs that share *any exact k-mer with k = ψ*
+//! yields the identical pair set (every maximal match of length ≥ ψ contains
+//! a ψ-mer, and every shared ψ-mer lies inside some maximal match of length
+//! ≥ ψ), so a sorted k-mer index is the standard practical substitution.
+//!
+//! Two well-known guards keep the pair list near-linear in practice:
+//!
+//! * **bucket cap** — k-mers occurring in more than `max_bucket` sequences
+//!   (low-complexity or repeat-derived) are skipped, exactly as seed-based
+//!   aligners mask over-represented seeds;
+//! * **per-sequence dedup** — each (k-mer, sequence) is indexed once, so a
+//!   repeated k-mer inside one sequence cannot multiply pairs.
+
+use crate::kmer::{KmerIter, PackedKmer};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the candidate filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FilterConfig {
+    /// Exact-match length threshold ψ (the k of the k-mer index).
+    pub k: usize,
+    /// Skip k-mers present in more than this many sequences.
+    pub max_bucket: usize,
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        // ψ = 5 gives high sensitivity for ~40 % identity ORF pairs of
+        // length ~100; buckets above 2·√n-ish sizes are low-complexity noise.
+        FilterConfig {
+            k: 5,
+            max_bucket: 2_000,
+        }
+    }
+}
+
+/// Deduplicated candidate pairs `(i, j)` with `i < j`.
+#[derive(Debug, Clone, Default)]
+pub struct CandidatePairs {
+    pairs: Vec<(u32, u32)>,
+    /// Number of k-mer buckets skipped by the bucket cap.
+    pub skipped_buckets: usize,
+}
+
+impl CandidatePairs {
+    /// The pairs, sorted ascending, `i < j`, no duplicates.
+    pub fn as_slice(&self) -> &[(u32, u32)] {
+        &self.pairs
+    }
+
+    /// Number of candidate pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True if no candidates were found.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consume into the underlying vector.
+    pub fn into_vec(self) -> Vec<(u32, u32)> {
+        self.pairs
+    }
+
+    /// Build from packed `(a << 32 | b)` pairs, already sorted + deduped
+    /// with `a < b` (used by the suffix-array filter).
+    pub fn from_packed(packed: Vec<u64>, skipped_buckets: usize) -> Self {
+        debug_assert!(packed.windows(2).all(|w| w[0] < w[1]));
+        CandidatePairs {
+            pairs: packed
+                .into_iter()
+                .map(|p| ((p >> 32) as u32, p as u32))
+                .collect(),
+            skipped_buckets,
+        }
+    }
+}
+
+/// Generate candidate pairs among `seqs` (residue-code slices).
+///
+/// Sequence ids are the indices into `seqs` (must fit `u32`).
+pub fn candidate_pairs<S: AsRef<[u8]>>(seqs: &[S], config: &FilterConfig) -> CandidatePairs {
+    assert!(seqs.len() <= u32::MAX as usize, "too many sequences");
+
+    // (kmer, seq) postings, one per distinct k-mer per sequence.
+    let mut postings: Vec<(PackedKmer, u32)> = Vec::new();
+    let mut per_seq: Vec<PackedKmer> = Vec::new();
+    for (id, s) in seqs.iter().enumerate() {
+        per_seq.clear();
+        per_seq.extend(KmerIter::new(s.as_ref(), config.k).map(|(_, v)| v));
+        per_seq.sort_unstable();
+        per_seq.dedup();
+        postings.extend(per_seq.iter().map(|&v| (v, id as u32)));
+    }
+    postings.sort_unstable();
+
+    // Emit all intra-bucket pairs, subject to the bucket cap.
+    let mut packed_pairs: Vec<u64> = Vec::new();
+    let mut skipped = 0usize;
+    let mut start = 0;
+    while start < postings.len() {
+        let kv = postings[start].0;
+        let mut end = start + 1;
+        while end < postings.len() && postings[end].0 == kv {
+            end += 1;
+        }
+        let bucket = &postings[start..end];
+        if bucket.len() > config.max_bucket {
+            skipped += 1;
+        } else {
+            for (x, &(_, a)) in bucket.iter().enumerate() {
+                for &(_, b) in &bucket[x + 1..] {
+                    // postings sorted by (kmer, id) → a < b within a bucket
+                    packed_pairs.push(((a as u64) << 32) | b as u64);
+                }
+            }
+        }
+        start = end;
+    }
+    packed_pairs.sort_unstable();
+    packed_pairs.dedup();
+
+    let pairs = packed_pairs
+        .into_iter()
+        .map(|p| ((p >> 32) as u32, p as u32))
+        .collect();
+    CandidatePairs {
+        pairs,
+        skipped_buckets: skipped,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::alphabet::encode;
+
+    fn seqs(list: &[&[u8]]) -> Vec<Vec<u8>> {
+        list.iter().map(|s| encode(s).unwrap()).collect()
+    }
+
+    #[test]
+    fn shared_kmer_produces_pair() {
+        let s = seqs(&[b"MKVLAWGY", b"ACDMKVLA", b"WYTSRQPN"]);
+        let cfg = FilterConfig { k: 5, max_bucket: 100 };
+        let cp = candidate_pairs(&s, &cfg);
+        assert_eq!(cp.as_slice(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn no_shared_kmer_no_pairs() {
+        let s = seqs(&[b"AAAAAA", b"CCCCCC", b"DDDDDD"]);
+        let cp = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 100 });
+        assert!(cp.is_empty());
+    }
+
+    #[test]
+    fn pairs_are_canonical_and_deduped() {
+        // Two sequences sharing many k-mers must still yield one pair.
+        let s = seqs(&[b"MKVLAWGYMKVLAWGY", b"MKVLAWGYMKVLAWGY"]);
+        let cp = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 100 });
+        assert_eq!(cp.as_slice(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn bucket_cap_skips_hub_kmers() {
+        // Five sequences all sharing one k-mer; cap of 4 suppresses it.
+        let s = seqs(&[b"MKVLA", b"MKVLC", b"MKVLD", b"MKVLE", b"MKVLF"]);
+        let capped = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 4 });
+        assert!(capped.is_empty());
+        assert_eq!(capped.skipped_buckets, 1);
+        let uncapped = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 5 });
+        assert_eq!(uncapped.len(), 10); // C(5,2)
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(21);
+        let seqs: Vec<Vec<u8>> = (0..40)
+            .map(|_| (0..30).map(|_| rng.gen_range(0..20u8)).collect())
+            .collect();
+        let k = 3;
+        let cp = candidate_pairs(&seqs, &FilterConfig { k, max_bucket: usize::MAX });
+        // Brute force: pair iff k-mer sets intersect.
+        let sets: Vec<std::collections::HashSet<u64>> = seqs
+            .iter()
+            .map(|s| crate::kmer::kmers(s, k).into_iter().collect())
+            .collect();
+        let mut expect = Vec::new();
+        for i in 0..seqs.len() {
+            for j in i + 1..seqs.len() {
+                if !sets[i].is_disjoint(&sets[j]) {
+                    expect.push((i as u32, j as u32));
+                }
+            }
+        }
+        assert_eq!(cp.as_slice(), expect.as_slice());
+    }
+
+    #[test]
+    fn sequences_shorter_than_k_are_ignored() {
+        let s = seqs(&[b"MK", b"MKVLAWGY", b"MKVLAWGY"]);
+        let cp = candidate_pairs(&s, &FilterConfig { k: 5, max_bucket: 100 });
+        assert_eq!(cp.as_slice(), &[(1, 2)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cp = candidate_pairs::<Vec<u8>>(&[], &FilterConfig::default());
+        assert!(cp.is_empty());
+    }
+}

@@ -1,0 +1,143 @@
+//! Packed k-mer extraction.
+//!
+//! Residue codes occupy 5 bits each (20 < 2⁵), so k-mers up to k = 12 pack
+//! into a `u64`. Packing is done with a rolling shift so extracting all
+//! k-mers of a sequence is O(n).
+
+/// Maximum supported k (5 bits/residue in a u64).
+pub const MAX_K: usize = 12;
+
+/// A packed k-mer value.
+pub type PackedKmer = u64;
+
+/// Pack `k` residue codes starting at `seq[0]` into a u64.
+///
+/// # Panics
+/// Panics if `seq.len() < k` or `k > MAX_K`.
+#[inline]
+pub fn pack(seq: &[u8], k: usize) -> PackedKmer {
+    assert!(k <= MAX_K && seq.len() >= k);
+    let mut v: u64 = 0;
+    for &r in &seq[..k] {
+        debug_assert!(r < 32);
+        v = (v << 5) | r as u64;
+    }
+    v
+}
+
+/// Iterator over all packed k-mers of a sequence, with their start offsets.
+pub struct KmerIter<'a> {
+    seq: &'a [u8],
+    k: usize,
+    mask: u64,
+    current: u64,
+    pos: usize,
+}
+
+impl<'a> KmerIter<'a> {
+    /// Create an iterator over the k-mers of `seq`. Yields nothing if the
+    /// sequence is shorter than `k`.
+    pub fn new(seq: &'a [u8], k: usize) -> Self {
+        assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
+        let mask = if 5 * k == 64 { u64::MAX } else { (1u64 << (5 * k)) - 1 };
+        let mut it = KmerIter {
+            seq,
+            k,
+            mask,
+            current: 0,
+            pos: 0,
+        };
+        if seq.len() >= k {
+            // Pre-roll the first k-1 residues; next() completes the window.
+            for &r in &seq[..k - 1] {
+                it.current = (it.current << 5) | r as u64;
+            }
+            it.pos = k - 1;
+        } else {
+            it.pos = seq.len(); // exhausted
+        }
+        it
+    }
+}
+
+impl Iterator for KmerIter<'_> {
+    /// (start offset, packed k-mer)
+    type Item = (usize, PackedKmer);
+
+    #[inline]
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.seq.len() {
+            return None;
+        }
+        self.current = ((self.current << 5) | self.seq[self.pos] as u64) & self.mask;
+        self.pos += 1;
+        Some((self.pos - self.k, self.current))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.seq.len().saturating_sub(self.pos);
+        (rem, Some(rem))
+    }
+}
+
+/// Collect all packed k-mers of `seq` (without positions).
+pub fn kmers(seq: &[u8], k: usize) -> Vec<PackedKmer> {
+    KmerIter::new(seq, k).map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_is_big_endian_5bit() {
+        // codes [1, 2, 3] -> 1<<10 | 2<<5 | 3
+        assert_eq!(pack(&[1, 2, 3], 3), (1 << 10) | (2 << 5) | 3);
+    }
+
+    #[test]
+    fn iter_matches_pack_at_every_offset() {
+        let seq: Vec<u8> = (0..30).map(|i| (i * 7 % 20) as u8).collect();
+        for k in [1, 3, 5, 8, 12] {
+            let got: Vec<_> = KmerIter::new(&seq, k).collect();
+            assert_eq!(got.len(), seq.len() - k + 1);
+            for (off, v) in got {
+                assert_eq!(v, pack(&seq[off..], k), "k={k} off={off}");
+            }
+        }
+    }
+
+    #[test]
+    fn short_sequence_yields_nothing() {
+        let seq = [1u8, 2];
+        assert_eq!(KmerIter::new(&seq, 5).count(), 0);
+        assert_eq!(KmerIter::new(&[], 3).count(), 0);
+    }
+
+    #[test]
+    fn exact_length_sequence_yields_one() {
+        let seq = [4u8, 5, 6];
+        let got: Vec<_> = KmerIter::new(&seq, 3).collect();
+        assert_eq!(got, vec![(0, pack(&seq, 3))]);
+    }
+
+    #[test]
+    fn distinct_kmers_pack_distinctly() {
+        let a = pack(&[0, 1], 2);
+        let b = pack(&[1, 0], 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn size_hint_exact() {
+        let seq: Vec<u8> = vec![0; 10];
+        let it = KmerIter::new(&seq, 4);
+        assert_eq!(it.size_hint(), (7, Some(7)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn k_too_large_panics() {
+        KmerIter::new(&[0u8; 20], 13);
+    }
+}

@@ -1,0 +1,33 @@
+//! # gpclust-align — pairwise alignment substrate
+//!
+//! The pGraph phase of the paper's pipeline decides which sequence pairs are
+//! homologous by (1) generating *promising pairs* with a maximal-match
+//! heuristic and (2) running the optimality-guaranteeing Smith–Waterman
+//! algorithm on those pairs. This crate provides both pieces:
+//!
+//! * [`matrix`] — substitution matrices (BLOSUM62 and parametric matrices).
+//! * [`sw`] — Smith–Waterman local alignment with affine gap penalties:
+//!   a linear-memory score-only kernel for the hot filter path and a full
+//!   traceback variant that reports identity/coverage for acceptance rules.
+//! * [`banded`] — banded Smith–Waterman for cheap re-scoring of long pairs.
+//! * [`kmer`] — packed k-mer extraction (5 bits/residue).
+//! * [`filter`] — the shared-k-mer candidate pair generator, the practical
+//!   equivalent of pGraph's suffix-tree maximal-match filter (both enumerate
+//!   exactly the pairs that share a long exact match).
+//! * [`significance`] — the edge-acceptance rule (score, identity and
+//!   coverage thresholds) that turns alignments into homology-graph edges.
+
+pub mod banded;
+pub mod evalue;
+pub mod filter;
+pub mod kmer;
+pub mod matrix;
+pub mod profile;
+pub mod significance;
+pub mod suffix;
+pub mod sw;
+
+pub use filter::{CandidatePairs, FilterConfig};
+pub use matrix::SubstitutionMatrix;
+pub use significance::{AcceptCriteria, PairVerdict};
+pub use sw::{Alignment, GapPenalties, SmithWaterman};

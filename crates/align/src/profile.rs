@@ -1,0 +1,296 @@
+//! Position-specific scoring matrices (PSSMs) and profile–sequence search.
+//!
+//! The GOS study expanded its clustered "core sets" into full protein
+//! families "through profile-sequence and profile-profile matching
+//! techniques", and the paper leans on that to explain Table III's low
+//! sensitivities: "sequence-sequence based matching is less sensitive
+//! comparing to the profile-based matching techniques". This module
+//! implements that expansion machinery so the effect is demonstrable:
+//!
+//! * [`Pssm::from_members`] — build a profile from a cluster by *star
+//!   alignment*: every member is Smith–Waterman-aligned to a reference
+//!   (the longest member), and aligned residues accumulate per-position
+//!   counts, converted to log-odds scores against the background
+//!   distribution with pseudocounts.
+//! * [`Pssm::best_local_score`] — profile–sequence local alignment
+//!   (Smith–Waterman with position-specific match scores).
+//! * [`expand_cluster`] — recruit candidate sequences whose profile score
+//!   clears a per-position threshold, the family-expansion step.
+
+use crate::sw::{GapPenalties, SmithWaterman};
+use gpclust_seqsim::alphabet::{ALPHABET_SIZE, BACKGROUND_FREQS};
+
+/// A position-specific scoring matrix in half-bit-like integer scores.
+#[derive(Debug, Clone)]
+pub struct Pssm {
+    /// `scores[pos][residue]` — log-odds score of `residue` at `pos`.
+    scores: Vec<[i16; ALPHABET_SIZE]>,
+    /// Number of member sequences the profile was built from.
+    n_members: usize,
+}
+
+impl Pssm {
+    /// Build a PSSM from cluster members via star alignment against the
+    /// longest member. `pseudocount` smooths unseen residues (0.5–1.0 is
+    /// typical).
+    ///
+    /// Returns `None` if `members` is empty.
+    pub fn from_members<S: AsRef<[u8]>>(
+        members: &[S],
+        sw: &SmithWaterman,
+        pseudocount: f64,
+    ) -> Option<Pssm> {
+        let reference = members
+            .iter()
+            .max_by_key(|s| s.as_ref().len())?
+            .as_ref()
+            .to_vec();
+        if reference.is_empty() {
+            return None;
+        }
+        let mut counts = vec![[0.0f64; ALPHABET_SIZE]; reference.len()];
+        // The reference aligns to itself trivially; others via SW paths.
+        for (pos, &res) in reference.iter().enumerate() {
+            counts[pos][res as usize] += 1.0;
+        }
+        for m in members {
+            let m = m.as_ref();
+            if m == reference.as_slice() {
+                continue;
+            }
+            let (_, path) = sw.align_with_path(&reference, m);
+            for (ref_pos, mem_pos) in path {
+                counts[ref_pos][m[mem_pos] as usize] += 1.0;
+            }
+        }
+        // Log-odds vs the background, scaled ×2 ("half-bit" style) into i16.
+        let scores = counts
+            .iter()
+            .map(|col| {
+                let total: f64 = col.iter().sum::<f64>() + pseudocount * ALPHABET_SIZE as f64;
+                let mut row = [0i16; ALPHABET_SIZE];
+                for (r, score) in row.iter_mut().enumerate() {
+                    let p = (col[r] + pseudocount) / total;
+                    let odds = p / BACKGROUND_FREQS[r];
+                    *score = (2.0 * odds.ln() / std::f64::consts::LN_2)
+                        .round()
+                        .clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+                }
+                row
+            })
+            .collect();
+        Some(Pssm {
+            scores,
+            n_members: members.len(),
+        })
+    }
+
+    /// Profile length (positions).
+    pub fn len(&self) -> usize {
+        self.scores.len()
+    }
+
+    /// True if the profile has no positions.
+    pub fn is_empty(&self) -> bool {
+        self.scores.is_empty()
+    }
+
+    /// Number of sequences the profile was built from.
+    pub fn n_members(&self) -> usize {
+        self.n_members
+    }
+
+    /// Score of `residue` at `pos`.
+    #[inline]
+    pub fn score_at(&self, pos: usize, residue: u8) -> i16 {
+        self.scores[pos][residue as usize]
+    }
+
+    /// Best local profile–sequence alignment score (Smith–Waterman shape
+    /// with position-specific substitution scores and affine gaps).
+    pub fn best_local_score(&self, seq: &[u8], gaps: GapPenalties) -> i32 {
+        if self.is_empty() || seq.is_empty() {
+            return 0;
+        }
+        let m = seq.len();
+        let go = gaps.open + gaps.extend;
+        let ge = gaps.extend;
+        let neg = i32::MIN / 2;
+        let mut h = vec![0i32; m + 1];
+        let mut e = vec![neg; m + 1];
+        let mut best = 0i32;
+        for row in &self.scores {
+            let mut f = neg;
+            let mut h_diag = 0i32;
+            for j in 1..=m {
+                let e_j = (e[j] - ge).max(h[j] - go);
+                f = (f - ge).max(h[j - 1] - go);
+                let mscore = h_diag + row[seq[j - 1] as usize] as i32;
+                let hv = mscore.max(e_j).max(f).max(0);
+                h_diag = h[j];
+                h[j] = hv;
+                e[j] = e_j;
+                best = best.max(hv);
+            }
+        }
+        best
+    }
+}
+
+/// Recruit, from `candidates`, the indices whose profile–sequence score is
+/// at least `min_score_per_position × min(profile_len, seq_len)` — the
+/// GOS-style family-expansion step.
+pub fn expand_cluster<S: AsRef<[u8]>>(
+    pssm: &Pssm,
+    candidates: &[S],
+    gaps: GapPenalties,
+    min_score_per_position: f64,
+) -> Vec<usize> {
+    candidates
+        .iter()
+        .enumerate()
+        .filter(|(_, seq)| {
+            let seq = seq.as_ref();
+            if seq.is_empty() {
+                return false;
+            }
+            let span = pssm.len().min(seq.len()) as f64;
+            pssm.best_local_score(seq, gaps) as f64 >= min_score_per_position * span
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::alphabet::BackgroundSampler;
+    use gpclust_seqsim::mutate::MutationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn family(seed: u64, n: usize, divergence: &MutationModel) -> (Vec<Vec<u8>>, Vec<u8>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bg = BackgroundSampler::new();
+        let ancestor = bg.sample_seq(&mut rng, 120);
+        let members = (0..n)
+            .map(|_| divergence.mutate(&mut rng, &ancestor, &bg))
+            .collect();
+        (members, ancestor)
+    }
+
+    fn no_frag(mut m: MutationModel) -> MutationModel {
+        m.fragment_prob = 0.0;
+        m
+    }
+
+    #[test]
+    fn profile_scores_members_highly() {
+        let (members, _) = family(1, 8, &no_frag(MutationModel::family_default()));
+        let sw = SmithWaterman::protein_default();
+        let pssm = Pssm::from_members(&members, &sw, 0.5).unwrap();
+        assert_eq!(pssm.n_members(), 8);
+        assert!(pssm.len() >= 100);
+        let gaps = GapPenalties::default();
+        for m in &members {
+            let per_pos = pssm.best_local_score(m, gaps) as f64 / m.len() as f64;
+            assert!(per_pos > 1.5, "member scored only {per_pos:.2}/pos");
+        }
+    }
+
+    #[test]
+    fn profile_rejects_unrelated_sequences() {
+        let (members, _) = family(2, 8, &no_frag(MutationModel::family_default()));
+        let sw = SmithWaterman::protein_default();
+        let pssm = Pssm::from_members(&members, &sw, 0.5).unwrap();
+        let mut rng = StdRng::seed_from_u64(99);
+        let bg = BackgroundSampler::new();
+        let gaps = GapPenalties::default();
+        for _ in 0..20 {
+            let unrelated = bg.sample_seq(&mut rng, 120);
+            let per_pos = pssm.best_local_score(&unrelated, gaps) as f64 / 120.0;
+            assert!(per_pos < 1.0, "unrelated scored {per_pos:.2}/pos");
+        }
+    }
+
+    /// The paper's core claim: profiles recruit divergent fringe members
+    /// that sequence–sequence matching misses.
+    #[test]
+    fn profile_more_sensitive_than_pairwise_on_fringe() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bg = BackgroundSampler::new();
+        let ancestor = bg.sample_seq(&mut rng, 140);
+        let core_model = no_frag(MutationModel::family_default());
+        // Twilight-zone fringe (~30 % identity): hard for pairwise
+        // matching, where profile conservation signal still helps.
+        let fringe_model = no_frag(MutationModel::fringe_default().scaled(1.2));
+        let core: Vec<Vec<u8>> = (0..10)
+            .map(|_| core_model.mutate(&mut rng, &ancestor, &bg))
+            .collect();
+        let fringe: Vec<Vec<u8>> = (0..30)
+            .map(|_| fringe_model.mutate(&mut rng, &ancestor, &bg))
+            .collect();
+        let unrelated: Vec<Vec<u8>> = (0..30).map(|_| bg.sample_seq(&mut rng, 140)).collect();
+
+        let sw = SmithWaterman::protein_default();
+        let gaps = GapPenalties::default();
+        let pssm = Pssm::from_members(&core, &sw, 0.5).unwrap();
+
+        // The two scoring systems are not numerically comparable, so
+        // sensitivity is compared as rank separability (AUC): the fraction
+        // of (fringe, unrelated) pairs where the fringe member outranks the
+        // unrelated sequence. Higher AUC = better fringe/noise separation
+        // at *every* threshold.
+        let profile_per_pos = |seq: &Vec<u8>| {
+            pssm.best_local_score(seq, gaps) as f64 / pssm.len().min(seq.len()) as f64
+        };
+        let pairwise_per_pos = |seq: &Vec<u8>| {
+            core.iter()
+                .map(|c| sw.score(c, seq) as f64 / c.len().min(seq.len()) as f64)
+                .fold(0.0f64, f64::max)
+        };
+        let auc = |score: &dyn Fn(&Vec<u8>) -> f64| {
+            let fs: Vec<f64> = fringe.iter().map(score).collect();
+            let us: Vec<f64> = unrelated.iter().map(score).collect();
+            let wins = fs
+                .iter()
+                .flat_map(|f| us.iter().map(move |u| usize::from(f > u)))
+                .sum::<usize>();
+            wins as f64 / (fs.len() * us.len()) as f64
+        };
+        let profile_auc = auc(&profile_per_pos);
+        let pairwise_auc = auc(&pairwise_per_pos);
+        assert!(
+            profile_auc >= pairwise_auc,
+            "profile AUC {profile_auc:.3} < pairwise AUC {pairwise_auc:.3}"
+        );
+
+        // And at a zero-false-positive threshold the profile must still
+        // recruit essentially the whole fringe.
+        let profile_threshold =
+            unrelated.iter().map(profile_per_pos).fold(0.0, f64::max) * 1.05;
+        let profile_hits = expand_cluster(&pssm, &fringe, gaps, profile_threshold).len();
+        let false_hits = expand_cluster(&pssm, &unrelated, gaps, profile_threshold).len();
+        assert!(profile_hits * 10 >= fringe.len() * 9, "hits {profile_hits}/30");
+        assert_eq!(false_hits, 0, "profile must not recruit noise");
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let sw = SmithWaterman::protein_default();
+        assert!(Pssm::from_members::<Vec<u8>>(&[], &sw, 0.5).is_none());
+        let (members, _) = family(4, 3, &no_frag(MutationModel::family_default()));
+        let pssm = Pssm::from_members(&members, &sw, 0.5).unwrap();
+        assert_eq!(pssm.best_local_score(&[], GapPenalties::default()), 0);
+    }
+
+    #[test]
+    fn conserved_position_scores_higher_than_variable() {
+        // Hand-built members: position 0 always residue 0; position 1
+        // varies uniformly.
+        let members: Vec<Vec<u8>> = (0..10u8).map(|i| vec![0, i % 20, 5, 5, 5, 5]).collect();
+        let sw = SmithWaterman::protein_default();
+        let pssm = Pssm::from_members(&members, &sw, 0.5).unwrap();
+        assert!(pssm.score_at(0, 0) > pssm.score_at(1, 1));
+    }
+}

@@ -1,0 +1,251 @@
+//! Edge acceptance: deciding when an alignment is "significant sequence
+//! similarity" (the paper's edge criterion for the homology graph).
+//!
+//! Two modes are provided:
+//!
+//! * **fast** — score-density only: accept if `score ≥ min_score` and
+//!   `score / min(|a|,|b|) ≥ min_score_density`. Needs only the score-only
+//!   SW kernel, so it is the default for large runs.
+//! * **strict** — additionally requires identity and short-sequence coverage
+//!   thresholds computed from a full traceback. Used when edge quality
+//!   matters more than throughput.
+
+use crate::sw::{Alignment, SmithWaterman, Workspace};
+use serde::{Deserialize, Serialize};
+
+/// Thresholds for accepting a pair as homologous.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceptCriteria {
+    /// Minimum raw Smith–Waterman score.
+    pub min_score: i32,
+    /// Minimum score per residue of the shorter sequence.
+    pub min_score_density: f64,
+    /// Minimum identity fraction over alignment columns (strict mode only).
+    pub min_identity: f64,
+    /// Minimum coverage of the shorter sequence (strict mode only).
+    pub min_coverage: f64,
+    /// Whether to run the strict (traceback) checks.
+    pub strict: bool,
+}
+
+impl AcceptCriteria {
+    /// Defaults tuned for the synthetic metagenome: core family members
+    /// (~60–80 % identity) pass; unrelated background pairs essentially
+    /// never do.
+    pub fn homology_default() -> Self {
+        AcceptCriteria {
+            min_score: 60,
+            min_score_density: 0.85,
+            min_identity: 0.30,
+            min_coverage: 0.5,
+            strict: true,
+        }
+    }
+
+    /// Fast variant: score and score-density gates only (no traceback).
+    pub fn fast_default() -> Self {
+        AcceptCriteria {
+            strict: false,
+            ..AcceptCriteria::homology_default()
+        }
+    }
+
+    /// Strict variant of [`AcceptCriteria::homology_default`].
+    pub fn strict_default() -> Self {
+        AcceptCriteria {
+            strict: true,
+            ..AcceptCriteria::homology_default()
+        }
+    }
+}
+
+impl Default for AcceptCriteria {
+    fn default() -> Self {
+        Self::homology_default()
+    }
+}
+
+/// Outcome of evaluating one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PairVerdict {
+    /// Pair is homologous: add the edge.
+    Accept,
+    /// Rejected by the score threshold.
+    RejectScore,
+    /// Rejected by score density.
+    RejectDensity,
+    /// Rejected by identity (strict mode).
+    RejectIdentity,
+    /// Rejected by coverage (strict mode).
+    RejectCoverage,
+}
+
+impl PairVerdict {
+    /// True when the verdict accepts the pair.
+    pub fn accepted(self) -> bool {
+        self == PairVerdict::Accept
+    }
+}
+
+/// Evaluate a candidate pair against `criteria`, reusing the SW `workspace`.
+pub fn evaluate_pair(
+    sw: &SmithWaterman,
+    workspace: &mut Workspace,
+    a: &[u8],
+    b: &[u8],
+    criteria: &AcceptCriteria,
+) -> PairVerdict {
+    let score = sw.score_with(workspace, a, b);
+    if score < criteria.min_score {
+        return PairVerdict::RejectScore;
+    }
+    let shorter = a.len().min(b.len()).max(1);
+    if (score as f64) / (shorter as f64) < criteria.min_score_density {
+        return PairVerdict::RejectDensity;
+    }
+    if criteria.strict {
+        let aln = sw.align(a, b);
+        return evaluate_alignment(&aln, a.len(), b.len(), criteria);
+    }
+    PairVerdict::Accept
+}
+
+/// Apply the strict checks to an already-computed alignment.
+pub fn evaluate_alignment(
+    aln: &Alignment,
+    len_a: usize,
+    len_b: usize,
+    criteria: &AcceptCriteria,
+) -> PairVerdict {
+    if aln.score < criteria.min_score {
+        return PairVerdict::RejectScore;
+    }
+    let shorter = len_a.min(len_b).max(1);
+    if (aln.score as f64) / (shorter as f64) < criteria.min_score_density {
+        return PairVerdict::RejectDensity;
+    }
+    if aln.identity() < criteria.min_identity {
+        return PairVerdict::RejectIdentity;
+    }
+    if aln.coverage(len_a, len_b) < criteria.min_coverage {
+        return PairVerdict::RejectCoverage;
+    }
+    PairVerdict::Accept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::alphabet::{encode, BackgroundSampler};
+    use gpclust_seqsim::mutate::MutationModel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sw() -> SmithWaterman {
+        SmithWaterman::protein_default()
+    }
+
+    #[test]
+    fn identical_long_sequences_accepted() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = BackgroundSampler::new().sample_seq(&mut rng, 150);
+        let mut ws = Workspace::new();
+        let v = evaluate_pair(&sw(), &mut ws, &a, &a, &AcceptCriteria::homology_default());
+        assert!(v.accepted());
+    }
+
+    #[test]
+    fn random_pairs_rejected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let bg = BackgroundSampler::new();
+        let mut ws = Workspace::new();
+        let crit = AcceptCriteria::homology_default();
+        let aligner = sw();
+        let mut accepted = 0;
+        for _ in 0..50 {
+            let a = bg.sample_seq(&mut rng, 120);
+            let b = bg.sample_seq(&mut rng, 120);
+            if evaluate_pair(&aligner, &mut ws, &a, &b, &crit).accepted() {
+                accepted += 1;
+            }
+        }
+        assert_eq!(accepted, 0, "unrelated pairs must not form edges");
+    }
+
+    #[test]
+    fn family_core_pairs_accepted() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let bg = BackgroundSampler::new();
+        let model = MutationModel::family_default();
+        let mut ws = Workspace::new();
+        let crit = AcceptCriteria::homology_default();
+        let aligner = sw();
+        let mut accepted = 0;
+        let trials = 40;
+        for _ in 0..trials {
+            let anc = bg.sample_seq(&mut rng, 150);
+            let a = model.mutate(&mut rng, &anc, &bg);
+            let b = model.mutate(&mut rng, &anc, &bg);
+            if evaluate_pair(&aligner, &mut ws, &a, &b, &crit).accepted() {
+                accepted += 1;
+            }
+        }
+        assert!(
+            accepted as f64 / trials as f64 > 0.7,
+            "core pairs accepted: {accepted}/{trials}"
+        );
+    }
+
+    #[test]
+    fn short_score_rejected_first() {
+        let a = encode(b"MKV").unwrap();
+        let mut ws = Workspace::new();
+        let v = evaluate_pair(&sw(), &mut ws, &a, &a, &AcceptCriteria::homology_default());
+        assert_eq!(v, PairVerdict::RejectScore);
+    }
+
+    #[test]
+    fn strict_mode_rejects_low_coverage() {
+        // A short perfect core inside two otherwise unrelated long sequences:
+        // good score density of the core region, bad coverage.
+        let mut rng = StdRng::seed_from_u64(4);
+        let bg = BackgroundSampler::new();
+        let core = bg.sample_seq(&mut rng, 40);
+        let mut a = bg.sample_seq(&mut rng, 120);
+        let mut b = bg.sample_seq(&mut rng, 120);
+        a.extend_from_slice(&core);
+        b.extend_from_slice(&core);
+        let crit = AcceptCriteria {
+            min_score: 50,
+            min_score_density: 0.0,
+            min_identity: 0.0,
+            min_coverage: 0.8,
+            strict: true,
+        };
+        let mut ws = Workspace::new();
+        let v = evaluate_pair(&sw(), &mut ws, &a, &b, &crit);
+        assert_eq!(v, PairVerdict::RejectCoverage);
+    }
+
+    #[test]
+    fn evaluate_alignment_identity_gate() {
+        let aln = Alignment {
+            score: 1_000,
+            identities: 10,
+            length: 100,
+            query_range: (0, 100),
+            target_range: (0, 100),
+        };
+        let crit = AcceptCriteria {
+            min_score: 0,
+            min_score_density: 0.0,
+            min_identity: 0.5,
+            min_coverage: 0.0,
+            strict: true,
+        };
+        assert_eq!(
+            evaluate_alignment(&aln, 100, 100, &crit),
+            PairVerdict::RejectIdentity
+        );
+    }
+}

@@ -1,0 +1,293 @@
+//! Suffix-array maximal-match filtering — pGraph's stated machinery.
+//!
+//! pGraph generates promising pairs "based on a maximal-matching heuristic
+//! (suffix trees are used in our implementation to identify such pairs)".
+//! The [`crate::filter`] module substitutes a k-mer index; this module
+//! implements the suffix-structure route itself, over a **generalized
+//! suffix array** (prefix-doubling construction + Kasai LCP):
+//!
+//! 1. concatenate all sequences with unique separators;
+//! 2. build the suffix array and LCP array;
+//! 3. every maximal interval of the SA with `LCP ≥ ψ` groups suffixes
+//!    sharing a ψ-length exact match — emit the sequence pairs it covers.
+//!
+//! A pair of sequences shares a maximal match of length ≥ ψ **iff** it
+//! shares any ψ-mer, so this filter and the k-mer filter produce exactly
+//! the same candidate set (property-tested) — the classical argument for
+//! the engineering substitution, demonstrated rather than assumed.
+
+use crate::filter::CandidatePairs;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the suffix-array filter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SuffixFilterConfig {
+    /// Minimum exact-match length ψ.
+    pub min_match: usize,
+    /// Skip SA intervals covering more than this many suffixes
+    /// (low-complexity control, mirroring the k-mer bucket cap).
+    pub max_interval: usize,
+}
+
+impl Default for SuffixFilterConfig {
+    fn default() -> Self {
+        SuffixFilterConfig {
+            min_match: 5,
+            max_interval: 10_000,
+        }
+    }
+}
+
+/// Build the suffix array of `text` by prefix doubling (O(n log² n)).
+pub fn suffix_array(text: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut sa: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u64> = text.iter().map(|&c| c as u64).collect();
+    let mut tmp: Vec<u64> = vec![0; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| -> (u64, u64) {
+            let i = i as usize;
+            let second = if i + k < n { rank[i + k] + 1 } else { 0 };
+            (rank[i], second)
+        };
+        sa.sort_unstable_by_key(|&i| key(i));
+        // Re-rank.
+        tmp[sa[0] as usize] = 0;
+        for w in 1..n {
+            let prev = sa[w - 1];
+            let cur = sa[w];
+            tmp[cur as usize] =
+                tmp[prev as usize] + u64::from(key(prev) != key(cur));
+        }
+        rank.copy_from_slice(&tmp);
+        if rank[sa[n - 1] as usize] == (n - 1) as u64 {
+            break;
+        }
+        k *= 2;
+    }
+    sa
+}
+
+/// Kasai's LCP construction: `lcp[i]` = longest common prefix of
+/// `sa[i-1]` and `sa[i]` (with `lcp[0] = 0`).
+pub fn lcp_array(text: &[u32], sa: &[u32]) -> Vec<u32> {
+    let n = text.len();
+    let mut lcp = vec![0u32; n];
+    if n == 0 {
+        return lcp;
+    }
+    let mut rank = vec![0u32; n];
+    for (i, &s) in sa.iter().enumerate() {
+        rank[s as usize] = i as u32;
+    }
+    let mut h = 0usize;
+    for i in 0..n {
+        let r = rank[i] as usize;
+        if r > 0 {
+            let j = sa[r - 1] as usize;
+            while i + h < n && j + h < n && text[i + h] == text[j + h] {
+                h += 1;
+            }
+            lcp[r] = h as u32;
+            h = h.saturating_sub(1);
+        } else {
+            h = 0;
+        }
+    }
+    lcp
+}
+
+/// Generalized text: sequences separated by unique sentinels above the
+/// residue alphabet, plus the suffix → sequence-id map.
+fn generalized_text<S: AsRef<[u8]>>(seqs: &[S]) -> (Vec<u32>, Vec<u32>) {
+    let total: usize = seqs.iter().map(|s| s.as_ref().len() + 1).sum();
+    let mut text = Vec::with_capacity(total);
+    let mut owner = Vec::with_capacity(total);
+    for (id, s) in seqs.iter().enumerate() {
+        for &r in s.as_ref() {
+            debug_assert!(r < 32);
+            text.push(r as u32);
+            owner.push(id as u32);
+        }
+        // Unique separator per sequence: never matches anything else.
+        text.push(1_000 + id as u32);
+        owner.push(id as u32);
+    }
+    (text, owner)
+}
+
+/// Candidate pairs via the generalized suffix array: all pairs of distinct
+/// sequences sharing an exact match of length ≥ ψ.
+pub fn candidate_pairs_suffix<S: AsRef<[u8]>>(
+    seqs: &[S],
+    config: &SuffixFilterConfig,
+) -> CandidatePairs {
+    assert!(config.min_match >= 1);
+    let (text, owner) = generalized_text(seqs);
+    let sa = suffix_array(&text);
+    let lcp = lcp_array(&text, &sa);
+
+    // Maximal runs where consecutive-suffix LCP ≥ ψ: all suffixes in a run
+    // (including the one before the first qualifying lcp entry) share a
+    // ψ-prefix; emit the distinct owner pairs of each run.
+    let psi = config.min_match as u32;
+    let mut packed: Vec<u64> = Vec::new();
+    let mut skipped = 0usize;
+    let mut run: Vec<u32> = Vec::new(); // owner ids in the current run
+    let n = text.len();
+    let mut i = 1usize;
+    while i <= n {
+        if i < n && lcp[i] >= psi {
+            if run.is_empty() {
+                run.push(owner[sa[i - 1] as usize]);
+            }
+            run.push(owner[sa[i] as usize]);
+        } else if !run.is_empty() {
+            flush_run(&mut run, config.max_interval, &mut packed, &mut skipped);
+        }
+        i += 1;
+    }
+    flush_run(&mut run, config.max_interval, &mut packed, &mut skipped);
+
+    packed.sort_unstable();
+    packed.dedup();
+    CandidatePairs::from_packed(packed, skipped)
+}
+
+fn flush_run(run: &mut Vec<u32>, cap: usize, packed: &mut Vec<u64>, skipped: &mut usize) {
+    if run.is_empty() {
+        return;
+    }
+    if run.len() > cap {
+        *skipped += 1;
+        run.clear();
+        return;
+    }
+    run.sort_unstable();
+    run.dedup();
+    for x in 0..run.len() {
+        for y in x + 1..run.len() {
+            packed.push(((run[x] as u64) << 32) | run[y] as u64);
+        }
+    }
+    run.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::filter::{candidate_pairs, FilterConfig};
+    use gpclust_seqsim::alphabet::encode;
+
+    #[test]
+    fn suffix_array_matches_naive() {
+        let cases: Vec<Vec<u32>> = vec![
+            vec![],
+            vec![3],
+            vec![1, 1, 1, 1],
+            vec![2, 1, 3, 1, 2, 1],
+            b"banana".iter().map(|&b| b as u32).collect(),
+        ];
+        for text in cases {
+            let sa = suffix_array(&text);
+            let mut naive: Vec<u32> = (0..text.len() as u32).collect();
+            naive.sort_by(|&a, &b| text[a as usize..].cmp(&text[b as usize..]));
+            assert_eq!(sa, naive, "text {text:?}");
+        }
+    }
+
+    #[test]
+    fn lcp_matches_naive() {
+        let text: Vec<u32> = b"mississippi".iter().map(|&b| b as u32).collect();
+        let sa = suffix_array(&text);
+        let lcp = lcp_array(&text, &sa);
+        for i in 1..sa.len() {
+            let a = &text[sa[i - 1] as usize..];
+            let b = &text[sa[i] as usize..];
+            let naive = a.iter().zip(b).take_while(|(x, y)| x == y).count();
+            assert_eq!(lcp[i] as usize, naive, "position {i}");
+        }
+        assert_eq!(lcp[0], 0);
+    }
+
+    #[test]
+    fn finds_shared_match_pairs() {
+        let seqs: Vec<Vec<u8>> = [b"MKVLAWGY".as_slice(), b"ACDMKVLA", b"WYTSRQPN"]
+            .iter()
+            .map(|s| encode(s).unwrap())
+            .collect();
+        let cp = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
+            min_match: 5,
+            max_interval: 1000,
+        });
+        assert_eq!(cp.as_slice(), &[(0, 1)]);
+    }
+
+    #[test]
+    fn equals_kmer_filter_on_random_data() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let seqs: Vec<Vec<u8>> = (0..30)
+                .map(|_| {
+                    (0..rng.gen_range(0..60))
+                        .map(|_| rng.gen_range(0..20u8))
+                        .collect()
+                })
+                .collect();
+            for psi in [2usize, 3, 4] {
+                let sa_pairs = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
+                    min_match: psi,
+                    max_interval: usize::MAX,
+                });
+                let kmer_pairs = candidate_pairs(&seqs, &FilterConfig {
+                    k: psi,
+                    max_bucket: usize::MAX,
+                });
+                assert_eq!(
+                    sa_pairs.as_slice(),
+                    kmer_pairs.as_slice(),
+                    "trial {trial}, psi {psi}: maximal-match and k-mer filters \
+                     must produce identical pair sets"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn separators_block_cross_sequence_matches() {
+        // Two sequences that would chain through concatenation but share
+        // nothing: "AAAB" + "BAAA" — the 4-mer "ABBA" must not arise.
+        let seqs: Vec<Vec<u8>> = [b"AAACD".as_slice(), b"CDAAA"]
+            .iter()
+            .map(|s| encode(s).unwrap())
+            .collect();
+        let cp = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
+            min_match: 4,
+            max_interval: 1000,
+        });
+        assert!(cp.is_empty(), "no shared 4-mer exists: {:?}", cp.as_slice());
+    }
+
+    #[test]
+    fn interval_cap_skips_low_complexity() {
+        let seqs: Vec<Vec<u8>> = (0..6).map(|_| vec![0u8; 30]).collect(); // poly-A
+        let capped = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
+            min_match: 4,
+            max_interval: 5,
+        });
+        assert!(capped.is_empty());
+        assert!(capped.skipped_buckets > 0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let cp = candidate_pairs_suffix::<Vec<u8>>(&[], &SuffixFilterConfig::default());
+        assert!(cp.is_empty());
+    }
+}

@@ -1,0 +1,458 @@
+//! Smith–Waterman local alignment with affine gap penalties.
+//!
+//! Two kernels share the same recurrence (Gotoh's affine-gap formulation):
+//!
+//! * [`SmithWaterman::score`] — linear-memory, score-only. This is the hot
+//!   path of homology graph construction: millions of calls on candidate
+//!   pairs, so the inner loop is branch-light and allocation-free (the DP
+//!   rows live in a reusable [`Workspace`]).
+//! * [`SmithWaterman::align`] — quadratic-memory full traceback, reporting
+//!   identity, alignment length and the aligned ranges. Used where the
+//!   acceptance rule needs identity/coverage, and as the oracle in tests.
+//!
+//! Scores are `i32`; with BLOSUM62 (max 11/residue) overflow would need
+//! sequences of ~2×10⁸ residues, far beyond ORF scale.
+
+use crate::matrix::SubstitutionMatrix;
+
+/// Affine gap penalties: opening a gap costs `open + extend`, each further
+/// gap column costs `extend`. Both are positive magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GapPenalties {
+    /// Gap-open penalty (charged once per gap, in addition to `extend`).
+    pub open: i32,
+    /// Gap-extension penalty (charged per gap column).
+    pub extend: i32,
+}
+
+impl GapPenalties {
+    /// BLAST's default protein gap penalties (11, 1).
+    pub fn blast_default() -> Self {
+        GapPenalties { open: 10, extend: 1 }
+    }
+}
+
+impl Default for GapPenalties {
+    fn default() -> Self {
+        Self::blast_default()
+    }
+}
+
+/// Result of a full (traceback) local alignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Alignment {
+    /// Optimal local alignment score.
+    pub score: i32,
+    /// Number of identical aligned residue pairs.
+    pub identities: usize,
+    /// Total alignment columns (matches + mismatches + gap columns).
+    pub length: usize,
+    /// Aligned range in the query, half-open.
+    pub query_range: (usize, usize),
+    /// Aligned range in the target, half-open.
+    pub target_range: (usize, usize),
+}
+
+impl Alignment {
+    /// Fraction of alignment columns that are identities.
+    pub fn identity(&self) -> f64 {
+        if self.length == 0 {
+            0.0
+        } else {
+            self.identities as f64 / self.length as f64
+        }
+    }
+
+    /// Fraction of the *shorter* sequence covered by the alignment — the
+    /// coverage convention appropriate for fragment-rich metagenomic ORFs.
+    pub fn coverage(&self, query_len: usize, target_len: usize) -> f64 {
+        let shorter = query_len.min(target_len);
+        if shorter == 0 {
+            return 0.0;
+        }
+        let q = self.query_range.1 - self.query_range.0;
+        let t = self.target_range.1 - self.target_range.0;
+        q.min(t) as f64 / shorter as f64
+    }
+}
+
+/// Reusable DP row buffers so batch alignment does not allocate per pair.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    h: Vec<i32>,
+    e: Vec<i32>,
+}
+
+impl Workspace {
+    /// Create an empty workspace; rows grow on first use.
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    fn reset(&mut self, width: usize) {
+        self.h.clear();
+        self.h.resize(width, 0);
+        self.e.clear();
+        self.e.resize(width, i32::MIN / 2);
+    }
+}
+
+/// A configured Smith–Waterman aligner.
+#[derive(Debug, Clone)]
+pub struct SmithWaterman {
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties,
+}
+
+impl SmithWaterman {
+    /// Create an aligner with the given matrix and gap penalties.
+    pub fn new(matrix: SubstitutionMatrix, gaps: GapPenalties) -> Self {
+        SmithWaterman { matrix, gaps }
+    }
+
+    /// BLOSUM62 with BLAST default gaps — the pipeline's standard aligner.
+    pub fn protein_default() -> Self {
+        SmithWaterman::new(SubstitutionMatrix::blosum62(), GapPenalties::default())
+    }
+
+    /// The substitution matrix in use.
+    pub fn matrix(&self) -> &SubstitutionMatrix {
+        &self.matrix
+    }
+
+    /// The gap penalties in use.
+    pub fn gaps(&self) -> GapPenalties {
+        self.gaps
+    }
+
+    /// Score-only Smith–Waterman in O(|b|) memory, reusing `ws` buffers.
+    pub fn score_with(&self, ws: &mut Workspace, a: &[u8], b: &[u8]) -> i32 {
+        if a.is_empty() || b.is_empty() {
+            return 0;
+        }
+        let width = b.len() + 1;
+        ws.reset(width);
+        let go = self.gaps.open + self.gaps.extend;
+        let ge = self.gaps.extend;
+        let neg = i32::MIN / 2;
+
+        let mut best = 0i32;
+        for &ra in a {
+            let row = self.matrix.row(ra);
+            let mut f = neg; // gap-in-b running score for this row
+            let mut h_diag = 0i32; // H[i-1][j-1]
+            for j in 1..width {
+                let e = (ws.e[j] - ge).max(ws.h[j] - go); // gap in a (vertical)
+                f = (f - ge).max(ws.h[j - 1] - go); // gap in b (horizontal)
+                let m = h_diag + row[b[j - 1] as usize] as i32;
+                let h = m.max(e).max(f).max(0);
+                h_diag = ws.h[j];
+                ws.h[j] = h;
+                ws.e[j] = e;
+                if h > best {
+                    best = h;
+                }
+            }
+        }
+        best
+    }
+
+    /// Score-only Smith–Waterman with a private workspace (convenience).
+    pub fn score(&self, a: &[u8], b: &[u8]) -> i32 {
+        let mut ws = Workspace::new();
+        self.score_with(&mut ws, a, b)
+    }
+
+    /// Full Smith–Waterman with traceback. O(|a|·|b|) memory.
+    pub fn align(&self, a: &[u8], b: &[u8]) -> Alignment {
+        self.align_with_path(a, b).0
+    }
+
+    /// Full Smith–Waterman returning the alignment plus its matched
+    /// residue-pair path: `(i, j)` for every aligned column (gap columns
+    /// omitted), ascending. Star-alignment profile construction consumes
+    /// the path.
+    pub fn align_with_path(&self, a: &[u8], b: &[u8]) -> (Alignment, Vec<(usize, usize)>) {
+        let (n, m) = (a.len(), b.len());
+        if n == 0 || m == 0 {
+            return (
+                Alignment {
+                    score: 0,
+                    identities: 0,
+                    length: 0,
+                    query_range: (0, 0),
+                    target_range: (0, 0),
+                },
+                Vec::new(),
+            );
+        }
+        let go = self.gaps.open + self.gaps.extend;
+        let ge = self.gaps.extend;
+        let neg = i32::MIN / 2;
+        let w = m + 1;
+
+        // Traceback codes per cell for each of the three DP layers.
+        const STOP: u8 = 0;
+        const DIAG: u8 = 1;
+        const UP: u8 = 2; // gap in b (consume a)
+        const LEFT: u8 = 3; // gap in a (consume b)
+
+        let mut h = vec![0i32; (n + 1) * w];
+        let mut e = vec![neg; (n + 1) * w];
+        let mut f = vec![neg; (n + 1) * w];
+        // tb_h: where H came from; tb_e / tb_f: whether the gap layer opened
+        // (1) here or extended (0) from the previous gap cell.
+        let mut tb_h = vec![STOP; (n + 1) * w];
+        let mut tb_e = vec![0u8; (n + 1) * w];
+        let mut tb_f = vec![0u8; (n + 1) * w];
+
+        let mut best = 0i32;
+        let mut best_ij = (0usize, 0usize);
+        for i in 1..=n {
+            let row = self.matrix.row(a[i - 1]);
+            for j in 1..=m {
+                let idx = i * w + j;
+                let up = idx - w;
+                let left = idx - 1;
+
+                let e_ext = e[up] - ge;
+                let e_open = h[up] - go;
+                if e_ext >= e_open {
+                    e[idx] = e_ext;
+                    tb_e[idx] = 0;
+                } else {
+                    e[idx] = e_open;
+                    tb_e[idx] = 1;
+                }
+
+                let f_ext = f[left] - ge;
+                let f_open = h[left] - go;
+                if f_ext >= f_open {
+                    f[idx] = f_ext;
+                    tb_f[idx] = 0;
+                } else {
+                    f[idx] = f_open;
+                    tb_f[idx] = 1;
+                }
+
+                let diag = h[idx - w - 1] + row[b[j - 1] as usize] as i32;
+                let mut hv = 0i32;
+                let mut tb = STOP;
+                if diag > hv {
+                    hv = diag;
+                    tb = DIAG;
+                }
+                if e[idx] > hv {
+                    hv = e[idx];
+                    tb = UP;
+                }
+                if f[idx] > hv {
+                    hv = f[idx];
+                    tb = LEFT;
+                }
+                h[idx] = hv;
+                tb_h[idx] = tb;
+                if hv > best {
+                    best = hv;
+                    best_ij = (i, j);
+                }
+            }
+        }
+
+        // Traceback from the best cell, tracking which DP layer we are in.
+        let (mut i, mut j) = best_ij;
+        let (end_i, end_j) = best_ij;
+        let mut identities = 0usize;
+        let mut length = 0usize;
+        let mut path: Vec<(usize, usize)> = Vec::new();
+        #[derive(Clone, Copy, PartialEq)]
+        enum Layer {
+            H,
+            E,
+            F,
+        }
+        let mut layer = Layer::H;
+        loop {
+            let idx = i * w + j;
+            match layer {
+                Layer::H => match tb_h[idx] {
+                    STOP => break,
+                    DIAG => {
+                        length += 1;
+                        if a[i - 1] == b[j - 1] {
+                            identities += 1;
+                        }
+                        path.push((i - 1, j - 1));
+                        i -= 1;
+                        j -= 1;
+                    }
+                    UP => layer = Layer::E,
+                    LEFT => layer = Layer::F,
+                    _ => unreachable!(),
+                },
+                Layer::E => {
+                    length += 1;
+                    let opened = tb_e[idx] == 1;
+                    i -= 1;
+                    if opened {
+                        layer = Layer::H;
+                    }
+                }
+                Layer::F => {
+                    length += 1;
+                    let opened = tb_f[idx] == 1;
+                    j -= 1;
+                    if opened {
+                        layer = Layer::H;
+                    }
+                }
+            }
+        }
+
+        path.reverse();
+        (
+            Alignment {
+                score: best,
+                identities,
+                length,
+                query_range: (i, end_i),
+                target_range: (j, end_j),
+            },
+            path,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::alphabet::encode;
+
+    fn aligner() -> SmithWaterman {
+        SmithWaterman::protein_default()
+    }
+
+    fn seq(s: &[u8]) -> Vec<u8> {
+        encode(s).unwrap()
+    }
+
+    #[test]
+    fn identical_sequences_score_matrix_sum() {
+        let sw = aligner();
+        let a = seq(b"MKVLAWGY");
+        let expected: i32 = a
+            .iter()
+            .map(|&r| sw.matrix().score(r, r) as i32)
+            .sum();
+        assert_eq!(sw.score(&a, &a), expected);
+    }
+
+    #[test]
+    fn empty_inputs_score_zero() {
+        let sw = aligner();
+        assert_eq!(sw.score(&[], &seq(b"MKV")), 0);
+        assert_eq!(sw.score(&seq(b"MKV"), &[]), 0);
+        assert_eq!(sw.score(&[], &[]), 0);
+    }
+
+    #[test]
+    fn score_is_symmetric() {
+        let sw = aligner();
+        let a = seq(b"MKVLAWGYACDEFG");
+        let b = seq(b"MKVAWGYACDKFG");
+        assert_eq!(sw.score(&a, &b), sw.score(&b, &a));
+    }
+
+    #[test]
+    fn local_alignment_ignores_flanks() {
+        let sw = aligner();
+        let core = seq(b"WWWWWW");
+        let mut a = seq(b"ACDEFG");
+        a.extend_from_slice(&core);
+        a.extend_from_slice(&seq(b"KLMNPQ"));
+        // The WW core alone should dominate the score.
+        let s = sw.score(&a, &core);
+        assert_eq!(s, 6 * 11);
+    }
+
+    #[test]
+    fn gap_penalty_applied() {
+        let sw = SmithWaterman::new(SubstitutionMatrix::uniform(2, -3), GapPenalties {
+            open: 4,
+            extend: 1,
+        });
+        // AACC vs AA-CC style: inserting one gap column.
+        let a = seq(b"AACC");
+        let b = seq(b"AAGCC");
+        // Gapped AACC vs AA-CC scores 4*2 - (4+1) = 3; the best *local*
+        // alignment is the ungapped AA prefix at 2*2 = 4.
+        assert_eq!(sw.score(&a, &b), 4);
+    }
+
+    #[test]
+    fn align_matches_score() {
+        let sw = aligner();
+        let a = seq(b"MKVLAWGYACDEFGHIKL");
+        let b = seq(b"MKVLWGYACPEFGHKL");
+        let aln = sw.align(&a, &b);
+        assert_eq!(aln.score, sw.score(&a, &b));
+    }
+
+    #[test]
+    fn align_identity_of_exact_match() {
+        let sw = aligner();
+        let a = seq(b"MKVLAWGY");
+        let aln = sw.align(&a, &a);
+        assert_eq!(aln.identities, a.len());
+        assert_eq!(aln.length, a.len());
+        assert!((aln.identity() - 1.0).abs() < 1e-12);
+        assert_eq!(aln.query_range, (0, a.len()));
+        assert_eq!(aln.target_range, (0, a.len()));
+    }
+
+    #[test]
+    fn align_ranges_are_local() {
+        let sw = aligner();
+        let core = seq(b"WWWWWWWW");
+        let mut a = seq(b"ACDEFG");
+        a.extend_from_slice(&core);
+        let b = core.clone();
+        let aln = sw.align(&a, &b);
+        assert_eq!(aln.query_range, (6, 14));
+        assert_eq!(aln.target_range, (0, 8));
+        assert!((aln.coverage(a.len(), b.len()) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn align_empty() {
+        let sw = aligner();
+        let aln = sw.align(&[], &seq(b"MK"));
+        assert_eq!(aln.score, 0);
+        assert_eq!(aln.length, 0);
+    }
+
+    #[test]
+    fn workspace_reuse_matches_fresh() {
+        let sw = aligner();
+        let mut ws = Workspace::new();
+        let pairs = [
+            (seq(b"MKVLAWGY"), seq(b"MKVLAWGY")),
+            (seq(b"ACD"), seq(b"WWWWW")),
+            (seq(b"MKVLAWGYACDEFGHIKL"), seq(b"KVLWGYACEFGIKL")),
+        ];
+        for (a, b) in &pairs {
+            assert_eq!(sw.score_with(&mut ws, a, b), sw.score(a, b));
+        }
+    }
+
+    #[test]
+    fn score_nonnegative_and_bounded() {
+        let sw = aligner();
+        let a = seq(b"ACDEFGHIKLMNPQRSTVWY");
+        let b = seq(b"YWVTSRQPNMLKIHGFEDCA");
+        let s = sw.score(&a, &b);
+        assert!(s >= 0);
+        let upper: i32 = 20 * sw.matrix().max_score() as i32;
+        assert!(s <= upper);
+    }
+}

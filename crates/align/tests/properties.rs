@@ -1,0 +1,106 @@
+//! Property tests for the alignment substrate.
+
+use gpclust_align::banded::BandedSw;
+use gpclust_align::filter::{candidate_pairs, FilterConfig};
+use gpclust_align::matrix::SubstitutionMatrix;
+use gpclust_align::sw::{GapPenalties, SmithWaterman, Workspace};
+use proptest::prelude::*;
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 0..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn sw_score_is_symmetric_nonnegative(a in arb_seq(80), b in arb_seq(80)) {
+        let sw = SmithWaterman::protein_default();
+        let s_ab = sw.score(&a, &b);
+        let s_ba = sw.score(&b, &a);
+        prop_assert_eq!(s_ab, s_ba);
+        prop_assert!(s_ab >= 0);
+    }
+
+    #[test]
+    fn traceback_score_equals_score_only(a in arb_seq(60), b in arb_seq(60)) {
+        let sw = SmithWaterman::protein_default();
+        let aln = sw.align(&a, &b);
+        prop_assert_eq!(aln.score, sw.score(&a, &b));
+        prop_assert!(aln.identities <= aln.length);
+        prop_assert!(aln.query_range.0 <= aln.query_range.1);
+        prop_assert!(aln.query_range.1 <= a.len());
+        prop_assert!(aln.target_range.1 <= b.len());
+    }
+
+    #[test]
+    fn path_is_monotone_and_consistent(a in arb_seq(50), b in arb_seq(50)) {
+        let sw = SmithWaterman::protein_default();
+        let (aln, path) = sw.align_with_path(&a, &b);
+        // Strictly increasing in both coordinates.
+        for w in path.windows(2) {
+            prop_assert!(w[0].0 < w[1].0);
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        // Identities on the path match the reported count.
+        let ids = path.iter().filter(|&&(i, j)| a[i] == b[j]).count();
+        prop_assert_eq!(ids, aln.identities);
+        for &(i, j) in &path {
+            prop_assert!(i >= aln.query_range.0 && i < aln.query_range.1.max(1));
+            prop_assert!(j >= aln.target_range.0 && j < aln.target_range.1.max(1));
+        }
+    }
+
+    #[test]
+    fn self_alignment_is_perfect(a in arb_seq(60)) {
+        prop_assume!(!a.is_empty());
+        let sw = SmithWaterman::protein_default();
+        let aln = sw.align(&a, &a);
+        prop_assert_eq!(aln.identities, a.len());
+        prop_assert_eq!(aln.length, a.len());
+    }
+
+    #[test]
+    fn workspace_reuse_is_pure(pairs in proptest::collection::vec((arb_seq(40), arb_seq(40)), 1..6)) {
+        let sw = SmithWaterman::protein_default();
+        let mut ws = Workspace::new();
+        for (a, b) in &pairs {
+            prop_assert_eq!(sw.score_with(&mut ws, a, b), sw.score(a, b));
+        }
+    }
+
+    #[test]
+    fn banded_is_a_lower_bound(a in arb_seq(50), b in arb_seq(50),
+                               band in 1usize..12, diag in -10isize..10) {
+        let full = SmithWaterman::protein_default().score(&a, &b);
+        let banded = BandedSw::new(
+            SubstitutionMatrix::blosum62(),
+            GapPenalties::default(),
+            band,
+        )
+        .score(&a, &b, diag);
+        prop_assert!(banded <= full);
+        prop_assert!(banded >= 0);
+    }
+
+    #[test]
+    fn filter_finds_exactly_shared_kmer_pairs(
+        seqs in proptest::collection::vec(arb_seq(25), 0..25),
+        k in 2usize..5,
+    ) {
+        let cp = candidate_pairs(&seqs, &FilterConfig { k, max_bucket: usize::MAX });
+        let sets: Vec<std::collections::HashSet<u64>> = seqs
+            .iter()
+            .map(|s| gpclust_align::kmer::kmers(s, k).into_iter().collect())
+            .collect();
+        let mut expected = Vec::new();
+        for i in 0..seqs.len() {
+            for j in i + 1..seqs.len() {
+                if !sets[i].is_disjoint(&sets[j]) {
+                    expected.push((i as u32, j as u32));
+                }
+            }
+        }
+        prop_assert_eq!(cp.into_vec(), expected);
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation benchmarks for the design choices DESIGN.md calls out:
+//!
+//! * trial count `c1` (quality/cost knob the paper credits for its
+//!   sensitivity win: "higher sensitivity is contributed by the high
+//!   configurable s and c parameters");
+//! * shingle size `s1` (aggressive s=1 vs the paper's s=2 vs conservative);
+//! * device batch capacity (how much splitting costs);
+//! * synchronous vs overlapped transfers (the paper's stated future work);
+//! * reporting mode (union–find partition vs overlapping components).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gpclust_core::{GpClust, SerialShingling, ShinglingParams};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use gpclust_gpu::{DeviceConfig, Gpu};
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(4_000, 4, 200, 1.4, 11),
+        n_noise_vertices: 1_000,
+        p_intra: 0.8,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 11,
+    })
+    .graph
+}
+
+fn bench_c1_sweep(c: &mut Criterion) {
+    let g = graph();
+    let mut grp = c.benchmark_group("ablation_c1");
+    grp.sample_size(10);
+    for c1 in [25usize, 50, 100, 200] {
+        let params = ShinglingParams {
+            s1: 2,
+            c1,
+            s2: 2,
+            c2: c1 / 2,
+            seed: 7,
+        };
+        grp.bench_function(format!("serial_c1_{c1}"), |b| {
+            let alg = SerialShingling::new(params).unwrap();
+            b.iter(|| alg.cluster(&g))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_s1_sweep(c: &mut Criterion) {
+    let g = graph();
+    let mut grp = c.benchmark_group("ablation_s1");
+    grp.sample_size(10);
+    for s in [1usize, 2, 4] {
+        let params = ShinglingParams {
+            s1: s,
+            c1: 50,
+            s2: s.min(2),
+            c2: 25,
+            seed: 7,
+        };
+        grp.bench_function(format!("serial_s1_{s}"), |b| {
+            let alg = SerialShingling::new(params).unwrap();
+            b.iter(|| alg.cluster(&g))
+        });
+    }
+    grp.finish();
+}
+
+fn bench_batch_capacity(c: &mut Criterion) {
+    let g = graph();
+    let params = ShinglingParams::light(7);
+    let mut grp = c.benchmark_group("ablation_batch_capacity");
+    grp.sample_size(10);
+    for (name, config) in [
+        ("k20_single_batch", DeviceConfig::tesla_k20()),
+        ("tiny_many_batches", DeviceConfig::tiny_test_device()),
+    ] {
+        grp.bench_function(name, |b| {
+            let gpu = Gpu::new(config.clone());
+            let pipeline = GpClust::new(params, gpu).unwrap();
+            b.iter(|| pipeline.cluster(&g).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+fn bench_method_comparison(c: &mut Criterion) {
+    // Clustering-method runtimes on the same graph: serial Shingling,
+    // GOS k-neighbor (both variants), and MCL — the comparator the
+    // metagenomics field later standardized on.
+    let g = graph();
+    let mut grp = c.benchmark_group("method_comparison");
+    grp.sample_size(10);
+    grp.bench_function("shingling_serial", |b| {
+        let alg = SerialShingling::new(ShinglingParams::light(7)).unwrap();
+        b.iter(|| alg.cluster(&g))
+    });
+    grp.bench_function("gos_snn_k10", |b| {
+        b.iter(|| gpclust_core::kneighbor_clusters(&g, 10))
+    });
+    grp.bench_function("mcl_inflation2", |b| {
+        b.iter(|| gpclust_core::mcl::mcl_clusters(&g, &gpclust_core::mcl::MclParams::default()))
+    });
+    grp.finish();
+}
+
+fn bench_reporting_mode(c: &mut Criterion) {
+    let g = graph();
+    let params = ShinglingParams::light(7);
+    let alg = SerialShingling::new(params).unwrap();
+    let mut grp = c.benchmark_group("ablation_reporting");
+    grp.sample_size(10);
+    grp.bench_function("partition_union_find", |b| b.iter(|| alg.cluster(&g)));
+    grp.bench_function("overlapping_components", |b| {
+        b.iter(|| alg.cluster_overlapping(&g))
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_c1_sweep,
+    bench_s1_sweep,
+    bench_batch_capacity,
+    bench_method_comparison,
+    bench_reporting_mode
+);
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! Microbenchmarks of the Thrust-like device primitives — the two
+//! workhorses the paper names (transform + sort [15]) plus the helpers.
+//! Wall times here reflect the host pool; the simulated device seconds are
+//! the cost model's business, not Criterion's.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gpclust_gpu::{thrust, DeviceConfig, Gpu};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const N: usize = 1 << 20;
+
+fn data(seed: u64) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..N).map(|_| rng.gen()).collect()
+}
+
+fn bench_transform(c: &mut Criterion) {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let input = gpu.htod(&data(1)).unwrap();
+    let mut g = c.benchmark_group("device_transform");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(20);
+    g.bench_function("transform_1M_u64", |b| {
+        let mut out = gpu.alloc::<u64>(N).unwrap();
+        b.iter(|| thrust::transform(&gpu, &input, &mut out, |x| x.wrapping_mul(0x9E37_79B9)))
+    });
+    g.finish();
+}
+
+fn bench_sort(c: &mut Criterion) {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let host = data(2);
+    let mut g = c.benchmark_group("device_sort");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("device_sort_1M_u64", |b| {
+        b.iter_batched(
+            || gpu.htod(&host).unwrap(),
+            |mut buf| thrust::sort(&gpu, &mut buf),
+            BatchSize::LargeInput,
+        )
+    });
+    // Host-side comparison point.
+    g.bench_function("std_sort_1M_u64", |b| {
+        b.iter_batched(
+            || host.clone(),
+            |mut v| v.sort_unstable(),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_segmented_sort(c: &mut Criterion) {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let host = data(3);
+    // Adjacency-list-like segmentation: mean segment ~64 elements.
+    let mut offsets = vec![0u64];
+    let mut rng = StdRng::seed_from_u64(4);
+    while (*offsets.last().unwrap() as usize) < N {
+        let next = (*offsets.last().unwrap() + rng.gen_range(1..128)).min(N as u64);
+        offsets.push(next);
+    }
+    let mut g = c.benchmark_group("device_segmented_sort");
+    g.throughput(Throughput::Elements(N as u64));
+    g.sample_size(10);
+    g.bench_function("segmented_sort_1M_u64_seg64", |b| {
+        b.iter_batched(
+            || gpu.htod(&host).unwrap(),
+            |mut buf| thrust::segmented_sort(&gpu, &mut buf, &offsets),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_transfers(c: &mut Criterion) {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let host = data(5);
+    let mut g = c.benchmark_group("transfers");
+    g.throughput(Throughput::Bytes((N * 8) as u64));
+    g.sample_size(20);
+    g.bench_function("htod_8MB", |b| {
+        b.iter(|| gpu.htod(&host).unwrap())
+    });
+    let buf = gpu.htod(&host).unwrap();
+    g.bench_function("dtoh_8MB", |b| b.iter(|| gpu.dtoh(&buf)));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_transform,
+    bench_sort,
+    bench_segmented_sort,
+    bench_transfers
+);
+criterion_main!(benches);

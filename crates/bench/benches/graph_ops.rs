@@ -1,0 +1,104 @@
+//! Benchmarks of the graph substrate: CSR construction, connected
+//! components (both algorithms), union–find, and the GOS baseline.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use gpclust_core::{kneighbor_clusters, kneighbor_clusters_adjacent};
+use gpclust_graph::components::{bfs_components, union_components};
+use gpclust_graph::generate::{planted_partition, random_graph, PlantedConfig};
+use gpclust_graph::{Csr, EdgeList, UnionFind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_csr_build(c: &mut Criterion) {
+    let n = 50_000;
+    let m = 500_000;
+    let mut rng = StdRng::seed_from_u64(1);
+    let edges: Vec<(u32, u32)> = (0..m)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    let mut g = c.benchmark_group("csr_build");
+    g.throughput(Throughput::Elements(m as u64));
+    g.sample_size(10);
+    g.bench_function("from_500k_edges", |b| {
+        b.iter_batched(
+            || edges.iter().copied().collect::<EdgeList>(),
+            |mut el| Csr::from_edges(n, &mut el),
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_components(c: &mut Criterion) {
+    let g = random_graph(50_000, 200_000, 2);
+    let edges: Vec<(u32, u32)> = (0..g.n() as u32)
+        .flat_map(|v| {
+            g.neighbors(v)
+                .iter()
+                .filter(move |&&u| u > v)
+                .map(move |&u| (v, u))
+        })
+        .collect();
+    let mut grp = c.benchmark_group("connected_components");
+    grp.throughput(Throughput::Elements(g.m() as u64));
+    grp.sample_size(10);
+    grp.bench_function("bfs", |b| b.iter(|| bfs_components(&g)));
+    grp.bench_function("union_find_stream", |b| {
+        b.iter(|| union_components(g.n(), edges.iter().copied()))
+    });
+    grp.finish();
+}
+
+fn bench_union_find(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut rng = StdRng::seed_from_u64(3);
+    let ops: Vec<(u32, u32)> = (0..n)
+        .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+        .collect();
+    let mut g = c.benchmark_group("union_find");
+    g.throughput(Throughput::Elements(n as u64));
+    g.sample_size(10);
+    g.bench_function("1M_random_unions", |b| {
+        b.iter_batched(
+            || UnionFind::new(n),
+            |mut uf| {
+                for &(a, x) in &ops {
+                    uf.union(a, x);
+                }
+                uf.n_sets()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_gos_baseline(c: &mut Criterion) {
+    let pg = planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(8_000, 4, 300, 1.4, 4),
+        n_noise_vertices: 2_000,
+        p_intra: 0.7,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.2,
+        seed: 4,
+    });
+    let mut grp = c.benchmark_group("gos_baseline_k10");
+    grp.throughput(Throughput::Elements(pg.graph.m() as u64));
+    grp.sample_size(10);
+    grp.bench_function("snn_pairs", |b| {
+        b.iter(|| kneighbor_clusters(&pg.graph, 10))
+    });
+    grp.bench_function("edge_restricted", |b| {
+        b.iter(|| kneighbor_clusters_adjacent(&pg.graph, 10))
+    });
+    grp.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_csr_build,
+    bench_components,
+    bench_union_find,
+    bench_gos_baseline
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Microbenchmarks of the min-wise machinery — the inner loop the paper
+//! profiles at ~80 % of serial runtime ("hashing and sorting operations").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use gpclust_core::minwise::{hash_with, HashFamily, TopS};
+use gpclust_core::shingle::shingle_key;
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("minwise_hash");
+    let family = HashFamily::new(1, 7);
+    let (a, b) = family.coeffs(0);
+    let values: Vec<u32> = (0..4096u32).map(|i| i.wrapping_mul(2654435761)).collect();
+    g.throughput(Throughput::Elements(values.len() as u64));
+    g.bench_function("hash_4096_elements", |bench| {
+        bench.iter(|| {
+            let mut acc = 0u64;
+            for &v in &values {
+                acc ^= hash_with(a, b, black_box(v)) as u64;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_top_s(c: &mut Criterion) {
+    let mut g = c.benchmark_group("top_s_selection");
+    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    for s in [2usize, 4, 8] {
+        g.throughput(Throughput::Elements(values.len() as u64));
+        g.bench_function(format!("insertion_buffer_s{s}"), |bench| {
+            let mut top = TopS::new(s);
+            bench.iter(|| {
+                top.clear();
+                for &v in &values {
+                    top.push(black_box(v));
+                }
+                top.as_slice()[0]
+            })
+        });
+        // The paper's design choice: s-sized insertion buffer instead of a
+        // full sort + truncate. This is the comparison that justifies it.
+        g.bench_function(format!("full_sort_truncate_s{s}"), |bench| {
+            bench.iter(|| {
+                let mut v = values.clone();
+                v.sort_unstable();
+                v.truncate(s);
+                v[0]
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_shingle_key(c: &mut Criterion) {
+    c.bench_function("shingle_key_s2", |bench| {
+        bench.iter(|| shingle_key(black_box(3), [black_box(123), black_box(456)]))
+    });
+}
+
+criterion_group!(benches, bench_hash, bench_top_s, bench_shingle_key);
+criterion_main!(benches);

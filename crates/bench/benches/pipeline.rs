@@ -1,0 +1,55 @@
+//! End-to-end pipeline benchmark: serial pClust vs gpClust on a
+//! homology-shaped graph, plus the metagenome → graph construction stage.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpclust_core::{GpClust, SerialShingling, ShinglingParams};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_homology::{graph_from_metagenome, HomologyConfig};
+use gpclust_seqsim::metagenome::{Metagenome, MetagenomeConfig};
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(6_000, 4, 250, 1.4, 13),
+        n_noise_vertices: 1_500,
+        p_intra: 0.8,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 13,
+    })
+    .graph
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let g = graph();
+    let params = ShinglingParams::paper_default(7);
+    let mut grp = c.benchmark_group("end_to_end_clustering");
+    grp.throughput(Throughput::Elements(g.m() as u64));
+    grp.sample_size(10);
+    grp.bench_function("serial_pclust", |b| {
+        let alg = SerialShingling::new(params).unwrap();
+        b.iter(|| alg.cluster(&g))
+    });
+    grp.bench_function("gpclust_k20", |b| {
+        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        let pipeline = GpClust::new(params, gpu).unwrap();
+        b.iter(|| pipeline.cluster(&g).unwrap())
+    });
+    grp.finish();
+}
+
+fn bench_graph_construction(c: &mut Criterion) {
+    let mg = Metagenome::generate(&MetagenomeConfig::tiny(800, 17));
+    let residues: usize = mg.proteins.iter().map(|p| p.len()).sum();
+    let mut grp = c.benchmark_group("graph_construction");
+    grp.throughput(Throughput::Elements(residues as u64));
+    grp.sample_size(10);
+    grp.bench_function("align_800_seqs", |b| {
+        b.iter(|| graph_from_metagenome(&mg, &HomologyConfig::default()))
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_clustering, bench_graph_construction);
+criterion_main!(benches);

@@ -1,0 +1,77 @@
+//! Benchmarks of one shingling pass — serial vs device — and of the CPU
+//! aggregation stage, on a homology-shaped planted graph.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpclust_core::aggregate::{aggregate, StreamAggregator};
+use gpclust_core::gpu_pass::gpu_shingle_pass;
+use gpclust_core::minwise::HashFamily;
+use gpclust_core::serial::{shingle_pass, shingle_pass_foreach};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use gpclust_gpu::{DeviceConfig, Gpu};
+
+fn graph() -> Csr {
+    let sizes = PlantedConfig::zipf_groups(8_000, 4, 400, 1.4, 3);
+    planted_partition(&PlantedConfig {
+        group_sizes: sizes,
+        n_noise_vertices: 2_000,
+        p_intra: 0.8,
+        max_intra_degree: 60.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 3,
+    })
+    .graph
+}
+
+fn bench_pass(c: &mut Criterion) {
+    let g = graph();
+    let family = HashFamily::new(20, 7);
+    let elements = 2 * g.m() * family.len();
+    let mut grp = c.benchmark_group("shingle_pass_c20_s2");
+    grp.throughput(Throughput::Elements(elements as u64));
+    grp.sample_size(10);
+    grp.bench_function("serial", |b| {
+        b.iter(|| shingle_pass(&g, 2, &family))
+    });
+    grp.bench_function("serial_streaming", |b| {
+        b.iter(|| {
+            let mut sink = 0u64;
+            shingle_pass_foreach(&g, 2, &family, |_, _, p| sink ^= p[0]);
+            sink
+        })
+    });
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    grp.bench_function("device", |b| {
+        b.iter(|| gpu_shingle_pass(&gpu, &g, 2, &family).unwrap())
+    });
+    grp.finish();
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let g = graph();
+    let family = HashFamily::new(20, 7);
+    let raw = shingle_pass(&g, 2, &family);
+    let mut grp = c.benchmark_group("aggregation");
+    grp.throughput(Throughput::Elements(raw.len() as u64));
+    grp.sample_size(10);
+    grp.bench_function("grouped_fast_path", |b| {
+        b.iter(|| aggregate(&raw))
+    });
+    // Ungrouped (generic) path for comparison: same records, merge sort on.
+    let mut ungrouped = gpclust_core::shingle::RawShingles::new(2);
+    ungrouped.append(&raw);
+    grp.bench_function("generic_path", |b| {
+        b.iter(|| aggregate(&ungrouped))
+    });
+    grp.bench_function("stream_aggregator", |b| {
+        b.iter(|| {
+            let mut agg = StreamAggregator::new(2);
+            shingle_pass_foreach(&g, 2, &family, |t, n, p| agg.push(t, n, p));
+            agg.finish()
+        })
+    });
+    grp.finish();
+}
+
+criterion_group!(benches, bench_pass, bench_aggregation);
+criterion_main!(benches);

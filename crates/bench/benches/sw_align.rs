@@ -1,0 +1,76 @@
+//! Benchmarks of the alignment substrate: Smith–Waterman cell rate (the
+//! figure of merit for alignment kernels), banded variant, traceback, and
+//! the k-mer candidate filter.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpclust_align::banded::BandedSw;
+use gpclust_align::filter::{candidate_pairs, FilterConfig};
+use gpclust_align::matrix::SubstitutionMatrix;
+use gpclust_align::sw::{GapPenalties, SmithWaterman, Workspace};
+use gpclust_seqsim::alphabet::BackgroundSampler;
+use gpclust_seqsim::metagenome::{Metagenome, MetagenomeConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn seqs(len: usize, n: usize) -> Vec<Vec<u8>> {
+    let mut rng = StdRng::seed_from_u64(9);
+    let bg = BackgroundSampler::new();
+    (0..n).map(|_| bg.sample_seq(&mut rng, len)).collect()
+}
+
+fn bench_sw_score(c: &mut Criterion) {
+    let pairs = seqs(150, 20);
+    let sw = SmithWaterman::protein_default();
+    let cells = 150u64 * 150 * 10;
+    let mut g = c.benchmark_group("smith_waterman");
+    g.throughput(Throughput::Elements(cells));
+    g.bench_function("score_only_150x150_x10", |b| {
+        let mut ws = Workspace::new();
+        b.iter(|| {
+            let mut acc = 0i32;
+            for i in 0..10 {
+                acc += sw.score_with(&mut ws, &pairs[i], &pairs[i + 10]);
+            }
+            acc
+        })
+    });
+    g.bench_function("full_traceback_150x150_x10", |b| {
+        b.iter(|| {
+            let mut acc = 0i32;
+            for i in 0..10 {
+                acc += sw.align(&pairs[i], &pairs[i + 10]).score;
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_banded(c: &mut Criterion) {
+    let pairs = seqs(400, 2);
+    let banded = BandedSw::new(SubstitutionMatrix::blosum62(), GapPenalties::default(), 16);
+    let full = SmithWaterman::protein_default();
+    let mut g = c.benchmark_group("banded_vs_full_400aa");
+    g.sample_size(30);
+    g.bench_function("banded_w16", |b| {
+        b.iter(|| banded.score(&pairs[0], &pairs[1], 0))
+    });
+    g.bench_function("full", |b| b.iter(|| full.score(&pairs[0], &pairs[1])));
+    g.finish();
+}
+
+fn bench_kmer_filter(c: &mut Criterion) {
+    let mg = Metagenome::generate(&MetagenomeConfig::tiny(2_000, 5));
+    let views: Vec<&[u8]> = mg.proteins.iter().map(|p| p.residues.as_slice()).collect();
+    let total: usize = views.iter().map(|v| v.len()).sum();
+    let mut g = c.benchmark_group("kmer_filter");
+    g.throughput(Throughput::Elements(total as u64));
+    g.sample_size(10);
+    g.bench_function("candidate_pairs_2k_seqs", |b| {
+        b.iter(|| candidate_pairs(&views, &FilterConfig::default()))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_sw_score, bench_banded, bench_kmer_filter);
+criterion_main!(benches);

@@ -1,0 +1,105 @@
+//! Table II — input graph statistics for the 2M-sequence similarity graph.
+//!
+//! Paper reference (2M GOS graph): 1,562,984 non-singleton vertices,
+//! 56,919,738 edges, average degree 73 ± 153, largest CC 10,707.
+//!
+//! Usage: `table2 [--n <vertices>] [--full] [--seed <u64>] [--with-20k]`
+//!
+//! * default: a 2M-like planted graph scaled to 200,000 vertices;
+//! * `--full`: the unscaled 1,562,984-vertex graph (several GB of RAM);
+//! * `--with-20k`: additionally build the 20K-sequence graph through the
+//!   full alignment pipeline and report its statistics too.
+
+use gpclust_bench::datasets;
+use gpclust_bench::reports::{render_table, Experiment};
+use gpclust_bench::Args;
+use gpclust_graph::stats::GraphStats;
+use gpclust_homology::HomologyConfig;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    dataset: String,
+    n_non_singleton: usize,
+    n_total: usize,
+    n_edges: usize,
+    degree_mean: f64,
+    degree_sd: f64,
+    largest_cc: usize,
+}
+
+impl Row {
+    fn from_stats(dataset: &str, st: &GraphStats) -> Self {
+        Row {
+            dataset: dataset.to_string(),
+            n_non_singleton: st.n_non_singleton,
+            n_total: st.n_total,
+            n_edges: st.n_edges,
+            degree_mean: st.degree.mean,
+            degree_sd: st.degree.sd,
+            largest_cc: st.largest_cc,
+        }
+    }
+
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.dataset.clone(),
+            self.n_non_singleton.to_string(),
+            self.n_edges.to_string(),
+            format!("{:.0} ± {:.0}", self.degree_mean, self.degree_sd),
+            self.largest_cc.to_string(),
+        ]
+    }
+}
+
+fn main() {
+    let args = Args::parse();
+    let seed = args.get("seed", 7u64);
+    let n = if args.flag("full") {
+        1_562_984
+    } else {
+        args.get("n", 200_000usize)
+    };
+
+    let mut rows: Vec<Row> = Vec::new();
+
+    eprintln!("generating 2M-like planted graph with {n} vertices ...");
+    let pg = datasets::planted_2m_like(n, seed);
+    let st = GraphStats::of(&pg.graph);
+    rows.push(Row::from_stats(&format!("2M-like (n={n})"), &st));
+
+    if args.flag("with-20k") {
+        eprintln!("building 20K similarity graph through alignment ...");
+        let mg = datasets::metagenome_20k(seed);
+        let g = datasets::similarity_graph_cached(
+            &format!("sim20k-seed{seed}"),
+            &mg,
+            &HomologyConfig::default(),
+        );
+        rows.push(Row::from_stats("20K (alignment)", &GraphStats::of(&g)));
+    }
+
+    let paper = vec![
+        "paper 2M (reference)".to_string(),
+        "1,562,984".to_string(),
+        "56,919,738".to_string(),
+        "73 ± 153".to_string(),
+        "10,707".to_string(),
+    ];
+    let mut cells: Vec<Vec<String>> = rows.iter().map(Row::cells).collect();
+    cells.push(paper);
+
+    println!("\nTable II — input graph statistics\n");
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "# Vertices", "# Edges", "Avg. degree", "Largest CC"],
+            &cells
+        )
+    );
+
+    let path = Experiment::new("table2", "Input graph statistics (Table II)", &rows)
+        .save()
+        .expect("save report");
+    eprintln!("report written to {path:?}");
+}

@@ -1,0 +1,104 @@
+//! Table III — qualitative comparison of the gpClust and GOS partitions
+//! against the benchmark.
+//!
+//! Paper reference (2M sequences):
+//!
+//! | approach | PPV | NPV | SP | SE |
+//! |---|---|---|---|---|
+//! | gpClust vs Benchmark | 97.17% | 92.43% | 99.88% | 17.85% |
+//! | GOS vs Benchmark     | 100.00% | 90.62% | 100.00% | 13.92% |
+//!
+//! Expected shape: near-perfect PPV/SP for both (reported clusters are
+//! *core sets* of families), low SE for both (sequence–sequence matching
+//! misses fringe members a profile method would recruit), and gpClust SE
+//! above GOS SE.
+//!
+//! Usage: `table3 [--n <seqs>] [--seed <u64>] [--min-size <20>] [--k <10>]`
+
+use gpclust_bench::quality::quality_run;
+use gpclust_bench::reports::{pct, render_table, Experiment};
+use gpclust_bench::Args;
+use gpclust_core::quality::ConfusionCounts;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    approach: String,
+    ppv: f64,
+    npv: f64,
+    sp: f64,
+    se: f64,
+    tp: u64,
+    fp: u64,
+    fn_: u64,
+    tn: u64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let run = quality_run(&args);
+
+    let mut rows = Vec::new();
+    let mut methods: Vec<(&str, &gpclust_graph::Partition)> = vec![
+        ("gpClust vs Benchmark", &run.gpclust),
+        ("GOS vs Benchmark", &run.gos),
+    ];
+    if let Some(mcl) = &run.mcl {
+        methods.push(("MCL vs Benchmark", mcl));
+    }
+    for (name, partition) in methods {
+        let counts = ConfusionCounts::count(partition, &run.benchmark);
+        let s = counts.scores();
+        rows.push(Row {
+            approach: name.to_string(),
+            ppv: s.ppv,
+            npv: s.npv,
+            sp: s.sp,
+            se: s.se,
+            tp: counts.tp,
+            fp: counts.fp,
+            fn_: counts.fn_,
+            tn: counts.tn,
+        });
+    }
+
+    println!(
+        "\nTable III — qualitative comparison against the benchmark \
+         (n={}, min cluster size {}, k={})\n",
+        run.n, run.min_size, run.k
+    );
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.approach.clone(),
+                pct(r.ppv),
+                pct(r.npv),
+                pct(r.sp),
+                pct(r.se),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(&["Approach", "PPV", "NPV", "SP", "SE"], &cells)
+    );
+    println!(
+        "paper reference: gpClust 97.17 / 92.43 / 99.88 / 17.85; \
+         GOS 100.00 / 90.62 / 100.00 / 13.92 (percent)"
+    );
+
+    let gp_se = rows[0].se;
+    let gos_se = rows[1].se;
+    println!(
+        "\nshape check: gpClust SE {} GOS SE ({} vs {}) — paper expects '>'",
+        if gp_se > gos_se { ">" } else { "<=" },
+        pct(gp_se),
+        pct(gos_se)
+    );
+
+    let path = Experiment::new("table3", "Quality comparison (Table III)", &rows)
+        .save()
+        .expect("save report");
+    eprintln!("report written to {path:?}");
+}

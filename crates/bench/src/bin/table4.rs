@@ -1,0 +1,103 @@
+//! Table IV — statistics of the three partitions, plus cluster density.
+//!
+//! Paper reference (2M sequences):
+//!
+//! | partition | #groups | #seqs | largest | avg size | density |
+//! |---|---|---|---|---|---|
+//! | Benchmark | 813 | 2,004,241 | 56,266 | 2,465 ± 4,372 | 0.09 ± 0.12 |
+//! | GOS | 6,152 | 1,236,712 | 20,027 | 201 ± 650 | 0.40 ± 0.27 |
+//! | gpClust | 6,646 | 1,414,952 | 19,066 | 213 ± 721 | 0.75 ± 0.28 |
+//!
+//! Expected shape: gpClust reports more and tighter (denser) clusters than
+//! GOS, recruits more sequences, and both report far more, far smaller
+//! groups than the loosely-defined benchmark families.
+//!
+//! Usage: `table4 [--n <seqs>] [--seed <u64>] [--min-size <20>] [--k <10>]`
+
+use gpclust_bench::quality::quality_run;
+use gpclust_bench::reports::{render_table, Experiment};
+use gpclust_bench::Args;
+use serde::Serialize;
+
+#[derive(Debug, Serialize)]
+struct Row {
+    partition: String,
+    n_groups: usize,
+    n_seqs: usize,
+    largest: usize,
+    avg_size: f64,
+    sd_size: f64,
+    density_mean: f64,
+    density_sd: f64,
+}
+
+fn main() {
+    let args = Args::parse();
+    let run = quality_run(&args);
+
+    let mut rows = Vec::new();
+    let mut methods: Vec<(&str, &gpclust_graph::Partition)> = vec![
+        ("Benchmark", &run.benchmark),
+        ("GOS", &run.gos),
+        ("gpClust", &run.gpclust),
+    ];
+    if let Some(mcl) = &run.mcl {
+        methods.push(("MCL", mcl));
+    }
+    for (name, partition) in methods {
+        let st = partition.size_stats();
+        let density = partition.density_stats(&run.graph);
+        rows.push(Row {
+            partition: name.to_string(),
+            n_groups: st.n_groups,
+            n_seqs: st.n_assigned,
+            largest: st.largest,
+            avg_size: st.size.mean,
+            sd_size: st.size.sd,
+            density_mean: density.mean,
+            density_sd: density.sd,
+        });
+    }
+
+    println!(
+        "\nTable IV — partition statistics (n={}, min cluster size {} on test \
+         partitions, k={})\n",
+        run.n, run.min_size, run.k
+    );
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.partition.clone(),
+                r.n_groups.to_string(),
+                r.n_seqs.to_string(),
+                r.largest.to_string(),
+                format!("{:.0} ± {:.0}", r.avg_size, r.sd_size),
+                format!("{:.2} ± {:.2}", r.density_mean, r.density_sd),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["Partition", "# Groups", "# Seqs", "Largest", "Avg size", "Density"],
+            &cells
+        )
+    );
+    println!(
+        "paper reference: Benchmark 813 groups, density 0.09 ± 0.12; \
+         GOS 6,152 groups, density 0.40 ± 0.27; gpClust 6,646 groups, density 0.75 ± 0.28"
+    );
+    println!(
+        "\nshape checks: gpClust density {} GOS density (paper '>'); \
+         gpClust recruits {} sequences vs GOS {} (paper: gpClust more)",
+        if rows[2].density_mean > rows[1].density_mean { ">" } else { "<=" },
+        rows[2].n_seqs,
+        rows[1].n_seqs
+    );
+
+    let path = Experiment::new("table4", "Partition statistics (Table IV)", &rows)
+        .save()
+        .expect("save report");
+    eprintln!("report written to {path:?}");
+}

@@ -1,0 +1,115 @@
+//! # gpclust-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §4):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1` | Table I — runtime breakdown and speedups |
+//! | `table2` | Table II — input graph statistics |
+//! | `table3` | Table III — PPV/NPV/SP/SE vs the GOS baseline |
+//! | `table4` | Table IV — partition statistics + densities |
+//! | `fig5`   | Figure 5(a)/(b) — group/sequence size histograms |
+//! | `largescale` | §IV-C large-run demonstration |
+//!
+//! Criterion microbenches live under `benches/`.
+//!
+//! Expensive artifacts (alignment-built similarity graphs) are cached on
+//! disk under [`data_dir`], keyed by their generating parameters, so the
+//! table binaries can share them.
+
+pub mod datasets;
+pub mod quality;
+pub mod reports;
+
+use std::path::PathBuf;
+
+/// Directory for cached datasets (override with `GPCLUST_DATA_DIR`).
+pub fn data_dir() -> PathBuf {
+    let dir = std::env::var_os("GPCLUST_DATA_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/gpclust-data"));
+    std::fs::create_dir_all(&dir).expect("create data dir");
+    dir
+}
+
+/// Directory for generated experiment reports (override with
+/// `GPCLUST_REPORT_DIR`).
+pub fn report_dir() -> PathBuf {
+    let dir = std::env::var_os("GPCLUST_REPORT_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("reports"));
+    std::fs::create_dir_all(&dir).expect("create report dir");
+    dir
+}
+
+/// Minimal CLI flag parsing: `--key value` pairs and bare `--flag`s.
+#[derive(Debug, Default, Clone)]
+pub struct Args {
+    pairs: std::collections::HashMap<String, String>,
+    flags: std::collections::HashSet<String>,
+}
+
+impl Args {
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn parse() -> Self {
+        Self::from_tokens(std::env::args().skip(1))
+    }
+
+    /// Parse from an explicit token sequence (for tests).
+    pub fn from_tokens(iter: impl IntoIterator<Item = String>) -> Self {
+        let mut args = Args::default();
+        let mut it = iter.into_iter().peekable();
+        while let Some(tok) = it.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                match it.peek() {
+                    Some(v) if !v.starts_with("--") => {
+                        args.pairs.insert(key.to_string(), it.next().unwrap());
+                    }
+                    _ => {
+                        args.flags.insert(key.to_string());
+                    }
+                }
+            } else {
+                eprintln!("ignoring stray argument: {tok}");
+            }
+        }
+        args
+    }
+
+    /// Value of `--key`, parsed, or `default`.
+    pub fn get<T: std::str::FromStr>(&self, key: &str, default: T) -> T {
+        self.pairs
+            .get(key)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Whether bare `--flag` was passed.
+    pub fn flag(&self, key: &str) -> bool {
+        self.flags.contains(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn args_parse_pairs_and_flags() {
+        let a = Args::from_tokens(
+            ["--n", "500", "--full", "--seed", "7"]
+                .map(String::from),
+        );
+        assert_eq!(a.get("n", 0usize), 500);
+        assert_eq!(a.get("seed", 0u64), 7);
+        assert_eq!(a.get("missing", 3usize), 3);
+        assert!(a.flag("full"));
+        assert!(!a.flag("absent"));
+    }
+
+    #[test]
+    fn trailing_flag_without_value() {
+        let a = Args::from_tokens(["--quick"].map(String::from));
+        assert!(a.flag("quick"));
+    }
+}

@@ -1,0 +1,178 @@
+//! Experiment report output: aligned console tables plus JSON artifacts.
+//!
+//! Every table binary prints a human-readable table mirroring the paper's
+//! layout *and* writes a JSON record under [`crate::report_dir`] so
+//! EXPERIMENTS.md's paper-vs-measured entries are regenerable.
+
+use serde::Serialize;
+use std::io::Write;
+
+/// A named experiment result, serialized to `reports/<id>.json`.
+#[derive(Debug, Clone, Serialize)]
+pub struct Experiment<T: Serialize> {
+    /// Artifact id, e.g. `"table1"`.
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// Result payload.
+    pub data: T,
+}
+
+impl<T: Serialize> Experiment<T> {
+    /// Create a report.
+    pub fn new(id: &str, description: &str, data: T) -> Self {
+        Experiment {
+            id: id.to_string(),
+            description: description.to_string(),
+            data,
+        }
+    }
+
+    /// Write to `reports/<id>.json`, returning the path.
+    pub fn save(&self) -> std::io::Result<std::path::PathBuf> {
+        let path = crate::report_dir().join(format!("{}.json", self.id));
+        let mut f = std::fs::File::create(&path)?;
+        let json = serde_json::to_string_pretty(self).expect("serializable");
+        f.write_all(json.as_bytes())?;
+        f.write_all(b"\n")?;
+        Ok(path)
+    }
+}
+
+/// Render rows as an aligned text table. `header` and every row must have
+/// the same number of columns.
+pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let ncols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(|h| h.chars().count()).collect();
+    for row in rows {
+        assert_eq!(row.len(), ncols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.chars().count());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<&str>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, (cell, w)) in cells.iter().zip(widths).enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(cell);
+            for _ in cell.chars().count()..*w {
+                line.push(' ');
+            }
+        }
+        line.trim_end().to_string()
+    };
+    out.push_str(&fmt_row(header.to_vec(), &widths));
+    out.push('\n');
+    let total: usize = widths.iter().sum::<usize>() + 2 * (ncols - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.iter().map(String::as_str).collect(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Format a fraction as a percentage with two decimals (Table III style).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Format seconds with appropriate precision.
+pub fn secs(x: f64) -> String {
+    if x >= 100.0 {
+        format!("{x:.1}")
+    } else if x >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+/// Simple ASCII bar chart for the Figure 5 histograms.
+pub fn ascii_histogram(labels: &[&str], series: &[(&str, Vec<usize>)]) -> String {
+    let max = series
+        .iter()
+        .flat_map(|(_, v)| v.iter().copied())
+        .max()
+        .unwrap_or(1)
+        .max(1);
+    let mut out = String::new();
+    for (si, (name, values)) in series.iter().enumerate() {
+        if si > 0 {
+            out.push('\n');
+        }
+        out.push_str(name);
+        out.push('\n');
+        for (label, &v) in labels.iter().zip(values) {
+            let bar_len = (v * 50).div_ceil(max);
+            out.push_str(&format!(
+                "  {label:>10} | {}{} {v}\n",
+                "#".repeat(bar_len),
+                if v > 0 && bar_len == 0 { "." } else { "" }
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "22".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[3].starts_with("longer"));
+        // The value column starts at the same offset in every row.
+        let col = lines[3].find("22").unwrap();
+        assert_eq!(lines[2].find('1').unwrap(), col);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_panic() {
+        render_table(&["a", "b"], &[vec!["x".into()]]);
+    }
+
+    #[test]
+    fn pct_and_secs_formats() {
+        assert_eq!(pct(0.9717), "97.17%");
+        assert_eq!(secs(392.318), "392.3");
+        assert_eq!(secs(7.5), "7.50");
+        assert_eq!(secs(0.01234), "0.0123");
+    }
+
+    #[test]
+    fn experiment_saves_json() {
+        let e = Experiment::new("test-report", "a test", vec![1, 2, 3]);
+        let path = e.save().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("\"test-report\""));
+        std::fs::remove_file(path).ok();
+    }
+
+    #[test]
+    fn histogram_renders_all_bins() {
+        let h = ascii_histogram(
+            &["20-49", "50-99"],
+            &[("gpClust", vec![10, 3]), ("GOS", vec![8, 0])],
+        );
+        assert!(h.contains("gpClust"));
+        assert!(h.contains("GOS"));
+        assert!(h.contains("20-49"));
+        assert!(h.matches('|').count() == 4);
+    }
+}

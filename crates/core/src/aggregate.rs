@@ -1,0 +1,309 @@
+//! CPU-side shingle aggregation — "compute shingle graph" in Figure 3.
+//!
+//! Input: the raw `(trial, node, top-s pairs)` records streamed back from
+//! the device, batch by batch. This step performs the two CPU duties the
+//! paper assigns to the host:
+//!
+//! 1. **Fragment merging** — when an adjacency list was split between two
+//!    job batches, its per-batch top-s candidate lists are merged and the
+//!    globally smallest s re-selected ("the CPU has to combine the shingle
+//!    results for the split adjacency lists after it receives shingles from
+//!    the GPU"). Nodes whose merged candidate count is below s produce no
+//!    shingle, matching the ≥ s-links rule.
+//! 2. **Inversion/grouping** — "a sorting is done to gather all vertices
+//!    that generated each shingle", yielding the `<s_j, L(s_j)>` tuples
+//!    that form the bipartite shingle graph for the next pass.
+
+use crate::minwise::{unpack_element, PackedHash};
+use crate::shingle::{shingle_key, RawShingles, ShingleKey};
+use gpclust_graph::ShingleGraph;
+
+/// Aggregate raw records into the bipartite shingle graph.
+///
+/// This is the largest CPU stage of gpClust (it dominates the "CPU" column
+/// of Table I), so it works in flat column arrays with exactly four big
+/// sorts/scans and no per-record heap allocation.
+pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
+    let s = raw.s();
+    let n_rec = raw.len();
+
+    // --- 1. Merge fragments of the same (node, trial). ---
+    //
+    // Grouped inputs (serial pass, GPU pass after its boundary pre-merge)
+    // skip this entirely; ungrouped inputs pay one sort + linear merge.
+    if raw.is_grouped() {
+        // Grouped fast path: no merging, no column copies — pack
+        // (key, node, record-index) straight from the raw storage and pull
+        // element ids back out of it at emission time.
+        assert!(n_rec < (1 << 32), "too many shingle records");
+        let mut packed: Vec<u128> = (0..n_rec)
+            .map(|i| {
+                let pairs = raw.pairs_of(i);
+                debug_assert_eq!(pairs.len(), s);
+                let key = shingle_key(raw.trial(i), pairs.iter().map(|&p| unpack_element(p)));
+                ((key as u128) << 64) | ((raw.node(i) as u128) << 32) | i as u128
+            })
+            .collect();
+        packed.sort_unstable();
+        return invert_packed(s, &packed, |rep, out| {
+            out.extend(raw.pairs_of(rep).iter().map(|&p| unpack_element(p)));
+        });
+    }
+
+    let mut fin_keys: Vec<ShingleKey> = Vec::with_capacity(n_rec);
+    let mut fin_nodes: Vec<u32> = Vec::with_capacity(n_rec);
+    let mut fin_elements: Vec<u32> = Vec::with_capacity(n_rec * s);
+    {
+        let mut order: Vec<u32> = (0..n_rec as u32).collect();
+        order.sort_unstable_by_key(|&i| {
+            ((raw.node(i as usize) as u64) << 32) | raw.trial(i as usize) as u64
+        });
+        let mut merged: Vec<PackedHash> = Vec::with_capacity(2 * s);
+        let mut gi = 0usize;
+        while gi < order.len() {
+            let first = order[gi] as usize;
+            let (trial, node) = (raw.trial(first), raw.node(first));
+            let mut gj = gi + 1;
+            merged.clear();
+            merged.extend_from_slice(raw.pairs_of(first));
+            while gj < order.len() {
+                let next = order[gj] as usize;
+                if raw.trial(next) != trial || raw.node(next) != node {
+                    break;
+                }
+                merged.extend_from_slice(raw.pairs_of(next));
+                gj += 1;
+            }
+            if merged.len() >= s {
+                merged.sort_unstable();
+                merged.dedup(); // a fragment boundary duplicate is harmless but possible
+                if merged.len() >= s {
+                    merged.truncate(s);
+                    fin_nodes.push(node);
+                    for &p in &merged {
+                        fin_elements.push(unpack_element(p));
+                    }
+                    fin_keys.push(shingle_key(
+                        trial,
+                        merged.iter().map(|&p| unpack_element(p)),
+                    ));
+                }
+            }
+            gi = gj;
+        }
+    }
+
+    // --- 2. Invert: group by shingle key. ---
+    let n_fin = fin_keys.len();
+    assert!(n_fin < (1 << 32), "too many shingle records");
+    let mut packed: Vec<u128> = (0..n_fin)
+        .map(|i| {
+            ((fin_keys[i] as u128) << 64) | ((fin_nodes[i] as u128) << 32) | i as u128
+        })
+        .collect();
+    packed.sort_unstable();
+    invert_packed(s, &packed, |rep, out| {
+        out.extend_from_slice(&fin_elements[rep * s..(rep + 1) * s]);
+    })
+}
+
+/// Streaming shingle aggregation: records flow in one at a time (from
+/// [`crate::serial::shingle_pass_foreach`] or the device pass), are packed
+/// immediately into the 128-bit sort representation, and never exist as a
+/// separate raw-record container. This nearly halves the peak memory of the
+/// dominant aggregation stage relative to materialize-then-aggregate.
+///
+/// Only *grouped* streams are supported (one record per `(trial, node)`,
+/// exactly `s` sorted pairs each) — which both pass implementations
+/// guarantee.
+#[derive(Debug)]
+pub struct StreamAggregator {
+    s: usize,
+    packed: Vec<u128>,
+    elements: Vec<u32>,
+}
+
+impl StreamAggregator {
+    /// A fresh aggregator for shingle size `s`.
+    pub fn new(s: usize) -> Self {
+        StreamAggregator {
+            s,
+            packed: Vec::new(),
+            elements: Vec::new(),
+        }
+    }
+
+    /// Number of records absorbed so far.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True if no records were absorbed.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Absorb one record: `pairs` sorted ascending, exactly `s` of them.
+    #[inline]
+    pub fn push(&mut self, trial: u32, node: u32, pairs: &[PackedHash]) {
+        debug_assert_eq!(pairs.len(), self.s);
+        debug_assert!(pairs.windows(2).all(|w| w[0] < w[1]));
+        let idx = (self.elements.len() / self.s) as u128;
+        assert!(idx < (1 << 32), "too many shingle records");
+        for &p in pairs {
+            self.elements.push(unpack_element(p));
+        }
+        let key = shingle_key(trial, pairs.iter().map(|&p| unpack_element(p)));
+        self.packed
+            .push(((key as u128) << 64) | ((node as u128) << 32) | idx);
+    }
+
+    /// Sort, group and build the bipartite shingle graph.
+    pub fn finish(mut self) -> ShingleGraph {
+        self.packed.sort_unstable();
+        let elements = self.elements;
+        let s = self.s;
+        invert_packed(s, &self.packed, |rep, out| {
+            out.extend_from_slice(&elements[rep * s..(rep + 1) * s]);
+        })
+    }
+}
+
+/// Group sorted packed `(key << 64 | node << 32 | record-index)` values
+/// into the bipartite shingle graph. `push_elements(rep, out)` appends the
+/// `s` element ids of the record with index `rep`.
+///
+/// "A sorting is done to gather all vertices that generated each shingle" —
+/// the caller's 128-bit sort is the dominant CPU cost of the pipeline;
+/// the comparisons run fully in-register with no memory indirection.
+fn invert_packed(
+    s: usize,
+    packed: &[u128],
+    push_elements: impl Fn(usize, &mut Vec<u32>),
+) -> ShingleGraph {
+    let n_fin = packed.len();
+    let mut keys: Vec<u64> = Vec::new();
+    let mut elements: Vec<u32> = Vec::new();
+    let mut gen_offsets: Vec<u64> = vec![0];
+    let mut generators: Vec<u32> = Vec::with_capacity(n_fin);
+    let mut i = 0usize;
+    while i < n_fin {
+        let key = (packed[i] >> 64) as u64;
+        let rep = (packed[i] & 0xFFFF_FFFF) as usize;
+        keys.push(key);
+        push_elements(rep, &mut elements);
+        let mut last_node = u32::MAX;
+        while i < n_fin && (packed[i] >> 64) as u64 == key {
+            let node = ((packed[i] >> 32) & 0xFFFF_FFFF) as u32;
+            if node != last_node {
+                generators.push(node);
+                last_node = node;
+            }
+            i += 1;
+        }
+        gen_offsets.push(generators.len() as u64);
+    }
+    ShingleGraph::from_parts(s, keys, elements, gen_offsets, generators)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minwise::pack;
+
+    /// Top-s of a pair list (oracle for merging).
+    fn top_s(mut pairs: Vec<PackedHash>, s: usize) -> Vec<PackedHash> {
+        pairs.sort_unstable();
+        pairs.truncate(s);
+        pairs
+    }
+
+    #[test]
+    fn groups_identical_shingles() {
+        let mut raw = RawShingles::new(2);
+        // Nodes 3 and 8 generate the same shingle in trial 0.
+        raw.push(0, 3, &[pack(1, 10), pack(2, 20)]);
+        raw.push(0, 8, &[pack(1, 10), pack(2, 20)]);
+        // Node 5 generates something else in trial 1.
+        raw.push(1, 5, &[pack(1, 10), pack(2, 20)]);
+        let g = aggregate(&raw);
+        assert_eq!(g.len(), 2, "same elements in different trials differ");
+        let with_two: Vec<_> = g.iter().filter(|(_, _, _, gens)| gens.len() == 2).collect();
+        assert_eq!(with_two.len(), 1);
+        let (_, _, elements, gens) = with_two[0];
+        assert_eq!(elements, &[10, 20]);
+        assert_eq!(gens, &[3, 8]);
+    }
+
+    #[test]
+    fn split_fragments_merge_to_unsplit_result() {
+        // A 6-element adjacency list split 4/2 across two batches.
+        let full: Vec<PackedHash> = vec![
+            pack(50, 1),
+            pack(10, 2),
+            pack(40, 3),
+            pack(30, 4),
+            pack(20, 5),
+            pack(60, 6),
+        ];
+        let s = 3;
+
+        let mut unsplit = RawShingles::new(s);
+        unsplit.push(0, 7, &top_s(full.clone(), s));
+
+        let mut split = RawShingles::new(s);
+        split.push(0, 7, &top_s(full[..4].to_vec(), s));
+        split.push(0, 7, &top_s(full[4..].to_vec(), s));
+
+        assert_eq!(aggregate(&unsplit), aggregate(&split));
+    }
+
+    #[test]
+    fn short_merged_lists_produce_no_shingle() {
+        let mut raw = RawShingles::new(3);
+        raw.push(0, 1, &[pack(1, 10)]);
+        raw.push(0, 1, &[pack(2, 20)]); // merged: 2 < s = 3
+        raw.push(0, 2, &[pack(1, 1), pack(2, 2), pack(3, 3)]);
+        let g = aggregate(&raw);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.generators(0), &[2]);
+    }
+
+    #[test]
+    fn elements_in_canonical_hash_order() {
+        let mut raw = RawShingles::new(2);
+        // Element 9 has the smaller hash, so it comes first canonically.
+        raw.push(0, 0, &[pack(1, 9), pack(2, 4)]);
+        let g = aggregate(&raw);
+        assert_eq!(g.elements(0), &[9, 4]);
+    }
+
+    #[test]
+    fn empty_input_empty_graph() {
+        let raw = RawShingles::new(2);
+        let g = aggregate(&raw);
+        assert!(g.is_empty());
+    }
+
+    #[test]
+    fn keys_are_sorted_ascending() {
+        let mut raw = RawShingles::new(1);
+        for node in 0..50u32 {
+            raw.push(node % 5, node, &[pack(node, node)]);
+        }
+        let g = aggregate(&raw);
+        let keys: Vec<u64> = (0..g.len()).map(|i| g.key(i)).collect();
+        assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn duplicate_pair_at_fragment_boundary_deduped() {
+        // The same (hash, element) appearing in both fragments (an exact
+        // boundary overlap) must not count twice toward the s threshold.
+        let mut raw = RawShingles::new(2);
+        raw.push(0, 3, &[pack(5, 50)]);
+        raw.push(0, 3, &[pack(5, 50)]);
+        let g = aggregate(&raw);
+        assert!(g.is_empty(), "one distinct candidate < s = 2");
+    }
+}

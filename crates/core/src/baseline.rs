@@ -1,0 +1,237 @@
+//! The GOS k-neighbor linkage baseline.
+//!
+//! The Sorcerer II GOS study clustered its ORFs with a "k-neighbor linkage
+//! (k = 10) based graph heuristic": two adjacent sequences merge into the
+//! same cluster when they share at least `k` neighbors. The paper's
+//! qualitative comparison (Tables III/IV, Figure 5) pits gpClust against
+//! this method, and its §IV-D analysis of why the fixed `k` misbehaves —
+//! chaining dense groups of different characteristic sizes into loose
+//! super-clusters — is exactly the behavior this implementation reproduces.
+
+use gpclust_graph::{Csr, Partition, UnionFind, VertexId};
+
+/// Number of common neighbors of `a` and `b` (sorted-list intersection,
+/// early-exiting once `at_least` is reached).
+fn shared_neighbors_at_least(g: &Csr, a: VertexId, b: VertexId, at_least: usize) -> bool {
+    if at_least == 0 {
+        return true;
+    }
+    let (na, nb) = (g.neighbors(a), g.neighbors(b));
+    let mut count = 0usize;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < na.len() && j < nb.len() {
+        match na[i].cmp(&nb[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                count += 1;
+                if count >= at_least {
+                    return true;
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    false
+}
+
+/// GOS-style clustering, edge-restricted variant: union every **edge**
+/// `(u, v)` whose endpoints share at least `k` neighbors.
+pub fn kneighbor_clusters_adjacent(g: &Csr, k: usize) -> Partition {
+    let mut uf = UnionFind::new(g.n());
+    for v in 0..g.n() as VertexId {
+        for &u in g.neighbors(v) {
+            // Each undirected edge once.
+            if u > v && shared_neighbors_at_least(g, v, u, k) {
+                uf.union(v, u);
+            }
+        }
+    }
+    Partition::from_union_find(&mut uf)
+}
+
+/// GOS-style clustering as the paper states it: union every **pair** of
+/// vertices sharing at least `k` neighbors — no adjacency required (a
+/// shared-nearest-neighbor linkage). Any pair with a common neighbor is at
+/// distance ≤ 2, so candidates are enumerated through wedge centers; the
+/// cost is Σ_w deg(w)², the classic SNN bound.
+///
+/// This is the variant whose fixed `k` "falsely group\[s\] potentially
+/// unrelated vertices into the same cluster" when cluster characteristic
+/// degrees vary (paper §IV-D) — the chaining gpClust is compared against.
+pub fn kneighbor_clusters(g: &Csr, k: usize) -> Partition {
+    let mut uf = UnionFind::new(g.n());
+    if k == 0 {
+        // Degenerate: every edge merges (a pair trivially shares ≥ 0).
+        for v in 0..g.n() as VertexId {
+            for &u in g.neighbors(v) {
+                if u > v {
+                    uf.union(v, u);
+                }
+            }
+        }
+        return Partition::from_union_find(&mut uf);
+    }
+    // Per-source common-neighbor counting over 2-hop neighborhoods.
+    let mut count: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for u in 0..g.n() as VertexId {
+        if (g.degree(u)) < k {
+            continue; // cannot share k neighbors with anyone
+        }
+        count.clear();
+        for &w in g.neighbors(u) {
+            for &v in g.neighbors(w) {
+                if v > u {
+                    *count.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        for (&v, &c) in count.iter() {
+            if c >= k {
+                uf.union(u, v);
+            }
+        }
+    }
+    Partition::from_union_find(&mut uf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
+    use gpclust_graph::EdgeList;
+
+    #[test]
+    fn clique_merges_when_k_small_enough() {
+        // K6: every edge's endpoints share 4 common neighbors.
+        let mut el = EdgeList::new();
+        for a in 0..6u32 {
+            for b in a + 1..6 {
+                el.push(a, b);
+            }
+        }
+        let g = Csr::from_edges(6, &mut el);
+        let p4 = kneighbor_clusters(&g, 4);
+        assert_eq!(p4.n_groups(), 1);
+        let p5 = kneighbor_clusters(&g, 5);
+        assert_eq!(p5.n_groups(), 6, "k=5 exceeds shared neighbors in K6");
+    }
+
+    #[test]
+    fn path_graph_never_merges_for_k_ge_2() {
+        // On a path, no pair shares more than one common neighbor.
+        let mut el: EdgeList = (0..9u32).map(|v| (v, v + 1)).collect();
+        let g = Csr::from_edges(10, &mut el);
+        let p = kneighbor_clusters(&g, 2);
+        assert_eq!(p.n_groups(), 10);
+    }
+
+    #[test]
+    fn snn_merges_non_adjacent_pairs() {
+        // Star: leaves 1..=4 all share the hub 0 — SNN with k=1 merges all
+        // leaves even though no two leaves are adjacent.
+        let mut el: EdgeList = (1..5u32).map(|v| (0, v)).collect();
+        let g = Csr::from_edges(5, &mut el);
+        let p = kneighbor_clusters(&g, 1);
+        assert_eq!(p.group_of(1), p.group_of(4));
+        // The edge-restricted variant does not merge anything here.
+        let pa = kneighbor_clusters_adjacent(&g, 1);
+        assert_eq!(pa.n_groups(), 5);
+    }
+
+    #[test]
+    fn snn_at_least_as_coarse_as_adjacent_variant() {
+        let pg = planted_partition(&PlantedConfig {
+            group_sizes: vec![15, 10, 20],
+            n_noise_vertices: 5,
+            p_intra: 0.6,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed: 77,
+        });
+        for k in [2usize, 4, 8] {
+            let snn = kneighbor_clusters(&pg.graph, k);
+            let adj = kneighbor_clusters_adjacent(&pg.graph, k);
+            // Every merge the adjacent variant makes, SNN makes too.
+            for grp in adj.groups() {
+                let first = snn.group_of(grp[0]);
+                for &v in grp {
+                    assert_eq!(snn.group_of(v), first, "k={k}");
+                }
+            }
+            assert!(snn.n_groups() <= adj.n_groups());
+        }
+    }
+
+    #[test]
+    fn recovers_planted_dense_groups() {
+        let pg = planted_partition(&PlantedConfig {
+            group_sizes: vec![20, 25],
+            n_noise_vertices: 5,
+            p_intra: 0.9,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 0.0,
+            seed: 31,
+        });
+        let p = kneighbor_clusters(&pg.graph, 5);
+        for grp in pg.truth.groups() {
+            let c0 = p.group_of(grp[0]);
+            for &v in grp {
+                assert_eq!(p.group_of(v), c0);
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_k_chains_differently_sized_groups() {
+        // The paper's §IV-D failure mode: two dense groups joined by a
+        // bridge of k shared neighbors get chained into one loose cluster
+        // by the k-neighbor rule (while Shingling separates them).
+        let mut el = EdgeList::new();
+        // Group A: clique on 0..8; group B: clique on 8..16 — share vertex
+        // pool via bridge vertices 16..19 adjacent to everything.
+        for a in 0..8u32 {
+            for b in a + 1..8 {
+                el.push(a, b);
+            }
+        }
+        for a in 8..16u32 {
+            for b in a + 1..16 {
+                el.push(a, b);
+            }
+        }
+        for bridge in 16..19u32 {
+            for v in 0..16u32 {
+                el.push(bridge, v);
+            }
+        }
+        // One direct A-B edge whose endpoints now share the 3 bridges.
+        el.push(0, 8);
+        let g = Csr::from_edges(19, &mut el);
+        let p = kneighbor_clusters(&g, 3);
+        assert_eq!(
+            p.group_of(0),
+            p.group_of(8),
+            "fixed k merges across the bridge"
+        );
+    }
+
+    #[test]
+    fn k_zero_merges_all_edges() {
+        let mut el: EdgeList = [(0, 1), (2, 3)].into_iter().collect();
+        let g = Csr::from_edges(5, &mut el);
+        let p = kneighbor_clusters(&g, 0);
+        assert_eq!(p.group_of(0), p.group_of(1));
+        assert_eq!(p.group_of(2), p.group_of(3));
+        assert_ne!(p.group_of(0), p.group_of(2));
+        assert_eq!(p.n_groups(), 3);
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let mut el = EdgeList::new();
+        let g = Csr::from_edges(3, &mut el);
+        assert_eq!(kneighbor_clusters(&g, 10).n_groups(), 3);
+    }
+}

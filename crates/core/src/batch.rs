@@ -1,0 +1,192 @@
+//! Partitioning adjacency lists into device-memory-sized batches.
+//!
+//! "In order to process the large-scale input graph on the relative small
+//! device memory, the input graph for the first and second level shingling
+//! can be partitioned into batches of adjacency lists, and subsequently
+//! moved to the device memory batch by batch." A batch is a contiguous
+//! *element* range of the concatenated adjacency array; a list that spans a
+//! batch boundary is split, and the CPU aggregation later merges its
+//! fragments (see [`crate::aggregate`]).
+
+use serde::{Deserialize, Serialize};
+
+/// One batch: an element range of the flat adjacency array plus the range
+/// of node (list) indices that intersect it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Batch {
+    /// First node whose list intersects the element range.
+    pub node_lo: usize,
+    /// One past the last intersecting node.
+    pub node_hi: usize,
+    /// First element (inclusive) in the flat array.
+    pub elem_lo: u64,
+    /// Last element (exclusive).
+    pub elem_hi: u64,
+}
+
+impl Batch {
+    /// Elements in this batch.
+    pub fn n_elements(&self) -> usize {
+        (self.elem_hi - self.elem_lo) as usize
+    }
+
+    /// Whether the first list in the batch is a continuation of a list
+    /// started in an earlier batch.
+    pub fn first_is_fragment(&self, offsets: &[u64]) -> bool {
+        offsets[self.node_lo] < self.elem_lo
+    }
+
+    /// Whether the last list in the batch continues into the next batch.
+    pub fn last_is_fragment(&self, offsets: &[u64]) -> bool {
+        offsets[self.node_hi] > self.elem_hi
+    }
+
+    /// Per-segment local offsets (into the batch's element range) and the
+    /// node index of each segment. Empty lists inside the range are skipped.
+    pub fn segments(&self, offsets: &[u64]) -> (Vec<u64>, Vec<u32>) {
+        let mut local = vec![0u64];
+        let mut nodes = Vec::new();
+        for node in self.node_lo..self.node_hi {
+            let lo = offsets[node].max(self.elem_lo);
+            let hi = offsets[node + 1].min(self.elem_hi);
+            if hi > lo {
+                nodes.push(node as u32);
+                local.push(hi - self.elem_lo);
+            }
+        }
+        (local, nodes)
+    }
+}
+
+/// Plan batches of at most `max_elems` elements each over lists delimited
+/// by `offsets` (`n + 1` monotone values).
+///
+/// # Panics
+/// Panics if `max_elems == 0`.
+pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
+    assert!(max_elems > 0, "batch capacity must be positive");
+    let total = *offsets.last().expect("offsets non-empty");
+    let n = offsets.len() - 1;
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut batches = Vec::new();
+    let mut elem_lo = 0u64;
+    let mut node_cursor = 0usize;
+    while elem_lo < total {
+        let elem_hi = (elem_lo + max_elems as u64).min(total);
+        // Advance to the first list intersecting [elem_lo, ..).
+        while node_cursor < n && offsets[node_cursor + 1] <= elem_lo {
+            node_cursor += 1;
+        }
+        let node_lo = node_cursor;
+        let mut node_hi = node_lo;
+        while node_hi < n && offsets[node_hi] < elem_hi {
+            node_hi += 1;
+        }
+        batches.push(Batch {
+            node_lo,
+            node_hi,
+            elem_lo,
+            elem_hi,
+        });
+        elem_lo = elem_hi;
+    }
+    batches
+}
+
+/// Batch capacity (elements) for a device with `available_bytes` free:
+/// each element needs a `u32` input slot and a `u64` packed workspace slot,
+/// plus headroom for the compacted per-trial output.
+pub fn batch_capacity(available_bytes: usize) -> usize {
+    const BYTES_PER_ELEM: usize = 4 + 8; // input + packed workspace
+    const HEADROOM: f64 = 0.8; // leave room for top-s output buffers
+    (((available_bytes as f64) * HEADROOM) as usize / BYTES_PER_ELEM).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Lists: [0..3), [3..3) empty, [3..8), [8..10)
+    const OFFSETS: [u64; 5] = [0, 3, 3, 8, 10];
+
+    #[test]
+    fn single_batch_when_capacity_suffices() {
+        let b = plan_batches(&OFFSETS, 100);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b[0], Batch { node_lo: 0, node_hi: 4, elem_lo: 0, elem_hi: 10 });
+        assert!(!b[0].first_is_fragment(&OFFSETS));
+        assert!(!b[0].last_is_fragment(&OFFSETS));
+    }
+
+    #[test]
+    fn batches_cover_all_elements_disjointly() {
+        for cap in [1usize, 2, 3, 4, 7, 10, 50] {
+            let bs = plan_batches(&OFFSETS, cap);
+            let mut cursor = 0u64;
+            for b in &bs {
+                assert_eq!(b.elem_lo, cursor, "cap {cap}");
+                assert!(b.n_elements() <= cap);
+                assert!(b.n_elements() > 0);
+                cursor = b.elem_hi;
+            }
+            assert_eq!(cursor, 10);
+        }
+    }
+
+    #[test]
+    fn split_list_flagged_as_fragment() {
+        // Capacity 4: batch0 = [0,4) → splits list 2 ([3..8)).
+        let bs = plan_batches(&OFFSETS, 4);
+        assert!(bs[0].last_is_fragment(&OFFSETS));
+        assert!(bs[1].first_is_fragment(&OFFSETS));
+    }
+
+    #[test]
+    fn segments_are_clamped_intersections() {
+        let bs = plan_batches(&OFFSETS, 4);
+        // Batch 0: elements [0,4): list 0 fully (0..3), list 2 partially (3..4).
+        let (local, nodes) = bs[0].segments(&OFFSETS);
+        assert_eq!(nodes, vec![0, 2]); // empty list 1 skipped
+        assert_eq!(local, vec![0, 3, 4]);
+        // Batch 1: elements [4,8): remainder of list 2.
+        let (local, nodes) = bs[1].segments(&OFFSETS);
+        assert_eq!(nodes, vec![2]);
+        assert_eq!(local, vec![0, 4]);
+        // Batch 2: elements [8,10): list 3.
+        let (local, nodes) = bs[2].segments(&OFFSETS);
+        assert_eq!(nodes, vec![3]);
+        assert_eq!(local, vec![0, 2]);
+    }
+
+    #[test]
+    fn list_longer_than_capacity_spans_many_batches() {
+        let offsets = [0u64, 25];
+        let bs = plan_batches(&offsets, 10);
+        assert_eq!(bs.len(), 3);
+        for b in &bs {
+            let (_, nodes) = b.segments(&offsets);
+            assert_eq!(nodes, vec![0]);
+        }
+        assert!(bs[0].last_is_fragment(&offsets));
+        assert!(bs[1].first_is_fragment(&offsets));
+        assert!(bs[1].last_is_fragment(&offsets));
+        assert!(bs[2].first_is_fragment(&offsets));
+    }
+
+    #[test]
+    fn empty_graph_no_batches() {
+        assert!(plan_batches(&[0, 0, 0], 8).is_empty());
+    }
+
+    #[test]
+    fn capacity_model_positive_and_monotone() {
+        let small = batch_capacity(64 * 1024);
+        let large = batch_capacity(5 * 1024 * 1024 * 1024);
+        assert!(small >= 1);
+        assert!(large > small);
+        // 5 GB device → batches of a few hundred million elements.
+        assert!(large > 100_000_000);
+    }
+}

@@ -1,0 +1,305 @@
+//! Algorithm 1 — one shingling pass on the (simulated) device.
+//!
+//! Per batch of adjacency lists (Figure 4):
+//!
+//! 1. the batch's concatenated elements move host→device once;
+//! 2. for each random trial `h_i ∈ H`:
+//!    a. `thrust::transform` maps every element `v` to the packed pair
+//!    `(h_i(v) << 32) | v` — the random permutation of each list;
+//!    b. a segmented sort orders every list by permuted value;
+//!    c. a compaction kernel extracts the top `min(s, |segment|)` pairs of
+//!    each segment into a dense output buffer;
+//!    d. the output moves device→host immediately ("it is safe to transfer
+//!    the generated shingles back to the host memory after each
+//!    iteration for the immediate processing on the CPU side") — this
+//!    per-trial D2H traffic is why *Data g→c* dominates the transfer
+//!    budget in Table I.
+//!
+//! Interior segments shorter than `s` are skipped (they can never yield a
+//! shingle); boundary segments are kept regardless, because they may be
+//! fragments of lists split across batches. Fragments are merged here on
+//! the host, per trial, as each batch's results arrive — so the records
+//! handed to [`crate::aggregate`] are already one-per-(node, trial)
+//! ("grouped"), which lets the aggregation skip its merge sort.
+
+use crate::batch::{batch_capacity, plan_batches};
+use crate::minwise::{hash_with, pack, HashFamily};
+use crate::shingle::{AdjacencyInput, RawShingles};
+use gpclust_gpu::{thrust, DeviceError, Gpu, KernelCost};
+
+/// Run one full shingling pass on the device, streaming each finalized
+/// `(trial, node, top-s pairs)` record to `f`. Records arrive grouped (one
+/// per `(trial, node)`, boundary fragments already merged) with exactly
+/// `s` sorted pairs.
+pub fn gpu_shingle_pass_foreach(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    mut f: impl FnMut(u32, u32, &[u64]),
+) -> Result<(), DeviceError> {
+    let offsets = input.offsets();
+    let flat = input.flat();
+    let capacity = batch_capacity(gpu.mem_available());
+    let batches = plan_batches(offsets, capacity);
+
+    // Carry buffers for the one adjacency list that can span the current
+    // batch boundary: per-trial top candidates of the fragments seen so
+    // far. The merge happens here, on the CPU side, exactly as the paper
+    // describes ("the CPU has to combine the shingle results for the split
+    // adjacency lists after it receives shingles from the GPU").
+    let mut carry: Vec<Vec<u64>> = vec![Vec::new(); family.len()];
+    let mut carry_node: Option<u32> = None;
+    for batch in &batches {
+        let (local_offsets, nodes) = batch.segments(offsets);
+        if nodes.is_empty() {
+            continue;
+        }
+        let first_frag = batch.first_is_fragment(offsets);
+        let last_frag = batch.last_is_fragment(offsets);
+        // Which segments can contribute: interior segments need ≥ s
+        // elements; the first/last segment may be a fragment and is always
+        // kept (its |list| may exceed s globally).
+        let n_segs = nodes.len();
+        let keep: Vec<bool> = (0..n_segs)
+            .map(|i| {
+                let len = (local_offsets[i + 1] - local_offsets[i]) as usize;
+                let boundary = (i == 0 && batch.first_is_fragment(offsets))
+                    || (i == n_segs - 1 && batch.last_is_fragment(offsets));
+                boundary || len >= s
+            })
+            .collect();
+        // Per-segment output slot counts and offsets for the compaction,
+        // plus trial-invariant structures computed once per batch: the list
+        // of emitting segments and the compaction task groups.
+        let mut out_offsets = Vec::with_capacity(n_segs + 1);
+        out_offsets.push(0usize);
+        for i in 0..n_segs {
+            let len = (local_offsets[i + 1] - local_offsets[i]) as usize;
+            let k = if keep[i] { len.min(s) } else { 0 };
+            out_offsets.push(out_offsets[i] + k);
+        }
+        let out_total = *out_offsets.last().unwrap();
+        let emit_segs: Vec<u32> = (0..n_segs)
+            .filter(|&i| out_offsets[i + 1] > out_offsets[i])
+            .map(|i| i as u32)
+            .collect();
+        // Compaction groups: contiguous segment ranges covering ~64K output
+        // elements each (one thread-block-batch per group, not per segment).
+        const GROUP_OUT: usize = 64 * 1024;
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        {
+            let mut i = 0usize;
+            while i < n_segs {
+                let start_out = out_offsets[i];
+                let mut j = i + 1;
+                while j < n_segs && out_offsets[j + 1] - start_out < GROUP_OUT {
+                    j += 1;
+                }
+                groups.push((i, j));
+                i = j;
+            }
+        }
+
+        // 1. Move the batch to the device (once, reused across trials).
+        let elems_dev =
+            gpu.htod(&flat[batch.elem_lo as usize..batch.elem_hi as usize])?;
+        let mut packed_dev = gpu.alloc::<u64>(elems_dev.len())?;
+
+        #[allow(clippy::needless_range_loop)] // trial indexes both family and carry
+        for trial in 0..family.len() {
+            let (a, b) = family.coeffs(trial);
+            // 2a. Random permutation via the min-wise hash.
+            thrust::transform(gpu, &elems_dev, &mut packed_dev, move |v: u32| {
+                pack(hash_with(a, b, v), v)
+            });
+            // 2b. Segmented sort within each adjacency list.
+            thrust::segmented_sort(gpu, &mut packed_dev, &local_offsets);
+            // 2c. Compact the top-s pairs of each kept segment (one task
+            // per precomputed segment group, borrowing the offset arrays).
+            let mut out_dev = gpu.alloc::<u64>(out_total)?;
+            {
+                let src = packed_dev.device_slice();
+                let dst = out_dev.device_slice_mut();
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> =
+                    Vec::with_capacity(groups.len());
+                let mut rest = dst;
+                for &(i, j) in &groups {
+                    let start_out = out_offsets[i];
+                    let group_k = out_offsets[j] - start_out;
+                    let (head, tail) = rest.split_at_mut(group_k);
+                    rest = tail;
+                    let out_offsets = &out_offsets;
+                    let local_offsets = &local_offsets;
+                    tasks.push(Box::new(move || {
+                        for seg in i..j {
+                            let k = out_offsets[seg + 1] - out_offsets[seg];
+                            if k == 0 {
+                                continue;
+                            }
+                            let seg_lo = local_offsets[seg] as usize;
+                            head[out_offsets[seg] - start_out..out_offsets[seg + 1] - start_out]
+                                .copy_from_slice(&src[seg_lo..seg_lo + k]);
+                        }
+                    }));
+                }
+                gpu.launch(out_total, &KernelCost::gather(), tasks);
+            }
+            // 2d. Synchronous per-trial transfer back to the host, then
+            // CPU-side record building with boundary-fragment merging.
+            let host_out = gpu.dtoh(&out_dev);
+            for &seg in &emit_segs {
+                let i = seg as usize;
+                let lo = out_offsets[i];
+                let hi = out_offsets[i + 1];
+                let pairs = &host_out[lo..hi];
+                let is_first = i == 0;
+                let is_last = i == n_segs - 1;
+                if is_first && first_frag {
+                    debug_assert_eq!(carry_node, Some(nodes[i]));
+                    let mut merged = std::mem::take(&mut carry[trial]);
+                    merged.extend_from_slice(pairs);
+                    merged.sort_unstable();
+                    merged.dedup();
+                    merged.truncate(s);
+                    if is_last && last_frag {
+                        carry[trial] = merged; // list continues further
+                    } else if merged.len() == s {
+                        f(trial as u32, nodes[i], &merged);
+                    }
+                } else if is_last && last_frag {
+                    carry[trial] = pairs.to_vec();
+                } else if pairs.len() == s {
+                    f(trial as u32, nodes[i], pairs);
+                }
+            }
+        }
+        carry_node = if last_frag {
+            Some(nodes[nodes.len() - 1])
+        } else {
+            None
+        };
+    }
+    debug_assert!(carry_node.is_none(), "carry must drain by the final batch");
+    Ok(())
+}
+
+/// Run one full shingling pass on the device, materializing the records.
+/// Prefer [`gpu_shingle_pass_foreach`] in memory-sensitive paths.
+pub fn gpu_shingle_pass(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+) -> Result<RawShingles, DeviceError> {
+    let mut raw = RawShingles::new(s);
+    gpu_shingle_pass_foreach(gpu, input, s, family, |trial, node, pairs| {
+        raw.push(trial, node, pairs);
+    })?;
+    raw.mark_grouped();
+    Ok(raw)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate;
+    use crate::serial::shingle_pass;
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
+    use gpclust_graph::Csr;
+    use gpclust_gpu::DeviceConfig;
+
+    fn planted_graph(seed: u64) -> Csr {
+        planted_partition(&PlantedConfig {
+            group_sizes: vec![30, 20, 25],
+            n_noise_vertices: 10,
+            p_intra: 0.7,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed,
+        })
+        .graph
+    }
+
+    /// The GPU pass must aggregate to exactly the serial pass's result.
+    #[test]
+    fn matches_serial_oracle_single_batch() {
+        let g = planted_graph(1);
+        let family = HashFamily::new(25, 9);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 3);
+        let serial = aggregate(&shingle_pass(&g, 2, &family));
+        let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family).unwrap());
+        assert_eq!(serial, device);
+    }
+
+    /// The tiny device (64 KiB) forces many batches and split lists; the
+    /// merged result must still equal the serial oracle.
+    #[test]
+    fn matches_serial_oracle_with_forced_batching() {
+        // ~8k edges → ~16k adjacency elements, several times the tiny
+        // device's ~4.4k-element batch capacity.
+        let g = planted_partition(&PlantedConfig {
+            group_sizes: vec![120, 100, 80],
+            n_noise_vertices: 20,
+            p_intra: 0.5,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed: 2,
+        })
+        .graph;
+        let family = HashFamily::new(12, 4);
+        let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let serial = aggregate(&shingle_pass(&g, 2, &family));
+        let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family).unwrap());
+        assert_eq!(serial, device);
+        assert!(
+            gpu.counters().h2d_transfers > 1,
+            "tiny device must have batched"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let g = planted_graph(3);
+        let family = HashFamily::new(8, 5);
+        let mut results = Vec::new();
+        for workers in [1usize, 4] {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+            results.push(aggregate(&gpu_shingle_pass(&gpu, &g, 3, &family).unwrap()));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn per_trial_d2h_traffic() {
+        let g = planted_graph(4);
+        let c = 10;
+        let family = HashFamily::new(c, 6);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        gpu_shingle_pass(&gpu, &g, 2, &family).unwrap();
+        let snap = gpu.counters();
+        // One D2H per trial per batch (single batch here).
+        assert_eq!(snap.d2h_transfers, c as u64);
+        assert_eq!(snap.h2d_transfers, 1);
+        assert!(snap.d2h_seconds > 0.0);
+    }
+
+    #[test]
+    fn s_larger_than_all_degrees_yields_nothing() {
+        let g = planted_graph(5);
+        let family = HashFamily::new(5, 7);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let raw = gpu_shingle_pass(&gpu, &g, 10_000, &family).unwrap();
+        assert!(aggregate(&raw).is_empty());
+    }
+
+    #[test]
+    fn empty_graph_no_records() {
+        let mut el = gpclust_graph::EdgeList::new();
+        let g = Csr::from_edges(5, &mut el);
+        let family = HashFamily::new(3, 8);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        let raw = gpu_shingle_pass(&gpu, &g, 2, &family).unwrap();
+        assert!(raw.is_empty());
+    }
+}

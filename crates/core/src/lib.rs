@@ -1,0 +1,63 @@
+//! # gpclust-core — the Shingling clustering algorithm
+//!
+//! The paper's primary contribution: a CPU–GPU implementation of the
+//! Shingling randomized dense-subgraph heuristic (Gibson, Kumar, Tomkins,
+//! VLDB 2005) for identifying protein family "core sets" in metagenomic
+//! homology graphs. This crate provides:
+//!
+//! * [`params`] — the algorithm parameters (`s1, c1, s2, c2`, seed) with the
+//!   paper's defaults (s1=2, c1=200, s2=2, c2=100).
+//! * [`minwise`] — min-wise independent permutations via
+//!   `h(v) = (A·v + B) mod P` and the s-smallest selection buffer.
+//! * [`shingle`] — shingle keys, the raw per-trial shingle records a pass
+//!   emits, and the adjacency-input abstraction shared by both passes.
+//! * [`serial`] — the serial pClust reference implementation (the baseline
+//!   of Table I and the oracle for the GPU path).
+//! * [`batch`] — partitioning of adjacency lists into device-memory-sized
+//!   batches, including lists split across batch boundaries.
+//! * [`decompose`] — pClust's connected-component decomposition driver:
+//!   cluster each component independently, merge the results.
+//! * [`gpu_pass`] — Algorithm 1: one shingling pass on the (simulated)
+//!   device — per-trial hash transform, segmented sort, top-s compaction,
+//!   per-iteration D2H transfer.
+//! * [`aggregate`] — the CPU-side shingle-graph aggregation, including the
+//!   merge of shingle fragments from split adjacency lists.
+//! * [`report`] — Phase III: dense-subgraph reporting, both the overlapping
+//!   connected-component variant and the union–find partition variant the
+//!   paper adopts.
+//! * [`pipeline`] — Algorithm 2: the full gpClust driver with the
+//!   per-component timers that populate Table I.
+//! * [`baseline`] — the GOS k-neighbor linkage comparator (SNN and
+//!   edge-restricted variants).
+//! * [`mcl`] — Markov Clustering, the comparator the metagenomics field
+//!   standardized on (TribeMCL/OrthoMCL lineage).
+//! * [`multi_gpu`] — batches dealt round-robin over several devices.
+//! * [`weighted`] — exponential-clock weighted min-hash Shingling (the
+//!   extension the paper scopes out).
+//! * [`quality`] — pairwise PPV/NPV/SP/SE (Equations 2–5) and cluster
+//!   density (Equation 6) against a benchmark partition.
+//! * [`timing`] — component timer plumbing.
+
+pub mod aggregate;
+pub mod baseline;
+pub mod batch;
+pub mod decompose;
+pub mod gpu_pass;
+pub mod mcl;
+pub mod minwise;
+pub mod multi_gpu;
+pub mod params;
+pub mod pipeline;
+pub mod probability;
+pub mod quality;
+pub mod report;
+pub mod serial;
+pub mod shingle;
+pub mod timing;
+pub mod weighted;
+
+pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
+pub use params::ShinglingParams;
+pub use pipeline::{GpClust, GpClustReport};
+pub use quality::{ConfusionCounts, QualityScores};
+pub use serial::SerialShingling;

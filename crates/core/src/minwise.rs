@@ -1,0 +1,252 @@
+//! Min-wise independent permutations and top-s selection.
+//!
+//! A random trial `j` permutes an adjacency list Γ(u) by mapping each
+//! member `v` to `h_j(v) = (A_j·v + B_j) mod P` for a fixed random pair
+//! `<A_j, B_j>` (paper §III-B, after Broder et al.'s min-wise independent
+//! permutation theory). The s members with the smallest permuted values
+//! form the trial's shingle. With high probability, vertices of a dense
+//! subgraph — which share most of their neighbors — also share their
+//! minimum-hash members, hence their shingles.
+//!
+//! The top-s selection keeps the paper's implementation choice: an s-sized
+//! buffer maintained by insertion sort ("the small values of s expected to
+//! be used in practice, typically under 10, justify a simple insertion
+//! sort-based approach").
+
+use crate::params::PRIME_P;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One packed (hash, element) pair: hash in the high 32 bits, element id in
+/// the low 32. Ordering packed values orders by hash with element id as the
+/// deterministic tie-break — the same layout the device sort operates on.
+pub type PackedHash = u64;
+
+/// Pack a (hash, element) pair.
+#[inline(always)]
+pub fn pack(hash: u32, element: u32) -> PackedHash {
+    ((hash as u64) << 32) | element as u64
+}
+
+/// Element id of a packed pair.
+#[inline(always)]
+pub fn unpack_element(p: PackedHash) -> u32 {
+    p as u32
+}
+
+/// Hash of a packed pair.
+#[inline(always)]
+pub fn unpack_hash(p: PackedHash) -> u32 {
+    (p >> 32) as u32
+}
+
+/// A family of `c` random linear hash functions `h_j(v) = (A_j·v+B_j) mod P`.
+#[derive(Debug, Clone)]
+pub struct HashFamily {
+    coeffs: Vec<(u64, u64)>,
+}
+
+impl HashFamily {
+    /// Draw `c` pairs `<A_j, B_j>` from `seed`. `A_j` is non-zero so every
+    /// `h_j` is a permutation of Z_P.
+    pub fn new(c: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let coeffs = (0..c)
+            .map(|_| (rng.gen_range(1..PRIME_P), rng.gen_range(0..PRIME_P)))
+            .collect();
+        HashFamily { coeffs }
+    }
+
+    /// Number of trials in the family.
+    pub fn len(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// True if the family has no trials.
+    pub fn is_empty(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+
+    /// The `<A, B>` pair of trial `j`.
+    #[inline]
+    pub fn coeffs(&self, j: usize) -> (u64, u64) {
+        self.coeffs[j]
+    }
+
+    /// Evaluate `h_j(v)`. The product is taken in 128-bit to avoid overflow
+    /// (A, v < 2³²; A·v can reach ~2⁶⁴).
+    #[inline(always)]
+    pub fn hash(&self, j: usize, v: u32) -> u32 {
+        let (a, b) = self.coeffs[j];
+        hash_with(a, b, v)
+    }
+}
+
+/// Evaluate `(a·v + b) mod P` for explicit coefficients (the form kernels
+/// capture, avoiding a family lookup per element).
+#[inline(always)]
+pub fn hash_with(a: u64, b: u64, v: u32) -> u32 {
+    (((a as u128 * v as u128) + b as u128) % PRIME_P as u128) as u32
+}
+
+/// Fixed-capacity buffer keeping the `s` smallest packed (hash, element)
+/// pairs seen so far, by insertion sort.
+#[derive(Debug, Clone)]
+pub struct TopS {
+    buf: Vec<PackedHash>,
+    s: usize,
+}
+
+impl TopS {
+    /// An empty buffer of capacity `s`.
+    pub fn new(s: usize) -> Self {
+        assert!(s > 0, "s must be positive");
+        TopS {
+            buf: Vec::with_capacity(s),
+            s,
+        }
+    }
+
+    /// Clear for reuse.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Offer one packed pair.
+    #[inline]
+    pub fn push(&mut self, p: PackedHash) {
+        if self.buf.len() == self.s {
+            if p >= self.buf[self.s - 1] {
+                return;
+            }
+            self.buf.pop();
+        }
+        // Insertion sort: find the slot from the back.
+        let mut i = self.buf.len();
+        self.buf.push(p);
+        while i > 0 && self.buf[i - 1] > p {
+            self.buf[i] = self.buf[i - 1];
+            i -= 1;
+        }
+        self.buf[i] = p;
+    }
+
+    /// The selected pairs, ascending by (hash, element). Fewer than `s`
+    /// entries if fewer were offered.
+    pub fn as_slice(&self) -> &[PackedHash] {
+        &self.buf
+    }
+
+    /// True if exactly `s` pairs were retained.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn hash_is_deterministic_and_in_range() {
+        let f = HashFamily::new(8, 42);
+        let g = HashFamily::new(8, 42);
+        for j in 0..8 {
+            for v in [0u32, 1, 777, u32::MAX] {
+                assert_eq!(f.hash(j, v), g.hash(j, v));
+                assert!((f.hash(j, v) as u64) < PRIME_P);
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let f = HashFamily::new(4, 1);
+        let g = HashFamily::new(4, 2);
+        let differs = (0..4).any(|j| f.hash(j, 12345) != g.hash(j, 12345));
+        assert!(differs);
+    }
+
+    #[test]
+    fn trials_are_distinct_hashes() {
+        let f = HashFamily::new(16, 3);
+        let vals: std::collections::HashSet<u32> =
+            (0..16).map(|j| f.hash(j, 999)).collect();
+        assert!(vals.len() > 12, "trials should mostly differ");
+    }
+
+    #[test]
+    fn hash_is_injective_on_small_domain() {
+        // A linear map mod a prime is a bijection of Z_P; distinct small
+        // vertex ids must hash distinctly.
+        let f = HashFamily::new(1, 9);
+        let mut seen = std::collections::HashSet::new();
+        for v in 0..10_000u32 {
+            assert!(seen.insert(f.hash(0, v)), "collision at {v}");
+        }
+    }
+
+    #[test]
+    fn pack_unpack_roundtrip() {
+        let p = pack(0xDEAD_BEEF, 0x1234_5678);
+        assert_eq!(unpack_hash(p), 0xDEAD_BEEF);
+        assert_eq!(unpack_element(p), 0x1234_5678);
+    }
+
+    #[test]
+    fn packed_order_is_hash_then_element() {
+        assert!(pack(1, 999) < pack(2, 0));
+        assert!(pack(5, 1) < pack(5, 2));
+    }
+
+    #[test]
+    fn top_s_matches_full_sort() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for s in [1usize, 2, 3, 8] {
+            for n in [0usize, 1, 2, 5, 50, 500] {
+                let vals: Vec<u64> = (0..n).map(|_| rng.gen()).collect();
+                let mut top = TopS::new(s);
+                for &v in &vals {
+                    top.push(v);
+                }
+                let mut sorted = vals.clone();
+                sorted.sort_unstable();
+                sorted.truncate(s);
+                assert_eq!(top.as_slice(), sorted.as_slice(), "s={s}, n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn top_s_full_flag() {
+        let mut t = TopS::new(3);
+        t.push(5);
+        t.push(2);
+        assert!(!t.is_full());
+        t.push(9);
+        assert!(t.is_full());
+        t.push(1);
+        assert!(t.is_full());
+        assert_eq!(t.as_slice(), &[1, 2, 5]);
+    }
+
+    #[test]
+    fn top_s_clear_reuses() {
+        let mut t = TopS::new(2);
+        t.push(3);
+        t.push(1);
+        t.clear();
+        assert_eq!(t.as_slice(), &[] as &[u64]);
+        t.push(10);
+        assert_eq!(t.as_slice(), &[10]);
+    }
+
+    #[test]
+    fn hash_with_matches_family() {
+        let f = HashFamily::new(2, 11);
+        let (a, b) = f.coeffs(1);
+        assert_eq!(f.hash(1, 4242), hash_with(a, b, 4242));
+    }
+}

@@ -1,0 +1,118 @@
+//! Shingling algorithm parameters.
+
+use serde::{Deserialize, Serialize};
+
+/// The largest prime below 2³², used as the modulus P of the min-wise hash
+/// `h(v) = (A·v + B) mod P`. Hash values therefore fit in 32 bits, which
+/// lets a (hash, vertex) pair pack into one sortable `u64` — the layout the
+/// segmented sort operates on.
+pub const PRIME_P: u64 = 4_294_967_291;
+
+/// Parameters of the two-pass Shingling algorithm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShinglingParams {
+    /// Shingle size for the first pass (elements per shingle).
+    pub s1: usize,
+    /// Number of random trials (shingles per vertex) in the first pass.
+    pub c1: usize,
+    /// Shingle size for the second pass.
+    pub s2: usize,
+    /// Number of random trials in the second pass.
+    pub c2: usize,
+    /// Seed for the random hash family; the whole clustering is a pure
+    /// function of (graph, params).
+    pub seed: u64,
+}
+
+impl ShinglingParams {
+    /// The paper's default settings: s1 = 2, c1 = 200, s2 = 2, c2 = 100.
+    pub fn paper_default(seed: u64) -> Self {
+        ShinglingParams {
+            s1: 2,
+            c1: 200,
+            s2: 2,
+            c2: 100,
+            seed,
+        }
+    }
+
+    /// A cheaper setting for unit tests and small examples.
+    pub fn light(seed: u64) -> Self {
+        ShinglingParams {
+            s1: 2,
+            c1: 40,
+            s2: 2,
+            c2: 20,
+            seed,
+        }
+    }
+
+    /// Validate invariants (positive sizes and trial counts).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.s1 == 0 || self.s2 == 0 {
+            return Err("shingle sizes must be positive".into());
+        }
+        if self.c1 == 0 || self.c2 == 0 {
+            return Err("trial counts must be positive".into());
+        }
+        if self.c1.max(self.c2) > u32::MAX as usize {
+            return Err("trial counts must fit u32".into());
+        }
+        Ok(())
+    }
+}
+
+impl ShinglingParams {
+    /// The hash family `H = {h_1..h_c1}` for the first-level shingling.
+    ///
+    /// Both the serial oracle and the GPU pipeline derive their families
+    /// through these two methods, which is what makes them bit-identical.
+    pub fn family_pass1(&self) -> crate::minwise::HashFamily {
+        crate::minwise::HashFamily::new(self.c1, self.seed ^ 0x5041_5353_0001)
+    }
+
+    /// The hash family for the second-level shingling.
+    pub fn family_pass2(&self) -> crate::minwise::HashFamily {
+        crate::minwise::HashFamily::new(self.c2, self.seed ^ 0x5041_5353_0002)
+    }
+}
+
+impl Default for ShinglingParams {
+    fn default() -> Self {
+        Self::paper_default(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_defaults_match_section_iii_d() {
+        let p = ShinglingParams::paper_default(1);
+        assert_eq!((p.s1, p.c1, p.s2, p.c2), (2, 200, 2, 100));
+    }
+
+    #[test]
+    fn prime_is_prime_and_below_2_32() {
+        // Compile-time range check (u64 literal comparison).
+        const { assert!(PRIME_P < (1u64 << 32)) };
+        // Trial division up to sqrt(P) ≈ 65536.
+        let mut d = 2u64;
+        while d * d <= PRIME_P {
+            assert_ne!(PRIME_P % d, 0, "divisible by {d}");
+            d += 1;
+        }
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_params() {
+        let mut p = ShinglingParams::paper_default(0);
+        assert!(p.validate().is_ok());
+        p.s1 = 0;
+        assert!(p.validate().is_err());
+        p = ShinglingParams::paper_default(0);
+        p.c2 = 0;
+        assert!(p.validate().is_err());
+    }
+}

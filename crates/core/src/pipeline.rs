@@ -1,0 +1,252 @@
+//! Algorithm 2 — the full gpClust driver.
+//!
+//! The division of labor the paper prescribes: "CPU is used to aggregate
+//! the data for the GPU, and GPU is responsible of the compute-intensive
+//! work." Concretely:
+//!
+//! 1. CPU loads the input graph (disk I/O, optional here);
+//! 2. first-level shingling on the GPU, batch by batch ([`crate::gpu_pass`]);
+//! 3. CPU aggregates the returned shingles into the shingle graph;
+//! 4. second-level shingling on the GPU over that graph;
+//! 5. CPU aggregates again and reports dense subgraphs (Phase III).
+//!
+//! Every stage is timed into [`StageTimes`]; device-side times come from
+//! the simulator's cost model, host-side times from wall-clock stopwatches
+//! (with the wall time spent *executing kernels on the pool* subtracted
+//! from the CPU column — that time stands in for the device, not the host).
+
+use crate::aggregate::StreamAggregator;
+use crate::gpu_pass::gpu_shingle_pass_foreach;
+use crate::minwise::unpack_element;
+use crate::params::ShinglingParams;
+use crate::report;
+use crate::timing::StageTimes;
+use gpclust_graph::{io as graph_io, Csr, Partition, UnionFind};
+use gpclust_gpu::{CountersSnapshot, DeviceError, Gpu};
+use std::path::Path;
+use std::time::Instant;
+
+/// The GPU-accelerated Shingling clustering pipeline.
+#[derive(Debug, Clone)]
+pub struct GpClust {
+    params: ShinglingParams,
+    gpu: Gpu,
+}
+
+/// Everything a gpClust run produces.
+#[derive(Debug, Clone)]
+pub struct GpClustReport {
+    /// The reported clusters (union–find partition mode).
+    pub partition: Partition,
+    /// Per-component times (Table I row).
+    pub times: StageTimes,
+    /// Device telemetry for the run.
+    pub counters: CountersSnapshot,
+    /// Distinct first-level shingles (|S1|).
+    pub first_level_shingles: usize,
+    /// Second-level `<shingle, generator>` records streamed (|E″|). The
+    /// distinct-|S2| count is not tracked: pass II streams straight into
+    /// the union–find without materializing G″.
+    pub second_level_records: u64,
+}
+
+impl GpClust {
+    /// Create a pipeline on `gpu` with validated `params`.
+    pub fn new(params: ShinglingParams, gpu: Gpu) -> Result<Self, String> {
+        params.validate()?;
+        Ok(GpClust { params, gpu })
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &ShinglingParams {
+        &self.params
+    }
+
+    /// The device handle.
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Cluster an in-memory graph (no disk stage).
+    pub fn cluster(&self, g: &Csr) -> Result<GpClustReport, DeviceError> {
+        self.run(g, 0.0)
+    }
+
+    /// Load a binary graph from `path` (timed as Disk I/O) and cluster it.
+    pub fn cluster_from_file<P: AsRef<Path>>(
+        &self,
+        path: P,
+    ) -> Result<GpClustReport, std::io::Error> {
+        let start = Instant::now();
+        let g = graph_io::read_file(path)?;
+        let disk = start.elapsed().as_secs_f64();
+        self.run(&g, disk)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::OutOfMemory, e.to_string()))
+    }
+
+    fn run(&self, g: &Csr, disk_io: f64) -> Result<GpClustReport, DeviceError> {
+        self.gpu.reset_counters();
+        let wall_start = Instant::now();
+
+        // Pass I on the device, streamed into the CPU aggregation.
+        let mut agg1 = StreamAggregator::new(self.params.s1);
+        gpu_shingle_pass_foreach(
+            &self.gpu,
+            g,
+            self.params.s1,
+            &self.params.family_pass1(),
+            |t, n, p| agg1.push(t, n, p),
+        )?;
+        let first = agg1.finish();
+
+        // Pass II on the device, streamed straight into Phase III's
+        // union–find — G″ is never materialized (see report module docs).
+        let mut uf = UnionFind::new(g.n());
+        let mut second_level_records = 0u64;
+        gpu_shingle_pass_foreach(
+            &self.gpu,
+            &first,
+            self.params.s2,
+            &self.params.family_pass2(),
+            |_, node, pairs| {
+                second_level_records += 1;
+                report::union_second_level_record(
+                    &mut uf,
+                    &first,
+                    node,
+                    pairs.iter().map(|&p| unpack_element(p)),
+                );
+            },
+        )?;
+        let partition = Partition::from_union_find(&mut uf);
+
+        let wall = wall_start.elapsed().as_secs_f64();
+        let counters = self.gpu.counters();
+        // Host time net of the wall time spent standing in for the device.
+        let cpu = (wall - counters.kernel_wall_seconds).max(0.0);
+        let times = StageTimes {
+            cpu,
+            gpu: counters.kernel_seconds,
+            h2d: counters.h2d_seconds,
+            d2h: counters.d2h_seconds,
+            disk_io,
+        };
+        Ok(GpClustReport {
+            partition,
+            times,
+            counters,
+            first_level_shingles: first.len(),
+            second_level_records,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::serial::SerialShingling;
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
+    use gpclust_gpu::DeviceConfig;
+
+    fn graph(seed: u64) -> Csr {
+        planted_partition(&PlantedConfig {
+            group_sizes: vec![25, 18, 30, 12],
+            n_noise_vertices: 15,
+            p_intra: 0.8,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 0.5,
+            seed,
+        })
+        .graph
+    }
+
+    #[test]
+    fn gpu_pipeline_matches_serial_exactly() {
+        let g = graph(21);
+        let params = ShinglingParams::light(77);
+        let serial = SerialShingling::new(params).unwrap().cluster(&g);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 4);
+        let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+        assert_eq!(report.partition, serial);
+    }
+
+    #[test]
+    fn gpu_pipeline_matches_serial_under_tiny_memory() {
+        let g = graph(22);
+        let params = ShinglingParams::light(78);
+        let serial = SerialShingling::new(params).unwrap().cluster(&g);
+        let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+        assert_eq!(report.partition, serial);
+    }
+
+    #[test]
+    fn report_carries_times_and_counts() {
+        let g = graph(23);
+        let params = ShinglingParams::light(79);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+        assert!(report.times.gpu > 0.0);
+        assert!(report.times.h2d > 0.0);
+        assert!(report.times.d2h > 0.0);
+        assert!(report.times.total() > 0.0);
+        assert!(report.first_level_shingles > 0);
+        assert!(report.counters.kernel_launches > 0);
+        // Two passes × c trials, plus compaction launches.
+        let c_total = (params.c1 + params.c2) as u64;
+        assert!(report.counters.d2h_transfers >= c_total);
+    }
+
+    #[test]
+    fn cluster_from_file_roundtrip() {
+        let g = graph(24);
+        let dir = std::env::temp_dir().join("gpclust_pipeline_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        gpclust_graph::io::write_file(&path, &g).unwrap();
+
+        let params = ShinglingParams::light(80);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let pipeline = GpClust::new(params, gpu).unwrap();
+        let from_file = pipeline.cluster_from_file(&path).unwrap();
+        assert!(from_file.times.disk_io > 0.0);
+
+        let in_memory = pipeline.cluster(&g).unwrap();
+        assert_eq!(from_file.partition, in_memory.partition);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_invalid_params() {
+        let mut p = ShinglingParams::light(0);
+        p.s2 = 0;
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        assert!(GpClust::new(p, gpu).is_err());
+    }
+
+    #[test]
+    fn surfaces_device_oom_as_error() {
+        // A device so small that even a single batch's working buffers
+        // cannot fit: the pipeline must return OutOfMemory, not panic.
+        let mut cfg = DeviceConfig::tiny_test_device();
+        cfg.global_mem_bytes = 16; // one u64 only
+        let gpu = Gpu::with_workers(cfg, 1);
+        let g = graph(40);
+        let pipeline = GpClust::new(ShinglingParams::light(1), gpu).unwrap();
+        let err = pipeline.cluster(&g).unwrap_err();
+        assert!(matches!(err, gpclust_gpu::DeviceError::OutOfMemory { .. }));
+    }
+
+    #[test]
+    fn device_survives_oom_and_recovers() {
+        // After an OOM the same device must still run real workloads.
+        let mut cfg = DeviceConfig::tiny_test_device();
+        cfg.global_mem_bytes = 4 * 1024;
+        let gpu = Gpu::with_workers(cfg, 1);
+        assert!(gpu.alloc::<u64>(10_000).is_err());
+        let g = graph(41);
+        let pipeline = GpClust::new(ShinglingParams::light(2), gpu).unwrap();
+        let report = pipeline.cluster(&g).unwrap();
+        assert!(report.partition.n_groups() > 0);
+    }
+}

@@ -1,0 +1,205 @@
+//! Min-wise shingle-collision theory — the probabilistic backbone of the
+//! algorithm, made executable.
+//!
+//! The paper leans on Broder et al.'s min-wise independent permutations:
+//! "a permutation thus obtained preserves the min-wise independent property
+//! that guarantees, with high probability, that vertices of a densely
+//! connected subgraph would also share significant number of shingles."
+//! This module states that guarantee exactly and the tests verify it
+//! *empirically against this codebase's own hash family*:
+//!
+//! For neighborhoods A, B with `x = |A ∩ B|` and `u = |A ∪ B|`, a random
+//! permutation makes the two s-shingles (the s minima of A and of B)
+//! identical **iff** the s minima of A ∪ B all land in A ∩ B:
+//!
+//! ```text
+//! P(shingle match) = C(x, s) / C(u, s)
+//! ```
+//!
+//! (for s = 1 this is the classic Jaccard estimator `x/u`). Over `c`
+//! independent trials, vertices share at least one shingle with probability
+//! `1 − (1 − p)^c` — which is what makes `c` the sensitivity knob the
+//! paper credits for its quality results, and what [`recommend_c`] inverts
+//! to choose a trial count for a target detection probability.
+
+/// Exact probability that two s-shingles coincide, given intersection
+/// size `x` and union size `u` (`x ≤ u`).
+///
+/// Returns 0 when either neighborhood cannot produce a full shingle
+/// (`u < s`) or the intersection is too small (`x < s`).
+pub fn p_shingle_match(x: usize, u: usize, s: usize) -> f64 {
+    assert!(x <= u, "intersection larger than union");
+    assert!(s >= 1);
+    if x < s || u < s {
+        return 0.0;
+    }
+    // C(x, s) / C(u, s) computed as a product of ratios for stability.
+    let mut p = 1.0f64;
+    for i in 0..s {
+        p *= (x - i) as f64 / (u - i) as f64;
+    }
+    p
+}
+
+/// Probability of sharing at least one shingle across `c` trials.
+pub fn p_detect(x: usize, u: usize, s: usize, c: usize) -> f64 {
+    let p = p_shingle_match(x, u, s);
+    1.0 - (1.0 - p).powi(c as i32)
+}
+
+/// Expected number of shared shingles across `c` trials.
+pub fn expected_shared(x: usize, u: usize, s: usize, c: usize) -> f64 {
+    c as f64 * p_shingle_match(x, u, s)
+}
+
+/// Smallest trial count `c` achieving `P(detect) ≥ target` for the given
+/// overlap geometry, or `None` if a single-trial match is impossible.
+pub fn recommend_c(x: usize, u: usize, s: usize, target: f64) -> Option<usize> {
+    assert!((0.0..1.0).contains(&target));
+    let p = p_shingle_match(x, u, s);
+    if p <= 0.0 {
+        return None;
+    }
+    if p >= 1.0 {
+        return Some(1);
+    }
+    Some(((1.0 - target).ln() / (1.0 - p).ln()).ceil().max(1.0) as usize)
+}
+
+/// Jaccard index from intersection/union sizes.
+pub fn jaccard(x: usize, u: usize) -> f64 {
+    if u == 0 {
+        0.0
+    } else {
+        x as f64 / u as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::minwise::{pack, HashFamily, TopS};
+
+    #[test]
+    fn closed_form_basics() {
+        // s = 1 reduces to Jaccard.
+        assert!((p_shingle_match(3, 10, 1) - 0.3).abs() < 1e-12);
+        // Full overlap always matches; empty intersection never.
+        assert_eq!(p_shingle_match(10, 10, 3), 1.0);
+        assert_eq!(p_shingle_match(0, 10, 2), 0.0);
+        // Too-small intersection cannot produce a shared s-shingle.
+        assert_eq!(p_shingle_match(2, 10, 3), 0.0);
+        // C(4,2)/C(8,2) = 6/28.
+        assert!((p_shingle_match(4, 8, 2) - 6.0 / 28.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn detection_grows_with_c_and_saturates() {
+        let p1 = p_detect(5, 20, 2, 10);
+        let p2 = p_detect(5, 20, 2, 100);
+        let p3 = p_detect(5, 20, 2, 2000);
+        assert!(p1 < p2 && p2 < p3);
+        assert!(p3 > 0.99);
+    }
+
+    #[test]
+    fn recommend_c_inverts_p_detect() {
+        for (x, u, s, target) in [(5usize, 20usize, 2usize, 0.9f64), (8, 30, 2, 0.99), (10, 12, 3, 0.95)] {
+            let c = recommend_c(x, u, s, target).unwrap();
+            assert!(p_detect(x, u, s, c) >= target, "c={c}");
+            if c > 1 {
+                assert!(p_detect(x, u, s, c - 1) < target, "c-1 suffices");
+            }
+        }
+        assert_eq!(recommend_c(1, 10, 2, 0.9), None);
+        assert_eq!(recommend_c(10, 10, 2, 0.9), Some(1));
+    }
+
+    /// Monte-Carlo collision rate of the implemented machinery for the
+    /// given neighborhoods and shingle size.
+    fn empirical_match_rate(a: &[u32], b: &[u32], s: usize, c: usize, seed: u64) -> f64 {
+        let family = HashFamily::new(c, seed);
+        let mut matches = 0usize;
+        for trial in 0..c {
+            let shingle = |set: &[u32]| {
+                let mut top = TopS::new(s);
+                for &v in set {
+                    top.push(pack(family.hash(trial, v), v));
+                }
+                top.as_slice().to_vec()
+            };
+            if shingle(a) == shingle(b) {
+                matches += 1;
+            }
+        }
+        matches as f64 / c as f64
+    }
+
+    /// The load-bearing test: the *implemented* hash family + top-s buffer
+    /// realize the closed-form collision probability on realistic
+    /// (hash-scattered) vertex ids — i.e., the paper's linear hash is
+    /// min-wise independent enough for the algorithm's math in practice.
+    #[test]
+    fn implementation_matches_theory_monte_carlo() {
+        // Neighborhoods with |A ∩ B| = 6, |A ∪ B| = 18, over scattered ids
+        // (splitmix-style spread, like real shuffled sequence ids).
+        let id = |i: u64| (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as u32;
+        let shared: Vec<u32> = (0..6).map(id).collect();
+        let a: Vec<u32> = shared.iter().copied().chain((100..106).map(id)).collect();
+        let b: Vec<u32> = shared.iter().copied().chain((200..206).map(id)).collect();
+        let (x, u) = (6usize, 18usize);
+
+        for s in [1usize, 2, 3] {
+            let c = 4_000;
+            let empirical = empirical_match_rate(&a, &b, s, c, 0xFEED);
+            let theory = p_shingle_match(x, u, s);
+            let sigma = (theory * (1.0 - theory) / c as f64).sqrt();
+            assert!(
+                (empirical - theory).abs() < 4.0 * sigma + 0.01,
+                "s={s}: empirical {empirical:.4} vs theory {theory:.4}"
+            );
+        }
+    }
+
+    /// A documented *limitation of the paper's own construction*: a single
+    /// linear hash `(A·v + B) mod P` is 2-universal but not exactly
+    /// min-wise independent (exact min-wise families are exponentially
+    /// large — Broder et al. 2000). On adversarially structured ids
+    /// (adjacent integers) the collision rate deviates measurably from the
+    /// ideal `C(x,s)/C(u,s)`; the deviation is small enough that clustering
+    /// behavior is unaffected, but it is real and reproducible.
+    #[test]
+    fn linear_hash_minwise_bias_is_bounded() {
+        let shared: Vec<u32> = (0..6).collect();
+        let a: Vec<u32> = shared.iter().copied().chain(100..106).collect();
+        let b: Vec<u32> = shared.iter().copied().chain(200..206).collect();
+        let theory = p_shingle_match(6, 18, 1);
+        let empirical = empirical_match_rate(&a, &b, 1, 4_000, 0xFEED);
+        let bias = (empirical - theory).abs();
+        assert!(bias > 0.005, "expected measurable bias, got {bias:.4}");
+        assert!(bias < 0.08, "bias {bias:.4} too large to ignore");
+    }
+
+    #[test]
+    fn paper_defaults_detect_dense_neighbors() {
+        // In a dense subgraph of ~45 members (the 20K graph's average
+        // degree) where two vertices share 80 % of their neighbors, the
+        // paper's defaults (s=2, c=200) detect the pair essentially always.
+        let x = 36; // shared neighbors
+        let u = 54; // union
+        let p = p_detect(x, u, 2, 200);
+        assert!(p > 0.999, "p = {p}");
+        // Whereas a weakly-overlapping pair (20 % of neighbors) is usually
+        // — but not always — left alone by a single trial, and c=200 makes
+        // even that overlap detectable: the aggressiveness the Table IV
+        // density discussion observes.
+        let weak = p_detect(9, 81, 2, 200);
+        assert!(weak > 0.5, "weak = {weak}");
+    }
+
+    #[test]
+    #[should_panic(expected = "intersection larger than union")]
+    fn rejects_inconsistent_sizes() {
+        p_shingle_match(5, 3, 1);
+    }
+}

@@ -1,0 +1,235 @@
+//! Pairwise clustering quality against a benchmark partition.
+//!
+//! The paper classifies every sequence pair `(si, sj)` into TP/FP/FN/TN by
+//! whether the test partition and the benchmark agree on co-membership,
+//! then reports PPV, NPV, SP and SE (Equations 2–5). Unassigned sequences
+//! behave as singleton groups (they co-occur with nothing).
+//!
+//! Counting all `C(n, 2)` pairs explicitly is infeasible at 2M sequences
+//! (~2×10¹² pairs); instead the counts are computed exactly from the
+//! contingency table between the two partitions:
+//!
+//! * pairs together in the test partition: Σ over test groups of `C(g, 2)`;
+//! * pairs together in the benchmark: likewise over benchmark groups;
+//! * TP: Σ over nonempty contingency cells of `C(cell, 2)`;
+//! * the remaining classes follow by subtraction from `C(n, 2)`.
+
+use gpclust_graph::Partition;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Exact pairwise confusion counts between a test and benchmark partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionCounts {
+    /// Pairs grouped together in both partitions.
+    pub tp: u64,
+    /// Pairs together in the test partition but not the benchmark.
+    pub fp: u64,
+    /// Pairs together in the benchmark but not the test partition.
+    pub fn_: u64,
+    /// Pairs separated in both.
+    pub tn: u64,
+}
+
+impl ConfusionCounts {
+    /// Count pairs between `test` and `benchmark` (same vertex universe).
+    ///
+    /// # Panics
+    /// Panics if the two partitions cover different numbers of vertices.
+    pub fn count(test: &Partition, benchmark: &Partition) -> Self {
+        assert_eq!(
+            test.n_vertices(),
+            benchmark.n_vertices(),
+            "partitions over different universes"
+        );
+        let n = test.n_vertices() as u64;
+        let total = choose2(n);
+
+        let same_t: u64 = test.sizes().iter().map(|&s| choose2(s as u64)).sum();
+        let same_b: u64 = benchmark.sizes().iter().map(|&s| choose2(s as u64)).sum();
+
+        // Contingency cells over vertices assigned in *both* partitions.
+        let mut cells: HashMap<(u32, u32), u64> = HashMap::new();
+        for v in 0..test.n_vertices() as u32 {
+            if let (Some(t), Some(b)) = (test.group_of(v), benchmark.group_of(v)) {
+                *cells.entry((t, b)).or_insert(0) += 1;
+            }
+        }
+        let tp: u64 = cells.values().map(|&c| choose2(c)).sum();
+        let fp = same_t - tp;
+        let fn_ = same_b - tp;
+        let tn = total - tp - fp - fn_;
+        ConfusionCounts { tp, fp, fn_, tn }
+    }
+
+    /// All four derived scores (Equations 2–5).
+    pub fn scores(&self) -> QualityScores {
+        QualityScores {
+            ppv: ratio(self.tp, self.tp + self.fp),
+            npv: ratio(self.tn, self.fn_ + self.tn),
+            sp: ratio(self.tn, self.fp + self.tn),
+            se: ratio(self.tp, self.tp + self.fn_),
+        }
+    }
+}
+
+/// PPV/NPV/SP/SE as fractions in [0, 1] (Table III reports percentages).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualityScores {
+    /// Positive predictive value TP/(TP+FP).
+    pub ppv: f64,
+    /// Negative predictive value TN/(FN+TN).
+    pub npv: f64,
+    /// Specificity TN/(FP+TN).
+    pub sp: f64,
+    /// Sensitivity TP/(TP+FN).
+    pub se: f64,
+}
+
+impl std::fmt::Display for QualityScores {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "PPV {:6.2}%  NPV {:6.2}%  SP {:6.2}%  SE {:6.2}%",
+            self.ppv * 100.0,
+            self.npv * 100.0,
+            self.sp * 100.0,
+            self.se * 100.0
+        )
+    }
+}
+
+#[inline]
+fn choose2(n: u64) -> u64 {
+    n * n.saturating_sub(1) / 2
+}
+
+#[inline]
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        1.0 // vacuous: no pairs in the class
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn part(membership: Vec<Option<u32>>) -> Partition {
+        Partition::from_membership(membership)
+    }
+
+    /// O(n²) oracle.
+    fn brute(test: &Partition, benchmark: &Partition) -> ConfusionCounts {
+        let n = test.n_vertices();
+        let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
+        for i in 0..n as u32 {
+            for j in i + 1..n as u32 {
+                let same_t =
+                    test.group_of(i).is_some() && test.group_of(i) == test.group_of(j);
+                let same_b = benchmark.group_of(i).is_some()
+                    && benchmark.group_of(i) == benchmark.group_of(j);
+                match (same_t, same_b) {
+                    (true, true) => tp += 1,
+                    (true, false) => fp += 1,
+                    (false, true) => fn_ += 1,
+                    (false, false) => tn += 1,
+                }
+            }
+        }
+        ConfusionCounts { tp, fp, fn_, tn }
+    }
+
+    #[test]
+    fn identical_partitions_are_perfect() {
+        let p = part(vec![Some(0), Some(0), Some(1), Some(1), Some(1), None]);
+        let c = ConfusionCounts::count(&p, &p);
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.fn_, 0);
+        let s = c.scores();
+        assert_eq!(s.ppv, 1.0);
+        assert_eq!(s.se, 1.0);
+        assert_eq!(s.sp, 1.0);
+        assert_eq!(s.npv, 1.0);
+    }
+
+    #[test]
+    fn matches_brute_force() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for trial in 0..20 {
+            let n = 60;
+            let t: Vec<Option<u32>> = (0..n)
+                .map(|_| (rng.gen_bool(0.8)).then(|| rng.gen_range(0..6u32)))
+                .collect();
+            let b: Vec<Option<u32>> = (0..n)
+                .map(|_| (rng.gen_bool(0.8)).then(|| rng.gen_range(0..5u32)))
+                .collect();
+            let (tp_, bp) = (part(t), part(b));
+            assert_eq!(
+                ConfusionCounts::count(&tp_, &bp),
+                brute(&tp_, &bp),
+                "trial {trial}"
+            );
+        }
+    }
+
+    #[test]
+    fn subpartition_has_perfect_ppv_low_se() {
+        // Benchmark: one big family {0..9}. Test: two "core sets" {0..4},
+        // {5..9} — the paper's expected regime.
+        let benchmark = part((0..10).map(|_| Some(0u32)).collect());
+        let test = part((0..10).map(|i| Some((i / 5) as u32)).collect());
+        let s = ConfusionCounts::count(&test, &benchmark).scores();
+        assert_eq!(s.ppv, 1.0, "core sets never cross families");
+        assert!(s.se < 0.5, "sensitivity must suffer: {}", s.se);
+    }
+
+    #[test]
+    fn unassigned_vertices_count_as_singletons() {
+        let benchmark = part(vec![Some(0), Some(0), Some(0)]);
+        let test = part(vec![Some(0), Some(0), None]);
+        let c = ConfusionCounts::count(&test, &benchmark);
+        assert_eq!(c.tp, 1); // (0,1)
+        assert_eq!(c.fn_, 2); // (0,2), (1,2)
+        assert_eq!(c.fp, 0);
+        assert_eq!(c.tn, 0);
+    }
+
+    #[test]
+    fn overmerging_costs_ppv() {
+        // Benchmark: two families. Test merges them.
+        let benchmark = part(vec![Some(0), Some(0), Some(1), Some(1)]);
+        let test = part(vec![Some(0), Some(0), Some(0), Some(0)]);
+        let c = ConfusionCounts::count(&test, &benchmark);
+        assert_eq!(c.tp, 2);
+        assert_eq!(c.fp, 4);
+        let s = c.scores();
+        assert!(s.ppv < 0.5);
+        assert_eq!(s.se, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "different universes")]
+    fn mismatched_universes_panic() {
+        let a = part(vec![Some(0)]);
+        let b = part(vec![Some(0), Some(0)]);
+        ConfusionCounts::count(&a, &b);
+    }
+
+    #[test]
+    fn display_formats_percentages() {
+        let s = QualityScores {
+            ppv: 0.9717,
+            npv: 0.9243,
+            sp: 0.9988,
+            se: 0.1785,
+        };
+        let txt = s.to_string();
+        assert!(txt.contains("97.17"));
+        assert!(txt.contains("17.85"));
+    }
+}

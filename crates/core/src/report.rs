@@ -1,0 +1,222 @@
+//! Phase III — reporting dense subgraphs from the second-level shingle
+//! graph.
+//!
+//! Both variants the paper describes are implemented:
+//!
+//! * [`partition_clusters`] — the union–find variant the paper adopts:
+//!   every vertex starts in its own cluster; for each connected component
+//!   of G″ the vertices constituting its first- and second-level shingles
+//!   are unioned. The result is a strict partition (no overlaps).
+//! * [`overlap_clusters`] — the alternative: enumerate connected components
+//!   of G″ over first-level shingle nodes and report, per component, the
+//!   union of the member shingles' element vertices. The same vertex may
+//!   appear in several clusters.
+//!
+//! In both, connectivity in G″ is induced by second-level shingles: all
+//! first-level shingles in `L(t)` of a second-level shingle `t` are
+//! connected through `t`.
+
+use gpclust_graph::{Partition, ShingleGraph, UnionFind, VertexId};
+
+/// Stream one second-level shingling record into the union–find.
+///
+/// Partition-mode Phase III never needs G″ materialized: records carrying
+/// the *same* second-level shingle carry the *same* element vertices, so
+/// unioning each record's `{elements(t)} ∪ {elements(F)}` independently
+/// links all of t's generators transitively through `elements(t)` — the
+/// identical final partition, with zero pass-II storage. Union–find order
+/// independence makes the streaming and materialized variants provably
+/// equal (and tests assert it).
+pub fn union_second_level_record(
+    uf: &mut UnionFind,
+    first: &ShingleGraph,
+    generator: u32,
+    second_elements: impl IntoIterator<Item = VertexId>,
+) {
+    let mut anchor: Option<VertexId> = None;
+    let mut link = |v: VertexId, uf: &mut UnionFind| match anchor {
+        Some(a) => {
+            uf.union(a, v);
+        }
+        None => anchor = Some(v),
+    };
+    for v in second_elements {
+        link(v, uf);
+    }
+    for &v in first.elements(generator as usize) {
+        link(v, uf);
+    }
+}
+
+/// Union–find reporting (the paper's choice). `n` is |V| of the input
+/// graph; `first` and `second` are the two aggregated shingle graphs.
+pub fn partition_clusters(n: usize, first: &ShingleGraph, second: &ShingleGraph) -> Partition {
+    let mut uf = UnionFind::new(n);
+    for (_, _, elements, generators) in second.iter() {
+        // Union, transitively via an anchor vertex: the second-level
+        // shingle's own element vertices, plus the element vertices of every
+        // first-level shingle that generated it.
+        let mut anchor: Option<VertexId> = None;
+        {
+            let mut link = |v: VertexId| match anchor {
+                Some(a) => {
+                    uf.union(a, v);
+                }
+                None => anchor = Some(v),
+            };
+            for &v in elements {
+                link(v);
+            }
+            for &f in generators {
+                for &v in first.elements(f as usize) {
+                    link(v);
+                }
+            }
+        }
+    }
+    Partition::from_union_find(&mut uf)
+}
+
+/// Overlapping reporting: clusters are per-component unions of first-level
+/// shingle elements; a vertex may belong to several clusters. Components
+/// are over S′1 — only first-level shingles that contributed to at least
+/// one second-level shingle.
+pub fn overlap_clusters(first: &ShingleGraph, second: &ShingleGraph) -> Vec<Vec<VertexId>> {
+    let mut uf = UnionFind::new(first.len());
+    let mut in_g2 = vec![false; first.len()];
+    for (_, _, _, generators) in second.iter() {
+        let mut anchor: Option<u32> = None;
+        for &f in generators {
+            in_g2[f as usize] = true;
+            match anchor {
+                Some(a) => {
+                    uf.union(a, f);
+                }
+                None => anchor = Some(f),
+            }
+        }
+    }
+    // Group member shingles per component root, then expand to vertices.
+    let mut groups: std::collections::HashMap<u32, Vec<u32>> = std::collections::HashMap::new();
+    for f in 0..first.len() as u32 {
+        if in_g2[f as usize] {
+            groups.entry(uf.find(f)).or_default().push(f);
+        }
+    }
+    let mut clusters: Vec<Vec<VertexId>> = groups
+        .into_values()
+        .map(|shingles| {
+            let mut members: Vec<VertexId> = shingles
+                .iter()
+                .flat_map(|&f| first.elements(f as usize).iter().copied())
+                .collect();
+            members.sort_unstable();
+            members.dedup();
+            members
+        })
+        .collect();
+    clusters.sort();
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// first: three shingles over vertices; second: one shingle linking
+    /// first-shingles 0 and 1 (shingle 2 is outside G″).
+    fn graphs() -> (ShingleGraph, ShingleGraph) {
+        let first = ShingleGraph::from_records(
+            2,
+            vec![
+                (10u64, &[0u32, 1][..], &[2u32, 3][..]),
+                (20, &[1, 4], &[5][..]),
+                (30, &[7, 8], &[9][..]),
+            ],
+        );
+        // One second-level shingle: elements {2,5} (pass-I generators),
+        // generated by first-level shingles 0 and 1.
+        let second = ShingleGraph::from_records(2, vec![(99u64, &[2u32, 5][..], &[0u32, 1][..])]);
+        (first, second)
+    }
+
+    #[test]
+    fn partition_unions_first_and_second_level_elements() {
+        let (first, second) = graphs();
+        let p = partition_clusters(10, &first, &second);
+        // Expected union: elements of second {2,5} + elements of first 0
+        // {0,1} + elements of first 1 {1,4} → {0,1,2,4,5}.
+        let g = p.group_of(0).unwrap();
+        for v in [1u32, 2, 4, 5] {
+            assert_eq!(p.group_of(v), Some(g), "vertex {v}");
+        }
+        // Vertices 7, 8 (shingle 2, outside G″) stay singletons.
+        assert_ne!(p.group_of(7), Some(g));
+        assert_ne!(p.group_of(7), p.group_of(8));
+        // The big cluster plus 5 singletons: 3,6,7,8,9.
+        assert_eq!(p.n_groups(), 6);
+    }
+
+    #[test]
+    fn overlap_reports_only_g2_members() {
+        let (first, second) = graphs();
+        let clusters = overlap_clusters(&first, &second);
+        assert_eq!(clusters, vec![vec![0, 1, 4]]);
+    }
+
+    #[test]
+    fn overlap_allows_shared_vertices() {
+        // Two disjoint components in G″ whose shingles share vertex 1.
+        let first = ShingleGraph::from_records(
+            2,
+            vec![
+                (10u64, &[0u32, 1][..], &[4u32][..]),
+                (20, &[1, 2], &[5][..]),
+            ],
+        );
+        let second = ShingleGraph::from_records(
+            1,
+            vec![
+                (50u64, &[4u32][..], &[0u32][..]),
+                (60, &[5], &[1][..]),
+            ],
+        );
+        let clusters = overlap_clusters(&first, &second);
+        assert_eq!(clusters, vec![vec![0, 1], vec![1, 2]]);
+        // Vertex 1 is in both — the overlap the partition variant forbids.
+    }
+
+    #[test]
+    fn partition_with_empty_second_graph_is_all_singletons() {
+        let first = ShingleGraph::from_records(2, vec![(10u64, &[0u32, 1][..], &[2u32][..])]);
+        let second = ShingleGraph::from_records(2, std::iter::empty());
+        let p = partition_clusters(5, &first, &second);
+        assert_eq!(p.n_groups(), 5);
+    }
+
+    #[test]
+    fn transitive_linking_across_second_level_shingles() {
+        // Two second-level shingles sharing first-level shingle 1 must
+        // merge everything into one cluster.
+        let first = ShingleGraph::from_records(
+            1,
+            vec![
+                (10u64, &[0u32][..], &[10u32][..]),
+                (20, &[1], &[11][..]),
+                (30, &[2], &[12][..]),
+            ],
+        );
+        let second = ShingleGraph::from_records(
+            1,
+            vec![
+                (70u64, &[10u32][..], &[0u32, 1][..]),
+                (80, &[11], &[1, 2][..]),
+            ],
+        );
+        let p = partition_clusters(13, &first, &second);
+        let g = p.group_of(0).unwrap();
+        for v in [1u32, 2, 10, 11] {
+            assert_eq!(p.group_of(v), Some(g), "vertex {v}");
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Component timers for the Table I breakdown.
+//!
+//! The paper decomposes gpClust runtime into: CPU (host-side aggregation
+//! and reporting), GPU (kernel time), Data c→g, Data g→c, and Disk I/O.
+//! In this reproduction the CPU and Disk columns are *measured wall-clock*
+//! seconds on the host, while the GPU and transfer columns are *simulated
+//! device seconds* from the cost model — the distinction every report
+//! spells out (see EXPERIMENTS.md).
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// A simple accumulating stopwatch.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct Stopwatch {
+    seconds: f64,
+}
+
+impl Stopwatch {
+    /// Zeroed stopwatch.
+    pub fn new() -> Self {
+        Stopwatch::default()
+    }
+
+    /// Time `f`, adding its duration.
+    pub fn time<T>(&mut self, f: impl FnOnce() -> T) -> T {
+        let start = Instant::now();
+        let out = f();
+        self.seconds += start.elapsed().as_secs_f64();
+        out
+    }
+
+    /// Add raw seconds.
+    pub fn add(&mut self, seconds: f64) {
+        self.seconds += seconds;
+    }
+
+    /// Accumulated seconds.
+    pub fn seconds(&self) -> f64 {
+        self.seconds
+    }
+}
+
+/// The per-component times of one gpClust run (one row of Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct StageTimes {
+    /// Host-side work: aggregation, reporting, batching (measured wall s).
+    pub cpu: f64,
+    /// Device kernel time (simulated s).
+    pub gpu: f64,
+    /// Host→device transfer time, "Data c→g" (simulated s).
+    pub h2d: f64,
+    /// Device→host transfer time, "Data g→c" (simulated s).
+    pub d2h: f64,
+    /// Graph load time from disk (measured wall s).
+    pub disk_io: f64,
+}
+
+impl StageTimes {
+    /// Total runtime as the paper composes it: the sum of all components
+    /// (no overlap — Thrust 1.5 transfers are synchronous).
+    pub fn total(&self) -> f64 {
+        self.cpu + self.gpu + self.h2d + self.d2h + self.disk_io
+    }
+
+    /// Total if transfers were fully overlapped with computation (the
+    /// paper's async-transfer future work).
+    pub fn total_with_overlapped_transfers(&self) -> f64 {
+        self.cpu + self.gpu + self.disk_io
+    }
+}
+
+impl std::fmt::Display for StageTimes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "CPU {:.2}s | GPU {:.4}s | c→g {:.4}s | g→c {:.4}s | disk {:.3}s | total {:.2}s",
+            self.cpu,
+            self.gpu,
+            self.h2d,
+            self.d2h,
+            self.disk_io,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stopwatch_accumulates() {
+        let mut sw = Stopwatch::new();
+        let x = sw.time(|| {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            42
+        });
+        assert_eq!(x, 42);
+        sw.add(0.5);
+        assert!(sw.seconds() >= 0.51);
+    }
+
+    #[test]
+    fn totals_compose() {
+        let t = StageTimes {
+            cpu: 1.0,
+            gpu: 2.0,
+            h2d: 0.25,
+            d2h: 0.75,
+            disk_io: 0.5,
+        };
+        assert!((t.total() - 4.5).abs() < 1e-12);
+        assert!((t.total_with_overlapped_transfers() - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_all_components() {
+        let s = StageTimes::default().to_string();
+        for needle in ["CPU", "GPU", "c→g", "g→c", "disk", "total"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+    }
+}

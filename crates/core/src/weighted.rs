@@ -1,0 +1,340 @@
+//! Weighted-graph Shingling — an extension beyond the paper's scope.
+//!
+//! The paper restricts itself to unweighted inputs ("although information
+//! is sometimes available to assign edge weights in this graph based on
+//! the degree of pairwise relationship, the scope of this paper is
+//! restricted to unweighted inputs"). Homology graphs, however, carry
+//! natural weights (alignment scores), and the min-wise machinery extends
+//! cleanly: instead of ranking a neighborhood by `h(v)`, rank it by the
+//! *exponential-clock* key
+//!
+//! ```text
+//! key_j(v) = −ln(u_j(v)) / w(v),   u_j(v) = (h_j(v) + 1) / P  ∈ (0, 1]
+//! ```
+//!
+//! which realizes weighted min-wise sampling: the probability that `v`
+//! holds the minimum key is `w(v) / Σ w` (the classic exponential-races
+//! argument), so heavier neighbors dominate the shingles and two vertices
+//! share shingles in proportion to the *weighted* overlap of their
+//! neighborhoods. With unit weights this reduces exactly to an order-
+//! preserving transform of the unweighted permutation, so the unweighted
+//! algorithm is the special case (tested below).
+
+use crate::aggregate::StreamAggregator;
+use crate::minwise::HashFamily;
+use crate::params::{ShinglingParams, PRIME_P};
+use crate::report;
+use crate::shingle::AdjacencyInput;
+use gpclust_graph::{Partition, UnionFind};
+
+/// A weighted adjacency input: lists plus per-edge weights, parallel to
+/// [`AdjacencyInput::flat`].
+pub trait WeightedAdjacency: AdjacencyInput {
+    /// Weight of the `idx`-th entry of the flat adjacency array.
+    fn weight_at(&self, idx: usize) -> f32;
+}
+
+/// A CSR graph paired with per-edge weights (same layout as `targets`).
+#[derive(Debug, Clone)]
+pub struct WeightedCsr {
+    graph: gpclust_graph::Csr,
+    weights: Vec<f32>,
+}
+
+impl WeightedCsr {
+    /// Pair a graph with its per-directed-edge weights.
+    ///
+    /// # Panics
+    /// Panics if the weight array does not match the adjacency array, or
+    /// any weight is non-positive / non-finite.
+    pub fn new(graph: gpclust_graph::Csr, weights: Vec<f32>) -> Self {
+        assert_eq!(weights.len(), graph.targets().len(), "weights shape");
+        assert!(
+            weights.iter().all(|w| w.is_finite() && *w > 0.0),
+            "weights must be positive and finite"
+        );
+        WeightedCsr { graph, weights }
+    }
+
+    /// Uniform weights (reduces to the unweighted algorithm).
+    pub fn unit(graph: gpclust_graph::Csr) -> Self {
+        let weights = vec![1.0; graph.targets().len()];
+        WeightedCsr { graph, weights }
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &gpclust_graph::Csr {
+        &self.graph
+    }
+}
+
+impl AdjacencyInput for WeightedCsr {
+    fn n_nodes(&self) -> usize {
+        self.graph.n()
+    }
+    fn offsets(&self) -> &[u64] {
+        self.graph.offsets()
+    }
+    fn flat(&self) -> &[u32] {
+        self.graph.targets()
+    }
+}
+
+impl WeightedAdjacency for WeightedCsr {
+    fn weight_at(&self, idx: usize) -> f32 {
+        self.weights[idx]
+    }
+}
+
+/// Exponential-clock key for one (hashed) neighbor. Smaller = earlier.
+#[inline]
+fn clock_key(hash: u32, weight: f32) -> f64 {
+    let u = (hash as f64 + 1.0) / PRIME_P as f64; // in (0, 1]
+    -u.ln() / weight as f64
+}
+
+/// One weighted shingling pass: like the serial pass, but neighbors are
+/// ranked by exponential-clock keys. Streams `(trial, node, elements)`
+/// where `elements` are the s earliest-clock neighbors, in clock order.
+pub fn weighted_pass_foreach<W: WeightedAdjacency>(
+    input: &W,
+    s: usize,
+    family: &HashFamily,
+    mut f: impl FnMut(u32, u32, &[u32]),
+) {
+    let offsets = input.offsets();
+    let flat = input.flat();
+    let mut top: Vec<(f64, u32)> = Vec::with_capacity(s + 1);
+    let mut elements: Vec<u32> = Vec::with_capacity(s);
+    for trial in 0..family.len() {
+        for node in 0..input.n_nodes() {
+            let (lo, hi) = (offsets[node] as usize, offsets[node + 1] as usize);
+            if hi - lo < s {
+                continue;
+            }
+            top.clear();
+            #[allow(clippy::needless_range_loop)] // idx also keys weight_at
+            for idx in lo..hi {
+                let v = flat[idx];
+                let key = clock_key(family.hash(trial, v), input.weight_at(idx));
+                // s-sized insertion buffer, as in the unweighted TopS.
+                if top.len() == s {
+                    if key >= top[s - 1].0 {
+                        continue;
+                    }
+                    top.pop();
+                }
+                let pos = top.partition_point(|&(k, _)| k < key);
+                top.insert(pos, (key, v));
+            }
+            elements.clear();
+            elements.extend(top.iter().map(|&(_, v)| v));
+            f(trial as u32, node as u32, &elements);
+        }
+    }
+}
+
+/// Weighted serial Shingling clustering (the extension's end-to-end path):
+/// weighted pass I, aggregation, weighted pass II over the (unweighted)
+/// generator lists, streaming Phase III.
+pub fn cluster_weighted(wg: &WeightedCsr, params: &ShinglingParams) -> Result<Partition, String> {
+    params.validate()?;
+    let mut agg1 = StreamAggregator::new(params.s1);
+    weighted_pass_foreach(wg, params.s1, &params.family_pass1(), |t, n, elems| {
+        // Re-sort elements ascending by (hash, id) packing convention used
+        // by the aggregator: clock order is already deterministic, so pack
+        // rank as the "hash" half.
+        let pairs: Vec<u64> = elems
+            .iter()
+            .enumerate()
+            .map(|(rank, &v)| ((rank as u64) << 32) | v as u64)
+            .collect();
+        agg1.push(t, n, &pairs);
+    });
+    let first = agg1.finish();
+    let mut uf = UnionFind::new(wg.n_nodes());
+    // Pass II runs on the shingle graph's generator lists, which carry no
+    // weights — use the standard unweighted pass.
+    crate::serial::shingle_pass_foreach(
+        &first,
+        params.s2,
+        &params.family_pass2(),
+        |_, node, pairs| {
+            report::union_second_level_record(
+                &mut uf,
+                &first,
+                node,
+                pairs.iter().map(|&p| crate::minwise::unpack_element(p)),
+            );
+        },
+    );
+    Ok(Partition::from_union_find(&mut uf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
+    use gpclust_graph::{Csr, EdgeList};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn unit_weights_recover_planted_cliques() {
+        let pg = planted_partition(&PlantedConfig {
+            group_sizes: vec![15, 20, 10],
+            n_noise_vertices: 5,
+            p_intra: 0.9,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 0.0,
+            seed: 3,
+        });
+        let wg = WeightedCsr::unit(pg.graph.clone());
+        let p = cluster_weighted(&wg, &ShinglingParams::light(7)).unwrap();
+        for grp in pg.truth.groups() {
+            let c0 = p.group_of(grp[0]);
+            for &v in grp {
+                assert_eq!(p.group_of(v), c0);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_neighbors_dominate_shingles() {
+        // Star with one heavy neighbor: the heavy one must appear in
+        // nearly every 1-element shingle of the hub.
+        let mut el: EdgeList = (1..50u32).map(|v| (0, v)).collect();
+        let g = Csr::from_edges(50, &mut el);
+        let heavy: u32 = 7;
+        let weights: Vec<f32> = (0..g.targets().len())
+            .map(|i| if g.targets()[i] == heavy { 100.0 } else { 1.0 })
+            .collect();
+        let wg = WeightedCsr::new(g, weights);
+        let family = HashFamily::new(200, 9);
+        let mut heavy_hits = 0usize;
+        let mut total = 0usize;
+        weighted_pass_foreach(&wg, 1, &family, |_, node, elems| {
+            if node == 0 {
+                total += 1;
+                if elems[0] == heavy {
+                    heavy_hits += 1;
+                }
+            }
+        });
+        assert_eq!(total, 200);
+        // Expected hit rate: 100 / (100 + 48) ≈ 0.676.
+        let rate = heavy_hits as f64 / total as f64;
+        assert!((0.5..0.85).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn weight_proportional_sampling_rate() {
+        // Two neighbors with weights 3:1 — the heavier is the minimum of
+        // the exponential race with probability 3/4.
+        let mut el: EdgeList = [(0, 1), (0, 2)].into_iter().collect();
+        let g = Csr::from_edges(3, &mut el);
+        let weights: Vec<f32> = (0..g.targets().len())
+            .map(|i| if g.targets()[i] == 1 { 3.0 } else { 1.0 })
+            .collect();
+        let wg = WeightedCsr::new(g, weights);
+        let family = HashFamily::new(3_000, 11);
+        let mut hits = 0usize;
+        weighted_pass_foreach(&wg, 1, &family, |_, node, elems| {
+            if node == 0 && elems[0] == 1 {
+                hits += 1;
+            }
+        });
+        let rate = hits as f64 / 3_000.0;
+        assert!((rate - 0.75).abs() < 0.05, "rate = {rate}");
+    }
+
+    #[test]
+    fn robust_to_a_single_heavy_bridge() {
+        // Two cliques joined by one bridge edge of enormous weight. The
+        // bridge endpoints' shingles now almost always contain the partner
+        // endpoint — but those shingles are generated by *one* vertex each,
+        // so they never gather multiple generators and never induce a
+        // merge: weighted Shingling keeps the cliques apart. (A single
+        // heavy edge is exactly the spurious-link case clustering should
+        // resist.)
+        let mut el = EdgeList::new();
+        for a in 0..8u32 {
+            for b in a + 1..8 {
+                el.push(a, b);
+            }
+        }
+        for a in 8..16u32 {
+            for b in a + 1..16 {
+                el.push(a, b);
+            }
+        }
+        el.push(0, 8);
+        let g = Csr::from_edges(16, &mut el);
+
+        let params = ShinglingParams::light(5);
+        let p_unit = cluster_weighted(&WeightedCsr::unit(g.clone()), &params).unwrap();
+        assert_ne!(p_unit.group_of(1), p_unit.group_of(9), "cliques distinct");
+
+        // Exactly the two directed halves of the 0-8 bridge get the huge
+        // weight; flat indices located through the CSR offsets.
+        let mut weights = vec![1.0f32; g.targets().len()];
+        for (src, dst) in [(0u32, 8u32), (8, 0)] {
+            let lo = g.offsets()[src as usize] as usize;
+            let hi = g.offsets()[src as usize + 1] as usize;
+            let idx = (lo..hi).find(|&i| g.targets()[i] == dst).unwrap();
+            weights[idx] = 10_000.0;
+        }
+        let heavy = WeightedCsr::new(g.clone(), weights.clone());
+        let p_heavy = cluster_weighted(&heavy, &params).unwrap();
+        assert_eq!(p_unit, p_heavy, "a single heavy bridge must not merge");
+
+        // The weights *do* change what is sampled: the bridge endpoints'
+        // first-level shingles differ between the unit and heavy runs.
+        let family = params.family_pass1();
+        let collect = |wg: &WeightedCsr| {
+            let mut shingles = Vec::new();
+            weighted_pass_foreach(wg, params.s1, &family, |_, node, elems| {
+                if node == 0 {
+                    shingles.push(elems.to_vec());
+                }
+            });
+            shingles
+        };
+        let unit_shingles = collect(&WeightedCsr::unit(g.clone()));
+        let heavy_shingles = collect(&heavy);
+        assert_ne!(unit_shingles, heavy_shingles);
+        let with_8 = heavy_shingles.iter().filter(|s| s.contains(&8)).count();
+        assert!(
+            with_8 * 10 >= heavy_shingles.len() * 9,
+            "heavy neighbor in {with_8}/{} shingles",
+            heavy_shingles.len()
+        );
+    }
+
+    #[test]
+    fn random_weights_still_partition_validly() {
+        let pg = planted_partition(&PlantedConfig {
+            group_sizes: vec![12, 18],
+            n_noise_vertices: 4,
+            p_intra: 0.8,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 0.5,
+            seed: 21,
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let weights: Vec<f32> = (0..pg.graph.targets().len())
+            .map(|_| rng.gen_range(0.1..10.0f32))
+            .collect();
+        let wg = WeightedCsr::new(pg.graph.clone(), weights);
+        let p = cluster_weighted(&wg, &ShinglingParams::light(3)).unwrap();
+        assert_eq!(p.assigned_count(), pg.graph.n());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_weights() {
+        let mut el: EdgeList = [(0, 1)].into_iter().collect();
+        let g = Csr::from_edges(2, &mut el);
+        WeightedCsr::new(g, vec![1.0, 0.0]);
+    }
+}

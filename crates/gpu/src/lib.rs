@@ -1,0 +1,46 @@
+//! # gpclust-gpu — a software SIMT device simulator
+//!
+//! The paper runs its shingling kernels on an NVIDIA Tesla K20 through the
+//! CUDA Thrust library. This environment has no GPU (and Rust's CUDA
+//! ecosystem is immature for custom kernels), so this crate substitutes a
+//! **software device simulator** that preserves everything the algorithm
+//! actually interacts with:
+//!
+//! * **Limited device memory** ([`memory`]) — allocations are accounted
+//!   against a configurable capacity (5 GB for the K20 preset) and fail with
+//!   [`DeviceError::OutOfMemory`] when exceeded, which is what forces the
+//!   batch-by-batch streaming of adjacency lists in gpClust's Algorithm 2.
+//! * **Synchronous host↔device transfers** ([`transfer`]) — explicit
+//!   `htod`/`dtoh` copies with byte accounting and a modeled transfer time
+//!   (PCIe latency + bytes/bandwidth), mirroring Thrust 1.5's synchronous
+//!   copy semantics that the paper calls out as its residual overhead.
+//! * **Data-parallel execution** ([`simt`], [`pool`]) — kernels run for real
+//!   on a work-stealing CPU thread pool (thread blocks = tasks, SMs =
+//!   workers), while a cost model accounts *device time* per launch
+//!   (compute-bound vs memory-bound roofline + launch overhead).
+//! * **Thrust-like primitives** ([`thrust`]) — `transform`, `sort`,
+//!   `segmented_sort`, `reduce_by_key`, `gather`, `sequence`: the two
+//!   primitives the paper names (transform + sort) plus the helpers the
+//!   aggregation steps need.
+//!
+//! Device time ([`clock`], [`counters`]) is *simulated* — derived from the
+//! cost model, not wall-clock — so the Table I columns (GPU seconds,
+//! Data c→g, Data g→c) can be reported for a machine this host is not.
+//! Wall-clock speedups from the real thread-pool execution are reported
+//! separately by the benchmark harness.
+
+pub mod clock;
+pub mod config;
+pub mod counters;
+pub mod memory;
+pub mod pool;
+pub mod simt;
+pub mod thrust;
+pub mod timeline;
+pub mod transfer;
+
+pub use config::DeviceConfig;
+pub use counters::CountersSnapshot;
+pub use memory::{DeviceBuffer, DeviceError};
+pub use simt::{Gpu, KernelCost};
+pub use timeline::{pipelined_seconds, serialized_seconds, Event, EventLog};

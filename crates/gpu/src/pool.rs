@@ -1,0 +1,269 @@
+//! The SM array: a work-stealing CPU thread pool.
+//!
+//! Thread blocks on a real GPU are scheduled independently onto whichever
+//! SM has capacity; here, kernel *tasks* (one per thread block, or per
+//! block-batch) are pushed to a global injector and pulled by worker
+//! threads through classic work stealing (local deque → injector →
+//! steal from siblings). The pool is deliberately hand-built on
+//! `crossbeam-deque` so the scheduling structure mirrors the machine being
+//! simulated rather than hiding inside a generic parallel-iterator layer.
+//!
+//! [`SmPool::execute_batch`] blocks until every submitted task has run,
+//! which is what makes lending non-`'static` borrows to tasks sound (the
+//! borrow outlives the whole batch — the same argument as
+//! `std::thread::scope`).
+
+use crossbeam_deque::{Injector, Stealer, Worker};
+use crossbeam_utils::sync::WaitGroup;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    injector: Injector<Job>,
+    stealers: Vec<Stealer<Job>>,
+    shutdown: AtomicBool,
+    panicked: AtomicBool,
+}
+
+/// A fixed-size work-stealing pool standing in for the SM array.
+pub struct SmPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<thread::Thread>,
+    handles: Vec<JoinHandle<()>>,
+    n_workers: usize,
+}
+
+impl SmPool {
+    /// Create a pool with `n_workers` threads (0 → host parallelism).
+    pub fn new(n_workers: usize) -> Self {
+        let n_workers = if n_workers == 0 {
+            thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+        } else {
+            n_workers
+        };
+        let locals: Vec<Worker<Job>> = (0..n_workers).map(|_| Worker::new_fifo()).collect();
+        let stealers = locals.iter().map(Worker::stealer).collect();
+        let shared = Arc::new(PoolShared {
+            injector: Injector::new(),
+            stealers,
+            shutdown: AtomicBool::new(false),
+            panicked: AtomicBool::new(false),
+        });
+
+        let mut handles = Vec::with_capacity(n_workers);
+        for (idx, local) in locals.into_iter().enumerate() {
+            let shared = Arc::clone(&shared);
+            let handle = thread::Builder::new()
+                .name(format!("gpu-sm-{idx}"))
+                .spawn(move || worker_loop(idx, local, shared))
+                .expect("spawn pool worker");
+            handles.push(handle);
+        }
+        let threads = handles.iter().map(|h| h.thread().clone()).collect();
+        SmPool {
+            shared,
+            threads,
+            handles,
+            n_workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn n_workers(&self) -> usize {
+        self.n_workers
+    }
+
+    /// Run all `tasks` to completion on the pool; blocks until done.
+    ///
+    /// Tasks may borrow from the caller's stack: the bound is `'env`, and
+    /// soundness follows from this function not returning until every task
+    /// has finished (the `WaitGroup` join), exactly like a scoped thread.
+    ///
+    /// # Panics
+    /// Panics if any task panicked.
+    pub fn execute_batch<'env>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'env>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let wg = WaitGroup::new();
+        for task in tasks {
+            // SAFETY: the task's borrows live for 'env, and we block on
+            // `wg.wait()` below until the task has completed, so the
+            // reference never outlives its referent.
+            let task: Job = unsafe {
+                std::mem::transmute::<
+                    Box<dyn FnOnce() + Send + 'env>,
+                    Box<dyn FnOnce() + Send + 'static>,
+                >(task)
+            };
+            let wg = wg.clone();
+            self.shared.injector.push(Box::new(move || {
+                task();
+                drop(wg);
+            }));
+        }
+        for t in &self.threads {
+            t.unpark();
+        }
+        wg.wait();
+        if self.shared.panicked.swap(false, Ordering::SeqCst) {
+            panic!("a kernel task panicked on the device pool");
+        }
+    }
+}
+
+impl Drop for SmPool {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        for t in &self.threads {
+            t.unpark();
+        }
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl std::fmt::Debug for SmPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmPool")
+            .field("n_workers", &self.n_workers)
+            .finish()
+    }
+}
+
+fn worker_loop(idx: usize, local: Worker<Job>, shared: Arc<PoolShared>) {
+    loop {
+        if let Some(job) = find_job(idx, &local, &shared) {
+            if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                shared.panicked.store(true, Ordering::SeqCst);
+            }
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        // Nothing to do: park until new work or shutdown. An unpark that
+        // raced ahead of this park leaves a token, so we cannot deadlock.
+        thread::park_timeout(std::time::Duration::from_millis(50));
+    }
+}
+
+fn find_job(idx: usize, local: &Worker<Job>, shared: &PoolShared) -> Option<Job> {
+    if let Some(job) = local.pop() {
+        return Some(job);
+    }
+    loop {
+        // Global queue first (batch-steal amortizes contention), then peers.
+        match shared.injector.steal_batch_and_pop(local) {
+            crossbeam_deque::Steal::Success(job) => return Some(job),
+            crossbeam_deque::Steal::Retry => continue,
+            crossbeam_deque::Steal::Empty => {}
+        }
+        let mut retry = false;
+        for (i, stealer) in shared.stealers.iter().enumerate() {
+            if i == idx {
+                continue;
+            }
+            match stealer.steal() {
+                crossbeam_deque::Steal::Success(job) => return Some(job),
+                crossbeam_deque::Steal::Retry => retry = true,
+                crossbeam_deque::Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn runs_all_tasks() {
+        let pool = SmPool::new(4);
+        let counter = AtomicUsize::new(0);
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..100)
+            .map(|_| {
+                Box::new(|| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.execute_batch(tasks);
+        assert_eq!(counter.load(Ordering::Relaxed), 100);
+    }
+
+    #[test]
+    fn borrows_caller_data_mutably_disjoint() {
+        let pool = SmPool::new(3);
+        let mut data = vec![0u64; 1_000];
+        let chunks: Vec<&mut [u64]> = data.chunks_mut(100).collect();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .into_iter()
+            .enumerate()
+            .map(|(i, chunk)| {
+                Box::new(move || {
+                    for (k, x) in chunk.iter_mut().enumerate() {
+                        *x = (i * 100 + k) as u64;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        pool.execute_batch(tasks);
+        for (k, &x) in data.iter().enumerate() {
+            assert_eq!(x, k as u64);
+        }
+    }
+
+    #[test]
+    fn sequential_batches_reuse_pool() {
+        let pool = SmPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..10 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.execute_batch(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 80);
+    }
+
+    #[test]
+    fn empty_batch_is_noop() {
+        let pool = SmPool::new(1);
+        pool.execute_batch(Vec::new());
+    }
+
+    #[test]
+    fn panicking_task_propagates() {
+        let pool = SmPool::new(2);
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            pool.execute_batch(vec![Box::new(|| panic!("boom")) as Box<dyn FnOnce() + Send>]);
+        }));
+        assert!(result.is_err());
+        // Pool remains usable after a panic.
+        let counter = AtomicUsize::new(0);
+        pool.execute_batch(vec![Box::new(|| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }) as Box<dyn FnOnce() + Send + '_>]);
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn zero_workers_defaults_to_host_parallelism() {
+        let pool = SmPool::new(0);
+        assert!(pool.n_workers() >= 1);
+    }
+}

@@ -1,0 +1,612 @@
+//! Thrust-like data-parallel primitives.
+//!
+//! The paper implements its GPU shingling with the Thrust template library,
+//! naming two workhorses: `thrust::transform` (the per-element min-wise
+//! hash) and sorting (the segmented sort that orders each permuted
+//! adjacency list). This module provides those primitives — plus
+//! `sequence`, `gather` and `reduce_by_key` used around them — over
+//! [`DeviceBuffer`]s, each launch executing in parallel on the SM pool and
+//! charging modeled device time via its [`KernelCost`].
+//!
+//! All primitives are deterministic and independent of the worker count:
+//! work is partitioned into disjoint output ranges, so any schedule
+//! produces identical buffers.
+
+use crate::memory::{DeviceBuffer, DeviceError, Pod};
+use crate::simt::{Gpu, KernelCost};
+
+/// Elements per thread-block task; one task ≈ one block batch.
+const BLOCK_ELEMS: usize = 64 * 1024;
+
+/// Fill `buf` with `start, start+1, ...` (like `thrust::sequence`).
+pub fn sequence(gpu: &Gpu, buf: &mut DeviceBuffer<u32>, start: u32) {
+    let n = buf.len();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = buf
+        .device_slice_mut()
+        .chunks_mut(BLOCK_ELEMS)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let base = start + (i * BLOCK_ELEMS) as u32;
+            Box::new(move || {
+                for (k, x) in chunk.iter_mut().enumerate() {
+                    *x = base + k as u32;
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    gpu.launch(n, &KernelCost::transform(), tasks);
+}
+
+/// Elementwise map `output[i] = f(input[i])` (like `thrust::transform`).
+///
+/// # Panics
+/// Panics if the buffers differ in length.
+pub fn transform<T: Pod, U: Pod, F>(
+    gpu: &Gpu,
+    input: &DeviceBuffer<T>,
+    output: &mut DeviceBuffer<U>,
+    f: F,
+) where
+    F: Fn(T) -> U + Sync,
+{
+    assert_eq!(input.len(), output.len(), "transform length mismatch");
+    let n = input.len();
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = input
+        .device_slice()
+        .chunks(BLOCK_ELEMS)
+        .zip(output.device_slice_mut().chunks_mut(BLOCK_ELEMS))
+        .map(|(src, dst)| {
+            Box::new(move || {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = f(*s);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    gpu.launch(n, &KernelCost::transform(), tasks);
+}
+
+/// In-place elementwise map (like `thrust::transform` with one buffer as
+/// both input and output).
+pub fn transform_in_place<T: Pod, F>(gpu: &Gpu, buf: &mut DeviceBuffer<T>, f: F)
+where
+    F: Fn(T) -> T + Sync,
+{
+    let n = buf.len();
+    let f = &f;
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = buf
+        .device_slice_mut()
+        .chunks_mut(BLOCK_ELEMS)
+        .map(|chunk| {
+            Box::new(move || {
+                for x in chunk.iter_mut() {
+                    *x = f(*x);
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    gpu.launch(n, &KernelCost::transform(), tasks);
+}
+
+/// Sort the whole buffer ascending (like `thrust::sort`): parallel chunk
+/// sorts followed by parallel pairwise merge passes (a merge-sort shape,
+/// costed as the radix sort of the paper's ref \[15\]).
+pub fn sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>) {
+    let n = buf.len();
+    if n <= 1 {
+        gpu.launch(n, &KernelCost::sort(), vec![]);
+        return;
+    }
+    // Phase 1: sort chunks in parallel.
+    let chunk = BLOCK_ELEMS.max(n.div_ceil(4 * gpu.n_workers().max(1)));
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = buf
+            .device_slice_mut()
+            .chunks_mut(chunk)
+            .map(|c| Box::new(move || c.sort_unstable()) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        gpu.run_tasks(tasks);
+    }
+    // Phase 2: merge runs pairwise until one run remains.
+    let mut run = chunk;
+    let mut scratch: Vec<T> = buf.device_slice().to_vec();
+    let mut src_is_buf = true;
+    while run < n {
+        {
+            let (src, dst): (&[T], &mut [T]) = if src_is_buf {
+                (buf.device_slice(), &mut scratch[..])
+            } else {
+                (&scratch[..], buf.device_slice_mut())
+            };
+            // SAFETY of the parallel merge: each task writes a disjoint
+            // 2*run-wide window of dst and reads the matching window of src.
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = dst
+                .chunks_mut(2 * run)
+                .enumerate()
+                .map(|(i, out)| {
+                    let lo = i * 2 * run;
+                    let mid = (lo + run).min(n);
+                    let hi = (lo + 2 * run).min(n);
+                    let left = &src[lo..mid];
+                    let right = &src[mid..hi];
+                    Box::new(move || merge_into(left, right, out))
+                        as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            gpu.run_tasks(tasks);
+        }
+        src_is_buf = !src_is_buf;
+        run *= 2;
+    }
+    if !src_is_buf {
+        buf.device_slice_mut().copy_from_slice(&scratch);
+    }
+    gpu.launch(n, &KernelCost::sort(), vec![]);
+}
+
+/// Sort each segment of `buf` independently (the *segmented sorting* of
+/// Figure 4). `seg_offsets` holds `k + 1` monotone offsets delimiting the
+/// `k` segments (adjacency-list boundaries, the "auxiliary data structure
+/// on the device").
+pub fn segmented_sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>, seg_offsets: &[u64]) {
+    assert!(!seg_offsets.is_empty(), "offsets must contain at least [0]");
+    assert_eq!(
+        *seg_offsets.last().unwrap() as usize,
+        buf.len(),
+        "offsets must cover the buffer"
+    );
+    let n = buf.len();
+    // Partition segments into contiguous groups of ~BLOCK_ELEMS elements so
+    // tasks are balanced even when segment sizes are heavily skewed. Tasks
+    // borrow their offset windows — no per-task allocation (this runs once
+    // per random trial, over millions of segments at scale).
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut rest = buf.device_slice_mut();
+    let mut consumed = 0usize;
+    let mut seg_lo = 0usize;
+    while seg_lo + 1 < seg_offsets.len() {
+        let mut seg_hi = seg_lo + 1;
+        while seg_hi + 1 < seg_offsets.len()
+            && (seg_offsets[seg_hi] - seg_offsets[seg_lo]) < BLOCK_ELEMS as u64
+        {
+            seg_hi += 1;
+        }
+        let start = seg_offsets[seg_lo] as usize;
+        let end = seg_offsets[seg_hi] as usize;
+        let (head, tail) = rest.split_at_mut(end - consumed);
+        rest = tail;
+        let window = &seg_offsets[seg_lo..=seg_hi];
+        debug_assert_eq!(consumed, start);
+        consumed = end;
+        tasks.push(Box::new(move || {
+            for w in window.windows(2) {
+                head[w[0] as usize - start..w[1] as usize - start].sort_unstable();
+            }
+        }));
+        seg_lo = seg_hi;
+    }
+    gpu.launch(n, &KernelCost::segmented_sort(), tasks);
+}
+
+/// `out[i] = src[indices[i]]` (like `thrust::gather`).
+pub fn gather<T: Pod>(
+    gpu: &Gpu,
+    src: &DeviceBuffer<T>,
+    indices: &DeviceBuffer<u32>,
+    out: &mut DeviceBuffer<T>,
+) {
+    assert_eq!(indices.len(), out.len(), "gather length mismatch");
+    let n = indices.len();
+    let src_slice = src.device_slice();
+    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = indices
+        .device_slice()
+        .chunks(BLOCK_ELEMS)
+        .zip(out.device_slice_mut().chunks_mut(BLOCK_ELEMS))
+        .map(|(idx, dst)| {
+            Box::new(move || {
+                for (i, d) in idx.iter().zip(dst.iter_mut()) {
+                    *d = src_slice[*i as usize];
+                }
+            }) as Box<dyn FnOnce() + Send + '_>
+        })
+        .collect();
+    gpu.launch(n, &KernelCost::gather(), tasks);
+}
+
+/// Block-parallel sum reduction (like `thrust::reduce`): each thread block
+/// reduces its tile **through per-block shared memory** (the classic
+/// tree-reduction shape), then the host combines the block partials. The
+/// shared-memory requirement of the tile is checked against the device's
+/// `shared_mem_per_block` and the launch fails with
+/// [`DeviceError::SharedMemExceeded`] when a tile would not fit — the same
+/// occupancy constraint real kernels tune around.
+pub fn reduce_sum(
+    gpu: &Gpu,
+    buf: &DeviceBuffer<u64>,
+    tile: usize,
+) -> Result<u64, DeviceError> {
+    assert!(tile > 0, "tile must be positive");
+    let shared_needed = tile * std::mem::size_of::<u64>();
+    let capacity = gpu.config().shared_mem_per_block;
+    if shared_needed > capacity {
+        return Err(DeviceError::SharedMemExceeded {
+            requested: shared_needed,
+            capacity,
+        });
+    }
+    let n = buf.len();
+    let n_blocks = n.div_ceil(tile.max(1)).max(1);
+    let mut partials = vec![0u64; n_blocks];
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = buf
+            .device_slice()
+            .chunks(tile)
+            .zip(partials.iter_mut())
+            .map(|(chunk, out)| {
+                Box::new(move || {
+                    // Simulated shared-memory tile + tree reduction.
+                    let mut sm: Vec<u64> = chunk.to_vec();
+                    let mut width = sm.len();
+                    while width > 1 {
+                        let half = width.div_ceil(2);
+                        for i in 0..width / 2 {
+                            sm[i] = sm[i].wrapping_add(sm[half + i]);
+                        }
+                        width = half;
+                    }
+                    *out = sm.first().copied().unwrap_or(0);
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        gpu.launch(n, &KernelCost::reduce_by_key(), tasks);
+    }
+    Ok(partials.into_iter().fold(0u64, u64::wrapping_add))
+}
+
+/// Exclusive prefix sum (like `thrust::exclusive_scan`): `out[0] = init`,
+/// `out[i] = init + Σ buf[0..i]`. Two-phase block scan: per-block partial
+/// sums in parallel, then a serial block-offset pass, then a parallel
+/// fix-up — the standard GPU scan shape.
+pub fn exclusive_scan(gpu: &Gpu, buf: &DeviceBuffer<u64>, out: &mut DeviceBuffer<u64>, init: u64) {
+    assert_eq!(buf.len(), out.len(), "scan length mismatch");
+    let n = buf.len();
+    if n == 0 {
+        gpu.launch(0, &KernelCost::reduce_by_key(), vec![]);
+        return;
+    }
+    // Phase 1: local exclusive scans per block, collecting block sums.
+    let n_blocks = n.div_ceil(BLOCK_ELEMS);
+    let mut block_sums = vec![0u64; n_blocks];
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = buf
+            .device_slice()
+            .chunks(BLOCK_ELEMS)
+            .zip(out.device_slice_mut().chunks_mut(BLOCK_ELEMS))
+            .zip(block_sums.iter_mut())
+            .map(|((src, dst), sum)| {
+                Box::new(move || {
+                    let mut acc = 0u64;
+                    for (s, d) in src.iter().zip(dst.iter_mut()) {
+                        *d = acc;
+                        acc = acc.wrapping_add(*s);
+                    }
+                    *sum = acc;
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        gpu.run_tasks(tasks);
+    }
+    // Phase 2: scan the block sums (serial; n_blocks is tiny).
+    let mut offset = init;
+    let offsets: Vec<u64> = block_sums
+        .iter()
+        .map(|&s| {
+            let o = offset;
+            offset = offset.wrapping_add(s);
+            o
+        })
+        .collect();
+    // Phase 3: add each block's offset.
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
+            .device_slice_mut()
+            .chunks_mut(BLOCK_ELEMS)
+            .zip(offsets)
+            .map(|(dst, o)| {
+                Box::new(move || {
+                    for d in dst.iter_mut() {
+                        *d = d.wrapping_add(o);
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        gpu.run_tasks(tasks);
+    }
+    gpu.launch(n, &KernelCost::reduce_by_key(), vec![]);
+}
+
+/// Group a **sorted** key buffer into `(unique_keys, counts)` (like
+/// `thrust::reduce_by_key` with a constant-1 value stream).
+pub fn reduce_by_key_counts(
+    gpu: &Gpu,
+    keys: &DeviceBuffer<u64>,
+) -> Result<(DeviceBuffer<u64>, DeviceBuffer<u32>), DeviceError> {
+    let slice = keys.device_slice();
+    debug_assert!(slice.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    let mut uniques: Vec<u64> = Vec::new();
+    let mut counts: Vec<u32> = Vec::new();
+    // Single scan pass (a real GPU would run a prefix-scan; the cost model
+    // charges it as one).
+    for &k in slice {
+        match uniques.last() {
+            Some(&last) if last == k => *counts.last_mut().unwrap() += 1,
+            _ => {
+                uniques.push(k);
+                counts.push(1);
+            }
+        }
+    }
+    gpu.launch(keys.len(), &KernelCost::reduce_by_key(), vec![]);
+    let u = gpu.adopt(uniques)?;
+    let c = gpu.adopt(counts)?;
+    Ok((u, c))
+}
+
+/// Two-pointer merge of sorted `left` and `right` into `out`.
+fn merge_into<T: Pod + Ord>(left: &[T], right: &[T], out: &mut [T]) {
+    debug_assert_eq!(left.len() + right.len(), out.len());
+    let (mut i, mut j) = (0, 0);
+    for slot in out.iter_mut() {
+        let take_left = match (left.get(i), right.get(j)) {
+            (Some(l), Some(r)) => l <= r,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => unreachable!("out exhausted first"),
+        };
+        if take_left {
+            *slot = left[i];
+            i += 1;
+        } else {
+            *slot = right[j];
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn gpu() -> Gpu {
+        Gpu::with_workers(DeviceConfig::tesla_k20(), 3)
+    }
+
+    #[test]
+    fn sequence_fills() {
+        let g = gpu();
+        let mut buf = g.alloc::<u32>(100_000).unwrap();
+        sequence(&g, &mut buf, 5);
+        let host = g.dtoh(&buf);
+        for (i, &x) in host.iter().enumerate() {
+            assert_eq!(x, 5 + i as u32);
+        }
+    }
+
+    #[test]
+    fn transform_applies_function() {
+        let g = gpu();
+        let data: Vec<u64> = (0..200_000).collect();
+        let input = g.htod(&data).unwrap();
+        let mut output = g.alloc::<u64>(data.len()).unwrap();
+        transform(&g, &input, &mut output, |x| x * 3 + 1);
+        let host = g.dtoh(&output);
+        assert!(host.iter().enumerate().all(|(i, &x)| x == i as u64 * 3 + 1));
+        assert!(g.counters().kernel_launches >= 1);
+    }
+
+    #[test]
+    fn transform_in_place_works() {
+        let g = gpu();
+        let mut buf = g.htod(&[1u64, 2, 3]).unwrap();
+        transform_in_place(&g, &mut buf, |x| x + 10);
+        assert_eq!(g.dtoh(&buf), vec![11, 12, 13]);
+    }
+
+    #[test]
+    fn sort_matches_std() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut data: Vec<u64> = (0..300_000).map(|_| rng.gen()).collect();
+        let mut buf = g.htod(&data).unwrap();
+        sort(&g, &mut buf);
+        data.sort_unstable();
+        assert_eq!(g.dtoh(&buf), data);
+    }
+
+    #[test]
+    fn sort_small_and_empty() {
+        let g = gpu();
+        let mut empty = g.htod::<u64>(&[]).unwrap();
+        sort(&g, &mut empty);
+        assert!(g.dtoh(&empty).is_empty());
+        let mut one = g.htod(&[7u64]).unwrap();
+        sort(&g, &mut one);
+        assert_eq!(g.dtoh(&one), vec![7]);
+        let mut two = g.htod(&[9u64, 1]).unwrap();
+        sort(&g, &mut two);
+        assert_eq!(g.dtoh(&two), vec![1, 9]);
+    }
+
+    #[test]
+    fn sort_deterministic_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let data: Vec<u64> = (0..100_000).map(|_| rng.gen_range(0..1000)).collect();
+        let mut results = Vec::new();
+        for workers in [1, 2, 7] {
+            let g = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+            let mut buf = g.htod(&data).unwrap();
+            sort(&g, &mut buf);
+            results.push(g.dtoh(&buf));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn segmented_sort_sorts_within_segments_only() {
+        let g = gpu();
+        let data = vec![5u64, 3, 9, /*|*/ 2, 1, /*|*/ 8, 7, 6, 0];
+        let offsets = vec![0u64, 3, 5, 9];
+        let mut buf = g.htod(&data).unwrap();
+        segmented_sort(&g, &mut buf, &offsets);
+        assert_eq!(g.dtoh(&buf), vec![3, 5, 9, 1, 2, 0, 6, 7, 8]);
+    }
+
+    #[test]
+    fn segmented_sort_random_against_oracle() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(5);
+        // Random segment structure incl. empty segments.
+        let mut offsets = vec![0u64];
+        let mut data: Vec<u64> = Vec::new();
+        for _ in 0..500 {
+            let len = rng.gen_range(0..40);
+            for _ in 0..len {
+                data.push(rng.gen_range(0..10_000));
+            }
+            offsets.push(data.len() as u64);
+        }
+        let mut expected = data.clone();
+        for w in offsets.windows(2) {
+            expected[w[0] as usize..w[1] as usize].sort_unstable();
+        }
+        let mut buf = g.htod(&data).unwrap();
+        segmented_sort(&g, &mut buf, &offsets);
+        assert_eq!(g.dtoh(&buf), expected);
+    }
+
+    #[test]
+    fn segmented_sort_single_huge_segment() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut data: Vec<u64> = (0..200_000).map(|_| rng.gen()).collect();
+        let offsets = vec![0u64, data.len() as u64];
+        let mut buf = g.htod(&data).unwrap();
+        segmented_sort(&g, &mut buf, &offsets);
+        data.sort_unstable();
+        assert_eq!(g.dtoh(&buf), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the buffer")]
+    fn segmented_sort_rejects_bad_offsets() {
+        let g = gpu();
+        let mut buf = g.htod(&[1u64, 2, 3]).unwrap();
+        segmented_sort(&g, &mut buf, &[0, 2]);
+    }
+
+    #[test]
+    fn gather_permutes() {
+        let g = gpu();
+        let src = g.htod(&[10u64, 20, 30, 40]).unwrap();
+        let idx = g.htod(&[3u32, 0, 2, 2]).unwrap();
+        let mut out = g.alloc::<u64>(4).unwrap();
+        gather(&g, &src, &idx, &mut out);
+        assert_eq!(g.dtoh(&out), vec![40, 10, 30, 30]);
+    }
+
+    #[test]
+    fn reduce_by_key_counts_groups() {
+        let g = gpu();
+        let keys = g.htod(&[1u64, 1, 2, 5, 5, 5]).unwrap();
+        let (u, c) = reduce_by_key_counts(&g, &keys).unwrap();
+        assert_eq!(g.dtoh(&u), vec![1, 2, 5]);
+        assert_eq!(g.dtoh(&c), vec![2, 1, 3]);
+    }
+
+    #[test]
+    fn reduce_by_key_empty() {
+        let g = gpu();
+        let keys = g.htod::<u64>(&[]).unwrap();
+        let (u, c) = reduce_by_key_counts(&g, &keys).unwrap();
+        assert!(g.dtoh(&u).is_empty());
+        assert!(g.dtoh(&c).is_empty());
+    }
+
+    #[test]
+    fn reduce_sum_matches_oracle() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(12);
+        for n in [0usize, 1, 7, 1000, 200_000] {
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1_000_000)).collect();
+            let buf = g.htod(&data).unwrap();
+            let got = reduce_sum(&g, &buf, 1024).unwrap();
+            assert_eq!(got, data.iter().sum::<u64>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn reduce_sum_rejects_oversized_tile() {
+        let g = Gpu::with_workers(DeviceConfig::tiny_test_device(), 1);
+        let buf = g.htod(&[1u64, 2, 3]).unwrap();
+        // tiny device: 4 KiB shared per block = 512 u64 slots.
+        assert!(reduce_sum(&g, &buf, 512).is_ok());
+        let err = reduce_sum(&g, &buf, 513).unwrap_err();
+        assert!(matches!(
+            err,
+            crate::memory::DeviceError::SharedMemExceeded { .. }
+        ));
+    }
+
+    #[test]
+    fn exclusive_scan_matches_oracle() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(8);
+        for (n, init) in [(0usize, 0u64), (1, 5), (1000, 0), (200_000, 7)] {
+            let data: Vec<u64> = (0..n).map(|_| rng.gen_range(0..1000)).collect();
+            let buf = g.htod(&data).unwrap();
+            let mut out = g.alloc::<u64>(n).unwrap();
+            exclusive_scan(&g, &buf, &mut out, init);
+            let mut acc = init;
+            let expected: Vec<u64> = data
+                .iter()
+                .map(|&x| {
+                    let o = acc;
+                    acc += x;
+                    o
+                })
+                .collect();
+            assert_eq!(g.dtoh(&out), expected, "n={n}");
+        }
+    }
+
+    #[test]
+    fn exclusive_scan_deterministic_across_workers() {
+        let data: Vec<u64> = (0..300_000).map(|i| i % 97).collect();
+        let mut results = Vec::new();
+        for workers in [1usize, 5] {
+            let g = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+            let buf = g.htod(&data).unwrap();
+            let mut out = g.alloc::<u64>(data.len()).unwrap();
+            exclusive_scan(&g, &buf, &mut out, 3);
+            results.push(g.dtoh(&out));
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn primitives_charge_device_time() {
+        let g = gpu();
+        let mut buf = g.htod(&vec![1u64; 500_000]).unwrap();
+        g.reset_counters();
+        transform_in_place(&g, &mut buf, |x| x ^ 0xff);
+        sort(&g, &mut buf);
+        let snap = g.counters();
+        assert!(snap.kernel_seconds > 0.0);
+        assert!(snap.kernel_launches >= 2);
+    }
+}

@@ -1,0 +1,200 @@
+//! Device event timeline and the asynchronous-transfer model.
+//!
+//! The paper's stated future work: "Better performance could be achieved
+//! through asynchronous operations provided in CUDA C/C++" — overlapping
+//! the per-trial device→host shingle transfers with the next trial's
+//! kernels. To *quantify* that without hand-waving, the device records an
+//! event log (kernel / H2D / D2H, each with its modeled duration, in
+//! issue order), and [`pipelined_seconds`] replays it under a
+//! double-buffered execution model:
+//!
+//! * the copy engine and the compute engine run concurrently (one stream
+//!   each, as on a dual-DMA GPU);
+//! * events issue in program order per engine;
+//! * a transfer may overlap any *later-issued* kernel (double buffering),
+//!   but the final result is only ready when both engines drain.
+//!
+//! [`serialized_seconds`] is the Thrust-1.5 baseline: every event in
+//! sequence. The difference is exactly the transfer time that overlap can
+//! hide.
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// One modeled device event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Event {
+    /// Kernel execution for the given simulated seconds.
+    Kernel(f64),
+    /// Host→device copy.
+    H2D(f64),
+    /// Device→host copy.
+    D2H(f64),
+}
+
+impl Event {
+    /// The event's modeled duration.
+    pub fn seconds(self) -> f64 {
+        match self {
+            Event::Kernel(s) | Event::H2D(s) | Event::D2H(s) => s,
+        }
+    }
+
+    /// True for either transfer direction.
+    pub fn is_transfer(self) -> bool {
+        matches!(self, Event::H2D(_) | Event::D2H(_))
+    }
+}
+
+/// Thread-safe append-only event log.
+#[derive(Debug, Default)]
+pub struct EventLog {
+    events: Mutex<Vec<Event>>,
+    enabled: std::sync::atomic::AtomicBool,
+}
+
+impl EventLog {
+    /// A disabled log (no recording overhead until enabled).
+    pub fn new() -> Self {
+        EventLog::default()
+    }
+
+    /// Start/stop recording.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled
+            .store(enabled, std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether events are being recorded.
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Append an event if recording.
+    pub fn record(&self, event: Event) {
+        if self.enabled() {
+            self.events.lock().push(event);
+        }
+    }
+
+    /// Snapshot the events in issue order.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.lock().clone()
+    }
+
+    /// Clear all recorded events.
+    pub fn clear(&self) {
+        self.events.lock().clear();
+    }
+}
+
+/// Total device time with every event serialized — the synchronous
+/// Thrust 1.5 behavior the paper measured.
+pub fn serialized_seconds(events: &[Event]) -> f64 {
+    events.iter().map(|e| e.seconds()).sum()
+}
+
+/// Total device time under the double-buffered model: the compute engine
+/// and the copy engine each process their events in order, and an event
+/// may start as soon as (a) its engine is free and (b) all *earlier* events
+/// of the other engine that it depends on have issued. Dependency model:
+/// a kernel depends on the last H2D issued before it (its inputs); a D2H
+/// depends on the last kernel issued before it (its results). This is the
+/// classic two-stream software pipeline.
+pub fn pipelined_seconds(events: &[Event]) -> f64 {
+    let mut compute_free = 0.0f64; // when the compute engine is next free
+    let mut copy_free = 0.0f64; // when the copy engine is next free
+    let mut last_h2d_done = 0.0f64;
+    let mut last_kernel_done = 0.0f64;
+    for &e in events {
+        match e {
+            Event::Kernel(s) => {
+                let start = compute_free.max(last_h2d_done);
+                let done = start + s;
+                compute_free = done;
+                last_kernel_done = done;
+            }
+            Event::H2D(s) => {
+                let start = copy_free;
+                let done = start + s;
+                copy_free = done;
+                last_h2d_done = done;
+            }
+            Event::D2H(s) => {
+                let start = copy_free.max(last_kernel_done);
+                copy_free = start + s;
+            }
+        }
+    }
+    compute_free.max(copy_free)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serialized_sums_everything() {
+        let ev = [Event::H2D(1.0), Event::Kernel(2.0), Event::D2H(3.0)];
+        assert!((serialized_seconds(&ev) - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pipelined_never_beats_critical_path_nor_loses_to_serial() {
+        let ev = [
+            Event::H2D(1.0),
+            Event::Kernel(2.0),
+            Event::D2H(0.5),
+            Event::Kernel(2.0),
+            Event::D2H(0.5),
+        ];
+        let p = pipelined_seconds(&ev);
+        let s = serialized_seconds(&ev);
+        let compute: f64 = ev
+            .iter()
+            .filter(|e| !e.is_transfer())
+            .map(|e| e.seconds())
+            .sum();
+        assert!(p <= s + 1e-12, "pipelined {p} > serial {s}");
+        assert!(p >= compute, "pipelined {p} < compute lower bound {compute}");
+    }
+
+    #[test]
+    fn transfers_hide_behind_kernels() {
+        // Alternating kernel(1.0) / d2h(0.5): each copy overlaps the next
+        // kernel, so the copies cost (almost) nothing extra.
+        let mut ev = vec![Event::H2D(0.1)];
+        for _ in 0..10 {
+            ev.push(Event::Kernel(1.0));
+            ev.push(Event::D2H(0.5));
+        }
+        let p = pipelined_seconds(&ev);
+        // Serial: 0.1 + 10×1.5 = 15.1; pipelined: ≈ 0.1 + 10×1.0 + 0.5.
+        assert!((p - 10.6).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn copy_bound_sequences_are_copy_limited() {
+        let mut ev = Vec::new();
+        for _ in 0..5 {
+            ev.push(Event::Kernel(0.1));
+            ev.push(Event::D2H(1.0));
+        }
+        let p = pipelined_seconds(&ev);
+        // Copies dominate: ≈ first kernel + 5 copies.
+        assert!((p - 5.1).abs() < 1e-9, "p = {p}");
+    }
+
+    #[test]
+    fn log_records_only_when_enabled() {
+        let log = EventLog::new();
+        log.record(Event::Kernel(1.0));
+        assert!(log.snapshot().is_empty());
+        log.set_enabled(true);
+        log.record(Event::Kernel(1.0));
+        log.record(Event::D2H(0.5));
+        assert_eq!(log.snapshot().len(), 2);
+        log.clear();
+        assert!(log.snapshot().is_empty());
+    }
+}

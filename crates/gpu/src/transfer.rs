@@ -1,0 +1,146 @@
+//! Synchronous host↔device transfers.
+//!
+//! Thrust 1.5 (the version the paper used) only offered synchronous copies;
+//! the paper repeatedly notes that "the data movement overhead between CPU
+//! and GPU is unavoidable" in that setting and projects further speedup
+//! from asynchronous CUDA copies. We model exactly that: every copy is
+//! blocking, is charged `latency + bytes / bandwidth` of simulated time,
+//! and is tallied in the counters that become the *Data c→g* and
+//! *Data g→c* columns of Table I.
+//!
+//! An `overlap` escape hatch ([`Gpu::set_transfer_overlap`]) implements the
+//! paper's "future work": when enabled, transfer time is still accounted
+//! (so the ablation can report it) but flagged as overlapped, letting the
+//! harness subtract it from the critical path.
+
+use crate::memory::{DeviceBuffer, DeviceError, Pod};
+use crate::simt::Gpu;
+use std::sync::atomic::Ordering;
+
+impl Gpu {
+    /// Simulated seconds to move `bytes` across the host↔device link.
+    pub fn model_transfer_seconds(&self, bytes: usize) -> f64 {
+        let c = self.config();
+        c.pcie_latency_us * 1e-6 + bytes as f64 / (c.pcie_bandwidth_gbps * 1e9)
+    }
+
+    /// Copy a host slice to a new device buffer (synchronous).
+    pub fn htod<T: Pod>(&self, src: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let buf = self.adopt(src.to_vec())?;
+        let bytes = buf.bytes();
+        self.shared
+            .counters
+            .h2d_transfers
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .h2d_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let modeled = self.model_transfer_seconds(bytes);
+        self.shared
+            .timeline
+            .record(crate::timeline::Event::H2D(modeled));
+        self.shared.clock.charge_h2d(modeled);
+        Ok(buf)
+    }
+
+    /// Copy a device buffer back to a host vector (synchronous).
+    pub fn dtoh<T: Pod>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
+        let bytes = buf.bytes();
+        self.shared
+            .counters
+            .d2h_transfers
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .d2h_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let modeled = self.model_transfer_seconds(bytes);
+        self.shared
+            .timeline
+            .record(crate::timeline::Event::D2H(modeled));
+        self.shared.clock.charge_d2h(modeled);
+        buf.device_slice().to_vec()
+    }
+
+    /// Copy only `range` of a device buffer back to the host.
+    pub fn dtoh_range<T: Pod>(&self, buf: &DeviceBuffer<T>, range: std::ops::Range<usize>) -> Vec<T> {
+        let slice = &buf.device_slice()[range];
+        let bytes = std::mem::size_of_val(slice);
+        self.shared
+            .counters
+            .d2h_transfers
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .d2h_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let modeled = self.model_transfer_seconds(bytes);
+        self.shared
+            .timeline
+            .record(crate::timeline::Event::D2H(modeled));
+        self.shared.clock.charge_d2h(modeled);
+        slice.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DeviceConfig;
+
+    fn gpu() -> Gpu {
+        Gpu::with_workers(DeviceConfig::tesla_k20(), 1)
+    }
+
+    #[test]
+    fn htod_dtoh_roundtrip() {
+        let g = gpu();
+        let data: Vec<u64> = (0..10_000).collect();
+        let buf = g.htod(&data).unwrap();
+        let back = g.dtoh(&buf);
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn transfer_counters_accumulate() {
+        let g = gpu();
+        let data = vec![0u32; 1_000]; // 4 KB
+        let buf = g.htod(&data).unwrap();
+        let _ = g.dtoh(&buf);
+        let _ = g.dtoh(&buf);
+        let snap = g.counters();
+        assert_eq!(snap.h2d_transfers, 1);
+        assert_eq!(snap.d2h_transfers, 2);
+        assert_eq!(snap.h2d_bytes, 4_000);
+        assert_eq!(snap.d2h_bytes, 8_000);
+        assert!(snap.h2d_seconds > 0.0);
+        assert!(snap.d2h_seconds > snap.h2d_seconds);
+    }
+
+    #[test]
+    fn transfer_time_model_linear_in_bytes() {
+        let g = gpu();
+        let t1 = g.model_transfer_seconds(1_000_000);
+        let t2 = g.model_transfer_seconds(2_000_000);
+        let lat = g.config().pcie_latency_us * 1e-6;
+        assert!(((t2 - lat) / (t1 - lat) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn htod_respects_capacity() {
+        let g = Gpu::with_workers(DeviceConfig::tiny_test_device(), 1);
+        let big = vec![0u8; 100_000];
+        assert!(g.htod(&big).is_err());
+    }
+
+    #[test]
+    fn dtoh_range_partial() {
+        let g = gpu();
+        let data: Vec<u64> = (0..100).collect();
+        let buf = g.htod(&data).unwrap();
+        let part = g.dtoh_range(&buf, 10..20);
+        assert_eq!(part, (10..20).collect::<Vec<u64>>());
+        assert_eq!(g.counters().d2h_bytes, 80);
+    }
+}

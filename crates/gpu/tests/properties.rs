@@ -1,0 +1,128 @@
+//! Property tests for the device primitives: every primitive must agree
+//! with its host-side oracle for arbitrary inputs, worker counts, and
+//! segment structures.
+
+use gpclust_gpu::{thrust, DeviceConfig, Gpu};
+use proptest::prelude::*;
+
+fn gpu(workers: usize) -> Gpu {
+    Gpu::with_workers(DeviceConfig::tesla_k20(), workers)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn sort_matches_std(data in proptest::collection::vec(any::<u64>(), 0..5000),
+                        workers in 1usize..5) {
+        let g = gpu(workers);
+        let mut buf = g.htod(&data).unwrap();
+        thrust::sort(&g, &mut buf);
+        let mut expected = data.clone();
+        expected.sort_unstable();
+        prop_assert_eq!(g.dtoh(&buf), expected);
+    }
+
+    #[test]
+    fn segmented_sort_matches_per_segment_std(
+        seg_lens in proptest::collection::vec(0usize..60, 0..80),
+        workers in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let g = gpu(workers);
+        let mut offsets = vec![0u64];
+        let mut data: Vec<u64> = Vec::new();
+        let mut x = seed | 1;
+        for &len in &seg_lens {
+            for _ in 0..len {
+                // xorshift64 fill
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                data.push(x);
+            }
+            offsets.push(data.len() as u64);
+        }
+        let mut expected = data.clone();
+        for w in offsets.windows(2) {
+            expected[w[0] as usize..w[1] as usize].sort_unstable();
+        }
+        let mut buf = g.htod(&data).unwrap();
+        thrust::segmented_sort(&g, &mut buf, &offsets);
+        prop_assert_eq!(g.dtoh(&buf), expected);
+    }
+
+    #[test]
+    fn transform_matches_map(data in proptest::collection::vec(any::<u64>(), 0..3000),
+                             mul in any::<u64>()) {
+        let g = gpu(2);
+        let input = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(data.len()).unwrap();
+        thrust::transform(&g, &input, &mut out, |x| x.wrapping_mul(mul));
+        let expected: Vec<u64> = data.iter().map(|x| x.wrapping_mul(mul)).collect();
+        prop_assert_eq!(g.dtoh(&out), expected);
+    }
+
+    #[test]
+    fn scan_matches_prefix_sums(data in proptest::collection::vec(0u64..1_000_000, 0..3000),
+                                init in 0u64..1000) {
+        let g = gpu(3);
+        let buf = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(data.len()).unwrap();
+        thrust::exclusive_scan(&g, &buf, &mut out, init);
+        let mut acc = init;
+        let expected: Vec<u64> = data.iter().map(|&x| { let o = acc; acc += x; o }).collect();
+        prop_assert_eq!(g.dtoh(&out), expected);
+    }
+
+    #[test]
+    fn reduce_by_key_matches_group_counts(
+        mut keys in proptest::collection::vec(0u64..50, 0..2000),
+    ) {
+        keys.sort_unstable();
+        let g = gpu(2);
+        let buf = g.htod(&keys).unwrap();
+        let (u, c) = thrust::reduce_by_key_counts(&g, &buf).unwrap();
+        let uniques = g.dtoh(&u);
+        let counts = g.dtoh(&c);
+        // Oracle via simple grouping.
+        let mut expected_u = Vec::new();
+        let mut expected_c: Vec<u32> = Vec::new();
+        for &k in &keys {
+            if expected_u.last() == Some(&k) {
+                *expected_c.last_mut().unwrap() += 1;
+            } else {
+                expected_u.push(k);
+                expected_c.push(1);
+            }
+        }
+        prop_assert_eq!(uniques, expected_u);
+        prop_assert_eq!(counts, expected_c);
+    }
+
+    #[test]
+    fn timeline_models_are_ordered(
+        kinds in proptest::collection::vec(0u8..3, 0..40),
+        durs in proptest::collection::vec(1u32..1000, 0..40),
+    ) {
+        use gpclust_gpu::{pipelined_seconds, serialized_seconds, Event};
+        let events: Vec<Event> = kinds
+            .iter()
+            .zip(&durs)
+            .map(|(&k, &d)| {
+                let s = d as f64 / 1000.0;
+                match k { 0 => Event::Kernel(s), 1 => Event::H2D(s), _ => Event::D2H(s) }
+            })
+            .collect();
+        let serial = serialized_seconds(&events);
+        let pipe = pipelined_seconds(&events);
+        // Pipelined never exceeds serial, never beats either engine's
+        // total work (its lower bound).
+        prop_assert!(pipe <= serial + 1e-9);
+        let compute: f64 = events.iter()
+            .filter(|e| !e.is_transfer()).map(|e| e.seconds()).sum();
+        let copies: f64 = events.iter()
+            .filter(|e| e.is_transfer()).map(|e| e.seconds()).sum();
+        prop_assert!(pipe + 1e-9 >= compute.max(copies));
+    }
+}

@@ -1,0 +1,229 @@
+//! Bipartite shingle graphs — the `<shingle, L(shingle)>` adjacency form.
+//!
+//! A shingling pass emits tuples `<s_j, generator>` where `s_j` is a shingle
+//! (an s-element subset of vertex ids, identified by a 64-bit key that also
+//! encodes the random trial) and `generator` is the node that produced it.
+//! After the CPU-side aggregation ("a sorting is done to gather all vertices
+//! that generated each shingle"), the tuples collapse into this structure:
+//! one record per **distinct** shingle, holding
+//!
+//! * the shingle's `s` *element* vertex ids (members of the sampled subset —
+//!   these are what Phase III unions into clusters), and
+//! * the generator list `L(shingle)` (these are the adjacency lists fed to
+//!   the next shingling pass).
+//!
+//! For the first-level graph G′(S1, V′l, E′), generators are vertices of G.
+//! For the second-level graph G″(S2, S′1, E″), generators are *indices of
+//! first-level shingles* (0-based positions in the pass-I `ShingleGraph`).
+
+use crate::VertexId;
+
+/// Aggregated bipartite shingle graph.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ShingleGraph {
+    s: usize,
+    keys: Vec<u64>,
+    elements: Vec<VertexId>,
+    gen_offsets: Vec<u64>,
+    generators: Vec<u32>,
+}
+
+impl ShingleGraph {
+    /// Build from grouped records. `records` yields
+    /// `(key, elements, generators)` with **distinct, ascending keys**;
+    /// every `elements` slice must have exactly `s` entries.
+    pub fn from_records<'a, I>(s: usize, records: I) -> Self
+    where
+        I: IntoIterator<Item = (u64, &'a [VertexId], &'a [u32])>,
+    {
+        let mut g = ShingleGraph {
+            s,
+            keys: Vec::new(),
+            elements: Vec::new(),
+            gen_offsets: vec![0],
+            generators: Vec::new(),
+        };
+        for (key, elements, generators) in records {
+            assert_eq!(elements.len(), s, "shingle must have exactly s elements");
+            if let Some(&last) = g.keys.last() {
+                assert!(key > last, "keys must be distinct ascending");
+            }
+            g.keys.push(key);
+            g.elements.extend_from_slice(elements);
+            g.generators.extend_from_slice(generators);
+            g.gen_offsets.push(g.generators.len() as u64);
+        }
+        g
+    }
+
+    /// Build directly from column arrays (the allocation-free fast path
+    /// used by the CPU aggregation): `keys` strictly ascending, `elements`
+    /// holding exactly `s` entries per key, `gen_offsets` of length
+    /// `keys.len() + 1` delimiting `generators`.
+    pub fn from_parts(
+        s: usize,
+        keys: Vec<u64>,
+        elements: Vec<VertexId>,
+        gen_offsets: Vec<u64>,
+        generators: Vec<u32>,
+    ) -> Self {
+        assert_eq!(elements.len(), s * keys.len(), "elements shape");
+        assert_eq!(gen_offsets.len(), keys.len() + 1, "offsets shape");
+        assert_eq!(
+            *gen_offsets.last().unwrap_or(&0) as usize,
+            generators.len(),
+            "offsets must cover generators"
+        );
+        debug_assert!(keys.windows(2).all(|w| w[0] < w[1]), "keys ascending");
+        debug_assert!(gen_offsets.windows(2).all(|w| w[0] <= w[1]));
+        ShingleGraph {
+            s,
+            keys,
+            elements,
+            gen_offsets,
+            generators,
+        }
+    }
+
+    /// Number of distinct shingles.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True if the graph has no shingles.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Elements per shingle (the `s` parameter of the pass that built it).
+    #[inline]
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// The key of shingle `i`.
+    #[inline]
+    pub fn key(&self, i: usize) -> u64 {
+        self.keys[i]
+    }
+
+    /// The `s` element vertex ids of shingle `i`.
+    #[inline]
+    pub fn elements(&self, i: usize) -> &[VertexId] {
+        &self.elements[i * self.s..(i + 1) * self.s]
+    }
+
+    /// The generator list `L(shingle_i)`.
+    #[inline]
+    pub fn generators(&self, i: usize) -> &[u32] {
+        let s = self.gen_offsets[i] as usize;
+        let e = self.gen_offsets[i + 1] as usize;
+        &self.generators[s..e]
+    }
+
+    /// Total number of `<shingle, generator>` edges (|E′| of the paper).
+    #[inline]
+    pub fn n_edges(&self) -> usize {
+        self.generators.len()
+    }
+
+    /// Iterate `(index, key, elements, generators)` over all shingles.
+    pub fn iter(
+        &self,
+    ) -> impl Iterator<Item = (usize, u64, &[VertexId], &[u32])> + '_ {
+        (0..self.len()).map(move |i| (i, self.keys[i], self.elements(i), self.generators(i)))
+    }
+
+    /// Generator-list offsets (`len() + 1` entries) — the adjacency-list
+    /// boundary structure handed to the next shingling pass.
+    #[inline]
+    pub fn gen_offsets(&self) -> &[u64] {
+        &self.gen_offsets
+    }
+
+    /// The concatenated generator lists (flat adjacency array).
+    #[inline]
+    pub fn generators_flat(&self) -> &[u32] {
+        &self.generators
+    }
+
+    /// Number of *distinct* generator ids across all shingles — |V′l| of the
+    /// paper (the subset of input nodes that contributed ≥ 1 shingle).
+    pub fn distinct_generators(&self) -> usize {
+        let mut gens: Vec<u32> = self.generators.clone();
+        gens.sort_unstable();
+        gens.dedup();
+        gens.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ShingleGraph {
+        ShingleGraph::from_records(
+            2,
+            vec![
+                (10u64, &[1u32, 5][..], &[0u32, 3, 7][..]),
+                (20, &[2, 5], &[3][..]),
+                (35, &[0, 9], &[1, 2][..]),
+            ],
+        )
+    }
+
+    #[test]
+    fn shape_and_access() {
+        let g = sample();
+        assert_eq!(g.len(), 3);
+        assert_eq!(g.s(), 2);
+        assert_eq!(g.n_edges(), 6);
+        assert_eq!(g.key(1), 20);
+        assert_eq!(g.elements(0), &[1, 5]);
+        assert_eq!(g.elements(2), &[0, 9]);
+        assert_eq!(g.generators(0), &[0, 3, 7]);
+        assert_eq!(g.generators(1), &[3]);
+    }
+
+    #[test]
+    fn distinct_generators_counts_once() {
+        let g = sample();
+        // generators: {0,3,7} ∪ {3} ∪ {1,2} = {0,1,2,3,7}
+        assert_eq!(g.distinct_generators(), 5);
+    }
+
+    #[test]
+    fn iter_visits_all() {
+        let g = sample();
+        let keys: Vec<u64> = g.iter().map(|(_, k, _, _)| k).collect();
+        assert_eq!(keys, vec![10, 20, 35]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = ShingleGraph::from_records(3, std::iter::empty());
+        assert!(g.is_empty());
+        assert_eq!(g.n_edges(), 0);
+        assert_eq!(g.distinct_generators(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exactly s elements")]
+    fn wrong_element_count_panics() {
+        ShingleGraph::from_records(2, vec![(1u64, &[1u32][..], &[0u32][..])]);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn unsorted_keys_panic() {
+        ShingleGraph::from_records(
+            1,
+            vec![
+                (5u64, &[0u32][..], &[0u32][..]),
+                (5, &[1][..], &[1][..]),
+            ],
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Connected-component detection.
+//!
+//! Two interchangeable implementations:
+//!
+//! * [`bfs_components`] — frontier BFS over a CSR graph; the oracle used in
+//!   tests and the method behind the largest-CC statistic of Table II.
+//! * [`union_components`] — union–find over an edge stream, usable without
+//!   materializing CSR (pClust applies component detection both to the input
+//!   graph, to split work, and in Phase III over the shingle graph).
+
+use crate::csr::Csr;
+use crate::unionfind::UnionFind;
+use crate::VertexId;
+
+/// Component labeling: `labels[v]` is the dense component id of vertex `v`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentLabels {
+    /// Dense component id per vertex, in `0..n_components`.
+    pub labels: Vec<u32>,
+    /// Number of components (isolated vertices are singleton components).
+    pub n_components: usize,
+}
+
+impl ComponentLabels {
+    /// Sizes of all components, indexed by component id.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_components];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Size of the largest component (0 for an empty graph).
+    pub fn largest(&self) -> usize {
+        self.sizes().into_iter().max().unwrap_or(0)
+    }
+
+    /// Members of each component, in ascending vertex order.
+    pub fn groups(&self) -> Vec<Vec<VertexId>> {
+        let mut groups: Vec<Vec<VertexId>> = vec![Vec::new(); self.n_components];
+        for (v, &l) in self.labels.iter().enumerate() {
+            groups[l as usize].push(v as VertexId);
+        }
+        groups
+    }
+}
+
+/// BFS connected components over a CSR graph.
+pub fn bfs_components(g: &Csr) -> ComponentLabels {
+    let n = g.n();
+    let mut labels = vec![u32::MAX; n];
+    let mut queue: Vec<VertexId> = Vec::new();
+    let mut next_label = 0u32;
+    for start in 0..n as VertexId {
+        if labels[start as usize] != u32::MAX {
+            continue;
+        }
+        labels[start as usize] = next_label;
+        queue.clear();
+        queue.push(start);
+        while let Some(v) = queue.pop() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == u32::MAX {
+                    labels[u as usize] = next_label;
+                    queue.push(u);
+                }
+            }
+        }
+        next_label += 1;
+    }
+    ComponentLabels {
+        labels,
+        n_components: next_label as usize,
+    }
+}
+
+/// Union–find connected components over an edge stream covering `n` vertices.
+pub fn union_components(
+    n: usize,
+    edges: impl IntoIterator<Item = (VertexId, VertexId)>,
+) -> ComponentLabels {
+    let mut uf = UnionFind::new(n);
+    for (a, b) in edges {
+        uf.union(a, b);
+    }
+    let (labels, n_components) = uf.labels();
+    ComponentLabels {
+        labels,
+        n_components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn two_triangles_and_isolated() -> Csr {
+        let mut el: EdgeList = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+            .into_iter()
+            .collect();
+        Csr::from_edges(7, &mut el)
+    }
+
+    #[test]
+    fn bfs_finds_components() {
+        let g = two_triangles_and_isolated();
+        let cc = bfs_components(&g);
+        assert_eq!(cc.n_components, 3);
+        assert_eq!(cc.labels[0], cc.labels[1]);
+        assert_eq!(cc.labels[0], cc.labels[2]);
+        assert_eq!(cc.labels[3], cc.labels[4]);
+        assert_ne!(cc.labels[0], cc.labels[3]);
+        assert_ne!(cc.labels[0], cc.labels[6]);
+        assert_eq!(cc.largest(), 3);
+        let mut sizes = cc.sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 3, 3]);
+    }
+
+    #[test]
+    fn union_find_matches_bfs() {
+        let g = two_triangles_and_isolated();
+        let bfs = bfs_components(&g);
+        let edges: Vec<_> = (0..g.n() as u32)
+            .flat_map(|v| g.neighbors(v).iter().map(move |&u| (v, u)))
+            .collect();
+        let uf = union_components(g.n(), edges);
+        assert_eq!(uf.n_components, bfs.n_components);
+        // Labelings must induce the same partition (compare via pairs).
+        for v in 0..g.n() {
+            for u in 0..g.n() {
+                assert_eq!(
+                    bfs.labels[v] == bfs.labels[u],
+                    uf.labels[v] == uf.labels[u],
+                    "vertices {v},{u}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_all_singletons() {
+        let mut el = EdgeList::new();
+        let g = Csr::from_edges(4, &mut el);
+        let cc = bfs_components(&g);
+        assert_eq!(cc.n_components, 4);
+        assert_eq!(cc.largest(), 1);
+    }
+
+    #[test]
+    fn groups_partition_vertices() {
+        let g = two_triangles_and_isolated();
+        let cc = bfs_components(&g);
+        let groups = cc.groups();
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, g.n());
+        assert!(groups.iter().all(|grp| !grp.is_empty()));
+    }
+
+    #[test]
+    fn path_graph_single_component() {
+        let mut el: EdgeList = (0..99u32).map(|v| (v, v + 1)).collect();
+        let g = Csr::from_edges(100, &mut el);
+        let cc = bfs_components(&g);
+        assert_eq!(cc.n_components, 1);
+        assert_eq!(cc.largest(), 100);
+    }
+}

@@ -1,0 +1,204 @@
+//! Compressed sparse row adjacency.
+//!
+//! The homology graph is held in RAM on the CPU side as one contiguous
+//! adjacency-list structure — exactly the layout the GPU batching code
+//! slices from ("a batch of adjacency lists is first loaded into a
+//! continuous memory space"). Offsets are `u64` so edge counts beyond 4 B
+//! (the paper's 640 M-edge run doubled for symmetry) stay addressable.
+
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// An undirected graph in CSR form. Each undirected edge is stored twice
+/// (once per endpoint), so `targets.len() == 2 * m`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Csr {
+    offsets: Vec<u64>,
+    targets: Vec<VertexId>,
+}
+
+impl Csr {
+    /// Build from an edge list over `n` vertices. The edge list is
+    /// finished (sorted + deduplicated) if it was not already.
+    pub fn from_edges(n: usize, edges: &mut EdgeList) -> Self {
+        edges.finish();
+        if let Some(maxv) = edges.max_vertex() {
+            assert!(
+                (maxv as usize) < n,
+                "edge references vertex {maxv} but n = {n}"
+            );
+        }
+        let mut degree = vec![0u64; n];
+        for (a, b) in edges.iter() {
+            degree[a as usize] += 1;
+            degree[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0u64;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor: Vec<u64> = offsets[..n].to_vec();
+        let mut targets = vec![0 as VertexId; acc as usize];
+        for (a, b) in edges.iter() {
+            targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
+            targets[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
+        }
+        // Neighbor lists come out sorted because edges iterate in canonical
+        // sorted order — except the `b -> a` halves; sort each list to give
+        // a canonical CSR (cheap: lists are nearly sorted).
+        for v in 0..n {
+            let (s, e) = (offsets[v] as usize, offsets[v + 1] as usize);
+            targets[s..e].sort_unstable();
+        }
+        Csr { offsets, targets }
+    }
+
+    /// Number of vertices (including isolated ones).
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let s = self.offsets[v as usize] as usize;
+        let e = self.offsets[v as usize + 1] as usize;
+        &self.targets[s..e]
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// True if the undirected edge `(a, b)` exists (binary search).
+    pub fn has_edge(&self, a: VertexId, b: VertexId) -> bool {
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterate `(vertex, neighbors)` for every vertex.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, &[VertexId])> + '_ {
+        (0..self.n() as VertexId).map(move |v| (v, self.neighbors(v)))
+    }
+
+    /// Vertices with at least one edge.
+    pub fn non_singleton_count(&self) -> usize {
+        (0..self.n() as VertexId)
+            .filter(|&v| self.degree(v) > 0)
+            .count()
+    }
+
+    /// The raw offsets array (length `n + 1`).
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// The raw concatenated targets array (length `2m`).
+    pub fn targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Construct directly from raw CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the offsets are not monotone or don't cover `targets`.
+    pub fn from_raw(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty() && offsets[0] == 0);
+        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "non-monotone offsets");
+        assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+        Csr { offsets, targets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Csr {
+        // 0-1, 1-2, 0-2 triangle; 3 pendant to 2; 4 isolated.
+        let mut el: EdgeList = [(0, 1), (1, 2), (0, 2), (2, 3)].into_iter().collect();
+        Csr::from_edges(5, &mut el)
+    }
+
+    #[test]
+    fn basic_shape() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 5);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.non_singleton_count(), 4);
+    }
+
+    #[test]
+    fn neighbors_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbors(3), &[2]);
+        assert_eq!(g.neighbors(4), &[] as &[u32]);
+        for (v, ns) in g.iter() {
+            for &u in ns {
+                assert!(g.neighbors(u).contains(&v), "asymmetric edge ({v},{u})");
+            }
+        }
+    }
+
+    #[test]
+    fn has_edge() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn duplicate_edges_collapse() {
+        let mut el: EdgeList = [(0, 1), (1, 0), (0, 1)].into_iter().collect();
+        let g = Csr::from_edges(2, &mut el);
+        assert_eq!(g.m(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "edge references vertex")]
+    fn out_of_range_vertex_panics() {
+        let mut el: EdgeList = [(0, 9)].into_iter().collect();
+        Csr::from_edges(5, &mut el);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let mut el = EdgeList::new();
+        let g = Csr::from_edges(3, &mut el);
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 0);
+        assert_eq!(g.non_singleton_count(), 0);
+    }
+
+    #[test]
+    fn from_raw_roundtrip() {
+        let g = triangle_plus_pendant();
+        let g2 = Csr::from_raw(g.offsets().to_vec(), g.targets().to_vec());
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-monotone")]
+    fn from_raw_rejects_bad_offsets() {
+        Csr::from_raw(vec![0, 3, 1], vec![0]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Edge-list accumulation for homology graph construction.
+//!
+//! Edges arrive from the alignment phase as unordered `(i, j)` pairs; this
+//! container canonicalizes (`i < j`), deduplicates, drops self-loops, and
+//! hands a clean undirected edge set to the CSR builder.
+
+use crate::VertexId;
+
+/// A growable undirected edge list.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeList {
+    /// Canonical packed edges `(min << 32) | max`, possibly unsorted/dup
+    /// until [`EdgeList::finish`].
+    packed: Vec<u64>,
+    finished: bool,
+}
+
+impl EdgeList {
+    /// Create an empty edge list.
+    pub fn new() -> Self {
+        EdgeList::default()
+    }
+
+    /// Create with capacity for `n` edges.
+    pub fn with_capacity(n: usize) -> Self {
+        EdgeList {
+            packed: Vec::with_capacity(n),
+            finished: false,
+        }
+    }
+
+    /// Add an undirected edge; self-loops are ignored.
+    #[inline]
+    pub fn push(&mut self, a: VertexId, b: VertexId) {
+        if a == b {
+            return;
+        }
+        let (lo, hi) = if a < b { (a, b) } else { (b, a) };
+        self.packed.push(((lo as u64) << 32) | hi as u64);
+        self.finished = false;
+    }
+
+    /// Append all edges from another list.
+    pub fn extend_from(&mut self, other: &EdgeList) {
+        self.packed.extend_from_slice(&other.packed);
+        self.finished = false;
+    }
+
+    /// Sort and deduplicate. Idempotent.
+    pub fn finish(&mut self) {
+        if !self.finished {
+            self.packed.sort_unstable();
+            self.packed.dedup();
+            self.finished = true;
+        }
+    }
+
+    /// Number of (deduplicated, if finished) edges.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True if there are no edges.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+
+    /// Iterate canonical `(lo, hi)` edges. Call [`EdgeList::finish`] first
+    /// for a deduplicated, sorted view.
+    pub fn iter(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.packed
+            .iter()
+            .map(|&p| ((p >> 32) as VertexId, p as VertexId))
+    }
+
+    /// Largest vertex id referenced, or `None` if empty.
+    pub fn max_vertex(&self) -> Option<VertexId> {
+        self.packed
+            .iter()
+            .map(|&p| ((p >> 32) as VertexId).max(p as VertexId))
+            .max()
+    }
+}
+
+impl FromIterator<(VertexId, VertexId)> for EdgeList {
+    fn from_iter<I: IntoIterator<Item = (VertexId, VertexId)>>(iter: I) -> Self {
+        let mut el = EdgeList::new();
+        for (a, b) in iter {
+            el.push(a, b);
+        }
+        el
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonicalizes_and_dedups() {
+        let mut el = EdgeList::new();
+        el.push(3, 1);
+        el.push(1, 3);
+        el.push(2, 4);
+        el.finish();
+        let edges: Vec<_> = el.iter().collect();
+        assert_eq!(edges, vec![(1, 3), (2, 4)]);
+    }
+
+    #[test]
+    fn drops_self_loops() {
+        let mut el = EdgeList::new();
+        el.push(5, 5);
+        el.push(1, 2);
+        el.finish();
+        assert_eq!(el.len(), 1);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut el: EdgeList = [(0, 1), (1, 0), (0, 1)].into_iter().collect();
+        el.finish();
+        let once = el.len();
+        el.finish();
+        assert_eq!(el.len(), once);
+        assert_eq!(once, 1);
+    }
+
+    #[test]
+    fn max_vertex() {
+        let mut el = EdgeList::new();
+        assert_eq!(el.max_vertex(), None);
+        el.push(2, 9);
+        el.push(4, 1);
+        assert_eq!(el.max_vertex(), Some(9));
+    }
+
+    #[test]
+    fn extend_from_merges() {
+        let mut a: EdgeList = [(0, 1)].into_iter().collect();
+        let b: EdgeList = [(1, 2), (0, 1)].into_iter().collect();
+        a.extend_from(&b);
+        a.finish();
+        assert_eq!(a.len(), 2);
+    }
+}

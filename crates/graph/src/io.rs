@@ -1,0 +1,208 @@
+//! Adjacency-list serialization — the pipeline's disk I/O stage.
+//!
+//! Algorithm 2 begins with "CPU loads graph from disk I/O"; the time spent
+//! here is the *Disk I/O* column of Table I. Two formats:
+//!
+//! * **text** — one line per vertex: `vertex: n1 n2 n3 ...` (only vertices
+//!   with neighbors are written). Human-inspectable; used in examples.
+//! * **binary** — little-endian framing via the `bytes` crate:
+//!   `[n: u64][m2: u64][offsets: (n+1) × u64][targets: m2 × u32]`. This is
+//!   the fast path for the large benchmark graphs.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+use bytes::{Buf, BufMut};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Magic header for the binary format.
+const MAGIC: &[u8; 8] = b"GPCLGRF1";
+
+/// Write a graph as text adjacency lists.
+pub fn write_text<W: Write>(writer: W, g: &Csr) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for (v, ns) in g.iter() {
+        if ns.is_empty() {
+            continue;
+        }
+        write!(w, "{v}:")?;
+        for &u in ns {
+            write!(w, " {u}")?;
+        }
+        writeln!(w)?;
+    }
+    w.flush()
+}
+
+/// Read a text adjacency-list graph. `n` must cover all referenced vertices.
+pub fn read_text<R: Read>(reader: R, n: usize) -> io::Result<Csr> {
+    let r = BufReader::new(reader);
+    let mut edges = EdgeList::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, rest) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: missing ':'", lineno + 1),
+            )
+        })?;
+        let v: VertexId = head.trim().parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad vertex id: {e}", lineno + 1),
+            )
+        })?;
+        for tok in rest.split_whitespace() {
+            let u: VertexId = tok.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad neighbor id: {e}", lineno + 1),
+                )
+            })?;
+            edges.push(v, u);
+        }
+    }
+    Ok(Csr::from_edges(n, &mut edges))
+}
+
+/// Write a graph in the binary format.
+pub fn write_binary<W: Write>(writer: W, g: &Csr) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    let mut header = Vec::with_capacity(24);
+    header.put_slice(MAGIC);
+    header.put_u64_le(g.n() as u64);
+    header.put_u64_le(g.targets().len() as u64);
+    w.write_all(&header)?;
+    let mut buf = Vec::with_capacity(8 * 1024);
+    for chunk in g.offsets().chunks(1024) {
+        buf.clear();
+        for &o in chunk {
+            buf.put_u64_le(o);
+        }
+        w.write_all(&buf)?;
+    }
+    for chunk in g.targets().chunks(2048) {
+        buf.clear();
+        for &t in chunk {
+            buf.put_u32_le(t);
+        }
+        w.write_all(&buf)?;
+    }
+    w.flush()
+}
+
+/// Read a graph in the binary format.
+pub fn read_binary<R: Read>(mut reader: R) -> io::Result<Csr> {
+    let mut header = [0u8; 24];
+    reader.read_exact(&mut header)?;
+    let mut h = &header[..];
+    let mut magic = [0u8; 8];
+    h.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let n = h.get_u64_le() as usize;
+    let m2 = h.get_u64_le() as usize;
+
+    let mut raw = vec![0u8; (n + 1) * 8];
+    reader.read_exact(&mut raw)?;
+    let mut b = &raw[..];
+    let offsets: Vec<u64> = (0..=n).map(|_| b.get_u64_le()).collect();
+
+    let mut raw = vec![0u8; m2 * 4];
+    reader.read_exact(&mut raw)?;
+    let mut b = &raw[..];
+    let targets: Vec<VertexId> = (0..m2).map(|_| b.get_u32_le()).collect();
+    Ok(Csr::from_raw(offsets, targets))
+}
+
+/// Write a graph to `path`, choosing format by extension (`.txt` → text,
+/// anything else → binary).
+pub fn write_file<P: AsRef<Path>>(path: P, g: &Csr) -> io::Result<()> {
+    let f = std::fs::File::create(&path)?;
+    if path.as_ref().extension().is_some_and(|e| e == "txt") {
+        write_text(f, g)
+    } else {
+        write_binary(f, g)
+    }
+}
+
+/// Read a binary graph from `path`.
+pub fn read_file<P: AsRef<Path>>(path: P) -> io::Result<Csr> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr {
+        let mut el: EdgeList = [(0, 1), (1, 2), (0, 2), (2, 3)].into_iter().collect();
+        Csr::from_edges(5, &mut el)
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_text(&mut buf, &g).unwrap();
+        let g2 = read_text(&buf[..], g.n()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+        buf[0] = b'X';
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn text_skips_comments_and_blanks() {
+        let text = b"# comment\n\n0: 1 2\n1: 0\n2: 0\n";
+        let g = read_text(&text[..], 3).unwrap();
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn text_rejects_garbage() {
+        assert!(read_text(&b"nonsense\n"[..], 3).is_err());
+        assert!(read_text(&b"0: x\n"[..], 3).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip_binary() {
+        let dir = std::env::temp_dir().join("gpclust_graph_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = sample();
+        write_file(&path, &g).unwrap();
+        let g2 = read_file(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let mut el = EdgeList::new();
+        let g = Csr::from_edges(0, &mut el);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+}

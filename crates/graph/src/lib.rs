@@ -1,0 +1,45 @@
+//! # gpclust-graph — graph substrate
+//!
+//! Data structures and algorithms beneath the Shingling clustering:
+//!
+//! * [`edgelist`] — streaming edge accumulation with symmetrize/dedup.
+//! * [`csr`] — compressed sparse row adjacency, the in-memory form of the
+//!   homology graph ("the graph is made available as an adjacency list").
+//! * [`unionfind`] — Tarjan union–find with rank union and path halving,
+//!   the structure Phase III uses to merge clusters (paper ref \[21\]).
+//! * [`components`] — connected-component detection (BFS oracle and
+//!   union–find stream variant); also provides the largest-CC statistic of
+//!   Table II.
+//! * [`bipartite`] — the bipartite shingle graphs G′(S1, V′l, E′) and
+//!   G″(S2, S′1, E″) produced by the two shingling passes, stored in the
+//!   adjacency-list (`<shingle, L(shingle)>` tuple) form the paper describes.
+//! * [`partition`] — cluster partitions: membership arrays, size
+//!   statistics, intra-cluster density (Equation 6), size-bin histograms
+//!   (Figure 5).
+//! * [`generate`] — planted-partition graph generators for the large-scale
+//!   demo run and for property tests.
+//! * [`subgraph`] — induced subgraphs for pClust's connected-component
+//!   decomposition preprocessing.
+//! * [`io`] — adjacency-list serialization (text and binary), the pipeline's
+//!   disk I/O stage.
+//! * [`stats`] — input-graph statistics (Table II).
+
+pub mod bipartite;
+pub mod components;
+pub mod csr;
+pub mod edgelist;
+pub mod generate;
+pub mod io;
+pub mod partition;
+pub mod stats;
+pub mod subgraph;
+pub mod unionfind;
+
+/// Vertex identifier used across the workspace (sequence id = vertex id).
+pub type VertexId = u32;
+
+pub use bipartite::ShingleGraph;
+pub use csr::Csr;
+pub use edgelist::EdgeList;
+pub use partition::Partition;
+pub use unionfind::UnionFind;

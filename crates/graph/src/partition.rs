@@ -1,0 +1,329 @@
+//! Cluster partitions and their statistics.
+//!
+//! A [`Partition`] assigns each vertex to at most one group — the output
+//! shape of gpClust's Phase III (union–find variant), of the GOS k-neighbor
+//! baseline, and of the planted benchmark. It carries the statistics the
+//! paper's evaluation reports: group counts and sizes (Table IV),
+//! intra-cluster density per Equation 6, and the group-size histogram bins
+//! of Figure 5.
+
+use crate::csr::Csr;
+use crate::stats::MeanSd;
+use crate::unionfind::UnionFind;
+use crate::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// The group-size bins used by Figure 5 of the paper.
+pub const SIZE_BINS: [(usize, usize); 7] = [
+    (20, 49),
+    (50, 99),
+    (100, 199),
+    (200, 499),
+    (500, 999),
+    (1000, 2000),
+    (2001, usize::MAX),
+];
+
+/// Human-readable labels for [`SIZE_BINS`].
+pub const SIZE_BIN_LABELS: [&str; 7] =
+    ["20-49", "50-99", "100-199", "200-499", "500-999", "1000-2000", ">2000"];
+
+/// A disjoint grouping of vertices; vertices may be unassigned.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    n_vertices: usize,
+    membership: Vec<Option<u32>>,
+    groups: Vec<Vec<VertexId>>,
+}
+
+impl Partition {
+    /// Build from a membership array; group ids are compacted densely and
+    /// renumbered by first appearance.
+    pub fn from_membership(membership: Vec<Option<u32>>) -> Self {
+        let n_vertices = membership.len();
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut groups: Vec<Vec<VertexId>> = Vec::new();
+        let mut compact = vec![None; n_vertices];
+        for (v, m) in membership.iter().enumerate() {
+            if let Some(g) = m {
+                let id = *remap.entry(*g).or_insert_with(|| {
+                    groups.push(Vec::new());
+                    (groups.len() - 1) as u32
+                });
+                groups[id as usize].push(v as VertexId);
+                compact[v] = Some(id);
+            }
+        }
+        Partition {
+            n_vertices,
+            membership: compact,
+            groups,
+        }
+    }
+
+    /// Build from a full labeling (every vertex assigned).
+    pub fn from_labels(labels: &[u32]) -> Self {
+        Partition::from_membership(labels.iter().map(|&l| Some(l)).collect())
+    }
+
+    /// Build from a union–find structure (each set becomes a group).
+    pub fn from_union_find(uf: &mut UnionFind) -> Self {
+        let (labels, _) = uf.labels();
+        Partition::from_labels(&labels)
+    }
+
+    /// Every vertex in its own group.
+    pub fn singletons(n: usize) -> Self {
+        Partition::from_labels(&(0..n as u32).collect::<Vec<_>>())
+    }
+
+    /// Number of vertices in the universe (assigned or not).
+    pub fn n_vertices(&self) -> usize {
+        self.n_vertices
+    }
+
+    /// Number of groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Members of group `g`, ascending.
+    pub fn group(&self, g: usize) -> &[VertexId] {
+        &self.groups[g]
+    }
+
+    /// All groups.
+    pub fn groups(&self) -> &[Vec<VertexId>] {
+        &self.groups
+    }
+
+    /// Group of vertex `v`, if assigned.
+    #[inline]
+    pub fn group_of(&self, v: VertexId) -> Option<u32> {
+        self.membership[v as usize]
+    }
+
+    /// The membership array.
+    pub fn membership(&self) -> &[Option<u32>] {
+        &self.membership
+    }
+
+    /// Number of vertices assigned to some group.
+    pub fn assigned_count(&self) -> usize {
+        self.membership.iter().filter(|m| m.is_some()).count()
+    }
+
+    /// Group sizes.
+    pub fn sizes(&self) -> Vec<usize> {
+        self.groups.iter().map(Vec::len).collect()
+    }
+
+    /// Keep only groups with at least `min_size` members; smaller groups'
+    /// vertices become unassigned. (The GOS study reports only clusters of
+    /// size ≥ 20; Table III/IV comparisons apply the same cut.)
+    pub fn filter_min_size(&self, min_size: usize) -> Partition {
+        let mut membership = vec![None; self.n_vertices];
+        for (g, members) in self.groups.iter().enumerate() {
+            if members.len() >= min_size {
+                for &v in members {
+                    membership[v as usize] = Some(g as u32);
+                }
+            }
+        }
+        Partition::from_membership(membership)
+    }
+
+    /// Summary statistics over group sizes (Table IV row).
+    pub fn size_stats(&self) -> PartitionStats {
+        let sizes = self.sizes();
+        PartitionStats {
+            n_groups: sizes.len(),
+            n_assigned: sizes.iter().sum(),
+            largest: sizes.iter().copied().max().unwrap_or(0),
+            size: MeanSd::of(sizes.iter().map(|&s| s as f64)),
+        }
+    }
+
+    /// Per-group intra-connectivity density (Equation 6):
+    /// `#(edges inside the group) / C(k, 2)`. Groups of size < 2 get 1.0
+    /// (a single vertex is trivially fully connected).
+    pub fn densities(&self, g: &Csr) -> Vec<f64> {
+        let mut intra = vec![0usize; self.n_groups()];
+        for (v, ns) in g.iter() {
+            if let Some(gv) = self.group_of(v) {
+                for &u in ns {
+                    if u > v && self.group_of(u) == Some(gv) {
+                        intra[gv as usize] += 1;
+                    }
+                }
+            }
+        }
+        self.groups
+            .iter()
+            .zip(&intra)
+            .map(|(members, &e)| {
+                let k = members.len();
+                if k < 2 {
+                    1.0
+                } else {
+                    e as f64 / (k * (k - 1) / 2) as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Mean ± sd of [`Partition::densities`].
+    pub fn density_stats(&self, g: &Csr) -> MeanSd {
+        MeanSd::of(self.densities(g))
+    }
+
+    /// Histogram over [`SIZE_BINS`]: `(groups per bin, sequences per bin)` —
+    /// the two panels of Figure 5.
+    pub fn size_histogram(&self) -> ([usize; 7], [usize; 7]) {
+        let mut groups = [0usize; 7];
+        let mut seqs = [0usize; 7];
+        for size in self.sizes() {
+            if let Some(bin) = SIZE_BINS
+                .iter()
+                .position(|&(lo, hi)| size >= lo && size <= hi)
+            {
+                groups[bin] += 1;
+                seqs[bin] += size;
+            }
+        }
+        (groups, seqs)
+    }
+}
+
+/// Group-size summary used in Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartitionStats {
+    /// Number of groups.
+    pub n_groups: usize,
+    /// Number of sequences included in any group.
+    pub n_assigned: usize,
+    /// Largest group size.
+    pub largest: usize,
+    /// Group size mean ± sd.
+    pub size: MeanSd,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    fn partition() -> Partition {
+        // groups: {0,1,2}, {3,4}, unassigned: {5}
+        Partition::from_membership(vec![
+            Some(7),
+            Some(7),
+            Some(7),
+            Some(3),
+            Some(3),
+            None,
+        ])
+    }
+
+    #[test]
+    fn compacts_group_ids() {
+        let p = partition();
+        assert_eq!(p.n_groups(), 2);
+        assert_eq!(p.group(0), &[0, 1, 2]);
+        assert_eq!(p.group(1), &[3, 4]);
+        assert_eq!(p.group_of(5), None);
+        assert_eq!(p.assigned_count(), 5);
+    }
+
+    #[test]
+    fn filter_min_size_unassigns_small_groups() {
+        let p = partition().filter_min_size(3);
+        assert_eq!(p.n_groups(), 1);
+        assert_eq!(p.group_of(3), None);
+        assert_eq!(p.group_of(0), Some(0));
+        assert_eq!(p.assigned_count(), 3);
+    }
+
+    #[test]
+    fn size_stats() {
+        let st = partition().size_stats();
+        assert_eq!(st.n_groups, 2);
+        assert_eq!(st.n_assigned, 5);
+        assert_eq!(st.largest, 3);
+        assert!((st.size.mean - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_of_clique_is_one() {
+        // group {0,1,2} is a triangle; group {3,4} has no edge.
+        let mut el: EdgeList = [(0, 1), (1, 2), (0, 2)].into_iter().collect();
+        let g = Csr::from_edges(6, &mut el);
+        let p = partition();
+        let d = p.densities(&g);
+        assert_eq!(d.len(), 2);
+        assert!((d[0] - 1.0).abs() < 1e-12);
+        assert_eq!(d[1], 0.0);
+        let ms = p.density_stats(&g);
+        assert!((ms.mean - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn density_ignores_cross_edges() {
+        let mut el: EdgeList = [(0, 3), (1, 4), (2, 5)].into_iter().collect();
+        let g = Csr::from_edges(6, &mut el);
+        let d = partition().densities(&g);
+        assert_eq!(d, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn singleton_groups_density_one() {
+        let mut el = EdgeList::new();
+        let g = Csr::from_edges(2, &mut el);
+        let p = Partition::singletons(2);
+        assert_eq!(p.densities(&g), vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn histogram_bins() {
+        // Sizes: 25 (bin 0), 150 (bin 2), 3000 (bin 6), 5 (no bin).
+        let mut membership = Vec::new();
+        for (gid, size) in [(0u32, 25usize), (1, 150), (2, 3000), (3, 5)] {
+            membership.extend(std::iter::repeat_n(Some(gid), size));
+        }
+        let p = Partition::from_membership(membership);
+        let (groups, seqs) = p.size_histogram();
+        assert_eq!(groups, [1, 0, 1, 0, 0, 0, 1]);
+        assert_eq!(seqs, [25, 0, 150, 0, 0, 0, 3000]);
+    }
+
+    #[test]
+    fn bin_edges_inclusive() {
+        for (size, expected_bin) in [(20, 0), (49, 0), (50, 1), (2000, 5), (2001, 6)] {
+            let p = Partition::from_membership(
+                std::iter::repeat_n(Some(0u32), size).collect(),
+            );
+            let (groups, _) = p.size_histogram();
+            let hit = groups.iter().position(|&c| c == 1).unwrap();
+            assert_eq!(hit, expected_bin, "size {size}");
+        }
+    }
+
+    #[test]
+    fn from_union_find_matches_sets() {
+        let mut uf = UnionFind::new(5);
+        uf.union(0, 4);
+        uf.union(1, 2);
+        let p = Partition::from_union_find(&mut uf);
+        assert_eq!(p.n_groups(), 3);
+        assert_eq!(p.group_of(0), p.group_of(4));
+        assert_eq!(p.group_of(1), p.group_of(2));
+        assert_ne!(p.group_of(0), p.group_of(3));
+    }
+
+    #[test]
+    fn from_labels_all_assigned() {
+        let p = Partition::from_labels(&[2, 2, 0]);
+        assert_eq!(p.n_groups(), 2);
+        assert_eq!(p.assigned_count(), 3);
+    }
+}

@@ -1,0 +1,127 @@
+//! Input-graph statistics (Table II of the paper).
+
+use crate::components::bfs_components;
+use crate::csr::Csr;
+use serde::{Deserialize, Serialize};
+
+/// Mean and population standard deviation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanSd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub sd: f64,
+}
+
+impl MeanSd {
+    /// Compute over an iterator; zeros for an empty sample.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for v in values {
+            n += 1;
+            sum += v;
+            sumsq += v * v;
+        }
+        if n == 0 {
+            return MeanSd { mean: 0.0, sd: 0.0 };
+        }
+        let mean = sum / n as f64;
+        MeanSd {
+            mean,
+            sd: (sumsq / n as f64 - mean * mean).max(0.0).sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanSd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.0} ± {:.0}", self.mean, self.sd)
+    }
+}
+
+/// Table II: similarity graph statistics.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GraphStats {
+    /// Vertices with degree ≥ 1 (the paper ignores singleton vertices).
+    pub n_non_singleton: usize,
+    /// Total vertices including singletons.
+    pub n_total: usize,
+    /// Undirected edge count.
+    pub n_edges: usize,
+    /// Degree mean ± sd over non-singleton vertices.
+    pub degree: MeanSd,
+    /// Largest connected-component size.
+    pub largest_cc: usize,
+}
+
+impl GraphStats {
+    /// Compute all Table II statistics for `g`.
+    pub fn of(g: &Csr) -> Self {
+        let degrees: Vec<f64> = (0..g.n() as u32)
+            .map(|v| g.degree(v) as f64)
+            .filter(|&d| d > 0.0)
+            .collect();
+        let cc = bfs_components(g);
+        GraphStats {
+            n_non_singleton: degrees.len(),
+            n_total: g.n(),
+            n_edges: g.m(),
+            degree: MeanSd::of(degrees.iter().copied()),
+            largest_cc: cc.largest(),
+        }
+    }
+}
+
+impl std::fmt::Display for GraphStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "# Vertices (non-singleton): {}  (total incl. singletons: {})",
+            self.n_non_singleton, self.n_total
+        )?;
+        writeln!(f, "# Edges:                    {}", self.n_edges)?;
+        writeln!(f, "Avg. degree:                {}", self.degree)?;
+        write!(f, "Largest CC size:            {}", self.largest_cc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edgelist::EdgeList;
+
+    #[test]
+    fn stats_of_small_graph() {
+        // Triangle 0-1-2 + edge 3-4 + isolated 5.
+        let mut el: EdgeList = [(0, 1), (1, 2), (0, 2), (3, 4)].into_iter().collect();
+        let g = Csr::from_edges(6, &mut el);
+        let st = GraphStats::of(&g);
+        assert_eq!(st.n_non_singleton, 5);
+        assert_eq!(st.n_total, 6);
+        assert_eq!(st.n_edges, 4);
+        assert_eq!(st.largest_cc, 3);
+        // degrees of non-singletons: 2,2,2,1,1 → mean 1.6
+        assert!((st.degree.mean - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let mut el = EdgeList::new();
+        let g = Csr::from_edges(0, &mut el);
+        let st = GraphStats::of(&g);
+        assert_eq!(st.n_non_singleton, 0);
+        assert_eq!(st.n_edges, 0);
+        assert_eq!(st.largest_cc, 0);
+    }
+
+    #[test]
+    fn display_mentions_edges() {
+        let mut el: EdgeList = [(0, 1)].into_iter().collect();
+        let g = Csr::from_edges(2, &mut el);
+        let s = GraphStats::of(&g).to_string();
+        assert!(s.contains("# Edges"));
+        assert!(s.contains("Largest CC"));
+    }
+}

@@ -1,0 +1,133 @@
+//! Induced subgraph extraction.
+//!
+//! pClust's driver "applie\[s\] connected component detection to the input
+//! graph to break down the large problem instance into subproblems of much
+//! smaller size" and clusters each component independently. That needs the
+//! induced subgraph of a vertex subset, with a mapping back to the original
+//! vertex ids.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// An induced subgraph plus the mapping from its dense local ids back to
+/// the parent graph's vertex ids.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The induced subgraph over dense local ids `0..members.len()`.
+    pub graph: Csr,
+    /// `members[local] = global` — ascending, so the mapping is monotone.
+    pub members: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Map a local vertex id back to the parent graph.
+    #[inline]
+    pub fn to_global(&self, local: VertexId) -> VertexId {
+        self.members[local as usize]
+    }
+
+    /// Map a parent-graph vertex id to its local id, if present.
+    pub fn to_local(&self, global: VertexId) -> Option<VertexId> {
+        self.members
+            .binary_search(&global)
+            .ok()
+            .map(|i| i as VertexId)
+    }
+}
+
+/// Extract the subgraph induced by `members` (any order; deduplicated).
+pub fn induced(g: &Csr, members: &[VertexId]) -> Subgraph {
+    let mut members: Vec<VertexId> = members.to_vec();
+    members.sort_unstable();
+    members.dedup();
+    // Global → local lookup. A full-size map keeps extraction O(m_sub);
+    // u32::MAX marks absence.
+    let mut local_of = vec![u32::MAX; g.n()];
+    for (local, &global) in members.iter().enumerate() {
+        local_of[global as usize] = local as u32;
+    }
+    let mut edges = EdgeList::new();
+    for (local, &global) in members.iter().enumerate() {
+        for &nb in g.neighbors(global) {
+            let nb_local = local_of[nb as usize];
+            if nb_local != u32::MAX && nb_local > local as u32 {
+                edges.push(local as u32, nb_local);
+            }
+        }
+    }
+    Subgraph {
+        graph: Csr::from_edges(members.len(), &mut edges),
+        members,
+    }
+}
+
+/// Split `g` into its connected components' induced subgraphs, skipping
+/// isolated vertices (singleton components). Ordered by descending size.
+pub fn component_subgraphs(g: &Csr) -> Vec<Subgraph> {
+    let cc = crate::components::bfs_components(g);
+    let mut groups = cc.groups();
+    groups.retain(|grp| grp.len() > 1);
+    groups.sort_by_key(|grp| std::cmp::Reverse(grp.len()));
+    groups.into_iter().map(|grp| induced(g, &grp)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_components() -> Csr {
+        // 0-1-2 triangle, 5-6 edge, 3 and 4 isolated.
+        let mut el: EdgeList = [(0, 1), (1, 2), (0, 2), (5, 6)].into_iter().collect();
+        Csr::from_edges(7, &mut el)
+    }
+
+    #[test]
+    fn induced_preserves_internal_edges_only() {
+        let g = two_components();
+        let sub = induced(&g, &[0, 2, 5]);
+        assert_eq!(sub.members, vec![0, 2, 5]);
+        assert_eq!(sub.graph.n(), 3);
+        assert_eq!(sub.graph.m(), 1); // only 0-2 survives
+        assert!(sub.graph.has_edge(0, 1)); // local ids of global 0 and 2
+        assert_eq!(sub.to_global(1), 2);
+        assert_eq!(sub.to_local(5), Some(2));
+        assert_eq!(sub.to_local(6), None);
+    }
+
+    #[test]
+    fn induced_dedups_and_sorts() {
+        let g = two_components();
+        let sub = induced(&g, &[2, 0, 2, 1]);
+        assert_eq!(sub.members, vec![0, 1, 2]);
+        assert_eq!(sub.graph.m(), 3);
+    }
+
+    #[test]
+    fn component_subgraphs_skip_singletons() {
+        let g = two_components();
+        let subs = component_subgraphs(&g);
+        assert_eq!(subs.len(), 2);
+        assert_eq!(subs[0].members, vec![0, 1, 2]); // largest first
+        assert_eq!(subs[1].members, vec![5, 6]);
+        assert_eq!(subs[0].graph.m(), 3);
+        assert_eq!(subs[1].graph.m(), 1);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = two_components();
+        let sub = induced(&g, &[]);
+        assert_eq!(sub.graph.n(), 0);
+        assert!(sub.members.is_empty());
+    }
+
+    #[test]
+    fn roundtrip_global_local() {
+        let g = two_components();
+        let sub = induced(&g, &[1, 5, 6]);
+        for local in 0..sub.graph.n() as u32 {
+            assert_eq!(sub.to_local(sub.to_global(local)), Some(local));
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Union–find (disjoint-set) with union by rank and path halving.
+//!
+//! Phase III of the Shingling algorithm "initialize\[s\] a union-find data
+//! structure of size n, with all vertices in G in a cluster by itself
+//! initially" and unions the vertices covered by each connected component of
+//! the second-level shingle graph. This implementation follows Tarjan's
+//! classic analysis (paper ref \[21\]): near-constant amortized operations.
+
+use crate::VertexId;
+
+/// Disjoint-set forest over dense `u32` ids.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<VertexId>,
+    rank: Vec<u8>,
+    n_sets: usize,
+}
+
+impl UnionFind {
+    /// Create `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "id space exceeds u32");
+        UnionFind {
+            parent: (0..n as VertexId).collect(),
+            rank: vec![0; n],
+            n_sets: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets currently.
+    pub fn n_sets(&self) -> usize {
+        self.n_sets
+    }
+
+    /// Find the representative of `x`, halving the path as it walks.
+    #[inline]
+    pub fn find(&mut self, mut x: VertexId) -> VertexId {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Read-only find (no compression); O(depth).
+    pub fn find_const(&self, mut x: VertexId) -> VertexId {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Union the sets of `a` and `b`. Returns true if they were separate.
+    pub fn union(&mut self, a: VertexId, b: VertexId) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        let (hi, lo) = if self.rank[ra as usize] >= self.rank[rb as usize] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        self.parent[lo as usize] = hi;
+        if self.rank[hi as usize] == self.rank[lo as usize] {
+            self.rank[hi as usize] += 1;
+        }
+        self.n_sets -= 1;
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn same(&mut self, a: VertexId, b: VertexId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Dense relabeling: returns `labels[v] ∈ 0..k` where `k` is the number
+    /// of sets, with equal labels iff same set.
+    pub fn labels(&mut self) -> (Vec<u32>, usize) {
+        let n = self.len();
+        let mut labels = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for v in 0..n as VertexId {
+            let r = self.find(v) as usize;
+            if labels[r] == u32::MAX {
+                labels[r] = next;
+                next += 1;
+            }
+            labels[v as usize] = labels[r];
+        }
+        (labels, next as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_sets_are_singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.n_sets(), 5);
+        for v in 0..5 {
+            assert_eq!(uf.find(v), v);
+        }
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.n_sets(), 2);
+        assert!(uf.same(0, 1));
+        assert!(!uf.same(0, 2));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.n_sets(), 1);
+        assert!(uf.same(1, 2));
+    }
+
+    #[test]
+    fn transitivity_over_chain() {
+        let n = 1_000;
+        let mut uf = UnionFind::new(n);
+        for v in 0..(n as u32 - 1) {
+            uf.union(v, v + 1);
+        }
+        assert_eq!(uf.n_sets(), 1);
+        assert!(uf.same(0, n as u32 - 1));
+    }
+
+    #[test]
+    fn labels_dense_and_consistent() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 2);
+        uf.union(2, 4);
+        uf.union(1, 5);
+        let (labels, k) = uf.labels();
+        assert_eq!(k, 3);
+        assert!(labels.iter().all(|&l| (l as usize) < k));
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[0], labels[4]);
+        assert_eq!(labels[1], labels[5]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[1], labels[3]);
+    }
+
+    #[test]
+    fn find_const_agrees_with_find() {
+        let mut uf = UnionFind::new(50);
+        for i in 0..49u32 {
+            if i % 3 != 0 {
+                uf.union(i, i + 1);
+            }
+        }
+        for v in 0..50u32 {
+            assert_eq!(uf.find_const(v), uf.find(v));
+        }
+    }
+
+    #[test]
+    fn empty_structure() {
+        let uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.n_sets(), 0);
+    }
+}

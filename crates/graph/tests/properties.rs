@@ -1,0 +1,121 @@
+//! Property tests for the graph substrate.
+
+use gpclust_graph::components::{bfs_components, union_components};
+use gpclust_graph::{io, Csr, EdgeList, Partition, UnionFind};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn csr_is_symmetric_and_sorted((n, edges) in arb_edges(80, 400)) {
+        let mut el: EdgeList = edges.into_iter().collect();
+        let g = Csr::from_edges(n, &mut el);
+        for v in 0..n as u32 {
+            let ns = g.neighbors(v);
+            prop_assert!(ns.windows(2).all(|w| w[0] < w[1]), "unsorted/dup at {}", v);
+            for &u in ns {
+                prop_assert!(g.neighbors(u).contains(&v));
+                prop_assert_ne!(u, v, "self loop survived");
+            }
+        }
+        let total: usize = (0..n as u32).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, 2 * g.m());
+    }
+
+    #[test]
+    fn binary_io_roundtrip((n, edges) in arb_edges(60, 300)) {
+        let mut el: EdgeList = edges.into_iter().collect();
+        let g = Csr::from_edges(n, &mut el);
+        let mut buf = Vec::new();
+        io::write_binary(&mut buf, &g).unwrap();
+        prop_assert_eq!(io::read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn text_io_roundtrip((n, edges) in arb_edges(40, 150)) {
+        let mut el: EdgeList = edges.into_iter().collect();
+        let g = Csr::from_edges(n, &mut el);
+        let mut buf = Vec::new();
+        io::write_text(&mut buf, &g).unwrap();
+        prop_assert_eq!(io::read_text(&buf[..], n).unwrap(), g);
+    }
+
+    #[test]
+    fn components_bfs_equals_union_find((n, edges) in arb_edges(60, 250)) {
+        let mut el: EdgeList = edges.iter().copied().collect();
+        let g = Csr::from_edges(n, &mut el);
+        let a = bfs_components(&g);
+        let b = union_components(n, edges.into_iter().filter(|(x, y)| x != y));
+        prop_assert_eq!(a.n_components, b.n_components);
+        // Same partition up to relabeling: compare via canonical labels.
+        let canon = |labels: &[u32]| {
+            let mut remap = std::collections::HashMap::new();
+            labels.iter().map(|&l| {
+                let next = remap.len() as u32;
+                *remap.entry(l).or_insert(next)
+            }).collect::<Vec<u32>>()
+        };
+        prop_assert_eq!(canon(&a.labels), canon(&b.labels));
+    }
+
+    #[test]
+    fn union_find_is_an_equivalence(ops in proptest::collection::vec((0u32..40, 0u32..40), 0..120)) {
+        let mut uf = UnionFind::new(40);
+        for &(a, b) in &ops {
+            uf.union(a, b);
+        }
+        // Reflexive + symmetric by construction; transitive via labels.
+        let (labels, k) = uf.labels();
+        prop_assert_eq!(uf.n_sets(), k);
+        for &(a, b) in &ops {
+            prop_assert_eq!(labels[a as usize], labels[b as usize]);
+        }
+        // Singleton count + merged count adds up.
+        let mut sizes = std::collections::HashMap::new();
+        for &l in &labels {
+            *sizes.entry(l).or_insert(0usize) += 1;
+        }
+        prop_assert_eq!(sizes.values().sum::<usize>(), 40);
+    }
+
+    #[test]
+    fn partition_filter_monotone(
+        membership in proptest::collection::vec(proptest::option::of(0u32..8), 1..120),
+        min in 1usize..10,
+    ) {
+        let p = Partition::from_membership(membership);
+        let f = p.filter_min_size(min);
+        prop_assert!(f.n_groups() <= p.n_groups());
+        prop_assert!(f.assigned_count() <= p.assigned_count());
+        for grp in f.groups() {
+            prop_assert!(grp.len() >= min);
+        }
+        // Filtering never rewires membership: kept vertices stay together.
+        for grp in f.groups() {
+            let orig = p.group_of(grp[0]);
+            for &v in grp {
+                prop_assert_eq!(p.group_of(v), orig);
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_counts_are_consistent(
+        membership in proptest::collection::vec(proptest::option::of(0u32..6), 1..4000),
+    ) {
+        let p = Partition::from_membership(membership);
+        let (groups, seqs) = p.size_histogram();
+        let in_bins: usize = p.sizes().iter().filter(|&&s| s >= 20).count();
+        prop_assert_eq!(groups.iter().sum::<usize>(), in_bins);
+        let seqs_in_bins: usize = p.sizes().iter().filter(|&&s| s >= 20).sum();
+        prop_assert_eq!(seqs.iter().sum::<usize>(), seqs_in_bins);
+    }
+}

@@ -1,0 +1,209 @@
+//! Parallel Smith–Waterman verification and graph assembly.
+//!
+//! Each candidate pair gets an exact local alignment; pairs passing the
+//! acceptance criteria become edges of the similarity graph ("(vi, vj) ∈ E
+//! if and only if si and sj have a significant sequence similarity").
+//! Verification fans out over rayon with one scoring [`Workspace`] per
+//! worker — the alignment kernel itself never allocates.
+
+use crate::pairs::{promising_pairs, promising_pairs_suffix, PairStats};
+use gpclust_align::filter::FilterConfig;
+use gpclust_align::significance::{evaluate_pair, AcceptCriteria};
+use gpclust_align::sw::{GapPenalties, SmithWaterman, Workspace};
+use gpclust_graph::{Csr, EdgeList};
+use gpclust_seqsim::Protein;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+/// Which maximal-match machinery generates candidate pairs. Both produce
+/// the identical pair set (property-tested in `gpclust-align`); the k-mer
+/// index is the fast default, the suffix array is pGraph's stated method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum FilterBackend {
+    /// Sorted k-mer index (default).
+    #[default]
+    Kmer,
+    /// Generalized suffix array + LCP intervals.
+    SuffixArray,
+}
+
+/// Configuration of homology graph construction.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HomologyConfig {
+    /// Candidate filter (exact-match length ψ, bucket cap).
+    pub filter: FilterConfig,
+    /// Candidate-generation machinery.
+    #[serde(default)]
+    pub backend: FilterBackend,
+    /// Edge acceptance thresholds.
+    pub criteria: AcceptCriteria,
+    /// Affine gap penalties for the Smith–Waterman verification.
+    pub gap_open: i32,
+    /// Gap extension penalty.
+    pub gap_extend: i32,
+}
+
+impl Default for HomologyConfig {
+    fn default() -> Self {
+        let gaps = GapPenalties::default();
+        HomologyConfig {
+            filter: FilterConfig::default(),
+            backend: FilterBackend::default(),
+            criteria: AcceptCriteria::homology_default(),
+            gap_open: gaps.open,
+            gap_extend: gaps.extend,
+        }
+    }
+}
+
+/// Statistics of one graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BuildStats {
+    /// Candidate-filter statistics.
+    pub pairs: PairStats,
+    /// Candidates accepted as edges.
+    pub n_edges: usize,
+    /// Candidates rejected by the alignment criteria.
+    pub n_rejected: usize,
+}
+
+/// Build the similarity graph over `proteins` (dense ids).
+pub fn build_graph(proteins: &[Protein], config: &HomologyConfig) -> (Csr, BuildStats) {
+    let (candidates, pair_stats) = match config.backend {
+        FilterBackend::Kmer => promising_pairs(proteins, &config.filter),
+        FilterBackend::SuffixArray => promising_pairs_suffix(proteins, &config.filter),
+    };
+    let sw = SmithWaterman::new(
+        gpclust_align::SubstitutionMatrix::blosum62(),
+        GapPenalties {
+            open: config.gap_open,
+            extend: config.gap_extend,
+        },
+    );
+
+    thread_local! {
+        static WORKSPACE: RefCell<Workspace> = RefCell::new(Workspace::new());
+    }
+
+    let accepted: Vec<(u32, u32)> = candidates
+        .as_slice()
+        .par_iter()
+        .filter(|&&(a, b)| {
+            WORKSPACE.with(|ws| {
+                evaluate_pair(
+                    &sw,
+                    &mut ws.borrow_mut(),
+                    &proteins[a as usize].residues,
+                    &proteins[b as usize].residues,
+                    &config.criteria,
+                )
+                .accepted()
+            })
+        })
+        .copied()
+        .collect();
+
+    let n_edges = accepted.len();
+    let mut edges: EdgeList = accepted.into_iter().collect();
+    let graph = Csr::from_edges(proteins.len(), &mut edges);
+    let stats = BuildStats {
+        pairs: pair_stats,
+        n_edges,
+        n_rejected: pair_stats.n_pairs - n_edges,
+    };
+    (graph, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::metagenome::{Metagenome, MetagenomeConfig};
+
+    fn dataset(n: usize, seed: u64) -> Metagenome {
+        Metagenome::generate(&MetagenomeConfig::tiny(n, seed))
+    }
+
+    #[test]
+    fn intra_family_edges_dominate() {
+        let mg = dataset(200, 5);
+        let (g, stats) = build_graph(&mg.proteins, &HomologyConfig::default());
+        assert!(g.m() > 0, "no edges built");
+        assert_eq!(stats.n_edges + stats.n_rejected, stats.pairs.n_pairs);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for v in 0..g.n() as u32 {
+            for &u in g.neighbors(v) {
+                if u > v {
+                    if mg.truth[v as usize].is_some()
+                        && mg.truth[v as usize] == mg.truth[u as usize]
+                    {
+                        intra += 1;
+                    } else {
+                        inter += 1;
+                    }
+                }
+            }
+        }
+        assert!(
+            intra > 20 * inter.max(1) || inter == 0,
+            "edge precision too low: intra {intra}, inter {inter}"
+        );
+    }
+
+    #[test]
+    fn noise_orfs_stay_mostly_isolated() {
+        let mg = dataset(300, 6);
+        let (g, _) = build_graph(&mg.proteins, &HomologyConfig::default());
+        let noisy_with_edges = (0..g.n() as u32)
+            .filter(|&v| mg.truth[v as usize].is_none() && g.degree(v) > 0)
+            .count();
+        let n_noise = mg.n_noise();
+        assert!(
+            noisy_with_edges * 10 <= n_noise.max(10),
+            "{noisy_with_edges} of {n_noise} noise ORFs gained edges"
+        );
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let mg = dataset(150, 7);
+        let cfg = HomologyConfig::default();
+        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let g1 = pool1.install(|| build_graph(&mg.proteins, &cfg).0);
+        let g4 = pool4.install(|| build_graph(&mg.proteins, &cfg).0);
+        assert_eq!(g1, g4);
+    }
+
+    #[test]
+    fn stricter_criteria_yield_fewer_edges() {
+        let mg = dataset(200, 8);
+        let loose = HomologyConfig::default();
+        let mut strict = HomologyConfig::default();
+        strict.criteria.min_score = loose.criteria.min_score * 3;
+        let (gl, _) = build_graph(&mg.proteins, &loose);
+        let (gs, _) = build_graph(&mg.proteins, &strict);
+        assert!(gs.m() < gl.m(), "strict {} !< loose {}", gs.m(), gl.m());
+    }
+
+    #[test]
+    fn suffix_backend_builds_identical_graph() {
+        let mg = dataset(120, 9);
+        let kmer_cfg = HomologyConfig::default();
+        let sa_cfg = HomologyConfig {
+            backend: FilterBackend::SuffixArray,
+            ..HomologyConfig::default()
+        };
+        let (gk, _) = build_graph(&mg.proteins, &kmer_cfg);
+        let (gs, _) = build_graph(&mg.proteins, &sa_cfg);
+        assert_eq!(gk, gs, "the two maximal-match backends must agree");
+    }
+
+    #[test]
+    fn empty_input() {
+        let (g, stats) = build_graph(&[], &HomologyConfig::default());
+        assert_eq!(g.n(), 0);
+        assert_eq!(stats.n_edges, 0);
+    }
+}

@@ -1,0 +1,24 @@
+//! # gpclust-homology — pGraph-like homology graph construction
+//!
+//! The paper's pipeline builds its input graph with pGraph \[25\]: generate
+//! *promising pairs* via a maximal-match heuristic, then verify each pair
+//! with an optimal Smith–Waterman alignment, in parallel. This crate is
+//! that substrate:
+//!
+//! * [`pairs`] — candidate generation through the shared-k-mer filter of
+//!   `gpclust-align` (the practical equivalent of suffix-tree maximal
+//!   matching).
+//! * [`builder`] — parallel Smith–Waterman verification of candidates and
+//!   edge assembly into a CSR similarity graph.
+//! * [`pipeline`] — end-to-end conveniences: synthetic metagenome → graph,
+//!   and FASTA file → graph.
+//!
+//! Verification parallelizes over candidate pairs with rayon; the result is
+//! a pure function of (sequences, config) regardless of thread count.
+
+pub mod builder;
+pub mod pairs;
+pub mod pipeline;
+
+pub use builder::{build_graph, BuildStats, FilterBackend, HomologyConfig};
+pub use pipeline::{graph_from_fasta, graph_from_metagenome};

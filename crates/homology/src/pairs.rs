@@ -1,0 +1,98 @@
+//! Candidate (promising) pair generation.
+//!
+//! pGraph's first phase finds pairs worth aligning: sequences sharing an
+//! exact match of length ≥ ψ. The shared-k-mer index in `gpclust-align`
+//! enumerates exactly that pair set; this module adapts it to [`Protein`]
+//! datasets and reports filter statistics.
+
+use gpclust_align::filter::{candidate_pairs, CandidatePairs, FilterConfig};
+use gpclust_align::suffix::{candidate_pairs_suffix, SuffixFilterConfig};
+use gpclust_seqsim::Protein;
+use serde::{Deserialize, Serialize};
+
+/// Statistics of one candidate-generation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// Number of candidate pairs emitted.
+    pub n_pairs: usize,
+    /// Over-represented k-mer buckets skipped.
+    pub skipped_buckets: usize,
+}
+
+/// Generate candidate pairs over a protein dataset.
+///
+/// Sequence ids must be dense (`proteins[i].id == i`), which the
+/// `gpclust-seqsim` generators guarantee.
+pub fn promising_pairs(proteins: &[Protein], config: &FilterConfig) -> (CandidatePairs, PairStats) {
+    debug_assert!(proteins
+        .iter()
+        .enumerate()
+        .all(|(i, p)| p.id as usize == i));
+    let views: Vec<&[u8]> = proteins.iter().map(|p| p.residues.as_slice()).collect();
+    let pairs = candidate_pairs(&views, config);
+    let stats = PairStats {
+        n_pairs: pairs.len(),
+        skipped_buckets: pairs.skipped_buckets,
+    };
+    (pairs, stats)
+}
+
+/// Generate candidate pairs through the suffix-array maximal-match route
+/// (same ψ / cap semantics as the k-mer filter; identical results).
+pub fn promising_pairs_suffix(
+    proteins: &[Protein],
+    config: &FilterConfig,
+) -> (CandidatePairs, PairStats) {
+    debug_assert!(proteins
+        .iter()
+        .enumerate()
+        .all(|(i, p)| p.id as usize == i));
+    let views: Vec<&[u8]> = proteins.iter().map(|p| p.residues.as_slice()).collect();
+    let pairs = candidate_pairs_suffix(
+        &views,
+        &SuffixFilterConfig {
+            min_match: config.k,
+            max_interval: config.max_bucket,
+        },
+    );
+    let stats = PairStats {
+        n_pairs: pairs.len(),
+        skipped_buckets: pairs.skipped_buckets,
+    };
+    (pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::metagenome::{Metagenome, MetagenomeConfig};
+
+    #[test]
+    fn family_members_become_candidates() {
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(120, 3));
+        let cfg = FilterConfig { k: 5, max_bucket: 500 };
+        let (pairs, stats) = promising_pairs(&mg.proteins, &cfg);
+        assert_eq!(stats.n_pairs, pairs.len());
+        assert!(!pairs.is_empty(), "families must share 5-mers");
+        // A decent share of candidates should be true intra-family pairs.
+        let intra = pairs
+            .as_slice()
+            .iter()
+            .filter(|&&(a, b)| {
+                mg.truth[a as usize].is_some() && mg.truth[a as usize] == mg.truth[b as usize]
+            })
+            .count();
+        assert!(
+            intra * 2 > pairs.len(),
+            "intra-family {intra} of {}",
+            pairs.len()
+        );
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let (pairs, stats) = promising_pairs(&[], &FilterConfig::default());
+        assert!(pairs.is_empty());
+        assert_eq!(stats.n_pairs, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! End-to-end graph construction conveniences.
+
+use crate::builder::{build_graph, BuildStats, HomologyConfig};
+use gpclust_graph::Csr;
+use gpclust_seqsim::fasta;
+use gpclust_seqsim::metagenome::Metagenome;
+use std::path::Path;
+
+/// Build the similarity graph of a generated metagenome.
+pub fn graph_from_metagenome(mg: &Metagenome, config: &HomologyConfig) -> (Csr, BuildStats) {
+    build_graph(&mg.proteins, config)
+}
+
+/// Errors from the FASTA → graph pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// FASTA parsing failed.
+    Fasta(fasta::FastaError),
+}
+
+impl std::fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PipelineError::Fasta(e) => write!(f, "FASTA error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {}
+
+/// Load proteins from a FASTA file and build their similarity graph.
+pub fn graph_from_fasta<P: AsRef<Path>>(
+    path: P,
+    config: &HomologyConfig,
+) -> Result<(Csr, BuildStats), PipelineError> {
+    let proteins = fasta::read_file(path).map_err(PipelineError::Fasta)?;
+    Ok(build_graph(&proteins, config))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_seqsim::metagenome::MetagenomeConfig;
+
+    #[test]
+    fn fasta_roundtrip_builds_same_graph() {
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(120, 9));
+        let cfg = HomologyConfig::default();
+        let (direct, _) = graph_from_metagenome(&mg, &cfg);
+
+        let dir = std::env::temp_dir().join("gpclust_homology_pipeline");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("mg.faa");
+        fasta::write_file(&path, &mg.proteins).unwrap();
+        let (from_file, _) = graph_from_fasta(&path, &cfg).unwrap();
+        assert_eq!(direct, from_file);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_errors() {
+        let err = graph_from_fasta("/nonexistent/nope.faa", &HomologyConfig::default());
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,236 @@
+//! The 20-letter amino-acid alphabet, residue encoding, and background
+//! composition.
+//!
+//! Residues are stored throughout the workspace as `u8` codes in `0..20`
+//! (index into [`RESIDUES`]), which keeps sequences compact and makes
+//! substitution-matrix lookups a direct 2-D index. The background frequencies
+//! are the Robinson–Robinson amino-acid frequencies commonly used as the null
+//! model in protein alignment statistics.
+
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::Rng;
+
+/// Number of amino-acid symbols.
+pub const ALPHABET_SIZE: usize = 20;
+
+/// One-letter residue codes in canonical (alphabetical) order.
+///
+/// The index of a letter in this array is its `u8` code.
+pub const RESIDUES: [u8; ALPHABET_SIZE] = [
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
+    b'S', b'T', b'V', b'W', b'Y',
+];
+
+/// Robinson–Robinson background frequencies, aligned with [`RESIDUES`].
+pub const BACKGROUND_FREQS: [f64; ALPHABET_SIZE] = [
+    0.07805, // A
+    0.01925, // C
+    0.05364, // D
+    0.06295, // E
+    0.03856, // F
+    0.07377, // G
+    0.02199, // H
+    0.05142, // I
+    0.05744, // K
+    0.09019, // L
+    0.02243, // M
+    0.04487, // N
+    0.05203, // P
+    0.04264, // Q
+    0.05129, // R
+    0.07120, // S
+    0.05841, // T
+    0.06441, // V
+    0.01330, // W
+    0.03216, // Y
+];
+
+/// A typed amino-acid residue.
+///
+/// Mostly a convenience wrapper; hot paths work on raw `u8` codes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct AminoAcid(u8);
+
+impl AminoAcid {
+    /// Construct from a `0..20` code. Returns `None` if out of range.
+    #[inline]
+    pub fn from_code(code: u8) -> Option<Self> {
+        (code < ALPHABET_SIZE as u8).then_some(AminoAcid(code))
+    }
+
+    /// Construct from a one-letter symbol (case-insensitive).
+    pub fn from_letter(letter: u8) -> Option<Self> {
+        let upper = letter.to_ascii_uppercase();
+        RESIDUES
+            .iter()
+            .position(|&r| r == upper)
+            .map(|i| AminoAcid(i as u8))
+    }
+
+    /// The `0..20` code of this residue.
+    #[inline]
+    pub fn code(self) -> u8 {
+        self.0
+    }
+
+    /// The one-letter symbol of this residue.
+    #[inline]
+    pub fn letter(self) -> u8 {
+        RESIDUES[self.0 as usize]
+    }
+
+    /// Background frequency of this residue under the null model.
+    #[inline]
+    pub fn background_freq(self) -> f64 {
+        BACKGROUND_FREQS[self.0 as usize]
+    }
+}
+
+/// Convert a residue code to its one-letter symbol.
+///
+/// # Panics
+/// Panics if `code >= 20`.
+#[inline]
+pub fn code_to_letter(code: u8) -> u8 {
+    RESIDUES[code as usize]
+}
+
+/// Convert a one-letter symbol to its residue code, if valid.
+#[inline]
+pub fn letter_to_code(letter: u8) -> Option<u8> {
+    AminoAcid::from_letter(letter).map(AminoAcid::code)
+}
+
+/// Samples residue codes from the Robinson–Robinson background distribution.
+///
+/// Used for noise ORFs and for the random portion of mutated positions.
+pub struct BackgroundSampler {
+    dist: WeightedIndex<f64>,
+}
+
+impl BackgroundSampler {
+    /// Build a sampler over [`BACKGROUND_FREQS`].
+    pub fn new() -> Self {
+        BackgroundSampler {
+            dist: WeightedIndex::new(BACKGROUND_FREQS).expect("frequencies are positive"),
+        }
+    }
+
+    /// Draw one residue code.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u8 {
+        self.dist.sample(rng) as u8
+    }
+
+    /// Draw a sequence of `len` residue codes.
+    pub fn sample_seq<R: Rng + ?Sized>(&self, rng: &mut R, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.sample(rng)).collect()
+    }
+}
+
+impl Default for BackgroundSampler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Encode an ASCII protein string into residue codes, skipping whitespace.
+///
+/// Returns `None` if any non-whitespace byte is not a valid residue letter.
+pub fn encode(ascii: &[u8]) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(ascii.len());
+    for &b in ascii {
+        if b.is_ascii_whitespace() {
+            continue;
+        }
+        out.push(letter_to_code(b)?);
+    }
+    Some(out)
+}
+
+/// Decode residue codes back into an ASCII protein string.
+///
+/// # Panics
+/// Panics if any code is out of range.
+pub fn decode(codes: &[u8]) -> Vec<u8> {
+    codes.iter().map(|&c| code_to_letter(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        let sum: f64 = BACKGROUND_FREQS.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum = {sum}");
+    }
+
+    #[test]
+    fn letter_code_roundtrip() {
+        for code in 0..ALPHABET_SIZE as u8 {
+            let letter = code_to_letter(code);
+            assert_eq!(letter_to_code(letter), Some(code));
+        }
+    }
+
+    #[test]
+    fn from_letter_is_case_insensitive() {
+        assert_eq!(
+            AminoAcid::from_letter(b'a').map(AminoAcid::code),
+            AminoAcid::from_letter(b'A').map(AminoAcid::code)
+        );
+    }
+
+    #[test]
+    fn invalid_letters_rejected() {
+        for bad in [b'B', b'J', b'O', b'U', b'X', b'Z', b'1', b'-'] {
+            assert_eq!(AminoAcid::from_letter(bad), None, "{}", bad as char);
+        }
+    }
+
+    #[test]
+    fn from_code_bounds() {
+        assert!(AminoAcid::from_code(19).is_some());
+        assert!(AminoAcid::from_code(20).is_none());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = b"ACDEFGHIKLMNPQRSTVWY";
+        let codes = encode(s).unwrap();
+        assert_eq!(decode(&codes), s.to_vec());
+    }
+
+    #[test]
+    fn encode_skips_whitespace() {
+        let codes = encode(b"AC DE\nFG").unwrap();
+        assert_eq!(decode(&codes), b"ACDEFG".to_vec());
+    }
+
+    #[test]
+    fn encode_rejects_invalid() {
+        assert!(encode(b"ACXB").is_none());
+    }
+
+    #[test]
+    fn background_sampler_matches_frequencies() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let sampler = BackgroundSampler::new();
+        let n = 200_000;
+        let mut counts = [0usize; ALPHABET_SIZE];
+        for _ in 0..n {
+            counts[sampler.sample(&mut rng) as usize] += 1;
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let observed = c as f64 / n as f64;
+            let expected = BACKGROUND_FREQS[i];
+            assert!(
+                (observed - expected).abs() < 0.01,
+                "residue {i}: observed {observed}, expected {expected}"
+            );
+        }
+    }
+}

@@ -1,0 +1,282 @@
+//! DNA-level simulation: shotgun fragments and six-frame ORF extraction.
+//!
+//! The paper's data provenance: environmental DNA is shotgun-shredded into
+//! fragments of a few hundred bp, sequenced, "and subsequently translated
+//! into six frames to result in Open Reading Frames (ORFs) or putative
+//! protein sequences". This module implements that front end:
+//!
+//! * the standard genetic code ([`translate_codon`], [`CODON_TABLE`] order),
+//! * reverse complement,
+//! * [`six_frame_orfs`] — scan all six reading frames of a DNA fragment
+//!   for maximal stop-free stretches above a length threshold,
+//! * [`reverse_translate`] — embed a protein back into DNA (choosing
+//!   random synonymous codons), used by the generator to plant protein
+//!   families inside simulated reads.
+//!
+//! Residues outside the 20-letter alphabet never arise: stop codons
+//! delimit ORFs rather than appearing inside them.
+
+use crate::alphabet::letter_to_code;
+use rand::Rng;
+
+/// DNA bases, coded 0..4 in the order `ACGT`.
+pub const BASES: [u8; 4] = [b'A', b'C', b'G', b'T'];
+
+/// Amino-acid one-letter codes by codon index `16·b0 + 4·b1 + b2` (bases
+/// coded A=0, C=1, G=2, T=3); `*` marks stop codons.
+///
+/// This is the standard genetic code laid out in ACGT-major order.
+pub const CODON_TABLE: [u8; 64] = [
+    // AAA AAC AAG AAT   ACA ACC ACG ACT   AGA AGC AGG AGT   ATA ATC ATG ATT
+    b'K', b'N', b'K', b'N', b'T', b'T', b'T', b'T', b'R', b'S', b'R', b'S', b'I', b'I', b'M', b'I',
+    // CAA CAC CAG CAT   CCA CCC CCG CCT   CGA CGC CGG CGT   CTA CTC CTG CTT
+    b'Q', b'H', b'Q', b'H', b'P', b'P', b'P', b'P', b'R', b'R', b'R', b'R', b'L', b'L', b'L', b'L',
+    // GAA GAC GAG GAT   GCA GCC GCG GCT   GGA GGC GGG GGT   GTA GTC GTG GTT
+    b'E', b'D', b'E', b'D', b'A', b'A', b'A', b'A', b'G', b'G', b'G', b'G', b'V', b'V', b'V', b'V',
+    // TAA TAC TAG TAT   TCA TCC TCG TCT   TGA TGC TGG TGT   TTA TTC TTG TTT
+    b'*', b'Y', b'*', b'Y', b'S', b'S', b'S', b'S', b'*', b'C', b'W', b'C', b'L', b'F', b'L', b'F',
+];
+
+/// Base letter → 0..4 code. Case-insensitive; `None` for non-ACGT.
+#[inline]
+pub fn base_code(base: u8) -> Option<u8> {
+    match base.to_ascii_uppercase() {
+        b'A' => Some(0),
+        b'C' => Some(1),
+        b'G' => Some(2),
+        b'T' => Some(3),
+        _ => None,
+    }
+}
+
+/// Translate one codon of base codes; `None` is a stop codon.
+#[inline]
+pub fn translate_codon(b0: u8, b1: u8, b2: u8) -> Option<u8> {
+    let aa = CODON_TABLE[(16 * b0 + 4 * b1 + b2) as usize];
+    (aa != b'*').then(|| letter_to_code(aa).expect("codon table letter"))
+}
+
+/// Reverse complement of a base-code sequence.
+pub fn reverse_complement(dna: &[u8]) -> Vec<u8> {
+    dna.iter().rev().map(|&b| 3 - b).collect()
+}
+
+/// An ORF found in a fragment: frame (0..3 forward, 3..6 reverse), start
+/// offset in that frame's reading direction, and the translated protein.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Orf {
+    /// 0,1,2 = forward frames; 3,4,5 = reverse-complement frames.
+    pub frame: u8,
+    /// Codon-aligned start offset within the (possibly reversed) strand.
+    pub start: usize,
+    /// Translated residues (codes 0..20).
+    pub protein: Vec<u8>,
+}
+
+/// Extract all maximal stop-free translations of length ≥ `min_len`
+/// residues across all six frames of `dna` (base codes).
+pub fn six_frame_orfs(dna: &[u8], min_len: usize) -> Vec<Orf> {
+    let mut orfs = Vec::new();
+    let rc = reverse_complement(dna);
+    for (strand_idx, strand) in [dna, rc.as_slice()].into_iter().enumerate() {
+        for frame in 0..3usize {
+            let mut current: Vec<u8> = Vec::new();
+            let mut start = frame;
+            let mut pos = frame;
+            while pos + 3 <= strand.len() {
+                match translate_codon(strand[pos], strand[pos + 1], strand[pos + 2]) {
+                    Some(aa) => {
+                        if current.is_empty() {
+                            start = pos;
+                        }
+                        current.push(aa);
+                    }
+                    None => {
+                        if current.len() >= min_len {
+                            orfs.push(Orf {
+                                frame: (strand_idx * 3 + frame) as u8,
+                                start,
+                                protein: std::mem::take(&mut current),
+                            });
+                        }
+                        current.clear();
+                    }
+                }
+                pos += 3;
+            }
+            if current.len() >= min_len {
+                orfs.push(Orf {
+                    frame: (strand_idx * 3 + frame) as u8,
+                    start,
+                    protein: current,
+                });
+            }
+        }
+    }
+    orfs
+}
+
+/// Synonymous codons (base-code triples) for each residue code, derived
+/// from [`CODON_TABLE`] at first use.
+fn codons_for(residue: u8) -> Vec<[u8; 3]> {
+    let letter = crate::alphabet::code_to_letter(residue);
+    let mut out = Vec::new();
+    for idx in 0..64u8 {
+        if CODON_TABLE[idx as usize] == letter {
+            out.push([idx / 16, (idx / 4) % 4, idx % 4]);
+        }
+    }
+    out
+}
+
+/// Embed a protein into DNA by choosing a random synonymous codon per
+/// residue. The result translates back to exactly `protein` in frame 0.
+pub fn reverse_translate<R: Rng + ?Sized>(rng: &mut R, protein: &[u8]) -> Vec<u8> {
+    let mut dna = Vec::with_capacity(protein.len() * 3);
+    for &res in protein {
+        let options = codons_for(res);
+        let c = options[rng.gen_range(0..options.len())];
+        dna.extend_from_slice(&c);
+    }
+    dna
+}
+
+/// Random DNA of `len` bases (uniform).
+pub fn random_dna<R: Rng + ?Sized>(rng: &mut R, len: usize) -> Vec<u8> {
+    (0..len).map(|_| rng.gen_range(0..4u8)).collect()
+}
+
+/// Render base codes as an ASCII `ACGT` string.
+pub fn dna_to_ascii(dna: &[u8]) -> Vec<u8> {
+    dna.iter().map(|&b| BASES[b as usize]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::alphabet::encode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn dna(ascii: &[u8]) -> Vec<u8> {
+        ascii.iter().map(|&b| base_code(b).unwrap()).collect()
+    }
+
+    #[test]
+    fn codon_table_well_formed() {
+        let stops = CODON_TABLE.iter().filter(|&&c| c == b'*').count();
+        assert_eq!(stops, 3, "TAA, TAG, TGA");
+        for &c in &CODON_TABLE {
+            assert!(c == b'*' || letter_to_code(c).is_some(), "{}", c as char);
+        }
+        // Spot checks of the standard code.
+        assert_eq!(translate_codon(0, 3, 2), Some(letter_to_code(b'M').unwrap())); // ATG
+        assert_eq!(translate_codon(3, 2, 2), Some(letter_to_code(b'W').unwrap())); // TGG
+        assert_eq!(translate_codon(3, 0, 0), None); // TAA
+        assert_eq!(translate_codon(3, 2, 0), None); // TGA
+        assert_eq!(translate_codon(3, 0, 2), None); // TAG
+    }
+
+    #[test]
+    fn reverse_complement_involution() {
+        let d = dna(b"ACGTTGCA");
+        assert_eq!(reverse_complement(&reverse_complement(&d)), d);
+        assert_eq!(dna_to_ascii(&reverse_complement(&dna(b"AACG"))), b"CGTT".to_vec());
+    }
+
+    #[test]
+    fn orf_found_in_forward_frame_zero() {
+        // ATG AAA TGG TAA -> "MKW" then stop.
+        let d = dna(b"ATGAAATGGTAA");
+        let orfs = six_frame_orfs(&d, 3);
+        let f0: Vec<_> = orfs.iter().filter(|o| o.frame == 0).collect();
+        assert_eq!(f0.len(), 1);
+        assert_eq!(f0[0].protein, encode(b"MKW").unwrap());
+        assert_eq!(f0[0].start, 0);
+    }
+
+    #[test]
+    fn orf_found_on_reverse_strand() {
+        // Reverse complement of ATGAAATGG is CCATTTCAT; embed it so only
+        // the reverse strand holds the peptide.
+        let fwd = dna(b"ATGAAATGGACG");
+        let rc = reverse_complement(&fwd);
+        let orfs = six_frame_orfs(&rc, 4);
+        let found = orfs
+            .iter()
+            .any(|o| o.frame >= 3 && o.protein == encode(b"MKWT").unwrap());
+        assert!(found, "reverse-strand ORF missing: {orfs:?}");
+    }
+
+    #[test]
+    fn stop_codons_split_orfs() {
+        // Two 3-codon stretches split by TAA.
+        let d = dna(b"AAAAAAAAATAAGGGGGGGGG");
+        let orfs = six_frame_orfs(&d, 3);
+        let f0: Vec<_> = orfs.iter().filter(|o| o.frame == 0).collect();
+        assert_eq!(f0.len(), 2);
+        assert_eq!(f0[0].protein, encode(b"KKK").unwrap());
+        assert_eq!(f0[1].protein, encode(b"GGG").unwrap());
+    }
+
+    #[test]
+    fn min_len_filters() {
+        let d = dna(b"ATGAAATGGTAA");
+        assert!(six_frame_orfs(&d, 4).iter().all(|o| o.frame != 0));
+        assert!(six_frame_orfs(&d, 3).iter().any(|o| o.frame == 0));
+    }
+
+    #[test]
+    fn reverse_translate_roundtrips() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let protein = encode(b"MKVLAWGYACDEFGHIKLNPQRSTVWY").unwrap();
+        for _ in 0..10 {
+            let d = reverse_translate(&mut rng, &protein);
+            assert_eq!(d.len(), protein.len() * 3);
+            let back: Vec<u8> = d
+                .chunks(3)
+                .map(|c| translate_codon(c[0], c[1], c[2]).expect("no stops inside"))
+                .collect();
+            assert_eq!(back, protein);
+        }
+    }
+
+    #[test]
+    fn every_residue_has_a_codon() {
+        for res in 0..20u8 {
+            assert!(!codons_for(res).is_empty(), "residue {res}");
+        }
+        // Codon counts sum to 61 (64 minus 3 stops).
+        let total: usize = (0..20u8).map(|r| codons_for(r).len()).sum();
+        assert_eq!(total, 61);
+    }
+
+    #[test]
+    fn random_fragment_orfs_are_stop_free() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let d = random_dna(&mut rng, 600);
+        for orf in six_frame_orfs(&d, 10) {
+            assert!(orf.protein.len() >= 10);
+            assert!(orf.protein.iter().all(|&r| r < 20));
+        }
+    }
+
+    #[test]
+    fn planted_protein_recovered_from_simulated_read() {
+        // End-to-end: protein -> DNA -> embed in a read -> six-frame scan
+        // recovers a superstring of the protein.
+        let mut rng = StdRng::seed_from_u64(11);
+        let protein = encode(b"MKVLAWGYACDEFGHIKLMNPQRSTVWYMKVLAWGY").unwrap();
+        let coding = reverse_translate(&mut rng, &protein);
+        let mut read = random_dna(&mut rng, 60);
+        read.extend_from_slice(&coding);
+        read.extend(random_dna(&mut rng, 60));
+        let orfs = six_frame_orfs(&read, protein.len());
+        let found = orfs.iter().any(|o| {
+            o.protein
+                .windows(protein.len())
+                .any(|w| w == protein.as_slice())
+        });
+        assert!(found, "planted protein not recovered");
+    }
+}

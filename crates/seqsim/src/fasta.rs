@@ -1,0 +1,196 @@
+//! FASTA serialization of protein datasets.
+//!
+//! The gpClust pipeline begins with disk I/O ("CPU loads graph from disk" in
+//! Algorithm 2); in our reproduction the sequence data also lives on disk in
+//! FASTA form, and the time spent here feeds the *Disk I/O* column of
+//! Table I. The format is the plain two-line-per-record FASTA dialect with
+//! optional line wrapping on write.
+
+use crate::alphabet;
+use crate::sequence::{Protein, SeqId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Width at which sequence lines are wrapped on write.
+pub const LINE_WIDTH: usize = 70;
+
+/// Write proteins to a FASTA stream, wrapping sequence lines at
+/// [`LINE_WIDTH`] columns.
+pub fn write<W: Write>(writer: W, proteins: &[Protein]) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    for p in proteins {
+        writeln!(w, ">{}", p.label)?;
+        let ascii = p.to_ascii();
+        for chunk in ascii.chunks(LINE_WIDTH) {
+            w.write_all(chunk)?;
+            w.write_all(b"\n")?;
+        }
+    }
+    w.flush()
+}
+
+/// Write proteins to a FASTA file at `path`.
+pub fn write_file<P: AsRef<Path>>(path: P, proteins: &[Protein]) -> io::Result<()> {
+    write(std::fs::File::create(path)?, proteins)
+}
+
+/// Errors arising while parsing FASTA input.
+#[derive(Debug)]
+pub enum FastaError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A sequence line appeared before any `>` header.
+    MissingHeader { line: usize },
+    /// A sequence line contained a byte that is not a residue letter.
+    InvalidResidue { line: usize, byte: u8 },
+}
+
+impl std::fmt::Display for FastaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FastaError::Io(e) => write!(f, "I/O error: {e}"),
+            FastaError::MissingHeader { line } => {
+                write!(f, "line {line}: sequence data before first '>' header")
+            }
+            FastaError::InvalidResidue { line, byte } => {
+                write!(f, "line {line}: invalid residue byte {:?}", *byte as char)
+            }
+        }
+    }
+}
+
+impl std::error::Error for FastaError {}
+
+impl From<io::Error> for FastaError {
+    fn from(e: io::Error) -> Self {
+        FastaError::Io(e)
+    }
+}
+
+/// Read proteins from a FASTA stream. Ids are assigned densely in file order
+/// starting from `first_id`.
+pub fn read<R: Read>(reader: R, first_id: SeqId) -> Result<Vec<Protein>, FastaError> {
+    let r = BufReader::new(reader);
+    let mut proteins: Vec<Protein> = Vec::new();
+    let mut label: Option<String> = None;
+    let mut residues: Vec<u8> = Vec::new();
+    let mut next_id = first_id;
+
+    let mut flush = |label: &mut Option<String>, residues: &mut Vec<u8>, next_id: &mut SeqId| {
+        if let Some(l) = label.take() {
+            proteins_push(&mut proteins, *next_id, l, std::mem::take(residues));
+            *next_id += 1;
+        }
+    };
+
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(header) = line.strip_prefix('>') {
+            flush(&mut label, &mut residues, &mut next_id);
+            label = Some(header.trim().to_string());
+        } else {
+            if label.is_none() {
+                return Err(FastaError::MissingHeader { line: lineno + 1 });
+            }
+            for &b in line.as_bytes() {
+                match alphabet::letter_to_code(b) {
+                    Some(code) => residues.push(code),
+                    None => {
+                        return Err(FastaError::InvalidResidue {
+                            line: lineno + 1,
+                            byte: b,
+                        })
+                    }
+                }
+            }
+        }
+    }
+    flush(&mut label, &mut residues, &mut next_id);
+    Ok(proteins)
+}
+
+fn proteins_push(proteins: &mut Vec<Protein>, id: SeqId, label: String, residues: Vec<u8>) {
+    proteins.push(Protein::new(id, label, residues));
+}
+
+/// Read proteins from a FASTA file at `path`, assigning ids from 0.
+pub fn read_file<P: AsRef<Path>>(path: P) -> Result<Vec<Protein>, FastaError> {
+    read(std::fs::File::open(path)?, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Protein> {
+        vec![
+            Protein::from_ascii(0, "alpha", b"MKVLAW").unwrap(),
+            Protein::from_ascii(1, "beta descr", b"ACDEFGHIKLMNPQRSTVWYACDEFGHIKLMNPQRSTVWY")
+                .unwrap(),
+            Protein::from_ascii(2, "gamma", b"GG").unwrap(),
+        ]
+    }
+
+    #[test]
+    fn roundtrip_through_memory() {
+        let proteins = sample();
+        let mut buf = Vec::new();
+        write(&mut buf, &proteins).unwrap();
+        let back = read(&buf[..], 0).unwrap();
+        assert_eq!(back, proteins);
+    }
+
+    #[test]
+    fn wraps_long_lines() {
+        let long = Protein::new(0, "long", vec![0u8; 200]);
+        let mut buf = Vec::new();
+        write(&mut buf, &[long]).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let max = text.lines().map(str::len).max().unwrap();
+        assert!(max <= LINE_WIDTH);
+    }
+
+    #[test]
+    fn read_handles_multiline_records() {
+        let text = b">x\nACD\nEFG\n\n>y\nKL\n";
+        let ps = read(&text[..], 10).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].id, 10);
+        assert_eq!(ps[1].id, 11);
+        assert_eq!(ps[0].to_ascii(), b"ACDEFG".to_vec());
+        assert_eq!(ps[1].to_ascii(), b"KL".to_vec());
+    }
+
+    #[test]
+    fn read_rejects_headerless_sequence() {
+        let err = read(&b"ACD\n"[..], 0).unwrap_err();
+        assert!(matches!(err, FastaError::MissingHeader { line: 1 }));
+    }
+
+    #[test]
+    fn read_rejects_invalid_residue() {
+        let err = read(&b">x\nACB\n"[..], 0).unwrap_err();
+        assert!(matches!(err, FastaError::InvalidResidue { line: 2, byte: b'B' }));
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let dir = std::env::temp_dir().join("gpclust_fasta_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("sample.faa");
+        let proteins = sample();
+        write_file(&path, &proteins).unwrap();
+        let back = read_file(&path).unwrap();
+        assert_eq!(back, proteins);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_is_empty_dataset() {
+        assert!(read(&b""[..], 0).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,488 @@
+//! Whole-dataset generator: a synthetic metagenomic ORF collection with a
+//! planted family structure.
+//!
+//! This is the stand-in for the paper's GOS-derived benchmark data. The
+//! generator plants protein families with sizes drawn from a truncated
+//! power law (heavy-tailed, like the benchmark statistics of Table IV),
+//! derives members via [`crate::family`], adds unrelated singleton noise
+//! ORFs, and shuffles sequence ids so vertex numbering carries no family
+//! signal. The planted membership is returned as the **benchmark partition**
+//! used by the quality studies (Table III/IV, Figure 5).
+
+use crate::alphabet::BackgroundSampler;
+use crate::family::{FamilyConfig, FamilyGenerator};
+use crate::mutate::MutationModel;
+use crate::sequence::{Protein, SeqId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, LogNormal, Zipf};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for a synthetic metagenome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetagenomeConfig {
+    /// Total number of ORF sequences to generate (families + noise).
+    pub n_sequences: usize,
+    /// Fraction of sequences that are unrelated noise ORFs. The paper's 20K
+    /// dataset had 2,921 / 20,000 ≈ 14.6 % singleton vertices.
+    pub singleton_frac: f64,
+    /// Smallest planted family size.
+    pub min_family_size: usize,
+    /// Largest planted family size (power-law truncation point).
+    pub max_family_size: usize,
+    /// Power-law exponent for family sizes; larger → lighter tail.
+    pub zipf_exponent: f64,
+    /// Median ORF length in residues (log-normal).
+    pub median_orf_len: usize,
+    /// Log-space standard deviation of ORF length.
+    pub orf_len_sigma: f64,
+    /// Fraction of each family that is fringe (loosely related).
+    pub fringe_frac: f64,
+    /// Number of distinct *promiscuous domains* in the pool. Real protein
+    /// universes contain mobile domains shared across otherwise unrelated
+    /// families; they induce cross-family homology edges, which is the
+    /// mechanism behind the GOS k-neighbor baseline's chaining failure mode
+    /// the paper analyzes in §IV-D. Zero disables domains.
+    pub domain_pool: usize,
+    /// Fraction of families that carry one of the pool domains.
+    pub domain_family_frac: f64,
+    /// Within a carrying family, fraction of members that include the domain.
+    pub domain_member_frac: f64,
+    /// Length of each domain in residues.
+    pub domain_len: usize,
+    /// Target members per subfamily; families larger than this split into
+    /// `ceil(size / subfamily_size)` subfamilies (0 disables subfamily
+    /// structure). See [`crate::family::FamilyConfig::n_subfamilies`].
+    pub subfamily_size: usize,
+    /// Mutation model for core members.
+    pub core_model: MutationModel,
+    /// Mutation model for fringe members.
+    pub fringe_model: MutationModel,
+    /// Master RNG seed; the whole dataset is a pure function of the config.
+    pub seed: u64,
+}
+
+impl MetagenomeConfig {
+    /// A configuration shaped like the paper's 20K-sequence dataset:
+    /// ~15 % singletons, family sizes 4..=600, heavy tail.
+    pub fn gos_20k(seed: u64) -> Self {
+        MetagenomeConfig {
+            n_sequences: 20_000,
+            singleton_frac: 0.146,
+            min_family_size: 4,
+            max_family_size: 600,
+            zipf_exponent: 1.6,
+            median_orf_len: 110,
+            orf_len_sigma: 0.35,
+            fringe_frac: 0.5,
+            domain_pool: 6,
+            domain_family_frac: 0.12,
+            domain_member_frac: 0.35,
+            domain_len: 35,
+            subfamily_size: 30,
+            core_model: MutationModel::family_default(),
+            fringe_model: MutationModel::fringe_default(),
+            seed,
+        }
+    }
+
+    /// A configuration shaped like the paper's 2M-sequence dataset, scaled to
+    /// `n_sequences`. Family sizes extend further into the tail (the GOS
+    /// benchmark's largest family had 56,266 members out of 2M ≈ 2.8 %).
+    pub fn gos_2m_scaled(n_sequences: usize, seed: u64) -> Self {
+        let max_family = ((n_sequences as f64) * 0.028).round().max(50.0) as usize;
+        MetagenomeConfig {
+            n_sequences,
+            singleton_frac: 0.22,
+            min_family_size: 4,
+            max_family_size: max_family,
+            zipf_exponent: 1.45,
+            median_orf_len: 110,
+            orf_len_sigma: 0.35,
+            fringe_frac: 0.55,
+            domain_pool: 8,
+            domain_family_frac: 0.12,
+            domain_member_frac: 0.35,
+            domain_len: 35,
+            subfamily_size: 30,
+            core_model: MutationModel::family_default(),
+            fringe_model: MutationModel::fringe_default(),
+            seed,
+        }
+    }
+
+    /// A tiny configuration for tests and the quickstart example.
+    pub fn tiny(n_sequences: usize, seed: u64) -> Self {
+        MetagenomeConfig {
+            n_sequences,
+            singleton_frac: 0.1,
+            min_family_size: 3,
+            max_family_size: (n_sequences / 4).max(4),
+            zipf_exponent: 1.5,
+            median_orf_len: 80,
+            orf_len_sigma: 0.3,
+            fringe_frac: 0.25,
+            domain_pool: 0,
+            domain_family_frac: 0.0,
+            domain_member_frac: 0.0,
+            domain_len: 40,
+            subfamily_size: 0,
+            core_model: MutationModel::family_default(),
+            fringe_model: MutationModel::fringe_default(),
+            seed,
+        }
+    }
+}
+
+/// A generated metagenome: sequences plus the planted benchmark partition.
+#[derive(Debug, Clone)]
+pub struct Metagenome {
+    /// All ORF sequences; `proteins[i].id == i`.
+    pub proteins: Vec<Protein>,
+    /// Planted family of each sequence; `None` for noise ORFs.
+    pub truth: Vec<Option<u32>>,
+    /// `is_core[i]` — whether sequence `i` is a core member of its family
+    /// (always `false` for noise).
+    pub is_core: Vec<bool>,
+    /// Number of planted families.
+    pub n_families: u32,
+}
+
+impl Metagenome {
+    /// Generate a metagenome from `config`. Deterministic in the config.
+    pub fn generate(config: &MetagenomeConfig) -> Self {
+        assert!(config.n_sequences > 0, "empty metagenome requested");
+        assert!(
+            config.min_family_size >= 2,
+            "families must have at least 2 members"
+        );
+        assert!(config.max_family_size >= config.min_family_size);
+
+        let mut rng = StdRng::seed_from_u64(config.seed);
+        let n_noise = ((config.n_sequences as f64) * config.singleton_frac).round() as usize;
+        let n_noise = n_noise.min(config.n_sequences.saturating_sub(config.min_family_size));
+        let n_family_seqs = config.n_sequences - n_noise;
+
+        // Draw family sizes from a truncated Zipf until the family budget is
+        // filled; the final family absorbs the remainder so counts are exact.
+        let sizes = sample_family_sizes(&mut rng, config, n_family_seqs);
+
+        let len_dist = LogNormal::new((config.median_orf_len as f64).ln(), config.orf_len_sigma)
+            .expect("valid log-normal");
+        let generator = FamilyGenerator::new();
+        let background = BackgroundSampler::new();
+
+        let mut proteins = Vec::with_capacity(config.n_sequences);
+        let mut truth: Vec<Option<u32>> = Vec::with_capacity(config.n_sequences);
+        let mut is_core: Vec<bool> = Vec::with_capacity(config.n_sequences);
+
+        // Promiscuous domain pool: ancestral domain sequences shared across
+        // families (the source of cross-family homology edges).
+        let domains: Vec<Vec<u8>> = (0..config.domain_pool)
+            .map(|_| background.sample_seq(&mut rng, config.domain_len.max(1)))
+            .collect();
+        let domain_model = MutationModel::family_default().scaled(0.5);
+
+        for (family_id, &size) in sizes.iter().enumerate() {
+            let ancestor_len = (len_dist.sample(&mut rng).round() as usize).clamp(30, 2_000);
+            let n_subfamilies = if config.subfamily_size > 0 {
+                size.div_ceil(config.subfamily_size).max(1)
+            } else {
+                1
+            };
+            let fam_cfg = FamilyConfig {
+                size,
+                fringe_frac: config.fringe_frac,
+                ancestor_len,
+                n_subfamilies,
+                subancestor_model: FamilyConfig::subancestor_default(),
+                core_model: config.core_model,
+                fringe_model: config.fringe_model,
+            };
+            let first_id = proteins.len() as SeqId;
+            let fam = generator.generate(&mut rng, family_id as u32, first_id, &fam_cfg);
+            // Does this family carry a promiscuous domain?
+            let family_domain = if !domains.is_empty()
+                && rng.gen_bool(config.domain_family_frac.clamp(0.0, 1.0))
+            {
+                Some(rng.gen_range(0..domains.len()))
+            } else {
+                None
+            };
+            for (mut m, core) in fam.members.into_iter().zip(fam.is_core) {
+                if let Some(d) = family_domain {
+                    if rng.gen_bool(config.domain_member_frac.clamp(0.0, 1.0)) {
+                        // Insert a lightly-mutated domain copy at a random
+                        // position of the member.
+                        let copy = domain_model.mutate(&mut rng, &domains[d], &background);
+                        let at = rng.gen_range(0..=m.residues.len());
+                        m.residues.splice(at..at, copy);
+                    }
+                }
+                proteins.push(m);
+                truth.push(Some(family_id as u32));
+                is_core.push(core);
+            }
+        }
+        let n_families = sizes.len() as u32;
+
+        for i in 0..n_noise {
+            let len = (len_dist.sample(&mut rng).round() as usize).clamp(30, 2_000);
+            let residues = background.sample_seq(&mut rng, len);
+            let id = proteins.len() as SeqId;
+            proteins.push(Protein::new(id, format!("noise{i:06}"), residues));
+            truth.push(None);
+            is_core.push(false);
+        }
+
+        // Shuffle so that sequence ids carry no family signal, then reassign
+        // dense ids in the shuffled order.
+        let mut order: Vec<usize> = (0..proteins.len()).collect();
+        order.shuffle(&mut rng);
+        let mut shuffled_proteins = Vec::with_capacity(proteins.len());
+        let mut shuffled_truth = Vec::with_capacity(truth.len());
+        let mut shuffled_core = Vec::with_capacity(is_core.len());
+        for (new_id, &old) in order.iter().enumerate() {
+            let mut p = proteins[old].clone();
+            p.id = new_id as SeqId;
+            shuffled_proteins.push(p);
+            shuffled_truth.push(truth[old]);
+            shuffled_core.push(is_core[old]);
+        }
+
+        Metagenome {
+            proteins: shuffled_proteins,
+            truth: shuffled_truth,
+            is_core: shuffled_core,
+            n_families,
+        }
+    }
+
+    /// Number of sequences.
+    pub fn len(&self) -> usize {
+        self.proteins.len()
+    }
+
+    /// True if there are no sequences.
+    pub fn is_empty(&self) -> bool {
+        self.proteins.is_empty()
+    }
+
+    /// Sizes of the planted families, indexed by family id.
+    pub fn family_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.n_families as usize];
+        for t in self.truth.iter().flatten() {
+            sizes[*t as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Number of noise (non-family) sequences.
+    pub fn n_noise(&self) -> usize {
+        self.truth.iter().filter(|t| t.is_none()).count()
+    }
+}
+
+impl Metagenome {
+    /// Generate a metagenome **through simulated DNA reads**: every member
+    /// protein is reverse-translated, embedded in a shotgun-style read with
+    /// random flanking DNA, and then *re-called* by the six-frame ORF scan
+    /// — the exact provenance the paper describes ("shotgun sequencing ...
+    /// translated into six frames to result in ORFs"). The observed
+    /// sequence is the longest ORF of the read, so random stop codons in
+    /// the flanks and frame effects add realistic calling noise on top of
+    /// the mutation model.
+    ///
+    /// Reads whose ORF calling loses the member entirely (rare, very short
+    /// fragments) fall back to the direct protein.
+    pub fn generate_via_dna(config: &MetagenomeConfig, flank_bp: usize) -> Self {
+        let mut mg = Metagenome::generate(config);
+        let mut rng = StdRng::seed_from_u64(config.seed ^ 0x0D0A_0D0A);
+        for p in &mut mg.proteins {
+            if p.residues.is_empty() {
+                continue;
+            }
+            let coding = crate::dna::reverse_translate(&mut rng, &p.residues);
+            let mut read = crate::dna::random_dna(&mut rng, flank_bp);
+            read.extend_from_slice(&coding);
+            read.extend(crate::dna::random_dna(&mut rng, flank_bp));
+            let min_len = (p.residues.len() / 2).max(10);
+            if let Some(orf) = crate::dna::six_frame_orfs(&read, min_len)
+                .into_iter()
+                .max_by_key(|o| o.protein.len())
+            {
+                p.residues = orf.protein;
+            }
+        }
+        mg
+    }
+}
+
+/// Draw family sizes from a truncated Zipf until `budget` sequences are
+/// allocated. The last family is clamped to spend the budget exactly.
+fn sample_family_sizes<R: Rng + ?Sized>(
+    rng: &mut R,
+    config: &MetagenomeConfig,
+    budget: usize,
+) -> Vec<usize> {
+    let zipf = Zipf::new(config.max_family_size as u64, config.zipf_exponent)
+        .expect("valid zipf parameters");
+    let mut sizes = Vec::new();
+    let mut remaining = budget;
+    while remaining >= config.min_family_size {
+        let mut size = zipf.sample(rng) as usize;
+        if size < config.min_family_size {
+            size = config.min_family_size;
+        }
+        if size > remaining {
+            size = remaining;
+        }
+        sizes.push(size);
+        remaining -= size;
+    }
+    // Fold any sub-minimum remainder into the last family.
+    if remaining > 0 {
+        if let Some(last) = sizes.last_mut() {
+            *last += remaining;
+        } else {
+            sizes.push(remaining.max(config.min_family_size));
+        }
+    }
+    sizes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_sequence_count() {
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(500, 9));
+        assert_eq!(mg.len(), 500);
+        assert_eq!(mg.truth.len(), 500);
+        assert_eq!(mg.is_core.len(), 500);
+    }
+
+    #[test]
+    fn dense_ids_after_shuffle() {
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(300, 10));
+        for (i, p) in mg.proteins.iter().enumerate() {
+            assert_eq!(p.id as usize, i);
+        }
+    }
+
+    #[test]
+    fn noise_fraction_close_to_config() {
+        let cfg = MetagenomeConfig::tiny(2_000, 11);
+        let mg = Metagenome::generate(&cfg);
+        let frac = mg.n_noise() as f64 / mg.len() as f64;
+        assert!((frac - cfg.singleton_frac).abs() < 0.02, "frac = {frac}");
+    }
+
+    #[test]
+    fn family_sizes_respect_bounds() {
+        let cfg = MetagenomeConfig::tiny(2_000, 12);
+        let mg = Metagenome::generate(&cfg);
+        let sizes = mg.family_sizes();
+        assert!(!sizes.is_empty());
+        // All but possibly the remainder-absorbing family obey the minimum.
+        let violations = sizes.iter().filter(|&&s| s < cfg.min_family_size).count();
+        assert!(violations <= 1, "sizes: {sizes:?}");
+        assert_eq!(sizes.iter().sum::<usize>() + mg.n_noise(), mg.len());
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let cfg = MetagenomeConfig::tiny(400, 77);
+        let a = Metagenome::generate(&cfg);
+        let b = Metagenome::generate(&cfg);
+        assert_eq!(a.proteins, b.proteins);
+        assert_eq!(a.truth, b.truth);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Metagenome::generate(&MetagenomeConfig::tiny(400, 1));
+        let b = Metagenome::generate(&MetagenomeConfig::tiny(400, 2));
+        assert_ne!(a.proteins, b.proteins);
+    }
+
+    #[test]
+    fn shuffle_mixes_families() {
+        // After shuffling, the first 20 ids should not all share a family.
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(1_000, 13));
+        let firsts: Vec<_> = mg.truth.iter().take(20).collect();
+        let all_same = firsts.windows(2).all(|w| w[0] == w[1]);
+        assert!(!all_same);
+    }
+
+    #[test]
+    fn noise_is_never_core() {
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(600, 14));
+        for i in 0..mg.len() {
+            if mg.truth[i].is_none() {
+                assert!(!mg.is_core[i]);
+            }
+        }
+    }
+
+    #[test]
+    fn heavy_tail_present_at_scale() {
+        let cfg = MetagenomeConfig::gos_2m_scaled(5_000, 15);
+        let mg = Metagenome::generate(&cfg);
+        let sizes = mg.family_sizes();
+        let max = *sizes.iter().max().unwrap();
+        let mean = sizes.iter().sum::<usize>() as f64 / sizes.len() as f64;
+        assert!(
+            max as f64 > 4.0 * mean,
+            "expected heavy tail: max {max}, mean {mean}"
+        );
+    }
+
+    #[test]
+    fn via_dna_preserves_structure_and_most_sequence() {
+        let cfg = MetagenomeConfig::tiny(200, 31);
+        let direct = Metagenome::generate(&cfg);
+        let via = Metagenome::generate_via_dna(&cfg, 60);
+        assert_eq!(via.len(), direct.len());
+        assert_eq!(via.truth, direct.truth);
+        // ORF calling keeps the member embedded: observed sequences contain
+        // most of the original protein for the vast majority of reads.
+        let mut contained = 0usize;
+        for (d, v) in direct.proteins.iter().zip(&via.proteins) {
+            // The called ORF must contain the original as a substring
+            // (flanks can only extend it) unless calling fell back.
+            let hay = &v.residues;
+            let needle = &d.residues;
+            if needle.is_empty()
+                || hay.windows(needle.len().min(hay.len())).any(|w| w == &needle[..needle.len().min(hay.len())])
+            {
+                contained += 1;
+            }
+        }
+        // A minority of reads lose the member to a longer ORF in another
+        // frame — genuine six-frame calling noise; most must survive.
+        assert!(
+            contained * 4 >= via.len() * 3,
+            "only {contained}/{} reads preserved their member",
+            via.len()
+        );
+    }
+
+    #[test]
+    fn via_dna_is_deterministic() {
+        let cfg = MetagenomeConfig::tiny(100, 33);
+        let a = Metagenome::generate_via_dna(&cfg, 40);
+        let b = Metagenome::generate_via_dna(&cfg, 40);
+        assert_eq!(a.proteins, b.proteins);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn rejects_degenerate_min_family() {
+        let mut cfg = MetagenomeConfig::tiny(100, 0);
+        cfg.min_family_size = 1;
+        Metagenome::generate(&cfg);
+    }
+}

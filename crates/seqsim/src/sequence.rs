@@ -1,0 +1,111 @@
+//! Protein sequence representation.
+//!
+//! A [`Protein`] is an identifier plus a vector of residue codes (`0..20`,
+//! see [`crate::alphabet`]). Identifiers are dense `u32` indices — the same
+//! ids become vertex ids in the homology graph, so the mapping between
+//! sequences, graph vertices and cluster members is the identity.
+
+use crate::alphabet;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Dense sequence identifier; doubles as the homology-graph vertex id.
+pub type SeqId = u32;
+
+/// A protein (ORF) sequence: id, optional free-text label, residue codes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Protein {
+    /// Dense id, unique within a dataset.
+    pub id: SeqId,
+    /// FASTA header label (e.g. `"fam00042_m3"` or `"noise_917"`).
+    pub label: String,
+    /// Residue codes, each in `0..20`.
+    pub residues: Vec<u8>,
+}
+
+impl Protein {
+    /// Create a protein from residue codes.
+    ///
+    /// # Panics
+    /// Panics (debug only) if any residue code is out of range.
+    pub fn new(id: SeqId, label: impl Into<String>, residues: Vec<u8>) -> Self {
+        debug_assert!(
+            residues.iter().all(|&r| (r as usize) < alphabet::ALPHABET_SIZE),
+            "residue code out of range"
+        );
+        Protein {
+            id,
+            label: label.into(),
+            residues,
+        }
+    }
+
+    /// Create a protein by encoding an ASCII string such as `"MKVLA..."`.
+    ///
+    /// Returns `None` if the string contains invalid residue letters.
+    pub fn from_ascii(id: SeqId, label: impl Into<String>, ascii: &[u8]) -> Option<Self> {
+        Some(Protein::new(id, label, alphabet::encode(ascii)?))
+    }
+
+    /// Sequence length in residues.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True if the sequence has no residues.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// ASCII rendering of the residues.
+    pub fn to_ascii(&self) -> Vec<u8> {
+        alphabet::decode(&self.residues)
+    }
+}
+
+impl fmt::Display for Protein {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            ">{} ({} aa)\n{}",
+            self.label,
+            self.len(),
+            String::from_utf8_lossy(&self.to_ascii())
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ascii_roundtrip() {
+        let p = Protein::from_ascii(3, "test", b"MKVLAW").unwrap();
+        assert_eq!(p.id, 3);
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.to_ascii(), b"MKVLAW".to_vec());
+    }
+
+    #[test]
+    fn from_ascii_rejects_bad_letters() {
+        assert!(Protein::from_ascii(0, "bad", b"MKXB1").is_none());
+    }
+
+    #[test]
+    fn display_contains_label_and_sequence() {
+        let p = Protein::from_ascii(0, "fam1_m0", b"ACDE").unwrap();
+        let s = p.to_string();
+        assert!(s.contains("fam1_m0"));
+        assert!(s.contains("ACDE"));
+    }
+
+    #[test]
+    fn empty_protein() {
+        let p = Protein::new(0, "empty", vec![]);
+        assert!(p.is_empty());
+        assert_eq!(p.len(), 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Summary statistics over generated datasets.
+//!
+//! Used by the benchmark harness to report the generated dataset's shape
+//! next to the paper's dataset description (20K / 2M sequences, singleton
+//! counts, family-size tails) in EXPERIMENTS.md.
+
+use crate::metagenome::Metagenome;
+use serde::{Deserialize, Serialize};
+
+/// Mean and (population) standard deviation of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MeanSd {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub sd: f64,
+}
+
+impl MeanSd {
+    /// Compute mean ± sd of `values`. Returns zeros for an empty sample.
+    pub fn of(values: impl IntoIterator<Item = f64>) -> Self {
+        let mut n = 0usize;
+        let mut sum = 0.0;
+        let mut sumsq = 0.0;
+        for v in values {
+            n += 1;
+            sum += v;
+            sumsq += v * v;
+        }
+        if n == 0 {
+            return MeanSd { mean: 0.0, sd: 0.0 };
+        }
+        let mean = sum / n as f64;
+        let var = (sumsq / n as f64 - mean * mean).max(0.0);
+        MeanSd {
+            mean,
+            sd: var.sqrt(),
+        }
+    }
+}
+
+impl std::fmt::Display for MeanSd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1} ± {:.1}", self.mean, self.sd)
+    }
+}
+
+/// Dataset-level summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DatasetStats {
+    /// Total sequences.
+    pub n_sequences: usize,
+    /// Noise (family-less) sequences.
+    pub n_noise: usize,
+    /// Number of planted families.
+    pub n_families: usize,
+    /// Family size distribution.
+    pub family_size: MeanSd,
+    /// Largest family.
+    pub max_family_size: usize,
+    /// ORF length distribution.
+    pub orf_len: MeanSd,
+}
+
+impl DatasetStats {
+    /// Compute statistics of a generated metagenome.
+    pub fn of(mg: &Metagenome) -> Self {
+        let sizes = mg.family_sizes();
+        DatasetStats {
+            n_sequences: mg.len(),
+            n_noise: mg.n_noise(),
+            n_families: sizes.len(),
+            family_size: MeanSd::of(sizes.iter().map(|&s| s as f64)),
+            max_family_size: sizes.iter().copied().max().unwrap_or(0),
+            orf_len: MeanSd::of(mg.proteins.iter().map(|p| p.len() as f64)),
+        }
+    }
+}
+
+impl std::fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "sequences:        {}", self.n_sequences)?;
+        writeln!(f, "noise singletons: {}", self.n_noise)?;
+        writeln!(f, "families:         {}", self.n_families)?;
+        writeln!(f, "family size:      {} (max {})", self.family_size, self.max_family_size)?;
+        write!(f, "ORF length:       {}", self.orf_len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metagenome::MetagenomeConfig;
+
+    #[test]
+    fn mean_sd_basics() {
+        let ms = MeanSd::of([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((ms.mean - 5.0).abs() < 1e-12);
+        assert!((ms.sd - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mean_sd_empty() {
+        let ms = MeanSd::of(std::iter::empty());
+        assert_eq!(ms.mean, 0.0);
+        assert_eq!(ms.sd, 0.0);
+    }
+
+    #[test]
+    fn mean_sd_single() {
+        let ms = MeanSd::of([3.5]);
+        assert_eq!(ms.mean, 3.5);
+        assert_eq!(ms.sd, 0.0);
+    }
+
+    #[test]
+    fn dataset_stats_consistent() {
+        let mg = Metagenome::generate(&MetagenomeConfig::tiny(800, 5));
+        let st = DatasetStats::of(&mg);
+        assert_eq!(st.n_sequences, 800);
+        assert_eq!(st.n_noise, mg.n_noise());
+        assert_eq!(st.n_families, mg.n_families as usize);
+        assert!(st.orf_len.mean > 30.0);
+        assert!(st.max_family_size >= st.family_size.mean as usize);
+        let display = st.to_string();
+        assert!(display.contains("families"));
+    }
+}

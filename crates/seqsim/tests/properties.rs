@@ -1,0 +1,95 @@
+//! Property tests for the sequence substrate.
+
+use gpclust_seqsim::dna;
+use gpclust_seqsim::fasta;
+use gpclust_seqsim::mutate::MutationModel;
+use gpclust_seqsim::alphabet::BackgroundSampler;
+use gpclust_seqsim::Protein;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_residues(max_len: usize) -> impl Strategy<Value = Vec<u8>> {
+    proptest::collection::vec(0u8..20, 0..max_len)
+}
+
+fn arb_label() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9_ .-]{1,30}"
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn fasta_roundtrip_arbitrary_proteins(
+        records in proptest::collection::vec((arb_label(), arb_residues(200)), 0..12),
+    ) {
+        let proteins: Vec<Protein> = records
+            .into_iter()
+            .enumerate()
+            .map(|(i, (label, res))| Protein::new(i as u32, label.trim().to_string(), res))
+            .collect();
+        // Empty-sequence records survive; labels are trimmed on read.
+        let mut buf = Vec::new();
+        fasta::write(&mut buf, &proteins).unwrap();
+        let back = fasta::read(&buf[..], 0).unwrap();
+        prop_assert_eq!(back, proteins);
+    }
+
+    #[test]
+    fn mutation_output_is_valid_protein(
+        ancestor in arb_residues(300),
+        sub in 0.0f64..0.9,
+        indel in 0.0f64..0.2,
+        frag in 0.0f64..1.0,
+        seed in any::<u64>(),
+    ) {
+        let model = MutationModel {
+            substitution_rate: sub,
+            indel_rate: indel,
+            mean_indel_len: 2.0,
+            conservative_frac: 0.5,
+            fragment_prob: frag,
+            min_fragment_frac: 0.4,
+        };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bg = BackgroundSampler::new();
+        let m = model.mutate(&mut rng, &ancestor, &bg);
+        prop_assert!(m.iter().all(|&r| r < 20));
+        // Fragmentation never grows the sequence beyond indel expansion
+        // bounds; sanity-limit at 3x.
+        prop_assert!(m.len() <= ancestor.len() * 3 + 64);
+    }
+
+    #[test]
+    fn reverse_complement_is_involution(d in proptest::collection::vec(0u8..4, 0..300)) {
+        prop_assert_eq!(dna::reverse_complement(&dna::reverse_complement(&d)), d);
+    }
+
+    #[test]
+    fn orfs_are_stop_free_and_long_enough(
+        d in proptest::collection::vec(0u8..4, 0..600),
+        min_len in 1usize..20,
+    ) {
+        for orf in dna::six_frame_orfs(&d, min_len) {
+            prop_assert!(orf.protein.len() >= min_len);
+            prop_assert!(orf.protein.iter().all(|&r| r < 20));
+            prop_assert!(orf.frame < 6);
+        }
+    }
+
+    #[test]
+    fn reverse_translate_then_translate_identity(
+        protein in arb_residues(150),
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let d = dna::reverse_translate(&mut rng, &protein);
+        prop_assert_eq!(d.len(), protein.len() * 3);
+        let back: Vec<u8> = d
+            .chunks(3)
+            .map(|c| dna::translate_codon(c[0], c[1], c[2]).expect("no stops"))
+            .collect();
+        prop_assert_eq!(back, protein);
+    }
+}

@@ -1,0 +1,100 @@
+//! Profile-based family expansion — reproducing the *reason* behind the
+//! paper's low Table III sensitivities.
+//!
+//! The GOS benchmark families were built by expanding clustered "core
+//! sets" with profile-sequence matching; the paper attributes the low SE
+//! of both gpClust and the GOS baseline to exactly this gap: "sequence-
+//! sequence based matching is less sensitive comparing to the profile-
+//! based matching techniques". This example closes the loop: cluster with
+//! gpClust, build a PSSM per cluster, recruit unassigned sequences with
+//! profile search, and show the sensitivity jump.
+//!
+//! Run with: `cargo run --release --example profile_expansion [n_seqs]`
+
+use gpclust::align::profile::{expand_cluster, Pssm};
+use gpclust::align::{GapPenalties, SmithWaterman};
+use gpclust::core::quality::ConfusionCounts;
+use gpclust::core::{GpClust, ShinglingParams};
+use gpclust::graph::Partition;
+use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::homology::{graph_from_metagenome, HomologyConfig};
+use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2_500);
+
+    let mg = Metagenome::generate(&MetagenomeConfig::gos_2m_scaled(n, 19));
+    let (graph, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    let benchmark = Partition::from_membership(mg.truth.clone());
+
+    // Step 1: gpClust core sets.
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let pipeline = GpClust::new(ShinglingParams::paper_default(19), gpu).unwrap();
+    let cores = pipeline
+        .cluster(&graph)
+        .expect("cluster")
+        .partition
+        .filter_min_size(5);
+    let before = ConfusionCounts::count(&cores, &benchmark).scores();
+    println!(
+        "core sets: {} clusters covering {} of {} sequences",
+        cores.n_groups(),
+        cores.assigned_count(),
+        mg.len()
+    );
+    println!("  before expansion: {before}");
+
+    // Step 2: profile expansion. Build a PSSM per core set; recruit
+    // unassigned sequences that clear a conservative per-position score.
+    let sw = SmithWaterman::protein_default();
+    let gaps = GapPenalties::default();
+    let unassigned: Vec<u32> = (0..mg.len() as u32)
+        .filter(|&v| cores.group_of(v).is_none())
+        .collect();
+    let candidates: Vec<&[u8]> = unassigned
+        .iter()
+        .map(|&v| mg.proteins[v as usize].residues.as_slice())
+        .collect();
+
+    let mut membership: Vec<Option<u32>> = cores.membership().to_vec();
+    let mut recruited = 0usize;
+    for (gid, members) in cores.groups().iter().enumerate() {
+        if members.len() < 8 {
+            continue; // profiles need enough members to be informative
+        }
+        let seqs: Vec<&[u8]> = members
+            .iter()
+            .map(|&v| mg.proteins[v as usize].residues.as_slice())
+            .collect();
+        let Some(pssm) = Pssm::from_members(&seqs, &sw, 0.5) else {
+            continue;
+        };
+        for idx in expand_cluster(&pssm, &candidates, gaps, 1.0) {
+            let v = unassigned[idx] as usize;
+            if membership[v].is_none() {
+                membership[v] = Some(gid as u32);
+                recruited += 1;
+            }
+        }
+    }
+    let expanded = Partition::from_membership(membership);
+    let after = ConfusionCounts::count(&expanded, &benchmark).scores();
+    println!("\nprofile expansion recruited {recruited} additional sequences");
+    println!("  after expansion:  {after}");
+    println!(
+        "\nsensitivity {} from {:.2}% to {:.2}% (PPV {:.2}% -> {:.2}%)",
+        if after.se > before.se { "rose" } else { "did not rise" },
+        before.se * 100.0,
+        after.se * 100.0,
+        before.ppv * 100.0,
+        after.ppv * 100.0
+    );
+    println!(
+        "this is the paper's explanation for Table III's low SE values: the \
+         benchmark itself was built with profile matching, which recruits \
+         fringe members that sequence-sequence matching cannot."
+    );
+}

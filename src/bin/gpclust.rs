@@ -1,0 +1,237 @@
+//! `gpclust` — command-line interface to the full pipeline.
+//!
+//! ```text
+//! gpclust generate    --n 5000 --seed 7 --out data.faa [--truth truth.tsv]
+//! gpclust build-graph --fasta data.faa --out graph.bin [--loose]
+//! gpclust cluster     --graph graph.bin --out clusters.tsv
+//!                     [--serial] [--devices N] [--seed 7]
+//!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
+//! gpclust stats       --graph graph.bin
+//! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
+//! ```
+//!
+//! Cluster files are two-column TSV: `sequence_id <TAB> cluster_id`
+//! (unassigned sequences omitted).
+
+use gpclust::core::quality::ConfusionCounts;
+use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
+use gpclust::graph::{io as graph_io, Partition};
+use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::homology::{graph_from_fasta, HomologyConfig};
+use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
+use gpclust::seqsim::fasta;
+use std::collections::HashMap;
+use std::io::{BufRead, Write};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let args = parse_flags(rest);
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "build-graph" => cmd_build_graph(&args),
+        "cluster" => cmd_cluster(&args),
+        "stats" => cmd_stats(&args),
+        "quality" => cmd_quality(&args),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+gpclust — GPU-accelerated protein family identification (reproduction)
+
+subcommands:
+  generate     synthesize a metagenome        (--n, --seed, --out, [--truth])
+  build-graph  FASTA -> similarity graph      (--fasta, --out, [--loose],
+                                               [--backend kmer|suffix])
+  cluster      graph -> clusters              (--graph, --out, [--serial],
+                                               [--devices N], [--seed],
+                                               [--s1/--c1/--s2/--c2],
+                                               [--min-size])
+  stats        Table II statistics            (--graph)
+  quality      score clusters vs a benchmark  (--test, --benchmark, --n)";
+
+type Flags = HashMap<String, String>;
+
+fn parse_flags(tokens: &[String]) -> Flags {
+    let mut map = Flags::new();
+    let mut it = tokens.iter().peekable();
+    while let Some(tok) = it.next() {
+        if let Some(key) = tok.strip_prefix("--") {
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => it.next().unwrap().clone(),
+                _ => String::from("true"),
+            };
+            map.insert(key.to_string(), value);
+        }
+    }
+    map
+}
+
+fn need(args: &Flags, key: &str) -> Result<String, String> {
+    args.get(key)
+        .cloned()
+        .ok_or_else(|| format!("missing required flag --{key}"))
+}
+
+fn get<T: std::str::FromStr>(args: &Flags, key: &str, default: T) -> T {
+    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn cmd_generate(args: &Flags) -> Result<(), String> {
+    let n = get(args, "n", 5_000usize);
+    let seed = get(args, "seed", 7u64);
+    let out = need(args, "out")?;
+    let mg = Metagenome::generate(&MetagenomeConfig::gos_2m_scaled(n, seed));
+    fasta::write_file(&out, &mg.proteins).map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} sequences ({} families, {} noise) to {out}",
+        mg.len(),
+        mg.n_families,
+        mg.n_noise()
+    );
+    if let Some(truth_path) = args.get("truth") {
+        let truth = Partition::from_membership(mg.truth.clone());
+        write_partition(truth_path, &truth)?;
+        eprintln!("wrote benchmark partition to {truth_path}");
+    }
+    Ok(())
+}
+
+fn cmd_build_graph(args: &Flags) -> Result<(), String> {
+    let fasta_path = need(args, "fasta")?;
+    let out = need(args, "out")?;
+    let mut config = HomologyConfig::default();
+    if args.contains_key("loose") {
+        config.criteria = gpclust::align::AcceptCriteria::fast_default();
+    }
+    if args.get("backend").map(String::as_str) == Some("suffix") {
+        config.backend = gpclust::homology::FilterBackend::SuffixArray;
+    }
+    let (graph, stats) = graph_from_fasta(&fasta_path, &config).map_err(|e| e.to_string())?;
+    graph_io::write_file(&out, &graph).map_err(|e| e.to_string())?;
+    eprintln!(
+        "graph: {} vertices, {} edges ({} candidates aligned); written to {out}",
+        graph.n(),
+        graph.m(),
+        stats.pairs.n_pairs
+    );
+    Ok(())
+}
+
+fn cmd_cluster(args: &Flags) -> Result<(), String> {
+    let graph_path = need(args, "graph")?;
+    let out = need(args, "out")?;
+    let params = ShinglingParams {
+        s1: get(args, "s1", 2),
+        c1: get(args, "c1", 200),
+        s2: get(args, "s2", 2),
+        c2: get(args, "c2", 100),
+        seed: get(args, "seed", 7u64),
+    };
+    let min_size = get(args, "min-size", 1usize);
+    let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
+    eprintln!("loaded graph: {} vertices, {} edges", g.n(), g.m());
+
+    let partition = if args.contains_key("serial") {
+        SerialShingling::new(params)?.cluster(&g)
+    } else {
+        let n_devices = get(args, "devices", 1usize);
+        if n_devices <= 1 {
+            let gpu = Gpu::new(DeviceConfig::tesla_k20());
+            let report = GpClust::new(params, gpu)?.cluster(&g).map_err(|e| e.to_string())?;
+            eprintln!("component times: {}", report.times);
+            report.partition
+        } else {
+            let gpus = (0..n_devices)
+                .map(|_| Gpu::new(DeviceConfig::tesla_k20()))
+                .collect();
+            let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
+            let report = multi.cluster(&g).map_err(|e| e.to_string())?;
+            eprintln!(
+                "component times ({} devices): {}",
+                n_devices, report.times
+            );
+            report.partition
+        }
+    };
+    let filtered = partition.filter_min_size(min_size);
+    write_partition(&out, &filtered)?;
+    let st = filtered.size_stats();
+    eprintln!(
+        "wrote {} clusters covering {} sequences (largest {}) to {out}",
+        st.n_groups, st.n_assigned, st.largest
+    );
+    Ok(())
+}
+
+fn cmd_stats(args: &Flags) -> Result<(), String> {
+    let graph_path = need(args, "graph")?;
+    let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
+    println!("{}", gpclust::graph::stats::GraphStats::of(&g));
+    Ok(())
+}
+
+fn cmd_quality(args: &Flags) -> Result<(), String> {
+    let n = get(args, "n", 0usize);
+    if n == 0 {
+        return Err("--n (total sequences) is required".into());
+    }
+    let test = read_partition(&need(args, "test")?, n)?;
+    let benchmark = read_partition(&need(args, "benchmark")?, n)?;
+    let counts = ConfusionCounts::count(&test, &benchmark);
+    println!("{}", counts.scores());
+    println!(
+        "TP {}  FP {}  FN {}  TN {}",
+        counts.tp, counts.fp, counts.fn_, counts.tn
+    );
+    Ok(())
+}
+
+fn write_partition(path: &str, p: &Partition) -> Result<(), String> {
+    let f = std::fs::File::create(path).map_err(|e| e.to_string())?;
+    let mut w = std::io::BufWriter::new(f);
+    for (v, m) in p.membership().iter().enumerate() {
+        if let Some(g) = m {
+            writeln!(w, "{v}\t{g}").map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn read_partition(path: &str, n: usize) -> Result<Partition, String> {
+    let f = std::fs::File::open(path).map_err(|e| format!("{path}: {e}"))?;
+    let mut membership = vec![None; n];
+    for (lineno, line) in std::io::BufReader::new(f).lines().enumerate() {
+        let line = line.map_err(|e| e.to_string())?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (v, g) = line
+            .split_once('\t')
+            .ok_or_else(|| format!("{path}:{}: expected `vertex<TAB>cluster`", lineno + 1))?;
+        let v: usize = v.trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let g: u32 = g.trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        if v >= n {
+            return Err(format!("{path}:{}: vertex {v} out of range (n={n})", lineno + 1));
+        }
+        membership[v] = Some(g);
+    }
+    Ok(Partition::from_membership(membership))
+}

@@ -1,0 +1,23 @@
+//! # gpclust — GPU-accelerated protein family identification for metagenomics
+//!
+//! Facade crate over the gpClust reproduction workspace. Re-exports every
+//! subsystem so examples and downstream users can depend on a single crate:
+//!
+//! * [`seqsim`] — synthetic metagenome / protein family generator.
+//! * [`align`] — Smith–Waterman alignment and k-mer match filtering.
+//! * [`homology`] — pGraph-like parallel homology graph construction.
+//! * [`graph`] — CSR graphs, bipartite shingle graphs, components, partitions.
+//! * [`gpu`] — SIMT GPU device simulator with Thrust-like primitives.
+//! * [`core`] — the Shingling clustering algorithm (serial pClust and
+//!   GPU-accelerated gpClust), the GOS k-neighbor baseline, and quality
+//!   metrics.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the full system
+//! inventory and experiment index.
+
+pub use gpclust_align as align;
+pub use gpclust_core as core;
+pub use gpclust_gpu as gpu;
+pub use gpclust_graph as graph;
+pub use gpclust_homology as homology;
+pub use gpclust_seqsim as seqsim;

@@ -1,0 +1,113 @@
+//! End-to-end tests of the `gpclust` CLI binary: generate → build-graph →
+//! stats → cluster → quality, through real files and process invocations.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gpclust")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpclust_cli_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(bin()).args(args).output().expect("spawn CLI");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn full_cli_workflow() {
+    let dir = tmpdir("workflow");
+    let faa = dir.join("mg.faa");
+    let truth = dir.join("truth.tsv");
+    let graph = dir.join("g.bin");
+    let clusters = dir.join("clusters.tsv");
+
+    let (ok, _, err) = run(&[
+        "generate", "--n", "600", "--seed", "5",
+        "--out", faa.to_str().unwrap(),
+        "--truth", truth.to_str().unwrap(),
+    ]);
+    assert!(ok, "generate failed: {err}");
+    assert!(faa.exists() && truth.exists());
+
+    let (ok, _, err) = run(&[
+        "build-graph", "--fasta", faa.to_str().unwrap(),
+        "--out", graph.to_str().unwrap(),
+    ]);
+    assert!(ok, "build-graph failed: {err}");
+
+    let (ok, stdout, _) = run(&["stats", "--graph", graph.to_str().unwrap()]);
+    assert!(ok);
+    assert!(stdout.contains("# Edges"), "stats output: {stdout}");
+
+    let (ok, _, err) = run(&[
+        "cluster", "--graph", graph.to_str().unwrap(),
+        "--out", clusters.to_str().unwrap(),
+        "--c1", "50", "--c2", "25", "--min-size", "3",
+    ]);
+    assert!(ok, "cluster failed: {err}");
+    let text = std::fs::read_to_string(&clusters).unwrap();
+    assert!(!text.is_empty(), "no clusters written");
+    assert!(text.lines().all(|l| l.split('\t').count() == 2));
+
+    let (ok, stdout, err) = run(&[
+        "quality", "--test", clusters.to_str().unwrap(),
+        "--benchmark", truth.to_str().unwrap(), "--n", "600",
+    ]);
+    assert!(ok, "quality failed: {err}");
+    assert!(stdout.contains("PPV"), "quality output: {stdout}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serial_and_device_cli_agree() {
+    let dir = tmpdir("agree");
+    let faa = dir.join("mg.faa");
+    let graph = dir.join("g.bin");
+    run(&["generate", "--n", "400", "--seed", "9", "--out", faa.to_str().unwrap()]);
+    run(&["build-graph", "--fasta", faa.to_str().unwrap(), "--out", graph.to_str().unwrap()]);
+
+    let a = dir.join("a.tsv");
+    let b = dir.join("b.tsv");
+    let (ok, _, err) = run(&[
+        "cluster", "--graph", graph.to_str().unwrap(), "--out", a.to_str().unwrap(),
+        "--serial", "--c1", "40", "--c2", "20", "--seed", "3",
+    ]);
+    assert!(ok, "{err}");
+    let (ok, _, err) = run(&[
+        "cluster", "--graph", graph.to_str().unwrap(), "--out", b.to_str().unwrap(),
+        "--c1", "40", "--c2", "20", "--seed", "3",
+    ]);
+    assert!(ok, "{err}");
+    assert_eq!(
+        std::fs::read_to_string(&a).unwrap(),
+        std::fs::read_to_string(&b).unwrap(),
+        "serial and device CLI paths must emit identical clusters"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn unknown_subcommand_fails_with_usage() {
+    let (ok, _, err) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown subcommand"));
+}
+
+#[test]
+fn missing_required_flag_reports_error() {
+    let (ok, _, err) = run(&["build-graph", "--fasta", "/nonexistent.faa"]);
+    assert!(!ok);
+    assert!(err.contains("--out") || err.contains("missing"), "stderr: {err}");
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: the full pipeline from synthetic
+//! sequences through alignment, graph construction, clustering and quality
+//! scoring, exercised through the public facade API.
+
+use gpclust::core::quality::ConfusionCounts;
+use gpclust::core::{kneighbor_clusters, GpClust, SerialShingling, ShinglingParams};
+use gpclust::graph::Partition;
+use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::homology::{graph_from_metagenome, HomologyConfig};
+use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
+
+fn small_metagenome(seed: u64) -> Metagenome {
+    Metagenome::generate(&MetagenomeConfig::tiny(400, seed))
+}
+
+#[test]
+fn sequences_to_clusters_end_to_end() {
+    let mg = small_metagenome(101);
+    let (graph, stats) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    assert!(graph.m() > 0, "no homology edges found");
+    assert_eq!(stats.n_edges, graph.m());
+
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let pipeline = GpClust::new(ShinglingParams::light(101), gpu).unwrap();
+    let report = pipeline.cluster(&graph).expect("cluster");
+    let clusters = report.partition.filter_min_size(3);
+    assert!(clusters.n_groups() > 0, "no clusters of size >= 3");
+
+    // Quality against planted truth: core-set behavior means high PPV.
+    let benchmark = Partition::from_membership(mg.truth.clone());
+    let scores = ConfusionCounts::count(&clusters, &benchmark).scores();
+    assert!(scores.ppv > 0.9, "PPV {:.3} too low", scores.ppv);
+    assert!(scores.se > 0.2, "SE {:.3} implausibly low", scores.se);
+}
+
+#[test]
+fn serial_and_gpu_agree_on_aligned_graph() {
+    // The equality oracle on a *real* (alignment-built) graph, not just
+    // planted ones, covering irregular degree structure.
+    let mg = small_metagenome(102);
+    let (graph, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    let params = ShinglingParams::light(55);
+    let serial = SerialShingling::new(params).unwrap().cluster(&graph);
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let report = GpClust::new(params, gpu).unwrap().cluster(&graph).unwrap();
+    assert_eq!(report.partition, serial);
+}
+
+#[test]
+fn tiny_device_batching_agrees_on_aligned_graph() {
+    let mg = small_metagenome(103);
+    let (graph, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    let params = ShinglingParams::light(56);
+    let serial = SerialShingling::new(params).unwrap().cluster(&graph);
+    let gpu = Gpu::new(DeviceConfig::tiny_test_device());
+    let report = GpClust::new(params, gpu).unwrap().cluster(&graph).unwrap();
+    assert_eq!(report.partition, serial);
+    assert!(
+        report.counters.h2d_transfers > 1,
+        "tiny device should batch this graph"
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let mg = small_metagenome(104);
+        let (graph, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        GpClust::new(ShinglingParams::light(9), gpu)
+            .unwrap()
+            .cluster(&graph)
+            .unwrap()
+            .partition
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn gpclust_recruits_at_least_as_many_as_gos_on_family_data() {
+    // The paper's headline quality shape: gpClust recruits more sequences
+    // into clusters than the k-neighbor baseline without losing precision.
+    let mg = Metagenome::generate(&MetagenomeConfig::gos_2m_scaled(1_200, 105));
+    let (graph, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let gp = GpClust::new(ShinglingParams::paper_default(105), gpu)
+        .unwrap()
+        .cluster(&graph)
+        .unwrap()
+        .partition
+        .filter_min_size(5);
+    let gos = kneighbor_clusters(&graph, 10).filter_min_size(5);
+    assert!(
+        gp.assigned_count() >= gos.assigned_count(),
+        "gpClust {} < GOS {}",
+        gp.assigned_count(),
+        gos.assigned_count()
+    );
+    let benchmark = Partition::from_membership(mg.truth.clone());
+    let gp_scores = ConfusionCounts::count(&gp, &benchmark).scores();
+    let gos_scores = ConfusionCounts::count(&gos, &benchmark).scores();
+    assert!(
+        gp_scores.se >= gos_scores.se,
+        "gpClust SE {} < GOS SE {}",
+        gp_scores.se,
+        gos_scores.se
+    );
+}
+
+#[test]
+fn fasta_roundtrip_preserves_clustering() {
+    use gpclust::seqsim::fasta;
+    let mg = small_metagenome(106);
+    let dir = std::env::temp_dir().join("gpclust_integration_fasta");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.faa");
+    fasta::write_file(&path, &mg.proteins).unwrap();
+    let proteins = fasta::read_file(&path).unwrap();
+    assert_eq!(proteins, mg.proteins);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn graph_io_roundtrip_preserves_clustering() {
+    let mg = small_metagenome(107);
+    let (graph, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    let dir = std::env::temp_dir().join("gpclust_integration_graph");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.graph.bin");
+    gpclust::graph::io::write_file(&path, &graph).unwrap();
+
+    let params = ShinglingParams::light(77);
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let pipeline = GpClust::new(params, gpu).unwrap();
+    let from_file = pipeline.cluster_from_file(&path).unwrap();
+    let in_memory = pipeline.cluster(&graph).unwrap();
+    assert_eq!(from_file.partition, in_memory.partition);
+    assert!(from_file.times.disk_io > 0.0);
+    std::fs::remove_file(&path).ok();
+}

@@ -1,0 +1,130 @@
+//! Integration tests of the extension modules through the facade:
+//! MCL triangulation, weighted Shingling, multi-GPU, CC decomposition,
+//! profile expansion, and the DNA-read generation path.
+
+use gpclust::core::mcl::{mcl_clusters, MclParams};
+use gpclust::core::multi_gpu::MultiGpuClust;
+use gpclust::core::quality::ConfusionCounts;
+use gpclust::core::weighted::{cluster_weighted, WeightedCsr};
+use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
+use gpclust::graph::Partition;
+use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::homology::{graph_from_metagenome, HomologyConfig};
+use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
+
+fn dataset(n: usize, seed: u64) -> (Metagenome, gpclust::graph::Csr) {
+    let mg = Metagenome::generate(&MetagenomeConfig::tiny(n, seed));
+    let (g, _) = graph_from_metagenome(&mg, &HomologyConfig::default());
+    (mg, g)
+}
+
+#[test]
+fn three_methods_triangulate_on_real_graph() {
+    let (mg, g) = dataset(500, 201);
+    let benchmark = Partition::from_membership(mg.truth.clone());
+
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let shingling = GpClust::new(ShinglingParams::light(201), gpu)
+        .unwrap()
+        .cluster(&g)
+        .unwrap()
+        .partition
+        .filter_min_size(4);
+    let mcl = mcl_clusters(&g, &MclParams::default()).filter_min_size(4);
+    let gos = gpclust::core::kneighbor_clusters(&g, 5).filter_min_size(4);
+
+    for (name, p) in [("shingling", &shingling), ("mcl", &mcl), ("gos", &gos)] {
+        let s = ConfusionCounts::count(p, &benchmark).scores();
+        assert!(s.ppv > 0.85, "{name} PPV {:.3}", s.ppv);
+        assert!(p.n_groups() > 0, "{name} found nothing");
+    }
+}
+
+#[test]
+fn weighted_shingling_on_alignment_scores() {
+    // Use raw SW scores as edge weights: unit-weight and score-weighted
+    // clusterings must both cover the planted families' cores.
+    let (mg, g) = dataset(300, 202);
+    let sw = gpclust::align::SmithWaterman::protein_default();
+    let mut weights = Vec::with_capacity(g.targets().len());
+    for v in 0..g.n() as u32 {
+        for &u in g.neighbors(v) {
+            let s = sw
+                .score(
+                    &mg.proteins[v as usize].residues,
+                    &mg.proteins[u as usize].residues,
+                )
+                .max(1) as f32;
+            weights.push(s);
+        }
+    }
+    let wg = WeightedCsr::new(g.clone(), weights);
+    let p = cluster_weighted(&wg, &ShinglingParams::light(5)).unwrap();
+    let benchmark = Partition::from_membership(mg.truth.clone());
+    let s = ConfusionCounts::count(&p.filter_min_size(4), &benchmark).scores();
+    assert!(s.ppv > 0.85, "weighted PPV {:.3}", s.ppv);
+    assert!(s.se > 0.1, "weighted SE {:.3}", s.se);
+}
+
+#[test]
+fn multi_gpu_matches_single_on_real_graph() {
+    let (_, g) = dataset(300, 203);
+    let params = ShinglingParams::light(7);
+    let single = GpClust::new(params, Gpu::new(DeviceConfig::tesla_k20()))
+        .unwrap()
+        .cluster(&g)
+        .unwrap()
+        .partition;
+    let gpus = (0..2)
+        .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+        .collect();
+    let multi = MultiGpuClust::new(params, gpus).unwrap().cluster(&g).unwrap();
+    assert_eq!(multi.partition, single);
+}
+
+#[test]
+fn decomposition_covers_families_on_real_graph() {
+    let (mg, g) = dataset(300, 204);
+    let alg = SerialShingling::new(ShinglingParams::light(9)).unwrap();
+    let p = gpclust::core::decompose::cluster_by_components_serial(&alg, &g);
+    // Co-membership precision against truth stays high.
+    let benchmark = Partition::from_membership(mg.truth.clone());
+    let s = ConfusionCounts::count(&p.filter_min_size(4), &benchmark).scores();
+    assert!(s.ppv > 0.85, "decomposed PPV {:.3}", s.ppv);
+}
+
+#[test]
+fn dna_generated_dataset_clusters_like_direct() {
+    let cfg = MetagenomeConfig::tiny(300, 205);
+    let via = Metagenome::generate_via_dna(&cfg, 45);
+    let (g, _) = graph_from_metagenome(&via, &HomologyConfig::default());
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let p = GpClust::new(ShinglingParams::light(3), gpu)
+        .unwrap()
+        .cluster(&g)
+        .unwrap()
+        .partition
+        .filter_min_size(4);
+    let benchmark = Partition::from_membership(via.truth.clone());
+    let s = ConfusionCounts::count(&p, &benchmark).scores();
+    assert!(s.ppv > 0.8, "DNA-path PPV {:.3}", s.ppv);
+    assert!(p.n_groups() > 0);
+}
+
+#[test]
+fn timeline_model_consistency_on_real_pipeline() {
+    use gpclust::gpu::{pipelined_seconds, serialized_seconds};
+    let (_, g) = dataset(250, 206);
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    gpu.timeline().set_enabled(true);
+    let pipeline = GpClust::new(ShinglingParams::light(11), gpu).unwrap();
+    let report = pipeline.cluster(&g).unwrap();
+    let events = pipeline.gpu().timeline().snapshot();
+    let serial = serialized_seconds(&events);
+    let pipe = pipelined_seconds(&events);
+    // Serialized timeline equals the counters' sum (same model).
+    let counted = report.times.gpu + report.times.h2d + report.times.d2h;
+    assert!((serial - counted).abs() / counted < 1e-6, "{serial} vs {counted}");
+    assert!(pipe <= serial);
+    assert!(pipe >= report.times.gpu - 1e-9);
+}

@@ -1,0 +1,136 @@
+//! Cross-crate property-based tests (proptest): invariants of the
+//! clustering pipeline under arbitrary graphs and parameters.
+
+use gpclust::core::quality::ConfusionCounts;
+use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
+use gpclust::graph::{Csr, EdgeList, Partition};
+use gpclust::gpu::{DeviceConfig, Gpu};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph of up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
+            .prop_map(move |pairs| {
+                let mut el: EdgeList = pairs.into_iter().collect();
+                Csr::from_edges(n, &mut el)
+            })
+    })
+}
+
+fn arb_params() -> impl Strategy<Value = ShinglingParams> {
+    (1usize..4, 2usize..30, 1usize..4, 2usize..20, 0u64..1000).prop_map(
+        |(s1, c1, s2, c2, seed)| ShinglingParams {
+            s1,
+            c1,
+            s2,
+            c2,
+            seed,
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The GPU pipeline always reproduces the serial oracle, for any graph
+    /// and any parameter setting.
+    #[test]
+    fn gpu_matches_serial_on_arbitrary_graphs(
+        g in arb_graph(60, 300),
+        params in arb_params(),
+    ) {
+        let serial = SerialShingling::new(params).unwrap().cluster(&g);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+        prop_assert_eq!(report.partition, serial);
+    }
+
+    /// Batching never changes results: the tiny device (forced batching)
+    /// agrees with the big one.
+    #[test]
+    fn batching_invariant_on_arbitrary_graphs(
+        g in arb_graph(50, 400),
+        seed in 0u64..500,
+    ) {
+        let params = ShinglingParams { s1: 2, c1: 12, s2: 2, c2: 8, seed };
+        let big = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap().cluster(&g).unwrap();
+        let tiny = GpClust::new(params, Gpu::with_workers(DeviceConfig::tiny_test_device(), 2))
+            .unwrap().cluster(&g).unwrap();
+        prop_assert_eq!(big.partition, tiny.partition);
+    }
+
+    /// Clusters only ever join vertices of the same connected component.
+    #[test]
+    fn clusters_respect_connected_components(
+        g in arb_graph(60, 200),
+        seed in 0u64..500,
+    ) {
+        let cc = gpclust::graph::components::bfs_components(&g);
+        let p = SerialShingling::new(ShinglingParams::light(seed)).unwrap().cluster(&g);
+        for grp in p.groups() {
+            for w in grp.windows(2) {
+                prop_assert_eq!(
+                    cc.labels[w[0] as usize],
+                    cc.labels[w[1] as usize],
+                    "cluster crosses components"
+                );
+            }
+        }
+    }
+
+    /// The reported partition is a valid partition: every vertex assigned
+    /// to exactly one group, groups disjoint and covering.
+    #[test]
+    fn output_is_a_partition(
+        g in arb_graph(50, 250),
+        seed in 0u64..500,
+    ) {
+        let p = SerialShingling::new(ShinglingParams::light(seed)).unwrap().cluster(&g);
+        prop_assert_eq!(p.assigned_count(), g.n());
+        let total: usize = p.sizes().iter().sum();
+        prop_assert_eq!(total, g.n());
+        let mut seen = vec![false; g.n()];
+        for grp in p.groups() {
+            for &v in grp {
+                prop_assert!(!seen[v as usize], "vertex {} in two groups", v);
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    /// Quality scores are exact: the contingency computation agrees with
+    /// definitional pair counting for arbitrary partition pairs.
+    #[test]
+    fn confusion_counts_sum_to_total_pairs(
+        memb_t in proptest::collection::vec(proptest::option::of(0u32..6), 2..80),
+        memb_b_seed in 0u64..100,
+    ) {
+        let n = memb_t.len();
+        // Derive a second membership deterministically from the seed.
+        let memb_b: Vec<Option<u32>> = (0..n)
+            .map(|i| {
+                let h = (i as u64).wrapping_mul(0x9E3779B97F4A7C15) ^ memb_b_seed;
+                (!h.is_multiple_of(4)).then_some((h % 5) as u32)
+            })
+            .collect();
+        let t = Partition::from_membership(memb_t);
+        let b = Partition::from_membership(memb_b);
+        let c = ConfusionCounts::count(&t, &b);
+        let total = (n as u64) * (n as u64 - 1) / 2;
+        prop_assert_eq!(c.tp + c.fp + c.fn_ + c.tn, total);
+    }
+
+    /// Density is always within [0, 1] for every reported cluster.
+    #[test]
+    fn densities_are_probabilities(
+        g in arb_graph(40, 150),
+        seed in 0u64..200,
+    ) {
+        let p = SerialShingling::new(ShinglingParams::light(seed)).unwrap().cluster(&g);
+        for d in p.densities(&g) {
+            prop_assert!((0.0..=1.0).contains(&d), "density {}", d);
+        }
+    }
+}
