@@ -70,8 +70,7 @@ impl KarlinAltschul {
 
 fn pairs(freqs: &[f64; ALPHABET_SIZE]) -> impl Iterator<Item = (u8, u8, f64)> + '_ {
     (0..ALPHABET_SIZE as u8).flat_map(move |i| {
-        (0..ALPHABET_SIZE as u8)
-            .map(move |j| (i, j, freqs[i as usize] * freqs[j as usize]))
+        (0..ALPHABET_SIZE as u8).map(move |j| (i, j, freqs[i as usize] * freqs[j as usize]))
     })
 }
 
@@ -115,11 +114,7 @@ mod tests {
         // Ungapped BLOSUM62 λ ≈ 0.318 nats (NCBI's tabulated value is
         // 0.3176 with slightly different background frequencies).
         let ka = KarlinAltschul::blosum62();
-        assert!(
-            (0.30..0.34).contains(&ka.lambda),
-            "lambda = {}",
-            ka.lambda
-        );
+        assert!((0.30..0.34).contains(&ka.lambda), "lambda = {}", ka.lambda);
         // Verify it actually solves the K-A identity.
         let f = ka_f(
             &SubstitutionMatrix::blosum62(),

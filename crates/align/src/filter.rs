@@ -147,7 +147,10 @@ mod tests {
     #[test]
     fn shared_kmer_produces_pair() {
         let s = seqs(&[b"MKVLAWGY", b"ACDMKVLA", b"WYTSRQPN"]);
-        let cfg = FilterConfig { k: 5, max_bucket: 100 };
+        let cfg = FilterConfig {
+            k: 5,
+            max_bucket: 100,
+        };
         let cp = candidate_pairs(&s, &cfg);
         assert_eq!(cp.as_slice(), &[(0, 1)]);
     }
@@ -155,7 +158,13 @@ mod tests {
     #[test]
     fn no_shared_kmer_no_pairs() {
         let s = seqs(&[b"AAAAAA", b"CCCCCC", b"DDDDDD"]);
-        let cp = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 100 });
+        let cp = candidate_pairs(
+            &s,
+            &FilterConfig {
+                k: 4,
+                max_bucket: 100,
+            },
+        );
         assert!(cp.is_empty());
     }
 
@@ -163,7 +172,13 @@ mod tests {
     fn pairs_are_canonical_and_deduped() {
         // Two sequences sharing many k-mers must still yield one pair.
         let s = seqs(&[b"MKVLAWGYMKVLAWGY", b"MKVLAWGYMKVLAWGY"]);
-        let cp = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 100 });
+        let cp = candidate_pairs(
+            &s,
+            &FilterConfig {
+                k: 4,
+                max_bucket: 100,
+            },
+        );
         assert_eq!(cp.as_slice(), &[(0, 1)]);
     }
 
@@ -171,10 +186,22 @@ mod tests {
     fn bucket_cap_skips_hub_kmers() {
         // Five sequences all sharing one k-mer; cap of 4 suppresses it.
         let s = seqs(&[b"MKVLA", b"MKVLC", b"MKVLD", b"MKVLE", b"MKVLF"]);
-        let capped = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 4 });
+        let capped = candidate_pairs(
+            &s,
+            &FilterConfig {
+                k: 4,
+                max_bucket: 4,
+            },
+        );
         assert!(capped.is_empty());
         assert_eq!(capped.skipped_buckets, 1);
-        let uncapped = candidate_pairs(&s, &FilterConfig { k: 4, max_bucket: 5 });
+        let uncapped = candidate_pairs(
+            &s,
+            &FilterConfig {
+                k: 4,
+                max_bucket: 5,
+            },
+        );
         assert_eq!(uncapped.len(), 10); // C(5,2)
     }
 
@@ -187,7 +214,13 @@ mod tests {
             .map(|_| (0..30).map(|_| rng.gen_range(0..20u8)).collect())
             .collect();
         let k = 3;
-        let cp = candidate_pairs(&seqs, &FilterConfig { k, max_bucket: usize::MAX });
+        let cp = candidate_pairs(
+            &seqs,
+            &FilterConfig {
+                k,
+                max_bucket: usize::MAX,
+            },
+        );
         // Brute force: pair iff k-mer sets intersect.
         let sets: Vec<std::collections::HashSet<u64>> = seqs
             .iter()
@@ -207,7 +240,13 @@ mod tests {
     #[test]
     fn sequences_shorter_than_k_are_ignored() {
         let s = seqs(&[b"MK", b"MKVLAWGY", b"MKVLAWGY"]);
-        let cp = candidate_pairs(&s, &FilterConfig { k: 5, max_bucket: 100 });
+        let cp = candidate_pairs(
+            &s,
+            &FilterConfig {
+                k: 5,
+                max_bucket: 100,
+            },
+        );
         assert_eq!(cp.as_slice(), &[(1, 2)]);
     }
 

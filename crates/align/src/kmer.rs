@@ -39,7 +39,11 @@ impl<'a> KmerIter<'a> {
     /// sequence is shorter than `k`.
     pub fn new(seq: &'a [u8], k: usize) -> Self {
         assert!((1..=MAX_K).contains(&k), "k must be in 1..={MAX_K}");
-        let mask = if 5 * k == 64 { u64::MAX } else { (1u64 << (5 * k)) - 1 };
+        let mask = if 5 * k == 64 {
+            u64::MAX
+        } else {
+            (1u64 << (5 * k)) - 1
+        };
         let mut it = KmerIter {
             seq,
             k,

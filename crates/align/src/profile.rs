@@ -74,7 +74,8 @@ impl Pssm {
                     let odds = p / BACKGROUND_FREQS[r];
                     *score = (2.0 * odds.ln() / std::f64::consts::LN_2)
                         .round()
-                        .clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+                        .clamp(i16::MIN as f64, i16::MAX as f64)
+                        as i16;
                 }
                 row
             })
@@ -267,11 +268,13 @@ mod tests {
 
         // And at a zero-false-positive threshold the profile must still
         // recruit essentially the whole fringe.
-        let profile_threshold =
-            unrelated.iter().map(profile_per_pos).fold(0.0, f64::max) * 1.05;
+        let profile_threshold = unrelated.iter().map(profile_per_pos).fold(0.0, f64::max) * 1.05;
         let profile_hits = expand_cluster(&pssm, &fringe, gaps, profile_threshold).len();
         let false_hits = expand_cluster(&pssm, &unrelated, gaps, profile_threshold).len();
-        assert!(profile_hits * 10 >= fringe.len() * 9, "hits {profile_hits}/30");
+        assert!(
+            profile_hits * 10 >= fringe.len() * 9,
+            "hits {profile_hits}/30"
+        );
         assert_eq!(false_hits, 0, "profile must not recruit noise");
     }
 

@@ -60,8 +60,7 @@ pub fn suffix_array(text: &[u32]) -> Vec<u32> {
         for w in 1..n {
             let prev = sa[w - 1];
             let cur = sa[w];
-            tmp[cur as usize] =
-                tmp[prev as usize] + u64::from(key(prev) != key(cur));
+            tmp[cur as usize] = tmp[prev as usize] + u64::from(key(prev) != key(cur));
         }
         rank.copy_from_slice(&tmp);
         if rank[sa[n - 1] as usize] == (n - 1) as u64 {
@@ -220,10 +219,13 @@ mod tests {
             .iter()
             .map(|s| encode(s).unwrap())
             .collect();
-        let cp = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
-            min_match: 5,
-            max_interval: 1000,
-        });
+        let cp = candidate_pairs_suffix(
+            &seqs,
+            &SuffixFilterConfig {
+                min_match: 5,
+                max_interval: 1000,
+            },
+        );
         assert_eq!(cp.as_slice(), &[(0, 1)]);
     }
 
@@ -241,14 +243,20 @@ mod tests {
                 })
                 .collect();
             for psi in [2usize, 3, 4] {
-                let sa_pairs = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
-                    min_match: psi,
-                    max_interval: usize::MAX,
-                });
-                let kmer_pairs = candidate_pairs(&seqs, &FilterConfig {
-                    k: psi,
-                    max_bucket: usize::MAX,
-                });
+                let sa_pairs = candidate_pairs_suffix(
+                    &seqs,
+                    &SuffixFilterConfig {
+                        min_match: psi,
+                        max_interval: usize::MAX,
+                    },
+                );
+                let kmer_pairs = candidate_pairs(
+                    &seqs,
+                    &FilterConfig {
+                        k: psi,
+                        max_bucket: usize::MAX,
+                    },
+                );
                 assert_eq!(
                     sa_pairs.as_slice(),
                     kmer_pairs.as_slice(),
@@ -267,20 +275,26 @@ mod tests {
             .iter()
             .map(|s| encode(s).unwrap())
             .collect();
-        let cp = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
-            min_match: 4,
-            max_interval: 1000,
-        });
+        let cp = candidate_pairs_suffix(
+            &seqs,
+            &SuffixFilterConfig {
+                min_match: 4,
+                max_interval: 1000,
+            },
+        );
         assert!(cp.is_empty(), "no shared 4-mer exists: {:?}", cp.as_slice());
     }
 
     #[test]
     fn interval_cap_skips_low_complexity() {
         let seqs: Vec<Vec<u8>> = (0..6).map(|_| vec![0u8; 30]).collect(); // poly-A
-        let capped = candidate_pairs_suffix(&seqs, &SuffixFilterConfig {
-            min_match: 4,
-            max_interval: 5,
-        });
+        let capped = candidate_pairs_suffix(
+            &seqs,
+            &SuffixFilterConfig {
+                min_match: 4,
+                max_interval: 5,
+            },
+        );
         assert!(capped.is_empty());
         assert!(capped.skipped_buckets > 0);
     }

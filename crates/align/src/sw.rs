@@ -28,7 +28,10 @@ pub struct GapPenalties {
 impl GapPenalties {
     /// BLAST's default protein gap penalties (11, 1).
     pub fn blast_default() -> Self {
-        GapPenalties { open: 10, extend: 1 }
+        GapPenalties {
+            open: 10,
+            extend: 1,
+        }
     }
 }
 
@@ -340,10 +343,7 @@ mod tests {
     fn identical_sequences_score_matrix_sum() {
         let sw = aligner();
         let a = seq(b"MKVLAWGY");
-        let expected: i32 = a
-            .iter()
-            .map(|&r| sw.matrix().score(r, r) as i32)
-            .sum();
+        let expected: i32 = a.iter().map(|&r| sw.matrix().score(r, r) as i32).sum();
         assert_eq!(sw.score(&a, &a), expected);
     }
 
@@ -377,10 +377,10 @@ mod tests {
 
     #[test]
     fn gap_penalty_applied() {
-        let sw = SmithWaterman::new(SubstitutionMatrix::uniform(2, -3), GapPenalties {
-            open: 4,
-            extend: 1,
-        });
+        let sw = SmithWaterman::new(
+            SubstitutionMatrix::uniform(2, -3),
+            GapPenalties { open: 4, extend: 1 },
+        );
         // AACC vs AA-CC style: inserting one gap column.
         let a = seq(b"AACC");
         let b = seq(b"AAGCC");

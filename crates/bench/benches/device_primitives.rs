@@ -81,9 +81,7 @@ fn bench_transfers(c: &mut Criterion) {
     let mut g = c.benchmark_group("transfers");
     g.throughput(Throughput::Bytes((N * 8) as u64));
     g.sample_size(20);
-    g.bench_function("htod_8MB", |b| {
-        b.iter(|| gpu.htod(&host).unwrap())
-    });
+    g.bench_function("htod_8MB", |b| b.iter(|| gpu.htod(&host).unwrap()));
     let buf = gpu.htod(&host).unwrap();
     g.bench_function("dtoh_8MB", |b| b.iter(|| gpu.dtoh(&buf)));
     g.finish();

@@ -25,7 +25,9 @@ fn bench_hash(c: &mut Criterion) {
 
 fn bench_top_s(c: &mut Criterion) {
     let mut g = c.benchmark_group("top_s_selection");
-    let values: Vec<u64> = (0..4096u64).map(|i| i.wrapping_mul(0x9E3779B97F4A7C15)).collect();
+    let values: Vec<u64> = (0..4096u64)
+        .map(|i| i.wrapping_mul(0x9E3779B97F4A7C15))
+        .collect();
     for s in [2usize, 4, 8] {
         g.throughput(Throughput::Elements(values.len() as u64));
         g.bench_function(format!("insertion_buffer_s{s}"), |bench| {

@@ -3,9 +3,9 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpclust_core::{GpClust, SerialShingling, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
-use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_homology::{graph_from_metagenome, HomologyConfig};
 use gpclust_seqsim::metagenome::{Metagenome, MetagenomeConfig};
 

@@ -6,9 +6,9 @@ use gpclust_core::aggregate::{aggregate, StreamAggregator};
 use gpclust_core::gpu_pass::gpu_shingle_pass;
 use gpclust_core::minwise::HashFamily;
 use gpclust_core::serial::{shingle_pass, shingle_pass_foreach};
+use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
-use gpclust_gpu::{DeviceConfig, Gpu};
 
 fn graph() -> Csr {
     let sizes = PlantedConfig::zipf_groups(8_000, 4, 400, 1.4, 3);
@@ -30,9 +30,7 @@ fn bench_pass(c: &mut Criterion) {
     let mut grp = c.benchmark_group("shingle_pass_c20_s2");
     grp.throughput(Throughput::Elements(elements as u64));
     grp.sample_size(10);
-    grp.bench_function("serial", |b| {
-        b.iter(|| shingle_pass(&g, 2, &family))
-    });
+    grp.bench_function("serial", |b| b.iter(|| shingle_pass(&g, 2, &family)));
     grp.bench_function("serial_streaming", |b| {
         b.iter(|| {
             let mut sink = 0u64;
@@ -54,15 +52,11 @@ fn bench_aggregation(c: &mut Criterion) {
     let mut grp = c.benchmark_group("aggregation");
     grp.throughput(Throughput::Elements(raw.len() as u64));
     grp.sample_size(10);
-    grp.bench_function("grouped_fast_path", |b| {
-        b.iter(|| aggregate(&raw))
-    });
+    grp.bench_function("grouped_fast_path", |b| b.iter(|| aggregate(&raw)));
     // Ungrouped (generic) path for comparison: same records, merge sort on.
     let mut ungrouped = gpclust_core::shingle::RawShingles::new(2);
     ungrouped.append(&raw);
-    grp.bench_function("generic_path", |b| {
-        b.iter(|| aggregate(&ungrouped))
-    });
+    grp.bench_function("generic_path", |b| b.iter(|| aggregate(&ungrouped)));
     grp.bench_function("stream_aggregator", |b| {
         b.iter(|| {
             let mut agg = StreamAggregator::new(2);

@@ -88,9 +88,13 @@ fn main() {
         gpclust_seqs: gp_seqs.to_vec(),
         gos_seqs: gos_seqs.to_vec(),
     };
-    let path = Experiment::new("fig5", "Group/sequence size distributions (Figure 5)", &hist)
-        .save()
-        .expect("save report");
+    let path = Experiment::new(
+        "fig5",
+        "Group/sequence size distributions (Figure 5)",
+        &hist,
+    )
+    .save()
+    .expect("save report");
     eprintln!("report written to {path:?}");
 
     println!(

@@ -18,8 +18,8 @@ use gpclust_bench::datasets;
 use gpclust_bench::reports::{secs, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::{GpClust, ShinglingParams};
-use gpclust_graph::stats::GraphStats;
 use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::stats::GraphStats;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -87,7 +87,10 @@ fn main() {
     };
 
     println!("\nLarge-scale run (scaled from the paper's 11M x 640M / 94 min):");
-    println!("  vertices / edges:    {} / {}", run.n_vertices, run.n_edges);
+    println!(
+        "  vertices / edges:    {} / {}",
+        run.n_vertices, run.n_edges
+    );
     println!("  wall-clock:          {} s", secs(run.wall_seconds));
     println!(
         "  modeled breakdown:   CPU {} | GPU {} | c->g {} | g->c {} | total {}",

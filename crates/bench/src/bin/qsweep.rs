@@ -18,9 +18,9 @@ use gpclust_bench::datasets;
 use gpclust_bench::reports::{pct, render_table, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::quality::ConfusionCounts;
-use gpclust_core::{GpClust, ShinglingParams};
-use gpclust_graph::Partition;
+use gpclust_core::{GpClust, PipelineMode, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::Partition;
 use gpclust_homology::HomologyConfig;
 use serde::Serialize;
 
@@ -74,6 +74,7 @@ fn main() {
                 s2: s1.min(2),
                 c2: (c1 / 2).max(1),
                 seed,
+                mode: PipelineMode::Synchronous,
             };
             eprintln!("clustering with s1={s1}, c1={c1} ...");
             let gpu = Gpu::new(DeviceConfig::tesla_k20());
@@ -124,7 +125,11 @@ fn main() {
             println!(
                 "s1={s1}: SE {} with c1 ({} at c1={} -> {} at c1={}) — paper: \
                  sensitivity is \"contributed by the high configurable s and c\"",
-                if last.se >= first.se { "grows" } else { "shrinks" },
+                if last.se >= first.se {
+                    "grows"
+                } else {
+                    "shrinks"
+                },
                 pct(first.se),
                 first.c1,
                 pct(last.se),

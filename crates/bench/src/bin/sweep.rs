@@ -54,7 +54,9 @@ fn main() {
         // Accelerated part alone (pure sinks; see table1 for rationale).
         let mut sink = 0u64;
         let t0 = Instant::now();
-        shingle_pass_foreach(&g, params.s1, &params.family_pass1(), |_, _, p| sink ^= p[0]);
+        shingle_pass_foreach(&g, params.s1, &params.family_pass1(), |_, _, p| {
+            sink ^= p[0]
+        });
         let p1 = t0.elapsed().as_secs_f64();
         let mut agg = gpclust_core::aggregate::StreamAggregator::new(params.s1);
         shingle_pass_foreach(&g, params.s1, &params.family_pass1(), |t, nn, p| {
@@ -92,7 +94,15 @@ fn main() {
 
     println!("\nScalability sweep (2M-like planted graphs)\n");
     let header = [
-        "n", "edges", "serial", "gpClust", "GPU", "xfer", "pipelined", "speedup", "GPUspd",
+        "n",
+        "edges",
+        "serial",
+        "gpClust",
+        "GPU",
+        "xfer",
+        "pipelined",
+        "speedup",
+        "GPUspd",
     ];
     let cells: Vec<Vec<String>> = points
         .iter()

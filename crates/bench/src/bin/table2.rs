@@ -93,7 +93,13 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["dataset", "# Vertices", "# Edges", "Avg. degree", "Largest CC"],
+            &[
+                "dataset",
+                "# Vertices",
+                "# Edges",
+                "Avg. degree",
+                "Largest CC"
+            ],
             &cells
         )
     );

@@ -80,7 +80,14 @@ fn main() {
     println!(
         "{}",
         render_table(
-            &["Partition", "# Groups", "# Seqs", "Largest", "Avg size", "Density"],
+            &[
+                "Partition",
+                "# Groups",
+                "# Seqs",
+                "Largest",
+                "Avg size",
+                "Density"
+            ],
             &cells
         )
     );
@@ -91,7 +98,11 @@ fn main() {
     println!(
         "\nshape checks: gpClust density {} GOS density (paper '>'); \
          gpClust recruits {} sequences vs GOS {} (paper: gpClust more)",
-        if rows[2].density_mean > rows[1].density_mean { ">" } else { "<=" },
+        if rows[2].density_mean > rows[1].density_mean {
+            ">"
+        } else {
+            "<="
+        },
         rows[2].n_seqs,
         rows[1].n_seqs
     );

@@ -73,8 +73,7 @@ pub fn planted_2m_like(n_vertices: usize, seed: u64) -> PlantedGraph {
     // any non-trivial budget.
     let n_grouped = (n_vertices as f64 * 0.78) as usize;
     let max_group = ((n_vertices as f64) * 0.007).max(50.0) as usize;
-    let group_sizes =
-        PlantedConfig::zipf_groups(n_grouped, 4, max_group, 1.35, seed);
+    let group_sizes = PlantedConfig::zipf_groups(n_grouped, 4, max_group, 1.35, seed);
     planted_partition(&PlantedConfig {
         group_sizes,
         n_noise_vertices: n_vertices - n_grouped,
@@ -117,7 +116,11 @@ mod tests {
         let st = GraphStats::of(&pg.graph);
         // Heavy-tailed groups, average degree in the tens, largest CC a
         // small fraction of the graph — the Table II shape.
-        assert!(st.degree.mean > 20.0 && st.degree.mean < 120.0, "{}", st.degree.mean);
+        assert!(
+            st.degree.mean > 20.0 && st.degree.mean < 120.0,
+            "{}",
+            st.degree.mean
+        );
         assert!(st.degree.sd > st.degree.mean * 0.5);
         assert!(st.largest_cc < pg.graph.n() / 2);
         assert!(st.n_non_singleton > pg.graph.n() / 2);
@@ -126,9 +129,8 @@ mod tests {
     #[test]
     fn cache_roundtrip() {
         let mg = metagenome_20k(99);
-        let small = Metagenome::generate(&gpclust_seqsim::metagenome::MetagenomeConfig::tiny(
-            80, 99,
-        ));
+        let small =
+            Metagenome::generate(&gpclust_seqsim::metagenome::MetagenomeConfig::tiny(80, 99));
         let cfg = HomologyConfig::default();
         let tag = "test-cache-tiny-99";
         let _ = std::fs::remove_file(cache_path(tag));

@@ -96,10 +96,7 @@ mod tests {
 
     #[test]
     fn args_parse_pairs_and_flags() {
-        let a = Args::from_tokens(
-            ["--n", "500", "--full", "--seed", "7"]
-                .map(String::from),
-        );
+        let a = Args::from_tokens(["--n", "500", "--full", "--seed", "7"].map(String::from));
         assert_eq!(a.get("n", 0usize), 500);
         assert_eq!(a.get("seed", 0u64), 7);
         assert_eq!(a.get("missing", 3usize), 3);

@@ -24,8 +24,8 @@ use crate::datasets;
 use crate::Args;
 use gpclust_core::mcl::{mcl_clusters, MclParams};
 use gpclust_core::{kneighbor_clusters, GpClust, ShinglingParams};
-use gpclust_graph::{Csr, Partition};
 use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::{Csr, Partition};
 use gpclust_homology::HomologyConfig;
 use gpclust_seqsim::Metagenome;
 
@@ -114,8 +114,7 @@ pub fn quality_run(args: &Args) -> QualityRun {
         .filter_min_size(min_size);
 
     eprintln!("clustering with the GOS k-neighbor baseline (k={k}) ...");
-    let gos = kneighbor_clusters(gos_graph.as_ref().unwrap_or(&graph), k)
-        .filter_min_size(min_size);
+    let gos = kneighbor_clusters(gos_graph.as_ref().unwrap_or(&graph), k).filter_min_size(min_size);
 
     let mcl = args.flag("with-mcl").then(|| {
         eprintln!("clustering with MCL (inflation 2.0) ...");

@@ -17,6 +17,25 @@
 use crate::minwise::{unpack_element, PackedHash};
 use crate::shingle::{shingle_key, RawShingles, ShingleKey};
 use gpclust_graph::ShingleGraph;
+use rayon::prelude::*;
+
+/// Below this length the rayon fork/join overhead outweighs the parallel
+/// sort's gain, so the aggregation sorts serially. The packed values are
+/// unique (each carries its record index in the low bits), and the one
+/// keyed sort only ties on fragments of the same `(node, trial)` — whose
+/// merge re-sorts and dedups — so the parallel unstable sorts leave the
+/// aggregation deterministic.
+const PAR_SORT_MIN: usize = 1 << 15;
+
+/// `sort_unstable`, parallelized for inputs big enough to pay for it.
+#[inline]
+fn sort_packed(packed: &mut [u128]) {
+    if packed.len() >= PAR_SORT_MIN {
+        packed.par_sort_unstable();
+    } else {
+        packed.sort_unstable();
+    }
+}
 
 /// Aggregate raw records into the bipartite shingle graph.
 ///
@@ -44,7 +63,7 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
                 ((key as u128) << 64) | ((raw.node(i) as u128) << 32) | i as u128
             })
             .collect();
-        packed.sort_unstable();
+        sort_packed(&mut packed);
         return invert_packed(s, &packed, |rep, out| {
             out.extend(raw.pairs_of(rep).iter().map(|&p| unpack_element(p)));
         });
@@ -55,9 +74,13 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
     let mut fin_elements: Vec<u32> = Vec::with_capacity(n_rec * s);
     {
         let mut order: Vec<u32> = (0..n_rec as u32).collect();
-        order.sort_unstable_by_key(|&i| {
-            ((raw.node(i as usize) as u64) << 32) | raw.trial(i as usize) as u64
-        });
+        let group_key =
+            |&i: &u32| ((raw.node(i as usize) as u64) << 32) | raw.trial(i as usize) as u64;
+        if order.len() >= PAR_SORT_MIN {
+            order.par_sort_unstable_by_key(group_key);
+        } else {
+            order.sort_unstable_by_key(group_key);
+        }
         let mut merged: Vec<PackedHash> = Vec::with_capacity(2 * s);
         let mut gi = 0usize;
         while gi < order.len() {
@@ -97,11 +120,9 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
     let n_fin = fin_keys.len();
     assert!(n_fin < (1 << 32), "too many shingle records");
     let mut packed: Vec<u128> = (0..n_fin)
-        .map(|i| {
-            ((fin_keys[i] as u128) << 64) | ((fin_nodes[i] as u128) << 32) | i as u128
-        })
+        .map(|i| ((fin_keys[i] as u128) << 64) | ((fin_nodes[i] as u128) << 32) | i as u128)
         .collect();
-    packed.sort_unstable();
+    sort_packed(&mut packed);
     invert_packed(s, &packed, |rep, out| {
         out.extend_from_slice(&fin_elements[rep * s..(rep + 1) * s]);
     })
@@ -160,7 +181,7 @@ impl StreamAggregator {
 
     /// Sort, group and build the bipartite shingle graph.
     pub fn finish(mut self) -> ShingleGraph {
-        self.packed.sort_unstable();
+        sort_packed(&mut self.packed);
         let elements = self.elements;
         let s = self.s;
         invert_packed(s, &self.packed, |rep, out| {
@@ -294,6 +315,37 @@ mod tests {
         let g = aggregate(&raw);
         let keys: Vec<u64> = (0..g.len()).map(|i| g.key(i)).collect();
         assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn parallel_sort_paths_match_serial_semantics() {
+        // Large enough to cross PAR_SORT_MIN and exercise the rayon sorts
+        // in all three aggregation paths; every path must agree with the
+        // others on the same logical records, and be self-consistent
+        // across repeated runs.
+        let s = 2;
+        let n = (PAR_SORT_MIN + 1234) as u32;
+        let mut grouped = RawShingles::new(s);
+        let mut ungrouped = RawShingles::new(s);
+        let mut streaming = StreamAggregator::new(s);
+        for i in 0..n {
+            let trial = i % 7;
+            let e = i % 50;
+            let pairs = [pack(e, e), pack(e + 1, e + 1)];
+            grouped.push(trial, i, &pairs);
+            ungrouped.push(trial, i, &pairs);
+            streaming.push(trial, i, &pairs);
+        }
+        grouped.mark_grouped();
+        let via_grouped = aggregate(&grouped);
+        let via_ungrouped = aggregate(&ungrouped);
+        let via_streaming = streaming.finish();
+        assert_eq!(via_grouped, via_ungrouped);
+        assert_eq!(via_grouped, via_streaming);
+        assert_eq!(via_grouped, aggregate(&grouped), "non-deterministic");
+        // 7 trials × 50 element pairs → 350 distinct shingles, each with
+        // many generators.
+        assert_eq!(via_grouped.len(), 350);
     }
 
     #[test]

@@ -96,10 +96,13 @@ pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
 }
 
 /// Batch capacity (elements) for a device with `available_bytes` free:
-/// each element needs a `u32` input slot and a `u64` packed workspace slot,
-/// plus headroom for the compacted per-trial output.
+/// each element needs a `u32` input slot, a `u64` packed workspace slot,
+/// and a second `u32` staging slot so the overlapped pipeline can upload
+/// the *next* batch while the current one computes (double buffering).
+/// The same capacity is used in synchronous mode so both schedules share
+/// one batch plan — the precondition for bit-identical output.
 pub fn batch_capacity(available_bytes: usize) -> usize {
-    const BYTES_PER_ELEM: usize = 4 + 8; // input + packed workspace
+    const BYTES_PER_ELEM: usize = 4 + 8 + 4; // input + packed workspace + staged next input
     const HEADROOM: f64 = 0.8; // leave room for top-s output buffers
     (((available_bytes as f64) * HEADROOM) as usize / BYTES_PER_ELEM).max(1)
 }
@@ -115,7 +118,15 @@ mod tests {
     fn single_batch_when_capacity_suffices() {
         let b = plan_batches(&OFFSETS, 100);
         assert_eq!(b.len(), 1);
-        assert_eq!(b[0], Batch { node_lo: 0, node_hi: 4, elem_lo: 0, elem_hi: 10 });
+        assert_eq!(
+            b[0],
+            Batch {
+                node_lo: 0,
+                node_hi: 4,
+                elem_lo: 0,
+                elem_hi: 10
+            }
+        );
         assert!(!b[0].first_is_fragment(&OFFSETS));
         assert!(!b[0].last_is_fragment(&OFFSETS));
     }

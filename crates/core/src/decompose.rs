@@ -19,9 +19,9 @@
 
 use crate::pipeline::GpClust;
 use crate::serial::SerialShingling;
+use gpclust_gpu::DeviceError;
 use gpclust_graph::subgraph::component_subgraphs;
 use gpclust_graph::{Csr, Partition, UnionFind};
-use gpclust_gpu::DeviceError;
 
 /// Serial pClust with component decomposition: cluster each connected
 /// component independently, then merge the per-component partitions.
@@ -35,10 +35,7 @@ pub fn cluster_by_components_serial(alg: &SerialShingling, g: &Csr) -> Partition
 }
 
 /// gpClust with component decomposition.
-pub fn cluster_by_components_gpu(
-    pipeline: &GpClust,
-    g: &Csr,
-) -> Result<Partition, DeviceError> {
+pub fn cluster_by_components_gpu(pipeline: &GpClust, g: &Csr) -> Result<Partition, DeviceError> {
     let mut uf = UnionFind::new(g.n());
     for sub in component_subgraphs(g) {
         let local = pipeline.cluster(&sub.graph)?.partition;
@@ -61,8 +58,8 @@ fn merge_local_partition(uf: &mut UnionFind, members: &[u32], local: &Partition)
 mod tests {
     use super::*;
     use crate::params::ShinglingParams;
-    use gpclust_graph::generate::{planted_partition, PlantedConfig};
     use gpclust_gpu::{DeviceConfig, Gpu};
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
 
     fn multi_component_graph(seed: u64) -> Csr {
         // Several disconnected dense groups + isolated noise vertices.

@@ -57,7 +57,7 @@ pub mod timing;
 pub mod weighted;
 
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
-pub use params::ShinglingParams;
+pub use params::{PipelineMode, ShinglingParams};
 pub use pipeline::{GpClust, GpClustReport};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;

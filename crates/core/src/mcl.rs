@@ -97,10 +97,8 @@ impl Columns {
                     *slot += w1 * w2;
                 }
             }
-            let mut col: Vec<(u32, f64)> = touched
-                .iter()
-                .map(|&r| (r, scratch[r as usize]))
-                .collect();
+            let mut col: Vec<(u32, f64)> =
+                touched.iter().map(|&r| (r, scratch[r as usize])).collect();
             for &r in touched.iter() {
                 scratch[r as usize] = 0.0;
             }
@@ -266,11 +264,17 @@ mod tests {
         });
         let coarse = mcl_clusters(
             &pg.graph,
-            &MclParams { inflation: 1.4, ..Default::default() },
+            &MclParams {
+                inflation: 1.4,
+                ..Default::default()
+            },
         );
         let fine = mcl_clusters(
             &pg.graph,
-            &MclParams { inflation: 6.0, ..Default::default() },
+            &MclParams {
+                inflation: 6.0,
+                ..Default::default()
+            },
         );
         assert!(
             fine.n_groups() >= coarse.n_groups(),
@@ -320,6 +324,12 @@ mod tests {
     fn rejects_sub_one_inflation() {
         let mut el = EdgeList::new();
         let g = Csr::from_edges(1, &mut el);
-        mcl_clusters(&g, &MclParams { inflation: 0.5, ..Default::default() });
+        mcl_clusters(
+            &g,
+            &MclParams {
+                inflation: 0.5,
+                ..Default::default()
+            },
+        );
     }
 }

@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn trials_are_distinct_hashes() {
         let f = HashFamily::new(16, 3);
-        let vals: std::collections::HashSet<u32> =
-            (0..16).map(|j| f.hash(j, 999)).collect();
+        let vals: std::collections::HashSet<u32> = (0..16).map(|j| f.hash(j, 999)).collect();
         assert!(vals.len() > 12, "trials should mostly differ");
     }
 

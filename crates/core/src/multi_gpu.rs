@@ -2,25 +2,32 @@
 //! point toward ("further performance could be achieved ...").
 //!
 //! Batches of adjacency lists are dealt round-robin across the devices;
-//! each device runs Algorithm 1 over its share, and the per-device record
-//! streams are merged on the host. Because a list can now be split across
+//! each device runs Algorithm 1 over its share on its **own host thread**
+//! (devices run concurrently on real hardware, so the host drives them
+//! concurrently too), and the per-device record streams are merged on the
+//! host in device index order. Because a list can now be split across
 //! *devices* (not just batches), the merged stream is not grouped — the
 //! generic merge path of [`crate::aggregate::aggregate`] reconciles the
-//! fragments, which is exactly what that path exists for.
+//! fragments, which is exactly what that path exists for. That path is
+//! insensitive to record order (fragments are re-sorted and deduped when
+//! merged), which is what makes the device-order merge sound.
 //!
-//! Device time is modeled as the **maximum** over devices (they run
-//! concurrently on real hardware); transfer time likewise. The result is
-//! provably identical to the single-device pipeline (tests assert it).
+//! Device time is modeled as the **maximum** over devices; transfer time
+//! likewise. Under [`PipelineMode::Overlapped`] each device additionally
+//! runs its share on a compute/copy stream pair, and the reported
+//! `device_pipelined` is the per-pass maximum of the per-device stream
+//! makespans, summed over the two passes. The result is provably identical
+//! to the single-device pipeline in either mode (tests assert it).
 
 use crate::aggregate::aggregate;
 use crate::batch::{batch_capacity, plan_batches, Batch};
 use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::ShinglingParams;
+use crate::params::{PipelineMode, ShinglingParams};
 use crate::report;
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::timing::StageTimes;
+use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream};
 use gpclust_graph::{Csr, Partition};
-use gpclust_gpu::{thrust, DeviceError, Gpu, KernelCost};
 
 /// A gpClust pipeline spanning multiple (simulated) devices.
 #[derive(Debug, Clone)]
@@ -62,14 +69,14 @@ impl MultiGpuClust {
         }
         let wall_start = std::time::Instant::now();
 
-        let raw1 = self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
+        let (raw1, pipe1) = self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
         let first = aggregate(&raw1);
         drop(raw1);
 
         // Pass II records may hold cross-device fragments, so Phase III
         // goes through the generic (merging) aggregation and the
         // materialized reporting path.
-        let raw2 = self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
+        let (raw2, pipe2) = self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
         let second = aggregate(&raw2);
         drop(raw2);
         let partition = report::partition_clusters(g.n(), &first, &second);
@@ -77,17 +84,20 @@ impl MultiGpuClust {
         let wall = wall_start.elapsed().as_secs_f64();
         let snaps: Vec<_> = self.gpus.iter().map(|g| g.counters()).collect();
         let kernel_wall: f64 = snaps.iter().map(|s| s.kernel_wall_seconds).sum();
-        let per_device_gpu_seconds: Vec<f64> =
-            snaps.iter().map(|s| s.kernel_seconds).collect();
-        let max = |f: fn(&gpclust_gpu::CountersSnapshot) -> f64| {
-            snaps.iter().map(f).fold(0.0, f64::max)
-        };
-        let times = StageTimes {
+        let per_device_gpu_seconds: Vec<f64> = snaps.iter().map(|s| s.kernel_seconds).collect();
+        let max =
+            |f: fn(&gpclust_gpu::CountersSnapshot) -> f64| snaps.iter().map(f).fold(0.0, f64::max);
+        let mut times = StageTimes {
             cpu: (wall - kernel_wall).max(0.0),
             gpu: max(|s| s.kernel_seconds),
             h2d: max(|s| s.h2d_seconds),
             d2h: max(|s| s.d2h_seconds),
             disk_io: 0.0,
+            device_pipelined: 0.0,
+        };
+        times.device_pipelined = match self.params.mode {
+            PipelineMode::Synchronous => times.device_serialized(),
+            PipelineMode::Overlapped => pipe1 + pipe2,
         };
         Ok(MultiGpuReport {
             partition,
@@ -96,13 +106,16 @@ impl MultiGpuClust {
         })
     }
 
-    /// One shingling pass with batches dealt round-robin across devices.
+    /// One shingling pass with batches dealt round-robin across devices,
+    /// one host thread per device. Returns the merged record stream and
+    /// the pass's pipelined makespan (max over devices; 0 in synchronous
+    /// mode, where the serialized counter sum stands in for it).
     fn multi_pass(
         &self,
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
-    ) -> Result<RawShingles, DeviceError> {
+    ) -> Result<(RawShingles, f64), DeviceError> {
         let offsets = input.offsets();
         let flat = input.flat();
         // Use the smallest device's capacity so every batch fits anywhere.
@@ -113,18 +126,56 @@ impl MultiGpuClust {
             .min()
             .expect("at least one device");
         let batches = plan_batches(offsets, capacity);
+        let n_dev = self.gpus.len();
+        let overlapped = self.params.mode == PipelineMode::Overlapped;
+
+        let shares: Vec<(RawShingles, f64)> = std::thread::scope(|scope| {
+            let batches = &batches;
+            let handles: Vec<_> = self
+                .gpus
+                .iter()
+                .enumerate()
+                .map(|(d, gpu)| {
+                    scope.spawn(move || -> Result<(RawShingles, f64), DeviceError> {
+                        let streams = overlapped
+                            .then(|| (gpu.stream("mgpu-compute"), gpu.stream("mgpu-copy")));
+                        let mut raw = RawShingles::new(s);
+                        for batch in batches.iter().skip(d).step_by(n_dev) {
+                            let stream_refs = streams.as_ref().map(|(c, p)| (c, p));
+                            run_batch(gpu, batch, offsets, flat, s, family, stream_refs, &mut raw)?;
+                        }
+                        let makespan = streams.map_or(0.0, |(c, p)| {
+                            c.completed_seconds().max(p.completed_seconds())
+                        });
+                        Ok((raw, makespan))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("device worker panicked"))
+                .collect::<Result<Vec<_>, DeviceError>>()
+        })?;
 
         let mut raw = RawShingles::new(s);
-        for (i, batch) in batches.iter().enumerate() {
-            let gpu = &self.gpus[i % self.gpus.len()];
-            run_batch(gpu, batch, offsets, flat, s, family, &mut raw)?;
+        let mut makespan = 0.0f64;
+        for (share, m) in &shares {
+            for i in 0..share.len() {
+                raw.push(share.trial(i), share.node(i), share.pairs_of(i));
+            }
+            makespan = makespan.max(*m);
         }
-        Ok(raw)
+        Ok((raw, makespan))
     }
 }
 
 /// Algorithm 1 on a single batch, pushing every kept segment's top pairs as
 /// records (fragments included — the generic aggregation merges them).
+/// With `streams = Some((compute, copy))` the batch upload and each trial's
+/// result download are charged asynchronously to the copy stream while the
+/// kernels run on the compute stream; data movement itself is eager either
+/// way, so the records are bit-identical across schedules.
+#[allow(clippy::too_many_arguments)]
 fn run_batch(
     gpu: &Gpu,
     batch: &Batch,
@@ -132,6 +183,7 @@ fn run_batch(
     flat: &[u32],
     s: usize,
     family: &HashFamily,
+    streams: Option<(&Stream, &Stream)>,
     raw: &mut RawShingles,
 ) -> Result<(), DeviceError> {
     let (local_offsets, nodes) = batch.segments(offsets);
@@ -139,25 +191,47 @@ fn run_batch(
         return Ok(());
     }
     let n_segs = nodes.len();
+    // Fragment flags are per-batch invariants — hoisted out of the
+    // per-segment keep test below.
+    let first_frag = batch.first_is_fragment(offsets);
+    let last_frag = batch.last_is_fragment(offsets);
     let mut out_offsets = Vec::with_capacity(n_segs + 1);
     out_offsets.push(0usize);
     for i in 0..n_segs {
         let len = (local_offsets[i + 1] - local_offsets[i]) as usize;
-        let boundary = (i == 0 && batch.first_is_fragment(offsets))
-            || (i == n_segs - 1 && batch.last_is_fragment(offsets));
+        let boundary = (i == 0 && first_frag) || (i == n_segs - 1 && last_frag);
         let k = if boundary || len >= s { len.min(s) } else { 0 };
         out_offsets.push(out_offsets[i] + k);
     }
     let out_total = *out_offsets.last().unwrap();
 
-    let elems_dev = gpu.htod(&flat[batch.elem_lo as usize..batch.elem_hi as usize])?;
+    let host_elems = &flat[batch.elem_lo as usize..batch.elem_hi as usize];
+    let elems_dev = match streams {
+        Some((compute, copy)) => {
+            let buf = copy.htod_async(host_elems)?;
+            compute.wait_event(&copy.record_event());
+            buf
+        }
+        None => gpu.htod(host_elems)?,
+    };
     let mut packed_dev = gpu.alloc::<u64>(elems_dev.len())?;
+    // The buffer whose async download is still "in flight" — kept alive
+    // for one trial (stream semantics), freed before the next allocation.
+    let mut prev_out: Option<DeviceBuffer<u64>> = None;
     for trial in 0..family.len() {
         let (a, b) = family.coeffs(trial);
-        thrust::transform(gpu, &elems_dev, &mut packed_dev, move |v: u32| {
-            pack(hash_with(a, b, v), v)
-        });
-        thrust::segmented_sort(gpu, &mut packed_dev, &local_offsets);
+        let xform = move |v: u32| pack(hash_with(a, b, v), v);
+        match streams {
+            Some((compute, _)) => {
+                thrust::transform_on(compute, &elems_dev, &mut packed_dev, xform);
+                thrust::segmented_sort_on(compute, &mut packed_dev, &local_offsets);
+            }
+            None => {
+                thrust::transform(gpu, &elems_dev, &mut packed_dev, xform);
+                thrust::segmented_sort(gpu, &mut packed_dev, &local_offsets);
+            }
+        }
+        prev_out = None;
         let mut out_dev = gpu.alloc::<u64>(out_total)?;
         {
             let src = packed_dev.device_slice();
@@ -175,9 +249,20 @@ fn run_batch(
                 let src_top = &src[seg_lo..seg_lo + k];
                 tasks.push(Box::new(move || head.copy_from_slice(src_top)));
             }
-            gpu.launch(out_total, &KernelCost::gather(), tasks);
+            match streams {
+                Some((compute, _)) => compute.launch(out_total, &KernelCost::gather(), tasks),
+                None => gpu.launch(out_total, &KernelCost::gather(), tasks),
+            }
         }
-        let host_out = gpu.dtoh(&out_dev);
+        let host_out = match streams {
+            Some((compute, copy)) => {
+                copy.wait_event(&compute.record_event());
+                let data = copy.dtoh_async(&out_dev);
+                prev_out = Some(out_dev);
+                data
+            }
+            None => gpu.dtoh(&out_dev),
+        };
         for i in 0..n_segs {
             let lo = out_offsets[i];
             let hi = out_offsets[i + 1];
@@ -186,6 +271,7 @@ fn run_batch(
             }
         }
     }
+    drop(prev_out);
     Ok(())
 }
 
@@ -193,8 +279,8 @@ fn run_batch(
 mod tests {
     use super::*;
     use crate::pipeline::GpClust;
-    use gpclust_graph::generate::{planted_partition, PlantedConfig};
     use gpclust_gpu::DeviceConfig;
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
 
     fn graph(seed: u64) -> Csr {
         planted_partition(&PlantedConfig {
@@ -248,6 +334,47 @@ mod tests {
         let multi = MultiGpuClust::new(params, gpus).unwrap();
         let report = multi.cluster(&g).unwrap();
         assert_eq!(report.partition, single.partition);
+    }
+
+    #[test]
+    fn multi_gpu_overlapped_bit_identical_and_pipelined() {
+        let g = graph(37);
+        let base = ShinglingParams::light(15);
+        let single = GpClust::new(base, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+
+        // Overlapped across two big devices: same clusters, and the stream
+        // makespan beats the serialized device path.
+        let gpus = (0..2)
+            .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+            .collect();
+        let multi = MultiGpuClust::new(base.with_mode(PipelineMode::Overlapped), gpus).unwrap();
+        let ovl = multi.cluster(&g).unwrap();
+        assert_eq!(ovl.partition, single.partition);
+        assert!(ovl.times.device_pipelined > 0.0);
+        assert!(ovl.times.device_pipelined < ovl.times.device_serialized());
+        assert!(ovl.times.device_pipelined >= ovl.times.gpu - 1e-9);
+
+        // And across tiny devices, where lists split across devices.
+        let gpus = (0..3)
+            .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+            .collect();
+        let multi = MultiGpuClust::new(base.with_mode(PipelineMode::Overlapped), gpus).unwrap();
+        let ovl = multi.cluster(&g).unwrap();
+        assert_eq!(ovl.partition, single.partition);
+    }
+
+    #[test]
+    fn synchronous_mode_reports_serialized_as_pipelined() {
+        let g = graph(39);
+        let gpus = (0..2)
+            .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+            .collect();
+        let multi = MultiGpuClust::new(ShinglingParams::light(17), gpus).unwrap();
+        let report = multi.cluster(&g).unwrap();
+        assert!((report.times.device_pipelined - report.times.device_serialized()).abs() < 1e-12);
     }
 
     #[test]

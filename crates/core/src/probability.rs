@@ -104,7 +104,11 @@ mod tests {
 
     #[test]
     fn recommend_c_inverts_p_detect() {
-        for (x, u, s, target) in [(5usize, 20usize, 2usize, 0.9f64), (8, 30, 2, 0.99), (10, 12, 3, 0.95)] {
+        for (x, u, s, target) in [
+            (5usize, 20usize, 2usize, 0.9f64),
+            (8, 30, 2, 0.99),
+            (10, 12, 3, 0.95),
+        ] {
             let c = recommend_c(x, u, s, target).unwrap();
             assert!(p_detect(x, u, s, c) >= target, "c={c}");
             if c > 1 {

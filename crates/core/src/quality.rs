@@ -127,8 +127,7 @@ mod tests {
         let (mut tp, mut fp, mut fn_, mut tn) = (0u64, 0u64, 0u64, 0u64);
         for i in 0..n as u32 {
             for j in i + 1..n as u32 {
-                let same_t =
-                    test.group_of(i).is_some() && test.group_of(i) == test.group_of(j);
+                let same_t = test.group_of(i).is_some() && test.group_of(i) == test.group_of(j);
                 let same_b = benchmark.group_of(i).is_some()
                     && benchmark.group_of(i) == benchmark.group_of(j);
                 match (same_t, same_b) {

@@ -176,10 +176,7 @@ mod tests {
         );
         let second = ShingleGraph::from_records(
             1,
-            vec![
-                (50u64, &[4u32][..], &[0u32][..]),
-                (60, &[5], &[1][..]),
-            ],
+            vec![(50u64, &[4u32][..], &[0u32][..]), (60, &[5], &[1][..])],
         );
         let clusters = overlap_clusters(&first, &second);
         assert_eq!(clusters, vec![vec![0, 1], vec![1, 2]]);

@@ -10,10 +10,10 @@
 
 use crate::aggregate::{aggregate, StreamAggregator};
 use crate::minwise::{hash_with, pack, unpack_element, HashFamily, TopS};
-use gpclust_graph::UnionFind;
 use crate::params::ShinglingParams;
 use crate::report;
 use crate::shingle::{AdjacencyInput, RawShingles};
+use gpclust_graph::UnionFind;
 use gpclust_graph::{Csr, Partition, ShingleGraph, VertexId};
 
 /// One full serial shingling pass over `input`, streaming each
@@ -47,11 +47,7 @@ pub fn shingle_pass_foreach(
 /// One full serial shingling pass over `input`: `c = family.len()` trials,
 /// shingle size `s`, materializing raw records for every node with ≥ s
 /// links. Prefer [`shingle_pass_foreach`] in memory-sensitive paths.
-pub fn shingle_pass(
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-) -> RawShingles {
+pub fn shingle_pass(input: &impl AdjacencyInput, s: usize, family: &HashFamily) -> RawShingles {
     let mut raw = RawShingles::new(s);
     shingle_pass_foreach(input, s, family, |trial, node, pairs| {
         raw.push(trial, node, pairs);

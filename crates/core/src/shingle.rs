@@ -304,10 +304,7 @@ mod tests {
     fn shingle_graph_as_adjacency_input() {
         let sg = ShingleGraph::from_records(
             1,
-            vec![
-                (3u64, &[4u32][..], &[0u32, 1][..]),
-                (9, &[5][..], &[2][..]),
-            ],
+            vec![(3u64, &[4u32][..], &[0u32, 1][..]), (9, &[5][..], &[2][..])],
         );
         assert_eq!(AdjacencyInput::n_nodes(&sg), 2);
         assert_eq!(sg.list(0), &[0, 1]);

@@ -54,6 +54,12 @@ pub struct StageTimes {
     pub d2h: f64,
     /// Graph load time from disk (measured wall s).
     pub disk_io: f64,
+    /// Modeled device critical path under the run's pipeline schedule
+    /// (simulated s). Equals [`StageTimes::device_serialized`] in
+    /// synchronous mode; under `PipelineMode::Overlapped` it is the
+    /// stream makespan, which is what transfer/compute overlap buys.
+    #[serde(default)]
+    pub device_pipelined: f64,
 }
 
 impl StageTimes {
@@ -63,8 +69,22 @@ impl StageTimes {
         self.cpu + self.gpu + self.h2d + self.d2h + self.disk_io
     }
 
+    /// The serialized device critical path: kernels plus both transfer
+    /// directions back to back (the sum of the three Table I device
+    /// columns).
+    pub fn device_serialized(&self) -> f64 {
+        self.gpu + self.h2d + self.d2h
+    }
+
+    /// Total with the device portion replaced by the pipelined makespan —
+    /// the end-to-end time a run under stream overlap would take.
+    pub fn total_pipelined(&self) -> f64 {
+        self.cpu + self.disk_io + self.device_pipelined
+    }
+
     /// Total if transfers were fully overlapped with computation (the
-    /// paper's async-transfer future work).
+    /// paper's async-transfer future work, as an idealized bound; the
+    /// measured pipelined figure is [`StageTimes::total_pipelined`]).
     pub fn total_with_overlapped_transfers(&self) -> f64 {
         self.cpu + self.gpu + self.disk_io
     }
@@ -74,13 +94,15 @@ impl std::fmt::Display for StageTimes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CPU {:.2}s | GPU {:.4}s | c→g {:.4}s | g→c {:.4}s | disk {:.3}s | total {:.2}s",
+            "CPU {:.2}s | GPU {:.4}s | c→g {:.4}s | g→c {:.4}s | disk {:.3}s | total {:.2}s \
+             | device pipelined {:.4}s",
             self.cpu,
             self.gpu,
             self.h2d,
             self.d2h,
             self.disk_io,
-            self.total()
+            self.total(),
+            self.device_pipelined
         )
     }
 }
@@ -109,15 +131,18 @@ mod tests {
             h2d: 0.25,
             d2h: 0.75,
             disk_io: 0.5,
+            device_pipelined: 2.25,
         };
         assert!((t.total() - 4.5).abs() < 1e-12);
+        assert!((t.device_serialized() - 3.0).abs() < 1e-12);
+        assert!((t.total_pipelined() - 3.75).abs() < 1e-12);
         assert!((t.total_with_overlapped_transfers() - 3.5).abs() < 1e-12);
     }
 
     #[test]
     fn display_mentions_all_components() {
         let s = StageTimes::default().to_string();
-        for needle in ["CPU", "GPU", "c→g", "g→c", "disk", "total"] {
+        for needle in ["CPU", "GPU", "c→g", "g→c", "disk", "total", "pipelined"] {
             assert!(s.contains(needle), "missing {needle}");
         }
     }

@@ -1,0 +1,126 @@
+//! Properties of the overlapped (double-buffered streams) schedule.
+//!
+//! The contract under test, from two sides:
+//!
+//! 1. **Bit-identical results** — `PipelineMode::Overlapped` must emit
+//!    exactly the records and partitions of the synchronous schedule, for
+//!    arbitrary planted graphs, device sizes (single-batch K20 vs the tiny
+//!    device that forces batching and prefetch), and worker counts.
+//! 2. **Honest accounting** — every async transfer still lands in the
+//!    `h2d/d2h` totals (Table I's "Data c→g"/"Data g→c" columns), is
+//!    mirrored in the overlap sub-accounts, and the pipelined makespan
+//!    excludes the transfer time hidden behind compute.
+
+use gpclust_core::gpu_pass::{gpu_shingle_pass, gpu_shingle_pass_overlapped};
+use gpclust_core::minwise::HashFamily;
+use gpclust_core::{GpClust, PipelineMode, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use proptest::prelude::*;
+
+fn planted(sizes: Vec<usize>, noise: usize, seed: u64) -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: sizes,
+        n_noise_vertices: noise,
+        p_intra: 0.7,
+        max_intra_degree: f64::MAX,
+        inter_edges_per_vertex: 0.8,
+        seed,
+    })
+    .graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-pipeline equivalence: same partition from both schedules on
+    /// arbitrary planted-partition graphs, devices, and worker counts.
+    #[test]
+    fn overlapped_partition_equals_synchronous(
+        sizes in proptest::collection::vec(5usize..40, 1..5),
+        noise in 0usize..20,
+        graph_seed in 0u64..1000,
+        param_seed in 0u64..1000,
+        tiny in proptest::bool::ANY,
+        workers in 1usize..4,
+    ) {
+        let g = planted(sizes, noise, graph_seed);
+        let config = if tiny {
+            DeviceConfig::tiny_test_device()
+        } else {
+            DeviceConfig::tesla_k20()
+        };
+        let params = ShinglingParams::light(param_seed);
+        let sync = GpClust::new(params, Gpu::with_workers(config.clone(), workers))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        let ovl = GpClust::new(
+            params.with_mode(PipelineMode::Overlapped),
+            Gpu::with_workers(config, workers),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        prop_assert_eq!(sync.partition, ovl.partition);
+        // The makespan the overlapped run reports never exceeds — and on
+        // any multi-trial workload undercuts — the serialized path.
+        prop_assert!(
+            ovl.times.device_pipelined <= ovl.times.device_serialized() + 1e-9
+        );
+    }
+
+    /// Record-level equivalence under forced batching: the raw per-trial
+    /// shingle stream (order included) is identical, not just the final
+    /// partition.
+    #[test]
+    fn raw_records_bit_identical_under_batching(
+        sizes in proptest::collection::vec(10usize..60, 1..4),
+        graph_seed in 0u64..500,
+        family_seed in 0u64..500,
+    ) {
+        let g = planted(sizes, 10, graph_seed);
+        let family = HashFamily::new(8, family_seed ^ 0xABCD);
+        let sync_gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let sync = gpu_shingle_pass(&sync_gpu, &g, 2, &family).unwrap();
+        let ovl_gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let (ovl, makespan) = gpu_shingle_pass_overlapped(&ovl_gpu, &g, 2, &family).unwrap();
+        prop_assert_eq!(sync, ovl);
+        prop_assert!(makespan > 0.0);
+    }
+}
+
+/// Overlapped D2H time is accounted in the totals (it still crosses the
+/// bus) but excluded from the pipelined critical path (it hides behind
+/// the next trial's kernels) — the bookkeeping the tentpole exists for.
+#[test]
+fn overlapped_d2h_accounted_but_off_critical_path() {
+    let g = planted(vec![60, 45, 30], 20, 99);
+    let family = HashFamily::new(16, 0x5EED);
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+    let (_, makespan) = gpu_shingle_pass_overlapped(&gpu, &g, 2, &family).unwrap();
+    let snap = gpu.counters();
+
+    // Every transfer of the pass was issued asynchronously: the overlap
+    // sub-accounts mirror the totals and nothing was a blocking copy.
+    assert!(snap.d2h_overlapped_seconds > 0.0);
+    assert!(snap.h2d_overlapped_seconds > 0.0);
+    assert!((snap.d2h_overlapped_seconds - snap.d2h_seconds).abs() < 1e-9);
+    assert!((snap.h2d_overlapped_seconds - snap.h2d_seconds).abs() < 1e-9);
+    assert!(snap.blocking_transfer_seconds() < 1e-12);
+
+    // The makespan still pays for the upload (the first kernel waits on
+    // it) and all kernels …
+    assert!(makespan >= snap.kernel_seconds + snap.h2d_seconds - 1e-6);
+    // … but beats the serialized path, because all D2H except the final
+    // trial's is hidden behind the next trial's compute: with 16 trials,
+    // ≥ 15/16 of the D2H total leaves the critical path.
+    assert!(makespan < snap.serialized_device_seconds());
+    let hidden = snap.serialized_device_seconds() - makespan;
+    assert!(
+        hidden > 0.5 * snap.d2h_seconds,
+        "hidden {hidden} vs d2h {}",
+        snap.d2h_seconds
+    );
+}

@@ -45,6 +45,8 @@ impl Counters {
         kernel_seconds: f64,
         h2d_seconds: f64,
         d2h_seconds: f64,
+        h2d_overlapped_seconds: f64,
+        d2h_overlapped_seconds: f64,
     ) -> CountersSnapshot {
         CountersSnapshot {
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
@@ -58,6 +60,8 @@ impl Counters {
             kernel_seconds,
             h2d_seconds,
             d2h_seconds,
+            h2d_overlapped_seconds,
+            d2h_overlapped_seconds,
             kernel_wall_seconds: self.kernel_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
@@ -101,8 +105,28 @@ pub struct CountersSnapshot {
     pub h2d_seconds: f64,
     /// Simulated device→host seconds (Data g→c in Table I).
     pub d2h_seconds: f64,
+    /// Subset of `h2d_seconds` issued asynchronously on a stream (hidden
+    /// behind compute in the pipelined critical path).
+    pub h2d_overlapped_seconds: f64,
+    /// Subset of `d2h_seconds` issued asynchronously on a stream.
+    pub d2h_overlapped_seconds: f64,
     /// Wall-clock host seconds spent executing kernel work on the pool.
     pub kernel_wall_seconds: f64,
+}
+
+impl CountersSnapshot {
+    /// The fully serialized device critical path: every kernel and every
+    /// transfer back to back, exactly as the paper's Thrust 1.5 setup ran.
+    pub fn serialized_device_seconds(&self) -> f64 {
+        self.kernel_seconds + self.h2d_seconds + self.d2h_seconds
+    }
+
+    /// Transfer seconds still on the blocking critical path (totals minus
+    /// the stream-issued overlap sub-accounts).
+    pub fn blocking_transfer_seconds(&self) -> f64 {
+        (self.h2d_seconds - self.h2d_overlapped_seconds).max(0.0)
+            + (self.d2h_seconds - self.d2h_overlapped_seconds).max(0.0)
+    }
 }
 
 #[cfg(test)]
@@ -116,7 +140,7 @@ mod tests {
         c.alloc(50);
         c.free(100);
         c.alloc(10);
-        let s = c.snapshot(0.0, 0.0, 0.0);
+        let s = c.snapshot(0.0, 0.0, 0.0, 0.0, 0.0);
         assert_eq!(s.mem_used, 60);
         assert_eq!(s.mem_peak, 150);
         assert_eq!(s.allocations, 3);
@@ -128,7 +152,7 @@ mod tests {
         c.alloc(77);
         c.kernel_launches.fetch_add(3, Ordering::Relaxed);
         c.reset();
-        let s = c.snapshot(0.0, 0.0, 0.0);
+        let s = c.snapshot(0.0, 0.0, 0.0, 0.0, 0.0);
         assert_eq!(s.kernel_launches, 0);
         assert_eq!(s.mem_used, 77);
         assert_eq!(s.mem_peak, 77);

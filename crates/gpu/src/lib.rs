@@ -14,6 +14,11 @@
 //!   `htod`/`dtoh` copies with byte accounting and a modeled transfer time
 //!   (PCIe latency + bytes/bandwidth), mirroring Thrust 1.5's synchronous
 //!   copy semantics that the paper calls out as its residual overhead.
+//! * **Streams and events** ([`stream`]) — CUDA-style ordered async queues:
+//!   `htod_async`/`dtoh_async` and stream launches charge modeled time to a
+//!   per-stream cursor instead of the blocking critical path, with events
+//!   for cross-stream dependencies — the asynchronous-copy "future work"
+//!   the paper projects, made measurable.
 //! * **Data-parallel execution** ([`simt`], [`pool`]) — kernels run for real
 //!   on a work-stealing CPU thread pool (thread blocks = tasks, SMs =
 //!   workers), while a cost model accounts *device time* per launch
@@ -35,6 +40,7 @@ pub mod counters;
 pub mod memory;
 pub mod pool;
 pub mod simt;
+pub mod stream;
 pub mod thrust;
 pub mod timeline;
 pub mod transfer;
@@ -43,4 +49,5 @@ pub use config::DeviceConfig;
 pub use counters::CountersSnapshot;
 pub use memory::{DeviceBuffer, DeviceError};
 pub use simt::{Gpu, KernelCost};
+pub use stream::{Stream, StreamEvent};
 pub use timeline::{pipelined_seconds, serialized_seconds, Event, EventLog};

@@ -41,7 +41,9 @@ impl SmPool {
     /// Create a pool with `n_workers` threads (0 → host parallelism).
     pub fn new(n_workers: usize) -> Self {
         let n_workers = if n_workers == 0 {
-            thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+            thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         } else {
             n_workers
         };

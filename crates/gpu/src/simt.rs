@@ -158,9 +158,8 @@ impl Gpu {
     /// Simulated seconds a launch over `n_elements` with `cost` takes.
     pub fn model_kernel_seconds(&self, n_elements: usize, cost: &KernelCost) -> f64 {
         let c = &self.shared.config;
-        let compute =
-            n_elements as f64 * cost.ops_per_element * cost.divergence_factor
-                / c.sustained_ops_per_sec();
+        let compute = n_elements as f64 * cost.ops_per_element * cost.divergence_factor
+            / c.sustained_ops_per_sec();
         let memory = n_elements as f64 * cost.bytes_per_element * cost.coalescing_factor
             / (c.mem_bandwidth_gbps * 1e9);
         compute.max(memory) + c.launch_overhead_us * 1e-6
@@ -177,6 +176,18 @@ impl Gpu {
         cost: &KernelCost,
         tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
     ) {
+        let _ = self.execute_and_model(n_elements, cost, tasks);
+    }
+
+    /// Shared body of [`Gpu::launch`] and [`crate::stream::Stream::launch`]:
+    /// run the tasks, tally the launch, charge modeled time, and return the
+    /// modeled seconds so stream callers can advance their cursor.
+    pub(crate) fn execute_and_model<'env>(
+        &self,
+        n_elements: usize,
+        cost: &KernelCost,
+        tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
+    ) -> f64 {
         let wall_start = std::time::Instant::now();
         self.shared.pool.execute_batch(tasks);
         self.shared.counters.kernel_wall_ns.fetch_add(
@@ -190,6 +201,7 @@ impl Gpu {
         let modeled = self.model_kernel_seconds(n_elements, cost);
         self.shared.timeline.record(Event::Kernel(modeled));
         self.shared.clock.charge_kernel(modeled);
+        modeled
     }
 
     /// The device's event timeline (disabled by default; enable to feed
@@ -216,6 +228,8 @@ impl Gpu {
             self.shared.clock.kernel_seconds(),
             self.shared.clock.h2d_seconds(),
             self.shared.clock.d2h_seconds(),
+            self.shared.clock.h2d_overlap_seconds(),
+            self.shared.clock.d2h_overlap_seconds(),
         )
     }
 

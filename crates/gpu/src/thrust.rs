@@ -14,6 +14,7 @@
 
 use crate::memory::{DeviceBuffer, DeviceError, Pod};
 use crate::simt::{Gpu, KernelCost};
+use crate::stream::Stream;
 
 /// Elements per thread-block task; one task ≈ one block batch.
 const BLOCK_ELEMS: usize = 64 * 1024;
@@ -37,6 +38,31 @@ pub fn sequence(gpu: &Gpu, buf: &mut DeviceBuffer<u32>, start: u32) {
     gpu.launch(n, &KernelCost::transform(), tasks);
 }
 
+/// Build the per-block tasks of an elementwise map (shared by
+/// [`transform`] and [`transform_on`]).
+fn transform_tasks<'a, T: Pod, U: Pod, F>(
+    input: &'a DeviceBuffer<T>,
+    output: &'a mut DeviceBuffer<U>,
+    f: &'a F,
+) -> Vec<Box<dyn FnOnce() + Send + 'a>>
+where
+    F: Fn(T) -> U + Sync,
+{
+    assert_eq!(input.len(), output.len(), "transform length mismatch");
+    input
+        .device_slice()
+        .chunks(BLOCK_ELEMS)
+        .zip(output.device_slice_mut().chunks_mut(BLOCK_ELEMS))
+        .map(|(src, dst)| {
+            Box::new(move || {
+                for (s, d) in src.iter().zip(dst.iter_mut()) {
+                    *d = f(*s);
+                }
+            }) as Box<dyn FnOnce() + Send + 'a>
+        })
+        .collect()
+}
+
 /// Elementwise map `output[i] = f(input[i])` (like `thrust::transform`).
 ///
 /// # Panics
@@ -49,22 +75,24 @@ pub fn transform<T: Pod, U: Pod, F>(
 ) where
     F: Fn(T) -> U + Sync,
 {
-    assert_eq!(input.len(), output.len(), "transform length mismatch");
     let n = input.len();
-    let f = &f;
-    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = input
-        .device_slice()
-        .chunks(BLOCK_ELEMS)
-        .zip(output.device_slice_mut().chunks_mut(BLOCK_ELEMS))
-        .map(|(src, dst)| {
-            Box::new(move || {
-                for (s, d) in src.iter().zip(dst.iter_mut()) {
-                    *d = f(*s);
-                }
-            }) as Box<dyn FnOnce() + Send + '_>
-        })
-        .collect();
+    let tasks = transform_tasks(input, output, &f);
     gpu.launch(n, &KernelCost::transform(), tasks);
+}
+
+/// [`transform`] issued on a stream: identical data effect, modeled time
+/// charged to the stream's cursor.
+pub fn transform_on<T: Pod, U: Pod, F>(
+    stream: &Stream,
+    input: &DeviceBuffer<T>,
+    output: &mut DeviceBuffer<U>,
+    f: F,
+) where
+    F: Fn(T) -> U + Sync,
+{
+    let n = input.len();
+    let tasks = transform_tasks(input, output, &f);
+    stream.launch(n, &KernelCost::transform(), tasks);
 }
 
 /// In-place elementwise map (like `thrust::transform` with one buffer as
@@ -130,8 +158,7 @@ pub fn sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>) {
                     let hi = (lo + 2 * run).min(n);
                     let left = &src[lo..mid];
                     let right = &src[mid..hi];
-                    Box::new(move || merge_into(left, right, out))
-                        as Box<dyn FnOnce() + Send + '_>
+                    Box::new(move || merge_into(left, right, out)) as Box<dyn FnOnce() + Send + '_>
                 })
                 .collect();
             gpu.run_tasks(tasks);
@@ -145,23 +172,23 @@ pub fn sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>) {
     gpu.launch(n, &KernelCost::sort(), vec![]);
 }
 
-/// Sort each segment of `buf` independently (the *segmented sorting* of
-/// Figure 4). `seg_offsets` holds `k + 1` monotone offsets delimiting the
-/// `k` segments (adjacency-list boundaries, the "auxiliary data structure
-/// on the device").
-pub fn segmented_sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>, seg_offsets: &[u64]) {
+/// Build the per-block tasks of a segmented sort (shared by
+/// [`segmented_sort`] and [`segmented_sort_on`]).
+fn segmented_sort_tasks<'a, T: Pod + Ord>(
+    buf: &'a mut DeviceBuffer<T>,
+    seg_offsets: &'a [u64],
+) -> Vec<Box<dyn FnOnce() + Send + 'a>> {
     assert!(!seg_offsets.is_empty(), "offsets must contain at least [0]");
     assert_eq!(
         *seg_offsets.last().unwrap() as usize,
         buf.len(),
         "offsets must cover the buffer"
     );
-    let n = buf.len();
     // Partition segments into contiguous groups of ~BLOCK_ELEMS elements so
     // tasks are balanced even when segment sizes are heavily skewed. Tasks
     // borrow their offset windows — no per-task allocation (this runs once
     // per random trial, over millions of segments at scale).
-    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + 'a>> = Vec::new();
     let mut rest = buf.device_slice_mut();
     let mut consumed = 0usize;
     let mut seg_lo = 0usize;
@@ -186,7 +213,29 @@ pub fn segmented_sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>, seg_of
         }));
         seg_lo = seg_hi;
     }
+    tasks
+}
+
+/// Sort each segment of `buf` independently (the *segmented sorting* of
+/// Figure 4). `seg_offsets` holds `k + 1` monotone offsets delimiting the
+/// `k` segments (adjacency-list boundaries, the "auxiliary data structure
+/// on the device").
+pub fn segmented_sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>, seg_offsets: &[u64]) {
+    let n = buf.len();
+    let tasks = segmented_sort_tasks(buf, seg_offsets);
     gpu.launch(n, &KernelCost::segmented_sort(), tasks);
+}
+
+/// [`segmented_sort`] issued on a stream: identical data effect, modeled
+/// time charged to the stream's cursor.
+pub fn segmented_sort_on<T: Pod + Ord>(
+    stream: &Stream,
+    buf: &mut DeviceBuffer<T>,
+    seg_offsets: &[u64],
+) {
+    let n = buf.len();
+    let tasks = segmented_sort_tasks(buf, seg_offsets);
+    stream.launch(n, &KernelCost::segmented_sort(), tasks);
 }
 
 /// `out[i] = src[indices[i]]` (like `thrust::gather`).
@@ -221,11 +270,7 @@ pub fn gather<T: Pod>(
 /// `shared_mem_per_block` and the launch fails with
 /// [`DeviceError::SharedMemExceeded`] when a tile would not fit — the same
 /// occupancy constraint real kernels tune around.
-pub fn reduce_sum(
-    gpu: &Gpu,
-    buf: &DeviceBuffer<u64>,
-    tile: usize,
-) -> Result<u64, DeviceError> {
+pub fn reduce_sum(gpu: &Gpu, buf: &DeviceBuffer<u64>, tile: usize) -> Result<u64, DeviceError> {
     assert!(tile > 0, "tile must be positive");
     let shared_needed = tile * std::mem::size_of::<u64>();
     let capacity = gpu.config().shared_mem_per_block;
@@ -333,7 +378,10 @@ pub fn reduce_by_key_counts(
     keys: &DeviceBuffer<u64>,
 ) -> Result<(DeviceBuffer<u64>, DeviceBuffer<u32>), DeviceError> {
     let slice = keys.device_slice();
-    debug_assert!(slice.windows(2).all(|w| w[0] <= w[1]), "keys must be sorted");
+    debug_assert!(
+        slice.windows(2).all(|w| w[0] <= w[1]),
+        "keys must be sorted"
+    );
     let mut uniques: Vec<u64> = Vec::new();
     let mut counts: Vec<u32> = Vec::new();
     // Single scan pass (a real GPU would run a prefix-scan; the cost model
@@ -596,6 +644,24 @@ mod tests {
             results.push(g.dtoh(&out));
         }
         assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn stream_variants_match_sync_variants() {
+        let g = gpu();
+        let s = g.stream("compute");
+        let mut rng = StdRng::seed_from_u64(9);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..1_000)).collect();
+        let offsets: Vec<u64> = (0..=50).map(|i| i * 1_000).collect();
+        let input = g.htod(&data).unwrap();
+        let mut out_sync = g.alloc::<u64>(data.len()).unwrap();
+        transform(&g, &input, &mut out_sync, |x| x.rotate_left(7));
+        segmented_sort(&g, &mut out_sync, &offsets);
+        let mut out_stream = g.alloc::<u64>(data.len()).unwrap();
+        transform_on(&s, &input, &mut out_stream, |x| x.rotate_left(7));
+        segmented_sort_on(&s, &mut out_stream, &offsets);
+        assert_eq!(g.dtoh(&out_sync), g.dtoh(&out_stream));
+        assert!(s.completed_seconds() > 0.0);
     }
 
     #[test]

@@ -156,7 +156,10 @@ mod tests {
             .map(|e| e.seconds())
             .sum();
         assert!(p <= s + 1e-12, "pipelined {p} > serial {s}");
-        assert!(p >= compute, "pipelined {p} < compute lower bound {compute}");
+        assert!(
+            p >= compute,
+            "pipelined {p} < compute lower bound {compute}"
+        );
     }
 
     #[test]

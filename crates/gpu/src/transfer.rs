@@ -24,10 +24,10 @@ impl Gpu {
         c.pcie_latency_us * 1e-6 + bytes as f64 / (c.pcie_bandwidth_gbps * 1e9)
     }
 
-    /// Copy a host slice to a new device buffer (synchronous).
-    pub fn htod<T: Pod>(&self, src: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
-        let buf = self.adopt(src.to_vec())?;
-        let bytes = buf.bytes();
+    /// Account one host→device copy of `bytes`: counters, timeline event,
+    /// clock charge (plus the overlap sub-account for stream-issued copies).
+    /// Returns the modeled transfer seconds.
+    pub(crate) fn tally_h2d(&self, bytes: usize, overlapped: bool) -> f64 {
         self.shared
             .counters
             .h2d_transfers
@@ -41,45 +41,54 @@ impl Gpu {
             .timeline
             .record(crate::timeline::Event::H2D(modeled));
         self.shared.clock.charge_h2d(modeled);
+        if overlapped {
+            self.shared.clock.charge_h2d_overlap(modeled);
+        }
+        modeled
+    }
+
+    /// Account one device→host copy of `bytes` (see [`Gpu::tally_h2d`]).
+    pub(crate) fn tally_d2h(&self, bytes: usize, overlapped: bool) -> f64 {
+        self.shared
+            .counters
+            .d2h_transfers
+            .fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .counters
+            .d2h_bytes
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        let modeled = self.model_transfer_seconds(bytes);
+        self.shared
+            .timeline
+            .record(crate::timeline::Event::D2H(modeled));
+        self.shared.clock.charge_d2h(modeled);
+        if overlapped {
+            self.shared.clock.charge_d2h_overlap(modeled);
+        }
+        modeled
+    }
+
+    /// Copy a host slice to a new device buffer (synchronous).
+    pub fn htod<T: Pod>(&self, src: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let buf = self.adopt(src.to_vec())?;
+        self.tally_h2d(buf.bytes(), false);
         Ok(buf)
     }
 
     /// Copy a device buffer back to a host vector (synchronous).
     pub fn dtoh<T: Pod>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
-        let bytes = buf.bytes();
-        self.shared
-            .counters
-            .d2h_transfers
-            .fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .counters
-            .d2h_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        let modeled = self.model_transfer_seconds(bytes);
-        self.shared
-            .timeline
-            .record(crate::timeline::Event::D2H(modeled));
-        self.shared.clock.charge_d2h(modeled);
+        self.tally_d2h(buf.bytes(), false);
         buf.device_slice().to_vec()
     }
 
     /// Copy only `range` of a device buffer back to the host.
-    pub fn dtoh_range<T: Pod>(&self, buf: &DeviceBuffer<T>, range: std::ops::Range<usize>) -> Vec<T> {
+    pub fn dtoh_range<T: Pod>(
+        &self,
+        buf: &DeviceBuffer<T>,
+        range: std::ops::Range<usize>,
+    ) -> Vec<T> {
         let slice = &buf.device_slice()[range];
-        let bytes = std::mem::size_of_val(slice);
-        self.shared
-            .counters
-            .d2h_transfers
-            .fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .counters
-            .d2h_bytes
-            .fetch_add(bytes as u64, Ordering::Relaxed);
-        let modeled = self.model_transfer_seconds(bytes);
-        self.shared
-            .timeline
-            .record(crate::timeline::Event::D2H(modeled));
-        self.shared.clock.charge_d2h(modeled);
+        self.tally_d2h(std::mem::size_of_val(slice), false);
         slice.to_vec()
     }
 }
@@ -116,6 +125,20 @@ mod tests {
         assert_eq!(snap.d2h_bytes, 8_000);
         assert!(snap.h2d_seconds > 0.0);
         assert!(snap.d2h_seconds > snap.h2d_seconds);
+    }
+
+    #[test]
+    fn synchronous_transfers_never_mark_overlap() {
+        let g = gpu();
+        let buf = g.htod(&vec![0u64; 10_000]).unwrap();
+        let _ = g.dtoh(&buf);
+        let snap = g.counters();
+        assert_eq!(snap.h2d_overlapped_seconds, 0.0);
+        assert_eq!(snap.d2h_overlapped_seconds, 0.0);
+        assert!(
+            (snap.blocking_transfer_seconds() - (snap.h2d_seconds + snap.d2h_seconds)).abs()
+                < 1e-12
+        );
     }
 
     #[test]

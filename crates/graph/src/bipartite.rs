@@ -130,9 +130,7 @@ impl ShingleGraph {
     }
 
     /// Iterate `(index, key, elements, generators)` over all shingles.
-    pub fn iter(
-        &self,
-    ) -> impl Iterator<Item = (usize, u64, &[VertexId], &[u32])> + '_ {
+    pub fn iter(&self) -> impl Iterator<Item = (usize, u64, &[VertexId], &[u32])> + '_ {
         (0..self.len()).map(move |i| (i, self.keys[i], self.elements(i), self.generators(i)))
     }
 
@@ -220,10 +218,7 @@ mod tests {
     fn unsorted_keys_panic() {
         ShingleGraph::from_records(
             1,
-            vec![
-                (5u64, &[0u32][..], &[0u32][..]),
-                (5, &[1][..], &[1][..]),
-            ],
+            vec![(5u64, &[0u32][..], &[0u32][..]), (5, &[1][..], &[1][..])],
         );
     }
 }

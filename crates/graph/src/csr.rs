@@ -117,7 +117,10 @@ impl Csr {
     /// Panics if the offsets are not monotone or don't cover `targets`.
     pub fn from_raw(offsets: Vec<u64>, targets: Vec<VertexId>) -> Self {
         assert!(!offsets.is_empty() && offsets[0] == 0);
-        assert!(offsets.windows(2).all(|w| w[0] <= w[1]), "non-monotone offsets");
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "non-monotone offsets"
+        );
         assert_eq!(*offsets.last().unwrap() as usize, targets.len());
         Csr { offsets, targets }
     }

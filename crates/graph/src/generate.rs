@@ -200,8 +200,8 @@ fn triangular_decode(t: usize, k: usize) -> (usize, usize) {
     // Closed form via quadratic, then integer fix-up for float error.
     let tf = t as f64;
     let kf = k as f64;
-    let mut a = ((2.0 * kf - 1.0 - ((2.0 * kf - 1.0).powi(2) - 8.0 * tf).sqrt()) / 2.0)
-        .floor() as usize;
+    let mut a =
+        ((2.0 * kf - 1.0 - ((2.0 * kf - 1.0).powi(2) - 8.0 * tf).sqrt()) / 2.0).floor() as usize;
     // F(a) = a*k - a*(a+1)/2 is the first index of row a.
     let row_start = |a: usize| a * k - a * (a + 1) / 2;
     while a > 0 && row_start(a) > t {

@@ -25,8 +25,15 @@ pub const SIZE_BINS: [(usize, usize); 7] = [
 ];
 
 /// Human-readable labels for [`SIZE_BINS`].
-pub const SIZE_BIN_LABELS: [&str; 7] =
-    ["20-49", "50-99", "100-199", "200-499", "500-999", "1000-2000", ">2000"];
+pub const SIZE_BIN_LABELS: [&str; 7] = [
+    "20-49",
+    "50-99",
+    "100-199",
+    "200-499",
+    "500-999",
+    "1000-2000",
+    ">2000",
+];
 
 /// A disjoint grouping of vertices; vertices may be unassigned.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
@@ -215,14 +222,7 @@ mod tests {
 
     fn partition() -> Partition {
         // groups: {0,1,2}, {3,4}, unassigned: {5}
-        Partition::from_membership(vec![
-            Some(7),
-            Some(7),
-            Some(7),
-            Some(3),
-            Some(3),
-            None,
-        ])
+        Partition::from_membership(vec![Some(7), Some(7), Some(7), Some(3), Some(3), None])
     }
 
     #[test]
@@ -299,9 +299,7 @@ mod tests {
     #[test]
     fn bin_edges_inclusive() {
         for (size, expected_bin) in [(20, 0), (49, 0), (50, 1), (2000, 5), (2001, 6)] {
-            let p = Partition::from_membership(
-                std::iter::repeat_n(Some(0u32), size).collect(),
-            );
+            let p = Partition::from_membership(std::iter::repeat_n(Some(0u32), size).collect());
             let (groups, _) = p.size_histogram();
             let hit = groups.iter().position(|&c| c == 1).unwrap();
             assert_eq!(hit, expected_bin, "size {size}");

@@ -169,8 +169,14 @@ mod tests {
     fn deterministic_across_thread_counts() {
         let mg = dataset(150, 7);
         let cfg = HomologyConfig::default();
-        let pool1 = rayon::ThreadPoolBuilder::new().num_threads(1).build().unwrap();
-        let pool4 = rayon::ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let pool1 = rayon::ThreadPoolBuilder::new()
+            .num_threads(1)
+            .build()
+            .unwrap();
+        let pool4 = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
         let g1 = pool1.install(|| build_graph(&mg.proteins, &cfg).0);
         let g4 = pool4.install(|| build_graph(&mg.proteins, &cfg).0);
         assert_eq!(g1, g4);

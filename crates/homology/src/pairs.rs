@@ -24,10 +24,7 @@ pub struct PairStats {
 /// Sequence ids must be dense (`proteins[i].id == i`), which the
 /// `gpclust-seqsim` generators guarantee.
 pub fn promising_pairs(proteins: &[Protein], config: &FilterConfig) -> (CandidatePairs, PairStats) {
-    debug_assert!(proteins
-        .iter()
-        .enumerate()
-        .all(|(i, p)| p.id as usize == i));
+    debug_assert!(proteins.iter().enumerate().all(|(i, p)| p.id as usize == i));
     let views: Vec<&[u8]> = proteins.iter().map(|p| p.residues.as_slice()).collect();
     let pairs = candidate_pairs(&views, config);
     let stats = PairStats {
@@ -43,10 +40,7 @@ pub fn promising_pairs_suffix(
     proteins: &[Protein],
     config: &FilterConfig,
 ) -> (CandidatePairs, PairStats) {
-    debug_assert!(proteins
-        .iter()
-        .enumerate()
-        .all(|(i, p)| p.id as usize == i));
+    debug_assert!(proteins.iter().enumerate().all(|(i, p)| p.id as usize == i));
     let views: Vec<&[u8]> = proteins.iter().map(|p| p.residues.as_slice()).collect();
     let pairs = candidate_pairs_suffix(
         &views,
@@ -70,7 +64,10 @@ mod tests {
     #[test]
     fn family_members_become_candidates() {
         let mg = Metagenome::generate(&MetagenomeConfig::tiny(120, 3));
-        let cfg = FilterConfig { k: 5, max_bucket: 500 };
+        let cfg = FilterConfig {
+            k: 5,
+            max_bucket: 500,
+        };
         let (pairs, stats) = promising_pairs(&mg.proteins, &cfg);
         assert_eq!(stats.n_pairs, pairs.len());
         assert!(!pairs.is_empty(), "families must share 5-mers");

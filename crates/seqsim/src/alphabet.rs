@@ -17,8 +17,8 @@ pub const ALPHABET_SIZE: usize = 20;
 ///
 /// The index of a letter in this array is its `u8` code.
 pub const RESIDUES: [u8; ALPHABET_SIZE] = [
-    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R',
-    b'S', b'T', b'V', b'W', b'Y',
+    b'A', b'C', b'D', b'E', b'F', b'G', b'H', b'I', b'K', b'L', b'M', b'N', b'P', b'Q', b'R', b'S',
+    b'T', b'V', b'W', b'Y',
 ];
 
 /// Robinson–Robinson background frequencies, aligned with [`RESIDUES`].

@@ -170,8 +170,14 @@ mod tests {
             assert!(c == b'*' || letter_to_code(c).is_some(), "{}", c as char);
         }
         // Spot checks of the standard code.
-        assert_eq!(translate_codon(0, 3, 2), Some(letter_to_code(b'M').unwrap())); // ATG
-        assert_eq!(translate_codon(3, 2, 2), Some(letter_to_code(b'W').unwrap())); // TGG
+        assert_eq!(
+            translate_codon(0, 3, 2),
+            Some(letter_to_code(b'M').unwrap())
+        ); // ATG
+        assert_eq!(
+            translate_codon(3, 2, 2),
+            Some(letter_to_code(b'W').unwrap())
+        ); // TGG
         assert_eq!(translate_codon(3, 0, 0), None); // TAA
         assert_eq!(translate_codon(3, 2, 0), None); // TGA
         assert_eq!(translate_codon(3, 0, 2), None); // TAG
@@ -181,7 +187,10 @@ mod tests {
     fn reverse_complement_involution() {
         let d = dna(b"ACGTTGCA");
         assert_eq!(reverse_complement(&reverse_complement(&d)), d);
-        assert_eq!(dna_to_ascii(&reverse_complement(&dna(b"AACG"))), b"CGTT".to_vec());
+        assert_eq!(
+            dna_to_ascii(&reverse_complement(&dna(b"AACG"))),
+            b"CGTT".to_vec()
+        );
     }
 
     #[test]

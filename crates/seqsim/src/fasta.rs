@@ -174,7 +174,13 @@ mod tests {
     #[test]
     fn read_rejects_invalid_residue() {
         let err = read(&b">x\nACB\n"[..], 0).unwrap_err();
-        assert!(matches!(err, FastaError::InvalidResidue { line: 2, byte: b'B' }));
+        assert!(matches!(
+            err,
+            FastaError::InvalidResidue {
+                line: 2,
+                byte: b'B'
+            }
+        ));
     }
 
     #[test]

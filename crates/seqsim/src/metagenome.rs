@@ -203,13 +203,12 @@ impl Metagenome {
             let first_id = proteins.len() as SeqId;
             let fam = generator.generate(&mut rng, family_id as u32, first_id, &fam_cfg);
             // Does this family carry a promiscuous domain?
-            let family_domain = if !domains.is_empty()
-                && rng.gen_bool(config.domain_family_frac.clamp(0.0, 1.0))
-            {
-                Some(rng.gen_range(0..domains.len()))
-            } else {
-                None
-            };
+            let family_domain =
+                if !domains.is_empty() && rng.gen_bool(config.domain_family_frac.clamp(0.0, 1.0)) {
+                    Some(rng.gen_range(0..domains.len()))
+                } else {
+                    None
+                };
             for (mut m, core) in fam.members.into_iter().zip(fam.is_core) {
                 if let Some(d) = family_domain {
                     if rng.gen_bool(config.domain_member_frac.clamp(0.0, 1.0)) {
@@ -456,7 +455,9 @@ mod tests {
             let hay = &v.residues;
             let needle = &d.residues;
             if needle.is_empty()
-                || hay.windows(needle.len().min(hay.len())).any(|w| w == &needle[..needle.len().min(hay.len())])
+                || hay
+                    .windows(needle.len().min(hay.len()))
+                    .any(|w| w == &needle[..needle.len().min(hay.len())])
             {
                 contained += 1;
             }

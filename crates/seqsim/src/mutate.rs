@@ -19,12 +19,12 @@ use serde::{Deserialize, Serialize};
 
 /// Physico-chemical residue groups used for conservative substitutions.
 const GROUPS: &[&[u8]] = &[
-    b"ILVM",  // aliphatic / hydrophobic
-    b"FWY",   // aromatic
-    b"STNQ",  // polar uncharged
-    b"KRH",   // positively charged
-    b"DE",    // negatively charged
-    b"AGPC",  // small / special
+    b"ILVM", // aliphatic / hydrophobic
+    b"FWY",  // aromatic
+    b"STNQ", // polar uncharged
+    b"KRH",  // positively charged
+    b"DE",   // negatively charged
+    b"AGPC", // small / special
 ];
 
 /// Per-member mutation parameters.
@@ -321,6 +321,9 @@ mod tests {
                 covered[letter_to_code(l).unwrap() as usize] = true;
             }
         }
-        assert!(covered.iter().all(|&c| c), "every residue must be in a group");
+        assert!(
+            covered.iter().all(|&c| c),
+            "every residue must be in a group"
+        );
     }
 }

@@ -30,7 +30,9 @@ impl Protein {
     /// Panics (debug only) if any residue code is out of range.
     pub fn new(id: SeqId, label: impl Into<String>, residues: Vec<u8>) -> Self {
         debug_assert!(
-            residues.iter().all(|&r| (r as usize) < alphabet::ALPHABET_SIZE),
+            residues
+                .iter()
+                .all(|&r| (r as usize) < alphabet::ALPHABET_SIZE),
             "residue code out of range"
         );
         Protein {

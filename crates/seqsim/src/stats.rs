@@ -82,7 +82,11 @@ impl std::fmt::Display for DatasetStats {
         writeln!(f, "sequences:        {}", self.n_sequences)?;
         writeln!(f, "noise singletons: {}", self.n_noise)?;
         writeln!(f, "families:         {}", self.n_families)?;
-        writeln!(f, "family size:      {} (max {})", self.family_size, self.max_family_size)?;
+        writeln!(
+            f,
+            "family size:      {} (max {})",
+            self.family_size, self.max_family_size
+        )?;
         write!(f, "ORF length:       {}", self.orf_len)
     }
 }

@@ -1,9 +1,9 @@
 //! Property tests for the sequence substrate.
 
+use gpclust_seqsim::alphabet::BackgroundSampler;
 use gpclust_seqsim::dna;
 use gpclust_seqsim::fasta;
 use gpclust_seqsim::mutate::MutationModel;
-use gpclust_seqsim::alphabet::BackgroundSampler;
 use gpclust_seqsim::Protein;
 use proptest::prelude::*;
 use rand::rngs::StdRng;

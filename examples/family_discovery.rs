@@ -7,8 +7,8 @@
 
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{kneighbor_clusters, GpClust, ShinglingParams};
-use gpclust::graph::Partition;
 use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::Partition;
 use gpclust::homology::{graph_from_metagenome, HomologyConfig};
 use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
 

@@ -6,8 +6,8 @@
 //! Run with: `cargo run --release --example gpu_vs_serial [n_vertices]`
 
 use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
-use gpclust::graph::generate::{planted_partition, PlantedConfig};
 use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::generate::{planted_partition, PlantedConfig};
 use std::time::Instant;
 
 fn main() {
@@ -26,7 +26,11 @@ fn main() {
         inter_edges_per_vertex: 0.1,
         seed: 5,
     });
-    println!("input graph: {} vertices, {} edges", pg.graph.n(), pg.graph.m());
+    println!(
+        "input graph: {} vertices, {} edges",
+        pg.graph.n(),
+        pg.graph.m()
+    );
 
     let params = ShinglingParams::paper_default(99);
 

@@ -26,7 +26,11 @@ fn main() {
     let t = Instant::now();
     let mg = Metagenome::generate(&MetagenomeConfig::gos_2m_scaled(n, 7));
     fasta::write_file(&fasta_path, &mg.proteins).expect("write FASTA");
-    println!("[{:7.2}s] wrote {} sequences to {fasta_path:?}", t.elapsed().as_secs_f64(), n);
+    println!(
+        "[{:7.2}s] wrote {} sequences to {fasta_path:?}",
+        t.elapsed().as_secs_f64(),
+        n
+    );
     println!("{}", DatasetStats::of(&mg));
 
     // Stage 1: homology graph construction from the FASTA file.
@@ -45,7 +49,10 @@ fn main() {
     // Stage 2: persist the graph (the artifact pClust/gpClust consumes).
     let t = Instant::now();
     gpclust::graph::io::write_file(&graph_path, &graph).expect("write graph");
-    println!("[{:7.2}s] graph written to {graph_path:?}", t.elapsed().as_secs_f64());
+    println!(
+        "[{:7.2}s] graph written to {graph_path:?}",
+        t.elapsed().as_secs_f64()
+    );
 
     // Stage 3: gpClust from disk, with the Table-I style breakdown.
     let gpu = Gpu::new(DeviceConfig::tesla_k20());

@@ -15,8 +15,8 @@ use gpclust::align::profile::{expand_cluster, Pssm};
 use gpclust::align::{GapPenalties, SmithWaterman};
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{GpClust, ShinglingParams};
-use gpclust::graph::Partition;
 use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::Partition;
 use gpclust::homology::{graph_from_metagenome, HomologyConfig};
 use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
 
@@ -86,7 +86,11 @@ fn main() {
     println!("  after expansion:  {after}");
     println!(
         "\nsensitivity {} from {:.2}% to {:.2}% (PPV {:.2}% -> {:.2}%)",
-        if after.se > before.se { "rose" } else { "did not rise" },
+        if after.se > before.se {
+            "rose"
+        } else {
+            "did not rise"
+        },
         before.se * 100.0,
         after.se * 100.0,
         before.ppv * 100.0,

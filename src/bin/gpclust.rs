@@ -4,7 +4,7 @@
 //! gpclust generate    --n 5000 --seed 7 --out data.faa [--truth truth.tsv]
 //! gpclust build-graph --fasta data.faa --out graph.bin [--loose]
 //! gpclust cluster     --graph graph.bin --out clusters.tsv
-//!                     [--serial] [--devices N] [--seed 7]
+//!                     [--serial] [--devices N] [--seed 7] [--overlap]
 //!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
 //! gpclust stats       --graph graph.bin
 //! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
@@ -14,12 +14,12 @@
 //! (unassigned sequences omitted).
 
 use gpclust::core::quality::ConfusionCounts;
-use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
-use gpclust::graph::{io as graph_io, Partition};
+use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShinglingParams};
 use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::{io as graph_io, Partition};
 use gpclust::homology::{graph_from_fasta, HomologyConfig};
-use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
 use gpclust::seqsim::fasta;
+use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
 use std::collections::HashMap;
 use std::io::{BufRead, Write};
 use std::process::ExitCode;
@@ -61,6 +61,7 @@ subcommands:
                                                [--backend kmer|suffix])
   cluster      graph -> clusters              (--graph, --out, [--serial],
                                                [--devices N], [--seed],
+                                               [--overlap] for async streams,
                                                [--s1/--c1/--s2/--c2],
                                                [--min-size])
   stats        Table II statistics            (--graph)
@@ -90,7 +91,9 @@ fn need(args: &Flags, key: &str) -> Result<String, String> {
 }
 
 fn get<T: std::str::FromStr>(args: &Flags, key: &str, default: T) -> T {
-    args.get(key).and_then(|v| v.parse().ok()).unwrap_or(default)
+    args.get(key)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
 }
 
 fn cmd_generate(args: &Flags) -> Result<(), String> {
@@ -143,6 +146,11 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         s2: get(args, "s2", 2),
         c2: get(args, "c2", 100),
         seed: get(args, "seed", 7u64),
+        mode: if args.contains_key("overlap") {
+            PipelineMode::Overlapped
+        } else {
+            PipelineMode::Synchronous
+        },
     };
     let min_size = get(args, "min-size", 1usize);
     let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
@@ -154,7 +162,9 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         let n_devices = get(args, "devices", 1usize);
         if n_devices <= 1 {
             let gpu = Gpu::new(DeviceConfig::tesla_k20());
-            let report = GpClust::new(params, gpu)?.cluster(&g).map_err(|e| e.to_string())?;
+            let report = GpClust::new(params, gpu)?
+                .cluster(&g)
+                .map_err(|e| e.to_string())?;
             eprintln!("component times: {}", report.times);
             report.partition
         } else {
@@ -163,10 +173,7 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                 .collect();
             let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
             let report = multi.cluster(&g).map_err(|e| e.to_string())?;
-            eprintln!(
-                "component times ({} devices): {}",
-                n_devices, report.times
-            );
+            eprintln!("component times ({} devices): {}", n_devices, report.times);
             report.partition
         }
     };
@@ -226,10 +233,19 @@ fn read_partition(path: &str, n: usize) -> Result<Partition, String> {
         let (v, g) = line
             .split_once('\t')
             .ok_or_else(|| format!("{path}:{}: expected `vertex<TAB>cluster`", lineno + 1))?;
-        let v: usize = v.trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
-        let g: u32 = g.trim().parse().map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let v: usize = v
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
+        let g: u32 = g
+            .trim()
+            .parse()
+            .map_err(|e| format!("{path}:{}: {e}", lineno + 1))?;
         if v >= n {
-            return Err(format!("{path}:{}: vertex {v} out of range (n={n})", lineno + 1));
+            return Err(format!(
+                "{path}:{}: vertex {v} out of range (n={n})",
+                lineno + 1
+            ));
         }
         membership[v] = Some(g);
     }

@@ -33,16 +33,25 @@ fn full_cli_workflow() {
     let clusters = dir.join("clusters.tsv");
 
     let (ok, _, err) = run(&[
-        "generate", "--n", "600", "--seed", "5",
-        "--out", faa.to_str().unwrap(),
-        "--truth", truth.to_str().unwrap(),
+        "generate",
+        "--n",
+        "600",
+        "--seed",
+        "5",
+        "--out",
+        faa.to_str().unwrap(),
+        "--truth",
+        truth.to_str().unwrap(),
     ]);
     assert!(ok, "generate failed: {err}");
     assert!(faa.exists() && truth.exists());
 
     let (ok, _, err) = run(&[
-        "build-graph", "--fasta", faa.to_str().unwrap(),
-        "--out", graph.to_str().unwrap(),
+        "build-graph",
+        "--fasta",
+        faa.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
     ]);
     assert!(ok, "build-graph failed: {err}");
 
@@ -51,9 +60,17 @@ fn full_cli_workflow() {
     assert!(stdout.contains("# Edges"), "stats output: {stdout}");
 
     let (ok, _, err) = run(&[
-        "cluster", "--graph", graph.to_str().unwrap(),
-        "--out", clusters.to_str().unwrap(),
-        "--c1", "50", "--c2", "25", "--min-size", "3",
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        clusters.to_str().unwrap(),
+        "--c1",
+        "50",
+        "--c2",
+        "25",
+        "--min-size",
+        "3",
     ]);
     assert!(ok, "cluster failed: {err}");
     let text = std::fs::read_to_string(&clusters).unwrap();
@@ -61,8 +78,13 @@ fn full_cli_workflow() {
     assert!(text.lines().all(|l| l.split('\t').count() == 2));
 
     let (ok, stdout, err) = run(&[
-        "quality", "--test", clusters.to_str().unwrap(),
-        "--benchmark", truth.to_str().unwrap(), "--n", "600",
+        "quality",
+        "--test",
+        clusters.to_str().unwrap(),
+        "--benchmark",
+        truth.to_str().unwrap(),
+        "--n",
+        "600",
     ]);
     assert!(ok, "quality failed: {err}");
     assert!(stdout.contains("PPV"), "quality output: {stdout}");
@@ -75,19 +97,52 @@ fn serial_and_device_cli_agree() {
     let dir = tmpdir("agree");
     let faa = dir.join("mg.faa");
     let graph = dir.join("g.bin");
-    run(&["generate", "--n", "400", "--seed", "9", "--out", faa.to_str().unwrap()]);
-    run(&["build-graph", "--fasta", faa.to_str().unwrap(), "--out", graph.to_str().unwrap()]);
+    run(&[
+        "generate",
+        "--n",
+        "400",
+        "--seed",
+        "9",
+        "--out",
+        faa.to_str().unwrap(),
+    ]);
+    run(&[
+        "build-graph",
+        "--fasta",
+        faa.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
+    ]);
 
     let a = dir.join("a.tsv");
     let b = dir.join("b.tsv");
     let (ok, _, err) = run(&[
-        "cluster", "--graph", graph.to_str().unwrap(), "--out", a.to_str().unwrap(),
-        "--serial", "--c1", "40", "--c2", "20", "--seed", "3",
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        a.to_str().unwrap(),
+        "--serial",
+        "--c1",
+        "40",
+        "--c2",
+        "20",
+        "--seed",
+        "3",
     ]);
     assert!(ok, "{err}");
     let (ok, _, err) = run(&[
-        "cluster", "--graph", graph.to_str().unwrap(), "--out", b.to_str().unwrap(),
-        "--c1", "40", "--c2", "20", "--seed", "3",
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        b.to_str().unwrap(),
+        "--c1",
+        "40",
+        "--c2",
+        "20",
+        "--seed",
+        "3",
     ]);
     assert!(ok, "{err}");
     assert_eq!(
@@ -109,5 +164,8 @@ fn unknown_subcommand_fails_with_usage() {
 fn missing_required_flag_reports_error() {
     let (ok, _, err) = run(&["build-graph", "--fasta", "/nonexistent.faa"]);
     assert!(!ok);
-    assert!(err.contains("--out") || err.contains("missing"), "stderr: {err}");
+    assert!(
+        err.contains("--out") || err.contains("missing"),
+        "stderr: {err}"
+    );
 }

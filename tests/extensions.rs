@@ -7,8 +7,8 @@ use gpclust::core::multi_gpu::MultiGpuClust;
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::weighted::{cluster_weighted, WeightedCsr};
 use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
-use gpclust::graph::Partition;
 use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::Partition;
 use gpclust::homology::{graph_from_metagenome, HomologyConfig};
 use gpclust::seqsim::metagenome::{Metagenome, MetagenomeConfig};
 
@@ -78,7 +78,10 @@ fn multi_gpu_matches_single_on_real_graph() {
     let gpus = (0..2)
         .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
         .collect();
-    let multi = MultiGpuClust::new(params, gpus).unwrap().cluster(&g).unwrap();
+    let multi = MultiGpuClust::new(params, gpus)
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
     assert_eq!(multi.partition, single);
 }
 
@@ -124,7 +127,10 @@ fn timeline_model_consistency_on_real_pipeline() {
     let pipe = pipelined_seconds(&events);
     // Serialized timeline equals the counters' sum (same model).
     let counted = report.times.gpu + report.times.h2d + report.times.d2h;
-    assert!((serial - counted).abs() / counted < 1e-6, "{serial} vs {counted}");
+    assert!(
+        (serial - counted).abs() / counted < 1e-6,
+        "{serial} vs {counted}"
+    );
     assert!(pipe <= serial);
     assert!(pipe >= report.times.gpu - 1e-9);
 }

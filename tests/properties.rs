@@ -2,32 +2,42 @@
 //! clustering pipeline under arbitrary graphs and parameters.
 
 use gpclust::core::quality::ConfusionCounts;
-use gpclust::core::{GpClust, SerialShingling, ShinglingParams};
-use gpclust::graph::{Csr, EdgeList, Partition};
+use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShinglingParams};
 use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::{Csr, EdgeList, Partition};
 use proptest::prelude::*;
 
 /// Strategy: a random undirected graph of up to `max_n` vertices.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
     (2..max_n).prop_flat_map(move |n| {
-        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m)
-            .prop_map(move |pairs| {
-                let mut el: EdgeList = pairs.into_iter().collect();
-                Csr::from_edges(n, &mut el)
-            })
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |pairs| {
+            let mut el: EdgeList = pairs.into_iter().collect();
+            Csr::from_edges(n, &mut el)
+        })
     })
 }
 
 fn arb_params() -> impl Strategy<Value = ShinglingParams> {
-    (1usize..4, 2usize..30, 1usize..4, 2usize..20, 0u64..1000).prop_map(
-        |(s1, c1, s2, c2, seed)| ShinglingParams {
+    (
+        1usize..4,
+        2usize..30,
+        1usize..4,
+        2usize..20,
+        0u64..1000,
+        proptest::bool::ANY,
+    )
+        .prop_map(|(s1, c1, s2, c2, seed, overlapped)| ShinglingParams {
             s1,
             c1,
             s2,
             c2,
             seed,
-        },
-    )
+            mode: if overlapped {
+                PipelineMode::Overlapped
+            } else {
+                PipelineMode::Synchronous
+            },
+        })
 }
 
 proptest! {
@@ -47,18 +57,32 @@ proptest! {
     }
 
     /// Batching never changes results: the tiny device (forced batching)
-    /// agrees with the big one.
+    /// agrees with the big one — even when the tiny device additionally
+    /// runs the double-buffered overlapped schedule.
     #[test]
     fn batching_invariant_on_arbitrary_graphs(
         g in arb_graph(50, 400),
         seed in 0u64..500,
     ) {
-        let params = ShinglingParams { s1: 2, c1: 12, s2: 2, c2: 8, seed };
+        let params = ShinglingParams {
+            s1: 2,
+            c1: 12,
+            s2: 2,
+            c2: 8,
+            seed,
+            mode: PipelineMode::Synchronous,
+        };
         let big = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
             .unwrap().cluster(&g).unwrap();
         let tiny = GpClust::new(params, Gpu::with_workers(DeviceConfig::tiny_test_device(), 2))
             .unwrap().cluster(&g).unwrap();
-        prop_assert_eq!(big.partition, tiny.partition);
+        prop_assert_eq!(&big.partition, &tiny.partition);
+        let tiny_ovl = GpClust::new(
+            params.with_mode(PipelineMode::Overlapped),
+            Gpu::with_workers(DeviceConfig::tiny_test_device(), 2),
+        )
+        .unwrap().cluster(&g).unwrap();
+        prop_assert_eq!(&big.partition, &tiny_ovl.partition);
     }
 
     /// Clusters only ever join vertices of the same connected component.
