@@ -13,7 +13,7 @@
 //!    `<report_dir>/BENCH_overlap.json`. The checked-in copy at the repo
 //!    root was produced with exactly this arithmetic.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, Criterion};
 use gpclust_core::{GpClust, PipelineMode, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu, KernelCost};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};

@@ -6,6 +6,7 @@ use gpclust_core::aggregate::{aggregate, StreamAggregator};
 use gpclust_core::gpu_pass::gpu_shingle_pass;
 use gpclust_core::minwise::HashFamily;
 use gpclust_core::serial::{shingle_pass, shingle_pass_foreach};
+use gpclust_core::ShingleKernel;
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
@@ -40,7 +41,11 @@ fn bench_pass(c: &mut Criterion) {
     });
     let gpu = Gpu::new(DeviceConfig::tesla_k20());
     grp.bench_function("device", |b| {
-        b.iter(|| gpu_shingle_pass(&gpu, &g, 2, &family).unwrap())
+        b.iter(|| gpu_shingle_pass(&gpu, &g, 2, &family, ShingleKernel::SortCompact).unwrap())
+    });
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    grp.bench_function("device_fused_select", |b| {
+        b.iter(|| gpu_shingle_pass(&gpu, &g, 2, &family, ShingleKernel::FusedSelect).unwrap())
     });
     grp.finish();
 }

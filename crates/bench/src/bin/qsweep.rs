@@ -18,7 +18,7 @@ use gpclust_bench::datasets;
 use gpclust_bench::reports::{pct, render_table, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::quality::ConfusionCounts;
-use gpclust_core::{GpClust, PipelineMode, ShinglingParams};
+use gpclust_core::{GpClust, PipelineMode, ShingleKernel, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::Partition;
 use gpclust_homology::HomologyConfig;
@@ -75,6 +75,7 @@ fn main() {
                 c2: (c1 / 2).max(1),
                 seed,
                 mode: PipelineMode::Synchronous,
+                kernel: ShingleKernel::SortCompact,
             };
             eprintln!("clustering with s1={s1}, c1={c1} ...");
             let gpu = Gpu::new(DeviceConfig::tesla_k20());

@@ -15,18 +15,23 @@
 //! shingling passes) against the simulated device time, as the paper does.
 //!
 //! Usage: `table1 [--n <vertices>] [--full] [--seed <u64>] [--skip-20k]
-//!                [--skip-2m] [--overlap]`
+//!                [--skip-2m] [--overlap] [--kernel sort|select]`
 //!
 //! `--overlap` additionally reports the async-transfer ablation (the
 //! paper's stated future work): the timeline-replay bound, plus a real
 //! re-run under `PipelineMode::Overlapped` whose stream makespan is the
 //! scheduled pipelined device time (clusters asserted bit-identical).
+//!
+//! `--kernel select` swaps the segmented sort + compaction for the fused
+//! hash + top-s selection kernel (`ShingleKernel::FusedSelect`): the
+//! device columns drop while the clusters stay bit-identical to the
+//! serial oracle.
 
 use gpclust_bench::datasets;
 use gpclust_bench::reports::{render_table, secs, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::serial::shingle_pass_foreach;
-use gpclust_core::{GpClust, PipelineMode, SerialShingling, ShinglingParams};
+use gpclust_core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::{io as graph_io, Csr};
 use gpclust_homology::HomologyConfig;
@@ -36,6 +41,8 @@ use std::time::Instant;
 #[derive(Debug, Serialize)]
 struct Row {
     graph: String,
+    /// Top-s extraction kernel the device passes ran (`sort` | `select`).
+    kernel: String,
     n_non_singleton: usize,
     n_edges: usize,
     cpu_s: f64,
@@ -56,10 +63,14 @@ struct Row {
     total_speedup: f64,
     gpu_part_speedup: f64,
     n_clusters: usize,
+    /// Batches each device pass split into (`[pass I, pass II]`).
+    n_batches: [u64; 2],
+    /// Per-element device footprint of the active kernel (bytes).
+    elem_footprint_bytes: u64,
 }
 
-fn measure(graph: &Csr, label: &str, seed: u64, overlap: bool) -> Row {
-    let params = ShinglingParams::paper_default(seed);
+fn measure(graph: &Csr, label: &str, seed: u64, overlap: bool, kernel: ShingleKernel) -> Row {
+    let params = ShinglingParams::paper_default(seed).with_kernel(kernel);
 
     // Serial reference: total, and the accelerated part (two passes) alone.
     eprintln!("[{label}] running serial pClust ...");
@@ -129,6 +140,10 @@ fn measure(graph: &Csr, label: &str, seed: u64, overlap: bool) -> Row {
     let n_non_singleton = graph.non_singleton_count();
     Row {
         graph: label.to_string(),
+        kernel: match kernel {
+            ShingleKernel::SortCompact => "sort".into(),
+            ShingleKernel::FusedSelect => "select".into(),
+        },
         n_non_singleton,
         n_edges: graph.m(),
         cpu_s: t.cpu,
@@ -147,12 +162,25 @@ fn measure(graph: &Csr, label: &str, seed: u64, overlap: bool) -> Row {
         total_speedup: serial_s / t.total(),
         gpu_part_speedup: serial_shingling_s / t.gpu,
         n_clusters: report.partition.n_groups(),
+        n_batches: [
+            report.batch_stats[0].n_batches,
+            report.batch_stats[1].n_batches,
+        ],
+        elem_footprint_bytes: t.elem_footprint_bytes,
     }
 }
 
 fn main() {
     let args = Args::parse();
     let seed = args.get("seed", 7u64);
+    let kernel = match args.get("kernel", "sort".to_string()).as_str() {
+        "sort" => ShingleKernel::SortCompact,
+        "select" => ShingleKernel::FusedSelect,
+        other => {
+            eprintln!("--kernel must be `sort` or `select`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
     let mut rows = Vec::new();
 
     if !args.flag("skip-20k") {
@@ -163,7 +191,7 @@ fn main() {
             &mg,
             &HomologyConfig::default(),
         );
-        rows.push(measure(&g, "20K", seed, args.flag("overlap")));
+        rows.push(measure(&g, "20K", seed, args.flag("overlap"), kernel));
     }
 
     if !args.flag("skip-2m") {
@@ -179,19 +207,21 @@ fn main() {
             &format!("2M-like(n={n})"),
             seed,
             args.flag("overlap"),
+            kernel,
         ));
     }
 
     println!("\nTable I — runtime of each component in gpClust (seconds)\n");
     let header = [
-        "graph", "#vert", "#edges", "CPU", "GPU", "c->g", "g->c", "Disk", "Total", "Serial",
-        "speedup", "GPUspd",
+        "graph", "kernel", "#vert", "#edges", "CPU", "GPU", "c->g", "g->c", "Disk", "Total",
+        "Serial", "speedup", "GPUspd",
     ];
     let cells: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
             vec![
                 r.graph.clone(),
+                r.kernel.clone(),
                 r.n_non_singleton.to_string(),
                 r.n_edges.to_string(),
                 secs(r.cpu_s),
@@ -213,6 +243,10 @@ fn main() {
             "[{}] serial shingling = {:.1}% of serial runtime (paper: ~80%)",
             r.graph,
             r.serial_shingling_frac * 100.0
+        );
+        println!(
+            "[{}] kernel {}: pass I {} batch(es), pass II {} batch(es) @ {} B/elem",
+            r.graph, r.kernel, r.n_batches[0], r.n_batches[1], r.elem_footprint_bytes
         );
         if args.flag("overlap") {
             println!(

@@ -10,6 +10,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::params::ShingleKernel;
+
 /// One batch: an element range of the flat adjacency array plus the range
 /// of node (list) indices that intersect it.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -95,16 +97,104 @@ pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
     batches
 }
 
-/// Batch capacity (elements) for a device with `available_bytes` free:
-/// each element needs a `u32` input slot, a `u64` packed workspace slot,
-/// and a second `u32` staging slot so the overlapped pipeline can upload
-/// the *next* batch while the current one computes (double buffering).
-/// The same capacity is used in synchronous mode so both schedules share
-/// one batch plan — the precondition for bit-identical output.
-pub fn batch_capacity(available_bytes: usize) -> usize {
-    const BYTES_PER_ELEM: usize = 4 + 8 + 4; // input + packed workspace + staged next input
-    const HEADROOM: f64 = 0.8; // leave room for top-s output buffers
-    (((available_bytes as f64) * HEADROOM) as usize / BYTES_PER_ELEM).max(1)
+/// Device-memory footprint of one batch element under the given kernel.
+///
+/// * [`ShingleKernel::SortCompact`] — each element needs a `u32` input
+///   slot, a `u64` packed `(hash, vertex)` workspace slot for the
+///   segmented sort, and a second `u32` staging slot so the overlapped
+///   pipeline can upload the *next* batch while the current one computes
+///   (double buffering): `4 + 8 + 4 = 16` bytes.
+/// * [`ShingleKernel::FusedSelect`] — the fused kernel hashes on the fly
+///   and keeps only an s-sized insertion buffer per segment (O(s) per
+///   segment, not per element), so the 8-byte packed workspace disappears
+///   and only the input + staging slots remain: `4 + 4 = 8` bytes.
+pub const fn bytes_per_elem(kernel: ShingleKernel) -> usize {
+    match kernel {
+        ShingleKernel::SortCompact => 4 + 8 + 4, // input + packed workspace + staged next input
+        ShingleKernel::FusedSelect => 4 + 4,     // input + staged next input
+    }
+}
+
+/// Fraction of the available bytes the per-element planner may claim.
+///
+/// The remainder covers the per-segment top-s output buffers (a few bytes
+/// per *list*, not per element — `2·s·4` bytes each — so their worst case
+/// is bounded and small) plus stream events and allocator slack. If an
+/// adversarial graph of near-empty lists blows past the reserve anyway,
+/// the device pass's OOM-retry (drop the staged buffer and re-plan) is
+/// the backstop; the headroom just keeps that path cold.
+pub const HEADROOM: f64 = 0.8;
+
+/// Batch capacity (elements) for a device with `available_bytes` free
+/// under the given kernel's per-element footprint (see
+/// [`bytes_per_elem`]). FusedSelect's footprint is half of SortCompact's,
+/// so it plans ~2× larger batches from the same memory — fewer batches,
+/// fewer transfers, fewer kernel launches.
+///
+/// The same capacity is used by both pipeline modes so the two schedules
+/// share one batch plan — the precondition for bit-identical output.
+pub fn batch_capacity(available_bytes: usize, kernel: ShingleKernel) -> usize {
+    (((available_bytes as f64) * HEADROOM) as usize / bytes_per_elem(kernel)).max(1)
+}
+
+/// Visibility record for a device pass's batch plan: how the capacity
+/// model split the work, so memory-driven splits are never silent.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchStats {
+    /// Number of batches the pass was split into.
+    pub n_batches: u64,
+    /// Elements in the largest batch.
+    pub max_batch_elems: u64,
+    /// Planned per-batch element capacity ([`batch_capacity`]).
+    pub capacity_elems: u64,
+    /// Device bytes per element charged by the active kernel
+    /// ([`bytes_per_elem`]).
+    pub elem_footprint_bytes: u64,
+}
+
+impl BatchStats {
+    /// Stats for a plan produced with the given capacity and kernel.
+    pub fn from_plan(batches: &[Batch], capacity: usize, kernel: ShingleKernel) -> Self {
+        BatchStats {
+            n_batches: batches.len() as u64,
+            max_batch_elems: batches
+                .iter()
+                .map(|b| b.n_elements() as u64)
+                .max()
+                .unwrap_or(0),
+            capacity_elems: capacity as u64,
+            elem_footprint_bytes: bytes_per_elem(kernel) as u64,
+        }
+    }
+
+    /// Worst-case device bytes the plan's largest batch occupies in
+    /// per-element buffers.
+    pub fn max_batch_footprint_bytes(&self) -> u64 {
+        self.max_batch_elems * self.elem_footprint_bytes
+    }
+
+    /// Merge stats from another pass run with the same plan parameters
+    /// (used by multi-GPU, where devices each run a subset of batches).
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.n_batches += other.n_batches;
+        self.max_batch_elems = self.max_batch_elems.max(other.max_batch_elems);
+        self.capacity_elems = self.capacity_elems.max(other.capacity_elems);
+        self.elem_footprint_bytes = self.elem_footprint_bytes.max(other.elem_footprint_bytes);
+    }
+}
+
+impl std::fmt::Display for BatchStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} batch(es), max {} elems (cap {} elems @ {} B/elem, peak {} B)",
+            self.n_batches,
+            self.max_batch_elems,
+            self.capacity_elems,
+            self.elem_footprint_bytes,
+            self.max_batch_footprint_bytes(),
+        )
+    }
 }
 
 #[cfg(test)]
@@ -193,11 +283,54 @@ mod tests {
 
     #[test]
     fn capacity_model_positive_and_monotone() {
-        let small = batch_capacity(64 * 1024);
-        let large = batch_capacity(5 * 1024 * 1024 * 1024);
-        assert!(small >= 1);
-        assert!(large > small);
-        // 5 GB device → batches of a few hundred million elements.
-        assert!(large > 100_000_000);
+        for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+            let small = batch_capacity(64 * 1024, kernel);
+            let large = batch_capacity(5 * 1024 * 1024 * 1024, kernel);
+            assert!(small >= 1);
+            assert!(large > small);
+            // 5 GB device → batches of a few hundred million elements.
+            assert!(large > 100_000_000);
+        }
+    }
+
+    #[test]
+    fn fused_select_doubles_capacity() {
+        assert_eq!(bytes_per_elem(ShingleKernel::SortCompact), 16);
+        assert_eq!(bytes_per_elem(ShingleKernel::FusedSelect), 8);
+        let bytes = 5usize * 1024 * 1024 * 1024;
+        let sort = batch_capacity(bytes, ShingleKernel::SortCompact);
+        let select = batch_capacity(bytes, ShingleKernel::FusedSelect);
+        assert_eq!(select, sort * 2);
+    }
+
+    #[test]
+    fn batch_stats_describe_the_plan() {
+        let bs = plan_batches(&OFFSETS, 4);
+        let stats = BatchStats::from_plan(&bs, 4, ShingleKernel::SortCompact);
+        assert_eq!(stats.n_batches, 3);
+        assert_eq!(stats.max_batch_elems, 4);
+        assert_eq!(stats.capacity_elems, 4);
+        assert_eq!(stats.elem_footprint_bytes, 16);
+        assert_eq!(stats.max_batch_footprint_bytes(), 64);
+        let text = stats.to_string();
+        assert!(text.contains("3 batch(es)"), "{text}");
+        assert!(text.contains("16 B/elem"), "{text}");
+
+        let mut merged = stats;
+        merged.merge(&BatchStats::from_plan(
+            &plan_batches(&OFFSETS, 8),
+            8,
+            ShingleKernel::FusedSelect,
+        ));
+        assert_eq!(merged.n_batches, 3 + 2);
+        assert_eq!(merged.max_batch_elems, 8);
+    }
+
+    #[test]
+    fn empty_plan_stats_are_zero() {
+        let stats = BatchStats::from_plan(&[], 7, ShingleKernel::FusedSelect);
+        assert_eq!(stats.n_batches, 0);
+        assert_eq!(stats.max_batch_elems, 0);
+        assert_eq!(stats.max_batch_footprint_bytes(), 0);
     }
 }

@@ -3,14 +3,23 @@
 //! Per batch of adjacency lists (Figure 4):
 //!
 //! 1. the batch's concatenated elements move host→device once;
-//! 2. for each random trial `h_i ∈ H`:
-//!    a. `thrust::transform` maps every element `v` to the packed pair
-//!    `(h_i(v) << 32) | v` — the random permutation of each list;
-//!    b. a segmented sort orders every list by permuted value;
-//!    c. a compaction kernel extracts the top `min(s, |segment|)` pairs of
-//!    each segment into a dense output buffer;
-//!    d. the output moves device→host immediately ("it is safe to transfer
-//!    the generated shingles back to the host memory after each
+//! 2. for each random trial `h_i ∈ H`, one of two kernel plans extracts
+//!    the top `min(s, |segment|)` pairs of each kept segment into a dense
+//!    output buffer (see [`ShingleKernel`]):
+//!    * [`ShingleKernel::SortCompact`] — the paper's pipeline:
+//!      a. `thrust::transform` maps every element `v` to the packed pair
+//!      `(h_i(v) << 32) | v` — the random permutation of each list;
+//!      b. a segmented sort orders every list by permuted value;
+//!      c. a compaction kernel copies each segment's sorted prefix.
+//!    * [`ShingleKernel::FusedSelect`] — one fused kernel hashes each
+//!      element on the fly and maintains an s-sized insertion buffer per
+//!      segment, writing the selected pairs (ascending — exactly the
+//!      sorted prefix the compaction would have copied) straight to the
+//!      output buffer. No 8-byte packed workspace exists, so
+//!      [`batch_capacity`] plans ~2× larger batches, halving batch count,
+//!      transfer invocations, and kernel launches on memory-bound inputs.
+//! 3. the output moves device→host immediately ("it is safe to
+//!    transfer the generated shingles back to the host memory after each
 //!    iteration for the immediate processing on the CPU side") — this
 //!    per-trial D2H traffic is why *Data g→c* dominates the transfer
 //!    budget in Table I.
@@ -21,6 +30,14 @@
 //! the host, per trial, as each batch's results arrive — so the records
 //! handed to [`crate::aggregate`] are already one-per-(node, trial)
 //! ("grouped"), which lets the aggregation skip its merge sort.
+//!
+//! Both kernels emit **bit-identical records**: shingling only consumes
+//! the `s` smallest permuted values of each list, and the ascending
+//! s-smallest selection equals the sorted prefix, duplicates included.
+//! The batch plan depends on the kernel's per-element footprint, so
+//! cross-kernel runs agree record-for-record whenever they share a
+//! capacity (see the `_with_capacity` entry points) and always agree
+//! after aggregation.
 //!
 //! ## Synchronous vs. overlapped scheduling
 //!
@@ -33,13 +50,14 @@
 //!   over two [`Stream`]s: batch *k+1*'s elements upload on the copy
 //!   stream while batch *k*'s trials run on the compute stream, and each
 //!   trial's compacted output transfers back (and is merged/emitted on the
-//!   host) while the next trial's transform + segmented sort execute. The
-//!   returned makespan — the max of the two stream cursors — is the
-//!   pipelined critical path that the paper's "asynchronous operations
-//!   provided in CUDA C/C++" future work would buy.
+//!   host) while the next trial's kernels execute. The returned makespan —
+//!   the max of the two stream cursors — is the pipelined critical path
+//!   that the paper's "asynchronous operations provided in CUDA C/C++"
+//!   future work would buy.
 
-use crate::batch::{batch_capacity, plan_batches, Batch};
+use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
 use crate::minwise::{hash_with, pack, HashFamily};
+use crate::params::ShingleKernel;
 use crate::shingle::{AdjacencyInput, RawShingles};
 use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream, StreamEvent};
 
@@ -180,24 +198,29 @@ fn emit_trial_records(
     }
 }
 
-/// The shared driver behind both scheduling modes. `streams` is
-/// `Some((compute, copy))` for the double-buffered pipeline, `None` for
-/// the synchronous baseline. The host-side loop structure — batch plan,
-/// trial order, record emission — is identical in both modes, which is
-/// what guarantees bit-identical output; only where the modeled time
-/// lands differs.
+/// The shared driver behind both scheduling modes and both kernels.
+/// `streams` is `Some((compute, copy))` for the double-buffered pipeline,
+/// `None` for the synchronous baseline; `kernel` picks the top-s
+/// extraction plan; `capacity` is the per-batch element budget (normally
+/// [`batch_capacity`] of the device, injectable for tests). The host-side
+/// loop structure — batch plan, trial order, record emission — is
+/// identical across all four combinations, which is what guarantees
+/// bit-identical output; only where the modeled time lands differs.
+#[allow(clippy::too_many_arguments)] // internal driver; public wrappers are narrower
 fn run_device_pass(
     gpu: &Gpu,
     input: &impl AdjacencyInput,
     s: usize,
     family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
     streams: Option<(&Stream, &Stream)>,
     mut f: impl FnMut(u32, u32, &[u64]),
-) -> Result<(), DeviceError> {
+) -> Result<BatchStats, DeviceError> {
     let offsets = input.offsets();
     let flat = input.flat();
-    let capacity = batch_capacity(gpu.mem_available());
     let batches = plan_batches(offsets, capacity);
+    let stats = BatchStats::from_plan(&batches, capacity, kernel);
 
     // Carry buffers for the one adjacency list that can span the current
     // batch boundary: per-trial top candidates of the fragments seen so
@@ -232,7 +255,12 @@ fn run_device_pass(
         } else {
             gpu.htod(&flat[range])?
         };
-        let mut packed_dev = gpu.alloc::<u64>(elems_dev.len())?;
+        // Only the sort path materializes the 8-byte packed workspace;
+        // the fused kernel hashes on the fly.
+        let mut packed_dev = match kernel {
+            ShingleKernel::SortCompact => Some(gpu.alloc::<u64>(elems_dev.len())?),
+            ShingleKernel::FusedSelect => None,
+        };
 
         // Prefetch batch k+1 on the copy stream while batch k computes.
         // Best effort: under memory pressure the upload simply happens at
@@ -252,19 +280,6 @@ fn run_device_pass(
         #[allow(clippy::needless_range_loop)] // trial indexes both family and carry
         for trial in 0..family.len() {
             let (a, b) = family.coeffs(trial);
-            // 2a. Random permutation via the min-wise hash, then
-            // 2b. segmented sort within each adjacency list.
-            if let Some((compute, _)) = streams {
-                thrust::transform_on(compute, &elems_dev, &mut packed_dev, move |v: u32| {
-                    pack(hash_with(a, b, v), v)
-                });
-                thrust::segmented_sort_on(compute, &mut packed_dev, &plan.local_offsets);
-            } else {
-                thrust::transform(gpu, &elems_dev, &mut packed_dev, move |v: u32| {
-                    pack(hash_with(a, b, v), v)
-                });
-                thrust::segmented_sort(gpu, &mut packed_dev, &plan.local_offsets);
-            }
             // The previous trial's output has drained by now; free it
             // before allocating the next so peak memory holds at most one
             // in-flight output buffer.
@@ -279,19 +294,62 @@ fn run_device_pass(
                 }
                 Err(e) => return Err(e),
             };
-            // 2c. Compact the top-s pairs of each kept segment.
-            {
-                let tasks =
-                    compaction_tasks(&plan, packed_dev.device_slice(), out_dev.device_slice_mut());
-                if let Some((compute, _)) = streams {
-                    compute.launch(plan.out_total, &KernelCost::gather(), tasks);
-                } else {
-                    gpu.launch(plan.out_total, &KernelCost::gather(), tasks);
+            match (kernel, &mut packed_dev) {
+                (ShingleKernel::SortCompact, Some(packed_dev)) => {
+                    // 2a. Random permutation via the min-wise hash, then
+                    // 2b. segmented sort within each adjacency list, then
+                    // 2c. compact the top-s pairs of each kept segment.
+                    if let Some((compute, _)) = streams {
+                        thrust::transform_on(compute, &elems_dev, packed_dev, move |v: u32| {
+                            pack(hash_with(a, b, v), v)
+                        });
+                        thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
+                    } else {
+                        thrust::transform(gpu, &elems_dev, packed_dev, move |v: u32| {
+                            pack(hash_with(a, b, v), v)
+                        });
+                        thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
+                    }
+                    let tasks = compaction_tasks(
+                        &plan,
+                        packed_dev.device_slice(),
+                        out_dev.device_slice_mut(),
+                    );
+                    if let Some((compute, _)) = streams {
+                        compute.launch(plan.out_total, &KernelCost::gather(), tasks);
+                    } else {
+                        gpu.launch(plan.out_total, &KernelCost::gather(), tasks);
+                    }
                 }
+                (ShingleKernel::FusedSelect, _) => {
+                    // 2a–c fused: hash + per-segment ascending top-s
+                    // selection straight into the dense output. Identical
+                    // bytes to the sorted prefix the compaction copies.
+                    if let Some((compute, _)) = streams {
+                        thrust::transform_select_on(
+                            compute,
+                            &elems_dev,
+                            &plan.local_offsets,
+                            &plan.out_offsets,
+                            &mut out_dev,
+                            move |v: u32| pack(hash_with(a, b, v), v),
+                        );
+                    } else {
+                        thrust::transform_select(
+                            gpu,
+                            &elems_dev,
+                            &plan.local_offsets,
+                            &plan.out_offsets,
+                            &mut out_dev,
+                            move |v: u32| pack(hash_with(a, b, v), v),
+                        );
+                    }
+                }
+                (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
             }
             // 2d. Per-trial transfer back to the host. Synchronous mode
             // blocks; overlapped mode queues the copy behind the trial's
-            // kernels and lets the next trial's transform start meanwhile.
+            // kernels and lets the next trial's kernels start meanwhile.
             let host_out = if let Some((compute, copy)) = streams {
                 copy.wait_event(&compute.record_event());
                 let data = copy.dtoh_async(&out_dev);
@@ -310,39 +368,87 @@ fn run_device_pass(
         };
     }
     debug_assert!(carry_node.is_none(), "carry must drain by the final batch");
-    Ok(())
+    Ok(stats)
 }
 
 /// Run one full shingling pass on the device with synchronous (Thrust 1.5
 /// style) transfers, streaming each finalized `(trial, node, top-s pairs)`
 /// record to `f`. Records arrive grouped (one per `(trial, node)`, boundary
-/// fragments already merged) with exactly `s` sorted pairs.
+/// fragments already merged) with exactly `s` sorted pairs. Returns the
+/// pass's [`BatchStats`] so capacity-driven splits are visible.
 pub fn gpu_shingle_pass_foreach(
     gpu: &Gpu,
     input: &impl AdjacencyInput,
     s: usize,
     family: &HashFamily,
+    kernel: ShingleKernel,
     f: impl FnMut(u32, u32, &[u64]),
-) -> Result<(), DeviceError> {
-    run_device_pass(gpu, input, s, family, None, f)
+) -> Result<BatchStats, DeviceError> {
+    let capacity = batch_capacity(gpu.mem_available(), kernel);
+    gpu_shingle_pass_foreach_with_capacity(gpu, input, s, family, kernel, capacity, f)
+}
+
+/// [`gpu_shingle_pass_foreach`] with an explicit per-batch element
+/// capacity instead of the device-derived one. Two runs that share a
+/// capacity share a batch plan and therefore emit record-identical
+/// streams regardless of kernel — the lever the bit-identity proptests
+/// pull.
+pub fn gpu_shingle_pass_foreach_with_capacity(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+    f: impl FnMut(u32, u32, &[u64]),
+) -> Result<BatchStats, DeviceError> {
+    run_device_pass(gpu, input, s, family, kernel, capacity, None, f)
 }
 
 /// Run one full shingling pass as a double-buffered two-stream pipeline.
 /// Emits records bit-identically to [`gpu_shingle_pass_foreach`] (same
-/// batch plan, same host-side loop order) and returns the pass's modeled
-/// **pipelined makespan** in seconds: the max of the compute and copy
-/// stream cursors once both drain.
+/// batch plan, same host-side loop order) and returns the pass's
+/// [`BatchStats`] plus its modeled **pipelined makespan** in seconds: the
+/// max of the compute and copy stream cursors once both drain.
 pub fn gpu_shingle_pass_overlapped_foreach(
     gpu: &Gpu,
     input: &impl AdjacencyInput,
     s: usize,
     family: &HashFamily,
+    kernel: ShingleKernel,
     f: impl FnMut(u32, u32, &[u64]),
-) -> Result<f64, DeviceError> {
+) -> Result<(BatchStats, f64), DeviceError> {
+    let capacity = batch_capacity(gpu.mem_available(), kernel);
+    gpu_shingle_pass_overlapped_foreach_with_capacity(gpu, input, s, family, kernel, capacity, f)
+}
+
+/// [`gpu_shingle_pass_overlapped_foreach`] with an explicit per-batch
+/// element capacity (see [`gpu_shingle_pass_foreach_with_capacity`]).
+pub fn gpu_shingle_pass_overlapped_foreach_with_capacity(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+    f: impl FnMut(u32, u32, &[u64]),
+) -> Result<(BatchStats, f64), DeviceError> {
     let compute = gpu.stream("shingle-compute");
     let copy = gpu.stream("shingle-copy");
-    run_device_pass(gpu, input, s, family, Some((&compute, &copy)), f)?;
-    Ok(compute.completed_seconds().max(copy.completed_seconds()))
+    let stats = run_device_pass(
+        gpu,
+        input,
+        s,
+        family,
+        kernel,
+        capacity,
+        Some((&compute, &copy)),
+        f,
+    )?;
+    Ok((
+        stats,
+        compute.completed_seconds().max(copy.completed_seconds()),
+    ))
 }
 
 /// Run one full shingling pass on the device, materializing the records.
@@ -352,11 +458,37 @@ pub fn gpu_shingle_pass(
     input: &impl AdjacencyInput,
     s: usize,
     family: &HashFamily,
+    kernel: ShingleKernel,
 ) -> Result<RawShingles, DeviceError> {
     let mut raw = RawShingles::new(s);
-    gpu_shingle_pass_foreach(gpu, input, s, family, |trial, node, pairs| {
+    gpu_shingle_pass_foreach(gpu, input, s, family, kernel, |trial, node, pairs| {
         raw.push(trial, node, pairs);
     })?;
+    raw.mark_grouped();
+    Ok(raw)
+}
+
+/// [`gpu_shingle_pass`] with an explicit per-batch element capacity.
+pub fn gpu_shingle_pass_with_capacity(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+) -> Result<RawShingles, DeviceError> {
+    let mut raw = RawShingles::new(s);
+    gpu_shingle_pass_foreach_with_capacity(
+        gpu,
+        input,
+        s,
+        family,
+        kernel,
+        capacity,
+        |trial, node, pairs| {
+            raw.push(trial, node, pairs);
+        },
+    )?;
     raw.mark_grouped();
     Ok(raw)
 }
@@ -368,12 +500,19 @@ pub fn gpu_shingle_pass_overlapped(
     input: &impl AdjacencyInput,
     s: usize,
     family: &HashFamily,
+    kernel: ShingleKernel,
 ) -> Result<(RawShingles, f64), DeviceError> {
     let mut raw = RawShingles::new(s);
-    let makespan =
-        gpu_shingle_pass_overlapped_foreach(gpu, input, s, family, |trial, node, pairs| {
+    let (_, makespan) = gpu_shingle_pass_overlapped_foreach(
+        gpu,
+        input,
+        s,
+        family,
+        kernel,
+        |trial, node, pairs| {
             raw.push(trial, node, pairs);
-        })?;
+        },
+    )?;
     raw.mark_grouped();
     Ok((raw, makespan))
 }
@@ -387,6 +526,8 @@ mod tests {
     use gpclust_graph::generate::{planted_partition, PlantedConfig};
     use gpclust_graph::Csr;
 
+    const KERNELS: [ShingleKernel; 2] = [ShingleKernel::SortCompact, ShingleKernel::FusedSelect];
+
     fn planted_graph(seed: u64) -> Csr {
         planted_partition(&PlantedConfig {
             group_sizes: vec![30, 20, 25],
@@ -399,53 +540,67 @@ mod tests {
         .graph
     }
 
-    /// The GPU pass must aggregate to exactly the serial pass's result.
-    #[test]
-    fn matches_serial_oracle_single_batch() {
-        let g = planted_graph(1);
-        let family = HashFamily::new(25, 9);
-        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 3);
-        let serial = aggregate(&shingle_pass(&g, 2, &family));
-        let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family).unwrap());
-        assert_eq!(serial, device);
-    }
-
-    /// The tiny device (64 KiB) forces many batches and split lists; the
-    /// merged result must still equal the serial oracle.
-    #[test]
-    fn matches_serial_oracle_with_forced_batching() {
+    fn batching_graph(seed: u64) -> Csr {
         // ~8k edges → ~16k adjacency elements, several times the tiny
-        // device's ~3.2k-element batch capacity.
-        let g = planted_partition(&PlantedConfig {
+        // device's batch capacity under either kernel.
+        planted_partition(&PlantedConfig {
             group_sizes: vec![120, 100, 80],
             n_noise_vertices: 20,
             p_intra: 0.5,
             max_intra_degree: f64::MAX,
             inter_edges_per_vertex: 1.0,
-            seed: 2,
+            seed,
         })
-        .graph;
-        let family = HashFamily::new(12, 4);
-        let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        .graph
+    }
+
+    /// The GPU pass must aggregate to exactly the serial pass's result —
+    /// under both kernels.
+    #[test]
+    fn matches_serial_oracle_single_batch() {
+        let g = planted_graph(1);
+        let family = HashFamily::new(25, 9);
         let serial = aggregate(&shingle_pass(&g, 2, &family));
-        let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family).unwrap());
-        assert_eq!(serial, device);
-        assert!(
-            gpu.counters().h2d_transfers > 1,
-            "tiny device must have batched"
-        );
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 3);
+            let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap());
+            assert_eq!(serial, device, "{kernel:?}");
+        }
+    }
+
+    /// The tiny device (64 KiB) forces many batches and split lists; the
+    /// merged result must still equal the serial oracle — under both
+    /// kernels.
+    #[test]
+    fn matches_serial_oracle_with_forced_batching() {
+        let g = batching_graph(2);
+        let family = HashFamily::new(12, 4);
+        let serial = aggregate(&shingle_pass(&g, 2, &family));
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap());
+            assert_eq!(serial, device, "{kernel:?}");
+            assert!(
+                gpu.counters().h2d_transfers > 1,
+                "tiny device must have batched ({kernel:?})"
+            );
+        }
     }
 
     #[test]
     fn deterministic_across_worker_counts() {
         let g = planted_graph(3);
         let family = HashFamily::new(8, 5);
-        let mut results = Vec::new();
-        for workers in [1usize, 4] {
-            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
-            results.push(aggregate(&gpu_shingle_pass(&gpu, &g, 3, &family).unwrap()));
+        for kernel in KERNELS {
+            let mut results = Vec::new();
+            for workers in [1usize, 4] {
+                let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+                results.push(aggregate(
+                    &gpu_shingle_pass(&gpu, &g, 3, &family, kernel).unwrap(),
+                ));
+            }
+            assert_eq!(results[0], results[1], "{kernel:?}");
         }
-        assert_eq!(results[0], results[1]);
     }
 
     #[test]
@@ -453,22 +608,26 @@ mod tests {
         let g = planted_graph(4);
         let c = 10;
         let family = HashFamily::new(c, 6);
-        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        gpu_shingle_pass(&gpu, &g, 2, &family).unwrap();
-        let snap = gpu.counters();
-        // One D2H per trial per batch (single batch here).
-        assert_eq!(snap.d2h_transfers, c as u64);
-        assert_eq!(snap.h2d_transfers, 1);
-        assert!(snap.d2h_seconds > 0.0);
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap();
+            let snap = gpu.counters();
+            // One D2H per trial per batch (single batch here).
+            assert_eq!(snap.d2h_transfers, c as u64, "{kernel:?}");
+            assert_eq!(snap.h2d_transfers, 1, "{kernel:?}");
+            assert!(snap.d2h_seconds > 0.0, "{kernel:?}");
+        }
     }
 
     #[test]
     fn s_larger_than_all_degrees_yields_nothing() {
         let g = planted_graph(5);
         let family = HashFamily::new(5, 7);
-        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let raw = gpu_shingle_pass(&gpu, &g, 10_000, &family).unwrap();
-        assert!(aggregate(&raw).is_empty());
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let raw = gpu_shingle_pass(&gpu, &g, 10_000, &family, kernel).unwrap();
+            assert!(aggregate(&raw).is_empty(), "{kernel:?}");
+        }
     }
 
     #[test]
@@ -476,40 +635,38 @@ mod tests {
         let mut el = gpclust_graph::EdgeList::new();
         let g = Csr::from_edges(5, &mut el);
         let family = HashFamily::new(3, 8);
-        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
-        let raw = gpu_shingle_pass(&gpu, &g, 2, &family).unwrap();
-        assert!(raw.is_empty());
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+            let raw = gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap();
+            assert!(raw.is_empty(), "{kernel:?}");
+        }
     }
 
     /// The overlapped pipeline must produce bit-identical records — same
     /// values, same emission order — on both the one-batch K20 and the
-    /// tiny device that forces multi-batch double buffering.
+    /// tiny device that forces multi-batch double buffering, under both
+    /// kernels.
     #[test]
     fn overlapped_bit_identical_to_synchronous() {
-        let g = planted_partition(&PlantedConfig {
-            group_sizes: vec![120, 100, 80],
-            n_noise_vertices: 20,
-            p_intra: 0.5,
-            max_intra_degree: f64::MAX,
-            inter_edges_per_vertex: 1.0,
-            seed: 11,
-        })
-        .graph;
+        let g = batching_graph(11);
         let family = HashFamily::new(12, 4);
-        for config in [DeviceConfig::tesla_k20(), DeviceConfig::tiny_test_device()] {
-            let gpu_sync = Gpu::with_workers(config.clone(), 2);
-            let gpu_ovl = Gpu::with_workers(config, 2);
-            let sync = gpu_shingle_pass(&gpu_sync, &g, 2, &family).unwrap();
-            let (ovl, makespan) = gpu_shingle_pass_overlapped(&gpu_ovl, &g, 2, &family).unwrap();
-            assert_eq!(sync, ovl);
-            assert!(makespan > 0.0);
-            // Transfer traffic (counts and bytes) is also identical when no
-            // prefetch had to be retried.
-            let a = gpu_sync.counters();
-            let b = gpu_ovl.counters();
-            assert_eq!(a.h2d_bytes, b.h2d_bytes);
-            assert_eq!(a.d2h_bytes, b.d2h_bytes);
-            assert_eq!(a.kernel_launches, b.kernel_launches);
+        for kernel in KERNELS {
+            for config in [DeviceConfig::tesla_k20(), DeviceConfig::tiny_test_device()] {
+                let gpu_sync = Gpu::with_workers(config.clone(), 2);
+                let gpu_ovl = Gpu::with_workers(config, 2);
+                let sync = gpu_shingle_pass(&gpu_sync, &g, 2, &family, kernel).unwrap();
+                let (ovl, makespan) =
+                    gpu_shingle_pass_overlapped(&gpu_ovl, &g, 2, &family, kernel).unwrap();
+                assert_eq!(sync, ovl, "{kernel:?}");
+                assert!(makespan > 0.0);
+                // Transfer traffic (counts and bytes) is also identical when
+                // no prefetch had to be retried.
+                let a = gpu_sync.counters();
+                let b = gpu_ovl.counters();
+                assert_eq!(a.h2d_bytes, b.h2d_bytes, "{kernel:?}");
+                assert_eq!(a.d2h_bytes, b.d2h_bytes, "{kernel:?}");
+                assert_eq!(a.kernel_launches, b.kernel_launches, "{kernel:?}");
+            }
         }
     }
 
@@ -520,22 +677,135 @@ mod tests {
     fn overlapped_makespan_beats_serialized_path() {
         let g = planted_graph(6);
         let family = HashFamily::new(20, 9);
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let (_, makespan) = gpu_shingle_pass_overlapped(&gpu, &g, 2, &family, kernel).unwrap();
+            let snap = gpu.counters();
+            let serialized = snap.serialized_device_seconds();
+            assert!(
+                makespan < serialized,
+                "pipelined {makespan} must beat serialized {serialized} ({kernel:?})"
+            );
+            assert!(
+                makespan >= snap.kernel_seconds - 1e-6,
+                "pipelined {makespan} cannot beat the kernel-only lower bound ({kernel:?})"
+            );
+            // All transfers were issued asynchronously.
+            assert!(snap.d2h_overlapped_seconds > 0.0);
+            assert!((snap.d2h_overlapped_seconds - snap.d2h_seconds).abs() < 1e-9);
+            assert!((snap.h2d_overlapped_seconds - snap.h2d_seconds).abs() < 1e-9);
+            assert_eq!(snap.blocking_transfer_seconds(), 0.0);
+        }
+    }
+
+    /// At a shared (forced) capacity the two kernels share a batch plan
+    /// and must emit **record-identical streams**, while the fused kernel
+    /// does strictly less device work: one launch per (batch, trial)
+    /// instead of three, and less modeled kernel time.
+    #[test]
+    fn fused_select_bit_identical_and_cheaper_at_equal_capacity() {
+        let g = batching_graph(7);
+        let family = HashFamily::new(10, 3);
+        let cap = 1500; // forces several batches with split lists
+        let gpu_sort = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let gpu_sel = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let sort = gpu_shingle_pass_with_capacity(
+            &gpu_sort,
+            &g,
+            2,
+            &family,
+            ShingleKernel::SortCompact,
+            cap,
+        )
+        .unwrap();
+        let sel = gpu_shingle_pass_with_capacity(
+            &gpu_sel,
+            &g,
+            2,
+            &family,
+            ShingleKernel::FusedSelect,
+            cap,
+        )
+        .unwrap();
+        assert_eq!(sort, sel);
+        let a = gpu_sort.counters();
+        let b = gpu_sel.counters();
+        assert!(
+            b.kernel_launches < a.kernel_launches,
+            "fused {} vs sort {}",
+            b.kernel_launches,
+            a.kernel_launches
+        );
+        assert!(
+            b.kernel_seconds < a.kernel_seconds,
+            "fused {} s vs sort {} s",
+            b.kernel_seconds,
+            a.kernel_seconds
+        );
+        // Transfer traffic is identical under a shared plan.
+        assert_eq!(a.h2d_bytes, b.h2d_bytes);
+        assert_eq!(a.d2h_bytes, b.d2h_bytes);
+    }
+
+    /// With device-derived capacities the fused kernel's halved footprint
+    /// plans ~2× larger batches: fewer batches, fewer H2D invocations.
+    #[test]
+    fn fused_select_plans_larger_batches() {
+        let g = batching_graph(8);
+        let family = HashFamily::new(6, 2);
+        let gpu_sort = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let gpu_sel = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let mut n_sort = 0u64;
+        let sort_stats = gpu_shingle_pass_foreach(
+            &gpu_sort,
+            &g,
+            2,
+            &family,
+            ShingleKernel::SortCompact,
+            |_, _, _| n_sort += 1,
+        )
+        .unwrap();
+        let mut n_sel = 0u64;
+        let sel_stats = gpu_shingle_pass_foreach(
+            &gpu_sel,
+            &g,
+            2,
+            &family,
+            ShingleKernel::FusedSelect,
+            |_, _, _| n_sel += 1,
+        )
+        .unwrap();
+        assert_eq!(n_sort, n_sel);
+        // Halved footprint → ~2× capacity (±1 from integer division).
+        assert!(sel_stats.capacity_elems >= 2 * sort_stats.capacity_elems - 1);
+        assert!(
+            sel_stats.n_batches < sort_stats.n_batches,
+            "select {} batches vs sort {}",
+            sel_stats.n_batches,
+            sort_stats.n_batches
+        );
+        assert!(gpu_sel.counters().h2d_transfers < gpu_sort.counters().h2d_transfers);
+        assert_eq!(sel_stats.elem_footprint_bytes, 8);
+        assert_eq!(sort_stats.elem_footprint_bytes, 16);
+    }
+
+    /// BatchStats reflect the actual plan on an unconstrained device.
+    #[test]
+    fn batch_stats_single_batch_on_k20() {
+        let g = planted_graph(9);
+        let family = HashFamily::new(4, 1);
         let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let (_, makespan) = gpu_shingle_pass_overlapped(&gpu, &g, 2, &family).unwrap();
-        let snap = gpu.counters();
-        let serialized = snap.serialized_device_seconds();
-        assert!(
-            makespan < serialized,
-            "pipelined {makespan} must beat serialized {serialized}"
-        );
-        assert!(
-            makespan >= snap.kernel_seconds - 1e-6,
-            "pipelined {makespan} cannot beat the kernel-only lower bound"
-        );
-        // All transfers were issued asynchronously.
-        assert!(snap.d2h_overlapped_seconds > 0.0);
-        assert!((snap.d2h_overlapped_seconds - snap.d2h_seconds).abs() < 1e-9);
-        assert!((snap.h2d_overlapped_seconds - snap.h2d_seconds).abs() < 1e-9);
-        assert_eq!(snap.blocking_transfer_seconds(), 0.0);
+        let stats = gpu_shingle_pass_foreach(
+            &gpu,
+            &g,
+            2,
+            &family,
+            ShingleKernel::SortCompact,
+            |_, _, _| {},
+        )
+        .unwrap();
+        assert_eq!(stats.n_batches, 1);
+        assert_eq!(stats.max_batch_elems, g.flat().len() as u64);
+        assert!(stats.capacity_elems >= stats.max_batch_elems);
     }
 }

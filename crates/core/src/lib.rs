@@ -57,7 +57,8 @@ pub mod timing;
 pub mod weighted;
 
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
-pub use params::{PipelineMode, ShinglingParams};
+pub use batch::BatchStats;
+pub use params::{PipelineMode, ShingleKernel, ShinglingParams};
 pub use pipeline::{GpClust, GpClustReport};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;

@@ -20,9 +20,9 @@
 //! to the single-device pipeline in either mode (tests assert it).
 
 use crate::aggregate::aggregate;
-use crate::batch::{batch_capacity, plan_batches, Batch};
+use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
 use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::{PipelineMode, ShinglingParams};
+use crate::params::{PipelineMode, ShingleKernel, ShinglingParams};
 use crate::report;
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::timing::StageTimes;
@@ -45,6 +45,9 @@ pub struct MultiGpuReport {
     pub times: StageTimes,
     /// Per-device simulated kernel seconds (load-balance diagnostics).
     pub per_device_gpu_seconds: Vec<f64>,
+    /// How each pass was split into batches (`[pass I, pass II]`) at the
+    /// fleet-wide capacity (smallest device, configured kernel).
+    pub batch_stats: [BatchStats; 2],
 }
 
 impl MultiGpuClust {
@@ -69,14 +72,16 @@ impl MultiGpuClust {
         }
         let wall_start = std::time::Instant::now();
 
-        let (raw1, pipe1) = self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
+        let (raw1, pipe1, stats1) =
+            self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
         let first = aggregate(&raw1);
         drop(raw1);
 
         // Pass II records may hold cross-device fragments, so Phase III
         // goes through the generic (merging) aggregation and the
         // materialized reporting path.
-        let (raw2, pipe2) = self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
+        let (raw2, pipe2, stats2) =
+            self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
         let second = aggregate(&raw2);
         drop(raw2);
         let partition = report::partition_clusters(g.n(), &first, &second);
@@ -94,38 +99,45 @@ impl MultiGpuClust {
             d2h: max(|s| s.d2h_seconds),
             disk_io: 0.0,
             device_pipelined: 0.0,
+            ..Default::default()
         };
         times.device_pipelined = match self.params.mode {
             PipelineMode::Synchronous => times.device_serialized(),
             PipelineMode::Overlapped => pipe1 + pipe2,
         };
+        times.record_batch_stats(&stats1);
+        times.record_batch_stats(&stats2);
         Ok(MultiGpuReport {
             partition,
             times,
             per_device_gpu_seconds,
+            batch_stats: [stats1, stats2],
         })
     }
 
     /// One shingling pass with batches dealt round-robin across devices,
-    /// one host thread per device. Returns the merged record stream and
-    /// the pass's pipelined makespan (max over devices; 0 in synchronous
-    /// mode, where the serialized counter sum stands in for it).
+    /// one host thread per device. Returns the merged record stream, the
+    /// pass's pipelined makespan (max over devices; 0 in synchronous
+    /// mode, where the serialized counter sum stands in for it), and the
+    /// pass-wide batch-plan stats.
     fn multi_pass(
         &self,
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
-    ) -> Result<(RawShingles, f64), DeviceError> {
+    ) -> Result<(RawShingles, f64, BatchStats), DeviceError> {
         let offsets = input.offsets();
         let flat = input.flat();
+        let kernel = self.params.kernel;
         // Use the smallest device's capacity so every batch fits anywhere.
         let capacity = self
             .gpus
             .iter()
-            .map(|g| batch_capacity(g.mem_available()))
+            .map(|g| batch_capacity(g.mem_available(), kernel))
             .min()
             .expect("at least one device");
         let batches = plan_batches(offsets, capacity);
+        let stats = BatchStats::from_plan(&batches, capacity, kernel);
         let n_dev = self.gpus.len();
         let overlapped = self.params.mode == PipelineMode::Overlapped;
 
@@ -142,7 +154,17 @@ impl MultiGpuClust {
                         let mut raw = RawShingles::new(s);
                         for batch in batches.iter().skip(d).step_by(n_dev) {
                             let stream_refs = streams.as_ref().map(|(c, p)| (c, p));
-                            run_batch(gpu, batch, offsets, flat, s, family, stream_refs, &mut raw)?;
+                            run_batch(
+                                gpu,
+                                batch,
+                                offsets,
+                                flat,
+                                s,
+                                family,
+                                kernel,
+                                stream_refs,
+                                &mut raw,
+                            )?;
                         }
                         let makespan = streams.map_or(0.0, |(c, p)| {
                             c.completed_seconds().max(p.completed_seconds())
@@ -165,7 +187,7 @@ impl MultiGpuClust {
             }
             makespan = makespan.max(*m);
         }
-        Ok((raw, makespan))
+        Ok((raw, makespan, stats))
     }
 }
 
@@ -183,6 +205,7 @@ fn run_batch(
     flat: &[u32],
     s: usize,
     family: &HashFamily,
+    kernel: ShingleKernel,
     streams: Option<(&Stream, &Stream)>,
     raw: &mut RawShingles,
 ) -> Result<(), DeviceError> {
@@ -214,45 +237,71 @@ fn run_batch(
         }
         None => gpu.htod(host_elems)?,
     };
-    let mut packed_dev = gpu.alloc::<u64>(elems_dev.len())?;
+    // Only the sort path materializes the packed workspace; the fused
+    // kernel hashes on the fly.
+    let mut packed_dev = match kernel {
+        ShingleKernel::SortCompact => Some(gpu.alloc::<u64>(elems_dev.len())?),
+        ShingleKernel::FusedSelect => None,
+    };
     // The buffer whose async download is still "in flight" — kept alive
     // for one trial (stream semantics), freed before the next allocation.
     let mut prev_out: Option<DeviceBuffer<u64>> = None;
     for trial in 0..family.len() {
         let (a, b) = family.coeffs(trial);
         let xform = move |v: u32| pack(hash_with(a, b, v), v);
-        match streams {
-            Some((compute, _)) => {
-                thrust::transform_on(compute, &elems_dev, &mut packed_dev, xform);
-                thrust::segmented_sort_on(compute, &mut packed_dev, &local_offsets);
-            }
-            None => {
-                thrust::transform(gpu, &elems_dev, &mut packed_dev, xform);
-                thrust::segmented_sort(gpu, &mut packed_dev, &local_offsets);
-            }
-        }
         prev_out = None;
         let mut out_dev = gpu.alloc::<u64>(out_total)?;
-        {
-            let src = packed_dev.device_slice();
-            let dst = out_dev.device_slice_mut();
-            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-            let mut rest = dst;
-            for i in 0..n_segs {
-                let k = out_offsets[i + 1] - out_offsets[i];
-                if k == 0 {
-                    continue;
+        match (kernel, &mut packed_dev) {
+            (ShingleKernel::SortCompact, Some(packed_dev)) => {
+                match streams {
+                    Some((compute, _)) => {
+                        thrust::transform_on(compute, &elems_dev, packed_dev, xform);
+                        thrust::segmented_sort_on(compute, packed_dev, &local_offsets);
+                    }
+                    None => {
+                        thrust::transform(gpu, &elems_dev, packed_dev, xform);
+                        thrust::segmented_sort(gpu, packed_dev, &local_offsets);
+                    }
                 }
-                let (head, tail) = rest.split_at_mut(k);
-                rest = tail;
-                let seg_lo = local_offsets[i] as usize;
-                let src_top = &src[seg_lo..seg_lo + k];
-                tasks.push(Box::new(move || head.copy_from_slice(src_top)));
+                let src = packed_dev.device_slice();
+                let dst = out_dev.device_slice_mut();
+                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+                let mut rest = dst;
+                for i in 0..n_segs {
+                    let k = out_offsets[i + 1] - out_offsets[i];
+                    if k == 0 {
+                        continue;
+                    }
+                    let (head, tail) = rest.split_at_mut(k);
+                    rest = tail;
+                    let seg_lo = local_offsets[i] as usize;
+                    let src_top = &src[seg_lo..seg_lo + k];
+                    tasks.push(Box::new(move || head.copy_from_slice(src_top)));
+                }
+                match streams {
+                    Some((compute, _)) => compute.launch(out_total, &KernelCost::gather(), tasks),
+                    None => gpu.launch(out_total, &KernelCost::gather(), tasks),
+                }
             }
-            match streams {
-                Some((compute, _)) => compute.launch(out_total, &KernelCost::gather(), tasks),
-                None => gpu.launch(out_total, &KernelCost::gather(), tasks),
-            }
+            (ShingleKernel::FusedSelect, _) => match streams {
+                Some((compute, _)) => thrust::transform_select_on(
+                    compute,
+                    &elems_dev,
+                    &local_offsets,
+                    &out_offsets,
+                    &mut out_dev,
+                    xform,
+                ),
+                None => thrust::transform_select(
+                    gpu,
+                    &elems_dev,
+                    &local_offsets,
+                    &out_offsets,
+                    &mut out_dev,
+                    xform,
+                ),
+            },
+            (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
         }
         let host_out = match streams {
             Some((compute, copy)) => {
@@ -364,6 +413,52 @@ mod tests {
         let multi = MultiGpuClust::new(base.with_mode(PipelineMode::Overlapped), gpus).unwrap();
         let ovl = multi.cluster(&g).unwrap();
         assert_eq!(ovl.partition, single.partition);
+    }
+
+    #[test]
+    fn fused_select_matches_across_devices_and_modes() {
+        let g = graph(43);
+        let params = ShinglingParams::light(19);
+        let single = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+            let gpus = (0..3)
+                .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+                .collect();
+            let multi = MultiGpuClust::new(
+                params
+                    .with_mode(mode)
+                    .with_kernel(ShingleKernel::FusedSelect),
+                gpus,
+            )
+            .unwrap();
+            let report = multi.cluster(&g).unwrap();
+            assert_eq!(report.partition, single.partition, "{mode:?}");
+            assert_eq!(report.batch_stats[0].elem_footprint_bytes, 8);
+            assert!(report.times.n_batches > 0);
+        }
+    }
+
+    #[test]
+    fn fused_select_plans_fewer_batches_across_the_fleet() {
+        let g = graph(45);
+        let params = ShinglingParams::light(21);
+        let run = |kernel| {
+            let gpus = (0..2)
+                .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+                .collect();
+            MultiGpuClust::new(params.with_kernel(kernel), gpus)
+                .unwrap()
+                .cluster(&g)
+                .unwrap()
+        };
+        let sort = run(ShingleKernel::SortCompact);
+        let sel = run(ShingleKernel::FusedSelect);
+        assert_eq!(sort.partition, sel.partition);
+        assert!(sel.times.n_batches < sort.times.n_batches);
+        assert!(sel.times.gpu < sort.times.gpu);
     }
 
     #[test]

@@ -24,6 +24,27 @@ pub enum PipelineMode {
     Overlapped,
 }
 
+/// Which device kernel extracts the top-s pairs of each adjacency list.
+///
+/// Both kernels produce **bit-identical shingle records** — Shingling only
+/// ever consumes the `s` smallest permuted values of each list, and the
+/// `s`-smallest set (sorted ascending, duplicates included) is the same
+/// whether it comes from a full segmented sort or a direct selection.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ShingleKernel {
+    /// The paper's pipeline: `thrust::transform` into a packed `u64`
+    /// workspace, a full `O(d log d)` segmented sort per trial, then a
+    /// gather compacting each segment's sorted prefix. Kept as the oracle.
+    #[default]
+    SortCompact,
+    /// Fused hash + segmented top-s selection: one `O(d)` kernel per trial
+    /// hashes each element and maintains an s-sized insertion buffer per
+    /// segment, writing the selected pairs straight to the output buffer.
+    /// No 8-byte packed workspace is materialized, so
+    /// [`crate::batch::batch_capacity`] plans roughly 2× larger batches.
+    FusedSelect,
+}
+
 /// Parameters of the two-pass Shingling algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShinglingParams {
@@ -42,6 +63,10 @@ pub struct ShinglingParams {
     /// bit-identical across modes).
     #[serde(default)]
     pub mode: PipelineMode,
+    /// Which top-s extraction kernel the device passes run (results are
+    /// bit-identical across kernels; cost model and batch plan differ).
+    #[serde(default)]
+    pub kernel: ShingleKernel,
 }
 
 impl ShinglingParams {
@@ -54,6 +79,7 @@ impl ShinglingParams {
             c2: 100,
             seed,
             mode: PipelineMode::Synchronous,
+            kernel: ShingleKernel::SortCompact,
         }
     }
 
@@ -66,12 +92,19 @@ impl ShinglingParams {
             c2: 20,
             seed,
             mode: PipelineMode::Synchronous,
+            kernel: ShingleKernel::SortCompact,
         }
     }
 
     /// This parameter set with the given pipeline mode.
     pub fn with_mode(mut self, mode: PipelineMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// This parameter set with the given top-s extraction kernel.
+    pub fn with_kernel(mut self, kernel: ShingleKernel) -> Self {
+        self.kernel = kernel;
         self
     }
 
@@ -147,6 +180,22 @@ mod tests {
         let ovl = p.with_mode(PipelineMode::Overlapped);
         assert_eq!(ovl.mode, PipelineMode::Overlapped);
         assert_eq!((ovl.s1, ovl.c1, ovl.seed), (2, 200, 7));
+    }
+
+    #[test]
+    fn kernel_defaults_to_sort_compact_including_serde() {
+        assert_eq!(ShingleKernel::default(), ShingleKernel::SortCompact);
+        assert_eq!(
+            ShinglingParams::paper_default(3).kernel,
+            ShingleKernel::SortCompact
+        );
+        // Configs written before the knob existed still deserialize.
+        let legacy = r#"{"s1":2,"c1":200,"s2":2,"c2":100,"seed":7}"#;
+        let p: ShinglingParams = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.kernel, ShingleKernel::SortCompact);
+        let sel = p.with_kernel(ShingleKernel::FusedSelect);
+        assert_eq!(sel.kernel, ShingleKernel::FusedSelect);
+        assert_eq!((sel.s1, sel.c1, sel.seed), (2, 200, 7));
     }
 
     #[test]

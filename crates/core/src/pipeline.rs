@@ -16,6 +16,7 @@
 //! from the CPU column — that time stands in for the device, not the host).
 
 use crate::aggregate::StreamAggregator;
+use crate::batch::BatchStats;
 use crate::gpu_pass::{gpu_shingle_pass_foreach, gpu_shingle_pass_overlapped_foreach};
 use crate::minwise::unpack_element;
 use crate::params::{PipelineMode, ShinglingParams};
@@ -49,6 +50,9 @@ pub struct GpClustReport {
     /// distinct-|S2| count is not tracked: pass II streams straight into
     /// the union–find without materializing G″.
     pub second_level_records: u64,
+    /// How the capacity model split each device pass into batches
+    /// (`[pass I, pass II]`) under the configured kernel.
+    pub batch_stats: [BatchStats; 2],
 }
 
 impl GpClust {
@@ -85,10 +89,11 @@ impl GpClust {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::OutOfMemory, e.to_string()))
     }
 
-    /// One device shingling pass under the configured schedule. In
-    /// `Overlapped` mode the pass's pipelined makespan is added to
-    /// `pipelined`; in `Synchronous` mode `pipelined` is left untouched
-    /// (the serialized counter sum stands in for it at report time).
+    /// One device shingling pass under the configured schedule and
+    /// kernel. In `Overlapped` mode the pass's pipelined makespan is
+    /// added to `pipelined`; in `Synchronous` mode `pipelined` is left
+    /// untouched (the serialized counter sum stands in for it at report
+    /// time). Returns the pass's batch-plan stats.
     fn device_pass(
         &self,
         input: &impl AdjacencyInput,
@@ -96,12 +101,17 @@ impl GpClust {
         family: &crate::minwise::HashFamily,
         pipelined: &mut f64,
         f: impl FnMut(u32, u32, &[u64]),
-    ) -> Result<(), DeviceError> {
+    ) -> Result<BatchStats, DeviceError> {
+        let kernel = self.params.kernel;
         match self.params.mode {
-            PipelineMode::Synchronous => gpu_shingle_pass_foreach(&self.gpu, input, s, family, f),
+            PipelineMode::Synchronous => {
+                gpu_shingle_pass_foreach(&self.gpu, input, s, family, kernel, f)
+            }
             PipelineMode::Overlapped => {
-                *pipelined += gpu_shingle_pass_overlapped_foreach(&self.gpu, input, s, family, f)?;
-                Ok(())
+                let (stats, makespan) =
+                    gpu_shingle_pass_overlapped_foreach(&self.gpu, input, s, family, kernel, f)?;
+                *pipelined += makespan;
+                Ok(stats)
             }
         }
     }
@@ -113,7 +123,7 @@ impl GpClust {
 
         // Pass I on the device, streamed into the CPU aggregation.
         let mut agg1 = StreamAggregator::new(self.params.s1);
-        self.device_pass(
+        let stats1 = self.device_pass(
             g,
             self.params.s1,
             &self.params.family_pass1(),
@@ -126,7 +136,7 @@ impl GpClust {
         // union–find — G″ is never materialized (see report module docs).
         let mut uf = UnionFind::new(g.n());
         let mut second_level_records = 0u64;
-        self.device_pass(
+        let stats2 = self.device_pass(
             &first,
             self.params.s2,
             &self.params.family_pass2(),
@@ -151,20 +161,24 @@ impl GpClust {
             PipelineMode::Synchronous => counters.serialized_device_seconds(),
             PipelineMode::Overlapped => pipelined,
         };
-        let times = StageTimes {
+        let mut times = StageTimes {
             cpu,
             gpu: counters.kernel_seconds,
             h2d: counters.h2d_seconds,
             d2h: counters.d2h_seconds,
             disk_io,
             device_pipelined,
+            ..Default::default()
         };
+        times.record_batch_stats(&stats1);
+        times.record_batch_stats(&stats2);
         Ok(GpClustReport {
             partition,
             times,
             counters,
             first_level_shingles: first.len(),
             second_level_records,
+            batch_stats: [stats1, stats2],
         })
     }
 }
@@ -238,6 +252,66 @@ mod tests {
         // The async copies are all accounted in the overlap sub-accounts.
         assert!(ovl.counters.h2d_overlapped_seconds > 0.0);
         assert!(ovl.counters.d2h_overlapped_seconds > 0.0);
+    }
+
+    #[test]
+    fn fused_select_kernel_matches_sort_compact_end_to_end() {
+        use crate::params::ShingleKernel;
+        let g = graph(26);
+        let params = ShinglingParams::light(82);
+        for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+            let sort_report = GpClust::new(
+                params.with_mode(mode),
+                Gpu::with_workers(DeviceConfig::tiny_test_device(), 2),
+            )
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+            let sel_report = GpClust::new(
+                params
+                    .with_mode(mode)
+                    .with_kernel(ShingleKernel::FusedSelect),
+                Gpu::with_workers(DeviceConfig::tiny_test_device(), 2),
+            )
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+            assert_eq!(sort_report.partition, sel_report.partition, "{mode:?}");
+            // Halved footprint → fewer (or equal) batches, and less
+            // modeled kernel time on the O(d) selection.
+            assert_eq!(sel_report.times.elem_footprint_bytes, 8);
+            assert_eq!(sort_report.times.elem_footprint_bytes, 16);
+            assert!(sel_report.times.n_batches <= sort_report.times.n_batches);
+            assert!(sel_report.times.gpu < sort_report.times.gpu, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn report_carries_batch_stats() {
+        // Several times the tiny device's batch capacity, so pass I must
+        // split.
+        let g = planted_partition(&PlantedConfig {
+            group_sizes: vec![120, 100, 80],
+            n_noise_vertices: 20,
+            p_intra: 0.5,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed: 27,
+        })
+        .graph;
+        let params = ShinglingParams::light(83);
+        let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+        assert!(
+            report.batch_stats[0].n_batches > 1,
+            "tiny device must split"
+        );
+        assert!(report.batch_stats[1].n_batches >= 1);
+        assert_eq!(
+            report.times.n_batches,
+            report.batch_stats[0].n_batches + report.batch_stats[1].n_batches
+        );
+        assert!(report.times.max_batch_elems > 0);
     }
 
     #[test]

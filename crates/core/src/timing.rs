@@ -60,6 +60,26 @@ pub struct StageTimes {
     /// stream makespan, which is what transfer/compute overlap buys.
     #[serde(default)]
     pub device_pipelined: f64,
+    /// Batches across both device passes (capacity-driven splits must
+    /// never be silent; see [`crate::batch::BatchStats`]).
+    #[serde(default)]
+    pub n_batches: u64,
+    /// Elements in the largest batch of either pass.
+    #[serde(default)]
+    pub max_batch_elems: u64,
+    /// Per-element device-memory footprint of the active kernel (bytes;
+    /// see [`crate::batch::bytes_per_elem`]).
+    #[serde(default)]
+    pub elem_footprint_bytes: u64,
+}
+
+impl StageTimes {
+    /// Fold a device pass's batch plan into the visibility fields.
+    pub fn record_batch_stats(&mut self, stats: &crate::batch::BatchStats) {
+        self.n_batches += stats.n_batches;
+        self.max_batch_elems = self.max_batch_elems.max(stats.max_batch_elems);
+        self.elem_footprint_bytes = self.elem_footprint_bytes.max(stats.elem_footprint_bytes);
+    }
 }
 
 impl StageTimes {
@@ -95,14 +115,17 @@ impl std::fmt::Display for StageTimes {
         write!(
             f,
             "CPU {:.2}s | GPU {:.4}s | c→g {:.4}s | g→c {:.4}s | disk {:.3}s | total {:.2}s \
-             | device pipelined {:.4}s",
+             | device pipelined {:.4}s | {} batch(es), max {} elems @ {} B/elem",
             self.cpu,
             self.gpu,
             self.h2d,
             self.d2h,
             self.disk_io,
             self.total(),
-            self.device_pipelined
+            self.device_pipelined,
+            self.n_batches,
+            self.max_batch_elems,
+            self.elem_footprint_bytes
         )
     }
 }
@@ -132,6 +155,7 @@ mod tests {
             d2h: 0.75,
             disk_io: 0.5,
             device_pipelined: 2.25,
+            ..Default::default()
         };
         assert!((t.total() - 4.5).abs() < 1e-12);
         assert!((t.device_serialized() - 3.0).abs() < 1e-12);
@@ -142,8 +166,38 @@ mod tests {
     #[test]
     fn display_mentions_all_components() {
         let s = StageTimes::default().to_string();
-        for needle in ["CPU", "GPU", "c→g", "g→c", "disk", "total", "pipelined"] {
+        for needle in [
+            "CPU",
+            "GPU",
+            "c→g",
+            "g→c",
+            "disk",
+            "total",
+            "pipelined",
+            "batch",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn batch_stats_fold_into_stage_times() {
+        let mut t = StageTimes::default();
+        t.record_batch_stats(&crate::batch::BatchStats {
+            n_batches: 3,
+            max_batch_elems: 1000,
+            capacity_elems: 1024,
+            elem_footprint_bytes: 16,
+        });
+        t.record_batch_stats(&crate::batch::BatchStats {
+            n_batches: 2,
+            max_batch_elems: 500,
+            capacity_elems: 1024,
+            elem_footprint_bytes: 16,
+        });
+        assert_eq!(t.n_batches, 5);
+        assert_eq!(t.max_batch_elems, 1000);
+        assert_eq!(t.elem_footprint_bytes, 16);
+        assert!(t.to_string().contains("5 batch(es)"));
     }
 }

@@ -13,7 +13,7 @@
 
 use gpclust_core::gpu_pass::{gpu_shingle_pass, gpu_shingle_pass_overlapped};
 use gpclust_core::minwise::HashFamily;
-use gpclust_core::{GpClust, PipelineMode, ShinglingParams};
+use gpclust_core::{GpClust, PipelineMode, ShingleKernel, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
@@ -79,13 +79,20 @@ proptest! {
         sizes in proptest::collection::vec(10usize..60, 1..4),
         graph_seed in 0u64..500,
         family_seed in 0u64..500,
+        fused in proptest::bool::ANY,
     ) {
         let g = planted(sizes, 10, graph_seed);
         let family = HashFamily::new(8, family_seed ^ 0xABCD);
+        let kernel = if fused {
+            ShingleKernel::FusedSelect
+        } else {
+            ShingleKernel::SortCompact
+        };
         let sync_gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-        let sync = gpu_shingle_pass(&sync_gpu, &g, 2, &family).unwrap();
+        let sync = gpu_shingle_pass(&sync_gpu, &g, 2, &family, kernel).unwrap();
         let ovl_gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-        let (ovl, makespan) = gpu_shingle_pass_overlapped(&ovl_gpu, &g, 2, &family).unwrap();
+        let (ovl, makespan) =
+            gpu_shingle_pass_overlapped(&ovl_gpu, &g, 2, &family, kernel).unwrap();
         prop_assert_eq!(sync, ovl);
         prop_assert!(makespan > 0.0);
     }
@@ -99,7 +106,8 @@ fn overlapped_d2h_accounted_but_off_critical_path() {
     let g = planted(vec![60, 45, 30], 20, 99);
     let family = HashFamily::new(16, 0x5EED);
     let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-    let (_, makespan) = gpu_shingle_pass_overlapped(&gpu, &g, 2, &family).unwrap();
+    let (_, makespan) =
+        gpu_shingle_pass_overlapped(&gpu, &g, 2, &family, ShingleKernel::SortCompact).unwrap();
     let snap = gpu.counters();
 
     // Every transfer of the pass was issued asynchronously: the overlap

@@ -96,6 +96,27 @@ impl KernelCost {
         }
     }
 
+    /// Fused hash-transform + per-segment top-k selection: one streaming
+    /// read of the raw elements with an s-sized insertion buffer per
+    /// segment held in registers/shared memory, and a dense O(s)-per-
+    /// segment write — the select-don't-sort shape of min-wise sketching
+    /// (Broder et al.). Compute is the hash (~8 ops) plus a short insertion
+    /// probe (~4 ops amortized: most elements fail the `v < buf[k-1]` test
+    /// after the buffer warms up); memory is the 4-byte coalesced input
+    /// read plus the amortized dense output write. Divergence models warps
+    /// straddling uneven segment boundaries, same as the segmented sort.
+    /// Contrast with [`KernelCost::segmented_sort`]: no radix passes over
+    /// an 8-byte packed workspace, so per element this kernel is roughly an
+    /// order of magnitude cheaper on both roofline axes.
+    pub fn segmented_select() -> Self {
+        KernelCost {
+            ops_per_element: 12.0,
+            bytes_per_element: 10.0,
+            divergence_factor: 1.5,
+            coalescing_factor: 1.0,
+        }
+    }
+
     /// Key-grouped reduction over sorted input (one scan pass).
     pub fn reduce_by_key() -> Self {
         KernelCost {

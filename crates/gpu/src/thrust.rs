@@ -238,6 +238,213 @@ pub fn segmented_sort_on<T: Pod + Ord>(
     stream.launch(n, &KernelCost::segmented_sort(), tasks);
 }
 
+/// Write the `w.len()` smallest mapped values of `seg`, ascending, into
+/// `w`. An insertion-sorted k-buffer — the paper's own top-s approach
+/// ("the small values of s expected to be used in practice, typically
+/// under 10, justify a simple insertion sort-based approach"), here run
+/// per segment inside the kernel instead of after a full sort. For values
+/// that tie, the result is the same multiset the sort-then-truncate oracle
+/// keeps, so outputs are bit-identical to sorting and taking the prefix.
+fn select_smallest_into<T: Pod, U: Pod + Ord, F>(seg: &[T], w: &mut [U], f: &F)
+where
+    F: Fn(T) -> U,
+{
+    let k = w.len();
+    if k == 0 {
+        return;
+    }
+    let mut filled = 0usize;
+    for &x in seg {
+        let v = f(x);
+        if filled < k {
+            let mut i = filled;
+            while i > 0 && w[i - 1] > v {
+                w[i] = w[i - 1];
+                i -= 1;
+            }
+            w[i] = v;
+            filled += 1;
+        } else if v < w[k - 1] {
+            let mut i = k - 1;
+            while i > 0 && w[i - 1] > v {
+                w[i] = w[i - 1];
+                i -= 1;
+            }
+            w[i] = v;
+        }
+    }
+    debug_assert_eq!(filled, k, "selection count exceeds segment length");
+}
+
+/// Per-segment output offsets for a uniform top-`k` selection: segment `i`
+/// contributes `min(k, |segment i|)` output slots. The returned vector has
+/// the same length as `seg_offsets` and its last entry is the dense output
+/// size.
+pub fn select_out_offsets(seg_offsets: &[u64], k: usize) -> Vec<usize> {
+    assert!(!seg_offsets.is_empty(), "offsets must contain at least [0]");
+    let mut out = Vec::with_capacity(seg_offsets.len());
+    out.push(0usize);
+    for w in seg_offsets.windows(2) {
+        let len = (w[1] - w[0]) as usize;
+        out.push(out.last().unwrap() + len.min(k));
+    }
+    out
+}
+
+/// Build the per-block tasks of a fused transform + segmented top-k
+/// selection (shared by the four select variants). Segments are grouped
+/// into contiguous ~[`BLOCK_ELEMS`]-input-element tasks, exactly like
+/// [`segmented_sort`], so skewed segment sizes stay balanced; each task
+/// borrows a disjoint window of the dense output.
+fn transform_select_tasks<'a, T: Pod, U: Pod + Ord, F>(
+    input: &'a DeviceBuffer<T>,
+    seg_offsets: &'a [u64],
+    out_offsets: &'a [usize],
+    out: &'a mut DeviceBuffer<U>,
+    f: &'a F,
+) -> Vec<Box<dyn FnOnce() + Send + 'a>>
+where
+    F: Fn(T) -> U + Sync,
+{
+    assert!(!seg_offsets.is_empty(), "offsets must contain at least [0]");
+    assert_eq!(
+        *seg_offsets.last().unwrap() as usize,
+        input.len(),
+        "offsets must cover the buffer"
+    );
+    assert_eq!(
+        out_offsets.len(),
+        seg_offsets.len(),
+        "one output offset per segment boundary"
+    );
+    assert_eq!(
+        *out_offsets.last().unwrap(),
+        out.len(),
+        "output offsets must cover the output buffer"
+    );
+    for (i, (s, o)) in seg_offsets
+        .windows(2)
+        .zip(out_offsets.windows(2))
+        .enumerate()
+    {
+        let seg_len = (s[1] - s[0]) as usize;
+        let k = o[1]
+            .checked_sub(o[0])
+            .expect("output offsets must be monotone");
+        assert!(
+            k <= seg_len,
+            "segment {i}: selection count {k} exceeds segment length {seg_len}"
+        );
+    }
+    let src = input.device_slice();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + 'a>> = Vec::new();
+    let mut rest = out.device_slice_mut();
+    let mut consumed_out = 0usize;
+    let mut seg_lo = 0usize;
+    while seg_lo + 1 < seg_offsets.len() {
+        let mut seg_hi = seg_lo + 1;
+        while seg_hi + 1 < seg_offsets.len()
+            && (seg_offsets[seg_hi] - seg_offsets[seg_lo]) < BLOCK_ELEMS as u64
+        {
+            seg_hi += 1;
+        }
+        let out_start = out_offsets[seg_lo];
+        let (head, tail) = rest.split_at_mut(out_offsets[seg_hi] - consumed_out);
+        rest = tail;
+        debug_assert_eq!(consumed_out, out_start);
+        consumed_out = out_offsets[seg_hi];
+        let seg_window = &seg_offsets[seg_lo..=seg_hi];
+        let out_window = &out_offsets[seg_lo..=seg_hi];
+        tasks.push(Box::new(move || {
+            for i in 0..seg_window.len() - 1 {
+                let seg = &src[seg_window[i] as usize..seg_window[i + 1] as usize];
+                let w = &mut head[out_window[i] - out_start..out_window[i + 1] - out_start];
+                select_smallest_into(seg, w, f);
+            }
+        }));
+        seg_lo = seg_hi;
+    }
+    tasks
+}
+
+/// Fused elementwise map + segmented top-k selection in **one kernel
+/// pass**: for each segment `i` of `input` (delimited by `seg_offsets`),
+/// write the `out_offsets[i+1] - out_offsets[i]` smallest values of
+/// `f(element)`, ascending, into the dense `out`. Replaces the
+/// transform → segmented-sort → compaction trio of the shingling hot path
+/// with a single `O(d)`-per-segment launch, and never materializes the
+/// mapped values of non-selected elements — there is no full-width packed
+/// workspace.
+///
+/// Per-segment selection counts may be any value `≤` the segment length
+/// (zero skips the segment entirely); use [`select_out_offsets`] for the
+/// uniform `min(k, |segment|)` layout.
+///
+/// # Panics
+/// Panics if the offsets don't cover the buffers or a selection count
+/// exceeds its segment length.
+pub fn transform_select<T: Pod, U: Pod + Ord, F>(
+    gpu: &Gpu,
+    input: &DeviceBuffer<T>,
+    seg_offsets: &[u64],
+    out_offsets: &[usize],
+    out: &mut DeviceBuffer<U>,
+    f: F,
+) where
+    F: Fn(T) -> U + Sync,
+{
+    let n = input.len();
+    let tasks = transform_select_tasks(input, seg_offsets, out_offsets, out, &f);
+    gpu.launch(n, &KernelCost::segmented_select(), tasks);
+}
+
+/// [`transform_select`] issued on a stream: identical data effect, modeled
+/// time charged to the stream's cursor.
+pub fn transform_select_on<T: Pod, U: Pod + Ord, F>(
+    stream: &Stream,
+    input: &DeviceBuffer<T>,
+    seg_offsets: &[u64],
+    out_offsets: &[usize],
+    out: &mut DeviceBuffer<U>,
+    f: F,
+) where
+    F: Fn(T) -> U + Sync,
+{
+    let n = input.len();
+    let tasks = transform_select_tasks(input, seg_offsets, out_offsets, out, &f);
+    stream.launch(n, &KernelCost::segmented_select(), tasks);
+}
+
+/// Segmented k-smallest selection: for each segment of `input`, write its
+/// `out_offsets[i+1] - out_offsets[i]` smallest values, ascending, into
+/// the dense `out` — identical output to sorting each segment and taking
+/// its prefix, in `O(d·s)` per segment instead of `O(d log d)`.
+///
+/// # Panics
+/// Panics if the offsets don't cover the buffers or a selection count
+/// exceeds its segment length.
+pub fn segmented_select_k<T: Pod + Ord>(
+    gpu: &Gpu,
+    input: &DeviceBuffer<T>,
+    seg_offsets: &[u64],
+    out_offsets: &[usize],
+    out: &mut DeviceBuffer<T>,
+) {
+    transform_select(gpu, input, seg_offsets, out_offsets, out, |x| x);
+}
+
+/// [`segmented_select_k`] issued on a stream: identical data effect,
+/// modeled time charged to the stream's cursor.
+pub fn segmented_select_k_on<T: Pod + Ord>(
+    stream: &Stream,
+    input: &DeviceBuffer<T>,
+    seg_offsets: &[u64],
+    out_offsets: &[usize],
+    out: &mut DeviceBuffer<T>,
+) {
+    transform_select_on(stream, input, seg_offsets, out_offsets, out, |x| x);
+}
+
 /// `out[i] = src[indices[i]]` (like `thrust::gather`).
 pub fn gather<T: Pod>(
     gpu: &Gpu,
@@ -555,6 +762,202 @@ mod tests {
         let g = gpu();
         let mut buf = g.htod(&[1u64, 2, 3]).unwrap();
         segmented_sort(&g, &mut buf, &[0, 2]);
+    }
+
+    /// Sort-then-truncate oracle for the select primitives.
+    fn select_oracle(data: &[u64], offsets: &[u64], k: usize) -> Vec<u64> {
+        let mut expected = Vec::new();
+        for w in offsets.windows(2) {
+            let mut seg = data[w[0] as usize..w[1] as usize].to_vec();
+            seg.sort_unstable();
+            seg.truncate(k);
+            expected.extend(seg);
+        }
+        expected
+    }
+
+    #[test]
+    fn segmented_select_matches_sort_truncate_oracle() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(21);
+        // Random segment structure incl. empty segments and duplicates.
+        let mut offsets = vec![0u64];
+        let mut data: Vec<u64> = Vec::new();
+        for _ in 0..500 {
+            let len = rng.gen_range(0..40);
+            for _ in 0..len {
+                data.push(rng.gen_range(0..50)); // tight range → many duplicates
+            }
+            offsets.push(data.len() as u64);
+        }
+        for k in [1usize, 2, 3, 7] {
+            let out_offsets = select_out_offsets(&offsets, k);
+            let input = g.htod(&data).unwrap();
+            let mut out = g.alloc::<u64>(*out_offsets.last().unwrap()).unwrap();
+            segmented_select_k(&g, &input, &offsets, &out_offsets, &mut out);
+            assert_eq!(g.dtoh(&out), select_oracle(&data, &offsets, k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn segmented_select_k_larger_than_segment_yields_whole_segment_sorted() {
+        let g = gpu();
+        let data = vec![5u64, 3, 9, /*|*/ 2, 1, /*|*/ 8];
+        let offsets = vec![0u64, 3, 5, 6];
+        // k = 10 > every segment length: each segment comes back whole,
+        // sorted — min(k, |segment|) slots per segment.
+        let out_offsets = select_out_offsets(&offsets, 10);
+        assert_eq!(out_offsets, vec![0, 3, 5, 6]);
+        let input = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(6).unwrap();
+        segmented_select_k(&g, &input, &offsets, &out_offsets, &mut out);
+        assert_eq!(g.dtoh(&out), vec![3, 5, 9, 1, 2, 8]);
+    }
+
+    #[test]
+    fn segmented_select_empty_segments_and_empty_input() {
+        let g = gpu();
+        // All-empty segments.
+        let input = g.htod::<u64>(&[]).unwrap();
+        let offsets = vec![0u64, 0, 0, 0];
+        let out_offsets = select_out_offsets(&offsets, 2);
+        assert_eq!(out_offsets, vec![0, 0, 0, 0]);
+        let mut out = g.alloc::<u64>(0).unwrap();
+        segmented_select_k(&g, &input, &offsets, &out_offsets, &mut out);
+        assert!(g.dtoh(&out).is_empty());
+        // Empty segments interleaved with real ones.
+        let data = vec![4u64, 2, 9];
+        let offsets = vec![0u64, 0, 3, 3];
+        let out_offsets = select_out_offsets(&offsets, 2);
+        let input = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(2).unwrap();
+        segmented_select_k(&g, &input, &offsets, &out_offsets, &mut out);
+        assert_eq!(g.dtoh(&out), vec![2, 4]);
+    }
+
+    #[test]
+    fn segmented_select_single_huge_segment() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(22);
+        let data: Vec<u64> = (0..200_000).map(|_| rng.gen()).collect();
+        let offsets = vec![0u64, data.len() as u64];
+        let out_offsets = select_out_offsets(&offsets, 5);
+        let input = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(5).unwrap();
+        segmented_select_k(&g, &input, &offsets, &out_offsets, &mut out);
+        assert_eq!(g.dtoh(&out), select_oracle(&data, &offsets, 5));
+    }
+
+    #[test]
+    fn segmented_select_deterministic_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(23);
+        let data: Vec<u64> = (0..50_000).map(|_| rng.gen_range(0..100)).collect();
+        let offsets: Vec<u64> = (0..=100).map(|i| i * 500).collect();
+        let out_offsets = select_out_offsets(&offsets, 2);
+        let mut results = Vec::new();
+        for workers in [1usize, 2, 7] {
+            let g = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+            let input = g.htod(&data).unwrap();
+            let mut out = g.alloc::<u64>(*out_offsets.last().unwrap()).unwrap();
+            segmented_select_k(&g, &input, &offsets, &out_offsets, &mut out);
+            results.push(g.dtoh(&out));
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn transform_select_fuses_map_and_selection() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(24);
+        let data: Vec<u32> = (0..30_000).map(|_| rng.gen()).collect();
+        let offsets: Vec<u64> = (0..=60).map(|i| i * 500).collect();
+        let f = |v: u32| ((v.wrapping_mul(2_654_435_761) as u64) << 32) | v as u64;
+        // Oracle: transform into a full workspace, segmented sort, truncate.
+        let mapped: Vec<u64> = data.iter().map(|&v| f(v)).collect();
+        let expected = select_oracle(&mapped, &offsets, 2);
+        let out_offsets = select_out_offsets(&offsets, 2);
+        let input = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(*out_offsets.last().unwrap()).unwrap();
+        transform_select(&g, &input, &offsets, &out_offsets, &mut out, f);
+        assert_eq!(g.dtoh(&out), expected);
+    }
+
+    #[test]
+    fn transform_select_honors_per_segment_zero_counts() {
+        let g = gpu();
+        let data = vec![7u32, 1, 9, /*|*/ 4, 2, /*|*/ 8, 3];
+        let offsets = vec![0u64, 3, 5, 7];
+        // Middle segment skipped entirely (k = 0), as the shingling pass
+        // does for interior segments shorter than s.
+        let out_offsets = vec![0usize, 2, 2, 4];
+        let input = g.htod(&data).unwrap();
+        let mut out = g.alloc::<u64>(4).unwrap();
+        transform_select(&g, &input, &offsets, &out_offsets, &mut out, |v| v as u64);
+        assert_eq!(g.dtoh(&out), vec![1, 7, 3, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the buffer")]
+    fn segmented_select_rejects_bad_seg_offsets() {
+        let g = gpu();
+        let input = g.htod(&[1u64, 2, 3]).unwrap();
+        let mut out = g.alloc::<u64>(2).unwrap();
+        segmented_select_k(&g, &input, &[0, 2], &[0, 2], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds segment length")]
+    fn segmented_select_rejects_overlong_selection() {
+        let g = gpu();
+        let input = g.htod(&[1u64, 2, 3]).unwrap();
+        let mut out = g.alloc::<u64>(5).unwrap();
+        // Asks for 5 outputs from a 3-element segment.
+        segmented_select_k(&g, &input, &[0, 3], &[0, 5], &mut out);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover the output buffer")]
+    fn segmented_select_rejects_mismatched_output() {
+        let g = gpu();
+        let input = g.htod(&[1u64, 2, 3]).unwrap();
+        let mut out = g.alloc::<u64>(3).unwrap();
+        segmented_select_k(&g, &input, &[0, 3], &[0, 2], &mut out);
+    }
+
+    #[test]
+    fn select_stream_variants_match_sync_variants() {
+        let g = gpu();
+        let s = g.stream("compute");
+        let mut rng = StdRng::seed_from_u64(25);
+        let data: Vec<u32> = (0..50_000).map(|_| rng.gen_range(0..1_000)).collect();
+        let offsets: Vec<u64> = (0..=50).map(|i| i * 1_000).collect();
+        let out_offsets = select_out_offsets(&offsets, 3);
+        let f = |v: u32| (v as u64).rotate_left(7);
+        let input = g.htod(&data).unwrap();
+        let n_out = *out_offsets.last().unwrap();
+        let mut out_sync = g.alloc::<u64>(n_out).unwrap();
+        transform_select(&g, &input, &offsets, &out_offsets, &mut out_sync, f);
+        let mut out_stream = g.alloc::<u64>(n_out).unwrap();
+        transform_select_on(&s, &input, &offsets, &out_offsets, &mut out_stream, f);
+        assert_eq!(g.dtoh(&out_sync), g.dtoh(&out_stream));
+        assert!(s.completed_seconds() > 0.0);
+    }
+
+    #[test]
+    fn select_cost_model_beats_sort_path() {
+        // The whole point of the fused kernel: per element it must be
+        // modeled far cheaper than transform + segmented sort + gather.
+        let g = gpu();
+        let n = 10_000_000usize;
+        let sort_path = g.model_kernel_seconds(n, &KernelCost::transform())
+            + g.model_kernel_seconds(n, &KernelCost::segmented_sort())
+            + g.model_kernel_seconds(n / 10, &KernelCost::gather());
+        let select_path = g.model_kernel_seconds(n, &KernelCost::segmented_select());
+        assert!(
+            select_path * 3.0 < sort_path,
+            "fused select {select_path} not ≪ sort path {sort_path}"
+        );
     }
 
     #[test]

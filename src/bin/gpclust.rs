@@ -5,6 +5,7 @@
 //! gpclust build-graph --fasta data.faa --out graph.bin [--loose]
 //! gpclust cluster     --graph graph.bin --out clusters.tsv
 //!                     [--serial] [--devices N] [--seed 7] [--overlap]
+//!                     [--kernel sort|select]
 //!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
 //! gpclust stats       --graph graph.bin
 //! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
@@ -14,7 +15,7 @@
 //! (unassigned sequences omitted).
 
 use gpclust::core::quality::ConfusionCounts;
-use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShinglingParams};
+use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
 use gpclust::gpu::{DeviceConfig, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
 use gpclust::homology::{graph_from_fasta, HomologyConfig};
@@ -62,6 +63,8 @@ subcommands:
   cluster      graph -> clusters              (--graph, --out, [--serial],
                                                [--devices N], [--seed],
                                                [--overlap] for async streams,
+                                               [--kernel sort|select] for the
+                                               top-s extraction kernel,
                                                [--s1/--c1/--s2/--c2],
                                                [--min-size])
   stats        Table II statistics            (--graph)
@@ -137,6 +140,17 @@ fn cmd_build_graph(args: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_kernel(args: &Flags) -> Result<ShingleKernel, String> {
+    match args.get("kernel").map(String::as_str) {
+        None | Some("sort") => Ok(ShingleKernel::SortCompact),
+        Some("select") => Ok(ShingleKernel::FusedSelect),
+        Some(other) => Err(format!(
+            "--kernel must be `sort` (segmented sort + compaction) or \
+             `select` (fused top-s selection), got `{other}`"
+        )),
+    }
+}
+
 fn cmd_cluster(args: &Flags) -> Result<(), String> {
     let graph_path = need(args, "graph")?;
     let out = need(args, "out")?;
@@ -151,6 +165,7 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         } else {
             PipelineMode::Synchronous
         },
+        kernel: parse_kernel(args)?,
     };
     let min_size = get(args, "min-size", 1usize);
     let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
@@ -166,6 +181,10 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                 .cluster(&g)
                 .map_err(|e| e.to_string())?;
             eprintln!("component times: {}", report.times);
+            eprintln!(
+                "batch plan: pass I {} | pass II {}",
+                report.batch_stats[0], report.batch_stats[1]
+            );
             report.partition
         } else {
             let gpus = (0..n_devices)
@@ -174,6 +193,10 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
             let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
             let report = multi.cluster(&g).map_err(|e| e.to_string())?;
             eprintln!("component times ({} devices): {}", n_devices, report.times);
+            eprintln!(
+                "batch plan: pass I {} | pass II {}",
+                report.batch_stats[0], report.batch_stats[1]
+            );
             report.partition
         }
     };

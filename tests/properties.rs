@@ -2,7 +2,7 @@
 //! clustering pipeline under arbitrary graphs and parameters.
 
 use gpclust::core::quality::ConfusionCounts;
-use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShinglingParams};
+use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
 use gpclust::gpu::{DeviceConfig, Gpu};
 use gpclust::graph::{Csr, EdgeList, Partition};
 use proptest::prelude::*;
@@ -25,19 +25,27 @@ fn arb_params() -> impl Strategy<Value = ShinglingParams> {
         2usize..20,
         0u64..1000,
         proptest::bool::ANY,
+        proptest::bool::ANY,
     )
-        .prop_map(|(s1, c1, s2, c2, seed, overlapped)| ShinglingParams {
-            s1,
-            c1,
-            s2,
-            c2,
-            seed,
-            mode: if overlapped {
-                PipelineMode::Overlapped
-            } else {
-                PipelineMode::Synchronous
+        .prop_map(
+            |(s1, c1, s2, c2, seed, overlapped, fused)| ShinglingParams {
+                s1,
+                c1,
+                s2,
+                c2,
+                seed,
+                mode: if overlapped {
+                    PipelineMode::Overlapped
+                } else {
+                    PipelineMode::Synchronous
+                },
+                kernel: if fused {
+                    ShingleKernel::FusedSelect
+                } else {
+                    ShingleKernel::SortCompact
+                },
             },
-        })
+        )
 }
 
 proptest! {
@@ -71,6 +79,7 @@ proptest! {
             c2: 8,
             seed,
             mode: PipelineMode::Synchronous,
+            kernel: ShingleKernel::SortCompact,
         };
         let big = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
             .unwrap().cluster(&g).unwrap();

@@ -1,0 +1,160 @@
+//! Properties of the fused hash-transform + segmented top-s selection
+//! kernel (`ShingleKernel::FusedSelect`) against the segmented sort +
+//! compaction oracle (`ShingleKernel::SortCompact`).
+//!
+//! The contract: only the s smallest hashes per adjacency list survive a
+//! shingling trial, so selecting them directly must be *bit-identical* to
+//! fully sorting and compacting — for arbitrary graphs, forced small batch
+//! capacities, worker counts, and both pipeline schedules. Everything
+//! downstream (aggregation, MCL, Table I) may then treat the kernels as
+//! interchangeable and pick the cheap one.
+
+use gpclust::core::gpu_pass::{
+    gpu_shingle_pass_foreach_with_capacity, gpu_shingle_pass_overlapped_foreach_with_capacity,
+};
+use gpclust::core::minwise::HashFamily;
+use gpclust::core::shingle::RawShingles;
+use gpclust::core::{GpClust, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::graph::generate::{planted_partition, PlantedConfig};
+use gpclust::graph::Csr;
+use proptest::prelude::*;
+
+fn planted(sizes: Vec<usize>, noise: usize, seed: u64) -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: sizes,
+        n_noise_vertices: noise,
+        p_intra: 0.7,
+        max_intra_degree: f64::MAX,
+        inter_edges_per_vertex: 0.8,
+        seed,
+    })
+    .graph
+}
+
+/// Materialize one device pass's records under an explicit batch capacity
+/// (two runs sharing a capacity share a batch plan — the precondition for
+/// record-level comparison across kernels).
+fn records_at_capacity(
+    gpu: &Gpu,
+    g: &Csr,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+    overlapped: bool,
+) -> RawShingles {
+    let mut raw = RawShingles::new(s);
+    if overlapped {
+        gpu_shingle_pass_overlapped_foreach_with_capacity(
+            gpu,
+            g,
+            s,
+            family,
+            kernel,
+            capacity,
+            |trial, node, pairs| raw.push(trial, node, pairs),
+        )
+        .unwrap();
+    } else {
+        gpu_shingle_pass_foreach_with_capacity(gpu, g, s, family, kernel, capacity, |t, n, p| {
+            raw.push(t, n, p)
+        })
+        .unwrap();
+    }
+    raw.mark_grouped();
+    raw
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// End-to-end equivalence: the fused kernel yields the same partition
+    /// as the sort oracle on arbitrary planted graphs, devices (single-
+    /// batch K20 vs the tiny device that forces splitting), worker counts,
+    /// and pipeline modes — while never planning *more* batches and
+    /// reporting its halved per-element footprint.
+    #[test]
+    fn fused_select_partition_matches_sort_compact(
+        sizes in proptest::collection::vec(5usize..40, 1..5),
+        noise in 0usize..20,
+        graph_seed in 0u64..1000,
+        param_seed in 0u64..1000,
+        tiny in proptest::bool::ANY,
+        overlapped in proptest::bool::ANY,
+        workers in 1usize..4,
+    ) {
+        let g = planted(sizes, noise, graph_seed);
+        let config = if tiny {
+            DeviceConfig::tiny_test_device()
+        } else {
+            DeviceConfig::tesla_k20()
+        };
+        let mode = if overlapped {
+            PipelineMode::Overlapped
+        } else {
+            PipelineMode::Synchronous
+        };
+        let params = ShinglingParams::light(param_seed).with_mode(mode);
+        let sort = GpClust::new(
+            params.with_kernel(ShingleKernel::SortCompact),
+            Gpu::with_workers(config.clone(), workers),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        let select = GpClust::new(
+            params.with_kernel(ShingleKernel::FusedSelect),
+            Gpu::with_workers(config, workers),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        prop_assert_eq!(sort.partition, select.partition);
+        prop_assert_eq!(select.times.elem_footprint_bytes, 8);
+        prop_assert_eq!(sort.times.elem_footprint_bytes, 16);
+        // Double the capacity can only merge splits, never add them.
+        prop_assert!(select.times.n_batches <= sort.times.n_batches);
+        for pass in 0..2 {
+            prop_assert_eq!(select.batch_stats[pass].elem_footprint_bytes, 8);
+            prop_assert!(
+                select.batch_stats[pass].capacity_elems
+                    >= 2 * sort.batch_stats[pass].capacity_elems - 1
+            );
+        }
+    }
+
+    /// Record-level bit-identity under a *shared forced capacity*: with the
+    /// batch plan pinned, the fused kernel emits exactly the sort path's
+    /// `(trial, node, top-s pairs)` stream — order included — across small
+    /// capacities (many splits + boundary carries), worker counts, and both
+    /// schedules.
+    #[test]
+    fn fused_select_records_bit_identical_at_forced_capacity(
+        sizes in proptest::collection::vec(10usize..60, 1..4),
+        graph_seed in 0u64..500,
+        family_seed in 0u64..500,
+        capacity in 128usize..2048,
+        s in 1usize..4,
+        overlapped in proptest::bool::ANY,
+        workers in 1usize..4,
+    ) {
+        let g = planted(sizes, 10, graph_seed);
+        let family = HashFamily::new(8, family_seed ^ 0xF00D);
+        let sort_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+        let sort = records_at_capacity(
+            &sort_gpu, &g, s, &family, ShingleKernel::SortCompact, capacity, overlapped,
+        );
+        let select_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+        let select = records_at_capacity(
+            &select_gpu, &g, s, &family, ShingleKernel::FusedSelect, capacity, overlapped,
+        );
+        prop_assert_eq!(sort, select);
+        // Same records from strictly less device work: no sort, no gather,
+        // no 8-byte packed workspace traffic.
+        let (sc, fc) = (sort_gpu.counters(), select_gpu.counters());
+        prop_assert!(fc.kernel_launches < sc.kernel_launches);
+        prop_assert!(fc.kernel_seconds < sc.kernel_seconds);
+        prop_assert_eq!(fc.d2h_bytes, sc.d2h_bytes);
+    }
+}
