@@ -9,7 +9,7 @@
 //! * reporting mode (union–find partition vs overlapping components).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use gpclust_core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
+use gpclust_core::{GpClust, SerialShingling, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
@@ -37,8 +37,7 @@ fn bench_c1_sweep(c: &mut Criterion) {
             s2: 2,
             c2: c1 / 2,
             seed: 7,
-            mode: PipelineMode::Synchronous,
-            kernel: ShingleKernel::SortCompact,
+            ..ShinglingParams::light(7)
         };
         grp.bench_function(format!("serial_c1_{c1}"), |b| {
             let alg = SerialShingling::new(params).unwrap();
@@ -59,8 +58,7 @@ fn bench_s1_sweep(c: &mut Criterion) {
             s2: s.min(2),
             c2: 25,
             seed: 7,
-            mode: PipelineMode::Synchronous,
-            kernel: ShingleKernel::SortCompact,
+            ..ShinglingParams::light(7)
         };
         grp.bench_function(format!("serial_s1_{s}"), |b| {
             let alg = SerialShingling::new(params).unwrap();

@@ -1,0 +1,295 @@
+//! Host vs device shingle aggregation — the sort-offload optimisation
+//! (`AggregationMode::Device`): instead of shipping raw records to a
+//! global host sort (PR 2's pipeline, the paper's "roughly 80% of the
+//! runtime is consumed by the hashing and sorting operations" hot spot),
+//! each batch packs and radix-sorts its records on the GPU and the host
+//! only k-way-merges the pre-sorted runs into the stream inverter.
+//!
+//! Two measurements:
+//!
+//! 1. **Criterion wall-clock** of `GpClust::cluster` under both
+//!    `AggregationMode`s on the same graph (results are bit-identical by
+//!    contract; see `crates/core/tests/aggregate_properties.rs`).
+//! 2. **Modeled end-to-end seconds** on the Tesla K20 preset for a
+//!    Table-I-shaped 20K workload and a batch-splitting 2M-like one,
+//!    computed in closed form from the simulator's own cost model plus
+//!    two documented host-throughput constants, and written to
+//!    `<report_dir>/BENCH_aggregate.json`. The checked-in copy at the
+//!    repo root was produced with exactly this arithmetic. Device
+//!    aggregation wins twice: the K20's radix sort orders records faster
+//!    than the host's parallel sort, and under the overlapped schedule
+//!    the column upload and run download hide behind the next batch's
+//!    kernels, so only the (much cheaper) k-way merge stays on the CPU
+//!    column.
+
+use criterion::{criterion_group, Criterion};
+use gpclust_core::batch::batch_capacity;
+use gpclust_core::{AggregationMode, GpClust, ShingleKernel, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu, KernelCost};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use serde::Serialize;
+
+/// Shingle size of the modeled pass (the paper's default `s1`).
+const S: usize = 2;
+
+/// Host ordering throughput for 16-byte packed records, records/second.
+///
+/// `slice::par_sort_unstable` over `(u128)` keys on a 2013-era dual-socket
+/// Xeon moves roughly this many records per second once the working set
+/// falls out of LLC — the measured constant behind PR 2's CPU column.
+const HOST_SORT_REC_PER_S: f64 = 5.0e7;
+
+/// Streaming k-way merge throughput, records/second.
+///
+/// The binary-heap merge of r pre-sorted runs is a sequential scan with an
+/// O(log r) heap update per record — no random access, no allocation — and
+/// sustains several times the throughput of the global sort it replaces.
+const HOST_MERGE_REC_PER_S: f64 = 2.5e8;
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(4_000, 4, 200, 1.4, 17),
+        n_noise_vertices: 1_000,
+        p_intra: 0.8,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 17,
+    })
+    .graph
+}
+
+fn bench_aggregation(c: &mut Criterion) {
+    let g = graph();
+    let mut grp = c.benchmark_group("shingle_aggregation");
+    grp.sample_size(10);
+    for (name, aggregation) in [
+        ("host_sort", AggregationMode::Host),
+        ("device_runs", AggregationMode::Device),
+    ] {
+        grp.bench_function(name, |b| {
+            let pipeline = GpClust::new(
+                ShinglingParams::light(17).with_aggregation(aggregation),
+                Gpu::new(DeviceConfig::tesla_k20()),
+            )
+            .unwrap();
+            b.iter(|| pipeline.cluster(&g).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+/// A modeled pass-I workload: `n_elements` adjacency elements shingled
+/// over `trials` hash trials across `n_segments` vertex lists, emitting
+/// one s-pair record per (trial, segment).
+struct Workload {
+    label: &'static str,
+    n_elements: usize,
+    trials: usize,
+    n_segments: usize,
+}
+
+impl Workload {
+    fn n_records(&self) -> usize {
+        self.trials * self.n_segments
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct BasePass {
+    capacity_elems: usize,
+    n_batches: usize,
+    serialized_s: f64,
+    pipelined_s: f64,
+}
+
+/// Closed-form schedule of the shingling pass itself (SortCompact kernel,
+/// same shape as `select_kernel.rs`): per batch one upload, `trials`
+/// kernel rounds each downloading its top-s pairs. Only `batch_capacity`
+/// differs between the aggregation modes — the device-mode pack + sort
+/// workspace (32 B/elem vs 16) can split the pass into more batches.
+fn model_base(gpu: &Gpu, aggregation: AggregationMode, w: &Workload) -> BasePass {
+    let capacity = batch_capacity(gpu.mem_available(), ShingleKernel::SortCompact, aggregation);
+    let n_batches = w.n_elements.div_ceil(capacity);
+    let batch_elems = w.n_elements.div_ceil(n_batches);
+    let out_per_batch = (w.n_segments * S).div_ceil(n_batches);
+    let h2d = gpu.model_transfer_seconds(batch_elems * 4);
+    let kernels = gpu.model_kernel_seconds(batch_elems, &KernelCost::transform())
+        + gpu.model_kernel_seconds(batch_elems, &KernelCost::segmented_sort())
+        + gpu.model_kernel_seconds(out_per_batch, &KernelCost::gather());
+    let d2h = gpu.model_transfer_seconds(out_per_batch * 8);
+    let (b, t) = (n_batches as f64, w.trials as f64);
+    BasePass {
+        capacity_elems: capacity,
+        n_batches,
+        serialized_s: b * (h2d + t * (kernels + d2h)),
+        pipelined_s: b * (h2d + t * kernels + d2h),
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct AggregationModel {
+    aggregation: String,
+    n_records: usize,
+    /// Host CPU seconds ordering the records (global sort, or k-way merge
+    /// of the device-sorted runs).
+    cpu_order_s: f64,
+    /// Device seconds added by the pack + pair-radix-sort kernels.
+    agg_kernels_s: f64,
+    /// Bus seconds added by the column upload + sorted-run download.
+    agg_transfer_s: f64,
+    base: BasePass,
+    end_to_end_serialized_s: f64,
+    end_to_end_pipelined_s: f64,
+    cpu_share_serialized_pct: f64,
+    cpu_share_pipelined_pct: f64,
+}
+
+fn model_aggregation(gpu: &Gpu, aggregation: AggregationMode, w: &Workload) -> AggregationModel {
+    let base = model_base(gpu, aggregation, w);
+    let r = w.n_records();
+    let (cpu_order_s, agg_kernels_s, agg_transfer_s) = match aggregation {
+        AggregationMode::Host => (r as f64 / HOST_SORT_REC_PER_S, 0.0, 0.0),
+        AggregationMode::Device => {
+            // Staged column up (4·(s+2) B/record), packed runs + unpacked
+            // elements down (16 + 4·s B/record).
+            let kernels = gpu.model_kernel_seconds(r, &KernelCost::transform())
+                + gpu.model_kernel_seconds(r, &KernelCost::pair_sort());
+            let transfers = gpu.model_transfer_seconds(r * 4 * (S + 2))
+                + gpu.model_transfer_seconds(r * (16 + 4 * S));
+            (r as f64 / HOST_MERGE_REC_PER_S, kernels, transfers)
+        }
+    };
+    // Serialized (Thrust 1.5 blocking copies): every aggregation kernel
+    // and transfer extends the device path. Overlapped: the flush
+    // transfers ride the copy stream behind the next batch's compute, so
+    // only the aggregation kernels stay on the critical path.
+    let end_to_end_serialized_s = base.serialized_s + agg_kernels_s + agg_transfer_s + cpu_order_s;
+    let end_to_end_pipelined_s = base.pipelined_s + agg_kernels_s + cpu_order_s;
+    AggregationModel {
+        aggregation: format!("{aggregation:?}"),
+        n_records: r,
+        cpu_order_s,
+        agg_kernels_s,
+        agg_transfer_s,
+        cpu_share_serialized_pct: 100.0 * cpu_order_s / end_to_end_serialized_s,
+        cpu_share_pipelined_pct: 100.0 * cpu_order_s / end_to_end_pipelined_s,
+        base,
+        end_to_end_serialized_s,
+        end_to_end_pipelined_s,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ScaleReport {
+    label: String,
+    host: AggregationModel,
+    device: AggregationModel,
+    serialized_improvement_pct: f64,
+    pipelined_improvement_pct: f64,
+    /// Percentage points the CPU column's share of the pipelined makespan
+    /// drops when the sort moves on-device.
+    cpu_share_drop_pts: f64,
+}
+
+fn model_scale(gpu: &Gpu, w: &Workload) -> ScaleReport {
+    let host = model_aggregation(gpu, AggregationMode::Host, w);
+    let device = model_aggregation(gpu, AggregationMode::Device, w);
+    let report = ScaleReport {
+        label: w.label.to_string(),
+        serialized_improvement_pct: (1.0
+            - device.end_to_end_serialized_s / host.end_to_end_serialized_s)
+            * 100.0,
+        pipelined_improvement_pct: (1.0
+            - device.end_to_end_pipelined_s / host.end_to_end_pipelined_s)
+            * 100.0,
+        cpu_share_drop_pts: host.cpu_share_pipelined_pct - device.cpu_share_pipelined_pct,
+        host,
+        device,
+    };
+    assert!(
+        report.device.end_to_end_pipelined_s < report.host.end_to_end_pipelined_s,
+        "[{}] device aggregation must shorten the modeled pipelined makespan",
+        report.label
+    );
+    assert!(
+        report.device.cpu_order_s < report.host.cpu_order_s,
+        "[{}] the k-way merge must undercut the global sort",
+        report.label
+    );
+    assert!(
+        report.device.cpu_share_pipelined_pct < report.host.cpu_share_pipelined_pct,
+        "[{}] the CPU column's share must drop",
+        report.label
+    );
+    report
+}
+
+#[derive(Debug, Serialize)]
+struct AggregateReport {
+    device: String,
+    note: String,
+    host_sort_rec_per_s: f64,
+    host_merge_rec_per_s: f64,
+    scale_20k: ScaleReport,
+    scale_2m_like: ScaleReport,
+}
+
+/// Model the paper's two Table I scales: the 20K graph (4M elements, one
+/// record per vertex per trial) and a 2M-like pass whose 400M elements
+/// exceed the device-mode `batch_capacity`, and write the host-vs-device
+/// comparison.
+fn write_modeled_report() {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let report = AggregateReport {
+        device: gpu.config().name.clone(),
+        note: "closed-form schedule model; generated by the arithmetic in \
+               crates/bench/benches/aggregate_offload.rs (write_modeled_report)"
+            .to_string(),
+        host_sort_rec_per_s: HOST_SORT_REC_PER_S,
+        host_merge_rec_per_s: HOST_MERGE_REC_PER_S,
+        scale_20k: model_scale(
+            &gpu,
+            &Workload {
+                label: "20K",
+                n_elements: 4_000_000,
+                trials: 200,
+                n_segments: 20_000,
+            },
+        ),
+        scale_2m_like: model_scale(
+            &gpu,
+            &Workload {
+                label: "2M-like",
+                n_elements: 400_000_000,
+                trials: 200,
+                n_segments: 2_000_000,
+            },
+        ),
+    };
+    let path = gpclust_bench::report_dir().join("BENCH_aggregate.json");
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    std::fs::write(&path, json).expect("write report");
+    for s in [&report.scale_20k, &report.scale_2m_like] {
+        eprintln!(
+            "[{}] modeled K20 end-to-end: host {:.4}s -> device {:.4}s pipelined \
+             ({:.1}% shorter); CPU column share {:.1}% -> {:.1}% ({:.1} pts)",
+            s.label,
+            s.host.end_to_end_pipelined_s,
+            s.device.end_to_end_pipelined_s,
+            s.pipelined_improvement_pct,
+            s.host.cpu_share_pipelined_pct,
+            s.device.cpu_share_pipelined_pct,
+            s.cpu_share_drop_pts
+        );
+    }
+    eprintln!("written to {path:?}");
+}
+
+criterion_group!(benches, bench_aggregation);
+
+fn main() {
+    write_modeled_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

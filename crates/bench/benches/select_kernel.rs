@@ -19,7 +19,7 @@
 
 use criterion::{criterion_group, Criterion};
 use gpclust_core::batch::{batch_capacity, bytes_per_elem};
-use gpclust_core::{GpClust, ShingleKernel, ShinglingParams};
+use gpclust_core::{AggregationMode, GpClust, ShingleKernel, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu, KernelCost};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
@@ -91,7 +91,7 @@ fn model_pass(
     trials: usize,
     out_elements: usize,
 ) -> PassModel {
-    let capacity = batch_capacity(gpu.mem_available(), kernel);
+    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Host);
     let n_batches = n_elements.div_ceil(capacity);
     let batch_elems = n_elements.div_ceil(n_batches);
     let out_per_batch = out_elements.div_ceil(n_batches);
@@ -115,7 +115,7 @@ fn model_pass(
         trials,
         out_elements,
         capacity_elems: capacity,
-        elem_footprint_bytes: bytes_per_elem(kernel),
+        elem_footprint_bytes: bytes_per_elem(kernel, AggregationMode::Host),
         n_batches,
         h2d_s: b * h2d,
         kernels_s: b * t * kernels,

@@ -9,10 +9,14 @@
 //! Table-I-style component breakdown, wall-clock time, and the clusters
 //! found.
 //!
-//! Usage: `largescale [--vertices <n>] [--seed <u64>] [--paper-scale]`
+//! Usage: `largescale [--vertices <n>] [--seed <u64>] [--paper-scale]
+//!                    [--overlap] [--kernel sort|select]
+//!                    [--aggregate host|device] [--par-sort-min N]`
 //!
 //! `--paper-scale` uses 11M vertices (~640M edges — needs ~16 GB RAM and
-//! a long run; the default is the scaled demonstration).
+//! a long run; the default is the scaled demonstration). The schedule
+//! knobs select the device configuration (clusters are bit-identical
+//! across all of them).
 
 use gpclust_bench::datasets;
 use gpclust_bench::reports::{secs, Experiment};
@@ -30,6 +34,9 @@ struct LargeRun {
     wall_seconds: f64,
     cpu_s: f64,
     gpu_s: f64,
+    /// Seconds of `gpu_s` spent in on-device aggregation kernels
+    /// (0 under `--aggregate host`).
+    device_agg_s: f64,
     h2d_s: f64,
     d2h_s: f64,
     modeled_total_s: f64,
@@ -62,7 +69,8 @@ fn main() {
 
     eprintln!("running gpClust (paper default parameters) ...");
     let gpu = Gpu::new(DeviceConfig::tesla_k20());
-    let pipeline = GpClust::new(ShinglingParams::paper_default(seed), gpu).unwrap();
+    let params = args.apply_schedule_flags(ShinglingParams::paper_default(seed));
+    let pipeline = GpClust::new(params, gpu).unwrap();
     let t0 = Instant::now();
     let report = pipeline.cluster(&pg.graph).expect("gpClust run");
     let wall = t0.elapsed().as_secs_f64();
@@ -77,6 +85,7 @@ fn main() {
         wall_seconds: wall,
         cpu_s: report.times.cpu,
         gpu_s: report.times.gpu,
+        device_agg_s: report.times.device_aggregation,
         h2d_s: report.times.h2d,
         d2h_s: report.times.d2h,
         modeled_total_s: report.times.total(),
@@ -93,9 +102,10 @@ fn main() {
     );
     println!("  wall-clock:          {} s", secs(run.wall_seconds));
     println!(
-        "  modeled breakdown:   CPU {} | GPU {} | c->g {} | g->c {} | total {}",
+        "  modeled breakdown:   CPU {} | GPU {} (agg {}) | c->g {} | g->c {} | total {}",
         secs(run.cpu_s),
         secs(run.gpu_s),
+        secs(run.device_agg_s),
         secs(run.h2d_s),
         secs(run.d2h_s),
         secs(run.modeled_total_s)

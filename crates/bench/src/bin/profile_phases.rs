@@ -4,9 +4,18 @@
 //! claim, and the tool that guided this reproduction's own optimization
 //! of the aggregation stage.
 //!
-//! Usage: `profile_phases [--n <vertices>] [--seed <u64>]`
+//! Usage: `profile_phases [--n <vertices>] [--seed <u64>]
+//!                        [--overlap] [--kernel sort|select]
+//!                        [--aggregate host|device] [--par-sort-min N]`
+//!
+//! `--par-sort-min` feeds the host aggregation's parallel-sort threshold
+//! directly into the timed `agg1`/`agg2` phases. `--aggregate device`
+//! additionally runs the GPU pipeline with on-device aggregation and
+//! reports the modeled device seconds that replace the measured host
+//! sort time.
 
 use gpclust_bench::Args;
+use gpclust_core::aggregate::aggregate_with;
 use std::time::Instant;
 
 fn main() {
@@ -15,7 +24,7 @@ fn main() {
     let seed = args.get("seed", 7u64);
     let pg = gpclust_bench::datasets::planted_2m_like(n, seed);
     let g = pg.graph;
-    let params = gpclust_core::ShinglingParams::paper_default(seed);
+    let params = args.apply_schedule_flags(gpclust_core::ShinglingParams::paper_default(seed));
     println!("graph: {} vertices, {} edges", g.n(), g.m());
 
     let t = Instant::now();
@@ -24,7 +33,7 @@ fn main() {
     println!("pass1:  {t_pass1:7.2}s  ({} records)", raw1.len());
 
     let t = Instant::now();
-    let first = gpclust_core::aggregate::aggregate(&raw1);
+    let first = aggregate_with(&raw1, params.par_sort_min);
     let t_agg1 = t.elapsed().as_secs_f64();
     println!(
         "agg1:   {t_agg1:7.2}s  ({} shingles, {} edges)",
@@ -39,7 +48,7 @@ fn main() {
     println!("pass2:  {t_pass2:7.2}s  ({} records)", raw2.len());
 
     let t = Instant::now();
-    let second = gpclust_core::aggregate::aggregate(&raw2);
+    let second = aggregate_with(&raw2, params.par_sort_min);
     let t_agg2 = t.elapsed().as_secs_f64();
     println!("agg2:   {t_agg2:7.2}s  ({} shingles)", second.len());
     drop(raw2);
@@ -56,4 +65,19 @@ fn main() {
          (paper profiles ~80%)",
         100.0 * shingling / total
     );
+
+    if params.aggregation == gpclust_core::AggregationMode::Device {
+        use gpclust_gpu::{DeviceConfig, Gpu};
+        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        let report = gpclust_core::GpClust::new(params, gpu)
+            .unwrap()
+            .cluster(&g)
+            .expect("device-aggregation run");
+        println!(
+            "device aggregation: {:7.2}s modeled K20 kernel time replaces the \
+             {:.2}s measured host sort (remaining host share: k-way merge + invert)",
+            report.times.device_aggregation,
+            t_agg1 + t_agg2
+        );
+    }
 }

@@ -12,13 +12,19 @@
 //! for recall exactly as the paper describes.
 //!
 //! Usage: `qsweep [--n <seqs>] [--seed <u64>] [--min-size <20>]
-//!                [--c1-list 25,50,100,200,400] [--s1-list 1,2,3]`
+//!                [--c1-list 25,50,100,200,400] [--s1-list 1,2,3]
+//!                [--overlap] [--kernel sort|select]
+//!                [--aggregate host|device] [--par-sort-min N]`
+//!
+//! The schedule knobs never change scores (results are bit-identical
+//! across them); they exist so the sweep can exercise any device
+//! configuration's timing model.
 
 use gpclust_bench::datasets;
 use gpclust_bench::reports::{pct, render_table, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::quality::ConfusionCounts;
-use gpclust_core::{GpClust, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_core::{GpClust, ShinglingParams};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::Partition;
 use gpclust_homology::HomologyConfig;
@@ -68,15 +74,14 @@ fn main() {
     let mut points = Vec::new();
     for &s1 in &s1_list {
         for &c1 in &c1_list {
-            let params = ShinglingParams {
+            let params = args.apply_schedule_flags(ShinglingParams {
                 s1,
                 c1,
                 s2: s1.min(2),
                 c2: (c1 / 2).max(1),
                 seed,
-                mode: PipelineMode::Synchronous,
-                kernel: ShingleKernel::SortCompact,
-            };
+                ..ShinglingParams::light(seed)
+            });
             eprintln!("clustering with s1={s1}, c1={c1} ...");
             let gpu = Gpu::new(DeviceConfig::tesla_k20());
             let partition = GpClust::new(params, gpu)

@@ -5,7 +5,12 @@
 //! sweep over graph sizes: serial runtime, gpClust component breakdown,
 //! and both speedups per size, plus the asynchronous-transfer projection.
 //!
-//! Usage: `sweep [--sizes 20000,50000,100000,200000] [--seed <u64>]`
+//! Usage: `sweep [--sizes 20000,50000,100000,200000] [--seed <u64>]
+//!               [--overlap] [--kernel sort|select]
+//!               [--aggregate host|device] [--par-sort-min N]`
+//!
+//! The schedule knobs select the device configuration being swept
+//! (results stay bit-identical to the serial oracle across all of them).
 
 use gpclust_bench::datasets;
 use gpclust_bench::reports::{render_table, secs, Experiment};
@@ -24,6 +29,9 @@ struct Point {
     serial_shingling_s: f64,
     gpclust_total_s: f64,
     gpu_s: f64,
+    /// Seconds of `gpu_s` spent in on-device aggregation kernels
+    /// (0 under `--aggregate host`).
+    device_agg_s: f64,
     transfers_s: f64,
     pipelined_device_s: f64,
     total_speedup: f64,
@@ -39,7 +47,7 @@ fn main() {
         .filter_map(|t| t.trim().parse().ok())
         .collect();
 
-    let params = ShinglingParams::paper_default(seed);
+    let params = args.apply_schedule_flags(ShinglingParams::paper_default(seed));
     let mut points = Vec::new();
     for &n in &sizes {
         eprintln!("--- n = {n} ---");
@@ -85,6 +93,7 @@ fn main() {
             serial_shingling_s,
             gpclust_total_s: report.times.total(),
             gpu_s: report.times.gpu,
+            device_agg_s: report.times.device_aggregation,
             transfers_s: report.times.h2d + report.times.d2h,
             pipelined_device_s: pipelined_seconds(&events),
             total_speedup: serial_s / report.times.total(),

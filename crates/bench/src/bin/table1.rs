@@ -15,7 +15,8 @@
 //! shingling passes) against the simulated device time, as the paper does.
 //!
 //! Usage: `table1 [--n <vertices>] [--full] [--seed <u64>] [--skip-20k]
-//!                [--skip-2m] [--overlap] [--kernel sort|select]`
+//!                [--skip-2m] [--overlap] [--kernel sort|select]
+//!                [--aggregate host|device] [--par-sort-min N]`
 //!
 //! `--overlap` additionally reports the async-transfer ablation (the
 //! paper's stated future work): the timeline-replay bound, plus a real
@@ -26,12 +27,19 @@
 //! hash + top-s selection kernel (`ShingleKernel::FusedSelect`): the
 //! device columns drop while the clusters stay bit-identical to the
 //! serial oracle.
+//!
+//! `--aggregate device` moves the shingle-record sort onto the GPU
+//! (`AggregationMode::Device`): the CPU column shrinks to the k-way run
+//! merge + stream inversion while the GPU column absorbs the pack + radix
+//! sort kernels — again bit-identical clusters.
 
 use gpclust_bench::datasets;
 use gpclust_bench::reports::{render_table, secs, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::serial::shingle_pass_foreach;
-use gpclust_core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
+use gpclust_core::{
+    AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
+};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::{io as graph_io, Csr};
 use gpclust_homology::HomologyConfig;
@@ -43,10 +51,15 @@ struct Row {
     graph: String,
     /// Top-s extraction kernel the device passes ran (`sort` | `select`).
     kernel: String,
+    /// Where the shingle-record sort ran (`host` | `device`).
+    aggregate: String,
     n_non_singleton: usize,
     n_edges: usize,
     cpu_s: f64,
     gpu_s: f64,
+    /// Seconds of `gpu_s` spent in on-device aggregation kernels
+    /// (0 under `--aggregate host`).
+    device_agg_s: f64,
     h2d_s: f64,
     d2h_s: f64,
     disk_s: f64,
@@ -69,8 +82,19 @@ struct Row {
     elem_footprint_bytes: u64,
 }
 
-fn measure(graph: &Csr, label: &str, seed: u64, overlap: bool, kernel: ShingleKernel) -> Row {
-    let params = ShinglingParams::paper_default(seed).with_kernel(kernel);
+fn measure(
+    graph: &Csr,
+    label: &str,
+    seed: u64,
+    overlap: bool,
+    kernel: ShingleKernel,
+    aggregation: AggregationMode,
+    par_sort_min: usize,
+) -> Row {
+    let params = ShinglingParams::paper_default(seed)
+        .with_kernel(kernel)
+        .with_aggregation(aggregation)
+        .with_par_sort_min(par_sort_min);
 
     // Serial reference: total, and the accelerated part (two passes) alone.
     eprintln!("[{label}] running serial pClust ...");
@@ -144,10 +168,15 @@ fn measure(graph: &Csr, label: &str, seed: u64, overlap: bool, kernel: ShingleKe
             ShingleKernel::SortCompact => "sort".into(),
             ShingleKernel::FusedSelect => "select".into(),
         },
+        aggregate: match aggregation {
+            AggregationMode::Host => "host".into(),
+            AggregationMode::Device => "device".into(),
+        },
         n_non_singleton,
         n_edges: graph.m(),
         cpu_s: t.cpu,
         gpu_s: t.gpu,
+        device_agg_s: t.device_aggregation,
         h2d_s: t.h2d,
         d2h_s: t.d2h,
         disk_s: t.disk_io,
@@ -181,6 +210,15 @@ fn main() {
             std::process::exit(2);
         }
     };
+    let aggregation = match args.get("aggregate", "host".to_string()).as_str() {
+        "host" => AggregationMode::Host,
+        "device" => AggregationMode::Device,
+        other => {
+            eprintln!("--aggregate must be `host` or `device`, got `{other}`");
+            std::process::exit(2);
+        }
+    };
+    let par_sort_min = args.get("par-sort-min", gpclust_core::params::PAR_SORT_MIN);
     let mut rows = Vec::new();
 
     if !args.flag("skip-20k") {
@@ -191,7 +229,15 @@ fn main() {
             &mg,
             &HomologyConfig::default(),
         );
-        rows.push(measure(&g, "20K", seed, args.flag("overlap"), kernel));
+        rows.push(measure(
+            &g,
+            "20K",
+            seed,
+            args.flag("overlap"),
+            kernel,
+            aggregation,
+            par_sort_min,
+        ));
     }
 
     if !args.flag("skip-2m") {
@@ -208,6 +254,8 @@ fn main() {
             seed,
             args.flag("overlap"),
             kernel,
+            aggregation,
+            par_sort_min,
         ));
     }
 
@@ -245,9 +293,18 @@ fn main() {
             r.serial_shingling_frac * 100.0
         );
         println!(
-            "[{}] kernel {}: pass I {} batch(es), pass II {} batch(es) @ {} B/elem",
-            r.graph, r.kernel, r.n_batches[0], r.n_batches[1], r.elem_footprint_bytes
+            "[{}] kernel {}, aggregation {}: pass I {} batch(es), pass II {} batch(es) \
+             @ {} B/elem",
+            r.graph, r.kernel, r.aggregate, r.n_batches[0], r.n_batches[1], r.elem_footprint_bytes
         );
+        if r.device_agg_s > 0.0 {
+            println!(
+                "[{}] on-device aggregation: {} s of the GPU column (pack + radix sort); \
+                 CPU column is the k-way run merge + stream inversion",
+                r.graph,
+                secs(r.device_agg_s)
+            );
+        }
         if args.flag("overlap") {
             println!(
                 "[{}] async-transfer ablation (two-stream timeline model): \

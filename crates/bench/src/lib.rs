@@ -88,6 +88,34 @@ impl Args {
     pub fn flag(&self, key: &str) -> bool {
         self.flags.contains(key)
     }
+
+    /// Apply the schedule knobs shared by every harness to `params`:
+    /// `--overlap` (double-buffered streams), `--kernel sort|select`
+    /// (top-s extraction kernel), `--aggregate host|device` (where the
+    /// shingle sort runs), and `--par-sort-min N` (host parallel-sort
+    /// threshold). Unknown values panic with a usage hint rather than
+    /// silently benchmarking the wrong configuration.
+    pub fn apply_schedule_flags(
+        &self,
+        params: gpclust_core::ShinglingParams,
+    ) -> gpclust_core::ShinglingParams {
+        use gpclust_core::{AggregationMode, PipelineMode, ShingleKernel};
+        let mut params = params;
+        if self.flag("overlap") {
+            params = params.with_mode(PipelineMode::Overlapped);
+        }
+        params = match self.pairs.get("kernel").map(String::as_str) {
+            None | Some("sort") => params.with_kernel(ShingleKernel::SortCompact),
+            Some("select") => params.with_kernel(ShingleKernel::FusedSelect),
+            Some(other) => panic!("--kernel must be `sort` or `select`, got `{other}`"),
+        };
+        params = match self.pairs.get("aggregate").map(String::as_str) {
+            None | Some("host") => params.with_aggregation(AggregationMode::Host),
+            Some("device") => params.with_aggregation(AggregationMode::Device),
+            Some(other) => panic!("--aggregate must be `host` or `device`, got `{other}`"),
+        };
+        params.with_par_sort_min(self.get("par-sort-min", params.par_sort_min))
+    }
 }
 
 #[cfg(test)]
@@ -108,5 +136,31 @@ mod tests {
     fn trailing_flag_without_value() {
         let a = Args::from_tokens(["--quick"].map(String::from));
         assert!(a.flag("quick"));
+    }
+
+    #[test]
+    fn schedule_flags_apply_to_params() {
+        use gpclust_core::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
+        let base = ShinglingParams::light(1);
+        let a = Args::from_tokens(
+            [
+                "--overlap",
+                "--kernel",
+                "select",
+                "--aggregate",
+                "device",
+                "--par-sort-min",
+                "0",
+            ]
+            .map(String::from),
+        );
+        let p = a.apply_schedule_flags(base);
+        assert_eq!(p.mode, PipelineMode::Overlapped);
+        assert_eq!(p.kernel, ShingleKernel::FusedSelect);
+        assert_eq!(p.aggregation, AggregationMode::Device);
+        assert_eq!(p.par_sort_min, 0);
+        // Defaults pass through untouched.
+        let p = Args::from_tokens(Vec::<String>::new()).apply_schedule_flags(base);
+        assert_eq!(p, base);
     }
 }

@@ -19,41 +19,46 @@ use crate::shingle::{shingle_key, RawShingles, ShingleKey};
 use gpclust_graph::ShingleGraph;
 use rayon::prelude::*;
 
-/// Below this length the rayon fork/join overhead outweighs the parallel
-/// sort's gain, so the aggregation sorts serially. The packed values are
-/// unique (each carries its record index in the low bits), and the one
-/// keyed sort only ties on fragments of the same `(node, trial)` — whose
-/// merge re-sorts and dedups — so the parallel unstable sorts leave the
-/// aggregation deterministic.
-const PAR_SORT_MIN: usize = 1 << 15;
+/// Default threshold below which the rayon fork/join overhead outweighs
+/// the parallel sort's gain, so host aggregation sorts serially. The
+/// packed values are unique (each carries its record index in the low
+/// bits), and the one keyed sort only ties on fragments of the same
+/// `(node, trial)` — whose merge re-sorts and dedups — so the parallel
+/// unstable sorts leave the aggregation deterministic. Configurable per
+/// run via [`crate::ShinglingParams::par_sort_min`].
+pub use crate::params::PAR_SORT_MIN;
 
-/// `sort_unstable`, parallelized for inputs big enough to pay for it.
+/// `sort_unstable`, parallelized for inputs of at least `par_sort_min`
+/// elements (so tests can force either path deterministically).
 #[inline]
-fn sort_packed(packed: &mut [u128]) {
-    if packed.len() >= PAR_SORT_MIN {
+fn sort_packed(packed: &mut [u128], par_sort_min: usize) {
+    if packed.len() >= par_sort_min {
         packed.par_sort_unstable();
     } else {
         packed.sort_unstable();
     }
 }
 
+/// Aggregate raw records into the bipartite shingle graph, with the
+/// default [`PAR_SORT_MIN`] parallel-sort gate.
+pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
+    aggregate_with(raw, PAR_SORT_MIN)
+}
+
 /// Aggregate raw records into the bipartite shingle graph.
 ///
 /// This is the largest CPU stage of gpClust (it dominates the "CPU" column
-/// of Table I), so it works in flat column arrays with exactly four big
+/// of Table I), so it works in flat column arrays with exactly two big
 /// sorts/scans and no per-record heap allocation.
-pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
+pub fn aggregate_with(raw: &RawShingles, par_sort_min: usize) -> ShingleGraph {
     let s = raw.s();
     let n_rec = raw.len();
 
-    // --- 1. Merge fragments of the same (node, trial). ---
-    //
-    // Grouped inputs (serial pass, GPU pass after its boundary pre-merge)
-    // skip this entirely; ungrouped inputs pay one sort + linear merge.
+    // Grouped fast path (serial pass, GPU pass after its boundary
+    // pre-merge): no merging, no column copies — pack
+    // (key, node, record-index) straight from the raw storage and pull
+    // element ids back out of it at emission time.
     if raw.is_grouped() {
-        // Grouped fast path: no merging, no column copies — pack
-        // (key, node, record-index) straight from the raw storage and pull
-        // element ids back out of it at emission time.
         assert!(n_rec < (1 << 32), "too many shingle records");
         let mut packed: Vec<u128> = (0..n_rec)
             .map(|i| {
@@ -63,12 +68,29 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
                 ((key as u128) << 64) | ((raw.node(i) as u128) << 32) | i as u128
             })
             .collect();
-        sort_packed(&mut packed);
+        sort_packed(&mut packed, par_sort_min);
         return invert_packed(s, &packed, |rep, out| {
             out.extend(raw.pairs_of(rep).iter().map(|&p| unpack_element(p)));
         });
     }
 
+    // Ungrouped inputs pay one fragment merge-and-pack into a single
+    // sorted run, then flow through the same streaming merge/inversion
+    // the device-aggregation runs use.
+    merge_sorted_runs(s, vec![fragment_run(raw, par_sort_min)])
+}
+
+/// Merge fragments of an *ungrouped* record stream (records of the same
+/// `(node, trial)` split across batches or devices) into finalized
+/// records, packed and host-sorted into one [`SortedRun`].
+///
+/// This is the CPU fix-up the paper describes for split adjacency lists:
+/// per `(node, trial)` group the candidate pairs are merged, deduped and
+/// the globally smallest `s` re-selected; groups left with fewer than `s`
+/// distinct candidates produce no shingle (the ≥ s-links rule).
+pub fn fragment_run(raw: &RawShingles, par_sort_min: usize) -> SortedRun {
+    let s = raw.s();
+    let n_rec = raw.len();
     let mut fin_keys: Vec<ShingleKey> = Vec::with_capacity(n_rec);
     let mut fin_nodes: Vec<u32> = Vec::with_capacity(n_rec);
     let mut fin_elements: Vec<u32> = Vec::with_capacity(n_rec * s);
@@ -76,7 +98,7 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
         let mut order: Vec<u32> = (0..n_rec as u32).collect();
         let group_key =
             |&i: &u32| ((raw.node(i as usize) as u64) << 32) | raw.trial(i as usize) as u64;
-        if order.len() >= PAR_SORT_MIN {
+        if order.len() >= par_sort_min {
             order.par_sort_unstable_by_key(group_key);
         } else {
             order.sort_unstable_by_key(group_key);
@@ -116,16 +138,100 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
         }
     }
 
-    // --- 2. Invert: group by shingle key. ---
     let n_fin = fin_keys.len();
     assert!(n_fin < (1 << 32), "too many shingle records");
     let mut packed: Vec<u128> = (0..n_fin)
         .map(|i| ((fin_keys[i] as u128) << 64) | ((fin_nodes[i] as u128) << 32) | i as u128)
         .collect();
-    sort_packed(&mut packed);
-    invert_packed(s, &packed, |rep, out| {
-        out.extend_from_slice(&fin_elements[rep * s..(rep + 1) * s]);
-    })
+    sort_packed(&mut packed, par_sort_min);
+    SortedRun {
+        packed,
+        elements: fin_elements,
+    }
+}
+
+/// One sorted run of aggregation records — the unit the device-side
+/// aggregation downloads per batch and the host k-way merge consumes.
+///
+/// `packed[i]` is `(shingle-key << 64) | (node << 32) | local-index`,
+/// ascending; `elements[local-index*s .. (local-index+1)*s]` holds the
+/// record's element ids in canonical order (local indices are assigned in
+/// emission order *within the run*, so they do not collide across runs —
+/// the merge re-ranks them globally).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SortedRun {
+    /// Sorted packed `(key, node, local-index)` records.
+    pub packed: Vec<u128>,
+    /// `s` element ids per record, indexed by the packed local index.
+    pub elements: Vec<u32>,
+}
+
+impl SortedRun {
+    /// Number of records in the run.
+    pub fn len(&self) -> usize {
+        self.packed.len()
+    }
+
+    /// True if the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.packed.is_empty()
+    }
+}
+
+/// Merge sorted runs into the bipartite shingle graph in one streaming
+/// binary-heap pass — the host side of device aggregation.
+///
+/// Entries pop in ascending `((key, node), run-index, position)` order.
+/// Runs arrive in batch order and their local indices in emission order,
+/// so this reproduces, record for record, exactly the sequence the host
+/// oracle's global `(key << 64 | node << 32 | record-index)` sort
+/// produces — which is what makes `AggregationMode::Device` bit-identical
+/// to `Host`. Host work is O(|records| · log |runs|) with no giant sort.
+pub fn merge_sorted_runs(s: usize, runs: Vec<SortedRun>) -> ShingleGraph {
+    let runs: Vec<SortedRun> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert!(total < (1 << 32), "too many shingle records");
+    debug_assert!(runs
+        .iter()
+        .all(|r| r.packed.windows(2).all(|w| w[0] <= w[1])));
+    let mut inv = StreamInverter::new(s, total);
+
+    if let [run] = runs.as_slice() {
+        // Degenerate single-run merge (host fragment path, one batch):
+        // skip the heap entirely.
+        for &p in &run.packed {
+            let rep = (p & 0xFFFF_FFFF) as usize;
+            inv.push(p, |out| {
+                out.extend_from_slice(&run.elements[rep * s..(rep + 1) * s])
+            });
+        }
+        return inv.finish();
+    }
+
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    // Heap keys strip the run-local index (low 32 bits) and tie-break on
+    // the run index, restoring the global emission order for records with
+    // equal (key, node).
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap: BinaryHeap<Reverse<(u128, usize)>> = runs
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| Reverse((r.packed[0] >> 32, ri)))
+        .collect();
+    while let Some(Reverse((_, ri))) = heap.pop() {
+        let run = &runs[ri];
+        let p = run.packed[cursors[ri]];
+        let rep = (p & 0xFFFF_FFFF) as usize;
+        inv.push(p, |out| {
+            out.extend_from_slice(&run.elements[rep * s..(rep + 1) * s])
+        });
+        cursors[ri] += 1;
+        if let Some(&next) = run.packed.get(cursors[ri]) {
+            heap.push(Reverse((next >> 32, ri)));
+        }
+    }
+    inv.finish()
 }
 
 /// Streaming shingle aggregation: records flow in one at a time (from
@@ -140,15 +246,24 @@ pub fn aggregate(raw: &RawShingles) -> ShingleGraph {
 #[derive(Debug)]
 pub struct StreamAggregator {
     s: usize,
+    par_sort_min: usize,
     packed: Vec<u128>,
     elements: Vec<u32>,
 }
 
 impl StreamAggregator {
-    /// A fresh aggregator for shingle size `s`.
+    /// A fresh aggregator for shingle size `s` with the default
+    /// [`PAR_SORT_MIN`] parallel-sort gate.
     pub fn new(s: usize) -> Self {
+        Self::with_par_sort_min(s, PAR_SORT_MIN)
+    }
+
+    /// A fresh aggregator with an explicit parallel-sort threshold
+    /// ([`crate::ShinglingParams::par_sort_min`]).
+    pub fn with_par_sort_min(s: usize, par_sort_min: usize) -> Self {
         StreamAggregator {
             s,
+            par_sort_min,
             packed: Vec::new(),
             elements: Vec::new(),
         }
@@ -181,7 +296,7 @@ impl StreamAggregator {
 
     /// Sort, group and build the bipartite shingle graph.
     pub fn finish(mut self) -> ShingleGraph {
-        sort_packed(&mut self.packed);
+        sort_packed(&mut self.packed, self.par_sort_min);
         let elements = self.elements;
         let s = self.s;
         invert_packed(s, &self.packed, |rep, out| {
@@ -202,29 +317,86 @@ fn invert_packed(
     packed: &[u128],
     push_elements: impl Fn(usize, &mut Vec<u32>),
 ) -> ShingleGraph {
-    let n_fin = packed.len();
-    let mut keys: Vec<u64> = Vec::new();
-    let mut elements: Vec<u32> = Vec::new();
-    let mut gen_offsets: Vec<u64> = vec![0];
-    let mut generators: Vec<u32> = Vec::with_capacity(n_fin);
-    let mut i = 0usize;
-    while i < n_fin {
-        let key = (packed[i] >> 64) as u64;
-        let rep = (packed[i] & 0xFFFF_FFFF) as usize;
-        keys.push(key);
-        push_elements(rep, &mut elements);
-        let mut last_node = u32::MAX;
-        while i < n_fin && (packed[i] >> 64) as u64 == key {
-            let node = ((packed[i] >> 32) & 0xFFFF_FFFF) as u32;
-            if node != last_node {
-                generators.push(node);
-                last_node = node;
-            }
-            i += 1;
-        }
-        gen_offsets.push(generators.len() as u64);
+    let mut inv = StreamInverter::new(s, packed.len());
+    for &p in packed {
+        let rep = (p & 0xFFFF_FFFF) as usize;
+        inv.push(p, |out| push_elements(rep, out));
     }
-    ShingleGraph::from_parts(s, keys, elements, gen_offsets, generators)
+    inv.finish()
+}
+
+/// The streaming grouping core shared by [`invert_packed`] (host mode)
+/// and [`merge_sorted_runs`] (device mode): consumes packed records in
+/// ascending `(key, node)` order one at a time, opens a shingle per
+/// distinct key (filling its elements from the group's first record, the
+/// representative) and dedups consecutive generator nodes.
+///
+/// Both aggregation modes building their graphs through this one type is
+/// what keeps their outputs structurally bit-identical.
+struct StreamInverter {
+    s: usize,
+    keys: Vec<u64>,
+    elements: Vec<u32>,
+    gen_offsets: Vec<u64>,
+    generators: Vec<u32>,
+    cur_key: u64,
+    last_node: u32,
+    open: bool,
+}
+
+impl StreamInverter {
+    fn new(s: usize, n_records_hint: usize) -> Self {
+        StreamInverter {
+            s,
+            keys: Vec::new(),
+            elements: Vec::new(),
+            gen_offsets: vec![0],
+            generators: Vec::with_capacity(n_records_hint),
+            cur_key: 0,
+            last_node: u32::MAX,
+            open: false,
+        }
+    }
+
+    /// Absorb the next record (ascending `(key, node)` across calls);
+    /// `fill_elements` appends its `s` element ids, invoked only when the
+    /// record opens a new key group.
+    #[inline]
+    fn push(&mut self, packed: u128, fill_elements: impl FnOnce(&mut Vec<u32>)) {
+        let key = (packed >> 64) as u64;
+        let node = ((packed >> 32) & 0xFFFF_FFFF) as u32;
+        if !self.open || key != self.cur_key {
+            debug_assert!(
+                !self.open || key > self.cur_key,
+                "records must arrive sorted"
+            );
+            if self.open {
+                self.gen_offsets.push(self.generators.len() as u64);
+            }
+            self.keys.push(key);
+            fill_elements(&mut self.elements);
+            self.cur_key = key;
+            self.last_node = u32::MAX;
+            self.open = true;
+        }
+        if node != self.last_node {
+            self.generators.push(node);
+            self.last_node = node;
+        }
+    }
+
+    fn finish(mut self) -> ShingleGraph {
+        if self.open {
+            self.gen_offsets.push(self.generators.len() as u64);
+        }
+        ShingleGraph::from_parts(
+            self.s,
+            self.keys,
+            self.elements,
+            self.gen_offsets,
+            self.generators,
+        )
+    }
 }
 
 #[cfg(test)]
@@ -346,6 +518,83 @@ mod tests {
         // 7 trials × 50 element pairs → 350 distinct shingles, each with
         // many generators.
         assert_eq!(via_grouped.len(), 350);
+    }
+
+    /// Pack one grouped record the way a device run does (run-local idx).
+    fn push_run_record(run: &mut SortedRun, trial: u32, node: u32, pairs: &[PackedHash]) {
+        let s = pairs.len();
+        let idx = (run.elements.len() / s) as u128;
+        for &p in pairs {
+            run.elements.push(unpack_element(p));
+        }
+        let key = shingle_key(trial, pairs.iter().map(|&p| unpack_element(p)));
+        run.packed
+            .push(((key as u128) << 64) | ((node as u128) << 32) | idx);
+    }
+
+    #[test]
+    fn merged_runs_equal_global_sort_oracle() {
+        // The same grouped record stream, aggregated (a) through the host
+        // oracle's one global sort and (b) split into per-"batch" runs,
+        // each sorted locally, then k-way merged — the device-aggregation
+        // shape. The graphs must be bit-identical for any split.
+        let s = 2;
+        for n_runs in [1usize, 2, 3, 7] {
+            let mut oracle = StreamAggregator::new(s);
+            let mut runs: Vec<SortedRun> = vec![SortedRun::default(); n_runs];
+            for i in 0..2_000u32 {
+                let trial = i % 5;
+                let e = i % 37;
+                let pairs = [pack(e, e), pack(e + 1, e + 1)];
+                oracle.push(trial, i, &pairs);
+                // Split in contiguous chunks, like batches of nodes.
+                let run = (i as usize * n_runs) / 2_000;
+                push_run_record(&mut runs[run], trial, i, &pairs);
+            }
+            for run in &mut runs {
+                run.packed.sort_unstable();
+            }
+            assert_eq!(merge_sorted_runs(s, runs), oracle.finish(), "{n_runs} runs");
+        }
+    }
+
+    #[test]
+    fn merge_handles_empty_and_unbalanced_runs() {
+        let s = 1;
+        let mut oracle = StreamAggregator::new(s);
+        let mut big = SortedRun::default();
+        let mut small = SortedRun::default();
+        for i in 0..100u32 {
+            let pairs = [pack(i % 9, i % 9)];
+            oracle.push(0, i, &pairs);
+            push_run_record(if i < 99 { &mut big } else { &mut small }, 0, i, &pairs);
+        }
+        big.packed.sort_unstable();
+        small.packed.sort_unstable();
+        let runs = vec![SortedRun::default(), big, SortedRun::default(), small];
+        assert_eq!(merge_sorted_runs(s, runs), oracle.finish());
+        assert!(merge_sorted_runs(s, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn par_sort_threshold_is_configurable() {
+        // Forcing the parallel path (threshold 0) and the serial path
+        // (threshold MAX) on the same small input must agree — the knob
+        // only moves work between rayon and the current thread.
+        let s = 2;
+        let mut forced_par = StreamAggregator::with_par_sort_min(s, 0);
+        let mut forced_serial = StreamAggregator::with_par_sort_min(s, usize::MAX);
+        let mut raw = RawShingles::new(s);
+        for i in 0..500u32 {
+            let pairs = [pack(i % 11, i % 11), pack(i % 11 + 1, i % 11 + 1)];
+            forced_par.push(i % 3, i, &pairs);
+            forced_serial.push(i % 3, i, &pairs);
+            raw.push(i % 3, i, &pairs);
+        }
+        let par = forced_par.finish();
+        assert_eq!(par, forced_serial.finish());
+        assert_eq!(par, aggregate_with(&raw, 0));
+        assert_eq!(par, aggregate_with(&raw, usize::MAX));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::params::ShingleKernel;
+use crate::params::{AggregationMode, ShingleKernel};
 
 /// One batch: an element range of the flat adjacency array plus the range
 /// of node (list) indices that intersect it.
@@ -97,7 +97,8 @@ pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
     batches
 }
 
-/// Device-memory footprint of one batch element under the given kernel.
+/// Device-memory footprint of one batch element under the given kernel
+/// and aggregation mode.
 ///
 /// * [`ShingleKernel::SortCompact`] — each element needs a `u32` input
 ///   slot, a `u64` packed `(hash, vertex)` workspace slot for the
@@ -108,10 +109,21 @@ pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
 ///   and keeps only an s-sized insertion buffer per segment (O(s) per
 ///   segment, not per element), so the 8-byte packed workspace disappears
 ///   and only the input + staging slots remain: `4 + 4 = 8` bytes.
-pub const fn bytes_per_elem(kernel: ShingleKernel) -> usize {
-    match kernel {
+/// * [`AggregationMode::Device`] adds a 16-byte reserve per element for
+///   the on-device record sort: the `u128` packed `(key, node, index)`
+///   workspace the batch's records are radix-sorted in before streaming
+///   back as a sorted run. Records are bounded per *run*, not per
+///   element; the run builder sizes its flush threshold so each run's
+///   staging column + packed buffer fit in this reserve (see
+///   [`crate::gpu_pass::DeviceRunBuilder`]).
+pub const fn bytes_per_elem(kernel: ShingleKernel, aggregation: AggregationMode) -> usize {
+    let kernel_bytes = match kernel {
         ShingleKernel::SortCompact => 4 + 8 + 4, // input + packed workspace + staged next input
         ShingleKernel::FusedSelect => 4 + 4,     // input + staged next input
+    };
+    match aggregation {
+        AggregationMode::Host => kernel_bytes,
+        AggregationMode::Device => kernel_bytes + 16, // + packed record sort workspace
     }
 }
 
@@ -126,15 +138,21 @@ pub const fn bytes_per_elem(kernel: ShingleKernel) -> usize {
 pub const HEADROOM: f64 = 0.8;
 
 /// Batch capacity (elements) for a device with `available_bytes` free
-/// under the given kernel's per-element footprint (see
-/// [`bytes_per_elem`]). FusedSelect's footprint is half of SortCompact's,
-/// so it plans ~2× larger batches from the same memory — fewer batches,
-/// fewer transfers, fewer kernel launches.
+/// under the given kernel's and aggregation mode's per-element footprint
+/// (see [`bytes_per_elem`]). FusedSelect's footprint is half of
+/// SortCompact's, so it plans ~2× larger batches from the same memory —
+/// fewer batches, fewer transfers, fewer kernel launches. Device
+/// aggregation's record-sort reserve shrinks batches in exchange for
+/// moving the dominant host sort onto the device.
 ///
 /// The same capacity is used by both pipeline modes so the two schedules
 /// share one batch plan — the precondition for bit-identical output.
-pub fn batch_capacity(available_bytes: usize, kernel: ShingleKernel) -> usize {
-    (((available_bytes as f64) * HEADROOM) as usize / bytes_per_elem(kernel)).max(1)
+pub fn batch_capacity(
+    available_bytes: usize,
+    kernel: ShingleKernel,
+    aggregation: AggregationMode,
+) -> usize {
+    (((available_bytes as f64) * HEADROOM) as usize / bytes_per_elem(kernel, aggregation)).max(1)
 }
 
 /// Visibility record for a device pass's batch plan: how the capacity
@@ -153,8 +171,14 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    /// Stats for a plan produced with the given capacity and kernel.
-    pub fn from_plan(batches: &[Batch], capacity: usize, kernel: ShingleKernel) -> Self {
+    /// Stats for a plan produced with the given capacity, kernel and
+    /// aggregation mode.
+    pub fn from_plan(
+        batches: &[Batch],
+        capacity: usize,
+        kernel: ShingleKernel,
+        aggregation: AggregationMode,
+    ) -> Self {
         BatchStats {
             n_batches: batches.len() as u64,
             max_batch_elems: batches
@@ -163,7 +187,7 @@ impl BatchStats {
                 .max()
                 .unwrap_or(0),
             capacity_elems: capacity as u64,
-            elem_footprint_bytes: bytes_per_elem(kernel) as u64,
+            elem_footprint_bytes: bytes_per_elem(kernel, aggregation) as u64,
         }
     }
 
@@ -284,29 +308,56 @@ mod tests {
     #[test]
     fn capacity_model_positive_and_monotone() {
         for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
-            let small = batch_capacity(64 * 1024, kernel);
-            let large = batch_capacity(5 * 1024 * 1024 * 1024, kernel);
-            assert!(small >= 1);
-            assert!(large > small);
-            // 5 GB device → batches of a few hundred million elements.
-            assert!(large > 100_000_000);
+            for aggregation in [AggregationMode::Host, AggregationMode::Device] {
+                let small = batch_capacity(64 * 1024, kernel, aggregation);
+                let large = batch_capacity(5 * 1024 * 1024 * 1024, kernel, aggregation);
+                assert!(small >= 1);
+                assert!(large > small);
+                // 5 GB device → batches of a few hundred million elements.
+                assert!(large > 100_000_000);
+            }
         }
     }
 
     #[test]
     fn fused_select_doubles_capacity() {
-        assert_eq!(bytes_per_elem(ShingleKernel::SortCompact), 16);
-        assert_eq!(bytes_per_elem(ShingleKernel::FusedSelect), 8);
+        assert_eq!(
+            bytes_per_elem(ShingleKernel::SortCompact, AggregationMode::Host),
+            16
+        );
+        assert_eq!(
+            bytes_per_elem(ShingleKernel::FusedSelect, AggregationMode::Host),
+            8
+        );
         let bytes = 5usize * 1024 * 1024 * 1024;
-        let sort = batch_capacity(bytes, ShingleKernel::SortCompact);
-        let select = batch_capacity(bytes, ShingleKernel::FusedSelect);
+        let sort = batch_capacity(bytes, ShingleKernel::SortCompact, AggregationMode::Host);
+        let select = batch_capacity(bytes, ShingleKernel::FusedSelect, AggregationMode::Host);
         assert_eq!(select, sort * 2);
+    }
+
+    #[test]
+    fn device_aggregation_reserves_record_sort_workspace() {
+        assert_eq!(
+            bytes_per_elem(ShingleKernel::SortCompact, AggregationMode::Device),
+            32
+        );
+        assert_eq!(
+            bytes_per_elem(ShingleKernel::FusedSelect, AggregationMode::Device),
+            24
+        );
+        let bytes = 5usize * 1024 * 1024 * 1024;
+        for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+            let host = batch_capacity(bytes, kernel, AggregationMode::Host);
+            let device = batch_capacity(bytes, kernel, AggregationMode::Device);
+            assert!(device < host, "the reserve must shrink batches");
+        }
     }
 
     #[test]
     fn batch_stats_describe_the_plan() {
         let bs = plan_batches(&OFFSETS, 4);
-        let stats = BatchStats::from_plan(&bs, 4, ShingleKernel::SortCompact);
+        let stats =
+            BatchStats::from_plan(&bs, 4, ShingleKernel::SortCompact, AggregationMode::Host);
         assert_eq!(stats.n_batches, 3);
         assert_eq!(stats.max_batch_elems, 4);
         assert_eq!(stats.capacity_elems, 4);
@@ -321,6 +372,7 @@ mod tests {
             &plan_batches(&OFFSETS, 8),
             8,
             ShingleKernel::FusedSelect,
+            AggregationMode::Host,
         ));
         assert_eq!(merged.n_batches, 3 + 2);
         assert_eq!(merged.max_batch_elems, 8);
@@ -328,7 +380,8 @@ mod tests {
 
     #[test]
     fn empty_plan_stats_are_zero() {
-        let stats = BatchStats::from_plan(&[], 7, ShingleKernel::FusedSelect);
+        let stats =
+            BatchStats::from_plan(&[], 7, ShingleKernel::FusedSelect, AggregationMode::Host);
         assert_eq!(stats.n_batches, 0);
         assert_eq!(stats.max_batch_elems, 0);
         assert_eq!(stats.max_batch_footprint_bytes(), 0);

@@ -54,11 +54,23 @@
 //!   the max of the two stream cursors — is the pipelined critical path
 //!   that the paper's "asynchronous operations provided in CUDA C/C++"
 //!   future work would buy.
+//!
+//! ## Host vs. device aggregation
+//!
+//! Orthogonal to both axes above, [`AggregationMode`] decides where the
+//! emitted records get **sorted**. `Host` streams them into
+//! [`crate::aggregate::StreamAggregator`]'s global host sort; `Device`
+//! routes them through a [`DeviceRunBuilder`] that packs and radix-sorts
+//! them on the card and hands back per-flush [`SortedRun`]s for a
+//! streaming k-way host merge ([`crate::aggregate::merge_sorted_runs`]) —
+//! same partitions, bit-identical record order, but the dominant
+//! `O(c·n log c·n)` comparison sort moves off the CPU column of Table I.
 
+use crate::aggregate::SortedRun;
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
-use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::ShingleKernel;
-use crate::shingle::{AdjacencyInput, RawShingles};
+use crate::minwise::{hash_with, pack, unpack_element, HashFamily};
+use crate::params::{AggregationMode, ShingleKernel};
+use crate::shingle::{shingle_key, AdjacencyInput, RawShingles};
 use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream, StreamEvent};
 
 /// Trial-invariant shape of one batch, computed once up front: segment
@@ -158,18 +170,75 @@ fn compaction_tasks<'a>(
     tasks
 }
 
+/// Where a device pass's finalized `(trial, node, top-s pairs)` records
+/// go. `Host` aggregation (and pass II's union–find streaming) uses the
+/// [`FnSink`] closure adapter; `Device` aggregation uses a
+/// [`DeviceRunBuilder`] that may flush staged records through a device
+/// pack + radix sort whenever it records (capacity trigger) or at a batch
+/// boundary — which is why both hooks see the [`Gpu`] and the optional
+/// stream pair.
+pub trait RecordSink {
+    fn record(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+        trial: u32,
+        node: u32,
+        pairs: &[u64],
+    ) -> Result<(), DeviceError>;
+
+    /// Called once per batch, after the batch's per-trial device buffers
+    /// have been dropped (so a flush has the freed memory to work with)
+    /// but while the next batch's prefetch may still be staged.
+    fn batch_end(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(), DeviceError>;
+}
+
+/// Adapts a plain `FnMut(trial, node, pairs)` closure — the host
+/// aggregation path — to [`RecordSink`]. Infallible; `batch_end` is a
+/// no-op.
+pub struct FnSink<F>(pub F);
+
+impl<F: FnMut(u32, u32, &[u64])> RecordSink for FnSink<F> {
+    fn record(
+        &mut self,
+        _gpu: &Gpu,
+        _streams: Option<(&Stream, &Stream)>,
+        trial: u32,
+        node: u32,
+        pairs: &[u64],
+    ) -> Result<(), DeviceError> {
+        (self.0)(trial, node, pairs);
+        Ok(())
+    }
+
+    fn batch_end(
+        &mut self,
+        _gpu: &Gpu,
+        _streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(), DeviceError> {
+        Ok(())
+    }
+}
+
 /// CPU-side record building for one trial's host output, with
 /// boundary-fragment merging ("the CPU has to combine the shingle results
 /// for the split adjacency lists after it receives shingles from the GPU").
-fn emit_trial_records(
+#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_device_pass
+fn emit_trial_records<S: RecordSink>(
     plan: &BatchPlan,
     host_out: &[u64],
     trial: usize,
     s: usize,
     carry: &mut [Vec<u64>],
     carry_node: Option<u32>,
-    f: &mut impl FnMut(u32, u32, &[u64]),
-) {
+    gpu: &Gpu,
+    streams: Option<(&Stream, &Stream)>,
+    sink: &mut S,
+) -> Result<(), DeviceError> {
     let n_segs = plan.nodes.len();
     for &seg in &plan.emit_segs {
         let i = seg as usize;
@@ -188,14 +257,15 @@ fn emit_trial_records(
             if is_last && plan.last_frag {
                 carry[trial] = merged; // list continues further
             } else if merged.len() == s {
-                f(trial as u32, plan.nodes[i], &merged);
+                sink.record(gpu, streams, trial as u32, plan.nodes[i], &merged)?;
             }
         } else if is_last && plan.last_frag {
             carry[trial] = pairs.to_vec();
         } else if pairs.len() == s {
-            f(trial as u32, plan.nodes[i], pairs);
+            sink.record(gpu, streams, trial as u32, plan.nodes[i], pairs)?;
         }
     }
+    Ok(())
 }
 
 /// The shared driver behind both scheduling modes and both kernels.
@@ -207,20 +277,21 @@ fn emit_trial_records(
 /// identical across all four combinations, which is what guarantees
 /// bit-identical output; only where the modeled time lands differs.
 #[allow(clippy::too_many_arguments)] // internal driver; public wrappers are narrower
-fn run_device_pass(
+fn run_device_pass<S: RecordSink>(
     gpu: &Gpu,
     input: &impl AdjacencyInput,
     s: usize,
     family: &HashFamily,
     kernel: ShingleKernel,
+    aggregation: AggregationMode,
     capacity: usize,
     streams: Option<(&Stream, &Stream)>,
-    mut f: impl FnMut(u32, u32, &[u64]),
+    sink: &mut S,
 ) -> Result<BatchStats, DeviceError> {
     let offsets = input.offsets();
     let flat = input.flat();
     let batches = plan_batches(offsets, capacity);
-    let stats = BatchStats::from_plan(&batches, capacity, kernel);
+    let stats = BatchStats::from_plan(&batches, capacity, kernel, aggregation);
 
     // Carry buffers for the one adjacency list that can span the current
     // batch boundary: per-trial top candidates of the fragments seen so
@@ -358,9 +429,17 @@ fn run_device_pass(
             } else {
                 gpu.dtoh(&out_dev)
             };
-            emit_trial_records(&plan, &host_out, trial, s, &mut carry, carry_node, &mut f);
+            emit_trial_records(
+                &plan, &host_out, trial, s, &mut carry, carry_node, gpu, streams, sink,
+            )?;
         }
         drop(prev_out);
+        // Free the batch's element (and packed-workspace) buffers before
+        // the sink's batch hook runs, so a device-aggregation flush can
+        // allocate its staging column and record buffer.
+        drop(packed_dev);
+        drop(elems_dev);
+        sink.batch_end(gpu, streams)?;
         carry_node = if plan.last_frag {
             Some(plan.nodes[plan.nodes.len() - 1])
         } else {
@@ -384,7 +463,7 @@ pub fn gpu_shingle_pass_foreach(
     kernel: ShingleKernel,
     f: impl FnMut(u32, u32, &[u64]),
 ) -> Result<BatchStats, DeviceError> {
-    let capacity = batch_capacity(gpu.mem_available(), kernel);
+    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Host);
     gpu_shingle_pass_foreach_with_capacity(gpu, input, s, family, kernel, capacity, f)
 }
 
@@ -402,7 +481,17 @@ pub fn gpu_shingle_pass_foreach_with_capacity(
     capacity: usize,
     f: impl FnMut(u32, u32, &[u64]),
 ) -> Result<BatchStats, DeviceError> {
-    run_device_pass(gpu, input, s, family, kernel, capacity, None, f)
+    run_device_pass(
+        gpu,
+        input,
+        s,
+        family,
+        kernel,
+        AggregationMode::Host,
+        capacity,
+        None,
+        &mut FnSink(f),
+    )
 }
 
 /// Run one full shingling pass as a double-buffered two-stream pipeline.
@@ -418,7 +507,7 @@ pub fn gpu_shingle_pass_overlapped_foreach(
     kernel: ShingleKernel,
     f: impl FnMut(u32, u32, &[u64]),
 ) -> Result<(BatchStats, f64), DeviceError> {
-    let capacity = batch_capacity(gpu.mem_available(), kernel);
+    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Host);
     gpu_shingle_pass_overlapped_foreach_with_capacity(gpu, input, s, family, kernel, capacity, f)
 }
 
@@ -441,9 +530,10 @@ pub fn gpu_shingle_pass_overlapped_foreach_with_capacity(
         s,
         family,
         kernel,
+        AggregationMode::Host,
         capacity,
         Some((&compute, &copy)),
-        f,
+        &mut FnSink(f),
     )?;
     Ok((
         stats,
@@ -515,6 +605,338 @@ pub fn gpu_shingle_pass_overlapped(
     )?;
     raw.mark_grouped();
     Ok((raw, makespan))
+}
+
+/// Records per device pack task (one thread-block-batch per chunk).
+const PACK_CHUNK: usize = 4 * 1024;
+
+/// Device-side aggregation front end: stages finalized records, then
+/// packs and radix-sorts them **on the device** into [`SortedRun`]s that a
+/// k-way host merge ([`crate::aggregate::merge_sorted_runs`]) consumes
+/// record-by-record. This replaces the host's giant global
+/// `par_sort_unstable` over all `c·n` records — the step behind the CPU
+/// column's ~79% share in Table I — with a `thrust::sort_by_key`-style
+/// sort per flush plus an O(|E′| log r) streaming merge.
+///
+/// ## Staging and run sizing
+///
+/// Each record stages as a stride-`s + 2` u32 column `[trial, node,
+/// e_0..e_{s-1}]`. A flush uploads the column, launches a pack kernel
+/// computing `(shingle_key << 64) | (node << 32) | run_local_idx` per
+/// record (the same 128-bit key the host oracle sorts), radix-sorts the
+/// u128s ([`thrust::sort_pairs`] — two 64-bit `sort_by_key` passes), and
+/// downloads the sorted run. Flushes trigger when the staged count
+/// reaches `run_capacity` and at every batch boundary; `run_capacity` is
+/// sized so the column (`4·(s+2)` B/record) and the packed buffer (16
+/// B/record) together fit the extra 16 B/element the
+/// [`AggregationMode::Device`] batch footprint reserves
+/// ([`crate::batch::bytes_per_elem`]).
+///
+/// In the simulator the staged key material lives host-side (the
+/// boundary-fragment merge is a host step), so a flush re-uploads it; a
+/// native implementation would pack interior records straight from the
+/// device-resident per-trial output. The modeled H2D cost charged here is
+/// therefore conservative.
+///
+/// ## Bit-identity with host aggregation
+///
+/// Flush boundaries cut the emission sequence into contiguous slices, so
+/// run order = emission order, and each run is ascending in the full
+/// 128-bit record. The k-way merge keyed on `((packed >> 32), run_idx)`
+/// then replays exactly the host oracle's `(key, node, global emission
+/// idx)` order. An out-of-memory flush falls back to packing and sorting
+/// the same records on the host — also a total-order ascending u128 sort,
+/// hence bit-identical.
+pub struct DeviceRunBuilder {
+    s: usize,
+    /// Interleaved staging column, stride `s + 2`.
+    col: Vec<u32>,
+    run_capacity: usize,
+    runs: Vec<SortedRun>,
+    agg_kernel_seconds: f64,
+    host_fallbacks: u64,
+}
+
+impl DeviceRunBuilder {
+    /// `capacity` is the pass's per-batch element budget: the run size is
+    /// derived from the 16 B/element device-aggregation reserve it
+    /// implies.
+    pub fn new(s: usize, capacity: usize) -> Self {
+        let per_record = 16 + 4 * (s + 2);
+        DeviceRunBuilder {
+            s,
+            col: Vec::new(),
+            run_capacity: ((16 * capacity) / per_record).max(1),
+            runs: Vec::new(),
+            agg_kernel_seconds: 0.0,
+            host_fallbacks: 0,
+        }
+    }
+
+    /// Staged-but-unflushed record count.
+    pub fn staged(&self) -> usize {
+        self.col.len() / (self.s + 2)
+    }
+
+    /// Flushes that hit device memory pressure and sorted on the host
+    /// instead (bit-identical, but no device offload for that run).
+    pub fn host_fallbacks(&self) -> u64 {
+        self.host_fallbacks
+    }
+
+    /// Modeled device seconds spent in aggregation kernels (pack + radix
+    /// sort) so far — the work that used to be host sort time.
+    pub fn agg_kernel_seconds(&self) -> f64 {
+        self.agg_kernel_seconds
+    }
+
+    /// Stage one record; the caller decides when to flush (the
+    /// [`RecordSink`] impl flushes at `run_capacity` and on `batch_end`).
+    pub fn push(&mut self, trial: u32, node: u32, pairs: &[u64]) {
+        debug_assert_eq!(pairs.len(), self.s);
+        self.col.reserve(self.s + 2);
+        self.col.push(trial);
+        self.col.push(node);
+        self.col.extend(pairs.iter().map(|&p| unpack_element(p)));
+    }
+
+    /// Pack + sort the staged records into one [`SortedRun`].
+    pub fn flush(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(), DeviceError> {
+        let stride = self.s + 2;
+        let n = self.col.len() / stride;
+        if n == 0 {
+            return Ok(());
+        }
+        let col = std::mem::take(&mut self.col);
+        let elements: Vec<u32> = col
+            .chunks_exact(stride)
+            .flat_map(|rec| rec[2..].iter().copied())
+            .collect();
+        let packed = match self.device_pack_sort(gpu, streams, &col, n) {
+            Ok(packed) => packed,
+            Err(DeviceError::OutOfMemory { .. }) => {
+                // Same total-order ascending sort on the host: the run's
+                // bytes are identical, only the modeled time lands on the
+                // CPU instead.
+                self.host_fallbacks += 1;
+                host_pack_sort(&col, stride)
+            }
+            Err(e) => return Err(e),
+        };
+        self.runs.push(SortedRun { packed, elements });
+        Ok(())
+    }
+
+    fn device_pack_sort(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+        col: &[u32],
+        n: usize,
+    ) -> Result<Vec<u128>, DeviceError> {
+        let stride = self.s + 2;
+        let pack_cost = KernelCost::transform();
+        if let Some((compute, copy)) = streams {
+            // Column up on the copy stream (overlaps earlier compute),
+            // pack + sort on the compute stream, sorted run back on the
+            // copy stream — overlapping the next batch's kernels exactly
+            // like the per-trial D2H does.
+            let col_dev = copy.htod_async(col)?;
+            compute.wait_event(&copy.record_event());
+            let mut packed_dev = gpu.alloc::<u128>(n)?;
+            let tasks = pack_tasks(
+                col_dev.device_slice(),
+                packed_dev.device_slice_mut(),
+                stride,
+            );
+            compute.launch(n, &pack_cost, tasks);
+            thrust::sort_pairs_on(compute, &mut packed_dev);
+            copy.wait_event(&compute.record_event());
+            let packed = copy.dtoh_async(&packed_dev);
+            self.agg_kernel_seconds += gpu.model_kernel_seconds(n, &pack_cost)
+                + gpu.model_kernel_seconds(n, &KernelCost::pair_sort());
+            Ok(packed)
+        } else {
+            let col_dev = gpu.htod(col)?;
+            let mut packed_dev = gpu.alloc::<u128>(n)?;
+            let tasks = pack_tasks(
+                col_dev.device_slice(),
+                packed_dev.device_slice_mut(),
+                stride,
+            );
+            gpu.launch(n, &pack_cost, tasks);
+            thrust::sort_pairs(gpu, &mut packed_dev);
+            self.agg_kernel_seconds += gpu.model_kernel_seconds(n, &pack_cost)
+                + gpu.model_kernel_seconds(n, &KernelCost::pair_sort());
+            Ok(gpu.dtoh(&packed_dev))
+        }
+    }
+
+    /// Flush any staged tail and return the sorted runs plus the modeled
+    /// device seconds the aggregation kernels consumed.
+    pub fn finish(
+        mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(Vec<SortedRun>, f64), DeviceError> {
+        self.flush(gpu, streams)?;
+        Ok((self.runs, self.agg_kernel_seconds))
+    }
+}
+
+impl RecordSink for DeviceRunBuilder {
+    fn record(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+        trial: u32,
+        node: u32,
+        pairs: &[u64],
+    ) -> Result<(), DeviceError> {
+        self.push(trial, node, pairs);
+        if self.staged() >= self.run_capacity {
+            self.flush(gpu, streams)?;
+        }
+        Ok(())
+    }
+
+    fn batch_end(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(), DeviceError> {
+        self.flush(gpu, streams)
+    }
+}
+
+/// Device pack kernel: one task per [`PACK_CHUNK`] records, each
+/// computing the 128-bit sort record from the staged column.
+fn pack_tasks<'a>(
+    col: &'a [u32],
+    out: &'a mut [u128],
+    stride: usize,
+) -> Vec<Box<dyn FnOnce() + Send + 'a>> {
+    out.chunks_mut(PACK_CHUNK)
+        .enumerate()
+        .map(|(ci, dst)| {
+            let base = ci * PACK_CHUNK;
+            Box::new(move || {
+                for (k, d) in dst.iter_mut().enumerate() {
+                    let r = base + k;
+                    let rec = &col[r * stride..(r + 1) * stride];
+                    let key = shingle_key(rec[0], rec[2..].iter().copied());
+                    *d = ((key as u128) << 64) | ((rec[1] as u128) << 32) | r as u128;
+                }
+            }) as Box<dyn FnOnce() + Send + 'a>
+        })
+        .collect()
+}
+
+/// Host fallback of the pack + sort, used when a flush cannot get device
+/// memory. Identical bytes: same key computation, same ascending total
+/// order.
+fn host_pack_sort(col: &[u32], stride: usize) -> Vec<u128> {
+    let mut packed: Vec<u128> = col
+        .chunks_exact(stride)
+        .enumerate()
+        .map(|(r, rec)| {
+            let key = shingle_key(rec[0], rec[2..].iter().copied());
+            ((key as u128) << 64) | ((rec[1] as u128) << 32) | r as u128
+        })
+        .collect();
+    packed.sort_unstable();
+    packed
+}
+
+/// One synchronous shingling pass under [`AggregationMode::Device`]: the
+/// records never queue for a host sort — they pack and radix-sort on the
+/// device per flush and come back as [`SortedRun`]s for
+/// [`crate::aggregate::merge_sorted_runs`]. Returns the runs, the pass's
+/// [`BatchStats`], and the modeled device seconds the aggregation kernels
+/// added.
+pub fn gpu_shingle_pass_device_agg(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+) -> Result<(Vec<SortedRun>, BatchStats, f64), DeviceError> {
+    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Device);
+    gpu_shingle_pass_device_agg_with_capacity(gpu, input, s, family, kernel, capacity)
+}
+
+/// [`gpu_shingle_pass_device_agg`] with an explicit per-batch element
+/// capacity (see [`gpu_shingle_pass_foreach_with_capacity`]).
+pub fn gpu_shingle_pass_device_agg_with_capacity(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+) -> Result<(Vec<SortedRun>, BatchStats, f64), DeviceError> {
+    let mut builder = DeviceRunBuilder::new(s, capacity);
+    let stats = run_device_pass(
+        gpu,
+        input,
+        s,
+        family,
+        kernel,
+        AggregationMode::Device,
+        capacity,
+        None,
+        &mut builder,
+    )?;
+    let (runs, agg_seconds) = builder.finish(gpu, None)?;
+    Ok((runs, stats, agg_seconds))
+}
+
+/// [`gpu_shingle_pass_device_agg`] under the overlapped two-stream
+/// schedule: each flush's column upload and sorted-run download ride the
+/// copy stream while the next batch's trials run on the compute stream.
+/// Returns `(runs, stats, agg kernel seconds, pipelined makespan)`.
+pub fn gpu_shingle_pass_overlapped_device_agg(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+) -> Result<(Vec<SortedRun>, BatchStats, f64, f64), DeviceError> {
+    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Device);
+    gpu_shingle_pass_overlapped_device_agg_with_capacity(gpu, input, s, family, kernel, capacity)
+}
+
+/// [`gpu_shingle_pass_overlapped_device_agg`] with an explicit per-batch
+/// element capacity.
+pub fn gpu_shingle_pass_overlapped_device_agg_with_capacity(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+) -> Result<(Vec<SortedRun>, BatchStats, f64, f64), DeviceError> {
+    let compute = gpu.stream("shingle-compute");
+    let copy = gpu.stream("shingle-copy");
+    let mut builder = DeviceRunBuilder::new(s, capacity);
+    let stats = run_device_pass(
+        gpu,
+        input,
+        s,
+        family,
+        kernel,
+        AggregationMode::Device,
+        capacity,
+        Some((&compute, &copy)),
+        &mut builder,
+    )?;
+    let (runs, agg_seconds) = builder.finish(gpu, Some((&compute, &copy)))?;
+    let makespan = compute.completed_seconds().max(copy.completed_seconds());
+    Ok((runs, stats, agg_seconds, makespan))
 }
 
 #[cfg(test)]
@@ -807,5 +1229,120 @@ mod tests {
         assert_eq!(stats.n_batches, 1);
         assert_eq!(stats.max_batch_elems, g.flat().len() as u64);
         assert!(stats.capacity_elems >= stats.max_batch_elems);
+    }
+
+    /// Device-aggregated runs, merged, must equal the host-aggregated
+    /// oracle — under both kernels, on the one-batch K20.
+    #[test]
+    fn device_agg_matches_host_oracle_single_batch() {
+        use crate::aggregate::merge_sorted_runs;
+        let g = planted_graph(12);
+        let family = HashFamily::new(20, 5);
+        for kernel in KERNELS {
+            let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let host = aggregate(&gpu_shingle_pass(&gpu_host, &g, 2, &family, kernel).unwrap());
+            let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let (runs, _, agg_s) =
+                gpu_shingle_pass_device_agg(&gpu_dev, &g, 2, &family, kernel).unwrap();
+            assert!(agg_s > 0.0, "{kernel:?}");
+            assert_eq!(host, merge_sorted_runs(2, runs), "{kernel:?}");
+        }
+    }
+
+    /// The tiny device forces many batches → many runs (one per batch
+    /// flush, possibly more from the capacity trigger); the k-way merge
+    /// must still reproduce the host oracle exactly, under both kernels
+    /// and both schedules.
+    #[test]
+    fn device_agg_matches_host_oracle_with_forced_batching() {
+        use crate::aggregate::merge_sorted_runs;
+        let g = batching_graph(13);
+        let family = HashFamily::new(12, 4);
+        for kernel in KERNELS {
+            let gpu_host = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let host = aggregate(&gpu_shingle_pass(&gpu_host, &g, 2, &family, kernel).unwrap());
+
+            let gpu_sync = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let (runs, stats, _) =
+                gpu_shingle_pass_device_agg(&gpu_sync, &g, 2, &family, kernel).unwrap();
+            assert!(stats.n_batches > 1, "{kernel:?}");
+            assert!(runs.len() > 1, "{kernel:?}");
+            assert_eq!(host, merge_sorted_runs(2, runs), "{kernel:?}");
+
+            let gpu_ovl = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let (runs_ovl, _, agg_s, makespan) =
+                gpu_shingle_pass_overlapped_device_agg(&gpu_ovl, &g, 2, &family, kernel).unwrap();
+            assert!(makespan > 0.0 && agg_s >= 0.0);
+            assert_eq!(
+                host,
+                merge_sorted_runs(2, runs_ovl),
+                "{kernel:?} overlapped"
+            );
+        }
+    }
+
+    /// Under a shared forced capacity the record streams are identical
+    /// across modes, so the concatenated device runs must hold exactly the
+    /// host-mode records (same count), each run ascending in the full
+    /// 128-bit record with run-local low bits.
+    #[test]
+    fn device_runs_are_sorted_contiguous_slices_of_the_emission_stream() {
+        let g = batching_graph(14);
+        let family = HashFamily::new(8, 6);
+        let cap = 1200;
+        let kernel = ShingleKernel::SortCompact;
+        let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let mut n_host = 0usize;
+        gpu_shingle_pass_foreach_with_capacity(
+            &gpu_host,
+            &g,
+            2,
+            &family,
+            kernel,
+            cap,
+            |_, _, _| {
+                n_host += 1;
+            },
+        )
+        .unwrap();
+        let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let (runs, _, _) =
+            gpu_shingle_pass_device_agg_with_capacity(&gpu_dev, &g, 2, &family, kernel, cap)
+                .unwrap();
+        assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), n_host);
+        for run in &runs {
+            assert!(run.packed.windows(2).all(|w| w[0] < w[1]), "run ascending");
+            assert_eq!(run.elements.len(), run.len() * 2);
+            for (i, &p) in run.packed.iter().enumerate() {
+                assert!(((p & 0xFFFF_FFFF) as usize) < run.len(), "local idx {i}");
+            }
+        }
+    }
+
+    /// The device-aggregation flush charges its pack + radix-sort kernels
+    /// to the device counters, and the overlapped schedule's makespan
+    /// stays within the serialized bound.
+    #[test]
+    fn device_agg_charges_kernels_and_overlap_accounting_holds() {
+        let g = planted_graph(15);
+        let family = HashFamily::new(16, 7);
+        let kernel = ShingleKernel::FusedSelect;
+        let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        gpu_shingle_pass(&gpu_host, &g, 2, &family, kernel).unwrap();
+        let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let (_, _, agg_s, makespan) =
+            gpu_shingle_pass_overlapped_device_agg(&gpu_dev, &g, 2, &family, kernel).unwrap();
+        let host_snap = gpu_host.counters();
+        let dev_snap = gpu_dev.counters();
+        assert!(
+            dev_snap.kernel_seconds > host_snap.kernel_seconds,
+            "aggregation kernels must add device time"
+        );
+        assert!(
+            (dev_snap.kernel_seconds - host_snap.kernel_seconds) >= agg_s * 0.5,
+            "reported agg seconds {agg_s} should show up in the counters"
+        );
+        assert!(makespan < dev_snap.serialized_device_seconds());
+        assert!(makespan >= dev_snap.kernel_seconds - 1e-6);
     }
 }

@@ -58,7 +58,7 @@ pub mod weighted;
 
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
-pub use params::{PipelineMode, ShingleKernel, ShinglingParams};
+pub use params::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
 pub use pipeline::{GpClust, GpClustReport};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;

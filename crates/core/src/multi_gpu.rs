@@ -19,15 +19,16 @@
 //! makespans, summed over the two passes. The result is provably identical
 //! to the single-device pipeline in either mode (tests assert it).
 
-use crate::aggregate::aggregate;
+use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
+use crate::gpu_pass::{DeviceRunBuilder, RecordSink};
 use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::{PipelineMode, ShingleKernel, ShinglingParams};
+use crate::params::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
 use crate::report;
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::timing::StageTimes;
 use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream};
-use gpclust_graph::{Csr, Partition};
+use gpclust_graph::{Csr, Partition, ShingleGraph};
 
 /// A gpClust pipeline spanning multiple (simulated) devices.
 #[derive(Debug, Clone)]
@@ -72,18 +73,14 @@ impl MultiGpuClust {
         }
         let wall_start = std::time::Instant::now();
 
-        let (raw1, pipe1, stats1) =
+        let (first, pipe1, stats1, agg1) =
             self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
-        let first = aggregate(&raw1);
-        drop(raw1);
 
         // Pass II records may hold cross-device fragments, so Phase III
         // goes through the generic (merging) aggregation and the
         // materialized reporting path.
-        let (raw2, pipe2, stats2) =
+        let (second, pipe2, stats2, agg2) =
             self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
-        let second = aggregate(&raw2);
-        drop(raw2);
         let partition = report::partition_clusters(g.n(), &first, &second);
 
         let wall = wall_start.elapsed().as_secs_f64();
@@ -99,6 +96,10 @@ impl MultiGpuClust {
             d2h: max(|s| s.d2h_seconds),
             disk_io: 0.0,
             device_pipelined: 0.0,
+            // Devices aggregate concurrently, so — like the gpu column —
+            // the aggregation-kernel share is the per-pass max over
+            // devices, summed over the passes.
+            device_aggregation: agg1 + agg2,
             ..Default::default()
         };
         times.device_pipelined = match self.params.mode {
@@ -116,42 +117,54 @@ impl MultiGpuClust {
     }
 
     /// One shingling pass with batches dealt round-robin across devices,
-    /// one host thread per device. Returns the merged record stream, the
-    /// pass's pipelined makespan (max over devices; 0 in synchronous
-    /// mode, where the serialized counter sum stands in for it), and the
-    /// pass-wide batch-plan stats.
+    /// one host thread per device, **aggregated**. Under
+    /// [`AggregationMode::Host`] the per-device record streams merge into
+    /// one [`RawShingles`] that the generic host aggregation sorts. Under
+    /// [`AggregationMode::Device`] each device packs + radix-sorts its
+    /// *complete* (non-fragment) records into [`SortedRun`]s on its own
+    /// card, while cross-batch/cross-device **fragments** — the only
+    /// records that need host-side reconciliation — pool into a small
+    /// [`RawShingles`] whose merged, host-sorted output becomes one extra
+    /// run; a single k-way merge over all runs then builds the shingle
+    /// graph. Returns `(shingle graph, pipelined makespan (max over
+    /// devices; 0 in synchronous mode), batch stats, aggregation kernel
+    /// seconds (max over devices))`.
     fn multi_pass(
         &self,
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
-    ) -> Result<(RawShingles, f64, BatchStats), DeviceError> {
+    ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
         let offsets = input.offsets();
         let flat = input.flat();
         let kernel = self.params.kernel;
+        let aggregation = self.params.aggregation;
         // Use the smallest device's capacity so every batch fits anywhere.
         let capacity = self
             .gpus
             .iter()
-            .map(|g| batch_capacity(g.mem_available(), kernel))
+            .map(|g| batch_capacity(g.mem_available(), kernel, aggregation))
             .min()
             .expect("at least one device");
         let batches = plan_batches(offsets, capacity);
-        let stats = BatchStats::from_plan(&batches, capacity, kernel);
+        let stats = BatchStats::from_plan(&batches, capacity, kernel, aggregation);
         let n_dev = self.gpus.len();
         let overlapped = self.params.mode == PipelineMode::Overlapped;
+        let device_agg = aggregation == AggregationMode::Device;
 
-        let shares: Vec<(RawShingles, f64)> = std::thread::scope(|scope| {
+        type Share = (RawShingles, Vec<SortedRun>, f64, f64);
+        let shares: Vec<Share> = std::thread::scope(|scope| {
             let batches = &batches;
             let handles: Vec<_> = self
                 .gpus
                 .iter()
                 .enumerate()
                 .map(|(d, gpu)| {
-                    scope.spawn(move || -> Result<(RawShingles, f64), DeviceError> {
+                    scope.spawn(move || -> Result<Share, DeviceError> {
                         let streams = overlapped
                             .then(|| (gpu.stream("mgpu-compute"), gpu.stream("mgpu-copy")));
                         let mut raw = RawShingles::new(s);
+                        let mut builder = device_agg.then(|| DeviceRunBuilder::new(s, capacity));
                         for batch in batches.iter().skip(d).step_by(n_dev) {
                             let stream_refs = streams.as_ref().map(|(c, p)| (c, p));
                             run_batch(
@@ -163,13 +176,30 @@ impl MultiGpuClust {
                                 family,
                                 kernel,
                                 stream_refs,
-                                &mut raw,
+                                &mut |trial, node, pairs, fragment| match (&mut builder, fragment) {
+                                    (Some(b), false) => {
+                                        b.record(gpu, stream_refs, trial, node, pairs)
+                                    }
+                                    _ => {
+                                        raw.push(trial, node, pairs);
+                                        Ok(())
+                                    }
+                                },
                             )?;
+                            if let Some(b) = builder.as_mut() {
+                                // Cut the run at the batch boundary, after
+                                // run_batch freed its device buffers.
+                                b.batch_end(gpu, streams.as_ref().map(|(c, p)| (c, p)))?;
+                            }
                         }
+                        let (runs, agg_seconds) = match builder {
+                            Some(b) => b.finish(gpu, streams.as_ref().map(|(c, p)| (c, p)))?,
+                            None => (Vec::new(), 0.0),
+                        };
                         let makespan = streams.map_or(0.0, |(c, p)| {
                             c.completed_seconds().max(p.completed_seconds())
                         });
-                        Ok((raw, makespan))
+                        Ok((raw, runs, agg_seconds, makespan))
                     })
                 })
                 .collect();
@@ -180,23 +210,40 @@ impl MultiGpuClust {
         })?;
 
         let mut raw = RawShingles::new(s);
+        let mut runs: Vec<SortedRun> = Vec::new();
         let mut makespan = 0.0f64;
-        for (share, m) in &shares {
+        let mut agg_seconds = 0.0f64;
+        for (share, share_runs, agg_s, m) in shares {
             for i in 0..share.len() {
                 raw.push(share.trial(i), share.node(i), share.pairs_of(i));
             }
-            makespan = makespan.max(*m);
+            runs.extend(share_runs);
+            makespan = makespan.max(m);
+            agg_seconds = agg_seconds.max(agg_s);
         }
-        Ok((raw, makespan, stats))
+        let graph = if device_agg {
+            // The pooled fragments, merged and host-sorted, become one
+            // extra run alongside the device runs.
+            if !raw.is_empty() {
+                runs.push(fragment_run(&raw, self.params.par_sort_min));
+            }
+            merge_sorted_runs(s, runs)
+        } else {
+            aggregate_with(&raw, self.params.par_sort_min)
+        };
+        Ok((graph, makespan, stats, agg_seconds))
     }
 }
 
-/// Algorithm 1 on a single batch, pushing every kept segment's top pairs as
-/// records (fragments included — the generic aggregation merges them).
-/// With `streams = Some((compute, copy))` the batch upload and each trial's
-/// result download are charged asynchronously to the copy stream while the
-/// kernels run on the compute stream; data movement itself is eager either
-/// way, so the records are bit-identical across schedules.
+/// Algorithm 1 on a single batch, emitting every kept segment's top pairs
+/// as `(trial, node, pairs, is_fragment)` records. Fragments (first/last
+/// segments continuing into a neighboring batch, possibly on another
+/// device) need host-side reconciliation; complete records carry exactly
+/// `s` pairs and may aggregate anywhere. With `streams = Some((compute,
+/// copy))` the batch upload and each trial's result download are charged
+/// asynchronously to the copy stream while the kernels run on the compute
+/// stream; data movement itself is eager either way, so the records are
+/// bit-identical across schedules.
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     gpu: &Gpu,
@@ -207,7 +254,7 @@ fn run_batch(
     family: &HashFamily,
     kernel: ShingleKernel,
     streams: Option<(&Stream, &Stream)>,
-    raw: &mut RawShingles,
+    emit: &mut impl FnMut(u32, u32, &[u64], bool) -> Result<(), DeviceError>,
 ) -> Result<(), DeviceError> {
     let (local_offsets, nodes) = batch.segments(offsets);
     if nodes.is_empty() {
@@ -316,7 +363,8 @@ fn run_batch(
             let lo = out_offsets[i];
             let hi = out_offsets[i + 1];
             if hi > lo {
-                raw.push(trial as u32, nodes[i], &host_out[lo..hi]);
+                let fragment = (i == 0 && first_frag) || (i == n_segs - 1 && last_frag);
+                emit(trial as u32, nodes[i], &host_out[lo..hi], fragment)?;
             }
         }
     }
@@ -439,6 +487,72 @@ mod tests {
             assert_eq!(report.batch_stats[0].elem_footprint_bytes, 8);
             assert!(report.times.n_batches > 0);
         }
+    }
+
+    /// Device aggregation across the fleet — complete records sorted on
+    /// their own card, fragments pooled and merged as one extra run —
+    /// must reproduce the single-device host-aggregated partition, across
+    /// device counts, schedules, and kernels.
+    #[test]
+    fn device_aggregation_matches_across_devices_and_modes() {
+        let g = planted_partition(&PlantedConfig {
+            group_sizes: vec![150, 120, 100],
+            n_noise_vertices: 30,
+            p_intra: 0.5,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed: 47,
+        })
+        .graph;
+        let params = ShinglingParams::light(23);
+        let single = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+            for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+                for n_dev in [1usize, 3] {
+                    // Tiny devices force cross-batch and cross-device
+                    // splits, so the fragment-pool run actually carries
+                    // records.
+                    let gpus = (0..n_dev)
+                        .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+                        .collect();
+                    let multi = MultiGpuClust::new(
+                        params
+                            .with_mode(mode)
+                            .with_kernel(kernel)
+                            .with_aggregation(AggregationMode::Device),
+                        gpus,
+                    )
+                    .unwrap();
+                    let report = multi.cluster(&g).unwrap();
+                    assert_eq!(
+                        report.partition, single.partition,
+                        "{mode:?} {kernel:?} {n_dev} devices"
+                    );
+                    assert!(
+                        report.times.device_aggregation > 0.0,
+                        "{mode:?} {kernel:?} {n_dev} devices"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Device aggregation widens the per-element footprint, and the
+    /// report says so.
+    #[test]
+    fn device_aggregation_footprint_visible_in_stats() {
+        let g = graph(49);
+        let gpus = vec![Gpu::with_workers(DeviceConfig::tesla_k20(), 2)];
+        let multi = MultiGpuClust::new(
+            ShinglingParams::light(25).with_aggregation(AggregationMode::Device),
+            gpus,
+        )
+        .unwrap();
+        let report = multi.cluster(&g).unwrap();
+        assert_eq!(report.batch_stats[0].elem_footprint_bytes, 32);
     }
 
     #[test]

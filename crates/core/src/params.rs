@@ -45,6 +45,36 @@ pub enum ShingleKernel {
     FusedSelect,
 }
 
+/// Where the dominant aggregation sort runs.
+///
+/// Table I charges ~79% of the accelerated runtime to the CPU, and most of
+/// that is "a sorting is done to gather all vertices that generated each
+/// shingle". Both modes produce **bit-identical clustering results** — the
+/// knob only moves that sort between processors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AggregationMode {
+    /// The paper's measured setup (and the oracle): every record streams
+    /// into [`crate::aggregate::StreamAggregator`] and one giant 128-bit
+    /// `par_sort_unstable` groups them on the host.
+    #[default]
+    Host,
+    /// Each batch's records are packed and radix-sorted *on the device*
+    /// (two u64 key passes over the 128-bit records), downloaded as sorted
+    /// runs whose D2H overlaps the next batch's kernels, and k-way merged
+    /// on the host in one streaming heap pass — O(|E′| log runs) host work
+    /// instead of a global sort.
+    Device,
+}
+
+/// Default [`ShinglingParams::par_sort_min`]: below this record count the
+/// rayon fork/join overhead outweighs the parallel sort's gain, so the
+/// host aggregation sorts serially.
+pub const PAR_SORT_MIN: usize = 1 << 15;
+
+fn default_par_sort_min() -> usize {
+    PAR_SORT_MIN
+}
+
 /// Parameters of the two-pass Shingling algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShinglingParams {
@@ -67,6 +97,16 @@ pub struct ShinglingParams {
     /// bit-identical across kernels; cost model and batch plan differ).
     #[serde(default)]
     pub kernel: ShingleKernel,
+    /// Where the aggregation sort runs (results are bit-identical across
+    /// modes; cost model, batch plan and host merge path differ).
+    #[serde(default)]
+    pub aggregation: AggregationMode,
+    /// Record count at or above which host aggregation sorts switch to
+    /// rayon's parallel sort. Defaults to [`PAR_SORT_MIN`]; set to 0 to
+    /// force the parallel path (e.g. to exercise it on small test inputs)
+    /// or to `usize::MAX` to pin the serial one.
+    #[serde(default = "default_par_sort_min")]
+    pub par_sort_min: usize,
 }
 
 impl ShinglingParams {
@@ -80,6 +120,8 @@ impl ShinglingParams {
             seed,
             mode: PipelineMode::Synchronous,
             kernel: ShingleKernel::SortCompact,
+            aggregation: AggregationMode::Host,
+            par_sort_min: PAR_SORT_MIN,
         }
     }
 
@@ -93,6 +135,8 @@ impl ShinglingParams {
             seed,
             mode: PipelineMode::Synchronous,
             kernel: ShingleKernel::SortCompact,
+            aggregation: AggregationMode::Host,
+            par_sort_min: PAR_SORT_MIN,
         }
     }
 
@@ -105,6 +149,18 @@ impl ShinglingParams {
     /// This parameter set with the given top-s extraction kernel.
     pub fn with_kernel(mut self, kernel: ShingleKernel) -> Self {
         self.kernel = kernel;
+        self
+    }
+
+    /// This parameter set with the given aggregation mode.
+    pub fn with_aggregation(mut self, aggregation: AggregationMode) -> Self {
+        self.aggregation = aggregation;
+        self
+    }
+
+    /// This parameter set with the given parallel-sort threshold.
+    pub fn with_par_sort_min(mut self, par_sort_min: usize) -> Self {
+        self.par_sort_min = par_sort_min;
         self
     }
 
@@ -196,6 +252,24 @@ mod tests {
         let sel = p.with_kernel(ShingleKernel::FusedSelect);
         assert_eq!(sel.kernel, ShingleKernel::FusedSelect);
         assert_eq!((sel.s1, sel.c1, sel.seed), (2, 200, 7));
+    }
+
+    #[test]
+    fn aggregation_defaults_to_host_including_serde() {
+        assert_eq!(AggregationMode::default(), AggregationMode::Host);
+        assert_eq!(
+            ShinglingParams::paper_default(3).aggregation,
+            AggregationMode::Host
+        );
+        // Configs written before the knob existed still deserialize.
+        let legacy = r#"{"s1":2,"c1":200,"s2":2,"c2":100,"seed":7}"#;
+        let p: ShinglingParams = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.aggregation, AggregationMode::Host);
+        assert_eq!(p.par_sort_min, PAR_SORT_MIN);
+        let dev = p.with_aggregation(AggregationMode::Device);
+        assert_eq!(dev.aggregation, AggregationMode::Device);
+        assert_eq!((dev.s1, dev.c1, dev.seed), (2, 200, 7));
+        assert_eq!(dev.with_par_sort_min(0).par_sort_min, 0);
     }
 
     #[test]

@@ -15,11 +15,14 @@
 //! (with the wall time spent *executing kernels on the pool* subtracted
 //! from the CPU column — that time stands in for the device, not the host).
 
-use crate::aggregate::StreamAggregator;
+use crate::aggregate::{merge_sorted_runs, StreamAggregator};
 use crate::batch::BatchStats;
-use crate::gpu_pass::{gpu_shingle_pass_foreach, gpu_shingle_pass_overlapped_foreach};
+use crate::gpu_pass::{
+    gpu_shingle_pass_device_agg, gpu_shingle_pass_foreach, gpu_shingle_pass_overlapped_device_agg,
+    gpu_shingle_pass_overlapped_foreach,
+};
 use crate::minwise::unpack_element;
-use crate::params::{PipelineMode, ShinglingParams};
+use crate::params::{AggregationMode, PipelineMode, ShinglingParams};
 use crate::report;
 use crate::shingle::AdjacencyInput;
 use crate::timing::StageTimes;
@@ -120,17 +123,42 @@ impl GpClust {
         self.gpu.reset_counters();
         let wall_start = Instant::now();
         let mut pipelined = 0.0f64;
+        let mut device_aggregation = 0.0f64;
 
-        // Pass I on the device, streamed into the CPU aggregation.
-        let mut agg1 = StreamAggregator::new(self.params.s1);
-        let stats1 = self.device_pass(
-            g,
-            self.params.s1,
-            &self.params.family_pass1(),
-            &mut pipelined,
-            |t, n, p| agg1.push(t, n, p),
-        )?;
-        let first = agg1.finish();
+        // Pass I on the device. `Host` aggregation streams the records
+        // into the CPU-side global sort; `Device` aggregation packs and
+        // radix-sorts them on the card and k-way-merges the sorted runs —
+        // bit-identical shingle graphs, but the dominant comparison sort
+        // leaves the CPU column.
+        let s1 = self.params.s1;
+        let family1 = self.params.family_pass1();
+        let (first, stats1) = match self.params.aggregation {
+            AggregationMode::Host => {
+                let mut agg1 = StreamAggregator::with_par_sort_min(s1, self.params.par_sort_min);
+                let stats1 = self.device_pass(g, s1, &family1, &mut pipelined, |t, n, p| {
+                    agg1.push(t, n, p)
+                })?;
+                (agg1.finish(), stats1)
+            }
+            AggregationMode::Device => {
+                let kernel = self.params.kernel;
+                let (runs, stats1, agg_s) = match self.params.mode {
+                    PipelineMode::Synchronous => {
+                        gpu_shingle_pass_device_agg(&self.gpu, g, s1, &family1, kernel)?
+                    }
+                    PipelineMode::Overlapped => {
+                        let (runs, stats, agg_s, makespan) =
+                            gpu_shingle_pass_overlapped_device_agg(
+                                &self.gpu, g, s1, &family1, kernel,
+                            )?;
+                        pipelined += makespan;
+                        (runs, stats, agg_s)
+                    }
+                };
+                device_aggregation += agg_s;
+                (merge_sorted_runs(s1, runs), stats1)
+            }
+        };
 
         // Pass II on the device, streamed straight into Phase III's
         // union–find — G″ is never materialized (see report module docs).
@@ -168,6 +196,7 @@ impl GpClust {
             d2h: counters.d2h_seconds,
             disk_io,
             device_pipelined,
+            device_aggregation,
             ..Default::default()
         };
         times.record_batch_stats(&stats1);

@@ -60,6 +60,13 @@ pub struct StageTimes {
     /// stream makespan, which is what transfer/compute overlap buys.
     #[serde(default)]
     pub device_pipelined: f64,
+    /// Modeled device seconds spent in **aggregation** kernels (record
+    /// pack + u128 radix sort) under `AggregationMode::Device` — work
+    /// that under `Host` aggregation would have been CPU sort time. It is
+    /// a subset of [`StageTimes::gpu`], broken out so reports can show
+    /// the CPU→GPU column shift; 0 under host aggregation.
+    #[serde(default)]
+    pub device_aggregation: f64,
     /// Batches across both device passes (capacity-driven splits must
     /// never be silent; see [`crate::batch::BatchStats`]).
     #[serde(default)]
@@ -114,10 +121,11 @@ impl std::fmt::Display for StageTimes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CPU {:.2}s | GPU {:.4}s | c→g {:.4}s | g→c {:.4}s | disk {:.3}s | total {:.2}s \
-             | device pipelined {:.4}s | {} batch(es), max {} elems @ {} B/elem",
+            "CPU {:.2}s | GPU {:.4}s (agg {:.4}s) | c→g {:.4}s | g→c {:.4}s | disk {:.3}s \
+             | total {:.2}s | device pipelined {:.4}s | {} batch(es), max {} elems @ {} B/elem",
             self.cpu,
             self.gpu,
+            self.device_aggregation,
             self.h2d,
             self.d2h,
             self.disk_io,
@@ -155,6 +163,7 @@ mod tests {
             d2h: 0.75,
             disk_io: 0.5,
             device_pipelined: 2.25,
+            device_aggregation: 0.5,
             ..Default::default()
         };
         assert!((t.total() - 4.5).abs() < 1e-12);
@@ -174,6 +183,7 @@ mod tests {
             "disk",
             "total",
             "pipelined",
+            "agg",
             "batch",
         ] {
             assert!(s.contains(needle), "missing {needle}");

@@ -1,0 +1,190 @@
+//! Properties of on-device shingle aggregation (`AggregationMode::Device`).
+//!
+//! The contract under test: device aggregation is a pure *scheduling*
+//! change. The GPU packs and radix-sorts each batch's records and the
+//! host k-way-merges the resulting runs — but the merged stream replays
+//! exactly the `(shingle key, node, emission index)` order of the host
+//! global sort, so the shingle graph (and hence the partition) is
+//! bit-identical for every kernel, pipeline mode, device size, worker
+//! count, device count, and `par_sort_min` setting.
+
+use gpclust_core::aggregate::{aggregate_with, merge_sorted_runs};
+use gpclust_core::gpu_pass::{
+    gpu_shingle_pass_device_agg_with_capacity,
+    gpu_shingle_pass_overlapped_device_agg_with_capacity, gpu_shingle_pass_with_capacity,
+};
+use gpclust_core::minwise::HashFamily;
+use gpclust_core::multi_gpu::MultiGpuClust;
+use gpclust_core::{AggregationMode, GpClust, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use proptest::prelude::*;
+
+fn planted(sizes: Vec<usize>, noise: usize, seed: u64) -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: sizes,
+        n_noise_vertices: noise,
+        p_intra: 0.7,
+        max_intra_degree: f64::MAX,
+        inter_edges_per_vertex: 0.8,
+        seed,
+    })
+    .graph
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Full-pipeline equivalence: Host and Device aggregation reach the
+    /// same partition across kernels × schedules × device sizes, and the
+    /// device run actually charges aggregation kernel time.
+    #[test]
+    fn device_aggregation_partition_equals_host(
+        sizes in proptest::collection::vec(5usize..40, 1..5),
+        noise in 0usize..20,
+        graph_seed in 0u64..1000,
+        param_seed in 0u64..1000,
+        // Bits: overlapped schedule, fused kernel, tiny (batch-forcing) device.
+        knobs in 0u8..8,
+    ) {
+        let (overlapped, fused, tiny) =
+            (knobs & 1 != 0, knobs & 2 != 0, knobs & 4 != 0);
+        let g = planted(sizes, noise, graph_seed);
+        let config = if tiny {
+            DeviceConfig::tiny_test_device()
+        } else {
+            DeviceConfig::tesla_k20()
+        };
+        let params = ShinglingParams {
+            mode: if overlapped {
+                PipelineMode::Overlapped
+            } else {
+                PipelineMode::Synchronous
+            },
+            kernel: if fused {
+                ShingleKernel::FusedSelect
+            } else {
+                ShingleKernel::SortCompact
+            },
+            ..ShinglingParams::light(param_seed)
+        };
+        let host = GpClust::new(
+            params.with_aggregation(AggregationMode::Host),
+            Gpu::with_workers(config.clone(), 2),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        let device = GpClust::new(
+            params.with_aggregation(AggregationMode::Device),
+            Gpu::with_workers(config, 2),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        prop_assert_eq!(host.partition, device.partition);
+        prop_assert_eq!(host.times.device_aggregation, 0.0);
+        prop_assert!(device.times.device_aggregation > 0.0);
+    }
+
+    /// Pass-level bit-identity at a forced shared capacity: the k-way
+    /// merge of GPU-sorted runs reproduces the host global sort's shingle
+    /// graph exactly — the graph, not just the final partition — under
+    /// both device schedules.
+    #[test]
+    fn merged_runs_bit_identical_to_host_sort(
+        sizes in proptest::collection::vec(10usize..60, 1..4),
+        graph_seed in 0u64..500,
+        family_seed in 0u64..500,
+        capacity in 512usize..4096,
+        fused in proptest::bool::ANY,
+    ) {
+        let g = planted(sizes, 10, graph_seed);
+        let family = HashFamily::new(8, family_seed ^ 0xD1CE);
+        let kernel = if fused {
+            ShingleKernel::FusedSelect
+        } else {
+            ShingleKernel::SortCompact
+        };
+        let host_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let raw =
+            gpu_shingle_pass_with_capacity(&host_gpu, &g, 2, &family, kernel, capacity).unwrap();
+        let host_graph = aggregate_with(&raw, 0);
+
+        let dev_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let (runs, _, agg_s) =
+            gpu_shingle_pass_device_agg_with_capacity(&dev_gpu, &g, 2, &family, kernel, capacity)
+                .unwrap();
+        prop_assert!(agg_s > 0.0);
+        prop_assert_eq!(&merge_sorted_runs(2, runs), &host_graph);
+
+        let ovl_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let (runs, _, _, makespan) = gpu_shingle_pass_overlapped_device_agg_with_capacity(
+            &ovl_gpu, &g, 2, &family, kernel, capacity,
+        )
+        .unwrap();
+        prop_assert!(makespan > 0.0);
+        prop_assert_eq!(&merge_sorted_runs(2, runs), &host_graph);
+    }
+
+    /// Multi-GPU device aggregation (per-device interior runs + the shared
+    /// boundary-fragment run) matches the single-K20 host-aggregation
+    /// partition for any device count.
+    #[test]
+    fn multi_gpu_device_aggregation_matches_host(
+        sizes in proptest::collection::vec(5usize..30, 1..4),
+        graph_seed in 0u64..500,
+        param_seed in 0u64..500,
+        n_dev in 1usize..4,
+    ) {
+        let g = planted(sizes, 8, graph_seed);
+        let params = ShinglingParams::light(param_seed);
+        let host = GpClust::new(params, Gpu::new(DeviceConfig::tesla_k20()))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        let gpus = (0..n_dev)
+            .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+            .collect();
+        let multi = MultiGpuClust::new(params.with_aggregation(AggregationMode::Device), gpus)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        prop_assert_eq!(host.partition, multi.partition);
+    }
+
+    /// `par_sort_min` is a pure performance knob: always-parallel (0) and
+    /// always-serial (`usize::MAX`) host sorts agree with each other and
+    /// with device aggregation's fragment/fallback sorts.
+    #[test]
+    fn par_sort_min_never_changes_results(
+        sizes in proptest::collection::vec(5usize..30, 1..4),
+        graph_seed in 0u64..500,
+        param_seed in 0u64..500,
+        device_agg in proptest::bool::ANY,
+    ) {
+        let g = planted(sizes, 8, graph_seed);
+        let aggregation = if device_agg {
+            AggregationMode::Device
+        } else {
+            AggregationMode::Host
+        };
+        let params = ShinglingParams::light(param_seed).with_aggregation(aggregation);
+        let always_par = GpClust::new(
+            params.with_par_sort_min(0),
+            Gpu::new(DeviceConfig::tesla_k20()),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        let always_serial = GpClust::new(
+            params.with_par_sort_min(usize::MAX),
+            Gpu::new(DeviceConfig::tesla_k20()),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        prop_assert_eq!(always_par.partition, always_serial.partition);
+    }
+}

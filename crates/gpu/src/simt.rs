@@ -85,6 +85,22 @@ impl KernelCost {
         }
     }
 
+    /// Radix sort over 128-bit packed `(shingle-key, node, index)`
+    /// aggregation records — `thrust::sort_pairs`/`sort_by_key` with the
+    /// 64-bit key and 64-bit payload sorted as two chained u64 radix
+    /// sweeps (low half first, then a stable pass over the high half).
+    /// Exactly twice [`KernelCost::sort`] on both roofline axes: the same
+    /// digit passes run twice and each moves 16-byte records instead of
+    /// 8-byte keys, landing at ~0.5 G records/s on the K20 preset.
+    pub fn pair_sort() -> Self {
+        KernelCost {
+            ops_per_element: 128.0,
+            bytes_per_element: 128.0,
+            divergence_factor: 1.0,
+            coalescing_factor: 2.0,
+        }
+    }
+
     /// Gather/scatter with arbitrary indices: trivially cheap compute,
     /// heavily uncoalesced memory traffic.
     pub fn gather() -> Self {
@@ -352,6 +368,23 @@ mod tests {
         assert!(
             (5e8..5e9).contains(&keys_per_sec),
             "sort rate {keys_per_sec:.3e} keys/s out of plausible range"
+        );
+    }
+
+    #[test]
+    fn pair_sort_costs_twice_the_key_sort() {
+        // Two u64 radix sweeps over 16-byte records: the 128-bit record
+        // sort must model at exactly 2× the u64 key sort, i.e. ~0.5 G
+        // records/s on the K20.
+        let g = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        let n = 100_000_000usize;
+        let key = g.model_kernel_seconds(n, &KernelCost::sort());
+        let pair = g.model_kernel_seconds(n, &KernelCost::pair_sort());
+        assert!(pair > key, "pair sort cannot be cheaper than a key sort");
+        let ratio = pair / key;
+        assert!(
+            (1.9..2.1).contains(&ratio),
+            "pair/key sort ratio {ratio:.3} should be ~2 (launch overhead aside)"
         );
     }
 

@@ -121,9 +121,34 @@ where
 /// sorts followed by parallel pairwise merge passes (a merge-sort shape,
 /// costed as the radix sort of the paper's ref \[15\]).
 pub fn sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>) {
+    parallel_merge_sort(gpu, buf);
+    gpu.launch(buf.len(), &KernelCost::sort(), vec![]);
+}
+
+/// Sort 128-bit packed `(key, payload)` records ascending (like
+/// `thrust::sort_pairs`/`sort_by_key` with the key in the high 64 bits):
+/// same execution shape as [`sort`], but costed as
+/// [`KernelCost::pair_sort`] — two chained u64 radix sweeps moving
+/// 16-byte records.
+pub fn sort_pairs(gpu: &Gpu, buf: &mut DeviceBuffer<u128>) {
+    parallel_merge_sort(gpu, buf);
+    gpu.launch(buf.len(), &KernelCost::pair_sort(), vec![]);
+}
+
+/// [`sort_pairs`] charged to `stream`'s timeline instead of the blocking
+/// one (the `*_on` idiom of the overlapped schedule).
+pub fn sort_pairs_on(stream: &Stream, buf: &mut DeviceBuffer<u128>) {
+    parallel_merge_sort(stream.gpu(), buf);
+    stream.launch(buf.len(), &KernelCost::pair_sort(), vec![]);
+}
+
+/// The wall-clock execution shared by every whole-buffer sort: parallel
+/// chunk sorts followed by parallel pairwise merge passes, run on the
+/// worker pool with no modeled cost — the caller charges its own
+/// [`KernelCost`] entry afterwards.
+fn parallel_merge_sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>) {
     let n = buf.len();
     if n <= 1 {
-        gpu.launch(n, &KernelCost::sort(), vec![]);
         return;
     }
     // Phase 1: sort chunks in parallel.
@@ -169,7 +194,6 @@ pub fn sort<T: Pod + Ord>(gpu: &Gpu, buf: &mut DeviceBuffer<T>) {
     if !src_is_buf {
         buf.device_slice_mut().copy_from_slice(&scratch);
     }
-    gpu.launch(n, &KernelCost::sort(), vec![]);
 }
 
 /// Build the per-block tasks of a segmented sort (shared by
@@ -709,6 +733,39 @@ mod tests {
         }
         assert_eq!(results[0], results[1]);
         assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn sort_pairs_matches_std_and_charges_pair_sort_cost() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut data: Vec<u128> = (0..200_000)
+            .map(|_| ((rng.gen::<u64>() as u128) << 64) | rng.gen::<u64>() as u128)
+            .collect();
+        let mut buf = g.htod(&data).unwrap();
+        let before = g.counters().kernel_seconds;
+        sort_pairs(&g, &mut buf);
+        let charged = g.counters().kernel_seconds - before;
+        data.sort_unstable();
+        assert_eq!(g.dtoh(&buf), data);
+        // The 128-bit record sort must cost the pair_sort roofline entry
+        // (≈ 2× the u64 key sort), not the plain sort() one.
+        let expected = g.model_kernel_seconds(200_000, &KernelCost::pair_sort());
+        assert!((charged - expected).abs() < 1e-8, "{charged} vs {expected}");
+    }
+
+    #[test]
+    fn sort_pairs_on_lands_on_stream_cursor() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut data: Vec<u128> = (0..50_000).map(|_| rng.gen::<u64>() as u128).collect();
+        let stream = g.stream("pair-sort");
+        let mut buf = g.htod(&data).unwrap();
+        sort_pairs_on(&stream, &mut buf);
+        data.sort_unstable();
+        assert_eq!(g.dtoh(&buf), data);
+        let expected = g.model_kernel_seconds(50_000, &KernelCost::pair_sort());
+        assert!(stream.completed_seconds() >= expected - 1e-12);
     }
 
     #[test]

@@ -5,7 +5,8 @@
 //! gpclust build-graph --fasta data.faa --out graph.bin [--loose]
 //! gpclust cluster     --graph graph.bin --out clusters.tsv
 //!                     [--serial] [--devices N] [--seed 7] [--overlap]
-//!                     [--kernel sort|select]
+//!                     [--kernel sort|select] [--aggregate host|device]
+//!                     [--par-sort-min N]
 //!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
 //! gpclust stats       --graph graph.bin
 //! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
@@ -15,7 +16,9 @@
 //! (unassigned sequences omitted).
 
 use gpclust::core::quality::ConfusionCounts;
-use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
+use gpclust::core::{
+    AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
+};
 use gpclust::gpu::{DeviceConfig, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
 use gpclust::homology::{graph_from_fasta, HomologyConfig};
@@ -65,6 +68,9 @@ subcommands:
                                                [--overlap] for async streams,
                                                [--kernel sort|select] for the
                                                top-s extraction kernel,
+                                               [--aggregate host|device] for
+                                               where the shingle sort runs,
+                                               [--par-sort-min N],
                                                [--s1/--c1/--s2/--c2],
                                                [--min-size])
   stats        Table II statistics            (--graph)
@@ -151,6 +157,17 @@ fn parse_kernel(args: &Flags) -> Result<ShingleKernel, String> {
     }
 }
 
+fn parse_aggregation(args: &Flags) -> Result<AggregationMode, String> {
+    match args.get("aggregate").map(String::as_str) {
+        None | Some("host") => Ok(AggregationMode::Host),
+        Some("device") => Ok(AggregationMode::Device),
+        Some(other) => Err(format!(
+            "--aggregate must be `host` (global CPU sort) or `device` \
+             (GPU radix-sorted runs + k-way host merge), got `{other}`"
+        )),
+    }
+}
+
 fn cmd_cluster(args: &Flags) -> Result<(), String> {
     let graph_path = need(args, "graph")?;
     let out = need(args, "out")?;
@@ -166,6 +183,8 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
             PipelineMode::Synchronous
         },
         kernel: parse_kernel(args)?,
+        aggregation: parse_aggregation(args)?,
+        par_sort_min: get(args, "par-sort-min", gpclust::core::params::PAR_SORT_MIN),
     };
     let min_size = get(args, "min-size", 1usize);
     let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;

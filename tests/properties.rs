@@ -2,7 +2,9 @@
 //! clustering pipeline under arbitrary graphs and parameters.
 
 use gpclust::core::quality::ConfusionCounts;
-use gpclust::core::{GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams};
+use gpclust::core::{
+    AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
+};
 use gpclust::gpu::{DeviceConfig, Gpu};
 use gpclust::graph::{Csr, EdgeList, Partition};
 use proptest::prelude::*;
@@ -24,11 +26,12 @@ fn arb_params() -> impl Strategy<Value = ShinglingParams> {
         1usize..4,
         2usize..20,
         0u64..1000,
-        proptest::bool::ANY,
-        proptest::bool::ANY,
+        // Bits: overlapped schedule, fused kernel, device aggregation.
+        0u8..8,
     )
-        .prop_map(
-            |(s1, c1, s2, c2, seed, overlapped, fused)| ShinglingParams {
+        .prop_map(|(s1, c1, s2, c2, seed, knobs)| {
+            let (overlapped, fused, device_agg) = (knobs & 1 != 0, knobs & 2 != 0, knobs & 4 != 0);
+            ShinglingParams {
                 s1,
                 c1,
                 s2,
@@ -44,8 +47,14 @@ fn arb_params() -> impl Strategy<Value = ShinglingParams> {
                 } else {
                     ShingleKernel::SortCompact
                 },
-            },
-        )
+                aggregation: if device_agg {
+                    AggregationMode::Device
+                } else {
+                    AggregationMode::Host
+                },
+                ..ShinglingParams::light(0)
+            }
+        })
 }
 
 proptest! {
@@ -78,8 +87,7 @@ proptest! {
             s2: 2,
             c2: 8,
             seed,
-            mode: PipelineMode::Synchronous,
-            kernel: ShingleKernel::SortCompact,
+            ..ShinglingParams::light(seed)
         };
         let big = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
             .unwrap().cluster(&g).unwrap();
