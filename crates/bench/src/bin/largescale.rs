@@ -22,7 +22,6 @@ use gpclust_bench::datasets;
 use gpclust_bench::reports::{secs, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::{GpClust, ShinglingParams};
-use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::stats::GraphStats;
 use serde::Serialize;
 use std::time::Instant;
@@ -68,7 +67,7 @@ fn main() {
     println!("{stats}");
 
     eprintln!("running gpClust (paper default parameters) ...");
-    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let gpu = args.harness_gpu(0);
     let params = args.apply_schedule_flags(ShinglingParams::paper_default(seed));
     let pipeline = GpClust::new(params, gpu).unwrap();
     let t0 = Instant::now();

@@ -67,8 +67,7 @@ fn main() {
     );
 
     if params.aggregation == gpclust_core::AggregationMode::Device {
-        use gpclust_gpu::{DeviceConfig, Gpu};
-        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        let gpu = args.harness_gpu(0);
         let report = gpclust_core::GpClust::new(params, gpu)
             .unwrap()
             .cluster(&g)

@@ -25,7 +25,6 @@ use gpclust_bench::reports::{pct, render_table, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::quality::ConfusionCounts;
 use gpclust_core::{GpClust, ShinglingParams};
-use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::Partition;
 use gpclust_homology::HomologyConfig;
 use serde::Serialize;
@@ -83,7 +82,7 @@ fn main() {
                 ..ShinglingParams::light(seed)
             });
             eprintln!("clustering with s1={s1}, c1={c1} ...");
-            let gpu = Gpu::new(DeviceConfig::tesla_k20());
+            let gpu = args.harness_gpu(0);
             let partition = GpClust::new(params, gpu)
                 .unwrap()
                 .cluster(&graph)

@@ -17,7 +17,7 @@ use gpclust_bench::reports::{render_table, secs, Experiment};
 use gpclust_bench::Args;
 use gpclust_core::serial::shingle_pass_foreach;
 use gpclust_core::{GpClust, SerialShingling, ShinglingParams};
-use gpclust_gpu::{pipelined_seconds, DeviceConfig, Gpu};
+use gpclust_gpu::pipelined_seconds;
 use serde::Serialize;
 use std::time::Instant;
 
@@ -79,7 +79,7 @@ fn main() {
         let serial_shingling_s = p1 + t0.elapsed().as_secs_f64();
         drop(first);
 
-        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        let gpu = args.harness_gpu(0);
         gpu.timeline().set_enabled(true);
         let pipeline = GpClust::new(params, gpu).unwrap();
         let report = pipeline.cluster(&g).expect("gpClust");

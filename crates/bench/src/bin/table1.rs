@@ -40,7 +40,6 @@ use gpclust_core::serial::shingle_pass_foreach;
 use gpclust_core::{
     AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
 };
-use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::{io as graph_io, Csr};
 use gpclust_homology::HomologyConfig;
 use serde::Serialize;
@@ -83,18 +82,20 @@ struct Row {
 }
 
 fn measure(
+    args: &Args,
     graph: &Csr,
     label: &str,
     seed: u64,
-    overlap: bool,
     kernel: ShingleKernel,
     aggregation: AggregationMode,
     par_sort_min: usize,
 ) -> Row {
+    let overlap = args.flag("overlap");
     let params = ShinglingParams::paper_default(seed)
         .with_kernel(kernel)
         .with_aggregation(aggregation)
-        .with_par_sort_min(par_sort_min);
+        .with_par_sort_min(par_sort_min)
+        .with_fault_policy(args.fault_policy());
 
     // Serial reference: total, and the accelerated part (two passes) alone.
     eprintln!("[{label}] running serial pClust ...");
@@ -129,7 +130,7 @@ fn measure(
     eprintln!("[{label}] running gpClust on the simulated Tesla K20 ...");
     let tmp = gpclust_bench::data_dir().join(format!("table1-{label}.graph.bin"));
     graph_io::write_file(&tmp, graph).expect("write graph");
-    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let gpu = args.harness_gpu(0);
     gpu.timeline().set_enabled(true);
     let pipeline = GpClust::new(params, gpu).unwrap();
     let report = pipeline.cluster_from_file(&tmp).expect("gpClust run");
@@ -148,7 +149,7 @@ fn measure(
     // *scheduled* (not just replayed) pipelined device column.
     let device_stream_pipelined_s = overlap.then(|| {
         eprintln!("[{label}] re-running under PipelineMode::Overlapped ...");
-        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        let gpu = args.harness_gpu(0);
         let ovl = GpClust::new(params.with_mode(PipelineMode::Overlapped), gpu)
             .unwrap()
             .cluster(graph)
@@ -230,10 +231,10 @@ fn main() {
             &HomologyConfig::default(),
         );
         rows.push(measure(
+            &args,
             &g,
             "20K",
             seed,
-            args.flag("overlap"),
             kernel,
             aggregation,
             par_sort_min,
@@ -249,10 +250,10 @@ fn main() {
         eprintln!("preparing 2M-like planted graph with {n} vertices ...");
         let pg = datasets::planted_2m_like(n, seed);
         rows.push(measure(
+            &args,
             &pg.graph,
             &format!("2M-like(n={n})"),
             seed,
-            args.flag("overlap"),
             kernel,
             aggregation,
             par_sort_min,

@@ -114,7 +114,43 @@ impl Args {
             Some("device") => params.with_aggregation(AggregationMode::Device),
             Some(other) => panic!("--aggregate must be `host` or `device`, got `{other}`"),
         };
-        params.with_par_sort_min(self.get("par-sort-min", params.par_sort_min))
+        params = params.with_par_sort_min(self.get("par-sort-min", params.par_sort_min));
+        params.with_fault_policy(self.fault_policy())
+    }
+
+    /// The resilience knobs shared by every harness: `--max-retries N`,
+    /// `--oom-backoff true|false`, and `--no-degrade` (forbid the
+    /// per-batch host fallback).
+    pub fn fault_policy(&self) -> gpclust_core::FaultPolicy {
+        gpclust_core::FaultPolicy {
+            max_retries: self.get("max-retries", gpclust_core::params::MAX_RETRIES),
+            oom_backoff: self.get("oom-backoff", true),
+            degrade_to_host: !self.flag("no-degrade"),
+        }
+    }
+
+    /// Deterministic fault-injection plan from `--inject-faults seed:rate`,
+    /// falling back to the `GPCLUST_INJECT_FAULTS` environment variable.
+    /// Panics on a malformed spec rather than silently benchmarking a
+    /// fault-free device.
+    pub fn fault_plan(&self) -> Option<gpclust_gpu::FaultPlan> {
+        match self.pairs.get("inject-faults") {
+            Some(spec) => Some(
+                gpclust_gpu::FaultPlan::parse(spec)
+                    .unwrap_or_else(|e| panic!("--inject-faults: {e}")),
+            ),
+            None => gpclust_gpu::FaultPlan::from_env(),
+        }
+    }
+
+    /// The standard simulated Tesla K20 every harness runs on, with any
+    /// requested deterministic fault plan installed for `device`.
+    pub fn harness_gpu(&self, device: u32) -> gpclust_gpu::Gpu {
+        let gpu = gpclust_gpu::Gpu::new(gpclust_gpu::DeviceConfig::tesla_k20());
+        if let Some(plan) = self.fault_plan() {
+            gpu.set_fault_plan(plan.with_device(device));
+        }
+        gpu
     }
 }
 

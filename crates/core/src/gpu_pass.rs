@@ -69,32 +69,36 @@
 use crate::aggregate::SortedRun;
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
 use crate::minwise::{hash_with, pack, unpack_element, HashFamily};
-use crate::params::{AggregationMode, ShingleKernel};
+use crate::params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel};
+use crate::resilience::retry_transient;
 use crate::shingle::{shingle_key, AdjacencyInput, RawShingles};
+use crate::timing::RecoveryReport;
 use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream, StreamEvent};
+use std::time::Instant;
 
 /// Trial-invariant shape of one batch, computed once up front: segment
 /// offsets, fragment flags, compaction output layout and task groups.
-struct BatchPlan {
-    local_offsets: Vec<u64>,
-    nodes: Vec<u32>,
-    first_frag: bool,
-    last_frag: bool,
+/// `pub(crate)` so `multi_gpu` shares the exact same layout arithmetic.
+pub(crate) struct BatchPlan {
+    pub(crate) local_offsets: Vec<u64>,
+    pub(crate) nodes: Vec<u32>,
+    pub(crate) first_frag: bool,
+    pub(crate) last_frag: bool,
     /// Per-segment output slot offsets (`n_segs + 1` values).
-    out_offsets: Vec<usize>,
-    out_total: usize,
+    pub(crate) out_offsets: Vec<usize>,
+    pub(crate) out_total: usize,
     /// Segments that emit at least one pair.
-    emit_segs: Vec<u32>,
+    pub(crate) emit_segs: Vec<u32>,
     /// Compaction task groups: contiguous segment ranges covering
     /// ~`GROUP_OUT` output elements each.
-    groups: Vec<(usize, usize)>,
+    pub(crate) groups: Vec<(usize, usize)>,
 }
 
 /// Output elements per compaction task (one thread-block-batch per group,
 /// not per segment).
 const GROUP_OUT: usize = 64 * 1024;
 
-fn plan_batch(batch: &Batch, offsets: &[u64], s: usize) -> BatchPlan {
+pub(crate) fn plan_batch(batch: &Batch, offsets: &[u64], s: usize) -> BatchPlan {
     let (local_offsets, nodes) = batch.segments(offsets);
     // Loop-invariant fragment flags, computed once per batch (not per
     // segment): which segments can contribute — interior segments need
@@ -111,7 +115,7 @@ fn plan_batch(batch: &Batch, offsets: &[u64], s: usize) -> BatchPlan {
         let k = if boundary || len >= s { len.min(s) } else { 0 };
         out_offsets.push(out_offsets[i] + k);
     }
-    let out_total = *out_offsets.last().unwrap();
+    let out_total = out_offsets[n_segs];
     let emit_segs: Vec<u32> = (0..n_segs)
         .filter(|&i| out_offsets[i + 1] > out_offsets[i])
         .map(|i| i as u32)
@@ -141,7 +145,7 @@ fn plan_batch(batch: &Batch, offsets: &[u64], s: usize) -> BatchPlan {
 
 /// Build the compaction tasks extracting the top `k` pairs of each kept
 /// segment of `src` into the dense `dst` (one task per plan group).
-fn compaction_tasks<'a>(
+pub(crate) fn compaction_tasks<'a>(
     plan: &'a BatchPlan,
     src: &'a [u64],
     dst: &'a mut [u64],
@@ -168,6 +172,32 @@ fn compaction_tasks<'a>(
         }));
     }
     tasks
+}
+
+/// Host execution of one `(batch, trial)`: the degradation path a batch
+/// falls back to when its device retries are exhausted. Produces **exactly
+/// the bytes** the device pipeline's D2H would have delivered — per kept
+/// segment, the ascending sorted prefix of the packed
+/// `(h_i(v) << 32) | v` permutation (what `SortCompact` compacts and
+/// `FusedSelect` selects) — so every record downstream is bit-identical
+/// to a fault-free run.
+pub(crate) fn host_trial_out(plan: &BatchPlan, elems: &[u32], a: u64, b: u64) -> Vec<u64> {
+    let mut out = vec![0u64; plan.out_total];
+    for i in 0..plan.nodes.len() {
+        let k = plan.out_offsets[i + 1] - plan.out_offsets[i];
+        if k == 0 {
+            continue;
+        }
+        let lo = plan.local_offsets[i] as usize;
+        let hi = plan.local_offsets[i + 1] as usize;
+        let mut seg: Vec<u64> = elems[lo..hi]
+            .iter()
+            .map(|&v| pack(hash_with(a, b, v), v))
+            .collect();
+        seg.sort_unstable();
+        out[plan.out_offsets[i]..plan.out_offsets[i + 1]].copy_from_slice(&seg[..k]);
+    }
+    out
 }
 
 /// Where a device pass's finalized `(trial, node, top-s pairs)` records
@@ -268,6 +298,102 @@ fn emit_trial_records<S: RecordSink>(
     Ok(())
 }
 
+/// One trial's device execution: allocate the dense output, run the
+/// kernel plan, and copy the result back via the *fallible* transfers —
+/// the sync point where injected kernel faults surface. Idempotent:
+/// every buffer it writes is recomputed from `elems_dev`, so
+/// [`retry_transient`] can re-run it after a transient fault and get
+/// bit-identical bytes.
+#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_device_pass
+fn device_trial(
+    gpu: &Gpu,
+    streams: Option<(&Stream, &Stream)>,
+    kernel: ShingleKernel,
+    plan: &BatchPlan,
+    elems_dev: &DeviceBuffer<u32>,
+    packed_dev: &mut Option<DeviceBuffer<u64>>,
+    a: u64,
+    b: u64,
+    prev_out: &mut Option<DeviceBuffer<u64>>,
+    staged: &mut Option<(DeviceBuffer<u32>, StreamEvent)>,
+) -> Result<Vec<u64>, DeviceError> {
+    // The previous trial's output has drained by now; free it before
+    // allocating the next so peak memory holds at most one in-flight
+    // output buffer.
+    *prev_out = None;
+    let mut out_dev = match gpu.alloc::<u64>(plan.out_total) {
+        Ok(buf) => buf,
+        Err(DeviceError::OutOfMemory { .. }) if staged.is_some() => {
+            // Memory pressure: give the prefetched batch back (it will
+            // re-upload next iteration) and retry.
+            *staged = None;
+            gpu.alloc::<u64>(plan.out_total)?
+        }
+        Err(e) => return Err(e),
+    };
+    match (kernel, packed_dev) {
+        (ShingleKernel::SortCompact, Some(packed_dev)) => {
+            // 2a. Random permutation via the min-wise hash, then
+            // 2b. segmented sort within each adjacency list, then
+            // 2c. compact the top-s pairs of each kept segment.
+            if let Some((compute, _)) = streams {
+                thrust::transform_on(compute, elems_dev, packed_dev, move |v: u32| {
+                    pack(hash_with(a, b, v), v)
+                });
+                thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
+            } else {
+                thrust::transform(gpu, elems_dev, packed_dev, move |v: u32| {
+                    pack(hash_with(a, b, v), v)
+                });
+                thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
+            }
+            let tasks =
+                compaction_tasks(plan, packed_dev.device_slice(), out_dev.device_slice_mut());
+            if let Some((compute, _)) = streams {
+                compute.launch(plan.out_total, &KernelCost::gather(), tasks);
+            } else {
+                gpu.launch(plan.out_total, &KernelCost::gather(), tasks);
+            }
+        }
+        (ShingleKernel::FusedSelect, _) => {
+            // 2a–c fused: hash + per-segment ascending top-s
+            // selection straight into the dense output. Identical
+            // bytes to the sorted prefix the compaction copies.
+            if let Some((compute, _)) = streams {
+                thrust::transform_select_on(
+                    compute,
+                    elems_dev,
+                    &plan.local_offsets,
+                    &plan.out_offsets,
+                    &mut out_dev,
+                    move |v: u32| pack(hash_with(a, b, v), v),
+                );
+            } else {
+                thrust::transform_select(
+                    gpu,
+                    elems_dev,
+                    &plan.local_offsets,
+                    &plan.out_offsets,
+                    &mut out_dev,
+                    move |v: u32| pack(hash_with(a, b, v), v),
+                );
+            }
+        }
+        (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
+    }
+    // 2d. Per-trial transfer back to the host. Synchronous mode blocks;
+    // overlapped mode queues the copy behind the trial's kernels and lets
+    // the next trial's kernels start meanwhile.
+    if let Some((compute, copy)) = streams {
+        copy.wait_event(&compute.record_event());
+        let data = copy.try_dtoh_async(&out_dev)?;
+        *prev_out = Some(out_dev);
+        Ok(data)
+    } else {
+        gpu.try_dtoh(&out_dev)
+    }
+}
+
 /// The shared driver behind both scheduling modes and both kernels.
 /// `streams` is `Some((compute, copy))` for the double-buffered pipeline,
 /// `None` for the synchronous baseline; `kernel` picks the top-s
@@ -276,6 +402,12 @@ fn emit_trial_records<S: RecordSink>(
 /// loop structure — batch plan, trial order, record emission — is
 /// identical across all four combinations, which is what guarantees
 /// bit-identical output; only where the modeled time lands differs.
+///
+/// Fault handling per `policy`: transient faults retry via
+/// [`retry_transient`]; a batch whose budget is spent degrades — its
+/// remaining trials run through [`host_trial_out`], emitting the same
+/// bytes the device would have. `OutOfMemory` and `DeviceLost` propagate
+/// (backoff and multi-device redistribution live in the callers).
 #[allow(clippy::too_many_arguments)] // internal driver; public wrappers are narrower
 fn run_device_pass<S: RecordSink>(
     gpu: &Gpu,
@@ -286,6 +418,8 @@ fn run_device_pass<S: RecordSink>(
     aggregation: AggregationMode,
     capacity: usize,
     streams: Option<(&Stream, &Stream)>,
+    policy: &FaultPolicy,
+    recovery: &mut RecoveryReport,
     sink: &mut S,
 ) -> Result<BatchStats, DeviceError> {
     let offsets = input.offsets();
@@ -308,34 +442,61 @@ fn run_device_pass<S: RecordSink>(
             continue;
         }
         let range = batch.elem_lo as usize..batch.elem_hi as usize;
+        let batch_elems = &flat[range];
+        // Once true, every remaining trial of this batch runs on the
+        // bit-identical host path.
+        let mut degraded = false;
+
         // 1. The batch's elements on the device: staged by the previous
         // iteration's prefetch, or moved now (H2D once, reused across
-        // trials).
-        let elems_dev = if let Some((compute, copy)) = streams {
+        // trials). Transient upload faults retry; an exhausted budget
+        // degrades the whole batch.
+        let upload = if let Some((compute, copy)) = streams {
             match staged_now {
                 Some((buf, uploaded)) => {
                     compute.wait_event(&uploaded);
-                    buf
+                    Ok(buf)
                 }
-                None => {
-                    let buf = copy.htod_async(&flat[range])?;
+                None => retry_transient(policy, recovery, || {
+                    let buf = copy.htod_async(batch_elems)?;
                     compute.wait_event(&copy.record_event());
-                    buf
-                }
+                    Ok(buf)
+                }),
             }
         } else {
-            gpu.htod(&flat[range])?
+            retry_transient(policy, recovery, || gpu.htod(batch_elems))
+        };
+        let elems_dev: Option<DeviceBuffer<u32>> = match upload {
+            Ok(buf) => Some(buf),
+            Err(e) if e.is_transient() && policy.degrade_to_host => {
+                degraded = true;
+                recovery.degraded_batches += 1;
+                None
+            }
+            Err(e) => return Err(e),
         };
         // Only the sort path materializes the 8-byte packed workspace;
         // the fused kernel hashes on the fly.
-        let mut packed_dev = match kernel {
-            ShingleKernel::SortCompact => Some(gpu.alloc::<u64>(elems_dev.len())?),
-            ShingleKernel::FusedSelect => None,
+        let mut packed_dev: Option<DeviceBuffer<u64>> = match (kernel, &elems_dev) {
+            (ShingleKernel::SortCompact, Some(elems)) => {
+                let n = elems.len();
+                match retry_transient(policy, recovery, || gpu.alloc::<u64>(n)) {
+                    Ok(buf) => Some(buf),
+                    Err(e) if e.is_transient() && policy.degrade_to_host => {
+                        degraded = true;
+                        recovery.degraded_batches += 1;
+                        None
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+            _ => None,
         };
 
         // Prefetch batch k+1 on the copy stream while batch k computes.
-        // Best effort: under memory pressure the upload simply happens at
-        // the top of the next iteration instead.
+        // Best effort: under memory pressure (or an injected upload
+        // fault) the upload simply happens at the top of the next
+        // iteration instead.
         if let Some((_, copy)) = streams {
             if let Some(next) = batches.get(bi + 1) {
                 let next_range = next.elem_lo as usize..next.elem_hi as usize;
@@ -351,83 +512,41 @@ fn run_device_pass<S: RecordSink>(
         #[allow(clippy::needless_range_loop)] // trial indexes both family and carry
         for trial in 0..family.len() {
             let (a, b) = family.coeffs(trial);
-            // The previous trial's output has drained by now; free it
-            // before allocating the next so peak memory holds at most one
-            // in-flight output buffer.
-            prev_out = None;
-            let mut out_dev = match gpu.alloc::<u64>(plan.out_total) {
-                Ok(buf) => buf,
-                Err(_) if staged.is_some() => {
-                    // Memory pressure: give the prefetched batch back (it
-                    // will re-upload next iteration) and retry.
-                    staged = None;
-                    gpu.alloc::<u64>(plan.out_total)?
-                }
-                Err(e) => return Err(e),
-            };
-            match (kernel, &mut packed_dev) {
-                (ShingleKernel::SortCompact, Some(packed_dev)) => {
-                    // 2a. Random permutation via the min-wise hash, then
-                    // 2b. segmented sort within each adjacency list, then
-                    // 2c. compact the top-s pairs of each kept segment.
-                    if let Some((compute, _)) = streams {
-                        thrust::transform_on(compute, &elems_dev, packed_dev, move |v: u32| {
-                            pack(hash_with(a, b, v), v)
-                        });
-                        thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
-                    } else {
-                        thrust::transform(gpu, &elems_dev, packed_dev, move |v: u32| {
-                            pack(hash_with(a, b, v), v)
-                        });
-                        thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
-                    }
-                    let tasks = compaction_tasks(
-                        &plan,
-                        packed_dev.device_slice(),
-                        out_dev.device_slice_mut(),
-                    );
-                    if let Some((compute, _)) = streams {
-                        compute.launch(plan.out_total, &KernelCost::gather(), tasks);
-                    } else {
-                        gpu.launch(plan.out_total, &KernelCost::gather(), tasks);
-                    }
-                }
-                (ShingleKernel::FusedSelect, _) => {
-                    // 2a–c fused: hash + per-segment ascending top-s
-                    // selection straight into the dense output. Identical
-                    // bytes to the sorted prefix the compaction copies.
-                    if let Some((compute, _)) = streams {
-                        thrust::transform_select_on(
-                            compute,
-                            &elems_dev,
-                            &plan.local_offsets,
-                            &plan.out_offsets,
-                            &mut out_dev,
-                            move |v: u32| pack(hash_with(a, b, v), v),
-                        );
-                    } else {
-                        thrust::transform_select(
+            let host_out = match elems_dev.as_ref().filter(|_| !degraded) {
+                Some(elems) => {
+                    let attempt = retry_transient(policy, recovery, || {
+                        device_trial(
                             gpu,
-                            &elems_dev,
-                            &plan.local_offsets,
-                            &plan.out_offsets,
-                            &mut out_dev,
-                            move |v: u32| pack(hash_with(a, b, v), v),
-                        );
+                            streams,
+                            kernel,
+                            &plan,
+                            elems,
+                            &mut packed_dev,
+                            a,
+                            b,
+                            &mut prev_out,
+                            &mut staged,
+                        )
+                    });
+                    match attempt {
+                        Ok(out) => out,
+                        Err(e) if e.is_transient() && policy.degrade_to_host => {
+                            degraded = true;
+                            recovery.degraded_batches += 1;
+                            let t0 = Instant::now();
+                            let out = host_trial_out(&plan, batch_elems, a, b);
+                            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                            out
+                        }
+                        Err(e) => return Err(e),
                     }
                 }
-                (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
-            }
-            // 2d. Per-trial transfer back to the host. Synchronous mode
-            // blocks; overlapped mode queues the copy behind the trial's
-            // kernels and lets the next trial's kernels start meanwhile.
-            let host_out = if let Some((compute, copy)) = streams {
-                copy.wait_event(&compute.record_event());
-                let data = copy.dtoh_async(&out_dev);
-                prev_out = Some(out_dev);
-                data
-            } else {
-                gpu.dtoh(&out_dev)
+                None => {
+                    let t0 = Instant::now();
+                    let out = host_trial_out(&plan, batch_elems, a, b);
+                    recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                    out
+                }
             };
             emit_trial_records(
                 &plan, &host_out, trial, s, &mut carry, carry_node, gpu, streams, sink,
@@ -490,6 +609,8 @@ pub fn gpu_shingle_pass_foreach_with_capacity(
         AggregationMode::Host,
         capacity,
         None,
+        &FaultPolicy::default(),
+        &mut RecoveryReport::default(),
         &mut FnSink(f),
     )
 }
@@ -533,6 +654,8 @@ pub fn gpu_shingle_pass_overlapped_foreach_with_capacity(
         AggregationMode::Host,
         capacity,
         Some((&compute, &copy)),
+        &FaultPolicy::default(),
+        &mut RecoveryReport::default(),
         &mut FnSink(f),
     )?;
     Ok((
@@ -655,6 +778,8 @@ pub struct DeviceRunBuilder {
     runs: Vec<SortedRun>,
     agg_kernel_seconds: f64,
     host_fallbacks: u64,
+    policy: FaultPolicy,
+    recovery: RecoveryReport,
 }
 
 impl DeviceRunBuilder {
@@ -662,6 +787,12 @@ impl DeviceRunBuilder {
     /// derived from the 16 B/element device-aggregation reserve it
     /// implies.
     pub fn new(s: usize, capacity: usize) -> Self {
+        Self::with_policy(s, capacity, FaultPolicy::default())
+    }
+
+    /// [`DeviceRunBuilder::new`] with an explicit fault policy governing
+    /// flush-time retries and host fallback.
+    pub fn with_policy(s: usize, capacity: usize, policy: FaultPolicy) -> Self {
         let per_record = 16 + 4 * (s + 2);
         DeviceRunBuilder {
             s,
@@ -670,6 +801,8 @@ impl DeviceRunBuilder {
             runs: Vec::new(),
             agg_kernel_seconds: 0.0,
             host_fallbacks: 0,
+            policy,
+            recovery: RecoveryReport::default(),
         }
     }
 
@@ -716,14 +849,28 @@ impl DeviceRunBuilder {
             .chunks_exact(stride)
             .flat_map(|rec| rec[2..].iter().copied())
             .collect();
-        let packed = match self.device_pack_sort(gpu, streams, &col, n) {
-            Ok(packed) => packed,
-            Err(DeviceError::OutOfMemory { .. }) => {
+        let attempt = retry_transient(&self.policy, &mut self.recovery, || {
+            device_pack_sort(gpu, streams, &col, n, stride)
+        });
+        let packed = match attempt {
+            Ok((packed, agg_seconds)) => {
+                self.agg_kernel_seconds += agg_seconds;
+                packed
+            }
+            Err(e)
+                if matches!(e, DeviceError::OutOfMemory { .. }) || self.policy.degrade_to_host =>
+            {
                 // Same total-order ascending sort on the host: the run's
                 // bytes are identical, only the modeled time lands on the
-                // CPU instead.
+                // CPU instead. Memory pressure always takes this path
+                // (the flush is sized to fit, so OOM here is structural);
+                // exhausted transient retries take it when the policy
+                // allows degradation.
                 self.host_fallbacks += 1;
-                host_pack_sort(&col, stride)
+                let t0 = Instant::now();
+                let packed = host_pack_sort(&col, stride);
+                self.recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                packed
             }
             Err(e) => return Err(e),
         };
@@ -731,60 +878,77 @@ impl DeviceRunBuilder {
         Ok(())
     }
 
-    fn device_pack_sort(
-        &mut self,
-        gpu: &Gpu,
-        streams: Option<(&Stream, &Stream)>,
-        col: &[u32],
-        n: usize,
-    ) -> Result<Vec<u128>, DeviceError> {
-        let stride = self.s + 2;
-        let pack_cost = KernelCost::transform();
-        if let Some((compute, copy)) = streams {
-            // Column up on the copy stream (overlaps earlier compute),
-            // pack + sort on the compute stream, sorted run back on the
-            // copy stream — overlapping the next batch's kernels exactly
-            // like the per-trial D2H does.
-            let col_dev = copy.htod_async(col)?;
-            compute.wait_event(&copy.record_event());
-            let mut packed_dev = gpu.alloc::<u128>(n)?;
-            let tasks = pack_tasks(
-                col_dev.device_slice(),
-                packed_dev.device_slice_mut(),
-                stride,
-            );
-            compute.launch(n, &pack_cost, tasks);
-            thrust::sort_pairs_on(compute, &mut packed_dev);
-            copy.wait_event(&compute.record_event());
-            let packed = copy.dtoh_async(&packed_dev);
-            self.agg_kernel_seconds += gpu.model_kernel_seconds(n, &pack_cost)
-                + gpu.model_kernel_seconds(n, &KernelCost::pair_sort());
-            Ok(packed)
-        } else {
-            let col_dev = gpu.htod(col)?;
-            let mut packed_dev = gpu.alloc::<u128>(n)?;
-            let tasks = pack_tasks(
-                col_dev.device_slice(),
-                packed_dev.device_slice_mut(),
-                stride,
-            );
-            gpu.launch(n, &pack_cost, tasks);
-            thrust::sort_pairs(gpu, &mut packed_dev);
-            self.agg_kernel_seconds += gpu.model_kernel_seconds(n, &pack_cost)
-                + gpu.model_kernel_seconds(n, &KernelCost::pair_sort());
-            Ok(gpu.dtoh(&packed_dev))
-        }
-    }
-
     /// Flush any staged tail and return the sorted runs plus the modeled
     /// device seconds the aggregation kernels consumed.
     pub fn finish(
-        mut self,
+        self,
         gpu: &Gpu,
         streams: Option<(&Stream, &Stream)>,
     ) -> Result<(Vec<SortedRun>, f64), DeviceError> {
+        let (runs, agg_seconds, _) = self.finish_with_recovery(gpu, streams)?;
+        Ok((runs, agg_seconds))
+    }
+
+    /// [`DeviceRunBuilder::finish`] that also surfaces the builder's
+    /// [`RecoveryReport`], with `host_fallbacks` folded in.
+    pub fn finish_with_recovery(
+        mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(Vec<SortedRun>, f64, RecoveryReport), DeviceError> {
         self.flush(gpu, streams)?;
-        Ok((self.runs, self.agg_kernel_seconds))
+        let mut recovery = self.recovery;
+        recovery.host_fallbacks += self.host_fallbacks;
+        Ok((self.runs, self.agg_kernel_seconds, recovery))
+    }
+}
+
+/// One flush's device work: column up, pack kernel, u128 radix sort,
+/// sorted run down. Returns the run plus the modeled device seconds the
+/// aggregation kernels consumed. A free function (not a method) so the
+/// flush can re-run it under [`retry_transient`] without borrowing the
+/// builder twice; idempotent because every buffer is recomputed from
+/// `col`.
+fn device_pack_sort(
+    gpu: &Gpu,
+    streams: Option<(&Stream, &Stream)>,
+    col: &[u32],
+    n: usize,
+    stride: usize,
+) -> Result<(Vec<u128>, f64), DeviceError> {
+    let pack_cost = KernelCost::transform();
+    let agg_seconds = gpu.model_kernel_seconds(n, &pack_cost)
+        + gpu.model_kernel_seconds(n, &KernelCost::pair_sort());
+    if let Some((compute, copy)) = streams {
+        // Column up on the copy stream (overlaps earlier compute),
+        // pack + sort on the compute stream, sorted run back on the
+        // copy stream — overlapping the next batch's kernels exactly
+        // like the per-trial D2H does.
+        let col_dev = copy.htod_async(col)?;
+        compute.wait_event(&copy.record_event());
+        let mut packed_dev = gpu.alloc::<u128>(n)?;
+        let tasks = pack_tasks(
+            col_dev.device_slice(),
+            packed_dev.device_slice_mut(),
+            stride,
+        );
+        compute.launch(n, &pack_cost, tasks);
+        thrust::sort_pairs_on(compute, &mut packed_dev);
+        copy.wait_event(&compute.record_event());
+        let packed = copy.try_dtoh_async(&packed_dev)?;
+        Ok((packed, agg_seconds))
+    } else {
+        let col_dev = gpu.htod(col)?;
+        let mut packed_dev = gpu.alloc::<u128>(n)?;
+        let tasks = pack_tasks(
+            col_dev.device_slice(),
+            packed_dev.device_slice_mut(),
+            stride,
+        );
+        gpu.launch(n, &pack_cost, tasks);
+        thrust::sort_pairs(gpu, &mut packed_dev);
+        let packed = gpu.try_dtoh(&packed_dev)?;
+        Ok((packed, agg_seconds))
     }
 }
 
@@ -889,6 +1053,8 @@ pub fn gpu_shingle_pass_device_agg_with_capacity(
         AggregationMode::Device,
         capacity,
         None,
+        &FaultPolicy::default(),
+        &mut RecoveryReport::default(),
         &mut builder,
     )?;
     let (runs, agg_seconds) = builder.finish(gpu, None)?;
@@ -932,11 +1098,137 @@ pub fn gpu_shingle_pass_overlapped_device_agg_with_capacity(
         AggregationMode::Device,
         capacity,
         Some((&compute, &copy)),
+        &FaultPolicy::default(),
+        &mut RecoveryReport::default(),
         &mut builder,
     )?;
     let (runs, agg_seconds) = builder.finish(gpu, Some((&compute, &copy)))?;
     let makespan = compute.completed_seconds().max(copy.completed_seconds());
     Ok((runs, stats, agg_seconds, makespan))
+}
+
+/// One resilient host-aggregation shingling pass: the policy-aware form
+/// of the `foreach` entry points, dispatching on [`PipelineMode`].
+/// Transient faults retry, exhausted batches degrade to the bit-identical
+/// host path, and every recovery action lands in `recovery`.
+/// `OutOfMemory` and `DeviceLost` propagate typed (backoff and
+/// redistribution are pass-level decisions made by the callers in
+/// `pipeline`/`multi_gpu`). Returns the pass's [`BatchStats`] and its
+/// pipelined makespan (0 under [`PipelineMode::Synchronous`]).
+#[allow(clippy::too_many_arguments)] // the policy-aware superset of 4 wrappers
+pub fn gpu_shingle_pass_resilient_foreach(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    mode: PipelineMode,
+    capacity: usize,
+    policy: &FaultPolicy,
+    recovery: &mut RecoveryReport,
+    f: impl FnMut(u32, u32, &[u64]),
+) -> Result<(BatchStats, f64), DeviceError> {
+    match mode {
+        PipelineMode::Synchronous => {
+            let stats = run_device_pass(
+                gpu,
+                input,
+                s,
+                family,
+                kernel,
+                AggregationMode::Host,
+                capacity,
+                None,
+                policy,
+                recovery,
+                &mut FnSink(f),
+            )?;
+            Ok((stats, 0.0))
+        }
+        PipelineMode::Overlapped => {
+            let compute = gpu.stream("shingle-compute");
+            let copy = gpu.stream("shingle-copy");
+            let stats = run_device_pass(
+                gpu,
+                input,
+                s,
+                family,
+                kernel,
+                AggregationMode::Host,
+                capacity,
+                Some((&compute, &copy)),
+                policy,
+                recovery,
+                &mut FnSink(f),
+            )?;
+            Ok((
+                stats,
+                compute.completed_seconds().max(copy.completed_seconds()),
+            ))
+        }
+    }
+}
+
+/// One resilient device-aggregation shingling pass (the policy-aware form
+/// of the `device_agg` entry points; see
+/// [`gpu_shingle_pass_resilient_foreach`] for the fault semantics).
+/// Returns `(runs, stats, agg kernel seconds, pipelined makespan)` — the
+/// makespan is 0 under [`PipelineMode::Synchronous`].
+#[allow(clippy::too_many_arguments)] // the policy-aware superset of 4 wrappers
+pub fn gpu_shingle_pass_resilient_device_agg(
+    gpu: &Gpu,
+    input: &impl AdjacencyInput,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    mode: PipelineMode,
+    capacity: usize,
+    policy: &FaultPolicy,
+    recovery: &mut RecoveryReport,
+) -> Result<(Vec<SortedRun>, BatchStats, f64, f64), DeviceError> {
+    let mut builder = DeviceRunBuilder::with_policy(s, capacity, *policy);
+    match mode {
+        PipelineMode::Synchronous => {
+            let stats = run_device_pass(
+                gpu,
+                input,
+                s,
+                family,
+                kernel,
+                AggregationMode::Device,
+                capacity,
+                None,
+                policy,
+                recovery,
+                &mut builder,
+            )?;
+            let (runs, agg_seconds, builder_recovery) = builder.finish_with_recovery(gpu, None)?;
+            recovery.merge(&builder_recovery);
+            Ok((runs, stats, agg_seconds, 0.0))
+        }
+        PipelineMode::Overlapped => {
+            let compute = gpu.stream("shingle-compute");
+            let copy = gpu.stream("shingle-copy");
+            let stats = run_device_pass(
+                gpu,
+                input,
+                s,
+                family,
+                kernel,
+                AggregationMode::Device,
+                capacity,
+                Some((&compute, &copy)),
+                policy,
+                recovery,
+                &mut builder,
+            )?;
+            let (runs, agg_seconds, builder_recovery) =
+                builder.finish_with_recovery(gpu, Some((&compute, &copy)))?;
+            recovery.merge(&builder_recovery);
+            let makespan = compute.completed_seconds().max(copy.completed_seconds());
+            Ok((runs, stats, agg_seconds, makespan))
+        }
+    }
 }
 
 #[cfg(test)]

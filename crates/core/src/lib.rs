@@ -51,6 +51,7 @@ pub mod pipeline;
 pub mod probability;
 pub mod quality;
 pub mod report;
+pub mod resilience;
 pub mod serial;
 pub mod shingle;
 pub mod timing;
@@ -58,7 +59,8 @@ pub mod weighted;
 
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
-pub use params::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
+pub use params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
 pub use pipeline::{GpClust, GpClustReport};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;
+pub use timing::RecoveryReport;

@@ -21,14 +21,18 @@
 
 use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
-use crate::gpu_pass::{DeviceRunBuilder, RecordSink};
+use crate::gpu_pass::{
+    compaction_tasks, host_trial_out, plan_batch, BatchPlan, DeviceRunBuilder, RecordSink,
+};
 use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
+use crate::params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
 use crate::report;
+use crate::resilience::{retry_transient, with_oom_backoff};
 use crate::shingle::{AdjacencyInput, RawShingles};
-use crate::timing::StageTimes;
+use crate::timing::{RecoveryReport, StageTimes};
 use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream};
 use gpclust_graph::{Csr, Partition, ShingleGraph};
+use std::time::Instant;
 
 /// A gpClust pipeline spanning multiple (simulated) devices.
 #[derive(Debug, Clone)]
@@ -73,20 +77,24 @@ impl MultiGpuClust {
         }
         let wall_start = std::time::Instant::now();
 
-        let (first, pipe1, stats1, agg1) =
+        let (first, pipe1, stats1, agg1, rec1) =
             self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
 
         // Pass II records may hold cross-device fragments, so Phase III
         // goes through the generic (merging) aggregation and the
         // materialized reporting path.
-        let (second, pipe2, stats2, agg2) =
+        let (second, pipe2, stats2, agg2, rec2) =
             self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
         let partition = report::partition_clusters(g.n(), &first, &second);
+
+        let mut recovery = rec1;
+        recovery.merge(&rec2);
 
         let wall = wall_start.elapsed().as_secs_f64();
         let snaps: Vec<_> = self.gpus.iter().map(|g| g.counters()).collect();
         let kernel_wall: f64 = snaps.iter().map(|s| s.kernel_wall_seconds).sum();
         let per_device_gpu_seconds: Vec<f64> = snaps.iter().map(|s| s.kernel_seconds).collect();
+        recovery.faults_injected = snaps.iter().map(|s| s.faults_injected).sum();
         let max =
             |f: fn(&gpclust_gpu::CountersSnapshot) -> f64| snaps.iter().map(f).fold(0.0, f64::max);
         let mut times = StageTimes {
@@ -100,6 +108,7 @@ impl MultiGpuClust {
             // the aggregation-kernel share is the per-pass max over
             // devices, summed over the passes.
             device_aggregation: agg1 + agg2,
+            recovery,
             ..Default::default()
         };
         times.device_pipelined = match self.params.mode {
@@ -116,6 +125,27 @@ impl MultiGpuClust {
         })
     }
 
+    /// The fleet-wide per-batch capacity over the *surviving* devices
+    /// (smallest alive device, configured kernel), so every batch fits
+    /// anywhere it may be scheduled — including after a redistribution.
+    /// Typed [`DeviceError::DeviceLost`] once no device remains.
+    fn alive_capacity(&self) -> Result<usize, DeviceError> {
+        self.gpus
+            .iter()
+            .filter(|g| !g.is_lost())
+            .map(|g| {
+                batch_capacity(
+                    g.mem_available(),
+                    self.params.kernel,
+                    self.params.aggregation,
+                )
+            })
+            .min()
+            .ok_or_else(|| DeviceError::DeviceLost {
+                device: self.gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
+            })
+    }
+
     /// One shingling pass with batches dealt round-robin across devices,
     /// one host thread per device, **aggregated**. Under
     /// [`AggregationMode::Host`] the per-device record streams merge into
@@ -126,101 +156,145 @@ impl MultiGpuClust {
     /// records that need host-side reconciliation — pool into a small
     /// [`RawShingles`] whose merged, host-sorted output becomes one extra
     /// run; a single k-way merge over all runs then builds the shingle
-    /// graph. Returns `(shingle graph, pipelined makespan (max over
-    /// devices; 0 in synchronous mode), batch stats, aggregation kernel
-    /// seconds (max over devices))`.
+    /// graph.
+    ///
+    /// The pass runs under the configured [`FaultPolicy`]: an
+    /// `OutOfMemory` re-plans the whole pass at half capacity, and a
+    /// [`DeviceError::DeviceLost`] reported by a device thread puts that
+    /// device's unfinished batches back in the pending pool, which the
+    /// next round deals across the survivors (batches commit their
+    /// records atomically, so a re-run never duplicates). Returns
+    /// `(shingle graph, pipelined makespan (max over devices; 0 in
+    /// synchronous mode), batch stats, aggregation kernel seconds (max
+    /// over devices), recovery report)`.
     fn multi_pass(
         &self,
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
+    ) -> Result<(ShingleGraph, f64, BatchStats, f64, RecoveryReport), DeviceError> {
+        let policy = self.params.fault;
+        let capacity = self.alive_capacity()?;
+        let mut pass_rec = RecoveryReport::default();
+        let mut backoff_rec = RecoveryReport::default();
+        let out = with_oom_backoff(&policy, &mut backoff_rec, capacity, |cap| {
+            self.multi_pass_attempt(input, s, family, cap, &mut pass_rec)
+        })?;
+        let mut recovery = pass_rec;
+        recovery.merge(&backoff_rec);
+        let (graph, makespan, stats, agg_seconds) = out;
+        Ok((graph, makespan, stats, agg_seconds, recovery))
+    }
+
+    /// One complete execution of a pass at a fixed `capacity` — the unit
+    /// [`with_oom_backoff`] re-plans. Rounds of round-robin dealing over
+    /// the surviving devices; a round whose device is lost re-queues that
+    /// device's unfinished batches for the next round.
+    fn multi_pass_attempt(
+        &self,
+        input: &impl AdjacencyInput,
+        s: usize,
+        family: &HashFamily,
+        capacity: usize,
+        recovery: &mut RecoveryReport,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
         let offsets = input.offsets();
         let flat = input.flat();
         let kernel = self.params.kernel;
         let aggregation = self.params.aggregation;
-        // Use the smallest device's capacity so every batch fits anywhere.
-        let capacity = self
-            .gpus
-            .iter()
-            .map(|g| batch_capacity(g.mem_available(), kernel, aggregation))
-            .min()
-            .expect("at least one device");
+        let policy = self.params.fault;
         let batches = plan_batches(offsets, capacity);
         let stats = BatchStats::from_plan(&batches, capacity, kernel, aggregation);
-        let n_dev = self.gpus.len();
         let overlapped = self.params.mode == PipelineMode::Overlapped;
         let device_agg = aggregation == AggregationMode::Device;
 
-        type Share = (RawShingles, Vec<SortedRun>, f64, f64);
-        let shares: Vec<Share> = std::thread::scope(|scope| {
-            let batches = &batches;
-            let handles: Vec<_> = self
+        let mut raw = RawShingles::new(s);
+        let mut runs: Vec<SortedRun> = Vec::new();
+        let mut makespan_by_dev = vec![0.0f64; self.gpus.len()];
+        let mut agg_by_dev = vec![0.0f64; self.gpus.len()];
+        let mut pending: Vec<usize> = (0..batches.len()).collect();
+
+        while !pending.is_empty() {
+            let alive: Vec<(usize, &Gpu)> = self
                 .gpus
                 .iter()
                 .enumerate()
-                .map(|(d, gpu)| {
-                    scope.spawn(move || -> Result<Share, DeviceError> {
-                        let streams = overlapped
-                            .then(|| (gpu.stream("mgpu-compute"), gpu.stream("mgpu-copy")));
-                        let mut raw = RawShingles::new(s);
-                        let mut builder = device_agg.then(|| DeviceRunBuilder::new(s, capacity));
-                        for batch in batches.iter().skip(d).step_by(n_dev) {
-                            let stream_refs = streams.as_ref().map(|(c, p)| (c, p));
-                            run_batch(
-                                gpu,
-                                batch,
-                                offsets,
-                                flat,
-                                s,
-                                family,
-                                kernel,
-                                stream_refs,
-                                &mut |trial, node, pairs, fragment| match (&mut builder, fragment) {
-                                    (Some(b), false) => {
-                                        b.record(gpu, stream_refs, trial, node, pairs)
-                                    }
-                                    _ => {
-                                        raw.push(trial, node, pairs);
-                                        Ok(())
-                                    }
-                                },
-                            )?;
-                            if let Some(b) = builder.as_mut() {
-                                // Cut the run at the batch boundary, after
-                                // run_batch freed its device buffers.
-                                b.batch_end(gpu, streams.as_ref().map(|(c, p)| (c, p)))?;
-                            }
-                        }
-                        let (runs, agg_seconds) = match builder {
-                            Some(b) => b.finish(gpu, streams.as_ref().map(|(c, p)| (c, p)))?,
-                            None => (Vec::new(), 0.0),
-                        };
-                        let makespan = streams.map_or(0.0, |(c, p)| {
-                            c.completed_seconds().max(p.completed_seconds())
-                        });
-                        Ok((raw, runs, agg_seconds, makespan))
-                    })
-                })
+                .filter(|(_, g)| !g.is_lost())
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("device worker panicked"))
-                .collect::<Result<Vec<_>, DeviceError>>()
-        })?;
-
-        let mut raw = RawShingles::new(s);
-        let mut runs: Vec<SortedRun> = Vec::new();
-        let mut makespan = 0.0f64;
-        let mut agg_seconds = 0.0f64;
-        for (share, share_runs, agg_s, m) in shares {
-            for i in 0..share.len() {
-                raw.push(share.trial(i), share.node(i), share.pairs_of(i));
+            if alive.is_empty() {
+                return Err(DeviceError::DeviceLost {
+                    device: self.gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
+                });
             }
-            runs.extend(share_runs);
-            makespan = makespan.max(m);
-            agg_seconds = agg_seconds.max(agg_s);
+            let shares = round_robin_shares(&pending, alive.len());
+            pending.clear();
+            let outcomes: Vec<Result<DeviceOutcome, DeviceError>> = std::thread::scope(|scope| {
+                let batches = &batches;
+                let handles: Vec<_> = alive
+                    .iter()
+                    .zip(&shares)
+                    .map(|(&(_, gpu), share)| {
+                        scope.spawn(move || {
+                            device_round(
+                                gpu, share, batches, offsets, flat, s, family, kernel, capacity,
+                                overlapped, device_agg, policy,
+                            )
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("device worker panicked"))
+                    .collect()
+            });
+            let mut fatal: Option<DeviceError> = None;
+            for ((d, _), outcome) in alive.iter().zip(outcomes) {
+                let outcome = match outcome {
+                    Ok(o) => o,
+                    Err(e) => {
+                        // Commit/finish errors are not redistributable
+                        // (only possible under a policy that forbids
+                        // degradation) — the typed error surfaces.
+                        fatal.get_or_insert(e);
+                        continue;
+                    }
+                };
+                // Commit the device's completed work even if it was lost
+                // mid-round: completed batches stay completed.
+                for i in 0..outcome.raw.len() {
+                    raw.push(
+                        outcome.raw.trial(i),
+                        outcome.raw.node(i),
+                        outcome.raw.pairs_of(i),
+                    );
+                }
+                runs.extend(outcome.runs);
+                makespan_by_dev[*d] += outcome.makespan;
+                agg_by_dev[*d] += outcome.agg_seconds;
+                recovery.merge(&outcome.recovery);
+                if let Some((remaining, err)) = outcome.unfinished {
+                    match err {
+                        DeviceError::DeviceLost { .. } => {
+                            let t0 = Instant::now();
+                            recovery.lost_devices += 1;
+                            recovery.redistributed_batches += remaining.len() as u64;
+                            pending.extend(remaining);
+                            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                        }
+                        e => {
+                            fatal.get_or_insert(e);
+                        }
+                    }
+                }
+            }
+            if let Some(e) = fatal {
+                return Err(e);
+            }
+            pending.sort_unstable();
         }
+
+        let makespan = makespan_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
+        let agg_seconds = agg_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
         let graph = if device_agg {
             // The pooled fragments, merged and host-sorted, become one
             // extra run alongside the device runs.
@@ -235,15 +309,199 @@ impl MultiGpuClust {
     }
 }
 
-/// Algorithm 1 on a single batch, emitting every kept segment's top pairs
-/// as `(trial, node, pairs, is_fragment)` records. Fragments (first/last
-/// segments continuing into a neighboring batch, possibly on another
-/// device) need host-side reconciliation; complete records carry exactly
-/// `s` pairs and may aggregate anywhere. With `streams = Some((compute,
-/// copy))` the batch upload and each trial's result download are charged
-/// asynchronously to the copy stream while the kernels run on the compute
-/// stream; data movement itself is eager either way, so the records are
-/// bit-identical across schedules.
+/// Deal the pending batch ids round-robin across the `n_alive` surviving
+/// devices (device index order — deterministic for a given survivor set).
+/// Shares are disjoint, cover every pending batch, and differ in size by
+/// at most one.
+fn round_robin_shares(pending: &[usize], n_alive: usize) -> Vec<Vec<usize>> {
+    (0..n_alive)
+        .map(|i| pending.iter().copied().skip(i).step_by(n_alive).collect())
+        .collect()
+}
+
+/// One batch's buffered emissions: `(trial, node, pairs, is_fragment)`
+/// records. Buffering makes a batch's commit atomic, so a batch
+/// interrupted by a device loss re-runs on a survivor without
+/// duplicating records.
+type BatchRecords = Vec<(u32, u32, Vec<u64>, bool)>;
+
+/// What one device produced in one redistribution round.
+struct DeviceOutcome {
+    /// Fragments (and, under host aggregation, all records) of the
+    /// batches this device completed.
+    raw: RawShingles,
+    /// Device-aggregated sorted runs of the completed batches.
+    runs: Vec<SortedRun>,
+    agg_seconds: f64,
+    makespan: f64,
+    recovery: RecoveryReport,
+    /// Batch ids left unfinished, with the error that interrupted them
+    /// (a `DeviceLost` here re-queues them for the survivors).
+    unfinished: Option<(Vec<usize>, DeviceError)>,
+}
+
+/// Run one device's share of a round: its assigned batches in order,
+/// committing each batch's records only after the whole batch succeeded.
+/// A [`DeviceError::DeviceLost`] from a batch stops the share and reports
+/// the unfinished ids; commit-phase errors (only reachable when the
+/// policy forbids host degradation) propagate as the thread's error.
+#[allow(clippy::too_many_arguments)] // per-device worker of multi_pass_attempt
+fn device_round(
+    gpu: &Gpu,
+    share: &[usize],
+    batches: &[Batch],
+    offsets: &[u64],
+    flat: &[u32],
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    capacity: usize,
+    overlapped: bool,
+    device_agg: bool,
+    policy: FaultPolicy,
+) -> Result<DeviceOutcome, DeviceError> {
+    let streams = overlapped.then(|| (gpu.stream("mgpu-compute"), gpu.stream("mgpu-copy")));
+    let stream_refs = streams.as_ref().map(|(c, p)| (c, p));
+    let mut raw = RawShingles::new(s);
+    let mut builder = device_agg.then(|| DeviceRunBuilder::with_policy(s, capacity, policy));
+    let mut recovery = RecoveryReport::default();
+    let mut unfinished = None;
+    for (i, &bid) in share.iter().enumerate() {
+        match run_batch(
+            gpu,
+            &batches[bid],
+            offsets,
+            flat,
+            s,
+            family,
+            kernel,
+            stream_refs,
+            &policy,
+            &mut recovery,
+        ) {
+            Ok(records) => {
+                for (trial, node, pairs, fragment) in records {
+                    match (&mut builder, fragment) {
+                        (Some(b), false) => b.record(gpu, stream_refs, trial, node, &pairs)?,
+                        _ => raw.push(trial, node, &pairs),
+                    }
+                }
+                if let Some(b) = builder.as_mut() {
+                    // Cut the run at the batch boundary, after run_batch
+                    // freed its device buffers.
+                    b.batch_end(gpu, stream_refs)?;
+                }
+            }
+            Err(e) => {
+                unfinished = Some((share[i..].to_vec(), e));
+                break;
+            }
+        }
+    }
+    let (runs, agg_seconds, builder_rec) = match builder {
+        // On a lost device the final flushes degrade to the host (the
+        // staged columns are host-resident), so completed batches'
+        // records survive the loss whenever the policy allows it.
+        Some(b) => b.finish_with_recovery(gpu, stream_refs)?,
+        None => (Vec::new(), 0.0, RecoveryReport::default()),
+    };
+    recovery.merge(&builder_rec);
+    let makespan = streams.as_ref().map_or(0.0, |(c, p)| {
+        c.completed_seconds().max(p.completed_seconds())
+    });
+    Ok(DeviceOutcome {
+        raw,
+        runs,
+        agg_seconds,
+        makespan,
+        recovery,
+        unfinished,
+    })
+}
+
+/// One trial of Algorithm 1 on this batch's device-resident elements.
+/// Idempotent (every buffer recomputed from `elems_dev`), so
+/// [`retry_transient`] can re-run it; the D2H goes through the fallible
+/// copies, which is where injected kernel faults surface.
+#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_batch
+fn batch_trial(
+    gpu: &Gpu,
+    streams: Option<(&Stream, &Stream)>,
+    kernel: ShingleKernel,
+    plan: &BatchPlan,
+    elems_dev: &DeviceBuffer<u32>,
+    packed_dev: &mut Option<DeviceBuffer<u64>>,
+    a: u64,
+    b: u64,
+    prev_out: &mut Option<DeviceBuffer<u64>>,
+) -> Result<Vec<u64>, DeviceError> {
+    // The previous trial's async download has drained by now (stream
+    // semantics): free it before the next allocation.
+    *prev_out = None;
+    let mut out_dev = gpu.alloc::<u64>(plan.out_total)?;
+    let xform = move |v: u32| pack(hash_with(a, b, v), v);
+    match (kernel, packed_dev) {
+        (ShingleKernel::SortCompact, Some(packed_dev)) => {
+            match streams {
+                Some((compute, _)) => {
+                    thrust::transform_on(compute, elems_dev, packed_dev, xform);
+                    thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
+                }
+                None => {
+                    thrust::transform(gpu, elems_dev, packed_dev, xform);
+                    thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
+                }
+            }
+            let tasks =
+                compaction_tasks(plan, packed_dev.device_slice(), out_dev.device_slice_mut());
+            match streams {
+                Some((compute, _)) => compute.launch(plan.out_total, &KernelCost::gather(), tasks),
+                None => gpu.launch(plan.out_total, &KernelCost::gather(), tasks),
+            }
+        }
+        (ShingleKernel::FusedSelect, _) => match streams {
+            Some((compute, _)) => thrust::transform_select_on(
+                compute,
+                elems_dev,
+                &plan.local_offsets,
+                &plan.out_offsets,
+                &mut out_dev,
+                xform,
+            ),
+            None => thrust::transform_select(
+                gpu,
+                elems_dev,
+                &plan.local_offsets,
+                &plan.out_offsets,
+                &mut out_dev,
+                xform,
+            ),
+        },
+        (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
+    }
+    match streams {
+        Some((compute, copy)) => {
+            copy.wait_event(&compute.record_event());
+            let data = copy.try_dtoh_async(&out_dev)?;
+            *prev_out = Some(out_dev);
+            Ok(data)
+        }
+        None => gpu.try_dtoh(&out_dev),
+    }
+}
+
+/// Algorithm 1 on a single batch under the fault policy, returning the
+/// batch's records `(trial, node, pairs, is_fragment)` buffered for an
+/// atomic commit. Fragments (first/last segments continuing into a
+/// neighboring batch, possibly on another device) need host-side
+/// reconciliation; complete records carry exactly `s` pairs and may
+/// aggregate anywhere. With `streams = Some((compute, copy))` the batch
+/// upload and each trial's result download are charged asynchronously to
+/// the copy stream while the kernels run on the compute stream; data
+/// movement itself is eager either way, so the records are bit-identical
+/// across schedules — and across the retry/degrade paths, which replay
+/// the same computation ([`host_trial_out`] emits the very bytes the
+/// device would have).
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     gpu: &Gpu,
@@ -254,122 +512,109 @@ fn run_batch(
     family: &HashFamily,
     kernel: ShingleKernel,
     streams: Option<(&Stream, &Stream)>,
-    emit: &mut impl FnMut(u32, u32, &[u64], bool) -> Result<(), DeviceError>,
-) -> Result<(), DeviceError> {
-    let (local_offsets, nodes) = batch.segments(offsets);
-    if nodes.is_empty() {
-        return Ok(());
+    policy: &FaultPolicy,
+    recovery: &mut RecoveryReport,
+) -> Result<BatchRecords, DeviceError> {
+    let plan = plan_batch(batch, offsets, s);
+    if plan.nodes.is_empty() {
+        return Ok(Vec::new());
     }
-    let n_segs = nodes.len();
-    // Fragment flags are per-batch invariants — hoisted out of the
-    // per-segment keep test below.
-    let first_frag = batch.first_is_fragment(offsets);
-    let last_frag = batch.last_is_fragment(offsets);
-    let mut out_offsets = Vec::with_capacity(n_segs + 1);
-    out_offsets.push(0usize);
-    for i in 0..n_segs {
-        let len = (local_offsets[i + 1] - local_offsets[i]) as usize;
-        let boundary = (i == 0 && first_frag) || (i == n_segs - 1 && last_frag);
-        let k = if boundary || len >= s { len.min(s) } else { 0 };
-        out_offsets.push(out_offsets[i] + k);
-    }
-    let out_total = *out_offsets.last().unwrap();
+    let n_segs = plan.nodes.len();
+    let batch_elems = &flat[batch.elem_lo as usize..batch.elem_hi as usize];
+    // Once true, every remaining trial runs on the host path.
+    let mut degraded = false;
 
-    let host_elems = &flat[batch.elem_lo as usize..batch.elem_hi as usize];
-    let elems_dev = match streams {
-        Some((compute, copy)) => {
-            let buf = copy.htod_async(host_elems)?;
+    let upload = match streams {
+        Some((compute, copy)) => retry_transient(policy, recovery, || {
+            let buf = copy.htod_async(batch_elems)?;
             compute.wait_event(&copy.record_event());
-            buf
+            Ok(buf)
+        }),
+        None => retry_transient(policy, recovery, || gpu.htod(batch_elems)),
+    };
+    let elems_dev = match upload {
+        Ok(buf) => Some(buf),
+        Err(e) if e.is_transient() && policy.degrade_to_host => {
+            degraded = true;
+            recovery.degraded_batches += 1;
+            None
         }
-        None => gpu.htod(host_elems)?,
+        Err(e) => return Err(e),
     };
     // Only the sort path materializes the packed workspace; the fused
     // kernel hashes on the fly.
-    let mut packed_dev = match kernel {
-        ShingleKernel::SortCompact => Some(gpu.alloc::<u64>(elems_dev.len())?),
-        ShingleKernel::FusedSelect => None,
+    let mut packed_dev: Option<DeviceBuffer<u64>> = match (kernel, &elems_dev) {
+        (ShingleKernel::SortCompact, Some(elems)) => {
+            let n = elems.len();
+            match retry_transient(policy, recovery, || gpu.alloc::<u64>(n)) {
+                Ok(buf) => Some(buf),
+                Err(e) if e.is_transient() && policy.degrade_to_host => {
+                    degraded = true;
+                    recovery.degraded_batches += 1;
+                    None
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        _ => None,
     };
     // The buffer whose async download is still "in flight" — kept alive
     // for one trial (stream semantics), freed before the next allocation.
     let mut prev_out: Option<DeviceBuffer<u64>> = None;
+    let mut records: BatchRecords = Vec::new();
     for trial in 0..family.len() {
         let (a, b) = family.coeffs(trial);
-        let xform = move |v: u32| pack(hash_with(a, b, v), v);
-        prev_out = None;
-        let mut out_dev = gpu.alloc::<u64>(out_total)?;
-        match (kernel, &mut packed_dev) {
-            (ShingleKernel::SortCompact, Some(packed_dev)) => {
-                match streams {
-                    Some((compute, _)) => {
-                        thrust::transform_on(compute, &elems_dev, packed_dev, xform);
-                        thrust::segmented_sort_on(compute, packed_dev, &local_offsets);
+        let host_out = match elems_dev.as_ref().filter(|_| !degraded) {
+            Some(elems) => {
+                let attempt = retry_transient(policy, recovery, || {
+                    batch_trial(
+                        gpu,
+                        streams,
+                        kernel,
+                        &plan,
+                        elems,
+                        &mut packed_dev,
+                        a,
+                        b,
+                        &mut prev_out,
+                    )
+                });
+                match attempt {
+                    Ok(out) => out,
+                    Err(e) if e.is_transient() && policy.degrade_to_host => {
+                        degraded = true;
+                        recovery.degraded_batches += 1;
+                        let t0 = Instant::now();
+                        let out = host_trial_out(&plan, batch_elems, a, b);
+                        recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                        out
                     }
-                    None => {
-                        thrust::transform(gpu, &elems_dev, packed_dev, xform);
-                        thrust::segmented_sort(gpu, packed_dev, &local_offsets);
-                    }
-                }
-                let src = packed_dev.device_slice();
-                let dst = out_dev.device_slice_mut();
-                let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
-                let mut rest = dst;
-                for i in 0..n_segs {
-                    let k = out_offsets[i + 1] - out_offsets[i];
-                    if k == 0 {
-                        continue;
-                    }
-                    let (head, tail) = rest.split_at_mut(k);
-                    rest = tail;
-                    let seg_lo = local_offsets[i] as usize;
-                    let src_top = &src[seg_lo..seg_lo + k];
-                    tasks.push(Box::new(move || head.copy_from_slice(src_top)));
-                }
-                match streams {
-                    Some((compute, _)) => compute.launch(out_total, &KernelCost::gather(), tasks),
-                    None => gpu.launch(out_total, &KernelCost::gather(), tasks),
+                    Err(e) => return Err(e),
                 }
             }
-            (ShingleKernel::FusedSelect, _) => match streams {
-                Some((compute, _)) => thrust::transform_select_on(
-                    compute,
-                    &elems_dev,
-                    &local_offsets,
-                    &out_offsets,
-                    &mut out_dev,
-                    xform,
-                ),
-                None => thrust::transform_select(
-                    gpu,
-                    &elems_dev,
-                    &local_offsets,
-                    &out_offsets,
-                    &mut out_dev,
-                    xform,
-                ),
-            },
-            (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
-        }
-        let host_out = match streams {
-            Some((compute, copy)) => {
-                copy.wait_event(&compute.record_event());
-                let data = copy.dtoh_async(&out_dev);
-                prev_out = Some(out_dev);
-                data
+            None => {
+                let t0 = Instant::now();
+                let out = host_trial_out(&plan, batch_elems, a, b);
+                recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                out
             }
-            None => gpu.dtoh(&out_dev),
         };
         for i in 0..n_segs {
-            let lo = out_offsets[i];
-            let hi = out_offsets[i + 1];
+            let lo = plan.out_offsets[i];
+            let hi = plan.out_offsets[i + 1];
             if hi > lo {
-                let fragment = (i == 0 && first_frag) || (i == n_segs - 1 && last_frag);
-                emit(trial as u32, nodes[i], &host_out[lo..hi], fragment)?;
+                let fragment = (i == 0 && plan.first_frag) || (i == n_segs - 1 && plan.last_frag);
+                records.push((
+                    trial as u32,
+                    plan.nodes[i],
+                    host_out[lo..hi].to_vec(),
+                    fragment,
+                ));
             }
         }
     }
     drop(prev_out);
-    Ok(())
+    Ok(records)
 }
 
 #[cfg(test)]
@@ -622,5 +867,87 @@ mod tests {
     #[test]
     fn rejects_empty_device_list() {
         assert!(MultiGpuClust::new(ShinglingParams::light(0), vec![]).is_err());
+    }
+
+    #[test]
+    fn round_robin_shares_are_disjoint_balanced_and_complete() {
+        for n_pending in [0usize, 1, 2, 7, 16] {
+            for n_alive in [1usize, 2, 3, 4] {
+                let pending: Vec<usize> = (0..n_pending).collect();
+                let shares = round_robin_shares(&pending, n_alive);
+                assert_eq!(shares.len(), n_alive);
+                let mut all: Vec<usize> = shares.iter().flatten().copied().collect();
+                all.sort_unstable();
+                assert_eq!(all, pending, "shares must cover exactly the pending set");
+                let sizes: Vec<usize> = shares.iter().map(Vec::len).collect();
+                let (lo, hi) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(hi - lo <= 1, "unbalanced shares: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn lost_device_redistributes_remaining_batches() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let g = graph(41);
+        let params = ShinglingParams::light(19);
+        let oracle = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+
+        // Tiny devices force many batches; device 0 drops off the bus at
+        // its first kernel launch, so nearly its whole share re-queues.
+        let gpus: Vec<Gpu> = (0..2)
+            .map(|d| {
+                let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 1);
+                if d == 0 {
+                    gpu.set_fault_plan(
+                        FaultPlan::scheduled()
+                            .with_fault(FaultSite::Kernel, 1, FaultKind::DeviceLost)
+                            .with_device(0),
+                    );
+                }
+                gpu
+            })
+            .collect();
+        let report = MultiGpuClust::new(params, gpus)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(report.partition, oracle.partition);
+        let rec = &report.times.recovery;
+        assert_eq!(rec.lost_devices, 1);
+        assert!(rec.redistributed_batches > 0, "{rec}");
+        let total_batches =
+            (report.batch_stats[0].n_batches + report.batch_stats[1].n_batches) as u64;
+        assert!(
+            rec.redistributed_batches <= total_batches,
+            "redistributed {} > planned {}",
+            rec.redistributed_batches,
+            total_batches
+        );
+    }
+
+    #[test]
+    fn losing_every_device_surfaces_a_typed_error() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let g = graph(43);
+        let gpus: Vec<Gpu> = (0..2)
+            .map(|d| {
+                let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 1);
+                gpu.set_fault_plan(
+                    FaultPlan::scheduled()
+                        .with_fault(FaultSite::Kernel, 1, FaultKind::DeviceLost)
+                        .with_device(d),
+                );
+                gpu
+            })
+            .collect();
+        let err = MultiGpuClust::new(ShinglingParams::light(19), gpus)
+            .unwrap()
+            .cluster(&g)
+            .unwrap_err();
+        assert!(matches!(err, DeviceError::DeviceLost { .. }), "{err}");
     }
 }

@@ -75,6 +75,62 @@ fn default_par_sort_min() -> usize {
     PAR_SORT_MIN
 }
 
+/// Default [`FaultPolicy::max_retries`].
+pub const MAX_RETRIES: u32 = 3;
+
+fn default_max_retries() -> u32 {
+    MAX_RETRIES
+}
+
+fn default_true() -> bool {
+    true
+}
+
+/// How the device passes respond to [`gpclust_gpu::DeviceError`]s —
+/// injected or real. Every recovery action is tallied in
+/// [`crate::timing::RecoveryReport`]; under any fault schedule that does
+/// not exhaust this policy, results stay bit-identical to a fault-free
+/// host run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultPolicy {
+    /// Bounded re-attempts for *transient* faults (failed transfers,
+    /// failed launches, ECC events) before the failing batch degrades to
+    /// the host path (or errors out, if degradation is disabled).
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// On `OutOfMemory`, halve the planned batch capacity and re-plan the
+    /// whole pass instead of aborting. Stops (and surfaces the error) once
+    /// the capacity floor of one element is reached.
+    #[serde(default = "default_true")]
+    pub oom_backoff: bool,
+    /// Execute a batch that exhausted its retries on the bit-identical
+    /// host path instead of failing the run.
+    #[serde(default = "default_true")]
+    pub degrade_to_host: bool,
+}
+
+impl Default for FaultPolicy {
+    fn default() -> Self {
+        FaultPolicy {
+            max_retries: MAX_RETRIES,
+            oom_backoff: true,
+            degrade_to_host: true,
+        }
+    }
+}
+
+impl FaultPolicy {
+    /// A policy that never recovers — every device error propagates.
+    /// Useful for tests asserting typed-error surfacing.
+    pub fn strict() -> Self {
+        FaultPolicy {
+            max_retries: 0,
+            oom_backoff: false,
+            degrade_to_host: false,
+        }
+    }
+}
+
 /// Parameters of the two-pass Shingling algorithm.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub struct ShinglingParams {
@@ -107,6 +163,11 @@ pub struct ShinglingParams {
     /// or to `usize::MAX` to pin the serial one.
     #[serde(default = "default_par_sort_min")]
     pub par_sort_min: usize,
+    /// Recovery policy for device faults (results are bit-identical
+    /// whenever the policy is not exhausted; only timing and the
+    /// [`crate::timing::RecoveryReport`] tallies differ).
+    #[serde(default)]
+    pub fault: FaultPolicy,
 }
 
 impl ShinglingParams {
@@ -122,6 +183,7 @@ impl ShinglingParams {
             kernel: ShingleKernel::SortCompact,
             aggregation: AggregationMode::Host,
             par_sort_min: PAR_SORT_MIN,
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -137,6 +199,7 @@ impl ShinglingParams {
             kernel: ShingleKernel::SortCompact,
             aggregation: AggregationMode::Host,
             par_sort_min: PAR_SORT_MIN,
+            fault: FaultPolicy::default(),
         }
     }
 
@@ -161,6 +224,12 @@ impl ShinglingParams {
     /// This parameter set with the given parallel-sort threshold.
     pub fn with_par_sort_min(mut self, par_sort_min: usize) -> Self {
         self.par_sort_min = par_sort_min;
+        self
+    }
+
+    /// This parameter set with the given fault-recovery policy.
+    pub fn with_fault_policy(mut self, fault: FaultPolicy) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -270,6 +339,24 @@ mod tests {
         assert_eq!(dev.aggregation, AggregationMode::Device);
         assert_eq!((dev.s1, dev.c1, dev.seed), (2, 200, 7));
         assert_eq!(dev.with_par_sort_min(0).par_sort_min, 0);
+    }
+
+    #[test]
+    fn fault_policy_defaults_including_serde() {
+        let d = FaultPolicy::default();
+        assert_eq!(d.max_retries, MAX_RETRIES);
+        assert!(d.oom_backoff);
+        assert!(d.degrade_to_host);
+        // Configs written before the knob existed still deserialize
+        // (skipped under a stub serde_json that cannot parse).
+        let legacy = r#"{"s1":2,"c1":200,"s2":2,"c2":100,"seed":7}"#;
+        if let Ok(p) = serde_json::from_str::<ShinglingParams>(legacy) {
+            assert_eq!(p.fault, FaultPolicy::default());
+        }
+        let strict = ShinglingParams::paper_default(3).with_fault_policy(FaultPolicy::strict());
+        assert_eq!(strict.fault.max_retries, 0);
+        assert!(!strict.fault.oom_backoff);
+        assert!(!strict.fault.degrade_to_host);
     }
 
     #[test]

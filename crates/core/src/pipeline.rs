@@ -16,16 +16,13 @@
 //! from the CPU column — that time stands in for the device, not the host).
 
 use crate::aggregate::{merge_sorted_runs, StreamAggregator};
-use crate::batch::BatchStats;
-use crate::gpu_pass::{
-    gpu_shingle_pass_device_agg, gpu_shingle_pass_foreach, gpu_shingle_pass_overlapped_device_agg,
-    gpu_shingle_pass_overlapped_foreach,
-};
+use crate::batch::{batch_capacity, BatchStats};
+use crate::gpu_pass::{gpu_shingle_pass_resilient_device_agg, gpu_shingle_pass_resilient_foreach};
 use crate::minwise::unpack_element;
 use crate::params::{AggregationMode, PipelineMode, ShinglingParams};
 use crate::report;
-use crate::shingle::AdjacencyInput;
-use crate::timing::StageTimes;
+use crate::resilience::with_oom_backoff;
+use crate::timing::{RecoveryReport, StageTimes};
 use gpclust_gpu::{CountersSnapshot, DeviceError, Gpu};
 use gpclust_graph::{io as graph_io, Csr, Partition, UnionFind};
 use std::path::Path;
@@ -92,69 +89,75 @@ impl GpClust {
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::OutOfMemory, e.to_string()))
     }
 
-    /// One device shingling pass under the configured schedule and
-    /// kernel. In `Overlapped` mode the pass's pipelined makespan is
-    /// added to `pipelined`; in `Synchronous` mode `pipelined` is left
-    /// untouched (the serialized counter sum stands in for it at report
-    /// time). Returns the pass's batch-plan stats.
-    fn device_pass(
-        &self,
-        input: &impl AdjacencyInput,
-        s: usize,
-        family: &crate::minwise::HashFamily,
-        pipelined: &mut f64,
-        f: impl FnMut(u32, u32, &[u64]),
-    ) -> Result<BatchStats, DeviceError> {
-        let kernel = self.params.kernel;
-        match self.params.mode {
-            PipelineMode::Synchronous => {
-                gpu_shingle_pass_foreach(&self.gpu, input, s, family, kernel, f)
-            }
-            PipelineMode::Overlapped => {
-                let (stats, makespan) =
-                    gpu_shingle_pass_overlapped_foreach(&self.gpu, input, s, family, kernel, f)?;
-                *pipelined += makespan;
-                Ok(stats)
-            }
-        }
-    }
-
     fn run(&self, g: &Csr, disk_io: f64) -> Result<GpClustReport, DeviceError> {
         self.gpu.reset_counters();
         let wall_start = Instant::now();
         let mut pipelined = 0.0f64;
         let mut device_aggregation = 0.0f64;
+        let policy = self.params.fault;
+        let mut recovery = RecoveryReport::default();
+        let kernel = self.params.kernel;
+        let mode = self.params.mode;
 
         // Pass I on the device. `Host` aggregation streams the records
         // into the CPU-side global sort; `Device` aggregation packs and
         // radix-sorts them on the card and k-way-merges the sorted runs —
         // bit-identical shingle graphs, but the dominant comparison sort
-        // leaves the CPU column.
+        // leaves the CPU column. Either way the pass runs under the fault
+        // policy: an `OutOfMemory` halves the planned batch capacity and
+        // re-plans the whole pass (each attempt rebuilds its aggregation
+        // state, so a re-plan never replays half-emitted records).
         let s1 = self.params.s1;
         let family1 = self.params.family_pass1();
         let (first, stats1) = match self.params.aggregation {
             AggregationMode::Host => {
-                let mut agg1 = StreamAggregator::with_par_sort_min(s1, self.params.par_sort_min);
-                let stats1 = self.device_pass(g, s1, &family1, &mut pipelined, |t, n, p| {
-                    agg1.push(t, n, p)
-                })?;
-                (agg1.finish(), stats1)
+                let cap = batch_capacity(self.gpu.mem_available(), kernel, AggregationMode::Host);
+                let mut pass_rec = RecoveryReport::default();
+                let mut backoff_rec = RecoveryReport::default();
+                let (first, stats1, makespan) =
+                    with_oom_backoff(&policy, &mut backoff_rec, cap, |cap| {
+                        let mut agg =
+                            StreamAggregator::with_par_sort_min(s1, self.params.par_sort_min);
+                        let (stats, makespan) = gpu_shingle_pass_resilient_foreach(
+                            &self.gpu,
+                            g,
+                            s1,
+                            &family1,
+                            kernel,
+                            mode,
+                            cap,
+                            &policy,
+                            &mut pass_rec,
+                            |t, n, p| agg.push(t, n, p),
+                        )?;
+                        Ok((agg.finish(), stats, makespan))
+                    })?;
+                recovery.merge(&pass_rec);
+                recovery.merge(&backoff_rec);
+                pipelined += makespan;
+                (first, stats1)
             }
             AggregationMode::Device => {
-                let kernel = self.params.kernel;
-                let (runs, stats1, agg_s) = match self.params.mode {
-                    PipelineMode::Synchronous => {
-                        gpu_shingle_pass_device_agg(&self.gpu, g, s1, &family1, kernel)?
-                    }
-                    PipelineMode::Overlapped => {
-                        let (runs, stats, agg_s, makespan) =
-                            gpu_shingle_pass_overlapped_device_agg(
-                                &self.gpu, g, s1, &family1, kernel,
-                            )?;
-                        pipelined += makespan;
-                        (runs, stats, agg_s)
-                    }
-                };
+                let cap = batch_capacity(self.gpu.mem_available(), kernel, AggregationMode::Device);
+                let mut pass_rec = RecoveryReport::default();
+                let mut backoff_rec = RecoveryReport::default();
+                let (runs, stats1, agg_s, makespan) =
+                    with_oom_backoff(&policy, &mut backoff_rec, cap, |cap| {
+                        gpu_shingle_pass_resilient_device_agg(
+                            &self.gpu,
+                            g,
+                            s1,
+                            &family1,
+                            kernel,
+                            mode,
+                            cap,
+                            &policy,
+                            &mut pass_rec,
+                        )
+                    })?;
+                recovery.merge(&pass_rec);
+                recovery.merge(&backoff_rec);
+                pipelined += makespan;
                 device_aggregation += agg_s;
                 (merge_sorted_runs(s1, runs), stats1)
             }
@@ -162,27 +165,47 @@ impl GpClust {
 
         // Pass II on the device, streamed straight into Phase III's
         // union–find — G″ is never materialized (see report module docs).
+        // A backed-off re-plan replays the whole record stream, so each
+        // attempt starts from a fresh union–find.
         let mut uf = UnionFind::new(g.n());
         let mut second_level_records = 0u64;
-        let stats2 = self.device_pass(
-            &first,
-            self.params.s2,
-            &self.params.family_pass2(),
-            &mut pipelined,
-            |_, node, pairs| {
-                second_level_records += 1;
-                report::union_second_level_record(
-                    &mut uf,
-                    &first,
-                    node,
-                    pairs.iter().map(|&p| unpack_element(p)),
-                );
-            },
-        )?;
+        let s2 = self.params.s2;
+        let family2 = self.params.family_pass2();
+        let cap2 = batch_capacity(self.gpu.mem_available(), kernel, AggregationMode::Host);
+        let mut pass_rec = RecoveryReport::default();
+        let mut backoff_rec = RecoveryReport::default();
+        let (stats2, makespan2) = with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
+            uf = UnionFind::new(g.n());
+            second_level_records = 0;
+            gpu_shingle_pass_resilient_foreach(
+                &self.gpu,
+                &first,
+                s2,
+                &family2,
+                kernel,
+                mode,
+                cap,
+                &policy,
+                &mut pass_rec,
+                |_, node, pairs| {
+                    second_level_records += 1;
+                    report::union_second_level_record(
+                        &mut uf,
+                        &first,
+                        node,
+                        pairs.iter().map(|&p| unpack_element(p)),
+                    );
+                },
+            )
+        })?;
+        recovery.merge(&pass_rec);
+        recovery.merge(&backoff_rec);
+        pipelined += makespan2;
         let partition = Partition::from_union_find(&mut uf);
 
         let wall = wall_start.elapsed().as_secs_f64();
         let counters = self.gpu.counters();
+        recovery.faults_injected = counters.faults_injected;
         // Host time net of the wall time spent standing in for the device.
         let cpu = (wall - counters.kernel_wall_seconds).max(0.0);
         let device_pipelined = match self.params.mode {
@@ -197,6 +220,7 @@ impl GpClust {
             disk_io,
             device_pipelined,
             device_aggregation,
+            recovery,
             ..Default::default()
         };
         times.record_batch_stats(&stats1);

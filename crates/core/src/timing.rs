@@ -41,6 +41,80 @@ impl Stopwatch {
     }
 }
 
+/// Tally of every recovery action the resilience layer took during one
+/// run (see [`crate::params::FaultPolicy`]). All zeros on a fault-free
+/// run; results are bit-identical either way — this report is how a run
+/// says *what it survived*.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
+pub struct RecoveryReport {
+    /// Transient faults (failed transfers/launches, ECC events) cleared
+    /// by re-attempting the same operation.
+    pub retries: u64,
+    /// Times an `OutOfMemory` halved the planned batch capacity and
+    /// re-planned a device pass.
+    pub oom_backoffs: u64,
+    /// Batches that exhausted their retries and ran on the bit-identical
+    /// host path instead.
+    pub degraded_batches: u64,
+    /// Per-flush host sort fallbacks in the device-aggregation path
+    /// (`DeviceRunBuilder`), previously tracked but never reported.
+    pub host_fallbacks: u64,
+    /// Devices lost mid-run (multi-GPU; their remaining batches were
+    /// redistributed across survivors).
+    pub lost_devices: u64,
+    /// Batches re-executed on a surviving device after a device loss.
+    pub redistributed_batches: u64,
+    /// Faults the injector fired during the run (0 without injection).
+    pub faults_injected: u64,
+    /// Host wall seconds spent inside recovery (retry loops, degraded
+    /// host execution, re-planning).
+    pub recovery_seconds: f64,
+}
+
+impl RecoveryReport {
+    /// True if any recovery action was taken (or any fault injected).
+    pub fn any(&self) -> bool {
+        self.retries != 0
+            || self.oom_backoffs != 0
+            || self.degraded_batches != 0
+            || self.host_fallbacks != 0
+            || self.lost_devices != 0
+            || self.redistributed_batches != 0
+            || self.faults_injected != 0
+    }
+
+    /// Fold another report into this one (multi-device / multi-pass).
+    pub fn merge(&mut self, other: &RecoveryReport) {
+        self.retries += other.retries;
+        self.oom_backoffs += other.oom_backoffs;
+        self.degraded_batches += other.degraded_batches;
+        self.host_fallbacks += other.host_fallbacks;
+        self.lost_devices += other.lost_devices;
+        self.redistributed_batches += other.redistributed_batches;
+        self.faults_injected += other.faults_injected;
+        self.recovery_seconds += other.recovery_seconds;
+    }
+}
+
+impl std::fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} fault(s) injected | {} retries | {} OOM backoff(s) | {} degraded batch(es) \
+             | {} host fallback(s) | {} lost device(s), {} batch(es) redistributed \
+             | recovery {:.3}s",
+            self.faults_injected,
+            self.retries,
+            self.oom_backoffs,
+            self.degraded_batches,
+            self.host_fallbacks,
+            self.lost_devices,
+            self.redistributed_batches,
+            self.recovery_seconds
+        )
+    }
+}
+
 /// The per-component times of one gpClust run (one row of Table I).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct StageTimes {
@@ -78,6 +152,9 @@ pub struct StageTimes {
     /// see [`crate::batch::bytes_per_elem`]).
     #[serde(default)]
     pub elem_footprint_bytes: u64,
+    /// Recovery actions taken during the run (all zeros when fault-free).
+    #[serde(default)]
+    pub recovery: RecoveryReport,
 }
 
 impl StageTimes {
@@ -134,7 +211,11 @@ impl std::fmt::Display for StageTimes {
             self.n_batches,
             self.max_batch_elems,
             self.elem_footprint_bytes
-        )
+        )?;
+        if self.recovery.any() {
+            write!(f, " | recovery: {}", self.recovery)?;
+        }
+        Ok(())
     }
 }
 
@@ -188,6 +269,47 @@ mod tests {
         ] {
             assert!(s.contains(needle), "missing {needle}");
         }
+    }
+
+    #[test]
+    fn recovery_report_merges_and_displays() {
+        let mut a = RecoveryReport {
+            retries: 2,
+            oom_backoffs: 1,
+            degraded_batches: 1,
+            host_fallbacks: 3,
+            lost_devices: 0,
+            redistributed_batches: 0,
+            faults_injected: 7,
+            recovery_seconds: 0.25,
+        };
+        let b = RecoveryReport {
+            lost_devices: 1,
+            redistributed_batches: 4,
+            faults_injected: 1,
+            recovery_seconds: 0.5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.retries, 2);
+        assert_eq!(a.lost_devices, 1);
+        assert_eq!(a.redistributed_batches, 4);
+        assert_eq!(a.faults_injected, 8);
+        assert!((a.recovery_seconds - 0.75).abs() < 1e-12);
+        assert!(a.any());
+        assert!(!RecoveryReport::default().any());
+        let s = a.to_string();
+        for needle in ["retries", "OOM", "degraded", "fallback", "lost", "recovery"] {
+            assert!(s.contains(needle), "missing {needle}");
+        }
+        // A fault-free StageTimes display stays free of recovery noise; a
+        // recovering one appends it.
+        assert!(!StageTimes::default().to_string().contains("recovery"));
+        let t = StageTimes {
+            recovery: a,
+            ..Default::default()
+        };
+        assert!(t.to_string().contains("recovery"));
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl Counters {
         d2h_seconds: f64,
         h2d_overlapped_seconds: f64,
         d2h_overlapped_seconds: f64,
+        faults_injected: u64,
     ) -> CountersSnapshot {
         CountersSnapshot {
             kernel_launches: self.kernel_launches.load(Ordering::Relaxed),
@@ -63,6 +64,7 @@ impl Counters {
             h2d_overlapped_seconds,
             d2h_overlapped_seconds,
             kernel_wall_seconds: self.kernel_wall_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            faults_injected,
         }
     }
 
@@ -112,6 +114,10 @@ pub struct CountersSnapshot {
     pub d2h_overlapped_seconds: f64,
     /// Wall-clock host seconds spent executing kernel work on the pool.
     pub kernel_wall_seconds: f64,
+    /// Faults injected by the [`crate::fault::FaultInjector`] since the
+    /// last counter reset (0 when injection is disabled).
+    #[serde(default)]
+    pub faults_injected: u64,
 }
 
 impl CountersSnapshot {
@@ -140,7 +146,7 @@ mod tests {
         c.alloc(50);
         c.free(100);
         c.alloc(10);
-        let s = c.snapshot(0.0, 0.0, 0.0, 0.0, 0.0);
+        let s = c.snapshot(0.0, 0.0, 0.0, 0.0, 0.0, 0);
         assert_eq!(s.mem_used, 60);
         assert_eq!(s.mem_peak, 150);
         assert_eq!(s.allocations, 3);
@@ -152,7 +158,7 @@ mod tests {
         c.alloc(77);
         c.kernel_launches.fetch_add(3, Ordering::Relaxed);
         c.reset();
-        let s = c.snapshot(0.0, 0.0, 0.0, 0.0, 0.0);
+        let s = c.snapshot(0.0, 0.0, 0.0, 0.0, 0.0, 0);
         assert_eq!(s.kernel_launches, 0);
         assert_eq!(s.mem_used, 77);
         assert_eq!(s.mem_peak, 77);

@@ -33,10 +33,17 @@
 //! Data c→g, Data g→c) can be reported for a machine this host is not.
 //! Wall-clock speedups from the real thread-pool execution are reported
 //! separately by the benchmark harness.
+//!
+//! * **Fault injection** ([`fault`]) — a seeded, deterministic injector
+//!   models transfer failures, launch failures, ECC events, allocation
+//!   faults and whole-device loss ([`DeviceError::DeviceLost`]), so the
+//!   resilience layer upstream (retries, OOM backoff, host degradation,
+//!   device-loss redistribution) is testable bit-for-bit.
 
 pub mod clock;
 pub mod config;
 pub mod counters;
+pub mod fault;
 pub mod memory;
 pub mod pool;
 pub mod simt;
@@ -47,6 +54,7 @@ pub mod transfer;
 
 pub use config::DeviceConfig;
 pub use counters::CountersSnapshot;
+pub use fault::{FaultKind, FaultPlan, FaultSite, ScheduledFault};
 pub use memory::{DeviceBuffer, DeviceError};
 pub use simt::{Gpu, KernelCost};
 pub use stream::{Stream, StreamEvent};

@@ -34,6 +34,35 @@ pub enum DeviceError {
         /// Per-block shared memory capacity.
         capacity: usize,
     },
+    /// A host↔device copy failed (transient — retryable).
+    TransferFailed {
+        /// True for host→device, false for device→host.
+        h2d: bool,
+        /// Bytes the failed copy was moving.
+        bytes: usize,
+    },
+    /// A kernel failed to launch (transient — retryable).
+    LaunchFailed,
+    /// An uncorrectable ECC memory event (transient — the operation can
+    /// be retried on freshly written data).
+    Ecc,
+    /// The device fell off the bus; terminal for this device.
+    DeviceLost {
+        /// Index of the lost device.
+        device: u32,
+    },
+}
+
+impl DeviceError {
+    /// True for faults that a bounded retry of the same operation can
+    /// plausibly clear (transfer, launch, ECC). `OutOfMemory` wants a
+    /// smaller plan, not a retry; `DeviceLost` is terminal.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            DeviceError::TransferFailed { .. } | DeviceError::LaunchFailed | DeviceError::Ecc
+        )
+    }
 }
 
 impl std::fmt::Display for DeviceError {
@@ -56,6 +85,20 @@ impl std::fmt::Display for DeviceError {
                 "per-block shared memory exceeded: requested {requested} B of \
                  {capacity} B"
             ),
+            DeviceError::TransferFailed { h2d, bytes } => write!(
+                f,
+                "{} transfer of {bytes} B failed",
+                if *h2d {
+                    "host-to-device"
+                } else {
+                    "device-to-host"
+                }
+            ),
+            DeviceError::LaunchFailed => write!(f, "kernel launch failed"),
+            DeviceError::Ecc => write!(f, "uncorrectable ECC memory error"),
+            DeviceError::DeviceLost { device } => {
+                write!(f, "device {device} lost (fell off the bus)")
+            }
         }
     }
 }
@@ -138,6 +181,9 @@ impl Gpu {
 
     /// Internal: check capacity and account the allocation.
     pub(crate) fn try_reserve(&self, bytes: usize) -> Result<(), DeviceError> {
+        if let Some(e) = self.injected_fault(crate::fault::FaultSite::Alloc, bytes) {
+            return Err(e);
+        }
         let capacity = self.shared.config.global_mem_bytes;
         let used = self.shared.counters.used();
         let available = capacity.saturating_sub(used);

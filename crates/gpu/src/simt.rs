@@ -16,6 +16,8 @@
 use crate::clock::DeviceClock;
 use crate::config::DeviceConfig;
 use crate::counters::{Counters, CountersSnapshot};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, FaultSite};
+use crate::memory::DeviceError;
 use crate::pool::SmPool;
 use crate::timeline::{Event, EventLog};
 use std::sync::Arc;
@@ -28,6 +30,7 @@ pub(crate) struct Shared {
     pub(crate) pool: SmPool,
     pub(crate) transfer_overlap: std::sync::atomic::AtomicBool,
     pub(crate) timeline: EventLog,
+    pub(crate) fault: FaultInjector,
 }
 
 /// A handle to a simulated GPU. Cheap to clone.
@@ -161,8 +164,54 @@ impl Gpu {
                 pool: SmPool::new(n_workers),
                 transfer_overlap: std::sync::atomic::AtomicBool::new(false),
                 timeline: EventLog::new(),
+                fault: FaultInjector::default(),
             }),
         }
+    }
+
+    /// Install a fault-injection plan (see [`crate::fault`]). Resets the
+    /// injector's occurrence counters and RNG so the plan replays
+    /// identically from this point.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        self.shared.fault.set_plan(plan);
+    }
+
+    /// True once an injected `DeviceLost` has fired on this device; every
+    /// fallible operation fails from then on.
+    pub fn is_lost(&self) -> bool {
+        self.shared.fault.is_lost()
+    }
+
+    /// Surface any pending (sticky) kernel fault, CUDA
+    /// `cudaGetLastError`-style: an injected launch failure parks here and
+    /// the first `take_fault`/`try_dtoh` after it reports the error.
+    pub fn take_fault(&self) -> Result<(), DeviceError> {
+        match self.shared.fault.take_pending() {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Internal: draw at `site` and map the kind onto a concrete
+    /// [`DeviceError`] with call-site context.
+    pub(crate) fn injected_fault(&self, site: FaultSite, bytes: usize) -> Option<DeviceError> {
+        let kind = self.shared.fault.draw(site)?;
+        Some(match kind {
+            FaultKind::TransferFailed => DeviceError::TransferFailed {
+                h2d: site == FaultSite::H2D,
+                bytes,
+            },
+            FaultKind::LaunchFailed => DeviceError::LaunchFailed,
+            FaultKind::Ecc => DeviceError::Ecc,
+            FaultKind::OutOfMemory => DeviceError::OutOfMemory {
+                requested: bytes,
+                available: self.mem_available(),
+                capacity: self.shared.config.global_mem_bytes,
+            },
+            FaultKind::DeviceLost => DeviceError::DeviceLost {
+                device: self.shared.fault.device(),
+            },
+        })
     }
 
     /// Enable/disable the "asynchronous transfer" ablation (the paper's
@@ -225,6 +274,13 @@ impl Gpu {
         cost: &KernelCost,
         tasks: Vec<Box<dyn FnOnce() + Send + 'env>>,
     ) -> f64 {
+        if let Some(e) = self.injected_fault(FaultSite::Kernel, 0) {
+            // A failed launch runs nothing and charges nothing; the error
+            // parks as a sticky pending fault that surfaces at the next
+            // fallible sync point ([`Gpu::take_fault`], `try_dtoh`).
+            self.shared.fault.set_pending(e);
+            return 0.0;
+        }
         let wall_start = std::time::Instant::now();
         self.shared.pool.execute_batch(tasks);
         self.shared.counters.kernel_wall_ns.fetch_add(
@@ -267,13 +323,17 @@ impl Gpu {
             self.shared.clock.d2h_seconds(),
             self.shared.clock.h2d_overlap_seconds(),
             self.shared.clock.d2h_overlap_seconds(),
+            self.shared.fault.injected_total(),
         )
     }
 
-    /// Reset telemetry and clock (live buffers keep their memory).
+    /// Reset telemetry and clock (live buffers keep their memory). Also
+    /// rewinds the fault injector's occurrence counters and RNG so a fixed
+    /// plan replays identically per run — a lost device stays lost, though.
     pub fn reset_counters(&self) {
         self.shared.counters.reset();
         self.shared.clock.reset();
+        self.shared.fault.reset_counts();
     }
 }
 

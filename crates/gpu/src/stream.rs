@@ -113,6 +113,10 @@ impl Stream {
     /// cursor instead of the blocking critical path. Counted both in the
     /// h2d totals and in the overlapped sub-account.
     pub fn htod_async<T: Pod>(&self, src: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = std::mem::size_of_val(src);
+        if let Some(e) = self.gpu.injected_fault(crate::fault::FaultSite::H2D, bytes) {
+            return Err(e);
+        }
         let buf = self.gpu.adopt(src.to_vec())?;
         let modeled = self.gpu.tally_h2d(buf.bytes(), true);
         self.push(modeled);
@@ -121,10 +125,26 @@ impl Stream {
 
     /// Asynchronous device→host copy. Issue a [`Stream::wait_event`] on a
     /// compute-stream event first if the buffer is produced by a kernel.
+    /// Infallible — not subject to fault injection; resilient callers use
+    /// [`Stream::try_dtoh_async`].
     pub fn dtoh_async<T: Pod>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
         let modeled = self.gpu.tally_d2h(buf.bytes(), true);
         self.push(modeled);
         buf.device_slice().to_vec()
+    }
+
+    /// Fallible asynchronous device→host copy: surfaces any pending
+    /// (sticky) kernel fault first, then draws at the D2H site. A failed
+    /// copy charges nothing and does not advance the stream cursor.
+    pub fn try_dtoh_async<T: Pod>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, DeviceError> {
+        self.gpu.take_fault()?;
+        if let Some(e) = self
+            .gpu
+            .injected_fault(crate::fault::FaultSite::D2H, buf.bytes())
+        {
+            return Err(e);
+        }
+        Ok(self.dtoh_async(buf))
     }
 
     /// Launch a kernel on this stream: tasks execute immediately on the SM

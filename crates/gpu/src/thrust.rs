@@ -11,6 +11,14 @@
 //! All primitives are deterministic and independent of the worker count:
 //! work is partitioned into disjoint output ranges, so any schedule
 //! produces identical buffers.
+//!
+//! **Fault injection** (see [`crate::fault`]): every launch here funnels
+//! through [`Gpu::launch`]/[`Stream::launch`], so an injected kernel fault
+//! skips the launch's work and parks as a sticky pending error. The
+//! `Result`-returning primitives ([`reduce_sum`], [`reduce_by_key_counts`])
+//! surface it immediately; the infallible ones leave it for the caller's
+//! next [`Gpu::take_fault`] / `try_dtoh` synchronization point — the CUDA
+//! `cudaGetLastError` contract.
 
 use crate::memory::{DeviceBuffer, DeviceError, Pod};
 use crate::simt::{Gpu, KernelCost};
@@ -537,6 +545,10 @@ pub fn reduce_sum(gpu: &Gpu, buf: &DeviceBuffer<u64>, tile: usize) -> Result<u64
             .collect();
         gpu.launch(n, &KernelCost::reduce_by_key(), tasks);
     }
+    // Surface an injected launch fault here rather than parking it for the
+    // next copy — this primitive returns a host value, so it *is* the sync
+    // point.
+    gpu.take_fault()?;
     Ok(partials.into_iter().fold(0u64, u64::wrapping_add))
 }
 
@@ -627,6 +639,7 @@ pub fn reduce_by_key_counts(
         }
     }
     gpu.launch(keys.len(), &KernelCost::reduce_by_key(), vec![]);
+    gpu.take_fault()?;
     let u = gpu.adopt(uniques)?;
     let c = gpu.adopt(counts)?;
     Ok((u, c))

@@ -68,17 +68,37 @@ impl Gpu {
         modeled
     }
 
-    /// Copy a host slice to a new device buffer (synchronous).
+    /// Copy a host slice to a new device buffer (synchronous). Subject to
+    /// fault injection: an injected H2D fault fails the call before any
+    /// bytes move or are accounted.
     pub fn htod<T: Pod>(&self, src: &[T]) -> Result<DeviceBuffer<T>, DeviceError> {
+        let bytes = std::mem::size_of_val(src);
+        if let Some(e) = self.injected_fault(crate::fault::FaultSite::H2D, bytes) {
+            return Err(e);
+        }
         let buf = self.adopt(src.to_vec())?;
         self.tally_h2d(buf.bytes(), false);
         Ok(buf)
     }
 
-    /// Copy a device buffer back to a host vector (synchronous).
+    /// Copy a device buffer back to a host vector (synchronous,
+    /// infallible — not subject to fault injection; resilient callers use
+    /// [`Gpu::try_dtoh`]).
     pub fn dtoh<T: Pod>(&self, buf: &DeviceBuffer<T>) -> Vec<T> {
         self.tally_d2h(buf.bytes(), false);
         buf.device_slice().to_vec()
+    }
+
+    /// Fallible device→host copy: surfaces any pending (sticky) kernel
+    /// fault first — this is the synchronization point where an injected
+    /// launch failure becomes visible — then draws at the D2H site. A
+    /// failed copy charges nothing.
+    pub fn try_dtoh<T: Pod>(&self, buf: &DeviceBuffer<T>) -> Result<Vec<T>, DeviceError> {
+        self.take_fault()?;
+        if let Some(e) = self.injected_fault(crate::fault::FaultSite::D2H, buf.bytes()) {
+            return Err(e);
+        }
+        Ok(self.dtoh(buf))
     }
 
     /// Copy only `range` of a device buffer back to the host.

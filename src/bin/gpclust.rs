@@ -17,9 +17,10 @@
 
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{
-    AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
+    AggregationMode, FaultPolicy, GpClust, PipelineMode, SerialShingling, ShingleKernel,
+    ShinglingParams,
 };
-use gpclust::gpu::{DeviceConfig, Gpu};
+use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
 use gpclust::homology::{graph_from_fasta, HomologyConfig};
 use gpclust::seqsim::fasta;
@@ -72,7 +73,14 @@ subcommands:
                                                where the shingle sort runs,
                                                [--par-sort-min N],
                                                [--s1/--c1/--s2/--c2],
-                                               [--min-size])
+                                               [--min-size],
+                                               [--inject-faults seed:rate]
+                                               deterministic fault injection
+                                               (also env GPCLUST_INJECT_FAULTS),
+                                               [--max-retries N],
+                                               [--oom-backoff true|false],
+                                               [--no-degrade] to forbid the
+                                               per-batch host fallback)
   stats        Table II statistics            (--graph)
   quality      score clusters vs a benchmark  (--test, --benchmark, --n)";
 
@@ -168,6 +176,24 @@ fn parse_aggregation(args: &Flags) -> Result<AggregationMode, String> {
     }
 }
 
+/// `--inject-faults seed:rate` (falling back to `GPCLUST_INJECT_FAULTS`
+/// in the environment), parsed into a deterministic device fault plan.
+fn fault_plan(args: &Flags) -> Result<Option<FaultPlan>, String> {
+    match args.get("inject-faults") {
+        Some(spec) => FaultPlan::parse(spec).map(Some),
+        None => Ok(FaultPlan::from_env()),
+    }
+}
+
+/// The resilience knobs shared by the CLI and the bench binaries.
+fn fault_policy(args: &Flags) -> FaultPolicy {
+    FaultPolicy {
+        max_retries: get(args, "max-retries", gpclust::core::params::MAX_RETRIES),
+        oom_backoff: get(args, "oom-backoff", true),
+        degrade_to_host: !args.contains_key("no-degrade"),
+    }
+}
+
 fn cmd_cluster(args: &Flags) -> Result<(), String> {
     let graph_path = need(args, "graph")?;
     let out = need(args, "out")?;
@@ -185,7 +211,9 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         kernel: parse_kernel(args)?,
         aggregation: parse_aggregation(args)?,
         par_sort_min: get(args, "par-sort-min", gpclust::core::params::PAR_SORT_MIN),
+        fault: fault_policy(args),
     };
+    let plan = fault_plan(args)?;
     let min_size = get(args, "min-size", 1usize);
     let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
     eprintln!("loaded graph: {} vertices, {} edges", g.n(), g.m());
@@ -196,6 +224,9 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         let n_devices = get(args, "devices", 1usize);
         if n_devices <= 1 {
             let gpu = Gpu::new(DeviceConfig::tesla_k20());
+            if let Some(plan) = &plan {
+                gpu.set_fault_plan(plan.clone().with_device(0));
+            }
             let report = GpClust::new(params, gpu)?
                 .cluster(&g)
                 .map_err(|e| e.to_string())?;
@@ -204,10 +235,19 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                 "batch plan: pass I {} | pass II {}",
                 report.batch_stats[0], report.batch_stats[1]
             );
+            if report.times.recovery.any() {
+                eprintln!("recovery: {}", report.times.recovery);
+            }
             report.partition
         } else {
-            let gpus = (0..n_devices)
-                .map(|_| Gpu::new(DeviceConfig::tesla_k20()))
+            let gpus: Vec<Gpu> = (0..n_devices)
+                .map(|d| {
+                    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+                    if let Some(plan) = &plan {
+                        gpu.set_fault_plan(plan.clone().with_device(d as u32));
+                    }
+                    gpu
+                })
                 .collect();
             let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
             let report = multi.cluster(&g).map_err(|e| e.to_string())?;
@@ -216,6 +256,9 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                 "batch plan: pass I {} | pass II {}",
                 report.batch_stats[0], report.batch_stats[1]
             );
+            if report.times.recovery.any() {
+                eprintln!("recovery: {}", report.times.recovery);
+            }
             report.partition
         }
     };

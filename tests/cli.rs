@@ -154,6 +154,111 @@ fn serial_and_device_cli_agree() {
 }
 
 #[test]
+fn fault_injection_flags_recover_or_fail_typed() {
+    let dir = tmpdir("faults");
+    let faa = dir.join("mg.faa");
+    let graph = dir.join("g.bin");
+    run(&[
+        "generate",
+        "--n",
+        "300",
+        "--seed",
+        "11",
+        "--out",
+        faa.to_str().unwrap(),
+    ]);
+    run(&[
+        "build-graph",
+        "--fasta",
+        faa.to_str().unwrap(),
+        "--out",
+        graph.to_str().unwrap(),
+    ]);
+
+    // Fault-free reference run.
+    let clean = dir.join("clean.tsv");
+    let (ok, _, err) = run(&[
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        clean.to_str().unwrap(),
+        "--c1",
+        "40",
+        "--c2",
+        "20",
+    ]);
+    assert!(ok, "{err}");
+
+    // Every device operation faults; the default policy recovers and the
+    // clusters are bit-identical. The recovery line reports what happened.
+    let faulty = dir.join("faulty.tsv");
+    let (ok, _, err) = run(&[
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        faulty.to_str().unwrap(),
+        "--c1",
+        "40",
+        "--c2",
+        "20",
+        "--inject-faults",
+        "7:1.0",
+    ]);
+    assert!(ok, "recovering run failed: {err}");
+    assert!(err.contains("recovery:"), "no recovery line: {err}");
+    assert_eq!(
+        std::fs::read_to_string(&clean).unwrap(),
+        std::fs::read_to_string(&faulty).unwrap(),
+        "faults must not change the clusters"
+    );
+
+    // With the policy disabled the same schedule is fatal: one-line typed
+    // error on stderr, nonzero status, no panic backtrace.
+    let (ok, _, err) = run(&[
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        dir.join("strict.tsv").to_str().unwrap(),
+        "--c1",
+        "40",
+        "--c2",
+        "20",
+        "--inject-faults",
+        "7:1.0",
+        "--max-retries",
+        "0",
+        "--no-degrade",
+    ]);
+    assert!(!ok, "strict run must fail");
+    assert!(
+        err.lines().any(|l| l.starts_with("error:")),
+        "stderr: {err}"
+    );
+    assert!(!err.contains("panicked"), "panic leaked: {err}");
+
+    // A malformed spec is rejected up front.
+    let (ok, _, err) = run(&[
+        "cluster",
+        "--graph",
+        graph.to_str().unwrap(),
+        "--out",
+        dir.join("bad.tsv").to_str().unwrap(),
+        "--inject-faults",
+        "not-a-spec",
+    ]);
+    assert!(!ok);
+    assert!(
+        err.lines().any(|l| l.starts_with("error:")),
+        "stderr: {err}"
+    );
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn unknown_subcommand_fails_with_usage() {
     let (ok, _, err) = run(&["frobnicate"]);
     assert!(!ok);

@@ -1,0 +1,292 @@
+//! Fault-injection properties: under any injected fault schedule that
+//! does not exhaust the recovery policy, the final clusters are
+//! bit-identical to a fault-free run — across kernels, schedules,
+//! aggregation modes, and 1–4 devices. Exhausted policies surface typed
+//! errors, never panics.
+
+use gpclust::core::multi_gpu::MultiGpuClust;
+use gpclust::core::{
+    AggregationMode, FaultPolicy, GpClust, PipelineMode, SerialShingling, ShingleKernel,
+    ShinglingParams,
+};
+use gpclust::gpu::{DeviceConfig, DeviceError, FaultKind, FaultPlan, FaultSite, Gpu};
+use gpclust::graph::{Csr, EdgeList, Partition};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph of up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |pairs| {
+            let mut el: EdgeList = pairs.into_iter().collect();
+            Csr::from_edges(n, &mut el)
+        })
+    })
+}
+
+/// Strategy: every schedule/kernel/aggregation combination via three bits.
+fn arb_knobs() -> impl Strategy<Value = (PipelineMode, ShingleKernel, AggregationMode)> {
+    (0u8..8).prop_map(|knobs| {
+        (
+            if knobs & 1 != 0 {
+                PipelineMode::Overlapped
+            } else {
+                PipelineMode::Synchronous
+            },
+            if knobs & 2 != 0 {
+                ShingleKernel::FusedSelect
+            } else {
+                ShingleKernel::SortCompact
+            },
+            if knobs & 4 != 0 {
+                AggregationMode::Device
+            } else {
+                AggregationMode::Host
+            },
+        )
+    })
+}
+
+/// Strategy: a handful of explicitly scheduled transient faults (random
+/// draws are exercised separately via `FaultPlan::random`).
+fn arb_schedule() -> impl Strategy<Value = Vec<(FaultSite, u64, FaultKind)>> {
+    const SITES: [FaultSite; 4] = [
+        FaultSite::H2D,
+        FaultSite::D2H,
+        FaultSite::Alloc,
+        FaultSite::Kernel,
+    ];
+    const KINDS: [FaultKind; 3] = [
+        FaultKind::TransferFailed,
+        FaultKind::LaunchFailed,
+        FaultKind::Ecc,
+    ];
+    proptest::collection::vec((0usize..4, 1u64..30, 0usize..3), 0..6).prop_map(|faults| {
+        faults
+            .into_iter()
+            .map(|(site, occurrence, kind)| (SITES[site], occurrence, KINDS[kind]))
+            .collect()
+    })
+}
+
+/// Cluster `g` on `n_devices` simulated GPUs, each with `plan` installed.
+fn faulty_partition(
+    g: &Csr,
+    params: ShinglingParams,
+    n_devices: usize,
+    plan: &FaultPlan,
+) -> Result<Partition, DeviceError> {
+    let make = |d: u32| {
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        gpu.set_fault_plan(plan.clone().with_device(d));
+        gpu
+    };
+    if n_devices == 1 {
+        Ok(GpClust::new(params, make(0)).unwrap().cluster(g)?.partition)
+    } else {
+        let gpus = (0..n_devices).map(|d| make(d as u32)).collect();
+        Ok(MultiGpuClust::new(params, gpus)
+            .unwrap()
+            .cluster(g)?
+            .partition)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Random transient faults at any rate (up to every single device
+    /// operation failing) never change the clusters under the default
+    /// policy: retries clear what they can, degradation covers the rest.
+    #[test]
+    fn random_faults_preserve_bit_identity(
+        g in arb_graph(50, 250),
+        (mode, kernel, aggregation) in arb_knobs(),
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        rate_pct in 0u32..=100,
+        n_devices in 1usize..=4,
+    ) {
+        let params = ShinglingParams {
+            mode,
+            kernel,
+            aggregation,
+            seed,
+            ..ShinglingParams::light(seed)
+        };
+        let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+        let plan = FaultPlan::random(fault_seed, f64::from(rate_pct) / 100.0);
+        let faulty = faulty_partition(&g, params, n_devices, &plan).unwrap();
+        prop_assert_eq!(faulty, oracle);
+    }
+
+    /// Explicit fault schedules (transient kinds at arbitrary operation
+    /// indices) are likewise invisible in the final clusters.
+    #[test]
+    fn scheduled_faults_preserve_bit_identity(
+        g in arb_graph(50, 250),
+        (mode, kernel, aggregation) in arb_knobs(),
+        seed in 0u64..1000,
+        schedule in arb_schedule(),
+        n_devices in 1usize..=4,
+    ) {
+        let params = ShinglingParams {
+            mode,
+            kernel,
+            aggregation,
+            seed,
+            ..ShinglingParams::light(seed)
+        };
+        let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+        let mut plan = FaultPlan::scheduled();
+        for (site, occurrence, kind) in schedule {
+            plan = plan.with_fault(site, occurrence, kind);
+        }
+        let faulty = faulty_partition(&g, params, n_devices, &plan).unwrap();
+        prop_assert_eq!(faulty, oracle);
+    }
+
+    /// Losing one of two devices mid-run redistributes its remaining
+    /// batches to the survivor without changing the clusters.
+    #[test]
+    fn device_loss_recovery_preserves_bit_identity(
+        g in arb_graph(50, 250),
+        (mode, kernel, aggregation) in arb_knobs(),
+        seed in 0u64..500,
+        occurrence in 1u64..20,
+    ) {
+        let params = ShinglingParams {
+            mode,
+            kernel,
+            aggregation,
+            seed,
+            ..ShinglingParams::light(seed)
+        };
+        let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+        let gpus: Vec<Gpu> = (0..2)
+            .map(|d| {
+                let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+                if d == 0 {
+                    gpu.set_fault_plan(
+                        FaultPlan::scheduled()
+                            .with_fault(FaultSite::Kernel, occurrence, FaultKind::DeviceLost)
+                            .with_device(0),
+                    );
+                }
+                gpu
+            })
+            .collect();
+        let report = MultiGpuClust::new(params, gpus).unwrap().cluster(&g).unwrap();
+        prop_assert_eq!(report.partition, oracle);
+    }
+}
+
+/// A saturating fault rate degrades batches to the bit-identical host
+/// path; the run still succeeds, and the report says what happened.
+#[test]
+fn saturated_faults_degrade_to_host_and_match() {
+    let g = ring_graph(120);
+    let params = ShinglingParams::light(5);
+    let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+    gpu.set_fault_plan(FaultPlan::random(7, 1.0));
+    let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+    assert_eq!(report.partition, oracle);
+    let rec = &report.times.recovery;
+    assert!(rec.any());
+    assert!(rec.degraded_batches > 0, "{rec}");
+    assert!(rec.retries > 0, "{rec}");
+    assert!(rec.faults_injected > 0, "{rec}");
+}
+
+/// Repeated injected `OutOfMemory` halves the batch capacity and
+/// re-plans; the clusters do not change and the backoffs are counted.
+#[test]
+fn repeated_oom_backs_off_and_matches() {
+    let g = ring_graph(150);
+    let params = ShinglingParams::light(9);
+    let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+    gpu.set_fault_plan(
+        FaultPlan::scheduled()
+            .with_fault(FaultSite::Alloc, 1, FaultKind::OutOfMemory)
+            .with_fault(FaultSite::Alloc, 2, FaultKind::OutOfMemory),
+    );
+    let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+    assert_eq!(report.partition, oracle);
+    assert!(
+        report.times.recovery.oom_backoffs >= 2,
+        "{}",
+        report.times.recovery
+    );
+}
+
+/// A strict policy (no retries, no backoff, no degradation) surfaces the
+/// injected fault as a typed error — never a panic.
+#[test]
+fn strict_policy_surfaces_typed_errors() {
+    let g = ring_graph(80);
+    let params = ShinglingParams::light(3).with_fault_policy(FaultPolicy::strict());
+
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+    gpu.set_fault_plan(FaultPlan::random(11, 1.0));
+    let err = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap_err();
+    assert!(err.is_transient(), "expected a transient fault, got {err}");
+
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+    gpu.set_fault_plan(FaultPlan::scheduled().with_fault(
+        FaultSite::Alloc,
+        1,
+        FaultKind::OutOfMemory,
+    ));
+    let err = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap_err();
+    assert!(matches!(err, DeviceError::OutOfMemory { .. }), "{err}");
+}
+
+/// Losing the only device is terminal: a typed `DeviceLost`, not a panic,
+/// even under the default (fully permissive) policy.
+#[test]
+fn single_device_loss_is_typed_and_fatal() {
+    let g = ring_graph(80);
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+    gpu.set_fault_plan(FaultPlan::scheduled().with_fault(
+        FaultSite::Kernel,
+        1,
+        FaultKind::DeviceLost,
+    ));
+    let err = GpClust::new(ShinglingParams::light(3), gpu)
+        .unwrap()
+        .cluster(&g)
+        .unwrap_err();
+    assert!(matches!(err, DeviceError::DeviceLost { .. }), "{err}");
+}
+
+/// `GPCLUST_INJECT_FAULTS=<seed>:<rate>` drives the same plan the
+/// `--inject-faults` flag would, and a run under it stays bit-identical.
+#[test]
+fn env_var_drives_fault_plan() {
+    assert_eq!(FaultPlan::parse("123:0.5").unwrap().seed, 123);
+    assert!(FaultPlan::parse("123").is_err());
+    assert!(FaultPlan::parse("a:b").is_err());
+    assert!(FaultPlan::parse("1:1.5").is_err());
+
+    std::env::set_var(gpclust::gpu::fault::FAULT_ENV, "42:0.25");
+    let plan = FaultPlan::from_env().expect("env plan");
+    std::env::remove_var(gpclust::gpu::fault::FAULT_ENV);
+    assert_eq!(plan, FaultPlan::random(42, 0.25));
+    assert_eq!(FaultPlan::from_env(), None);
+
+    let g = ring_graph(100);
+    let params = ShinglingParams::light(7);
+    let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+    let faulty = faulty_partition(&g, params, 2, &plan).unwrap();
+    assert_eq!(faulty, oracle);
+}
+
+/// A cycle with a few chords — connected, deterministic, cheap.
+fn ring_graph(n: usize) -> Csr {
+    let mut el: EdgeList = (0..n as u32)
+        .map(|v| (v, (v + 1) % n as u32))
+        .chain((0..n as u32 / 5).map(|v| (v, (v * 7 + 3) % n as u32)))
+        .collect();
+    Csr::from_edges(n, &mut el)
+}
