@@ -3,13 +3,25 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use gpclust_core::aggregate::{aggregate, StreamAggregator};
-use gpclust_core::gpu_pass::gpu_shingle_pass;
 use gpclust_core::minwise::HashFamily;
 use gpclust_core::serial::{shingle_pass, shingle_pass_foreach};
-use gpclust_core::ShingleKernel;
+use gpclust_core::{
+    Executor, PassInput, Plan, RecoveryReport, ShingleKernel, ShinglingParams, Sink,
+};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
+
+/// One gathered device pass through the plan/executor layer.
+fn device_pass(gpu: &Gpu, g: &Csr, family: &HashFamily, kernel: ShingleKernel) {
+    let params = ShinglingParams::light(0).with_kernel(kernel);
+    let plan = Plan::lower(&params, std::slice::from_ref(gpu)).unwrap();
+    let pass = plan.pass(2, plan.aggregation, plan.capacity, g.offsets());
+    let mut rec = RecoveryReport::default();
+    Executor::new(gpu)
+        .run(&pass, PassInput::of(g), family, &mut rec, Sink::Gather)
+        .unwrap();
+}
 
 fn graph() -> Csr {
     let sizes = PlantedConfig::zipf_groups(8_000, 4, 400, 1.4, 3);
@@ -41,11 +53,11 @@ fn bench_pass(c: &mut Criterion) {
     });
     let gpu = Gpu::new(DeviceConfig::tesla_k20());
     grp.bench_function("device", |b| {
-        b.iter(|| gpu_shingle_pass(&gpu, &g, 2, &family, ShingleKernel::SortCompact).unwrap())
+        b.iter(|| device_pass(&gpu, &g, &family, ShingleKernel::SortCompact))
     });
     let gpu = Gpu::new(DeviceConfig::tesla_k20());
     grp.bench_function("device_fused_select", |b| {
-        b.iter(|| gpu_shingle_pass(&gpu, &g, 2, &family, ShingleKernel::FusedSelect).unwrap())
+        b.iter(|| device_pass(&gpu, &g, &family, ShingleKernel::FusedSelect))
     });
     grp.finish();
 }

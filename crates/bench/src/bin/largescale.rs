@@ -67,8 +67,9 @@ fn main() {
     println!("{stats}");
 
     eprintln!("running gpClust (paper default parameters) ...");
-    let gpu = args.harness_gpu(0);
-    let params = args.apply_schedule_flags(ShinglingParams::paper_default(seed));
+    let sched = args.schedule();
+    let gpu = sched.harness_gpu(0);
+    let params = sched.apply(ShinglingParams::paper_default(seed));
     let pipeline = GpClust::new(params, gpu).unwrap();
     let t0 = Instant::now();
     let report = pipeline.cluster(&pg.graph).expect("gpClust run");

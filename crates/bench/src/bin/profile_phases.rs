@@ -24,7 +24,8 @@ fn main() {
     let seed = args.get("seed", 7u64);
     let pg = gpclust_bench::datasets::planted_2m_like(n, seed);
     let g = pg.graph;
-    let params = args.apply_schedule_flags(gpclust_core::ShinglingParams::paper_default(seed));
+    let sched = args.schedule();
+    let params = sched.apply(gpclust_core::ShinglingParams::paper_default(seed));
     println!("graph: {} vertices, {} edges", g.n(), g.m());
 
     let t = Instant::now();
@@ -67,7 +68,7 @@ fn main() {
     );
 
     if params.aggregation == gpclust_core::AggregationMode::Device {
-        let gpu = args.harness_gpu(0);
+        let gpu = sched.harness_gpu(0);
         let report = gpclust_core::GpClust::new(params, gpu)
             .unwrap()
             .cluster(&g)

@@ -42,6 +42,7 @@ struct Point {
 
 fn main() {
     let args = Args::parse();
+    let sched = args.schedule();
     let n = args.get("n", 20_000usize);
     let seed = args.get("seed", 7u64);
     let min_size = args.get("min-size", 20usize);
@@ -73,7 +74,7 @@ fn main() {
     let mut points = Vec::new();
     for &s1 in &s1_list {
         for &c1 in &c1_list {
-            let params = args.apply_schedule_flags(ShinglingParams {
+            let params = sched.apply(ShinglingParams {
                 s1,
                 c1,
                 s2: s1.min(2),
@@ -82,7 +83,7 @@ fn main() {
                 ..ShinglingParams::light(seed)
             });
             eprintln!("clustering with s1={s1}, c1={c1} ...");
-            let gpu = args.harness_gpu(0);
+            let gpu = sched.harness_gpu(0);
             let partition = GpClust::new(params, gpu)
                 .unwrap()
                 .cluster(&graph)

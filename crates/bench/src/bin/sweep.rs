@@ -47,7 +47,8 @@ fn main() {
         .filter_map(|t| t.trim().parse().ok())
         .collect();
 
-    let params = args.apply_schedule_flags(ShinglingParams::paper_default(seed));
+    let sched = args.schedule();
+    let params = sched.apply(ShinglingParams::paper_default(seed));
     let mut points = Vec::new();
     for &n in &sizes {
         eprintln!("--- n = {n} ---");
@@ -79,7 +80,7 @@ fn main() {
         let serial_shingling_s = p1 + t0.elapsed().as_secs_f64();
         drop(first);
 
-        let gpu = args.harness_gpu(0);
+        let gpu = sched.harness_gpu(0);
         gpu.timeline().set_enabled(true);
         let pipeline = GpClust::new(params, gpu).unwrap();
         let report = pipeline.cluster(&g).expect("gpClust");

@@ -35,7 +35,7 @@
 
 use gpclust_bench::datasets;
 use gpclust_bench::reports::{render_table, secs, Experiment};
-use gpclust_bench::Args;
+use gpclust_bench::{Args, ScheduleArgs};
 use gpclust_core::serial::shingle_pass_foreach;
 use gpclust_core::{
     AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
@@ -52,6 +52,9 @@ struct Row {
     kernel: String,
     /// Where the shingle-record sort ran (`host` | `device`).
     aggregate: String,
+    /// One-line summary of the lowered execution plan
+    /// ([`gpclust_core::Plan::describe`]).
+    plan: String,
     n_non_singleton: usize,
     n_edges: usize,
     cpu_s: f64,
@@ -81,21 +84,9 @@ struct Row {
     elem_footprint_bytes: u64,
 }
 
-fn measure(
-    args: &Args,
-    graph: &Csr,
-    label: &str,
-    seed: u64,
-    kernel: ShingleKernel,
-    aggregation: AggregationMode,
-    par_sort_min: usize,
-) -> Row {
+fn measure(args: &Args, sched: &ScheduleArgs, graph: &Csr, label: &str, seed: u64) -> Row {
     let overlap = args.flag("overlap");
-    let params = ShinglingParams::paper_default(seed)
-        .with_kernel(kernel)
-        .with_aggregation(aggregation)
-        .with_par_sort_min(par_sort_min)
-        .with_fault_policy(args.fault_policy());
+    let params = sched.apply(ShinglingParams::paper_default(seed));
 
     // Serial reference: total, and the accelerated part (two passes) alone.
     eprintln!("[{label}] running serial pClust ...");
@@ -130,7 +121,8 @@ fn measure(
     eprintln!("[{label}] running gpClust on the simulated Tesla K20 ...");
     let tmp = gpclust_bench::data_dir().join(format!("table1-{label}.graph.bin"));
     graph_io::write_file(&tmp, graph).expect("write graph");
-    let gpu = args.harness_gpu(0);
+    let gpu = sched.harness_gpu(0);
+    let plan_line = sched.describe_plan(&params, std::slice::from_ref(&gpu));
     gpu.timeline().set_enabled(true);
     let pipeline = GpClust::new(params, gpu).unwrap();
     let report = pipeline.cluster_from_file(&tmp).expect("gpClust run");
@@ -149,7 +141,7 @@ fn measure(
     // *scheduled* (not just replayed) pipelined device column.
     let device_stream_pipelined_s = overlap.then(|| {
         eprintln!("[{label}] re-running under PipelineMode::Overlapped ...");
-        let gpu = args.harness_gpu(0);
+        let gpu = sched.harness_gpu(0);
         let ovl = GpClust::new(params.with_mode(PipelineMode::Overlapped), gpu)
             .unwrap()
             .cluster(graph)
@@ -165,14 +157,15 @@ fn measure(
     let n_non_singleton = graph.non_singleton_count();
     Row {
         graph: label.to_string(),
-        kernel: match kernel {
+        kernel: match params.kernel {
             ShingleKernel::SortCompact => "sort".into(),
             ShingleKernel::FusedSelect => "select".into(),
         },
-        aggregate: match aggregation {
+        aggregate: match params.aggregation {
             AggregationMode::Host => "host".into(),
             AggregationMode::Device => "device".into(),
         },
+        plan: plan_line,
         n_non_singleton,
         n_edges: graph.m(),
         cpu_s: t.cpu,
@@ -202,24 +195,8 @@ fn measure(
 
 fn main() {
     let args = Args::parse();
+    let sched = args.schedule();
     let seed = args.get("seed", 7u64);
-    let kernel = match args.get("kernel", "sort".to_string()).as_str() {
-        "sort" => ShingleKernel::SortCompact,
-        "select" => ShingleKernel::FusedSelect,
-        other => {
-            eprintln!("--kernel must be `sort` or `select`, got `{other}`");
-            std::process::exit(2);
-        }
-    };
-    let aggregation = match args.get("aggregate", "host".to_string()).as_str() {
-        "host" => AggregationMode::Host,
-        "device" => AggregationMode::Device,
-        other => {
-            eprintln!("--aggregate must be `host` or `device`, got `{other}`");
-            std::process::exit(2);
-        }
-    };
-    let par_sort_min = args.get("par-sort-min", gpclust_core::params::PAR_SORT_MIN);
     let mut rows = Vec::new();
 
     if !args.flag("skip-20k") {
@@ -230,15 +207,7 @@ fn main() {
             &mg,
             &HomologyConfig::default(),
         );
-        rows.push(measure(
-            &args,
-            &g,
-            "20K",
-            seed,
-            kernel,
-            aggregation,
-            par_sort_min,
-        ));
+        rows.push(measure(&args, &sched, &g, "20K", seed));
     }
 
     if !args.flag("skip-2m") {
@@ -251,12 +220,10 @@ fn main() {
         let pg = datasets::planted_2m_like(n, seed);
         rows.push(measure(
             &args,
+            &sched,
             &pg.graph,
             &format!("2M-like(n={n})"),
             seed,
-            kernel,
-            aggregation,
-            par_sort_min,
         ));
     }
 
@@ -294,9 +261,8 @@ fn main() {
             r.serial_shingling_frac * 100.0
         );
         println!(
-            "[{}] kernel {}, aggregation {}: pass I {} batch(es), pass II {} batch(es) \
-             @ {} B/elem",
-            r.graph, r.kernel, r.aggregate, r.n_batches[0], r.n_batches[1], r.elem_footprint_bytes
+            "[{}] plan: {} | pass I {} batch(es), pass II {} batch(es)",
+            r.graph, r.plan, r.n_batches[0], r.n_batches[1]
         );
         if r.device_agg_s > 0.0 {
             println!(

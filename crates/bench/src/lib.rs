@@ -21,6 +21,7 @@ pub mod datasets;
 pub mod quality;
 pub mod reports;
 
+use gpclust_core::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
 use std::path::PathBuf;
 
 /// Directory for cached datasets (override with `GPCLUST_DATA_DIR`).
@@ -89,68 +90,123 @@ impl Args {
         self.flags.contains(key)
     }
 
-    /// Apply the schedule knobs shared by every harness to `params`:
-    /// `--overlap` (double-buffered streams), `--kernel sort|select`
-    /// (top-s extraction kernel), `--aggregate host|device` (where the
-    /// shingle sort runs), and `--par-sort-min N` (host parallel-sort
-    /// threshold). Unknown values panic with a usage hint rather than
-    /// silently benchmarking the wrong configuration.
-    pub fn apply_schedule_flags(
-        &self,
-        params: gpclust_core::ShinglingParams,
-    ) -> gpclust_core::ShinglingParams {
-        use gpclust_core::{AggregationMode, PipelineMode, ShingleKernel};
-        let mut params = params;
-        if self.flag("overlap") {
+    /// Resolve the schedule/fault flags shared by every harness into a
+    /// [`ScheduleArgs`]. Unknown values panic with a usage hint rather
+    /// than silently benchmarking the wrong configuration.
+    pub fn schedule(&self) -> ScheduleArgs {
+        ScheduleArgs::resolve(self)
+    }
+}
+
+/// The schedule and resilience knobs shared by every bench harness,
+/// resolved once from the raw [`Args`]:
+///
+/// - `--overlap` — double-buffered streams ([`PipelineMode::Overlapped`])
+/// - `--kernel sort|select` — top-s extraction kernel
+/// - `--aggregate host|device` — where the shingle sort runs
+/// - `--par-sort-min N` — host parallel-sort threshold
+/// - `--max-retries N`, `--oom-backoff true|false`, `--no-degrade` —
+///   fault policy overrides
+/// - `--inject-faults seed:rate` (or env `GPCLUST_INJECT_FAULTS`) —
+///   deterministic device fault plan
+///
+/// Every knob is an *override*: flags that were not passed leave the base
+/// [`ShinglingParams`] untouched, so defaults have exactly one source of
+/// truth (the params constructors). [`ScheduleArgs::apply`] yields the
+/// run's params — i.e. the configuration [`gpclust_core::Plan::lower`]
+/// turns into an execution plan — and [`ScheduleArgs::harness_gpu`] the
+/// simulated fleet to lower it against.
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleArgs {
+    overlap: bool,
+    kernel: Option<ShingleKernel>,
+    aggregation: Option<AggregationMode>,
+    par_sort_min: Option<usize>,
+    max_retries: Option<u32>,
+    oom_backoff: Option<bool>,
+    no_degrade: bool,
+    fault_plan: Option<gpclust_gpu::FaultPlan>,
+}
+
+impl ScheduleArgs {
+    /// Resolve from parsed flags. Panics on malformed values.
+    pub fn resolve(args: &Args) -> Self {
+        ScheduleArgs {
+            overlap: args.flag("overlap"),
+            kernel: match args.pairs.get("kernel").map(String::as_str) {
+                None => None,
+                Some("sort") => Some(ShingleKernel::SortCompact),
+                Some("select") => Some(ShingleKernel::FusedSelect),
+                Some(other) => panic!("--kernel must be `sort` or `select`, got `{other}`"),
+            },
+            aggregation: match args.pairs.get("aggregate").map(String::as_str) {
+                None => None,
+                Some("host") => Some(AggregationMode::Host),
+                Some("device") => Some(AggregationMode::Device),
+                Some(other) => panic!("--aggregate must be `host` or `device`, got `{other}`"),
+            },
+            par_sort_min: args.pairs.get("par-sort-min").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--par-sort-min must be an integer, got `{v}`"))
+            }),
+            max_retries: args.pairs.get("max-retries").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--max-retries must be an integer, got `{v}`"))
+            }),
+            oom_backoff: args.pairs.get("oom-backoff").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--oom-backoff must be true|false, got `{v}`"))
+            }),
+            no_degrade: args.flag("no-degrade"),
+            fault_plan: match args.pairs.get("inject-faults") {
+                Some(spec) => Some(
+                    gpclust_gpu::FaultPlan::parse(spec)
+                        .unwrap_or_else(|e| panic!("--inject-faults: {e}")),
+                ),
+                None => gpclust_gpu::FaultPlan::from_env(),
+            },
+        }
+    }
+
+    /// Apply the resolved overrides to `base`; knobs that were not passed
+    /// keep the base value.
+    pub fn apply(&self, base: ShinglingParams) -> ShinglingParams {
+        let mut params = base;
+        if self.overlap {
             params = params.with_mode(PipelineMode::Overlapped);
         }
-        params = match self.pairs.get("kernel").map(String::as_str) {
-            None | Some("sort") => params.with_kernel(ShingleKernel::SortCompact),
-            Some("select") => params.with_kernel(ShingleKernel::FusedSelect),
-            Some(other) => panic!("--kernel must be `sort` or `select`, got `{other}`"),
-        };
-        params = match self.pairs.get("aggregate").map(String::as_str) {
-            None | Some("host") => params.with_aggregation(AggregationMode::Host),
-            Some("device") => params.with_aggregation(AggregationMode::Device),
-            Some(other) => panic!("--aggregate must be `host` or `device`, got `{other}`"),
-        };
-        params = params.with_par_sort_min(self.get("par-sort-min", params.par_sort_min));
-        params.with_fault_policy(self.fault_policy())
-    }
-
-    /// The resilience knobs shared by every harness: `--max-retries N`,
-    /// `--oom-backoff true|false`, and `--no-degrade` (forbid the
-    /// per-batch host fallback).
-    pub fn fault_policy(&self) -> gpclust_core::FaultPolicy {
-        gpclust_core::FaultPolicy {
-            max_retries: self.get("max-retries", gpclust_core::params::MAX_RETRIES),
-            oom_backoff: self.get("oom-backoff", true),
-            degrade_to_host: !self.flag("no-degrade"),
+        if let Some(kernel) = self.kernel {
+            params = params.with_kernel(kernel);
         }
-    }
-
-    /// Deterministic fault-injection plan from `--inject-faults seed:rate`,
-    /// falling back to the `GPCLUST_INJECT_FAULTS` environment variable.
-    /// Panics on a malformed spec rather than silently benchmarking a
-    /// fault-free device.
-    pub fn fault_plan(&self) -> Option<gpclust_gpu::FaultPlan> {
-        match self.pairs.get("inject-faults") {
-            Some(spec) => Some(
-                gpclust_gpu::FaultPlan::parse(spec)
-                    .unwrap_or_else(|e| panic!("--inject-faults: {e}")),
-            ),
-            None => gpclust_gpu::FaultPlan::from_env(),
+        if let Some(aggregation) = self.aggregation {
+            params = params.with_aggregation(aggregation);
         }
+        if let Some(par_sort_min) = self.par_sort_min {
+            params = params.with_par_sort_min(par_sort_min);
+        }
+        params.with_fault_policy(gpclust_core::FaultPolicy {
+            max_retries: self.max_retries.unwrap_or(base.fault.max_retries),
+            oom_backoff: self.oom_backoff.unwrap_or(base.fault.oom_backoff),
+            degrade_to_host: base.fault.degrade_to_host && !self.no_degrade,
+        })
     }
 
     /// The standard simulated Tesla K20 every harness runs on, with any
     /// requested deterministic fault plan installed for `device`.
     pub fn harness_gpu(&self, device: u32) -> gpclust_gpu::Gpu {
         let gpu = gpclust_gpu::Gpu::new(gpclust_gpu::DeviceConfig::tesla_k20());
-        if let Some(plan) = self.fault_plan() {
-            gpu.set_fault_plan(plan.with_device(device));
+        if let Some(plan) = &self.fault_plan {
+            gpu.set_fault_plan(plan.clone().with_device(device));
         }
         gpu
+    }
+
+    /// One-line summary of the execution plan `params` lowers to on
+    /// `gpus` (see [`gpclust_core::Plan::describe`]).
+    pub fn describe_plan(&self, params: &ShinglingParams, gpus: &[gpclust_gpu::Gpu]) -> String {
+        gpclust_core::Plan::lower(params, gpus)
+            .expect("lower execution plan")
+            .describe()
     }
 }
 
@@ -176,7 +232,6 @@ mod tests {
 
     #[test]
     fn schedule_flags_apply_to_params() {
-        use gpclust_core::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
         let base = ShinglingParams::light(1);
         let a = Args::from_tokens(
             [
@@ -187,16 +242,34 @@ mod tests {
                 "device",
                 "--par-sort-min",
                 "0",
+                "--max-retries",
+                "5",
+                "--no-degrade",
             ]
             .map(String::from),
         );
-        let p = a.apply_schedule_flags(base);
+        let p = a.schedule().apply(base);
         assert_eq!(p.mode, PipelineMode::Overlapped);
         assert_eq!(p.kernel, ShingleKernel::FusedSelect);
         assert_eq!(p.aggregation, AggregationMode::Device);
         assert_eq!(p.par_sort_min, 0);
-        // Defaults pass through untouched.
-        let p = Args::from_tokens(Vec::<String>::new()).apply_schedule_flags(base);
+        assert_eq!(p.fault.max_retries, 5);
+        assert!(!p.fault.degrade_to_host);
+        // Knobs that were not passed keep the base params' values — the
+        // params constructors stay the single source of defaults.
+        let p = Args::from_tokens(Vec::<String>::new())
+            .schedule()
+            .apply(base);
         assert_eq!(p, base);
+    }
+
+    #[test]
+    fn schedule_describe_names_the_lowered_plan() {
+        let sched = Args::from_tokens(["--kernel", "select"].map(String::from)).schedule();
+        let params = sched.apply(ShinglingParams::light(1));
+        let gpus = [sched.harness_gpu(0)];
+        let line = sched.describe_plan(&params, &gpus);
+        assert!(line.contains("fused-select"), "{line}");
+        assert!(line.contains("1 device(s)"), "{line}");
     }
 }

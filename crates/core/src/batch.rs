@@ -114,8 +114,8 @@ pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
 ///   workspace the batch's records are radix-sorted in before streaming
 ///   back as a sorted run. Records are bounded per *run*, not per
 ///   element; the run builder sizes its flush threshold so each run's
-///   staging column + packed buffer fit in this reserve (see
-///   [`crate::gpu_pass::DeviceRunBuilder`]).
+///   staging column + packed buffer fit in this reserve (see the
+///   `DeviceRunBuilder` sink behind [`crate::exec::Executor`]).
 pub const fn bytes_per_elem(kernel: ShingleKernel, aggregation: AggregationMode) -> usize {
     let kernel_bytes = match kernel {
         ShingleKernel::SortCompact => 4 + 8 + 4, // input + packed workspace + staged next input

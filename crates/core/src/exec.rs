@@ -1,0 +1,1425 @@
+//! The single executor for Algorithm 1: interprets a lowered
+//! [`PassPlan`] against one (simulated) device.
+//!
+//! Every schedule axis that used to have its own `gpu_shingle_pass_*`
+//! entry point is now a field of the plan, handled by one strategy
+//! object inside [`Executor::run`]:
+//!
+//! * [`KernelStrategy`] *(internal)* — the top-s extraction plan per
+//!   trial: `SortCompact` (transform → segmented sort → compaction, the
+//!   paper's pipeline) or `FusedSelect` (one fused hash + ascending
+//!   selection kernel). Both emit bit-identical bytes.
+//! * `SinkStrategy` *(internal, from the public [`Sink`] request)* —
+//!   where finalized records go: a caller closure, a [`RawShingles`]
+//!   buffer, the host [`StreamAggregator`], or the device
+//!   `DeviceRunBuilder` whose flushes pack + radix-sort runs on the card.
+//! * `StreamSchedule` *(internal)* — serialized transfers
+//!   ([`PipelineMode::Synchronous`]) or a double-buffered compute/copy
+//!   stream pair ([`PipelineMode::Overlapped`]); the pass's pipelined
+//!   makespan is the max of the two stream cursors.
+//! * [`crate::resilience`] combinators — wrapped uniformly around every
+//!   device op: transient faults retry, an exhausted batch degrades to
+//!   the bit-identical host path when the policy allows, `OutOfMemory`
+//!   and `DeviceLost` propagate typed (backoff and redistribution are
+//!   the callers' pass-level decisions).
+//!
+//! [`FragmentMode`] selects between the two historical loop bodies —
+//! single-device semantics (in-order batches, host-side carry merge of
+//! boundary fragments, double-buffered prefetch) and multi-device
+//! semantics (an arbitrary share of the batch list, fragment-flagged
+//! records for driver-side reconciliation, atomic per-batch commits,
+//! unfinished-share reporting on device loss). The per-trial device code
+//! is shared, which is what keeps the whole cross-product bit-identical:
+//! same batch plan + same emission order ⇒ same records, under every
+//! combination of axes.
+
+#![deny(dead_code)]
+
+use crate::aggregate::{merge_sorted_runs, SortedRun, StreamAggregator};
+use crate::batch::BatchStats;
+use crate::gpu_pass::{
+    compaction_tasks, host_trial_out, plan_batch, BatchPlan, DeviceRunBuilder, RecordSink,
+};
+use crate::minwise::{hash_with, pack, HashFamily};
+use crate::params::{AggregationMode, PipelineMode, ShingleKernel};
+use crate::plan::{FragmentMode, PassPlan};
+use crate::resilience::retry_transient;
+use crate::shingle::{AdjacencyInput, RawShingles};
+use crate::timing::RecoveryReport;
+use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream, StreamEvent};
+use gpclust_graph::ShingleGraph;
+use std::time::Instant;
+
+/// One record a batch emits: `(trial, node, top-s pairs, is_fragment)`.
+/// Fragments are first/last segments continuing into a neighboring batch
+/// (possibly on another device) and need host-side reconciliation.
+type BatchRecord = (u32, u32, Vec<u64>, bool);
+
+/// Borrowed adjacency input of one pass — plain slices so per-device
+/// worker threads can share one input without generic plumbing.
+#[derive(Clone, Copy)]
+pub struct PassInput<'a> {
+    /// `n + 1` monotone list offsets.
+    pub offsets: &'a [u64],
+    /// Concatenated adjacency elements.
+    pub flat: &'a [u32],
+}
+
+impl<'a> PassInput<'a> {
+    /// Borrow the slices of any [`AdjacencyInput`] (CSR or shingle graph).
+    pub fn of(input: &'a impl AdjacencyInput) -> Self {
+        PassInput {
+            offsets: input.offsets(),
+            flat: input.flat(),
+        }
+    }
+}
+
+/// What the caller wants out of the pass — the sink half of the plan.
+pub enum Sink<'a> {
+    /// Stream each finalized `(trial, node, top-s pairs)` record to the
+    /// callback (pass II feeds the union–find this way). Records arrive
+    /// exactly as the legacy `foreach` entry points delivered them.
+    Stream(&'a mut dyn FnMut(u32, u32, &[u64])),
+    /// Materialize records into [`PassReport::raw`] — and, under
+    /// [`AggregationMode::Device`], complete records into
+    /// [`PassReport::runs`] with only fragments left in `raw`.
+    Gather,
+    /// Aggregate to the pass's [`ShingleGraph`] ([`PassReport::graph`]):
+    /// the host global sort or the device run merge, per the plan's
+    /// aggregation mode. Requires [`FragmentMode::Merge`].
+    Aggregate,
+}
+
+/// Everything one executed pass produced. Which fields are populated
+/// depends on the requested [`Sink`]; `stats` and `makespan` always are.
+#[derive(Debug)]
+pub struct PassReport {
+    /// The plan's batch statistics (echoed for reporting).
+    pub stats: BatchStats,
+    /// Pipelined makespan of the pass — max of the compute/copy stream
+    /// cursors; 0 under [`PipelineMode::Synchronous`].
+    pub makespan: f64,
+    /// Gathered records ([`Sink::Gather`]): every record under host
+    /// aggregation (grouped when [`FragmentMode::Merge`] finalized them),
+    /// only boundary fragments under device aggregation.
+    pub raw: RawShingles,
+    /// Device-sorted runs ([`Sink::Gather`] + [`AggregationMode::Device`]).
+    pub runs: Vec<SortedRun>,
+    /// The aggregated shingle graph ([`Sink::Aggregate`]).
+    pub graph: Option<ShingleGraph>,
+    /// Modeled device seconds the aggregation kernels (pack + radix
+    /// sort) consumed.
+    pub agg_kernel_seconds: f64,
+    /// Batch ids left unfinished plus the interrupting error — only under
+    /// [`FragmentMode::Defer`], where a mid-share [`DeviceError::DeviceLost`]
+    /// reports the remainder for redistribution instead of failing.
+    pub unfinished: Option<(Vec<usize>, DeviceError)>,
+}
+
+/// The one interpreter for every (kernel × schedule × sink × fault
+/// policy) combination: construct it over a device and feed it plans.
+pub struct Executor<'g> {
+    gpu: &'g Gpu,
+}
+
+impl<'g> Executor<'g> {
+    /// An executor bound to `gpu`.
+    pub fn new(gpu: &'g Gpu) -> Self {
+        Executor { gpu }
+    }
+
+    /// Execute one pass plan. `recovery` is caller-owned so retry/degrade
+    /// tallies accumulate across pass-level re-plans (the
+    /// [`crate::resilience::with_oom_backoff`] loop re-invokes `run` with
+    /// a smaller-capacity plan); sink state is rebuilt per call, so a
+    /// re-plan never replays half-emitted records.
+    pub fn run(
+        &self,
+        plan: &PassPlan,
+        input: PassInput<'_>,
+        family: &HashFamily,
+        recovery: &mut RecoveryReport,
+        sink: Sink<'_>,
+    ) -> Result<PassReport, DeviceError> {
+        let schedule = StreamSchedule::new(self.gpu, plan.mode, plan.fragments);
+        let streams = schedule.pair();
+        let mut state = SinkState::new(plan, sink);
+        let unfinished = match plan.fragments {
+            FragmentMode::Merge => {
+                debug_assert!(
+                    plan.share.is_none(),
+                    "fragment merging needs the full in-order batch list"
+                );
+                self.run_merged(plan, input, family, streams, recovery, &mut state)?;
+                None
+            }
+            FragmentMode::Defer => {
+                self.run_deferred(plan, input, family, streams, recovery, &mut state)?
+            }
+        };
+        let (raw, runs, graph, agg_kernel_seconds) =
+            state.finish(self.gpu, streams, plan, recovery)?;
+        Ok(PassReport {
+            stats: plan.stats,
+            makespan: schedule.makespan(),
+            raw,
+            runs,
+            graph,
+            agg_kernel_seconds,
+            unfinished,
+        })
+    }
+
+    /// Single-device loop body: every batch in order, boundary fragments
+    /// merged on the host via per-trial carry buffers, batch *k+1*
+    /// prefetched on the copy stream while batch *k* computes.
+    fn run_merged(
+        &self,
+        pass: &PassPlan,
+        input: PassInput<'_>,
+        family: &HashFamily,
+        streams: Option<(&Stream, &Stream)>,
+        recovery: &mut RecoveryReport,
+        state: &mut SinkState<'_>,
+    ) -> Result<(), DeviceError> {
+        let gpu = self.gpu;
+        let kernel = KernelStrategy::of(pass.kernel);
+        let policy = &pass.policy;
+        let offsets = input.offsets;
+        let flat = input.flat;
+        let s = pass.s;
+        let batches = &pass.batches;
+
+        // Carry buffers for the one adjacency list that can span the
+        // current batch boundary: per-trial top candidates of the
+        // fragments seen so far.
+        let mut carry: Vec<Vec<u64>> = vec![Vec::new(); family.len()];
+        let mut carry_node: Option<u32> = None;
+        // Double buffer: the next batch's elements already uploaded on the
+        // copy stream, with the event marking that upload's completion.
+        let mut staged: Option<(DeviceBuffer<u32>, StreamEvent)> = None;
+        for (bi, batch) in batches.iter().enumerate() {
+            let plan = plan_batch(batch, offsets, s);
+            let staged_now = staged.take();
+            if plan.nodes.is_empty() {
+                continue;
+            }
+            let range = batch.elem_lo as usize..batch.elem_hi as usize;
+            let batch_elems = &flat[range];
+            // Once true, every remaining trial of this batch runs on the
+            // bit-identical host path.
+            let mut degraded = false;
+
+            // 1. The batch's elements on the device: staged by the
+            // previous iteration's prefetch, or moved now (H2D once,
+            // reused across trials). Transient upload faults retry; an
+            // exhausted budget degrades the whole batch.
+            let upload = if let Some((compute, copy)) = streams {
+                match staged_now {
+                    Some((buf, uploaded)) => {
+                        compute.wait_event(&uploaded);
+                        Ok(buf)
+                    }
+                    None => retry_transient(policy, recovery, || {
+                        let buf = copy.htod_async(batch_elems)?;
+                        compute.wait_event(&copy.record_event());
+                        Ok(buf)
+                    }),
+                }
+            } else {
+                retry_transient(policy, recovery, || gpu.htod(batch_elems))
+            };
+            let elems_dev: Option<DeviceBuffer<u32>> = match upload {
+                Ok(buf) => Some(buf),
+                Err(e) if e.is_transient() && policy.degrade_to_host => {
+                    degraded = true;
+                    recovery.degraded_batches += 1;
+                    None
+                }
+                Err(e) => return Err(e),
+            };
+            let mut packed_dev =
+                kernel.alloc_workspace(gpu, &elems_dev, policy, recovery, &mut degraded)?;
+
+            // Prefetch batch k+1 on the copy stream while batch k
+            // computes. Best effort: under memory pressure (or an
+            // injected upload fault) the upload simply happens at the top
+            // of the next iteration instead.
+            if let Some((_, copy)) = streams {
+                if let Some(next) = batches.get(bi + 1) {
+                    let next_range = next.elem_lo as usize..next.elem_hi as usize;
+                    if let Ok(buf) = copy.htod_async(&flat[next_range]) {
+                        staged = Some((buf, copy.record_event()));
+                    }
+                }
+            }
+
+            // In the overlapped schedule the previous trial's output
+            // buffer stays allocated while its D2H is modeled in flight.
+            let mut prev_out: Option<DeviceBuffer<u64>> = None;
+            #[allow(clippy::needless_range_loop)] // trial indexes both family and carry
+            for trial in 0..family.len() {
+                let (a, b) = family.coeffs(trial);
+                let host_out = match elems_dev.as_ref().filter(|_| !degraded) {
+                    Some(elems) => {
+                        let attempt = retry_transient(policy, recovery, || {
+                            device_trial(
+                                gpu,
+                                streams,
+                                kernel,
+                                &plan,
+                                elems,
+                                &mut packed_dev,
+                                a,
+                                b,
+                                &mut prev_out,
+                                &mut staged,
+                            )
+                        });
+                        match attempt {
+                            Ok(out) => out,
+                            Err(e) if e.is_transient() && policy.degrade_to_host => {
+                                degraded = true;
+                                recovery.degraded_batches += 1;
+                                let t0 = Instant::now();
+                                let out = host_trial_out(&plan, batch_elems, a, b);
+                                recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                                out
+                            }
+                            Err(e) => return Err(e),
+                        }
+                    }
+                    None => {
+                        let t0 = Instant::now();
+                        let out = host_trial_out(&plan, batch_elems, a, b);
+                        recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                        out
+                    }
+                };
+                emit_trial_records(
+                    &plan, &host_out, trial, s, &mut carry, carry_node, gpu, streams, state,
+                )?;
+            }
+            drop(prev_out);
+            // Free the batch's element (and packed-workspace) buffers
+            // before the sink's batch hook runs, so a device-aggregation
+            // flush can allocate its staging column and record buffer.
+            drop(packed_dev);
+            drop(elems_dev);
+            state.batch_end(gpu, streams)?;
+            carry_node = if plan.last_frag {
+                Some(plan.nodes[plan.nodes.len() - 1])
+            } else {
+                None
+            };
+        }
+        debug_assert!(carry_node.is_none(), "carry must drain by the final batch");
+        Ok(())
+    }
+
+    /// Multi-device loop body: the plan's share of batches in order, each
+    /// batch's records buffered and committed atomically only after the
+    /// whole batch succeeded, boundary segments emitted fragment-flagged
+    /// for the driver to reconcile. A [`DeviceError::DeviceLost`] mid-share
+    /// stops the loop and reports the unfinished batch ids.
+    #[allow(clippy::type_complexity)] // the unfinished-share pair mirrors PassReport
+    fn run_deferred(
+        &self,
+        pass: &PassPlan,
+        input: PassInput<'_>,
+        family: &HashFamily,
+        streams: Option<(&Stream, &Stream)>,
+        recovery: &mut RecoveryReport,
+        state: &mut SinkState<'_>,
+    ) -> Result<Option<(Vec<usize>, DeviceError)>, DeviceError> {
+        let gpu = self.gpu;
+        let all: Vec<usize>;
+        let share: &[usize] = match &pass.share {
+            Some(share) => share,
+            None => {
+                all = (0..pass.batches.len()).collect();
+                &all
+            }
+        };
+        for (i, &bid) in share.iter().enumerate() {
+            match self.run_batch(pass, &pass.batches[bid], input, family, streams, recovery) {
+                Ok(records) => {
+                    for (trial, node, pairs, fragment) in records {
+                        state.record(gpu, streams, trial, node, &pairs, fragment)?;
+                    }
+                    // Cut the device-aggregation run at the batch
+                    // boundary, after the batch freed its device buffers.
+                    state.batch_end(gpu, streams)?;
+                }
+                Err(e) => return Ok(Some((share[i..].to_vec(), e))),
+            }
+        }
+        Ok(None)
+    }
+
+    /// Algorithm 1 on a single batch under the fault policy, returning the
+    /// batch's [`BatchRecord`]s buffered for an atomic commit.
+    /// Fragments (first/last segments continuing into a
+    /// neighboring batch, possibly on another device) need host-side
+    /// reconciliation; complete records carry exactly `s` pairs and may
+    /// aggregate anywhere. Records are bit-identical across schedules and
+    /// across the retry/degrade paths, which replay the same computation.
+    fn run_batch(
+        &self,
+        pass: &PassPlan,
+        batch: &crate::batch::Batch,
+        input: PassInput<'_>,
+        family: &HashFamily,
+        streams: Option<(&Stream, &Stream)>,
+        recovery: &mut RecoveryReport,
+    ) -> Result<Vec<BatchRecord>, DeviceError> {
+        let gpu = self.gpu;
+        let kernel = KernelStrategy::of(pass.kernel);
+        let policy = &pass.policy;
+        let plan = plan_batch(batch, input.offsets, pass.s);
+        if plan.nodes.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_segs = plan.nodes.len();
+        let batch_elems = &input.flat[batch.elem_lo as usize..batch.elem_hi as usize];
+        // Once true, every remaining trial runs on the host path.
+        let mut degraded = false;
+
+        let upload = match streams {
+            Some((compute, copy)) => retry_transient(policy, recovery, || {
+                let buf = copy.htod_async(batch_elems)?;
+                compute.wait_event(&copy.record_event());
+                Ok(buf)
+            }),
+            None => retry_transient(policy, recovery, || gpu.htod(batch_elems)),
+        };
+        let elems_dev = match upload {
+            Ok(buf) => Some(buf),
+            Err(e) if e.is_transient() && policy.degrade_to_host => {
+                degraded = true;
+                recovery.degraded_batches += 1;
+                None
+            }
+            Err(e) => return Err(e),
+        };
+        let mut packed_dev =
+            kernel.alloc_workspace(gpu, &elems_dev, policy, recovery, &mut degraded)?;
+        // The buffer whose async download is still "in flight" — kept
+        // alive for one trial (stream semantics), freed before the next
+        // allocation. No prefetch here: the share's batches are not
+        // contiguous in the flat array.
+        let mut prev_out: Option<DeviceBuffer<u64>> = None;
+        let mut records: Vec<BatchRecord> = Vec::new();
+        for trial in 0..family.len() {
+            let (a, b) = family.coeffs(trial);
+            let host_out = match elems_dev.as_ref().filter(|_| !degraded) {
+                Some(elems) => {
+                    let attempt = retry_transient(policy, recovery, || {
+                        device_trial(
+                            gpu,
+                            streams,
+                            kernel,
+                            &plan,
+                            elems,
+                            &mut packed_dev,
+                            a,
+                            b,
+                            &mut prev_out,
+                            &mut None,
+                        )
+                    });
+                    match attempt {
+                        Ok(out) => out,
+                        Err(e) if e.is_transient() && policy.degrade_to_host => {
+                            degraded = true;
+                            recovery.degraded_batches += 1;
+                            let t0 = Instant::now();
+                            let out = host_trial_out(&plan, batch_elems, a, b);
+                            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                            out
+                        }
+                        Err(e) => return Err(e),
+                    }
+                }
+                None => {
+                    let t0 = Instant::now();
+                    let out = host_trial_out(&plan, batch_elems, a, b);
+                    recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                    out
+                }
+            };
+            for i in 0..n_segs {
+                let lo = plan.out_offsets[i];
+                let hi = plan.out_offsets[i + 1];
+                if hi > lo {
+                    let fragment =
+                        (i == 0 && plan.first_frag) || (i == n_segs - 1 && plan.last_frag);
+                    records.push((
+                        trial as u32,
+                        plan.nodes[i],
+                        host_out[lo..hi].to_vec(),
+                        fragment,
+                    ));
+                }
+            }
+        }
+        drop(prev_out);
+        Ok(records)
+    }
+}
+
+/// The stream schedule strategy: how transfers and kernels interleave.
+enum StreamSchedule {
+    /// Thrust 1.5 behavior: every copy blocks on the device timeline.
+    Serialized,
+    /// Double-buffered compute/copy stream pair; the pass's makespan is
+    /// the max of the two cursors once both drain.
+    DoubleBuffered { compute: Stream, copy: Stream },
+}
+
+impl StreamSchedule {
+    fn new(gpu: &Gpu, mode: PipelineMode, fragments: FragmentMode) -> Self {
+        match mode {
+            PipelineMode::Synchronous => StreamSchedule::Serialized,
+            PipelineMode::Overlapped => {
+                // Historical stream labels, kept so device timelines read
+                // the same: single-device passes vs. multi-device shares.
+                let (c, p) = match fragments {
+                    FragmentMode::Merge => ("shingle-compute", "shingle-copy"),
+                    FragmentMode::Defer => ("mgpu-compute", "mgpu-copy"),
+                };
+                StreamSchedule::DoubleBuffered {
+                    compute: gpu.stream(c),
+                    copy: gpu.stream(p),
+                }
+            }
+        }
+    }
+
+    fn pair(&self) -> Option<(&Stream, &Stream)> {
+        match self {
+            StreamSchedule::Serialized => None,
+            StreamSchedule::DoubleBuffered { compute, copy } => Some((compute, copy)),
+        }
+    }
+
+    fn makespan(&self) -> f64 {
+        match self {
+            StreamSchedule::Serialized => 0.0,
+            StreamSchedule::DoubleBuffered { compute, copy } => {
+                compute.completed_seconds().max(copy.completed_seconds())
+            }
+        }
+    }
+}
+
+/// The kernel strategy: which device plan extracts each segment's top-s
+/// pairs. Both plans emit bit-identical bytes — the ascending s-smallest
+/// selection equals the sorted prefix, duplicates included.
+#[derive(Clone, Copy)]
+enum KernelStrategy {
+    SortCompact,
+    FusedSelect,
+}
+
+impl KernelStrategy {
+    fn of(kernel: ShingleKernel) -> Self {
+        match kernel {
+            ShingleKernel::SortCompact => KernelStrategy::SortCompact,
+            ShingleKernel::FusedSelect => KernelStrategy::FusedSelect,
+        }
+    }
+
+    /// Allocate the per-batch packed workspace if this kernel needs one
+    /// (only the sort path materializes the 8-byte `(hash, vertex)`
+    /// buffer; the fused kernel hashes on the fly), with the standard
+    /// retry/degrade wrapping.
+    fn alloc_workspace(
+        &self,
+        gpu: &Gpu,
+        elems_dev: &Option<DeviceBuffer<u32>>,
+        policy: &crate::params::FaultPolicy,
+        recovery: &mut RecoveryReport,
+        degraded: &mut bool,
+    ) -> Result<Option<DeviceBuffer<u64>>, DeviceError> {
+        match (self, elems_dev) {
+            (KernelStrategy::SortCompact, Some(elems)) => {
+                let n = elems.len();
+                match retry_transient(policy, recovery, || gpu.alloc::<u64>(n)) {
+                    Ok(buf) => Ok(Some(buf)),
+                    Err(e) if e.is_transient() && policy.degrade_to_host => {
+                        *degraded = true;
+                        recovery.degraded_batches += 1;
+                        Ok(None)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
+            _ => Ok(None),
+        }
+    }
+
+    /// Launch this kernel plan for one trial: fill `out_dev` with each
+    /// kept segment's ascending top-k packed pairs.
+    #[allow(clippy::too_many_arguments)] // per-trial launch point of device_trial
+    fn launch(
+        &self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+        plan: &BatchPlan,
+        elems_dev: &DeviceBuffer<u32>,
+        packed_dev: &mut Option<DeviceBuffer<u64>>,
+        out_dev: &mut DeviceBuffer<u64>,
+        a: u64,
+        b: u64,
+    ) {
+        let xform = move |v: u32| pack(hash_with(a, b, v), v);
+        match (self, packed_dev) {
+            (KernelStrategy::SortCompact, Some(packed_dev)) => {
+                // 2a. Random permutation via the min-wise hash, then
+                // 2b. segmented sort within each adjacency list, then
+                // 2c. compact the top-s pairs of each kept segment.
+                if let Some((compute, _)) = streams {
+                    thrust::transform_on(compute, elems_dev, packed_dev, xform);
+                    thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
+                } else {
+                    thrust::transform(gpu, elems_dev, packed_dev, xform);
+                    thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
+                }
+                let tasks =
+                    compaction_tasks(plan, packed_dev.device_slice(), out_dev.device_slice_mut());
+                if let Some((compute, _)) = streams {
+                    compute.launch(plan.out_total, &KernelCost::gather(), tasks);
+                } else {
+                    gpu.launch(plan.out_total, &KernelCost::gather(), tasks);
+                }
+            }
+            (KernelStrategy::FusedSelect, _) => {
+                // 2a–c fused: hash + per-segment ascending top-s
+                // selection straight into the dense output. Identical
+                // bytes to the sorted prefix the compaction copies.
+                if let Some((compute, _)) = streams {
+                    thrust::transform_select_on(
+                        compute,
+                        elems_dev,
+                        &plan.local_offsets,
+                        &plan.out_offsets,
+                        out_dev,
+                        xform,
+                    );
+                } else {
+                    thrust::transform_select(
+                        gpu,
+                        elems_dev,
+                        &plan.local_offsets,
+                        &plan.out_offsets,
+                        out_dev,
+                        xform,
+                    );
+                }
+            }
+            (KernelStrategy::SortCompact, None) => unreachable!("workspace allocated above"),
+        }
+    }
+}
+
+/// One trial's device execution: allocate the dense output, run the
+/// kernel plan, and copy the result back via the *fallible* transfers —
+/// the sync point where injected kernel faults surface. Idempotent:
+/// every buffer it writes is recomputed from `elems_dev`, so
+/// [`retry_transient`] can re-run it after a transient fault and get
+/// bit-identical bytes. `staged` is the merged loop's prefetch slot
+/// (given back under memory pressure); the deferred loop has no prefetch
+/// and passes an empty slot.
+#[allow(clippy::too_many_arguments)] // internal per-trial helper of the executor
+fn device_trial(
+    gpu: &Gpu,
+    streams: Option<(&Stream, &Stream)>,
+    kernel: KernelStrategy,
+    plan: &BatchPlan,
+    elems_dev: &DeviceBuffer<u32>,
+    packed_dev: &mut Option<DeviceBuffer<u64>>,
+    a: u64,
+    b: u64,
+    prev_out: &mut Option<DeviceBuffer<u64>>,
+    staged: &mut Option<(DeviceBuffer<u32>, StreamEvent)>,
+) -> Result<Vec<u64>, DeviceError> {
+    // The previous trial's output has drained by now; free it before
+    // allocating the next so peak memory holds at most one in-flight
+    // output buffer.
+    *prev_out = None;
+    let mut out_dev = match gpu.alloc::<u64>(plan.out_total) {
+        Ok(buf) => buf,
+        Err(DeviceError::OutOfMemory { .. }) if staged.is_some() => {
+            // Memory pressure: give the prefetched batch back (it will
+            // re-upload next iteration) and retry.
+            *staged = None;
+            gpu.alloc::<u64>(plan.out_total)?
+        }
+        Err(e) => return Err(e),
+    };
+    kernel.launch(
+        gpu,
+        streams,
+        plan,
+        elems_dev,
+        packed_dev,
+        &mut out_dev,
+        a,
+        b,
+    );
+    // 2d. Per-trial transfer back to the host. Synchronous mode blocks;
+    // overlapped mode queues the copy behind the trial's kernels and lets
+    // the next trial's kernels start meanwhile.
+    if let Some((compute, copy)) = streams {
+        copy.wait_event(&compute.record_event());
+        let data = copy.try_dtoh_async(&out_dev)?;
+        *prev_out = Some(out_dev);
+        Ok(data)
+    } else {
+        gpu.try_dtoh(&out_dev)
+    }
+}
+
+/// CPU-side record building for one trial's host output, with
+/// boundary-fragment merging ("the CPU has to combine the shingle results
+/// for the split adjacency lists after it receives shingles from the
+/// GPU"). Only the merged loop calls this; the deferred loop emits
+/// fragments unmerged for the driver.
+#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_merged
+fn emit_trial_records(
+    plan: &BatchPlan,
+    host_out: &[u64],
+    trial: usize,
+    s: usize,
+    carry: &mut [Vec<u64>],
+    carry_node: Option<u32>,
+    gpu: &Gpu,
+    streams: Option<(&Stream, &Stream)>,
+    state: &mut SinkState<'_>,
+) -> Result<(), DeviceError> {
+    let n_segs = plan.nodes.len();
+    for &seg in &plan.emit_segs {
+        let i = seg as usize;
+        let lo = plan.out_offsets[i];
+        let hi = plan.out_offsets[i + 1];
+        let pairs = &host_out[lo..hi];
+        let is_first = i == 0;
+        let is_last = i == n_segs - 1;
+        if is_first && plan.first_frag {
+            debug_assert_eq!(carry_node, Some(plan.nodes[i]));
+            let mut merged = std::mem::take(&mut carry[trial]);
+            merged.extend_from_slice(pairs);
+            merged.sort_unstable();
+            merged.dedup();
+            merged.truncate(s);
+            if is_last && plan.last_frag {
+                carry[trial] = merged; // list continues further
+            } else if merged.len() == s {
+                state.record(gpu, streams, trial as u32, plan.nodes[i], &merged, false)?;
+            }
+        } else if is_last && plan.last_frag {
+            carry[trial] = pairs.to_vec();
+        } else if pairs.len() == s {
+            state.record(gpu, streams, trial as u32, plan.nodes[i], pairs, false)?;
+        }
+    }
+    Ok(())
+}
+
+/// The sink strategy, instantiated from the public [`Sink`] request plus
+/// the plan's aggregation axis. Device-aggregating variants own a
+/// `DeviceRunBuilder` whose flushes may run device kernels — which is why
+/// every hook sees the [`Gpu`] and the optional stream pair.
+enum SinkState<'a> {
+    /// Finalized records stream to the caller.
+    Stream(&'a mut dyn FnMut(u32, u32, &[u64])),
+    /// Records materialize: complete records to the builder when device
+    /// aggregation is on, everything else (fragments, or all records
+    /// under host aggregation) to `raw`.
+    Gather {
+        raw: RawShingles,
+        builder: Option<DeviceRunBuilder>,
+    },
+    /// Records aggregate straight to the pass's shingle graph on the host.
+    HostAggregate(StreamAggregator),
+    /// Records aggregate via device-sorted runs, k-way merged at finish.
+    DeviceAggregate(DeviceRunBuilder),
+}
+
+impl<'a> SinkState<'a> {
+    fn new(plan: &PassPlan, sink: Sink<'a>) -> Self {
+        let builder = || DeviceRunBuilder::with_policy(plan.s, plan.capacity, plan.policy);
+        match (sink, plan.aggregation) {
+            (Sink::Stream(f), _) => SinkState::Stream(f),
+            (Sink::Gather, AggregationMode::Host) => SinkState::Gather {
+                raw: RawShingles::new(plan.s),
+                builder: None,
+            },
+            (Sink::Gather, AggregationMode::Device) => SinkState::Gather {
+                raw: RawShingles::new(plan.s),
+                builder: Some(builder()),
+            },
+            (Sink::Aggregate, AggregationMode::Host) => SinkState::HostAggregate(
+                StreamAggregator::with_par_sort_min(plan.s, plan.par_sort_min),
+            ),
+            (Sink::Aggregate, AggregationMode::Device) => SinkState::DeviceAggregate(builder()),
+        }
+    }
+
+    fn record(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+        trial: u32,
+        node: u32,
+        pairs: &[u64],
+        fragment: bool,
+    ) -> Result<(), DeviceError> {
+        match self {
+            SinkState::Stream(f) => {
+                f(trial, node, pairs);
+                Ok(())
+            }
+            SinkState::Gather { raw, builder } => match builder {
+                Some(b) if !fragment => b.record(gpu, streams, trial, node, pairs),
+                _ => {
+                    raw.push(trial, node, pairs);
+                    Ok(())
+                }
+            },
+            SinkState::HostAggregate(agg) => {
+                agg.push(trial, node, pairs);
+                Ok(())
+            }
+            SinkState::DeviceAggregate(b) => b.record(gpu, streams, trial, node, pairs),
+        }
+    }
+
+    fn batch_end(
+        &mut self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+    ) -> Result<(), DeviceError> {
+        match self {
+            SinkState::Gather {
+                builder: Some(b), ..
+            } => b.batch_end(gpu, streams),
+            SinkState::DeviceAggregate(b) => b.batch_end(gpu, streams),
+            _ => Ok(()),
+        }
+    }
+
+    /// Drain the sink: flush any staged device-aggregation tail, fold the
+    /// builder's recovery tallies into `recovery`, and hand the results
+    /// to the pass report.
+    #[allow(clippy::type_complexity)] // the four PassReport result fields
+    fn finish(
+        self,
+        gpu: &Gpu,
+        streams: Option<(&Stream, &Stream)>,
+        plan: &PassPlan,
+        recovery: &mut RecoveryReport,
+    ) -> Result<(RawShingles, Vec<SortedRun>, Option<ShingleGraph>, f64), DeviceError> {
+        let empty = || RawShingles::new(plan.s);
+        match self {
+            SinkState::Stream(_) => Ok((empty(), Vec::new(), None, 0.0)),
+            SinkState::Gather { mut raw, builder } => {
+                let (runs, agg_seconds) = match builder {
+                    Some(b) => {
+                        let (runs, agg_seconds, builder_rec) =
+                            b.finish_with_recovery(gpu, streams)?;
+                        recovery.merge(&builder_rec);
+                        (runs, agg_seconds)
+                    }
+                    None => (Vec::new(), 0.0),
+                };
+                if plan.fragments == FragmentMode::Merge {
+                    // Boundary fragments were merged as the batches ran,
+                    // so the records are one-per-(trial, node) — the
+                    // aggregation may skip its merge sort.
+                    raw.mark_grouped();
+                }
+                Ok((raw, runs, None, agg_seconds))
+            }
+            SinkState::HostAggregate(agg) => Ok((empty(), Vec::new(), Some(agg.finish()), 0.0)),
+            SinkState::DeviceAggregate(b) => {
+                let (runs, agg_seconds, builder_rec) = b.finish_with_recovery(gpu, streams)?;
+                recovery.merge(&builder_rec);
+                Ok((
+                    empty(),
+                    Vec::new(),
+                    Some(merge_sorted_runs(plan.s, runs)),
+                    agg_seconds,
+                ))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::aggregate;
+    use crate::params::ShinglingParams;
+    use crate::plan::Plan;
+    use crate::serial::shingle_pass;
+    use gpclust_gpu::DeviceConfig;
+    use gpclust_graph::generate::{planted_partition, PlantedConfig};
+    use gpclust_graph::Csr;
+
+    const KERNELS: [ShingleKernel; 2] = [ShingleKernel::SortCompact, ShingleKernel::FusedSelect];
+
+    fn planted_graph(seed: u64) -> Csr {
+        planted_partition(&PlantedConfig {
+            group_sizes: vec![30, 20, 25],
+            n_noise_vertices: 10,
+            p_intra: 0.7,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed,
+        })
+        .graph
+    }
+
+    fn batching_graph(seed: u64) -> Csr {
+        // ~8k edges → ~16k adjacency elements, several times the tiny
+        // device's batch capacity under either kernel.
+        planted_partition(&PlantedConfig {
+            group_sizes: vec![120, 100, 80],
+            n_noise_vertices: 20,
+            p_intra: 0.5,
+            max_intra_degree: f64::MAX,
+            inter_edges_per_vertex: 1.0,
+            seed,
+        })
+        .graph
+    }
+
+    /// Lower a pass plan for tests: device-derived capacity unless forced.
+    fn pass_plan(
+        gpu: &Gpu,
+        s: usize,
+        kernel: ShingleKernel,
+        mode: PipelineMode,
+        aggregation: AggregationMode,
+        capacity: Option<usize>,
+        input: &impl AdjacencyInput,
+    ) -> PassPlan {
+        let params = ShinglingParams::light(0)
+            .with_kernel(kernel)
+            .with_mode(mode)
+            .with_aggregation(aggregation);
+        let plan = Plan::lower(&params, std::slice::from_ref(gpu)).unwrap();
+        plan.pass(
+            s,
+            aggregation,
+            capacity.unwrap_or(plan.capacity),
+            input.offsets(),
+        )
+    }
+
+    /// One gathered pass through the executor.
+    #[allow(clippy::too_many_arguments)]
+    fn gather(
+        gpu: &Gpu,
+        g: &impl AdjacencyInput,
+        s: usize,
+        family: &HashFamily,
+        kernel: ShingleKernel,
+        mode: PipelineMode,
+        aggregation: AggregationMode,
+        capacity: Option<usize>,
+    ) -> PassReport {
+        let pass = pass_plan(gpu, s, kernel, mode, aggregation, capacity, g);
+        Executor::new(gpu)
+            .run(
+                &pass,
+                PassInput::of(g),
+                family,
+                &mut RecoveryReport::default(),
+                Sink::Gather,
+            )
+            .unwrap()
+    }
+
+    fn sync_host(
+        gpu: &Gpu,
+        g: &impl AdjacencyInput,
+        s: usize,
+        family: &HashFamily,
+        kernel: ShingleKernel,
+        capacity: Option<usize>,
+    ) -> PassReport {
+        gather(
+            gpu,
+            g,
+            s,
+            family,
+            kernel,
+            PipelineMode::Synchronous,
+            AggregationMode::Host,
+            capacity,
+        )
+    }
+
+    /// The executor must aggregate to exactly the serial pass's result —
+    /// under both kernels.
+    #[test]
+    fn matches_serial_oracle_single_batch() {
+        let g = planted_graph(1);
+        let family = HashFamily::new(25, 9);
+        let serial = aggregate(&shingle_pass(&g, 2, &family));
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 3);
+            let device = aggregate(&sync_host(&gpu, &g, 2, &family, kernel, None).raw);
+            assert_eq!(serial, device, "{kernel:?}");
+        }
+    }
+
+    /// The tiny device (64 KiB) forces many batches and split lists; the
+    /// merged result must still equal the serial oracle — under both
+    /// kernels.
+    #[test]
+    fn matches_serial_oracle_with_forced_batching() {
+        let g = batching_graph(2);
+        let family = HashFamily::new(12, 4);
+        let serial = aggregate(&shingle_pass(&g, 2, &family));
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let device = aggregate(&sync_host(&gpu, &g, 2, &family, kernel, None).raw);
+            assert_eq!(serial, device, "{kernel:?}");
+            assert!(
+                gpu.counters().h2d_transfers > 1,
+                "tiny device must have batched ({kernel:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_across_worker_counts() {
+        let g = planted_graph(3);
+        let family = HashFamily::new(8, 5);
+        for kernel in KERNELS {
+            let mut results = Vec::new();
+            for workers in [1usize, 4] {
+                let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+                results.push(aggregate(
+                    &sync_host(&gpu, &g, 3, &family, kernel, None).raw,
+                ));
+            }
+            assert_eq!(results[0], results[1], "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn per_trial_d2h_traffic() {
+        let g = planted_graph(4);
+        let c = 10;
+        let family = HashFamily::new(c, 6);
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            sync_host(&gpu, &g, 2, &family, kernel, None);
+            let snap = gpu.counters();
+            // One D2H per trial per batch (single batch here).
+            assert_eq!(snap.d2h_transfers, c as u64, "{kernel:?}");
+            assert_eq!(snap.h2d_transfers, 1, "{kernel:?}");
+            assert!(snap.d2h_seconds > 0.0, "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn s_larger_than_all_degrees_yields_nothing() {
+        let g = planted_graph(5);
+        let family = HashFamily::new(5, 7);
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let report = sync_host(&gpu, &g, 10_000, &family, kernel, None);
+            assert!(aggregate(&report.raw).is_empty(), "{kernel:?}");
+        }
+    }
+
+    #[test]
+    fn empty_graph_no_records() {
+        let mut el = gpclust_graph::EdgeList::new();
+        let g = Csr::from_edges(5, &mut el);
+        let family = HashFamily::new(3, 8);
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+            let report = sync_host(&gpu, &g, 2, &family, kernel, None);
+            assert!(report.raw.is_empty(), "{kernel:?}");
+        }
+    }
+
+    /// The overlapped pipeline must produce bit-identical records — same
+    /// values, same emission order — on both the one-batch K20 and the
+    /// tiny device that forces multi-batch double buffering, under both
+    /// kernels.
+    #[test]
+    fn overlapped_bit_identical_to_synchronous() {
+        let g = batching_graph(11);
+        let family = HashFamily::new(12, 4);
+        for kernel in KERNELS {
+            for config in [DeviceConfig::tesla_k20(), DeviceConfig::tiny_test_device()] {
+                let gpu_sync = Gpu::with_workers(config.clone(), 2);
+                let gpu_ovl = Gpu::with_workers(config, 2);
+                let sync = sync_host(&gpu_sync, &g, 2, &family, kernel, None).raw;
+                let ovl = gather(
+                    &gpu_ovl,
+                    &g,
+                    2,
+                    &family,
+                    kernel,
+                    PipelineMode::Overlapped,
+                    AggregationMode::Host,
+                    None,
+                );
+                assert_eq!(sync, ovl.raw, "{kernel:?}");
+                assert!(ovl.makespan > 0.0);
+                // Transfer traffic (counts and bytes) is also identical when
+                // no prefetch had to be retried.
+                let a = gpu_sync.counters();
+                let b = gpu_ovl.counters();
+                assert_eq!(a.h2d_bytes, b.h2d_bytes, "{kernel:?}");
+                assert_eq!(a.d2h_bytes, b.d2h_bytes, "{kernel:?}");
+                assert_eq!(a.kernel_launches, b.kernel_launches, "{kernel:?}");
+            }
+        }
+    }
+
+    /// Overlap accounting on the K20: every async transfer lands in the
+    /// overlap sub-accounts, and the pipelined makespan beats the
+    /// serialized sum while never beating the kernel lower bound.
+    #[test]
+    fn overlapped_makespan_beats_serialized_path() {
+        let g = planted_graph(6);
+        let family = HashFamily::new(20, 9);
+        for kernel in KERNELS {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let makespan = gather(
+                &gpu,
+                &g,
+                2,
+                &family,
+                kernel,
+                PipelineMode::Overlapped,
+                AggregationMode::Host,
+                None,
+            )
+            .makespan;
+            let snap = gpu.counters();
+            let serialized = snap.serialized_device_seconds();
+            assert!(
+                makespan < serialized,
+                "pipelined {makespan} must beat serialized {serialized} ({kernel:?})"
+            );
+            assert!(
+                makespan >= snap.kernel_seconds - 1e-6,
+                "pipelined {makespan} cannot beat the kernel-only lower bound ({kernel:?})"
+            );
+            // All transfers were issued asynchronously.
+            assert!(snap.d2h_overlapped_seconds > 0.0);
+            assert!((snap.d2h_overlapped_seconds - snap.d2h_seconds).abs() < 1e-9);
+            assert!((snap.h2d_overlapped_seconds - snap.h2d_seconds).abs() < 1e-9);
+            assert_eq!(snap.blocking_transfer_seconds(), 0.0);
+        }
+    }
+
+    /// At a shared (forced) capacity the two kernels share a batch plan
+    /// and must emit **record-identical streams**, while the fused kernel
+    /// does strictly less device work: one launch per (batch, trial)
+    /// instead of three, and less modeled kernel time.
+    #[test]
+    fn fused_select_bit_identical_and_cheaper_at_equal_capacity() {
+        let g = batching_graph(7);
+        let family = HashFamily::new(10, 3);
+        let cap = 1500; // forces several batches with split lists
+        let gpu_sort = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let gpu_sel = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let sort = sync_host(
+            &gpu_sort,
+            &g,
+            2,
+            &family,
+            ShingleKernel::SortCompact,
+            Some(cap),
+        )
+        .raw;
+        let sel = sync_host(
+            &gpu_sel,
+            &g,
+            2,
+            &family,
+            ShingleKernel::FusedSelect,
+            Some(cap),
+        )
+        .raw;
+        assert_eq!(sort, sel);
+        let a = gpu_sort.counters();
+        let b = gpu_sel.counters();
+        assert!(
+            b.kernel_launches < a.kernel_launches,
+            "fused {} vs sort {}",
+            b.kernel_launches,
+            a.kernel_launches
+        );
+        assert!(
+            b.kernel_seconds < a.kernel_seconds,
+            "fused {} s vs sort {} s",
+            b.kernel_seconds,
+            a.kernel_seconds
+        );
+        // Transfer traffic is identical under a shared plan.
+        assert_eq!(a.h2d_bytes, b.h2d_bytes);
+        assert_eq!(a.d2h_bytes, b.d2h_bytes);
+    }
+
+    /// With device-derived capacities the fused kernel's halved footprint
+    /// plans ~2× larger batches: fewer batches, fewer H2D invocations.
+    #[test]
+    fn fused_select_plans_larger_batches() {
+        let g = batching_graph(8);
+        let family = HashFamily::new(6, 2);
+        let gpu_sort = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let gpu_sel = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let sort = sync_host(&gpu_sort, &g, 2, &family, ShingleKernel::SortCompact, None);
+        let sel = sync_host(&gpu_sel, &g, 2, &family, ShingleKernel::FusedSelect, None);
+        assert_eq!(sort.raw.len(), sel.raw.len());
+        // Halved footprint → ~2× capacity (±1 from integer division).
+        assert!(sel.stats.capacity_elems >= 2 * sort.stats.capacity_elems - 1);
+        assert!(
+            sel.stats.n_batches < sort.stats.n_batches,
+            "select {} batches vs sort {}",
+            sel.stats.n_batches,
+            sort.stats.n_batches
+        );
+        assert!(gpu_sel.counters().h2d_transfers < gpu_sort.counters().h2d_transfers);
+        assert_eq!(sel.stats.elem_footprint_bytes, 8);
+        assert_eq!(sort.stats.elem_footprint_bytes, 16);
+    }
+
+    /// BatchStats reflect the actual plan on an unconstrained device.
+    #[test]
+    fn batch_stats_single_batch_on_k20() {
+        let g = planted_graph(9);
+        let family = HashFamily::new(4, 1);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let stats = sync_host(&gpu, &g, 2, &family, ShingleKernel::SortCompact, None).stats;
+        assert_eq!(stats.n_batches, 1);
+        assert_eq!(stats.max_batch_elems, g.flat().len() as u64);
+        assert!(stats.capacity_elems >= stats.max_batch_elems);
+    }
+
+    /// Device-aggregated runs, merged, must equal the host-aggregated
+    /// oracle — under both kernels, on the one-batch K20.
+    #[test]
+    fn device_agg_matches_host_oracle_single_batch() {
+        let g = planted_graph(12);
+        let family = HashFamily::new(20, 5);
+        for kernel in KERNELS {
+            let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let host = aggregate(&sync_host(&gpu_host, &g, 2, &family, kernel, None).raw);
+            let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let dev = gather(
+                &gpu_dev,
+                &g,
+                2,
+                &family,
+                kernel,
+                PipelineMode::Synchronous,
+                AggregationMode::Device,
+                None,
+            );
+            assert!(dev.agg_kernel_seconds > 0.0, "{kernel:?}");
+            assert!(dev.raw.is_empty(), "no fragments on a merged pass");
+            assert_eq!(host, merge_sorted_runs(2, dev.runs), "{kernel:?}");
+        }
+    }
+
+    /// The tiny device forces many batches → many runs (one per batch
+    /// flush, possibly more from the capacity trigger); the k-way merge
+    /// must still reproduce the host oracle exactly, under both kernels
+    /// and both schedules.
+    #[test]
+    fn device_agg_matches_host_oracle_with_forced_batching() {
+        let g = batching_graph(13);
+        let family = HashFamily::new(12, 4);
+        for kernel in KERNELS {
+            let gpu_host = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let host = aggregate(&sync_host(&gpu_host, &g, 2, &family, kernel, None).raw);
+
+            let gpu_sync = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let dev = gather(
+                &gpu_sync,
+                &g,
+                2,
+                &family,
+                kernel,
+                PipelineMode::Synchronous,
+                AggregationMode::Device,
+                None,
+            );
+            assert!(dev.stats.n_batches > 1, "{kernel:?}");
+            assert!(dev.runs.len() > 1, "{kernel:?}");
+            assert_eq!(host, merge_sorted_runs(2, dev.runs), "{kernel:?}");
+
+            let gpu_ovl = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let ovl = gather(
+                &gpu_ovl,
+                &g,
+                2,
+                &family,
+                kernel,
+                PipelineMode::Overlapped,
+                AggregationMode::Device,
+                None,
+            );
+            assert!(ovl.makespan > 0.0 && ovl.agg_kernel_seconds >= 0.0);
+            assert_eq!(
+                host,
+                merge_sorted_runs(2, ovl.runs),
+                "{kernel:?} overlapped"
+            );
+        }
+    }
+
+    /// Under a shared forced capacity the record streams are identical
+    /// across modes, so the concatenated device runs must hold exactly the
+    /// host-mode records (same count), each run ascending in the full
+    /// 128-bit record with run-local low bits.
+    #[test]
+    fn device_runs_are_sorted_contiguous_slices_of_the_emission_stream() {
+        let g = batching_graph(14);
+        let family = HashFamily::new(8, 6);
+        let cap = 1200;
+        let kernel = ShingleKernel::SortCompact;
+        let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let n_host = sync_host(&gpu_host, &g, 2, &family, kernel, Some(cap))
+            .raw
+            .len();
+        let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let runs = gather(
+            &gpu_dev,
+            &g,
+            2,
+            &family,
+            kernel,
+            PipelineMode::Synchronous,
+            AggregationMode::Device,
+            Some(cap),
+        )
+        .runs;
+        assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), n_host);
+        for run in &runs {
+            assert!(run.packed.windows(2).all(|w| w[0] < w[1]), "run ascending");
+            assert_eq!(run.elements.len(), run.len() * 2);
+            for (i, &p) in run.packed.iter().enumerate() {
+                assert!(((p & 0xFFFF_FFFF) as usize) < run.len(), "local idx {i}");
+            }
+        }
+    }
+
+    /// The device-aggregation flush charges its pack + radix-sort kernels
+    /// to the device counters, and the overlapped schedule's makespan
+    /// stays within the serialized bound.
+    #[test]
+    fn device_agg_charges_kernels_and_overlap_accounting_holds() {
+        let g = planted_graph(15);
+        let family = HashFamily::new(16, 7);
+        let kernel = ShingleKernel::FusedSelect;
+        let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        sync_host(&gpu_host, &g, 2, &family, kernel, None);
+        let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let dev = gather(
+            &gpu_dev,
+            &g,
+            2,
+            &family,
+            kernel,
+            PipelineMode::Overlapped,
+            AggregationMode::Device,
+            None,
+        );
+        let host_snap = gpu_host.counters();
+        let dev_snap = gpu_dev.counters();
+        assert!(
+            dev_snap.kernel_seconds > host_snap.kernel_seconds,
+            "aggregation kernels must add device time"
+        );
+        assert!(
+            (dev_snap.kernel_seconds - host_snap.kernel_seconds) >= dev.agg_kernel_seconds * 0.5,
+            "reported agg seconds {} should show up in the counters",
+            dev.agg_kernel_seconds
+        );
+        assert!(dev.makespan < dev_snap.serialized_device_seconds());
+        assert!(dev.makespan >= dev_snap.kernel_seconds - 1e-6);
+    }
+
+    /// `Sink::Aggregate` must equal gathering + host-sorting by hand, for
+    /// both aggregation modes (one executor call vs. the two-step oracle).
+    #[test]
+    fn aggregate_sink_matches_gather_then_sort() {
+        let g = batching_graph(16);
+        let family = HashFamily::new(10, 2);
+        for aggregation in [AggregationMode::Host, AggregationMode::Device] {
+            let gpu_a = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let oracle =
+                aggregate(&sync_host(&gpu_a, &g, 2, &family, ShingleKernel::SortCompact, None).raw);
+            let gpu_b = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+            let pass = pass_plan(
+                &gpu_b,
+                2,
+                ShingleKernel::SortCompact,
+                PipelineMode::Synchronous,
+                aggregation,
+                None,
+                &g,
+            );
+            let report = Executor::new(&gpu_b)
+                .run(
+                    &pass,
+                    PassInput::of(&g),
+                    &family,
+                    &mut RecoveryReport::default(),
+                    Sink::Aggregate,
+                )
+                .unwrap();
+            assert_eq!(oracle, report.graph.unwrap(), "{aggregation:?}");
+        }
+    }
+
+    /// A deferred sub-plan covering every batch emits fragment-flagged,
+    /// unmerged records whose generic aggregation still equals the oracle
+    /// — the single-executor contract `multi_gpu` builds on.
+    #[test]
+    fn deferred_subplan_reconciles_through_generic_aggregation() {
+        let g = batching_graph(17);
+        let family = HashFamily::new(9, 3);
+        let serial = aggregate(&shingle_pass(&g, 2, &family));
+        let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let pass = pass_plan(
+            &gpu,
+            2,
+            ShingleKernel::SortCompact,
+            PipelineMode::Synchronous,
+            AggregationMode::Host,
+            None,
+            &g,
+        );
+        let n_batches = pass.batches.len();
+        let sub = pass.subplan((0..n_batches).collect());
+        let report = Executor::new(&gpu)
+            .run(
+                &sub,
+                PassInput::of(&g),
+                &family,
+                &mut RecoveryReport::default(),
+                Sink::Gather,
+            )
+            .unwrap();
+        assert!(report.unfinished.is_none());
+        assert!(!report.raw.is_grouped(), "deferred records are unmerged");
+        assert_eq!(serial, aggregate(&report.raw));
+    }
+}

@@ -1,84 +1,44 @@
-//! Algorithm 1 — one shingling pass on the (simulated) device.
+//! Internal device-pass helpers shared by the [`crate::exec`] executor.
 //!
-//! Per batch of adjacency lists (Figure 4):
+//! This module used to enumerate the schedule cross-product as ~13
+//! public `gpu_shingle_pass*` entry points; those collapsed into the
+//! single [`crate::exec::Executor::run`] interpreter over a
+//! [`crate::plan::PassPlan`]. What remains here is the trial-invariant
+//! batch arithmetic and the device-aggregation machinery both executor
+//! loop bodies compose:
 //!
-//! 1. the batch's concatenated elements move host→device once;
-//! 2. for each random trial `h_i ∈ H`, one of two kernel plans extracts
-//!    the top `min(s, |segment|)` pairs of each kept segment into a dense
-//!    output buffer (see [`ShingleKernel`]):
-//!    * [`ShingleKernel::SortCompact`] — the paper's pipeline:
-//!      a. `thrust::transform` maps every element `v` to the packed pair
-//!      `(h_i(v) << 32) | v` — the random permutation of each list;
-//!      b. a segmented sort orders every list by permuted value;
-//!      c. a compaction kernel copies each segment's sorted prefix.
-//!    * [`ShingleKernel::FusedSelect`] — one fused kernel hashes each
-//!      element on the fly and maintains an s-sized insertion buffer per
-//!      segment, writing the selected pairs (ascending — exactly the
-//!      sorted prefix the compaction would have copied) straight to the
-//!      output buffer. No 8-byte packed workspace exists, so
-//!      [`batch_capacity`] plans ~2× larger batches, halving batch count,
-//!      transfer invocations, and kernel launches on memory-bound inputs.
-//! 3. the output moves device→host immediately ("it is safe to
-//!    transfer the generated shingles back to the host memory after each
-//!    iteration for the immediate processing on the CPU side") — this
-//!    per-trial D2H traffic is why *Data g→c* dominates the transfer
-//!    budget in Table I.
-//!
-//! Interior segments shorter than `s` are skipped (they can never yield a
-//! shingle); boundary segments are kept regardless, because they may be
-//! fragments of lists split across batches. Fragments are merged here on
-//! the host, per trial, as each batch's results arrive — so the records
-//! handed to [`crate::aggregate`] are already one-per-(node, trial)
-//! ("grouped"), which lets the aggregation skip its merge sort.
-//!
-//! Both kernels emit **bit-identical records**: shingling only consumes
-//! the `s` smallest permuted values of each list, and the ascending
-//! s-smallest selection equals the sorted prefix, duplicates included.
-//! The batch plan depends on the kernel's per-element footprint, so
-//! cross-kernel runs agree record-for-record whenever they share a
-//! capacity (see the `_with_capacity` entry points) and always agree
-//! after aggregation.
-//!
-//! ## Synchronous vs. overlapped scheduling
-//!
-//! The pass runs under two schedules that produce **bit-identical
-//! records** and differ only in the modeled device timing:
-//!
-//! * [`gpu_shingle_pass_foreach`] — the paper's Thrust 1.5 behavior: every
-//!   copy blocks, so H2D → kernels → D2H serialize on one timeline.
-//! * [`gpu_shingle_pass_overlapped_foreach`] — a double-buffered pipeline
-//!   over two [`Stream`]s: batch *k+1*'s elements upload on the copy
-//!   stream while batch *k*'s trials run on the compute stream, and each
-//!   trial's compacted output transfers back (and is merged/emitted on the
-//!   host) while the next trial's kernels execute. The returned makespan —
-//!   the max of the two stream cursors — is the pipelined critical path
-//!   that the paper's "asynchronous operations provided in CUDA C/C++"
-//!   future work would buy.
-//!
-//! ## Host vs. device aggregation
-//!
-//! Orthogonal to both axes above, [`AggregationMode`] decides where the
-//! emitted records get **sorted**. `Host` streams them into
-//! [`crate::aggregate::StreamAggregator`]'s global host sort; `Device`
-//! routes them through a [`DeviceRunBuilder`] that packs and radix-sorts
-//! them on the card and hands back per-flush [`SortedRun`]s for a
-//! streaming k-way host merge ([`crate::aggregate::merge_sorted_runs`]) —
-//! same partitions, bit-identical record order, but the dominant
-//! `O(c·n log c·n)` comparison sort moves off the CPU column of Table I.
+//! * [`BatchPlan`]/[`plan_batch`] — one batch's segment offsets, fragment
+//!   flags, compaction output layout, and task groups, computed once and
+//!   reused across trials. Interior segments shorter than `s` are skipped
+//!   (they can never yield a shingle); boundary segments are kept
+//!   regardless, because they may be fragments of lists split across
+//!   batches (possibly across devices).
+//! * [`compaction_tasks`] — step 2c of Algorithm 1: copy each kept
+//!   segment's sorted prefix into the dense output buffer.
+//! * [`host_trial_out`] — the degradation path: one `(batch, trial)` on
+//!   the CPU, producing **exactly the bytes** the device pipeline's D2H
+//!   would have delivered, so records stay bit-identical under faults.
+//! * [`RecordSink`]/[`DeviceRunBuilder`] — the device-side aggregation
+//!   front end: finalized records stage in a stride-`s + 2` column and
+//!   flush through a pack kernel + u128 radix sort into
+//!   [`SortedRun`]s for the streaming k-way host merge.
+
+// The refactor deletes superseded entry points rather than deprecating
+// them; anything unreferenced in here is a bug.
+#![deny(dead_code)]
 
 use crate::aggregate::SortedRun;
-use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
-use crate::minwise::{hash_with, pack, unpack_element, HashFamily};
-use crate::params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel};
+use crate::batch::Batch;
+use crate::minwise::{hash_with, pack, unpack_element};
+use crate::params::FaultPolicy;
 use crate::resilience::retry_transient;
-use crate::shingle::{shingle_key, AdjacencyInput, RawShingles};
+use crate::shingle::shingle_key;
 use crate::timing::RecoveryReport;
-use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream, StreamEvent};
+use gpclust_gpu::{thrust, DeviceError, Gpu, KernelCost, Stream};
 use std::time::Instant;
 
 /// Trial-invariant shape of one batch, computed once up front: segment
 /// offsets, fragment flags, compaction output layout and task groups.
-/// `pub(crate)` so `multi_gpu` shares the exact same layout arithmetic.
 pub(crate) struct BatchPlan {
     pub(crate) local_offsets: Vec<u64>,
     pub(crate) nodes: Vec<u32>,
@@ -201,13 +161,11 @@ pub(crate) fn host_trial_out(plan: &BatchPlan, elems: &[u32], a: u64, b: u64) ->
 }
 
 /// Where a device pass's finalized `(trial, node, top-s pairs)` records
-/// go. `Host` aggregation (and pass II's union–find streaming) uses the
-/// [`FnSink`] closure adapter; `Device` aggregation uses a
-/// [`DeviceRunBuilder`] that may flush staged records through a device
-/// pack + radix sort whenever it records (capacity trigger) or at a batch
-/// boundary — which is why both hooks see the [`Gpu`] and the optional
-/// stream pair.
-pub trait RecordSink {
+/// go when they need device-side processing. The [`DeviceRunBuilder`]
+/// impl may flush staged records through a device pack + radix sort
+/// whenever it records (capacity trigger) or at a batch boundary — which
+/// is why both hooks see the [`Gpu`] and the optional stream pair.
+pub(crate) trait RecordSink {
     fn record(
         &mut self,
         gpu: &Gpu,
@@ -225,509 +183,6 @@ pub trait RecordSink {
         gpu: &Gpu,
         streams: Option<(&Stream, &Stream)>,
     ) -> Result<(), DeviceError>;
-}
-
-/// Adapts a plain `FnMut(trial, node, pairs)` closure — the host
-/// aggregation path — to [`RecordSink`]. Infallible; `batch_end` is a
-/// no-op.
-pub struct FnSink<F>(pub F);
-
-impl<F: FnMut(u32, u32, &[u64])> RecordSink for FnSink<F> {
-    fn record(
-        &mut self,
-        _gpu: &Gpu,
-        _streams: Option<(&Stream, &Stream)>,
-        trial: u32,
-        node: u32,
-        pairs: &[u64],
-    ) -> Result<(), DeviceError> {
-        (self.0)(trial, node, pairs);
-        Ok(())
-    }
-
-    fn batch_end(
-        &mut self,
-        _gpu: &Gpu,
-        _streams: Option<(&Stream, &Stream)>,
-    ) -> Result<(), DeviceError> {
-        Ok(())
-    }
-}
-
-/// CPU-side record building for one trial's host output, with
-/// boundary-fragment merging ("the CPU has to combine the shingle results
-/// for the split adjacency lists after it receives shingles from the GPU").
-#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_device_pass
-fn emit_trial_records<S: RecordSink>(
-    plan: &BatchPlan,
-    host_out: &[u64],
-    trial: usize,
-    s: usize,
-    carry: &mut [Vec<u64>],
-    carry_node: Option<u32>,
-    gpu: &Gpu,
-    streams: Option<(&Stream, &Stream)>,
-    sink: &mut S,
-) -> Result<(), DeviceError> {
-    let n_segs = plan.nodes.len();
-    for &seg in &plan.emit_segs {
-        let i = seg as usize;
-        let lo = plan.out_offsets[i];
-        let hi = plan.out_offsets[i + 1];
-        let pairs = &host_out[lo..hi];
-        let is_first = i == 0;
-        let is_last = i == n_segs - 1;
-        if is_first && plan.first_frag {
-            debug_assert_eq!(carry_node, Some(plan.nodes[i]));
-            let mut merged = std::mem::take(&mut carry[trial]);
-            merged.extend_from_slice(pairs);
-            merged.sort_unstable();
-            merged.dedup();
-            merged.truncate(s);
-            if is_last && plan.last_frag {
-                carry[trial] = merged; // list continues further
-            } else if merged.len() == s {
-                sink.record(gpu, streams, trial as u32, plan.nodes[i], &merged)?;
-            }
-        } else if is_last && plan.last_frag {
-            carry[trial] = pairs.to_vec();
-        } else if pairs.len() == s {
-            sink.record(gpu, streams, trial as u32, plan.nodes[i], pairs)?;
-        }
-    }
-    Ok(())
-}
-
-/// One trial's device execution: allocate the dense output, run the
-/// kernel plan, and copy the result back via the *fallible* transfers —
-/// the sync point where injected kernel faults surface. Idempotent:
-/// every buffer it writes is recomputed from `elems_dev`, so
-/// [`retry_transient`] can re-run it after a transient fault and get
-/// bit-identical bytes.
-#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_device_pass
-fn device_trial(
-    gpu: &Gpu,
-    streams: Option<(&Stream, &Stream)>,
-    kernel: ShingleKernel,
-    plan: &BatchPlan,
-    elems_dev: &DeviceBuffer<u32>,
-    packed_dev: &mut Option<DeviceBuffer<u64>>,
-    a: u64,
-    b: u64,
-    prev_out: &mut Option<DeviceBuffer<u64>>,
-    staged: &mut Option<(DeviceBuffer<u32>, StreamEvent)>,
-) -> Result<Vec<u64>, DeviceError> {
-    // The previous trial's output has drained by now; free it before
-    // allocating the next so peak memory holds at most one in-flight
-    // output buffer.
-    *prev_out = None;
-    let mut out_dev = match gpu.alloc::<u64>(plan.out_total) {
-        Ok(buf) => buf,
-        Err(DeviceError::OutOfMemory { .. }) if staged.is_some() => {
-            // Memory pressure: give the prefetched batch back (it will
-            // re-upload next iteration) and retry.
-            *staged = None;
-            gpu.alloc::<u64>(plan.out_total)?
-        }
-        Err(e) => return Err(e),
-    };
-    match (kernel, packed_dev) {
-        (ShingleKernel::SortCompact, Some(packed_dev)) => {
-            // 2a. Random permutation via the min-wise hash, then
-            // 2b. segmented sort within each adjacency list, then
-            // 2c. compact the top-s pairs of each kept segment.
-            if let Some((compute, _)) = streams {
-                thrust::transform_on(compute, elems_dev, packed_dev, move |v: u32| {
-                    pack(hash_with(a, b, v), v)
-                });
-                thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
-            } else {
-                thrust::transform(gpu, elems_dev, packed_dev, move |v: u32| {
-                    pack(hash_with(a, b, v), v)
-                });
-                thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
-            }
-            let tasks =
-                compaction_tasks(plan, packed_dev.device_slice(), out_dev.device_slice_mut());
-            if let Some((compute, _)) = streams {
-                compute.launch(plan.out_total, &KernelCost::gather(), tasks);
-            } else {
-                gpu.launch(plan.out_total, &KernelCost::gather(), tasks);
-            }
-        }
-        (ShingleKernel::FusedSelect, _) => {
-            // 2a–c fused: hash + per-segment ascending top-s
-            // selection straight into the dense output. Identical
-            // bytes to the sorted prefix the compaction copies.
-            if let Some((compute, _)) = streams {
-                thrust::transform_select_on(
-                    compute,
-                    elems_dev,
-                    &plan.local_offsets,
-                    &plan.out_offsets,
-                    &mut out_dev,
-                    move |v: u32| pack(hash_with(a, b, v), v),
-                );
-            } else {
-                thrust::transform_select(
-                    gpu,
-                    elems_dev,
-                    &plan.local_offsets,
-                    &plan.out_offsets,
-                    &mut out_dev,
-                    move |v: u32| pack(hash_with(a, b, v), v),
-                );
-            }
-        }
-        (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
-    }
-    // 2d. Per-trial transfer back to the host. Synchronous mode blocks;
-    // overlapped mode queues the copy behind the trial's kernels and lets
-    // the next trial's kernels start meanwhile.
-    if let Some((compute, copy)) = streams {
-        copy.wait_event(&compute.record_event());
-        let data = copy.try_dtoh_async(&out_dev)?;
-        *prev_out = Some(out_dev);
-        Ok(data)
-    } else {
-        gpu.try_dtoh(&out_dev)
-    }
-}
-
-/// The shared driver behind both scheduling modes and both kernels.
-/// `streams` is `Some((compute, copy))` for the double-buffered pipeline,
-/// `None` for the synchronous baseline; `kernel` picks the top-s
-/// extraction plan; `capacity` is the per-batch element budget (normally
-/// [`batch_capacity`] of the device, injectable for tests). The host-side
-/// loop structure — batch plan, trial order, record emission — is
-/// identical across all four combinations, which is what guarantees
-/// bit-identical output; only where the modeled time lands differs.
-///
-/// Fault handling per `policy`: transient faults retry via
-/// [`retry_transient`]; a batch whose budget is spent degrades — its
-/// remaining trials run through [`host_trial_out`], emitting the same
-/// bytes the device would have. `OutOfMemory` and `DeviceLost` propagate
-/// (backoff and multi-device redistribution live in the callers).
-#[allow(clippy::too_many_arguments)] // internal driver; public wrappers are narrower
-fn run_device_pass<S: RecordSink>(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    aggregation: AggregationMode,
-    capacity: usize,
-    streams: Option<(&Stream, &Stream)>,
-    policy: &FaultPolicy,
-    recovery: &mut RecoveryReport,
-    sink: &mut S,
-) -> Result<BatchStats, DeviceError> {
-    let offsets = input.offsets();
-    let flat = input.flat();
-    let batches = plan_batches(offsets, capacity);
-    let stats = BatchStats::from_plan(&batches, capacity, kernel, aggregation);
-
-    // Carry buffers for the one adjacency list that can span the current
-    // batch boundary: per-trial top candidates of the fragments seen so
-    // far.
-    let mut carry: Vec<Vec<u64>> = vec![Vec::new(); family.len()];
-    let mut carry_node: Option<u32> = None;
-    // Double buffer: the next batch's elements already uploaded on the
-    // copy stream, with the event marking that upload's completion.
-    let mut staged: Option<(DeviceBuffer<u32>, StreamEvent)> = None;
-    for (bi, batch) in batches.iter().enumerate() {
-        let plan = plan_batch(batch, offsets, s);
-        let staged_now = staged.take();
-        if plan.nodes.is_empty() {
-            continue;
-        }
-        let range = batch.elem_lo as usize..batch.elem_hi as usize;
-        let batch_elems = &flat[range];
-        // Once true, every remaining trial of this batch runs on the
-        // bit-identical host path.
-        let mut degraded = false;
-
-        // 1. The batch's elements on the device: staged by the previous
-        // iteration's prefetch, or moved now (H2D once, reused across
-        // trials). Transient upload faults retry; an exhausted budget
-        // degrades the whole batch.
-        let upload = if let Some((compute, copy)) = streams {
-            match staged_now {
-                Some((buf, uploaded)) => {
-                    compute.wait_event(&uploaded);
-                    Ok(buf)
-                }
-                None => retry_transient(policy, recovery, || {
-                    let buf = copy.htod_async(batch_elems)?;
-                    compute.wait_event(&copy.record_event());
-                    Ok(buf)
-                }),
-            }
-        } else {
-            retry_transient(policy, recovery, || gpu.htod(batch_elems))
-        };
-        let elems_dev: Option<DeviceBuffer<u32>> = match upload {
-            Ok(buf) => Some(buf),
-            Err(e) if e.is_transient() && policy.degrade_to_host => {
-                degraded = true;
-                recovery.degraded_batches += 1;
-                None
-            }
-            Err(e) => return Err(e),
-        };
-        // Only the sort path materializes the 8-byte packed workspace;
-        // the fused kernel hashes on the fly.
-        let mut packed_dev: Option<DeviceBuffer<u64>> = match (kernel, &elems_dev) {
-            (ShingleKernel::SortCompact, Some(elems)) => {
-                let n = elems.len();
-                match retry_transient(policy, recovery, || gpu.alloc::<u64>(n)) {
-                    Ok(buf) => Some(buf),
-                    Err(e) if e.is_transient() && policy.degrade_to_host => {
-                        degraded = true;
-                        recovery.degraded_batches += 1;
-                        None
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            _ => None,
-        };
-
-        // Prefetch batch k+1 on the copy stream while batch k computes.
-        // Best effort: under memory pressure (or an injected upload
-        // fault) the upload simply happens at the top of the next
-        // iteration instead.
-        if let Some((_, copy)) = streams {
-            if let Some(next) = batches.get(bi + 1) {
-                let next_range = next.elem_lo as usize..next.elem_hi as usize;
-                if let Ok(buf) = copy.htod_async(&flat[next_range]) {
-                    staged = Some((buf, copy.record_event()));
-                }
-            }
-        }
-
-        // In the overlapped schedule the previous trial's output buffer
-        // stays allocated while its D2H is modeled in flight.
-        let mut prev_out: Option<DeviceBuffer<u64>> = None;
-        #[allow(clippy::needless_range_loop)] // trial indexes both family and carry
-        for trial in 0..family.len() {
-            let (a, b) = family.coeffs(trial);
-            let host_out = match elems_dev.as_ref().filter(|_| !degraded) {
-                Some(elems) => {
-                    let attempt = retry_transient(policy, recovery, || {
-                        device_trial(
-                            gpu,
-                            streams,
-                            kernel,
-                            &plan,
-                            elems,
-                            &mut packed_dev,
-                            a,
-                            b,
-                            &mut prev_out,
-                            &mut staged,
-                        )
-                    });
-                    match attempt {
-                        Ok(out) => out,
-                        Err(e) if e.is_transient() && policy.degrade_to_host => {
-                            degraded = true;
-                            recovery.degraded_batches += 1;
-                            let t0 = Instant::now();
-                            let out = host_trial_out(&plan, batch_elems, a, b);
-                            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
-                            out
-                        }
-                        Err(e) => return Err(e),
-                    }
-                }
-                None => {
-                    let t0 = Instant::now();
-                    let out = host_trial_out(&plan, batch_elems, a, b);
-                    recovery.recovery_seconds += t0.elapsed().as_secs_f64();
-                    out
-                }
-            };
-            emit_trial_records(
-                &plan, &host_out, trial, s, &mut carry, carry_node, gpu, streams, sink,
-            )?;
-        }
-        drop(prev_out);
-        // Free the batch's element (and packed-workspace) buffers before
-        // the sink's batch hook runs, so a device-aggregation flush can
-        // allocate its staging column and record buffer.
-        drop(packed_dev);
-        drop(elems_dev);
-        sink.batch_end(gpu, streams)?;
-        carry_node = if plan.last_frag {
-            Some(plan.nodes[plan.nodes.len() - 1])
-        } else {
-            None
-        };
-    }
-    debug_assert!(carry_node.is_none(), "carry must drain by the final batch");
-    Ok(stats)
-}
-
-/// Run one full shingling pass on the device with synchronous (Thrust 1.5
-/// style) transfers, streaming each finalized `(trial, node, top-s pairs)`
-/// record to `f`. Records arrive grouped (one per `(trial, node)`, boundary
-/// fragments already merged) with exactly `s` sorted pairs. Returns the
-/// pass's [`BatchStats`] so capacity-driven splits are visible.
-pub fn gpu_shingle_pass_foreach(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    f: impl FnMut(u32, u32, &[u64]),
-) -> Result<BatchStats, DeviceError> {
-    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Host);
-    gpu_shingle_pass_foreach_with_capacity(gpu, input, s, family, kernel, capacity, f)
-}
-
-/// [`gpu_shingle_pass_foreach`] with an explicit per-batch element
-/// capacity instead of the device-derived one. Two runs that share a
-/// capacity share a batch plan and therefore emit record-identical
-/// streams regardless of kernel — the lever the bit-identity proptests
-/// pull.
-pub fn gpu_shingle_pass_foreach_with_capacity(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    capacity: usize,
-    f: impl FnMut(u32, u32, &[u64]),
-) -> Result<BatchStats, DeviceError> {
-    run_device_pass(
-        gpu,
-        input,
-        s,
-        family,
-        kernel,
-        AggregationMode::Host,
-        capacity,
-        None,
-        &FaultPolicy::default(),
-        &mut RecoveryReport::default(),
-        &mut FnSink(f),
-    )
-}
-
-/// Run one full shingling pass as a double-buffered two-stream pipeline.
-/// Emits records bit-identically to [`gpu_shingle_pass_foreach`] (same
-/// batch plan, same host-side loop order) and returns the pass's
-/// [`BatchStats`] plus its modeled **pipelined makespan** in seconds: the
-/// max of the compute and copy stream cursors once both drain.
-pub fn gpu_shingle_pass_overlapped_foreach(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    f: impl FnMut(u32, u32, &[u64]),
-) -> Result<(BatchStats, f64), DeviceError> {
-    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Host);
-    gpu_shingle_pass_overlapped_foreach_with_capacity(gpu, input, s, family, kernel, capacity, f)
-}
-
-/// [`gpu_shingle_pass_overlapped_foreach`] with an explicit per-batch
-/// element capacity (see [`gpu_shingle_pass_foreach_with_capacity`]).
-pub fn gpu_shingle_pass_overlapped_foreach_with_capacity(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    capacity: usize,
-    f: impl FnMut(u32, u32, &[u64]),
-) -> Result<(BatchStats, f64), DeviceError> {
-    let compute = gpu.stream("shingle-compute");
-    let copy = gpu.stream("shingle-copy");
-    let stats = run_device_pass(
-        gpu,
-        input,
-        s,
-        family,
-        kernel,
-        AggregationMode::Host,
-        capacity,
-        Some((&compute, &copy)),
-        &FaultPolicy::default(),
-        &mut RecoveryReport::default(),
-        &mut FnSink(f),
-    )?;
-    Ok((
-        stats,
-        compute.completed_seconds().max(copy.completed_seconds()),
-    ))
-}
-
-/// Run one full shingling pass on the device, materializing the records.
-/// Prefer [`gpu_shingle_pass_foreach`] in memory-sensitive paths.
-pub fn gpu_shingle_pass(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-) -> Result<RawShingles, DeviceError> {
-    let mut raw = RawShingles::new(s);
-    gpu_shingle_pass_foreach(gpu, input, s, family, kernel, |trial, node, pairs| {
-        raw.push(trial, node, pairs);
-    })?;
-    raw.mark_grouped();
-    Ok(raw)
-}
-
-/// [`gpu_shingle_pass`] with an explicit per-batch element capacity.
-pub fn gpu_shingle_pass_with_capacity(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    capacity: usize,
-) -> Result<RawShingles, DeviceError> {
-    let mut raw = RawShingles::new(s);
-    gpu_shingle_pass_foreach_with_capacity(
-        gpu,
-        input,
-        s,
-        family,
-        kernel,
-        capacity,
-        |trial, node, pairs| {
-            raw.push(trial, node, pairs);
-        },
-    )?;
-    raw.mark_grouped();
-    Ok(raw)
-}
-
-/// [`gpu_shingle_pass`] under the overlapped schedule: materialized records
-/// plus the pass's pipelined makespan.
-pub fn gpu_shingle_pass_overlapped(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-) -> Result<(RawShingles, f64), DeviceError> {
-    let mut raw = RawShingles::new(s);
-    let (_, makespan) = gpu_shingle_pass_overlapped_foreach(
-        gpu,
-        input,
-        s,
-        family,
-        kernel,
-        |trial, node, pairs| {
-            raw.push(trial, node, pairs);
-        },
-    )?;
-    raw.mark_grouped();
-    Ok((raw, makespan))
 }
 
 /// Records per device pack task (one thread-block-batch per chunk).
@@ -752,7 +207,7 @@ const PACK_CHUNK: usize = 4 * 1024;
 /// reaches `run_capacity` and at every batch boundary; `run_capacity` is
 /// sized so the column (`4·(s+2)` B/record) and the packed buffer (16
 /// B/record) together fit the extra 16 B/element the
-/// [`AggregationMode::Device`] batch footprint reserves
+/// [`crate::params::AggregationMode::Device`] batch footprint reserves
 /// ([`crate::batch::bytes_per_elem`]).
 ///
 /// In the simulator the staged key material lives host-side (the
@@ -770,7 +225,7 @@ const PACK_CHUNK: usize = 4 * 1024;
 /// idx)` order. An out-of-memory flush falls back to packing and sorting
 /// the same records on the host — also a total-order ascending u128 sort,
 /// hence bit-identical.
-pub struct DeviceRunBuilder {
+pub(crate) struct DeviceRunBuilder {
     s: usize,
     /// Interleaved staging column, stride `s + 2`.
     col: Vec<u32>,
@@ -785,14 +240,8 @@ pub struct DeviceRunBuilder {
 impl DeviceRunBuilder {
     /// `capacity` is the pass's per-batch element budget: the run size is
     /// derived from the 16 B/element device-aggregation reserve it
-    /// implies.
-    pub fn new(s: usize, capacity: usize) -> Self {
-        Self::with_policy(s, capacity, FaultPolicy::default())
-    }
-
-    /// [`DeviceRunBuilder::new`] with an explicit fault policy governing
-    /// flush-time retries and host fallback.
-    pub fn with_policy(s: usize, capacity: usize, policy: FaultPolicy) -> Self {
+    /// implies. `policy` governs flush-time retries and host fallback.
+    pub(crate) fn with_policy(s: usize, capacity: usize, policy: FaultPolicy) -> Self {
         let per_record = 16 + 4 * (s + 2);
         DeviceRunBuilder {
             s,
@@ -807,25 +256,13 @@ impl DeviceRunBuilder {
     }
 
     /// Staged-but-unflushed record count.
-    pub fn staged(&self) -> usize {
+    fn staged(&self) -> usize {
         self.col.len() / (self.s + 2)
-    }
-
-    /// Flushes that hit device memory pressure and sorted on the host
-    /// instead (bit-identical, but no device offload for that run).
-    pub fn host_fallbacks(&self) -> u64 {
-        self.host_fallbacks
-    }
-
-    /// Modeled device seconds spent in aggregation kernels (pack + radix
-    /// sort) so far — the work that used to be host sort time.
-    pub fn agg_kernel_seconds(&self) -> f64 {
-        self.agg_kernel_seconds
     }
 
     /// Stage one record; the caller decides when to flush (the
     /// [`RecordSink`] impl flushes at `run_capacity` and on `batch_end`).
-    pub fn push(&mut self, trial: u32, node: u32, pairs: &[u64]) {
+    fn push(&mut self, trial: u32, node: u32, pairs: &[u64]) {
         debug_assert_eq!(pairs.len(), self.s);
         self.col.reserve(self.s + 2);
         self.col.push(trial);
@@ -834,11 +271,7 @@ impl DeviceRunBuilder {
     }
 
     /// Pack + sort the staged records into one [`SortedRun`].
-    pub fn flush(
-        &mut self,
-        gpu: &Gpu,
-        streams: Option<(&Stream, &Stream)>,
-    ) -> Result<(), DeviceError> {
+    fn flush(&mut self, gpu: &Gpu, streams: Option<(&Stream, &Stream)>) -> Result<(), DeviceError> {
         let stride = self.s + 2;
         let n = self.col.len() / stride;
         if n == 0 {
@@ -878,20 +311,10 @@ impl DeviceRunBuilder {
         Ok(())
     }
 
-    /// Flush any staged tail and return the sorted runs plus the modeled
-    /// device seconds the aggregation kernels consumed.
-    pub fn finish(
-        self,
-        gpu: &Gpu,
-        streams: Option<(&Stream, &Stream)>,
-    ) -> Result<(Vec<SortedRun>, f64), DeviceError> {
-        let (runs, agg_seconds, _) = self.finish_with_recovery(gpu, streams)?;
-        Ok((runs, agg_seconds))
-    }
-
-    /// [`DeviceRunBuilder::finish`] that also surfaces the builder's
-    /// [`RecoveryReport`], with `host_fallbacks` folded in.
-    pub fn finish_with_recovery(
+    /// Flush any staged tail and return the sorted runs, the modeled
+    /// device seconds the aggregation kernels consumed, and the builder's
+    /// [`RecoveryReport`] with `host_fallbacks` folded in.
+    pub(crate) fn finish_with_recovery(
         mut self,
         gpu: &Gpu,
         streams: Option<(&Stream, &Stream)>,
@@ -1014,627 +437,4 @@ fn host_pack_sort(col: &[u32], stride: usize) -> Vec<u128> {
         .collect();
     packed.sort_unstable();
     packed
-}
-
-/// One synchronous shingling pass under [`AggregationMode::Device`]: the
-/// records never queue for a host sort — they pack and radix-sort on the
-/// device per flush and come back as [`SortedRun`]s for
-/// [`crate::aggregate::merge_sorted_runs`]. Returns the runs, the pass's
-/// [`BatchStats`], and the modeled device seconds the aggregation kernels
-/// added.
-pub fn gpu_shingle_pass_device_agg(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-) -> Result<(Vec<SortedRun>, BatchStats, f64), DeviceError> {
-    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Device);
-    gpu_shingle_pass_device_agg_with_capacity(gpu, input, s, family, kernel, capacity)
-}
-
-/// [`gpu_shingle_pass_device_agg`] with an explicit per-batch element
-/// capacity (see [`gpu_shingle_pass_foreach_with_capacity`]).
-pub fn gpu_shingle_pass_device_agg_with_capacity(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    capacity: usize,
-) -> Result<(Vec<SortedRun>, BatchStats, f64), DeviceError> {
-    let mut builder = DeviceRunBuilder::new(s, capacity);
-    let stats = run_device_pass(
-        gpu,
-        input,
-        s,
-        family,
-        kernel,
-        AggregationMode::Device,
-        capacity,
-        None,
-        &FaultPolicy::default(),
-        &mut RecoveryReport::default(),
-        &mut builder,
-    )?;
-    let (runs, agg_seconds) = builder.finish(gpu, None)?;
-    Ok((runs, stats, agg_seconds))
-}
-
-/// [`gpu_shingle_pass_device_agg`] under the overlapped two-stream
-/// schedule: each flush's column upload and sorted-run download ride the
-/// copy stream while the next batch's trials run on the compute stream.
-/// Returns `(runs, stats, agg kernel seconds, pipelined makespan)`.
-pub fn gpu_shingle_pass_overlapped_device_agg(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-) -> Result<(Vec<SortedRun>, BatchStats, f64, f64), DeviceError> {
-    let capacity = batch_capacity(gpu.mem_available(), kernel, AggregationMode::Device);
-    gpu_shingle_pass_overlapped_device_agg_with_capacity(gpu, input, s, family, kernel, capacity)
-}
-
-/// [`gpu_shingle_pass_overlapped_device_agg`] with an explicit per-batch
-/// element capacity.
-pub fn gpu_shingle_pass_overlapped_device_agg_with_capacity(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    capacity: usize,
-) -> Result<(Vec<SortedRun>, BatchStats, f64, f64), DeviceError> {
-    let compute = gpu.stream("shingle-compute");
-    let copy = gpu.stream("shingle-copy");
-    let mut builder = DeviceRunBuilder::new(s, capacity);
-    let stats = run_device_pass(
-        gpu,
-        input,
-        s,
-        family,
-        kernel,
-        AggregationMode::Device,
-        capacity,
-        Some((&compute, &copy)),
-        &FaultPolicy::default(),
-        &mut RecoveryReport::default(),
-        &mut builder,
-    )?;
-    let (runs, agg_seconds) = builder.finish(gpu, Some((&compute, &copy)))?;
-    let makespan = compute.completed_seconds().max(copy.completed_seconds());
-    Ok((runs, stats, agg_seconds, makespan))
-}
-
-/// One resilient host-aggregation shingling pass: the policy-aware form
-/// of the `foreach` entry points, dispatching on [`PipelineMode`].
-/// Transient faults retry, exhausted batches degrade to the bit-identical
-/// host path, and every recovery action lands in `recovery`.
-/// `OutOfMemory` and `DeviceLost` propagate typed (backoff and
-/// redistribution are pass-level decisions made by the callers in
-/// `pipeline`/`multi_gpu`). Returns the pass's [`BatchStats`] and its
-/// pipelined makespan (0 under [`PipelineMode::Synchronous`]).
-#[allow(clippy::too_many_arguments)] // the policy-aware superset of 4 wrappers
-pub fn gpu_shingle_pass_resilient_foreach(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    mode: PipelineMode,
-    capacity: usize,
-    policy: &FaultPolicy,
-    recovery: &mut RecoveryReport,
-    f: impl FnMut(u32, u32, &[u64]),
-) -> Result<(BatchStats, f64), DeviceError> {
-    match mode {
-        PipelineMode::Synchronous => {
-            let stats = run_device_pass(
-                gpu,
-                input,
-                s,
-                family,
-                kernel,
-                AggregationMode::Host,
-                capacity,
-                None,
-                policy,
-                recovery,
-                &mut FnSink(f),
-            )?;
-            Ok((stats, 0.0))
-        }
-        PipelineMode::Overlapped => {
-            let compute = gpu.stream("shingle-compute");
-            let copy = gpu.stream("shingle-copy");
-            let stats = run_device_pass(
-                gpu,
-                input,
-                s,
-                family,
-                kernel,
-                AggregationMode::Host,
-                capacity,
-                Some((&compute, &copy)),
-                policy,
-                recovery,
-                &mut FnSink(f),
-            )?;
-            Ok((
-                stats,
-                compute.completed_seconds().max(copy.completed_seconds()),
-            ))
-        }
-    }
-}
-
-/// One resilient device-aggregation shingling pass (the policy-aware form
-/// of the `device_agg` entry points; see
-/// [`gpu_shingle_pass_resilient_foreach`] for the fault semantics).
-/// Returns `(runs, stats, agg kernel seconds, pipelined makespan)` — the
-/// makespan is 0 under [`PipelineMode::Synchronous`].
-#[allow(clippy::too_many_arguments)] // the policy-aware superset of 4 wrappers
-pub fn gpu_shingle_pass_resilient_device_agg(
-    gpu: &Gpu,
-    input: &impl AdjacencyInput,
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    mode: PipelineMode,
-    capacity: usize,
-    policy: &FaultPolicy,
-    recovery: &mut RecoveryReport,
-) -> Result<(Vec<SortedRun>, BatchStats, f64, f64), DeviceError> {
-    let mut builder = DeviceRunBuilder::with_policy(s, capacity, *policy);
-    match mode {
-        PipelineMode::Synchronous => {
-            let stats = run_device_pass(
-                gpu,
-                input,
-                s,
-                family,
-                kernel,
-                AggregationMode::Device,
-                capacity,
-                None,
-                policy,
-                recovery,
-                &mut builder,
-            )?;
-            let (runs, agg_seconds, builder_recovery) = builder.finish_with_recovery(gpu, None)?;
-            recovery.merge(&builder_recovery);
-            Ok((runs, stats, agg_seconds, 0.0))
-        }
-        PipelineMode::Overlapped => {
-            let compute = gpu.stream("shingle-compute");
-            let copy = gpu.stream("shingle-copy");
-            let stats = run_device_pass(
-                gpu,
-                input,
-                s,
-                family,
-                kernel,
-                AggregationMode::Device,
-                capacity,
-                Some((&compute, &copy)),
-                policy,
-                recovery,
-                &mut builder,
-            )?;
-            let (runs, agg_seconds, builder_recovery) =
-                builder.finish_with_recovery(gpu, Some((&compute, &copy)))?;
-            recovery.merge(&builder_recovery);
-            let makespan = compute.completed_seconds().max(copy.completed_seconds());
-            Ok((runs, stats, agg_seconds, makespan))
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use crate::aggregate::aggregate;
-    use crate::serial::shingle_pass;
-    use gpclust_gpu::DeviceConfig;
-    use gpclust_graph::generate::{planted_partition, PlantedConfig};
-    use gpclust_graph::Csr;
-
-    const KERNELS: [ShingleKernel; 2] = [ShingleKernel::SortCompact, ShingleKernel::FusedSelect];
-
-    fn planted_graph(seed: u64) -> Csr {
-        planted_partition(&PlantedConfig {
-            group_sizes: vec![30, 20, 25],
-            n_noise_vertices: 10,
-            p_intra: 0.7,
-            max_intra_degree: f64::MAX,
-            inter_edges_per_vertex: 1.0,
-            seed,
-        })
-        .graph
-    }
-
-    fn batching_graph(seed: u64) -> Csr {
-        // ~8k edges → ~16k adjacency elements, several times the tiny
-        // device's batch capacity under either kernel.
-        planted_partition(&PlantedConfig {
-            group_sizes: vec![120, 100, 80],
-            n_noise_vertices: 20,
-            p_intra: 0.5,
-            max_intra_degree: f64::MAX,
-            inter_edges_per_vertex: 1.0,
-            seed,
-        })
-        .graph
-    }
-
-    /// The GPU pass must aggregate to exactly the serial pass's result —
-    /// under both kernels.
-    #[test]
-    fn matches_serial_oracle_single_batch() {
-        let g = planted_graph(1);
-        let family = HashFamily::new(25, 9);
-        let serial = aggregate(&shingle_pass(&g, 2, &family));
-        for kernel in KERNELS {
-            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 3);
-            let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap());
-            assert_eq!(serial, device, "{kernel:?}");
-        }
-    }
-
-    /// The tiny device (64 KiB) forces many batches and split lists; the
-    /// merged result must still equal the serial oracle — under both
-    /// kernels.
-    #[test]
-    fn matches_serial_oracle_with_forced_batching() {
-        let g = batching_graph(2);
-        let family = HashFamily::new(12, 4);
-        let serial = aggregate(&shingle_pass(&g, 2, &family));
-        for kernel in KERNELS {
-            let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-            let device = aggregate(&gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap());
-            assert_eq!(serial, device, "{kernel:?}");
-            assert!(
-                gpu.counters().h2d_transfers > 1,
-                "tiny device must have batched ({kernel:?})"
-            );
-        }
-    }
-
-    #[test]
-    fn deterministic_across_worker_counts() {
-        let g = planted_graph(3);
-        let family = HashFamily::new(8, 5);
-        for kernel in KERNELS {
-            let mut results = Vec::new();
-            for workers in [1usize, 4] {
-                let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
-                results.push(aggregate(
-                    &gpu_shingle_pass(&gpu, &g, 3, &family, kernel).unwrap(),
-                ));
-            }
-            assert_eq!(results[0], results[1], "{kernel:?}");
-        }
-    }
-
-    #[test]
-    fn per_trial_d2h_traffic() {
-        let g = planted_graph(4);
-        let c = 10;
-        let family = HashFamily::new(c, 6);
-        for kernel in KERNELS {
-            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-            gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap();
-            let snap = gpu.counters();
-            // One D2H per trial per batch (single batch here).
-            assert_eq!(snap.d2h_transfers, c as u64, "{kernel:?}");
-            assert_eq!(snap.h2d_transfers, 1, "{kernel:?}");
-            assert!(snap.d2h_seconds > 0.0, "{kernel:?}");
-        }
-    }
-
-    #[test]
-    fn s_larger_than_all_degrees_yields_nothing() {
-        let g = planted_graph(5);
-        let family = HashFamily::new(5, 7);
-        for kernel in KERNELS {
-            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-            let raw = gpu_shingle_pass(&gpu, &g, 10_000, &family, kernel).unwrap();
-            assert!(aggregate(&raw).is_empty(), "{kernel:?}");
-        }
-    }
-
-    #[test]
-    fn empty_graph_no_records() {
-        let mut el = gpclust_graph::EdgeList::new();
-        let g = Csr::from_edges(5, &mut el);
-        let family = HashFamily::new(3, 8);
-        for kernel in KERNELS {
-            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
-            let raw = gpu_shingle_pass(&gpu, &g, 2, &family, kernel).unwrap();
-            assert!(raw.is_empty(), "{kernel:?}");
-        }
-    }
-
-    /// The overlapped pipeline must produce bit-identical records — same
-    /// values, same emission order — on both the one-batch K20 and the
-    /// tiny device that forces multi-batch double buffering, under both
-    /// kernels.
-    #[test]
-    fn overlapped_bit_identical_to_synchronous() {
-        let g = batching_graph(11);
-        let family = HashFamily::new(12, 4);
-        for kernel in KERNELS {
-            for config in [DeviceConfig::tesla_k20(), DeviceConfig::tiny_test_device()] {
-                let gpu_sync = Gpu::with_workers(config.clone(), 2);
-                let gpu_ovl = Gpu::with_workers(config, 2);
-                let sync = gpu_shingle_pass(&gpu_sync, &g, 2, &family, kernel).unwrap();
-                let (ovl, makespan) =
-                    gpu_shingle_pass_overlapped(&gpu_ovl, &g, 2, &family, kernel).unwrap();
-                assert_eq!(sync, ovl, "{kernel:?}");
-                assert!(makespan > 0.0);
-                // Transfer traffic (counts and bytes) is also identical when
-                // no prefetch had to be retried.
-                let a = gpu_sync.counters();
-                let b = gpu_ovl.counters();
-                assert_eq!(a.h2d_bytes, b.h2d_bytes, "{kernel:?}");
-                assert_eq!(a.d2h_bytes, b.d2h_bytes, "{kernel:?}");
-                assert_eq!(a.kernel_launches, b.kernel_launches, "{kernel:?}");
-            }
-        }
-    }
-
-    /// Overlap accounting on the K20: every async transfer lands in the
-    /// overlap sub-accounts, and the pipelined makespan beats the
-    /// serialized sum while never beating the kernel lower bound.
-    #[test]
-    fn overlapped_makespan_beats_serialized_path() {
-        let g = planted_graph(6);
-        let family = HashFamily::new(20, 9);
-        for kernel in KERNELS {
-            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-            let (_, makespan) = gpu_shingle_pass_overlapped(&gpu, &g, 2, &family, kernel).unwrap();
-            let snap = gpu.counters();
-            let serialized = snap.serialized_device_seconds();
-            assert!(
-                makespan < serialized,
-                "pipelined {makespan} must beat serialized {serialized} ({kernel:?})"
-            );
-            assert!(
-                makespan >= snap.kernel_seconds - 1e-6,
-                "pipelined {makespan} cannot beat the kernel-only lower bound ({kernel:?})"
-            );
-            // All transfers were issued asynchronously.
-            assert!(snap.d2h_overlapped_seconds > 0.0);
-            assert!((snap.d2h_overlapped_seconds - snap.d2h_seconds).abs() < 1e-9);
-            assert!((snap.h2d_overlapped_seconds - snap.h2d_seconds).abs() < 1e-9);
-            assert_eq!(snap.blocking_transfer_seconds(), 0.0);
-        }
-    }
-
-    /// At a shared (forced) capacity the two kernels share a batch plan
-    /// and must emit **record-identical streams**, while the fused kernel
-    /// does strictly less device work: one launch per (batch, trial)
-    /// instead of three, and less modeled kernel time.
-    #[test]
-    fn fused_select_bit_identical_and_cheaper_at_equal_capacity() {
-        let g = batching_graph(7);
-        let family = HashFamily::new(10, 3);
-        let cap = 1500; // forces several batches with split lists
-        let gpu_sort = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let gpu_sel = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let sort = gpu_shingle_pass_with_capacity(
-            &gpu_sort,
-            &g,
-            2,
-            &family,
-            ShingleKernel::SortCompact,
-            cap,
-        )
-        .unwrap();
-        let sel = gpu_shingle_pass_with_capacity(
-            &gpu_sel,
-            &g,
-            2,
-            &family,
-            ShingleKernel::FusedSelect,
-            cap,
-        )
-        .unwrap();
-        assert_eq!(sort, sel);
-        let a = gpu_sort.counters();
-        let b = gpu_sel.counters();
-        assert!(
-            b.kernel_launches < a.kernel_launches,
-            "fused {} vs sort {}",
-            b.kernel_launches,
-            a.kernel_launches
-        );
-        assert!(
-            b.kernel_seconds < a.kernel_seconds,
-            "fused {} s vs sort {} s",
-            b.kernel_seconds,
-            a.kernel_seconds
-        );
-        // Transfer traffic is identical under a shared plan.
-        assert_eq!(a.h2d_bytes, b.h2d_bytes);
-        assert_eq!(a.d2h_bytes, b.d2h_bytes);
-    }
-
-    /// With device-derived capacities the fused kernel's halved footprint
-    /// plans ~2× larger batches: fewer batches, fewer H2D invocations.
-    #[test]
-    fn fused_select_plans_larger_batches() {
-        let g = batching_graph(8);
-        let family = HashFamily::new(6, 2);
-        let gpu_sort = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-        let gpu_sel = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-        let mut n_sort = 0u64;
-        let sort_stats = gpu_shingle_pass_foreach(
-            &gpu_sort,
-            &g,
-            2,
-            &family,
-            ShingleKernel::SortCompact,
-            |_, _, _| n_sort += 1,
-        )
-        .unwrap();
-        let mut n_sel = 0u64;
-        let sel_stats = gpu_shingle_pass_foreach(
-            &gpu_sel,
-            &g,
-            2,
-            &family,
-            ShingleKernel::FusedSelect,
-            |_, _, _| n_sel += 1,
-        )
-        .unwrap();
-        assert_eq!(n_sort, n_sel);
-        // Halved footprint → ~2× capacity (±1 from integer division).
-        assert!(sel_stats.capacity_elems >= 2 * sort_stats.capacity_elems - 1);
-        assert!(
-            sel_stats.n_batches < sort_stats.n_batches,
-            "select {} batches vs sort {}",
-            sel_stats.n_batches,
-            sort_stats.n_batches
-        );
-        assert!(gpu_sel.counters().h2d_transfers < gpu_sort.counters().h2d_transfers);
-        assert_eq!(sel_stats.elem_footprint_bytes, 8);
-        assert_eq!(sort_stats.elem_footprint_bytes, 16);
-    }
-
-    /// BatchStats reflect the actual plan on an unconstrained device.
-    #[test]
-    fn batch_stats_single_batch_on_k20() {
-        let g = planted_graph(9);
-        let family = HashFamily::new(4, 1);
-        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let stats = gpu_shingle_pass_foreach(
-            &gpu,
-            &g,
-            2,
-            &family,
-            ShingleKernel::SortCompact,
-            |_, _, _| {},
-        )
-        .unwrap();
-        assert_eq!(stats.n_batches, 1);
-        assert_eq!(stats.max_batch_elems, g.flat().len() as u64);
-        assert!(stats.capacity_elems >= stats.max_batch_elems);
-    }
-
-    /// Device-aggregated runs, merged, must equal the host-aggregated
-    /// oracle — under both kernels, on the one-batch K20.
-    #[test]
-    fn device_agg_matches_host_oracle_single_batch() {
-        use crate::aggregate::merge_sorted_runs;
-        let g = planted_graph(12);
-        let family = HashFamily::new(20, 5);
-        for kernel in KERNELS {
-            let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-            let host = aggregate(&gpu_shingle_pass(&gpu_host, &g, 2, &family, kernel).unwrap());
-            let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-            let (runs, _, agg_s) =
-                gpu_shingle_pass_device_agg(&gpu_dev, &g, 2, &family, kernel).unwrap();
-            assert!(agg_s > 0.0, "{kernel:?}");
-            assert_eq!(host, merge_sorted_runs(2, runs), "{kernel:?}");
-        }
-    }
-
-    /// The tiny device forces many batches → many runs (one per batch
-    /// flush, possibly more from the capacity trigger); the k-way merge
-    /// must still reproduce the host oracle exactly, under both kernels
-    /// and both schedules.
-    #[test]
-    fn device_agg_matches_host_oracle_with_forced_batching() {
-        use crate::aggregate::merge_sorted_runs;
-        let g = batching_graph(13);
-        let family = HashFamily::new(12, 4);
-        for kernel in KERNELS {
-            let gpu_host = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-            let host = aggregate(&gpu_shingle_pass(&gpu_host, &g, 2, &family, kernel).unwrap());
-
-            let gpu_sync = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-            let (runs, stats, _) =
-                gpu_shingle_pass_device_agg(&gpu_sync, &g, 2, &family, kernel).unwrap();
-            assert!(stats.n_batches > 1, "{kernel:?}");
-            assert!(runs.len() > 1, "{kernel:?}");
-            assert_eq!(host, merge_sorted_runs(2, runs), "{kernel:?}");
-
-            let gpu_ovl = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-            let (runs_ovl, _, agg_s, makespan) =
-                gpu_shingle_pass_overlapped_device_agg(&gpu_ovl, &g, 2, &family, kernel).unwrap();
-            assert!(makespan > 0.0 && agg_s >= 0.0);
-            assert_eq!(
-                host,
-                merge_sorted_runs(2, runs_ovl),
-                "{kernel:?} overlapped"
-            );
-        }
-    }
-
-    /// Under a shared forced capacity the record streams are identical
-    /// across modes, so the concatenated device runs must hold exactly the
-    /// host-mode records (same count), each run ascending in the full
-    /// 128-bit record with run-local low bits.
-    #[test]
-    fn device_runs_are_sorted_contiguous_slices_of_the_emission_stream() {
-        let g = batching_graph(14);
-        let family = HashFamily::new(8, 6);
-        let cap = 1200;
-        let kernel = ShingleKernel::SortCompact;
-        let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let mut n_host = 0usize;
-        gpu_shingle_pass_foreach_with_capacity(
-            &gpu_host,
-            &g,
-            2,
-            &family,
-            kernel,
-            cap,
-            |_, _, _| {
-                n_host += 1;
-            },
-        )
-        .unwrap();
-        let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let (runs, _, _) =
-            gpu_shingle_pass_device_agg_with_capacity(&gpu_dev, &g, 2, &family, kernel, cap)
-                .unwrap();
-        assert_eq!(runs.iter().map(|r| r.len()).sum::<usize>(), n_host);
-        for run in &runs {
-            assert!(run.packed.windows(2).all(|w| w[0] < w[1]), "run ascending");
-            assert_eq!(run.elements.len(), run.len() * 2);
-            for (i, &p) in run.packed.iter().enumerate() {
-                assert!(((p & 0xFFFF_FFFF) as usize) < run.len(), "local idx {i}");
-            }
-        }
-    }
-
-    /// The device-aggregation flush charges its pack + radix-sort kernels
-    /// to the device counters, and the overlapped schedule's makespan
-    /// stays within the serialized bound.
-    #[test]
-    fn device_agg_charges_kernels_and_overlap_accounting_holds() {
-        let g = planted_graph(15);
-        let family = HashFamily::new(16, 7);
-        let kernel = ShingleKernel::FusedSelect;
-        let gpu_host = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        gpu_shingle_pass(&gpu_host, &g, 2, &family, kernel).unwrap();
-        let gpu_dev = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let (_, _, agg_s, makespan) =
-            gpu_shingle_pass_overlapped_device_agg(&gpu_dev, &g, 2, &family, kernel).unwrap();
-        let host_snap = gpu_host.counters();
-        let dev_snap = gpu_dev.counters();
-        assert!(
-            dev_snap.kernel_seconds > host_snap.kernel_seconds,
-            "aggregation kernels must add device time"
-        );
-        assert!(
-            (dev_snap.kernel_seconds - host_snap.kernel_seconds) >= agg_s * 0.5,
-            "reported agg seconds {agg_s} should show up in the counters"
-        );
-        assert!(makespan < dev_snap.serialized_device_seconds());
-        assert!(makespan >= dev_snap.kernel_seconds - 1e-6);
-    }
 }

@@ -17,9 +17,13 @@
 //!   batches, including lists split across batch boundaries.
 //! * [`decompose`] — pClust's connected-component decomposition driver:
 //!   cluster each component independently, merge the results.
-//! * [`gpu_pass`] — Algorithm 1: one shingling pass on the (simulated)
-//!   device — per-trial hash transform, segmented sort, top-s compaction,
-//!   per-iteration D2H transfer.
+//! * [`plan`] — the execution-plan IR: [`plan::Plan`] lowers
+//!   [`params::ShinglingParams`] + device statistics into an explicit
+//!   per-pass plan (batch list, kernel, schedule, sink, fault policy).
+//! * [`exec`] — the single [`exec::Executor`] that interprets a pass plan
+//!   against the simulated device (Algorithm 1: per-trial hash transform,
+//!   segmented sort / fused selection, top-s compaction, per-iteration
+//!   D2H transfer), composing kernel/sink/stream strategies.
 //! * [`aggregate`] — the CPU-side shingle-graph aggregation, including the
 //!   merge of shingle fragments from split adjacency lists.
 //! * [`report`] — Phase III: dense-subgraph reporting, both the overlapping
@@ -42,12 +46,14 @@ pub mod aggregate;
 pub mod baseline;
 pub mod batch;
 pub mod decompose;
-pub mod gpu_pass;
+pub mod exec;
+mod gpu_pass;
 pub mod mcl;
 pub mod minwise;
 pub mod multi_gpu;
 pub mod params;
 pub mod pipeline;
+pub mod plan;
 pub mod probability;
 pub mod quality;
 pub mod report;
@@ -59,8 +65,10 @@ pub mod weighted;
 
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
+pub use exec::{Executor, PassInput, PassReport, Sink};
 pub use params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
 pub use pipeline::{GpClust, GpClustReport};
+pub use plan::{FragmentMode, PassPlan, Plan};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;
 pub use timing::RecoveryReport;

@@ -1,16 +1,19 @@
 //! Multi-GPU gpClust — the scale-out direction the paper's conclusions
 //! point toward ("further performance could be achieved ...").
 //!
-//! Batches of adjacency lists are dealt round-robin across the devices;
-//! each device runs Algorithm 1 over its share on its **own host thread**
-//! (devices run concurrently on real hardware, so the host drives them
-//! concurrently too), and the per-device record streams are merged on the
-//! host in device index order. Because a list can now be split across
-//! *devices* (not just batches), the merged stream is not grouped — the
-//! generic merge path of [`crate::aggregate::aggregate`] reconciles the
-//! fragments, which is exactly what that path exists for. That path is
-//! insensitive to record order (fragments are re-sorted and deduped when
-//! merged), which is what makes the device-order merge sound.
+//! A thin driver over the single [`Executor`]: each pass lowers one
+//! [`Plan`] over the fleet, deals the batch ids round-robin across the
+//! surviving devices, and runs one executor per device on its **own host
+//! thread** (devices run concurrently on real hardware, so the host
+//! drives them concurrently too) over a [`crate::plan::PassPlan::subplan`]
+//! of the shared batch list. Because a list can now be split across
+//! *devices* (not just batches), the sub-plans run with deferred fragment
+//! handling ([`crate::plan::FragmentMode::Defer`]) and the merged record
+//! stream is not grouped — the generic merge path of
+//! [`crate::aggregate::aggregate`] reconciles the fragments, which is
+//! exactly what that path exists for. That path is insensitive to record
+//! order (fragments are re-sorted and deduped when merged), which is what
+//! makes the device-order merge sound.
 //!
 //! Device time is modeled as the **maximum** over devices; transfer time
 //! likewise. Under [`PipelineMode::Overlapped`] each device additionally
@@ -20,17 +23,16 @@
 //! to the single-device pipeline in either mode (tests assert it).
 
 use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
-use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
-use crate::gpu_pass::{
-    compaction_tasks, host_trial_out, plan_batch, BatchPlan, DeviceRunBuilder, RecordSink,
-};
-use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
+use crate::batch::BatchStats;
+use crate::exec::{Executor, PassInput, PassReport, Sink};
+use crate::minwise::HashFamily;
+use crate::params::{AggregationMode, PipelineMode, ShinglingParams};
+use crate::plan::Plan;
 use crate::report;
-use crate::resilience::{retry_transient, with_oom_backoff};
+use crate::resilience::with_oom_backoff;
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::timing::{RecoveryReport, StageTimes};
-use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream};
+use gpclust_gpu::{DeviceError, Gpu};
 use gpclust_graph::{Csr, Partition, ShingleGraph};
 use std::time::Instant;
 
@@ -125,29 +127,8 @@ impl MultiGpuClust {
         })
     }
 
-    /// The fleet-wide per-batch capacity over the *surviving* devices
-    /// (smallest alive device, configured kernel), so every batch fits
-    /// anywhere it may be scheduled — including after a redistribution.
-    /// Typed [`DeviceError::DeviceLost`] once no device remains.
-    fn alive_capacity(&self) -> Result<usize, DeviceError> {
-        self.gpus
-            .iter()
-            .filter(|g| !g.is_lost())
-            .map(|g| {
-                batch_capacity(
-                    g.mem_available(),
-                    self.params.kernel,
-                    self.params.aggregation,
-                )
-            })
-            .min()
-            .ok_or_else(|| DeviceError::DeviceLost {
-                device: self.gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
-            })
-    }
-
     /// One shingling pass with batches dealt round-robin across devices,
-    /// one host thread per device, **aggregated**. Under
+    /// one executor per device, **aggregated**. Under
     /// [`AggregationMode::Host`] the per-device record streams merge into
     /// one [`RawShingles`] that the generic host aggregation sorts. Under
     /// [`AggregationMode::Device`] each device packs + radix-sorts its
@@ -158,8 +139,8 @@ impl MultiGpuClust {
     /// run; a single k-way merge over all runs then builds the shingle
     /// graph.
     ///
-    /// The pass runs under the configured [`FaultPolicy`]: an
-    /// `OutOfMemory` re-plans the whole pass at half capacity, and a
+    /// The pass runs under the plan's fault policy: an `OutOfMemory`
+    /// re-plans the whole pass at half capacity, and a
     /// [`DeviceError::DeviceLost`] reported by a device thread puts that
     /// device's unfinished batches back in the pending pool, which the
     /// next round deals across the survivors (batches commit their
@@ -173,12 +154,15 @@ impl MultiGpuClust {
         s: usize,
         family: &HashFamily,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64, RecoveryReport), DeviceError> {
-        let policy = self.params.fault;
-        let capacity = self.alive_capacity()?;
+        // Re-lowered per pass: capacity follows the smallest *surviving*
+        // device, so every batch fits anywhere it may be (re)scheduled —
+        // including after a mid-run redistribution.
+        let plan = Plan::lower(&self.params, &self.gpus)?;
+        let input = PassInput::of(input);
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
-        let out = with_oom_backoff(&policy, &mut backoff_rec, capacity, |cap| {
-            self.multi_pass_attempt(input, s, family, cap, &mut pass_rec)
+        let out = with_oom_backoff(&plan.policy, &mut backoff_rec, plan.capacity, |cap| {
+            self.multi_pass_attempt(&plan, input, s, family, cap, &mut pass_rec)
         })?;
         let mut recovery = pass_rec;
         recovery.merge(&backoff_rec);
@@ -192,27 +176,21 @@ impl MultiGpuClust {
     /// device's unfinished batches for the next round.
     fn multi_pass_attempt(
         &self,
-        input: &impl AdjacencyInput,
+        plan: &Plan,
+        input: PassInput<'_>,
         s: usize,
         family: &HashFamily,
         capacity: usize,
         recovery: &mut RecoveryReport,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
-        let offsets = input.offsets();
-        let flat = input.flat();
-        let kernel = self.params.kernel;
-        let aggregation = self.params.aggregation;
-        let policy = self.params.fault;
-        let batches = plan_batches(offsets, capacity);
-        let stats = BatchStats::from_plan(&batches, capacity, kernel, aggregation);
-        let overlapped = self.params.mode == PipelineMode::Overlapped;
-        let device_agg = aggregation == AggregationMode::Device;
+        let pass = plan.pass(s, plan.aggregation, capacity, input.offsets);
+        let device_agg = plan.aggregation == AggregationMode::Device;
 
         let mut raw = RawShingles::new(s);
         let mut runs: Vec<SortedRun> = Vec::new();
         let mut makespan_by_dev = vec![0.0f64; self.gpus.len()];
         let mut agg_by_dev = vec![0.0f64; self.gpus.len()];
-        let mut pending: Vec<usize> = (0..batches.len()).collect();
+        let mut pending: Vec<usize> = (0..pass.batches.len()).collect();
 
         while !pending.is_empty() {
             let alive: Vec<(usize, &Gpu)> = self
@@ -228,28 +206,30 @@ impl MultiGpuClust {
             }
             let shares = round_robin_shares(&pending, alive.len());
             pending.clear();
-            let outcomes: Vec<Result<DeviceOutcome, DeviceError>> = std::thread::scope(|scope| {
-                let batches = &batches;
-                let handles: Vec<_> = alive
-                    .iter()
-                    .zip(&shares)
-                    .map(|(&(_, gpu), share)| {
-                        scope.spawn(move || {
-                            device_round(
-                                gpu, share, batches, offsets, flat, s, family, kernel, capacity,
-                                overlapped, device_agg, policy,
-                            )
+            let outcomes: Vec<Result<(PassReport, RecoveryReport), DeviceError>> =
+                std::thread::scope(|scope| {
+                    let pass = &pass;
+                    let handles: Vec<_> = alive
+                        .iter()
+                        .zip(&shares)
+                        .map(|(&(_, gpu), share)| {
+                            let sub = pass.subplan(share.clone());
+                            scope.spawn(move || {
+                                let mut dev_rec = RecoveryReport::default();
+                                Executor::new(gpu)
+                                    .run(&sub, input, family, &mut dev_rec, Sink::Gather)
+                                    .map(|report| (report, dev_rec))
+                            })
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("device worker panicked"))
-                    .collect()
-            });
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("device worker panicked"))
+                        .collect()
+                });
             let mut fatal: Option<DeviceError> = None;
             for ((d, _), outcome) in alive.iter().zip(outcomes) {
-                let outcome = match outcome {
+                let (report, dev_rec) = match outcome {
                     Ok(o) => o,
                     Err(e) => {
                         // Commit/finish errors are not redistributable
@@ -261,18 +241,18 @@ impl MultiGpuClust {
                 };
                 // Commit the device's completed work even if it was lost
                 // mid-round: completed batches stay completed.
-                for i in 0..outcome.raw.len() {
+                for i in 0..report.raw.len() {
                     raw.push(
-                        outcome.raw.trial(i),
-                        outcome.raw.node(i),
-                        outcome.raw.pairs_of(i),
+                        report.raw.trial(i),
+                        report.raw.node(i),
+                        report.raw.pairs_of(i),
                     );
                 }
-                runs.extend(outcome.runs);
-                makespan_by_dev[*d] += outcome.makespan;
-                agg_by_dev[*d] += outcome.agg_seconds;
-                recovery.merge(&outcome.recovery);
-                if let Some((remaining, err)) = outcome.unfinished {
+                runs.extend(report.runs);
+                makespan_by_dev[*d] += report.makespan;
+                agg_by_dev[*d] += report.agg_kernel_seconds;
+                recovery.merge(&dev_rec);
+                if let Some((remaining, err)) = report.unfinished {
                     match err {
                         DeviceError::DeviceLost { .. } => {
                             let t0 = Instant::now();
@@ -305,7 +285,7 @@ impl MultiGpuClust {
         } else {
             aggregate_with(&raw, self.params.par_sort_min)
         };
-        Ok((graph, makespan, stats, agg_seconds))
+        Ok((graph, makespan, pass.stats, agg_seconds))
     }
 }
 
@@ -319,307 +299,10 @@ fn round_robin_shares(pending: &[usize], n_alive: usize) -> Vec<Vec<usize>> {
         .collect()
 }
 
-/// One batch's buffered emissions: `(trial, node, pairs, is_fragment)`
-/// records. Buffering makes a batch's commit atomic, so a batch
-/// interrupted by a device loss re-runs on a survivor without
-/// duplicating records.
-type BatchRecords = Vec<(u32, u32, Vec<u64>, bool)>;
-
-/// What one device produced in one redistribution round.
-struct DeviceOutcome {
-    /// Fragments (and, under host aggregation, all records) of the
-    /// batches this device completed.
-    raw: RawShingles,
-    /// Device-aggregated sorted runs of the completed batches.
-    runs: Vec<SortedRun>,
-    agg_seconds: f64,
-    makespan: f64,
-    recovery: RecoveryReport,
-    /// Batch ids left unfinished, with the error that interrupted them
-    /// (a `DeviceLost` here re-queues them for the survivors).
-    unfinished: Option<(Vec<usize>, DeviceError)>,
-}
-
-/// Run one device's share of a round: its assigned batches in order,
-/// committing each batch's records only after the whole batch succeeded.
-/// A [`DeviceError::DeviceLost`] from a batch stops the share and reports
-/// the unfinished ids; commit-phase errors (only reachable when the
-/// policy forbids host degradation) propagate as the thread's error.
-#[allow(clippy::too_many_arguments)] // per-device worker of multi_pass_attempt
-fn device_round(
-    gpu: &Gpu,
-    share: &[usize],
-    batches: &[Batch],
-    offsets: &[u64],
-    flat: &[u32],
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    capacity: usize,
-    overlapped: bool,
-    device_agg: bool,
-    policy: FaultPolicy,
-) -> Result<DeviceOutcome, DeviceError> {
-    let streams = overlapped.then(|| (gpu.stream("mgpu-compute"), gpu.stream("mgpu-copy")));
-    let stream_refs = streams.as_ref().map(|(c, p)| (c, p));
-    let mut raw = RawShingles::new(s);
-    let mut builder = device_agg.then(|| DeviceRunBuilder::with_policy(s, capacity, policy));
-    let mut recovery = RecoveryReport::default();
-    let mut unfinished = None;
-    for (i, &bid) in share.iter().enumerate() {
-        match run_batch(
-            gpu,
-            &batches[bid],
-            offsets,
-            flat,
-            s,
-            family,
-            kernel,
-            stream_refs,
-            &policy,
-            &mut recovery,
-        ) {
-            Ok(records) => {
-                for (trial, node, pairs, fragment) in records {
-                    match (&mut builder, fragment) {
-                        (Some(b), false) => b.record(gpu, stream_refs, trial, node, &pairs)?,
-                        _ => raw.push(trial, node, &pairs),
-                    }
-                }
-                if let Some(b) = builder.as_mut() {
-                    // Cut the run at the batch boundary, after run_batch
-                    // freed its device buffers.
-                    b.batch_end(gpu, stream_refs)?;
-                }
-            }
-            Err(e) => {
-                unfinished = Some((share[i..].to_vec(), e));
-                break;
-            }
-        }
-    }
-    let (runs, agg_seconds, builder_rec) = match builder {
-        // On a lost device the final flushes degrade to the host (the
-        // staged columns are host-resident), so completed batches'
-        // records survive the loss whenever the policy allows it.
-        Some(b) => b.finish_with_recovery(gpu, stream_refs)?,
-        None => (Vec::new(), 0.0, RecoveryReport::default()),
-    };
-    recovery.merge(&builder_rec);
-    let makespan = streams.as_ref().map_or(0.0, |(c, p)| {
-        c.completed_seconds().max(p.completed_seconds())
-    });
-    Ok(DeviceOutcome {
-        raw,
-        runs,
-        agg_seconds,
-        makespan,
-        recovery,
-        unfinished,
-    })
-}
-
-/// One trial of Algorithm 1 on this batch's device-resident elements.
-/// Idempotent (every buffer recomputed from `elems_dev`), so
-/// [`retry_transient`] can re-run it; the D2H goes through the fallible
-/// copies, which is where injected kernel faults surface.
-#[allow(clippy::too_many_arguments)] // internal per-trial helper of run_batch
-fn batch_trial(
-    gpu: &Gpu,
-    streams: Option<(&Stream, &Stream)>,
-    kernel: ShingleKernel,
-    plan: &BatchPlan,
-    elems_dev: &DeviceBuffer<u32>,
-    packed_dev: &mut Option<DeviceBuffer<u64>>,
-    a: u64,
-    b: u64,
-    prev_out: &mut Option<DeviceBuffer<u64>>,
-) -> Result<Vec<u64>, DeviceError> {
-    // The previous trial's async download has drained by now (stream
-    // semantics): free it before the next allocation.
-    *prev_out = None;
-    let mut out_dev = gpu.alloc::<u64>(plan.out_total)?;
-    let xform = move |v: u32| pack(hash_with(a, b, v), v);
-    match (kernel, packed_dev) {
-        (ShingleKernel::SortCompact, Some(packed_dev)) => {
-            match streams {
-                Some((compute, _)) => {
-                    thrust::transform_on(compute, elems_dev, packed_dev, xform);
-                    thrust::segmented_sort_on(compute, packed_dev, &plan.local_offsets);
-                }
-                None => {
-                    thrust::transform(gpu, elems_dev, packed_dev, xform);
-                    thrust::segmented_sort(gpu, packed_dev, &plan.local_offsets);
-                }
-            }
-            let tasks =
-                compaction_tasks(plan, packed_dev.device_slice(), out_dev.device_slice_mut());
-            match streams {
-                Some((compute, _)) => compute.launch(plan.out_total, &KernelCost::gather(), tasks),
-                None => gpu.launch(plan.out_total, &KernelCost::gather(), tasks),
-            }
-        }
-        (ShingleKernel::FusedSelect, _) => match streams {
-            Some((compute, _)) => thrust::transform_select_on(
-                compute,
-                elems_dev,
-                &plan.local_offsets,
-                &plan.out_offsets,
-                &mut out_dev,
-                xform,
-            ),
-            None => thrust::transform_select(
-                gpu,
-                elems_dev,
-                &plan.local_offsets,
-                &plan.out_offsets,
-                &mut out_dev,
-                xform,
-            ),
-        },
-        (ShingleKernel::SortCompact, None) => unreachable!("workspace allocated above"),
-    }
-    match streams {
-        Some((compute, copy)) => {
-            copy.wait_event(&compute.record_event());
-            let data = copy.try_dtoh_async(&out_dev)?;
-            *prev_out = Some(out_dev);
-            Ok(data)
-        }
-        None => gpu.try_dtoh(&out_dev),
-    }
-}
-
-/// Algorithm 1 on a single batch under the fault policy, returning the
-/// batch's records `(trial, node, pairs, is_fragment)` buffered for an
-/// atomic commit. Fragments (first/last segments continuing into a
-/// neighboring batch, possibly on another device) need host-side
-/// reconciliation; complete records carry exactly `s` pairs and may
-/// aggregate anywhere. With `streams = Some((compute, copy))` the batch
-/// upload and each trial's result download are charged asynchronously to
-/// the copy stream while the kernels run on the compute stream; data
-/// movement itself is eager either way, so the records are bit-identical
-/// across schedules — and across the retry/degrade paths, which replay
-/// the same computation ([`host_trial_out`] emits the very bytes the
-/// device would have).
-#[allow(clippy::too_many_arguments)]
-fn run_batch(
-    gpu: &Gpu,
-    batch: &Batch,
-    offsets: &[u64],
-    flat: &[u32],
-    s: usize,
-    family: &HashFamily,
-    kernel: ShingleKernel,
-    streams: Option<(&Stream, &Stream)>,
-    policy: &FaultPolicy,
-    recovery: &mut RecoveryReport,
-) -> Result<BatchRecords, DeviceError> {
-    let plan = plan_batch(batch, offsets, s);
-    if plan.nodes.is_empty() {
-        return Ok(Vec::new());
-    }
-    let n_segs = plan.nodes.len();
-    let batch_elems = &flat[batch.elem_lo as usize..batch.elem_hi as usize];
-    // Once true, every remaining trial runs on the host path.
-    let mut degraded = false;
-
-    let upload = match streams {
-        Some((compute, copy)) => retry_transient(policy, recovery, || {
-            let buf = copy.htod_async(batch_elems)?;
-            compute.wait_event(&copy.record_event());
-            Ok(buf)
-        }),
-        None => retry_transient(policy, recovery, || gpu.htod(batch_elems)),
-    };
-    let elems_dev = match upload {
-        Ok(buf) => Some(buf),
-        Err(e) if e.is_transient() && policy.degrade_to_host => {
-            degraded = true;
-            recovery.degraded_batches += 1;
-            None
-        }
-        Err(e) => return Err(e),
-    };
-    // Only the sort path materializes the packed workspace; the fused
-    // kernel hashes on the fly.
-    let mut packed_dev: Option<DeviceBuffer<u64>> = match (kernel, &elems_dev) {
-        (ShingleKernel::SortCompact, Some(elems)) => {
-            let n = elems.len();
-            match retry_transient(policy, recovery, || gpu.alloc::<u64>(n)) {
-                Ok(buf) => Some(buf),
-                Err(e) if e.is_transient() && policy.degrade_to_host => {
-                    degraded = true;
-                    recovery.degraded_batches += 1;
-                    None
-                }
-                Err(e) => return Err(e),
-            }
-        }
-        _ => None,
-    };
-    // The buffer whose async download is still "in flight" — kept alive
-    // for one trial (stream semantics), freed before the next allocation.
-    let mut prev_out: Option<DeviceBuffer<u64>> = None;
-    let mut records: BatchRecords = Vec::new();
-    for trial in 0..family.len() {
-        let (a, b) = family.coeffs(trial);
-        let host_out = match elems_dev.as_ref().filter(|_| !degraded) {
-            Some(elems) => {
-                let attempt = retry_transient(policy, recovery, || {
-                    batch_trial(
-                        gpu,
-                        streams,
-                        kernel,
-                        &plan,
-                        elems,
-                        &mut packed_dev,
-                        a,
-                        b,
-                        &mut prev_out,
-                    )
-                });
-                match attempt {
-                    Ok(out) => out,
-                    Err(e) if e.is_transient() && policy.degrade_to_host => {
-                        degraded = true;
-                        recovery.degraded_batches += 1;
-                        let t0 = Instant::now();
-                        let out = host_trial_out(&plan, batch_elems, a, b);
-                        recovery.recovery_seconds += t0.elapsed().as_secs_f64();
-                        out
-                    }
-                    Err(e) => return Err(e),
-                }
-            }
-            None => {
-                let t0 = Instant::now();
-                let out = host_trial_out(&plan, batch_elems, a, b);
-                recovery.recovery_seconds += t0.elapsed().as_secs_f64();
-                out
-            }
-        };
-        for i in 0..n_segs {
-            let lo = plan.out_offsets[i];
-            let hi = plan.out_offsets[i + 1];
-            if hi > lo {
-                let fragment = (i == 0 && plan.first_frag) || (i == n_segs - 1 && plan.last_frag);
-                records.push((
-                    trial as u32,
-                    plan.nodes[i],
-                    host_out[lo..hi].to_vec(),
-                    fragment,
-                ));
-            }
-        }
-    }
-    drop(prev_out);
-    Ok(records)
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::params::ShingleKernel;
     use crate::pipeline::GpClust;
     use gpclust_gpu::DeviceConfig;
     use gpclust_graph::generate::{planted_partition, PlantedConfig};
@@ -919,8 +602,7 @@ mod tests {
         let rec = &report.times.recovery;
         assert_eq!(rec.lost_devices, 1);
         assert!(rec.redistributed_batches > 0, "{rec}");
-        let total_batches =
-            (report.batch_stats[0].n_batches + report.batch_stats[1].n_batches) as u64;
+        let total_batches = report.batch_stats[0].n_batches + report.batch_stats[1].n_batches;
         assert!(
             rec.redistributed_batches <= total_batches,
             "redistributed {} > planned {}",

@@ -112,9 +112,9 @@ pub struct FaultPolicy {
 impl Default for FaultPolicy {
     fn default() -> Self {
         FaultPolicy {
-            max_retries: MAX_RETRIES,
-            oom_backoff: true,
-            degrade_to_host: true,
+            max_retries: default_max_retries(),
+            oom_backoff: default_true(),
+            degrade_to_host: default_true(),
         }
     }
 }
@@ -182,7 +182,7 @@ impl ShinglingParams {
             mode: PipelineMode::Synchronous,
             kernel: ShingleKernel::SortCompact,
             aggregation: AggregationMode::Host,
-            par_sort_min: PAR_SORT_MIN,
+            par_sort_min: default_par_sort_min(),
             fault: FaultPolicy::default(),
         }
     }
@@ -198,7 +198,7 @@ impl ShinglingParams {
             mode: PipelineMode::Synchronous,
             kernel: ShingleKernel::SortCompact,
             aggregation: AggregationMode::Host,
-            par_sort_min: PAR_SORT_MIN,
+            par_sort_min: default_par_sort_min(),
             fault: FaultPolicy::default(),
         }
     }

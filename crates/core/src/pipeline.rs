@@ -5,7 +5,9 @@
 //! work." Concretely:
 //!
 //! 1. CPU loads the input graph (disk I/O, optional here);
-//! 2. first-level shingling on the GPU, batch by batch ([`crate::gpu_pass`]);
+//! 2. first-level shingling on the GPU, batch by batch — the pipeline
+//!    lowers its parameters into a [`Plan`] and hands per-pass
+//!    [`crate::plan::PassPlan`]s to the [`Executor`];
 //! 3. CPU aggregates the returned shingles into the shingle graph;
 //! 4. second-level shingling on the GPU over that graph;
 //! 5. CPU aggregates again and reports dense subgraphs (Phase III).
@@ -15,13 +17,14 @@
 //! (with the wall time spent *executing kernels on the pool* subtracted
 //! from the CPU column — that time stands in for the device, not the host).
 
-use crate::aggregate::{merge_sorted_runs, StreamAggregator};
-use crate::batch::{batch_capacity, BatchStats};
-use crate::gpu_pass::{gpu_shingle_pass_resilient_device_agg, gpu_shingle_pass_resilient_foreach};
+use crate::batch::BatchStats;
+use crate::exec::{Executor, PassInput, Sink};
 use crate::minwise::unpack_element;
 use crate::params::{AggregationMode, PipelineMode, ShinglingParams};
+use crate::plan::Plan;
 use crate::report;
 use crate::resilience::with_oom_backoff;
+use crate::shingle::AdjacencyInput;
 use crate::timing::{RecoveryReport, StageTimes};
 use gpclust_gpu::{CountersSnapshot, DeviceError, Gpu};
 use gpclust_graph::{io as graph_io, Csr, Partition, UnionFind};
@@ -94,109 +97,74 @@ impl GpClust {
         let wall_start = Instant::now();
         let mut pipelined = 0.0f64;
         let mut device_aggregation = 0.0f64;
-        let policy = self.params.fault;
         let mut recovery = RecoveryReport::default();
-        let kernel = self.params.kernel;
-        let mode = self.params.mode;
+        let plan = Plan::lower(&self.params, std::slice::from_ref(&self.gpu))?;
+        let policy = plan.policy;
+        let exec = Executor::new(&self.gpu);
 
-        // Pass I on the device. `Host` aggregation streams the records
-        // into the CPU-side global sort; `Device` aggregation packs and
-        // radix-sorts them on the card and k-way-merges the sorted runs —
-        // bit-identical shingle graphs, but the dominant comparison sort
-        // leaves the CPU column. Either way the pass runs under the fault
-        // policy: an `OutOfMemory` halves the planned batch capacity and
-        // re-plans the whole pass (each attempt rebuilds its aggregation
-        // state, so a re-plan never replays half-emitted records).
+        // Pass I on the device, aggregated per the plan's sink axis:
+        // `Host` streams the records into the CPU-side global sort,
+        // `Device` packs and radix-sorts them on the card and k-way-merges
+        // the sorted runs — bit-identical shingle graphs, but the dominant
+        // comparison sort leaves the CPU column. Either way the pass runs
+        // under the fault policy: an `OutOfMemory` halves the planned batch
+        // capacity and re-plans the whole pass (each executor run rebuilds
+        // its sink state, so a re-plan never replays half-emitted records).
         let s1 = self.params.s1;
         let family1 = self.params.family_pass1();
-        let (first, stats1) = match self.params.aggregation {
-            AggregationMode::Host => {
-                let cap = batch_capacity(self.gpu.mem_available(), kernel, AggregationMode::Host);
-                let mut pass_rec = RecoveryReport::default();
-                let mut backoff_rec = RecoveryReport::default();
-                let (first, stats1, makespan) =
-                    with_oom_backoff(&policy, &mut backoff_rec, cap, |cap| {
-                        let mut agg =
-                            StreamAggregator::with_par_sort_min(s1, self.params.par_sort_min);
-                        let (stats, makespan) = gpu_shingle_pass_resilient_foreach(
-                            &self.gpu,
-                            g,
-                            s1,
-                            &family1,
-                            kernel,
-                            mode,
-                            cap,
-                            &policy,
-                            &mut pass_rec,
-                            |t, n, p| agg.push(t, n, p),
-                        )?;
-                        Ok((agg.finish(), stats, makespan))
+        let mut pass_rec = RecoveryReport::default();
+        let mut backoff_rec = RecoveryReport::default();
+        let (first, stats1) = {
+            let (first, stats1, makespan, agg_s) =
+                with_oom_backoff(&policy, &mut backoff_rec, plan.capacity, |cap| {
+                    let pass = plan.pass(s1, plan.aggregation, cap, g.offsets());
+                    let r = exec.run(&pass, PassInput::of(g), &family1, &mut pass_rec, {
+                        Sink::Aggregate
                     })?;
-                recovery.merge(&pass_rec);
-                recovery.merge(&backoff_rec);
-                pipelined += makespan;
-                (first, stats1)
-            }
-            AggregationMode::Device => {
-                let cap = batch_capacity(self.gpu.mem_available(), kernel, AggregationMode::Device);
-                let mut pass_rec = RecoveryReport::default();
-                let mut backoff_rec = RecoveryReport::default();
-                let (runs, stats1, agg_s, makespan) =
-                    with_oom_backoff(&policy, &mut backoff_rec, cap, |cap| {
-                        gpu_shingle_pass_resilient_device_agg(
-                            &self.gpu,
-                            g,
-                            s1,
-                            &family1,
-                            kernel,
-                            mode,
-                            cap,
-                            &policy,
-                            &mut pass_rec,
-                        )
-                    })?;
-                recovery.merge(&pass_rec);
-                recovery.merge(&backoff_rec);
-                pipelined += makespan;
-                device_aggregation += agg_s;
-                (merge_sorted_runs(s1, runs), stats1)
-            }
+                    let graph = r.graph.expect("aggregate sink yields a graph");
+                    Ok((graph, r.stats, r.makespan, r.agg_kernel_seconds))
+                })?;
+            recovery.merge(&pass_rec);
+            recovery.merge(&backoff_rec);
+            pipelined += makespan;
+            device_aggregation += agg_s;
+            (first, stats1)
         };
 
         // Pass II on the device, streamed straight into Phase III's
         // union–find — G″ is never materialized (see report module docs).
         // A backed-off re-plan replays the whole record stream, so each
-        // attempt starts from a fresh union–find.
+        // attempt starts from a fresh union–find. Pass II always
+        // aggregates on the host (the records feed the union–find, not a
+        // sort), so its batch budget is the host-mode capacity.
         let mut uf = UnionFind::new(g.n());
         let mut second_level_records = 0u64;
         let s2 = self.params.s2;
         let family2 = self.params.family_pass2();
-        let cap2 = batch_capacity(self.gpu.mem_available(), kernel, AggregationMode::Host);
+        let cap2 = plan.capacity_for(AggregationMode::Host);
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
         let (stats2, makespan2) = with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
             uf = UnionFind::new(g.n());
             second_level_records = 0;
-            gpu_shingle_pass_resilient_foreach(
-                &self.gpu,
-                &first,
-                s2,
+            let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
+            let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
+                second_level_records += 1;
+                report::union_second_level_record(
+                    &mut uf,
+                    &first,
+                    node,
+                    pairs.iter().map(|&p| unpack_element(p)),
+                );
+            };
+            let r = exec.run(
+                &pass,
+                PassInput::of(&first),
                 &family2,
-                kernel,
-                mode,
-                cap,
-                &policy,
                 &mut pass_rec,
-                |_, node, pairs| {
-                    second_level_records += 1;
-                    report::union_second_level_record(
-                        &mut uf,
-                        &first,
-                        node,
-                        pairs.iter().map(|&p| unpack_element(p)),
-                    );
-                },
-            )
+                Sink::Stream(&mut union_record),
+            )?;
+            Ok((r.stats, r.makespan))
         })?;
         recovery.merge(&pass_rec);
         recovery.merge(&backoff_rec);

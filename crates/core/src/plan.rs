@@ -1,0 +1,306 @@
+//! The execution-plan IR: lowering [`ShinglingParams`] and device
+//! statistics into an explicit, inspectable description of how a
+//! shingling pass will run.
+//!
+//! Four orthogonal schedule axes have accumulated — [`PipelineMode`]
+//! (serialized vs. double-buffered streams), [`ShingleKernel`]
+//! (sort-compact vs. fused-select top-s extraction), [`AggregationMode`]
+//! (host vs. device record sort) and the [`FaultPolicy`], times 1–N
+//! devices. Instead of one entry point per combination, the pipeline
+//! lowers its configuration once into a [`Plan`] (the run-level axes plus
+//! the capacity model's verdict), derives one [`PassPlan`] per shingling
+//! pass (the batch list and per-pass sink parameters), and hands it to
+//! [`crate::exec::Executor::run`] — the single interpreter for the whole
+//! cross-product. Multi-device drivers partition a `PassPlan` into
+//! per-device sub-plans ([`PassPlan::subplan`]) and reuse the same
+//! executor.
+//!
+//! ```text
+//! params (ShinglingParams)           axes + algorithm parameters
+//!    │ lower()                       capacity model (crate::batch)
+//!    ▼
+//! plan (Plan → PassPlan)             batches, kernel, sink, schedule, policy
+//!    │ Executor::run()
+//!    ▼
+//! exec (crate::exec)                 KernelStrategy × SinkStrategy × StreamSchedule
+//!    │ launches / transfers
+//!    ▼
+//! device (gpclust-gpu)               simulated streams, counters, fault injection
+//! ```
+
+#![deny(dead_code)]
+
+use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
+use crate::params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_gpu::{DeviceError, Gpu};
+
+/// The run-level execution plan: every schedule axis resolved, plus the
+/// per-batch element budget the capacity model derived from the smallest
+/// surviving device. Lowered once per run (or per pass for multi-device
+/// drivers, which must re-assess survivors) via [`Plan::lower`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Plan {
+    /// Top-s extraction kernel the device passes launch.
+    pub kernel: ShingleKernel,
+    /// Transfer/kernel schedule (serialized or double-buffered streams).
+    pub mode: PipelineMode,
+    /// Where the record sort runs (host inversion or device runs).
+    pub aggregation: AggregationMode,
+    /// Recovery policy wrapped around every device operation.
+    pub policy: FaultPolicy,
+    /// Host-sort parallelism threshold threaded to the aggregation sinks.
+    pub par_sort_min: usize,
+    /// Devices the plan was lowered over (all of them, including lost
+    /// ones — shares are dealt over survivors at execution time).
+    pub n_devices: usize,
+    /// Free bytes of the smallest surviving device at lowering time.
+    pub min_device_mem: usize,
+    /// Per-batch element budget at the configured kernel/aggregation
+    /// ([`batch_capacity`] of `min_device_mem`).
+    pub capacity: usize,
+}
+
+impl Plan {
+    /// Lower `params` against the fleet: capacity is the
+    /// [`batch_capacity`] of the smallest *surviving* device under the
+    /// configured kernel and aggregation mode, so every batch fits on any
+    /// device it may be (re)scheduled to. Typed
+    /// [`DeviceError::DeviceLost`] once no device remains.
+    pub fn lower(params: &ShinglingParams, gpus: &[Gpu]) -> Result<Plan, DeviceError> {
+        let min_device_mem = gpus
+            .iter()
+            .filter(|g| !g.is_lost())
+            .map(|g| g.mem_available())
+            .min()
+            .ok_or_else(|| DeviceError::DeviceLost {
+                device: gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
+            })?;
+        Ok(Plan {
+            kernel: params.kernel,
+            mode: params.mode,
+            aggregation: params.aggregation,
+            policy: params.fault,
+            par_sort_min: params.par_sort_min,
+            n_devices: gpus.len(),
+            min_device_mem,
+            capacity: batch_capacity(min_device_mem, params.kernel, params.aggregation),
+        })
+    }
+
+    /// The per-batch element budget this plan's devices afford under
+    /// `aggregation` (pass II always aggregates on the host in the
+    /// single-device pipeline, so its budget differs from `capacity`
+    /// whenever device aggregation is configured).
+    pub fn capacity_for(&self, aggregation: AggregationMode) -> usize {
+        batch_capacity(self.min_device_mem, self.kernel, aggregation)
+    }
+
+    /// One-line human summary of the resolved axes — what the CLI and the
+    /// bench tables print instead of ad-hoc per-row batch-plan lines.
+    pub fn describe(&self) -> String {
+        let kernel = match self.kernel {
+            ShingleKernel::SortCompact => "sort-compact",
+            ShingleKernel::FusedSelect => "fused-select",
+        };
+        let schedule = match self.mode {
+            PipelineMode::Synchronous => "serialized",
+            PipelineMode::Overlapped => "overlapped",
+        };
+        let sink = match self.aggregation {
+            AggregationMode::Host => "host-sort",
+            AggregationMode::Device => "device-runs",
+        };
+        format!(
+            "kernel {kernel} | schedule {schedule} | sink {sink} | {} device(s) | \
+             {} elems/batch (retries {}, oom-backoff {}, degrade {})",
+            self.n_devices,
+            self.capacity,
+            self.policy.max_retries,
+            if self.policy.oom_backoff { "on" } else { "off" },
+            if self.policy.degrade_to_host {
+                "on"
+            } else {
+                "off"
+            },
+        )
+    }
+
+    /// Lower one shingling pass: plan the batches of `offsets` at
+    /// `capacity` elements (the [`crate::resilience::with_oom_backoff`]
+    /// loop passes progressively smaller capacities on re-plan) and bind
+    /// the per-pass sink parameters. Single-device semantics
+    /// ([`FragmentMode::Merge`]); call [`PassPlan::subplan`] to carve
+    /// per-device shares with deferred fragment handling.
+    pub fn pass(
+        &self,
+        s: usize,
+        aggregation: AggregationMode,
+        capacity: usize,
+        offsets: &[u64],
+    ) -> PassPlan {
+        let batches = plan_batches(offsets, capacity);
+        let stats = BatchStats::from_plan(&batches, capacity, self.kernel, aggregation);
+        PassPlan {
+            s,
+            kernel: self.kernel,
+            mode: self.mode,
+            aggregation,
+            policy: self.policy,
+            par_sort_min: self.par_sort_min,
+            capacity,
+            fragments: FragmentMode::Merge,
+            batches,
+            stats,
+            share: None,
+        }
+    }
+}
+
+/// How the executor treats adjacency lists split across batch boundaries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FragmentMode {
+    /// Single-device semantics: batches run in order, so boundary
+    /// fragments merge on the host as each batch's trials arrive (the
+    /// carry buffers) and every emitted record is final. Allows the
+    /// double-buffered prefetch of batch *k+1* while batch *k* computes.
+    Merge,
+    /// Multi-device semantics: this executor sees only a share of the
+    /// batches, so boundary segments are emitted as fragment-flagged raw
+    /// records for the driver to reconcile. Batches commit atomically
+    /// (all-or-nothing) so an interrupted share can re-run on a survivor
+    /// without duplicating records; errors mid-share report the
+    /// unfinished batch ids instead of failing the pass.
+    Defer,
+}
+
+/// The lowered plan of one shingling pass: everything
+/// [`crate::exec::Executor::run`] needs to interpret it.
+#[derive(Debug, Clone)]
+pub struct PassPlan {
+    /// Shingle size (pairs per record).
+    pub s: usize,
+    /// Top-s extraction kernel.
+    pub kernel: ShingleKernel,
+    /// Stream schedule.
+    pub mode: PipelineMode,
+    /// Where this pass's records get sorted.
+    pub aggregation: AggregationMode,
+    /// Recovery policy for every device op of the pass.
+    pub policy: FaultPolicy,
+    /// Host-sort parallelism threshold for aggregation sinks.
+    pub par_sort_min: usize,
+    /// Per-batch element budget the batches were planned at.
+    pub capacity: usize,
+    /// Boundary-fragment handling (single- vs. multi-device semantics).
+    pub fragments: FragmentMode,
+    /// The batch list covering the whole input.
+    pub batches: Vec<Batch>,
+    /// Plan statistics ([`BatchStats::from_plan`] of `batches`).
+    pub stats: BatchStats,
+    /// Batch indices this executor runs (`None` = all, in order).
+    pub share: Option<Vec<usize>>,
+}
+
+impl PassPlan {
+    /// The sub-plan for one device of a multi-device round: the same
+    /// batch list, restricted to `share`, with deferred fragment
+    /// handling.
+    pub fn subplan(&self, share: Vec<usize>) -> PassPlan {
+        PassPlan {
+            fragments: FragmentMode::Defer,
+            share: Some(share),
+            batches: self.batches.clone(),
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_gpu::DeviceConfig;
+
+    #[test]
+    fn lower_resolves_axes_and_capacity() {
+        let params = ShinglingParams::light(1)
+            .with_mode(PipelineMode::Overlapped)
+            .with_kernel(ShingleKernel::FusedSelect)
+            .with_aggregation(AggregationMode::Device);
+        let gpus: Vec<Gpu> = (0..3)
+            .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+            .collect();
+        let plan = Plan::lower(&params, &gpus).unwrap();
+        assert_eq!(plan.n_devices, 3);
+        assert_eq!(plan.mode, PipelineMode::Overlapped);
+        assert_eq!(
+            plan.capacity,
+            batch_capacity(
+                plan.min_device_mem,
+                ShingleKernel::FusedSelect,
+                AggregationMode::Device
+            )
+        );
+        // Pass II runs host aggregation: a larger budget from the same
+        // memory (no 16 B/elem record-sort reserve).
+        assert!(plan.capacity_for(AggregationMode::Host) > plan.capacity);
+    }
+
+    #[test]
+    fn lower_uses_the_smallest_survivor() {
+        let params = ShinglingParams::light(2);
+        let gpus = vec![
+            Gpu::with_workers(DeviceConfig::tesla_k20(), 1),
+            Gpu::with_workers(DeviceConfig::tiny_test_device(), 1),
+        ];
+        let plan = Plan::lower(&params, &gpus).unwrap();
+        let tiny = Plan::lower(&params, &gpus[1..]).unwrap();
+        assert_eq!(plan.capacity, tiny.capacity, "smallest device bounds");
+    }
+
+    #[test]
+    fn lower_without_survivors_is_device_lost() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 1);
+        gpu.set_fault_plan(
+            FaultPlan::scheduled()
+                .with_fault(FaultSite::H2D, 1, FaultKind::DeviceLost)
+                .with_device(0),
+        );
+        assert!(gpu.htod(&[1u32]).is_err());
+        assert!(gpu.is_lost());
+        let err = Plan::lower(&ShinglingParams::light(0), std::slice::from_ref(&gpu)).unwrap_err();
+        assert!(matches!(err, DeviceError::DeviceLost { .. }), "{err}");
+    }
+
+    #[test]
+    fn describe_names_every_axis() {
+        let params = ShinglingParams::light(0)
+            .with_kernel(ShingleKernel::FusedSelect)
+            .with_aggregation(AggregationMode::Device);
+        let gpus = vec![Gpu::with_workers(DeviceConfig::tesla_k20(), 1)];
+        let line = Plan::lower(&params, &gpus).unwrap().describe();
+        assert!(line.contains("fused-select"), "{line}");
+        assert!(line.contains("serialized"), "{line}");
+        assert!(line.contains("device-runs"), "{line}");
+        assert!(line.contains("1 device(s)"), "{line}");
+        assert!(line.contains("elems/batch"), "{line}");
+        assert!(!line.contains('\n'), "one line: {line}");
+    }
+
+    #[test]
+    fn pass_plans_batches_and_subplans_share_them() {
+        let params = ShinglingParams::light(3);
+        let gpus = vec![Gpu::with_workers(DeviceConfig::tesla_k20(), 1)];
+        let plan = Plan::lower(&params, &gpus).unwrap();
+        let offsets = [0u64, 3, 3, 8, 10];
+        let pass = plan.pass(2, AggregationMode::Host, 4, &offsets);
+        assert_eq!(pass.batches.len(), 3);
+        assert_eq!(pass.stats.n_batches, 3);
+        assert_eq!(pass.fragments, FragmentMode::Merge);
+        assert!(pass.share.is_none());
+        let sub = pass.subplan(vec![0, 2]);
+        assert_eq!(sub.fragments, FragmentMode::Defer);
+        assert_eq!(sub.share.as_deref(), Some(&[0usize, 2][..]));
+        assert_eq!(sub.batches, pass.batches);
+    }
+}

@@ -9,13 +9,12 @@
 //! count, device count, and `par_sort_min` setting.
 
 use gpclust_core::aggregate::{aggregate_with, merge_sorted_runs};
-use gpclust_core::gpu_pass::{
-    gpu_shingle_pass_device_agg_with_capacity,
-    gpu_shingle_pass_overlapped_device_agg_with_capacity, gpu_shingle_pass_with_capacity,
-};
 use gpclust_core::minwise::HashFamily;
 use gpclust_core::multi_gpu::MultiGpuClust;
-use gpclust_core::{AggregationMode, GpClust, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_core::{
+    AggregationMode, Executor, GpClust, PassInput, PassReport, PipelineMode, Plan, RecoveryReport,
+    ShingleKernel, ShinglingParams, Sink,
+};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
@@ -31,6 +30,32 @@ fn planted(sizes: Vec<usize>, noise: usize, seed: u64) -> Csr {
         seed,
     })
     .graph
+}
+
+/// One gathered device pass at a forced batch capacity (runs sharing a
+/// capacity share a batch plan — the precondition for bit-identity
+/// comparisons across kernels and sinks).
+#[allow(clippy::too_many_arguments)]
+fn pass_at_capacity(
+    gpu: &Gpu,
+    g: &Csr,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    mode: PipelineMode,
+    aggregation: AggregationMode,
+    capacity: usize,
+) -> PassReport {
+    let params = ShinglingParams::light(0)
+        .with_kernel(kernel)
+        .with_mode(mode)
+        .with_aggregation(aggregation);
+    let plan = Plan::lower(&params, std::slice::from_ref(gpu)).unwrap();
+    let pass = plan.pass(s, aggregation, capacity, g.offsets());
+    let mut rec = RecoveryReport::default();
+    Executor::new(gpu)
+        .run(&pass, PassInput::of(g), family, &mut rec, Sink::Gather)
+        .unwrap()
 }
 
 proptest! {
@@ -108,24 +133,46 @@ proptest! {
             ShingleKernel::SortCompact
         };
         let host_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let raw =
-            gpu_shingle_pass_with_capacity(&host_gpu, &g, 2, &family, kernel, capacity).unwrap();
+        let raw = pass_at_capacity(
+            &host_gpu,
+            &g,
+            2,
+            &family,
+            kernel,
+            PipelineMode::Synchronous,
+            AggregationMode::Host,
+            capacity,
+        )
+        .raw;
         let host_graph = aggregate_with(&raw, 0);
 
         let dev_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let (runs, _, agg_s) =
-            gpu_shingle_pass_device_agg_with_capacity(&dev_gpu, &g, 2, &family, kernel, capacity)
-                .unwrap();
-        prop_assert!(agg_s > 0.0);
-        prop_assert_eq!(&merge_sorted_runs(2, runs), &host_graph);
+        let dev = pass_at_capacity(
+            &dev_gpu,
+            &g,
+            2,
+            &family,
+            kernel,
+            PipelineMode::Synchronous,
+            AggregationMode::Device,
+            capacity,
+        );
+        prop_assert!(dev.agg_kernel_seconds > 0.0);
+        prop_assert_eq!(&merge_sorted_runs(2, dev.runs), &host_graph);
 
         let ovl_gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-        let (runs, _, _, makespan) = gpu_shingle_pass_overlapped_device_agg_with_capacity(
-            &ovl_gpu, &g, 2, &family, kernel, capacity,
-        )
-        .unwrap();
-        prop_assert!(makespan > 0.0);
-        prop_assert_eq!(&merge_sorted_runs(2, runs), &host_graph);
+        let ovl = pass_at_capacity(
+            &ovl_gpu,
+            &g,
+            2,
+            &family,
+            kernel,
+            PipelineMode::Overlapped,
+            AggregationMode::Device,
+            capacity,
+        );
+        prop_assert!(ovl.makespan > 0.0);
+        prop_assert_eq!(&merge_sorted_runs(2, ovl.runs), &host_graph);
     }
 
     /// Multi-GPU device aggregation (per-device interior runs + the shared

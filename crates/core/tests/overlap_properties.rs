@@ -11,9 +11,12 @@
 //!    mirrored in the overlap sub-accounts, and the pipelined makespan
 //!    excludes the transfer time hidden behind compute.
 
-use gpclust_core::gpu_pass::{gpu_shingle_pass, gpu_shingle_pass_overlapped};
 use gpclust_core::minwise::HashFamily;
-use gpclust_core::{GpClust, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_core::shingle::RawShingles;
+use gpclust_core::{
+    Executor, GpClust, PassInput, PipelineMode, Plan, RecoveryReport, ShingleKernel,
+    ShinglingParams, Sink,
+};
 use gpclust_gpu::{DeviceConfig, Gpu};
 use gpclust_graph::generate::{planted_partition, PlantedConfig};
 use gpclust_graph::Csr;
@@ -29,6 +32,30 @@ fn planted(sizes: Vec<usize>, noise: usize, seed: u64) -> Csr {
         seed,
     })
     .graph
+}
+
+/// One device pass at the device's own capacity through the plan/executor
+/// layer, gathering the raw record stream. Returns `(records, makespan)`;
+/// the makespan is the serialized device time under `Synchronous` and the
+/// two-stream pipeline's critical path under `Overlapped`.
+fn gather_pass(
+    gpu: &Gpu,
+    g: &Csr,
+    s: usize,
+    family: &HashFamily,
+    kernel: ShingleKernel,
+    mode: PipelineMode,
+) -> (RawShingles, f64) {
+    let params = ShinglingParams::light(0)
+        .with_kernel(kernel)
+        .with_mode(mode);
+    let plan = Plan::lower(&params, std::slice::from_ref(gpu)).unwrap();
+    let pass = plan.pass(s, plan.aggregation, plan.capacity, g.offsets());
+    let mut rec = RecoveryReport::default();
+    let report = Executor::new(gpu)
+        .run(&pass, PassInput::of(g), family, &mut rec, Sink::Gather)
+        .unwrap();
+    (report.raw, report.makespan)
 }
 
 proptest! {
@@ -89,10 +116,11 @@ proptest! {
             ShingleKernel::SortCompact
         };
         let sync_gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
-        let sync = gpu_shingle_pass(&sync_gpu, &g, 2, &family, kernel).unwrap();
+        let (sync, _) =
+            gather_pass(&sync_gpu, &g, 2, &family, kernel, PipelineMode::Synchronous);
         let ovl_gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
         let (ovl, makespan) =
-            gpu_shingle_pass_overlapped(&ovl_gpu, &g, 2, &family, kernel).unwrap();
+            gather_pass(&ovl_gpu, &g, 2, &family, kernel, PipelineMode::Overlapped);
         prop_assert_eq!(sync, ovl);
         prop_assert!(makespan > 0.0);
     }
@@ -106,8 +134,14 @@ fn overlapped_d2h_accounted_but_off_critical_path() {
     let g = planted(vec![60, 45, 30], 20, 99);
     let family = HashFamily::new(16, 0x5EED);
     let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
-    let (_, makespan) =
-        gpu_shingle_pass_overlapped(&gpu, &g, 2, &family, ShingleKernel::SortCompact).unwrap();
+    let (_, makespan) = gather_pass(
+        &gpu,
+        &g,
+        2,
+        &family,
+        ShingleKernel::SortCompact,
+        PipelineMode::Overlapped,
+    );
     let snap = gpu.counters();
 
     // Every transfer of the pass was issued asynchronously: the overlap

@@ -17,7 +17,7 @@
 
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{
-    AggregationMode, FaultPolicy, GpClust, PipelineMode, SerialShingling, ShingleKernel,
+    AggregationMode, FaultPolicy, GpClust, PipelineMode, Plan, SerialShingling, ShingleKernel,
     ShinglingParams,
 };
 use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
@@ -154,9 +154,10 @@ fn cmd_build_graph(args: &Flags) -> Result<(), String> {
     Ok(())
 }
 
-fn parse_kernel(args: &Flags) -> Result<ShingleKernel, String> {
+fn parse_kernel(args: &Flags, default: ShingleKernel) -> Result<ShingleKernel, String> {
     match args.get("kernel").map(String::as_str) {
-        None | Some("sort") => Ok(ShingleKernel::SortCompact),
+        None => Ok(default),
+        Some("sort") => Ok(ShingleKernel::SortCompact),
         Some("select") => Ok(ShingleKernel::FusedSelect),
         Some(other) => Err(format!(
             "--kernel must be `sort` (segmented sort + compaction) or \
@@ -165,9 +166,10 @@ fn parse_kernel(args: &Flags) -> Result<ShingleKernel, String> {
     }
 }
 
-fn parse_aggregation(args: &Flags) -> Result<AggregationMode, String> {
+fn parse_aggregation(args: &Flags, default: AggregationMode) -> Result<AggregationMode, String> {
     match args.get("aggregate").map(String::as_str) {
-        None | Some("host") => Ok(AggregationMode::Host),
+        None => Ok(default),
+        Some("host") => Ok(AggregationMode::Host),
         Some("device") => Ok(AggregationMode::Device),
         Some(other) => Err(format!(
             "--aggregate must be `host` (global CPU sort) or `device` \
@@ -185,33 +187,38 @@ fn fault_plan(args: &Flags) -> Result<Option<FaultPlan>, String> {
     }
 }
 
-/// The resilience knobs shared by the CLI and the bench binaries.
-fn fault_policy(args: &Flags) -> FaultPolicy {
+/// The resilience knobs shared by the CLI and the bench binaries. Flags
+/// that were not passed keep `default` (the params constructors stay the
+/// single source of defaults).
+fn fault_policy(args: &Flags, default: FaultPolicy) -> FaultPolicy {
     FaultPolicy {
-        max_retries: get(args, "max-retries", gpclust::core::params::MAX_RETRIES),
-        oom_backoff: get(args, "oom-backoff", true),
-        degrade_to_host: !args.contains_key("no-degrade"),
+        max_retries: get(args, "max-retries", default.max_retries),
+        oom_backoff: get(args, "oom-backoff", default.oom_backoff),
+        degrade_to_host: default.degrade_to_host && !args.contains_key("no-degrade"),
     }
 }
 
 fn cmd_cluster(args: &Flags) -> Result<(), String> {
     let graph_path = need(args, "graph")?;
     let out = need(args, "out")?;
+    // All defaults come from the paper-default params; every flag is an
+    // override.
+    let base = ShinglingParams::paper_default(get(args, "seed", 7u64));
     let params = ShinglingParams {
-        s1: get(args, "s1", 2),
-        c1: get(args, "c1", 200),
-        s2: get(args, "s2", 2),
-        c2: get(args, "c2", 100),
-        seed: get(args, "seed", 7u64),
+        s1: get(args, "s1", base.s1),
+        c1: get(args, "c1", base.c1),
+        s2: get(args, "s2", base.s2),
+        c2: get(args, "c2", base.c2),
         mode: if args.contains_key("overlap") {
             PipelineMode::Overlapped
         } else {
-            PipelineMode::Synchronous
+            base.mode
         },
-        kernel: parse_kernel(args)?,
-        aggregation: parse_aggregation(args)?,
-        par_sort_min: get(args, "par-sort-min", gpclust::core::params::PAR_SORT_MIN),
-        fault: fault_policy(args),
+        kernel: parse_kernel(args, base.kernel)?,
+        aggregation: parse_aggregation(args, base.aggregation)?,
+        par_sort_min: get(args, "par-sort-min", base.par_sort_min),
+        fault: fault_policy(args, base.fault),
+        ..base
     };
     let plan = fault_plan(args)?;
     let min_size = get(args, "min-size", 1usize);
@@ -227,14 +234,13 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
             if let Some(plan) = &plan {
                 gpu.set_fault_plan(plan.clone().with_device(0));
             }
+            let exec_plan =
+                Plan::lower(&params, std::slice::from_ref(&gpu)).map_err(|e| e.to_string())?;
+            eprintln!("plan: {}", exec_plan.describe());
             let report = GpClust::new(params, gpu)?
                 .cluster(&g)
                 .map_err(|e| e.to_string())?;
             eprintln!("component times: {}", report.times);
-            eprintln!(
-                "batch plan: pass I {} | pass II {}",
-                report.batch_stats[0], report.batch_stats[1]
-            );
             if report.times.recovery.any() {
                 eprintln!("recovery: {}", report.times.recovery);
             }
@@ -249,13 +255,11 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                     gpu
                 })
                 .collect();
+            let exec_plan = Plan::lower(&params, &gpus).map_err(|e| e.to_string())?;
+            eprintln!("plan: {}", exec_plan.describe());
             let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
             let report = multi.cluster(&g).map_err(|e| e.to_string())?;
             eprintln!("component times ({} devices): {}", n_devices, report.times);
-            eprintln!(
-                "batch plan: pass I {} | pass II {}",
-                report.batch_stats[0], report.batch_stats[1]
-            );
             if report.times.recovery.any() {
                 eprintln!("recovery: {}", report.times.recovery);
             }

@@ -3,6 +3,10 @@
 //! bit-identical to a fault-free run — across kernels, schedules,
 //! aggregation modes, and 1–4 devices. Exhausted policies surface typed
 //! errors, never panics.
+//!
+//! Random-rate fault injection across the full schedule matrix lives in
+//! `tests/plan_properties.rs`; this suite keeps the scheduled-fault,
+//! device-loss, saturation, and policy-edge cases.
 
 use gpclust::core::multi_gpu::MultiGpuClust;
 use gpclust::core::{
@@ -93,31 +97,6 @@ fn faulty_partition(
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// Random transient faults at any rate (up to every single device
-    /// operation failing) never change the clusters under the default
-    /// policy: retries clear what they can, degradation covers the rest.
-    #[test]
-    fn random_faults_preserve_bit_identity(
-        g in arb_graph(50, 250),
-        (mode, kernel, aggregation) in arb_knobs(),
-        seed in 0u64..1000,
-        fault_seed in 0u64..1000,
-        rate_pct in 0u32..=100,
-        n_devices in 1usize..=4,
-    ) {
-        let params = ShinglingParams {
-            mode,
-            kernel,
-            aggregation,
-            seed,
-            ..ShinglingParams::light(seed)
-        };
-        let oracle = SerialShingling::new(params).unwrap().cluster(&g);
-        let plan = FaultPlan::random(fault_seed, f64::from(rate_pct) / 100.0);
-        let faulty = faulty_partition(&g, params, n_devices, &plan).unwrap();
-        prop_assert_eq!(faulty, oracle);
-    }
 
     /// Explicit fault schedules (transient kinds at arbitrary operation
     /// indices) are likewise invisible in the final clusters.

@@ -1,0 +1,102 @@
+//! The executor's master oracle suite: one matrix property asserting that
+//! every point of the schedule cross-product the [`gpclust::core::Plan`]
+//! can lower — {kernel} × {pipeline mode} × {aggregation} × {1–4 devices}
+//! × {fault rate 0 / 0.05} — clusters bit-identically to the serial CPU
+//! oracle. The serial result is computed once per graph/seed; every
+//! combination must reproduce it exactly, which simultaneously pins all
+//! combinations to each other.
+//!
+//! This consolidates the end-to-end equivalence proptests that previously
+//! lived per-axis in `tests/select_properties.rs` (kernel axis) and
+//! `tests/fault_properties.rs` (random-rate fault axis); those suites
+//! keep their record-level, cost-model, and policy-edge cases.
+
+use gpclust::core::multi_gpu::MultiGpuClust;
+use gpclust::core::{
+    AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
+};
+use gpclust::gpu::{DeviceConfig, DeviceError, FaultPlan, Gpu};
+use gpclust::graph::{Csr, EdgeList, Partition};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph of up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |pairs| {
+            let mut el: EdgeList = pairs.into_iter().collect();
+            Csr::from_edges(n, &mut el)
+        })
+    })
+}
+
+/// Cluster `g` on `n_devices` simulated GPUs, each with `plan` installed.
+/// Multi-device runs use the tiny device so passes split into several
+/// batches and the round-robin shares actually cross devices.
+fn device_partition(
+    g: &Csr,
+    params: ShinglingParams,
+    n_devices: usize,
+    plan: &FaultPlan,
+) -> Result<Partition, DeviceError> {
+    if n_devices == 1 {
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        gpu.set_fault_plan(plan.clone().with_device(0));
+        Ok(GpClust::new(params, gpu).unwrap().cluster(g)?.partition)
+    } else {
+        let gpus = (0..n_devices)
+            .map(|d| {
+                let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 1);
+                gpu.set_fault_plan(plan.clone().with_device(d as u32));
+                gpu
+            })
+            .collect();
+        Ok(MultiGpuClust::new(params, gpus)
+            .unwrap()
+            .cluster(g)?
+            .partition)
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Serial oracle ≡ Executor over the full plan matrix. Each proptest
+    /// case draws one graph and one parameter seed, then sweeps every
+    /// combination of the four schedule axes and both fault rates.
+    #[test]
+    fn executor_matches_serial_oracle_across_the_plan_matrix(
+        g in arb_graph(40, 160),
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+    ) {
+        let base = ShinglingParams::light(seed);
+        let oracle = SerialShingling::new(base).unwrap().cluster(&g);
+        for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+            for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+                for aggregation in [AggregationMode::Host, AggregationMode::Device] {
+                    for n_devices in 1usize..=4 {
+                        for rate in [0.0, 0.05] {
+                            let params = base
+                                .with_kernel(kernel)
+                                .with_mode(mode)
+                                .with_aggregation(aggregation);
+                            let plan = FaultPlan::random(fault_seed, rate);
+                            let got = device_partition(&g, params, n_devices, &plan)
+                                .unwrap();
+                            prop_assert_eq!(
+                                &got,
+                                &oracle,
+                                "{:?} {:?} {:?} {} device(s) rate {}",
+                                kernel,
+                                mode,
+                                aggregation,
+                                n_devices,
+                                rate
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

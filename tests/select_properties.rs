@@ -8,13 +8,17 @@
 //! capacities, worker counts, and both pipeline schedules. Everything
 //! downstream (aggregation, MCL, Table I) may then treat the kernels as
 //! interchangeable and pick the cheap one.
+//!
+//! End-to-end partition equivalence across the full schedule matrix
+//! (kernels × modes × aggregation × device counts × fault rates) lives in
+//! `tests/plan_properties.rs`; this suite keeps the record-level and
+//! device-cost cases unique to the kernel comparison.
 
-use gpclust::core::gpu_pass::{
-    gpu_shingle_pass_foreach_with_capacity, gpu_shingle_pass_overlapped_foreach_with_capacity,
-};
 use gpclust::core::minwise::HashFamily;
 use gpclust::core::shingle::RawShingles;
-use gpclust::core::{GpClust, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust::core::{
+    Executor, PassInput, PipelineMode, Plan, RecoveryReport, ShingleKernel, ShinglingParams, Sink,
+};
 use gpclust::gpu::{DeviceConfig, Gpu};
 use gpclust::graph::generate::{planted_partition, PlantedConfig};
 use gpclust::graph::Csr;
@@ -34,7 +38,8 @@ fn planted(sizes: Vec<usize>, noise: usize, seed: u64) -> Csr {
 
 /// Materialize one device pass's records under an explicit batch capacity
 /// (two runs sharing a capacity share a batch plan — the precondition for
-/// record-level comparison across kernels).
+/// record-level comparison across kernels), streamed through the
+/// executor's callback sink exactly as pipeline pass II consumes it.
 fn records_at_capacity(
     gpu: &Gpu,
     g: &Csr,
@@ -44,85 +49,34 @@ fn records_at_capacity(
     capacity: usize,
     overlapped: bool,
 ) -> RawShingles {
+    let mode = if overlapped {
+        PipelineMode::Overlapped
+    } else {
+        PipelineMode::Synchronous
+    };
+    let params = ShinglingParams::light(0)
+        .with_kernel(kernel)
+        .with_mode(mode);
+    let plan = Plan::lower(&params, std::slice::from_ref(gpu)).unwrap();
+    let pass = plan.pass(s, plan.aggregation, capacity, g.offsets());
     let mut raw = RawShingles::new(s);
-    if overlapped {
-        gpu_shingle_pass_overlapped_foreach_with_capacity(
-            gpu,
-            g,
-            s,
+    let mut push = |t: u32, n: u32, p: &[u64]| raw.push(t, n, p);
+    let mut rec = RecoveryReport::default();
+    Executor::new(gpu)
+        .run(
+            &pass,
+            PassInput::of(g),
             family,
-            kernel,
-            capacity,
-            |trial, node, pairs| raw.push(trial, node, pairs),
+            &mut rec,
+            Sink::Stream(&mut push),
         )
         .unwrap();
-    } else {
-        gpu_shingle_pass_foreach_with_capacity(gpu, g, s, family, kernel, capacity, |t, n, p| {
-            raw.push(t, n, p)
-        })
-        .unwrap();
-    }
     raw.mark_grouped();
     raw
 }
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
-
-    /// End-to-end equivalence: the fused kernel yields the same partition
-    /// as the sort oracle on arbitrary planted graphs, devices (single-
-    /// batch K20 vs the tiny device that forces splitting), worker counts,
-    /// and pipeline modes — while never planning *more* batches and
-    /// reporting its halved per-element footprint.
-    #[test]
-    fn fused_select_partition_matches_sort_compact(
-        sizes in proptest::collection::vec(5usize..40, 1..5),
-        noise in 0usize..20,
-        graph_seed in 0u64..1000,
-        param_seed in 0u64..1000,
-        tiny in proptest::bool::ANY,
-        overlapped in proptest::bool::ANY,
-        workers in 1usize..4,
-    ) {
-        let g = planted(sizes, noise, graph_seed);
-        let config = if tiny {
-            DeviceConfig::tiny_test_device()
-        } else {
-            DeviceConfig::tesla_k20()
-        };
-        let mode = if overlapped {
-            PipelineMode::Overlapped
-        } else {
-            PipelineMode::Synchronous
-        };
-        let params = ShinglingParams::light(param_seed).with_mode(mode);
-        let sort = GpClust::new(
-            params.with_kernel(ShingleKernel::SortCompact),
-            Gpu::with_workers(config.clone(), workers),
-        )
-        .unwrap()
-        .cluster(&g)
-        .unwrap();
-        let select = GpClust::new(
-            params.with_kernel(ShingleKernel::FusedSelect),
-            Gpu::with_workers(config, workers),
-        )
-        .unwrap()
-        .cluster(&g)
-        .unwrap();
-        prop_assert_eq!(sort.partition, select.partition);
-        prop_assert_eq!(select.times.elem_footprint_bytes, 8);
-        prop_assert_eq!(sort.times.elem_footprint_bytes, 16);
-        // Double the capacity can only merge splits, never add them.
-        prop_assert!(select.times.n_batches <= sort.times.n_batches);
-        for pass in 0..2 {
-            prop_assert_eq!(select.batch_stats[pass].elem_footprint_bytes, 8);
-            prop_assert!(
-                select.batch_stats[pass].capacity_elems
-                    >= 2 * sort.batch_stats[pass].capacity_elems - 1
-            );
-        }
-    }
 
     /// Record-level bit-identity under a *shared forced capacity*: with the
     /// batch plan pinned, the fused kernel emits exactly the sort path's
