@@ -267,9 +267,8 @@ fn write_modeled_report() {
             },
         ),
     };
-    let path = gpclust_bench::report_dir().join("BENCH_aggregate.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&path, json).expect("write report");
+    let path = gpclust_bench::write_report("BENCH_aggregate.json", &json);
     for s in [&report.scale_20k, &report.scale_2m_like] {
         eprintln!(
             "[{}] modeled K20 end-to-end: host {:.4}s -> device {:.4}s pipelined \

@@ -59,7 +59,7 @@ fn bench_segmented_sort(c: &mut Criterion) {
     let mut offsets = vec![0u64];
     let mut rng = StdRng::seed_from_u64(4);
     while (*offsets.last().unwrap() as usize) < N {
-        let next = (*offsets.last().unwrap() + rng.gen_range(1..128)).min(N as u64);
+        let next = (*offsets.last().unwrap() + rng.gen_range(1..128u64)).min(N as u64);
         offsets.push(next);
     }
     let mut g = c.benchmark_group("device_segmented_sort");

@@ -126,9 +126,8 @@ fn write_modeled_report() {
         report.pipelined_total_s < report.serialized_total_s,
         "overlap must shorten the modeled critical path"
     );
-    let path = gpclust_bench::report_dir().join("BENCH_overlap.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&path, json).expect("write report");
+    let path = gpclust_bench::write_report("BENCH_overlap.json", &json);
     eprintln!(
         "modeled K20 device path: {:.4}s serialized -> {:.4}s pipelined \
          ({:.1}% shorter); written to {:?}",

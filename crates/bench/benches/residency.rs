@@ -1,0 +1,382 @@
+//! Device-resident passes — the components-residency axis
+//! (`ComponentsMode::Device`): on top of the device-aggregation offload
+//! (`aggregate_offload.rs`), the host k-way merge of the device-sorted
+//! runs is replaced by the on-card shingle-graph *inversion* kernel, and
+//! Phase III's streamed union–find by the GPU hooking + pointer-jumping
+//! connected-components kernel. Records never round-trip through a
+//! host-side sort or a host-side cluster merge; the only CPU work left on
+//! the critical path is packing the Phase-III union edges as the pass-II
+//! records stream off the card.
+//!
+//! Two measurements:
+//!
+//! 1. **Criterion wall-clock** of `GpClust::cluster` under both
+//!    `ComponentsMode`s on the same graph (results are bit-identical by
+//!    contract; see `crates/core/tests/plan_properties.rs`).
+//! 2. **Modeled end-to-end seconds** on the Tesla K20 preset for the
+//!    Table-I-shaped 20K workload and a batch-splitting 2M-like one —
+//!    both passes plus Phase III, computed in closed form from the
+//!    simulator's own cost model plus documented host-throughput
+//!    constants — written via [`gpclust_bench::write_report`] to
+//!    `crates/bench/reports/BENCH_residency.json` and mirrored to the
+//!    repo root. `BENCH_aggregate.json`'s ~2.3–2.7% pipelined CPU share
+//!    covered pass-I aggregation only; once Phase III's union–find is on
+//!    the clock the host share is several times larger, and full device
+//!    residency pushes it **below 1%** at the 2M scale.
+
+use criterion::{criterion_group, Criterion};
+use gpclust_core::batch::batch_capacity;
+use gpclust_core::{AggregationMode, ComponentsMode, GpClust, ShingleKernel, ShinglingParams};
+use gpclust_gpu::thrust::cc_sweep_estimate;
+use gpclust_gpu::{DeviceConfig, Gpu, KernelCost};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use serde::Serialize;
+
+/// Shingle size of both modeled passes (the paper's default `s1 = s2`).
+const S: usize = 2;
+
+/// Streaming k-way merge throughput, records/second (see
+/// `aggregate_offload.rs` — the CPU work the inversion kernel removes).
+const HOST_MERGE_REC_PER_S: f64 = 2.5e8;
+
+/// Union–find fold throughput, edges/second.
+///
+/// Path-halving find + union is a pointer chase per edge — random access
+/// into an n-vertex parent array that misses LLC at the 2M scale — at
+/// roughly 10 ns/edge on the 2013-era host. This is the Phase-III CPU
+/// work the pointer-jumping kernel removes.
+const HOST_UNION_EDGES_PER_S: f64 = 1.0e8;
+
+/// Union-edge packing throughput, edges/second.
+///
+/// The residual host work under full device residency: a tight loop
+/// pushing one packed `(anchor << 32) | v` u64 per record pair — a
+/// sequential ~5 GB/s append, no random access.
+const HOST_EDGE_EMIT_PER_S: f64 = 6.0e8;
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(4_000, 4, 200, 1.4, 19),
+        n_noise_vertices: 1_000,
+        p_intra: 0.8,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 19,
+    })
+    .graph
+}
+
+fn bench_components(c: &mut Criterion) {
+    let g = graph();
+    let mut grp = c.benchmark_group("phase3_components");
+    grp.sample_size(10);
+    for (name, components) in [
+        ("host_union_find", ComponentsMode::Host),
+        ("device_pointer_jumping", ComponentsMode::Device),
+    ] {
+        grp.bench_function(name, |b| {
+            let pipeline = GpClust::new(
+                ShinglingParams::light(19)
+                    .with_aggregation(AggregationMode::Device)
+                    .with_components(components),
+                Gpu::new(DeviceConfig::tesla_k20()),
+            )
+            .unwrap();
+            b.iter(|| pipeline.cluster(&g).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+/// One modeled shingling pass: `n_elements` adjacency elements over
+/// `n_segments` lists, `trials` hash rounds, one s-pair record per
+/// (trial, segment).
+struct PassShape {
+    n_elements: usize,
+    trials: usize,
+    n_segments: usize,
+}
+
+impl PassShape {
+    fn n_records(&self) -> usize {
+        self.trials * self.n_segments
+    }
+}
+
+/// A full pipeline workload: pass I over the input graph, pass II over
+/// the first-level shingle graph, Phase III over the pass-II records.
+struct Workload {
+    label: &'static str,
+    /// Input-graph vertices (the Phase-III union–find / CC vertex range).
+    n_vertices: usize,
+    pass1: PassShape,
+    pass2: PassShape,
+}
+
+impl Workload {
+    /// Phase-III union edges: each pass-II record chains its `s` second-
+    /// level elements and the `s` elements of its generator through one
+    /// anchor — `2s - 1` packed edges per record.
+    fn n_union_edges(&self) -> usize {
+        self.pass2.n_records() * (2 * S - 1)
+    }
+}
+
+/// Closed-form schedule of one shingling pass (SortCompact kernel, same
+/// shape as `aggregate_offload.rs`): per batch one upload, `trials`
+/// kernel rounds each downloading its top-s pairs.
+#[derive(Debug, Serialize)]
+struct BasePass {
+    n_batches: usize,
+    serialized_s: f64,
+    pipelined_s: f64,
+}
+
+fn model_base(gpu: &Gpu, aggregation: AggregationMode, shape: &PassShape) -> BasePass {
+    let capacity = batch_capacity(gpu.mem_available(), ShingleKernel::SortCompact, aggregation);
+    let n_batches = shape.n_elements.div_ceil(capacity);
+    let batch_elems = shape.n_elements.div_ceil(n_batches);
+    let out_per_batch = (shape.n_segments * S).div_ceil(n_batches);
+    let h2d = gpu.model_transfer_seconds(batch_elems * 4);
+    let kernels = gpu.model_kernel_seconds(batch_elems, &KernelCost::transform())
+        + gpu.model_kernel_seconds(batch_elems, &KernelCost::segmented_sort())
+        + gpu.model_kernel_seconds(out_per_batch, &KernelCost::gather());
+    let d2h = gpu.model_transfer_seconds(out_per_batch * 8);
+    let (b, t) = (n_batches as f64, shape.trials as f64);
+    BasePass {
+        n_batches,
+        serialized_s: b * (h2d + t * (kernels + d2h)),
+        pipelined_s: b * (h2d + t * kernels + d2h),
+    }
+}
+
+/// The pass-I device-aggregation extras (pack + pair radix sort kernels,
+/// staged column up + sorted runs down) — identical arithmetic to
+/// `aggregate_offload.rs`.
+fn model_device_agg(gpu: &Gpu, r: usize) -> (f64, f64) {
+    let kernels = gpu.model_kernel_seconds(r, &KernelCost::transform())
+        + gpu.model_kernel_seconds(r, &KernelCost::pair_sort());
+    let transfers =
+        gpu.model_transfer_seconds(r * 4 * (S + 2)) + gpu.model_transfer_seconds(r * (16 + 4 * S));
+    (kernels, transfers)
+}
+
+/// The device inversion of `r` sorted records into the CSR shingle graph:
+/// boundary flags, two exclusive scans, and the gather of keys/elements/
+/// generator ids (`thrust::invert_sorted_runs`'s single-run shape).
+fn model_inversion(gpu: &Gpu, r: usize) -> f64 {
+    3.0 * gpu.model_kernel_seconds(r, &KernelCost::transform())
+        + gpu.model_kernel_seconds(r, &KernelCost::gather())
+}
+
+/// The hooking + pointer-jumping components kernel over `n` vertices and
+/// `m` directed edges: symmetrize + edge radix sort + offsets + label
+/// sequence, then `cc_sweep_estimate(n)` sweeps over `2m + n` touched
+/// elements (`thrust::connected_components`'s schedule).
+fn model_cc(gpu: &Gpu, n: usize, m: usize) -> f64 {
+    let setup = gpu.model_kernel_seconds(2 * m, &KernelCost::transform())
+        + gpu.model_kernel_seconds(2 * m, &KernelCost::pair_sort())
+        + gpu.model_kernel_seconds(2 * m, &KernelCost::transform())
+        + gpu.model_kernel_seconds(n, &KernelCost::transform());
+    let sweeps = cc_sweep_estimate(n) as f64
+        * gpu.model_kernel_seconds(2 * m + n, &KernelCost::cc_iteration());
+    setup + sweeps
+}
+
+#[derive(Debug, Serialize)]
+struct ResidencyModel {
+    components: String,
+    /// Host CPU seconds on the critical path (k-way merge + union–find
+    /// fold under host components; union-edge packing under device).
+    cpu_s: f64,
+    /// Device seconds added beyond the shared base + aggregation kernels
+    /// (inversion + components kernels; 0 under host components).
+    residency_kernels_s: f64,
+    /// Bus seconds added by the Phase-III edge upload + label download
+    /// (0 under host components).
+    residency_transfer_s: f64,
+    end_to_end_serialized_s: f64,
+    end_to_end_pipelined_s: f64,
+    cpu_share_serialized_pct: f64,
+    cpu_share_pipelined_pct: f64,
+}
+
+fn model_residency(gpu: &Gpu, components: ComponentsMode, w: &Workload) -> ResidencyModel {
+    // Shared schedule: pass I under device aggregation (the
+    // `aggregate_offload.rs` winner), pass II streaming host-mode records
+    // (its output feeds Phase III, not a sort).
+    let base1 = model_base(gpu, AggregationMode::Device, &w.pass1);
+    let base2 = model_base(gpu, AggregationMode::Host, &w.pass2);
+    let (agg_kernels, agg_transfers) = model_device_agg(gpu, w.pass1.n_records());
+    let serialized = base1.serialized_s + base2.serialized_s + agg_kernels + agg_transfers;
+    let pipelined = base1.pipelined_s + base2.pipelined_s + agg_kernels;
+
+    let m = w.n_union_edges();
+    let (cpu_s, residency_kernels_s, residency_transfer_s) = match components {
+        // Status quo: host k-way merge of the pass-I runs, host union–find
+        // fold of the pass-II record stream.
+        ComponentsMode::Host => (
+            w.pass1.n_records() as f64 / HOST_MERGE_REC_PER_S + m as f64 / HOST_UNION_EDGES_PER_S,
+            0.0,
+            0.0,
+        ),
+        // Device-resident: the merge becomes the inversion kernel, the
+        // union–find becomes the CC kernel; the host only packs edges.
+        // Phase III runs at finish time, after the last batch — nothing
+        // left to hide it behind, so its kernels and transfers extend
+        // both schedules.
+        ComponentsMode::Device => (
+            m as f64 / HOST_EDGE_EMIT_PER_S,
+            model_inversion(gpu, w.pass1.n_records()) + model_cc(gpu, w.n_vertices, m),
+            gpu.model_transfer_seconds(m * 8) + gpu.model_transfer_seconds(w.n_vertices * 4),
+        ),
+    };
+    let end_to_end_serialized_s = serialized + residency_kernels_s + residency_transfer_s + cpu_s;
+    let end_to_end_pipelined_s = pipelined + residency_kernels_s + residency_transfer_s + cpu_s;
+    ResidencyModel {
+        components: format!("{components:?}"),
+        cpu_s,
+        residency_kernels_s,
+        residency_transfer_s,
+        cpu_share_serialized_pct: 100.0 * cpu_s / end_to_end_serialized_s,
+        cpu_share_pipelined_pct: 100.0 * cpu_s / end_to_end_pipelined_s,
+        end_to_end_serialized_s,
+        end_to_end_pipelined_s,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ScaleReport {
+    label: String,
+    n_vertices: usize,
+    n_union_edges: usize,
+    cc_sweeps: usize,
+    host: ResidencyModel,
+    device: ResidencyModel,
+    /// Positive = device-resident shortens the pipelined end-to-end. The
+    /// offload's target is the CPU column, not the makespan — the
+    /// finish-time CC kernels run after the last batch with nothing to
+    /// hide behind, so a small negative delta is the accepted price for
+    /// freeing the host.
+    pipelined_delta_pct: f64,
+    cpu_share_drop_pts: f64,
+}
+
+fn model_scale(gpu: &Gpu, w: &Workload) -> ScaleReport {
+    let host = model_residency(gpu, ComponentsMode::Host, w);
+    let device = model_residency(gpu, ComponentsMode::Device, w);
+    let report = ScaleReport {
+        label: w.label.to_string(),
+        n_vertices: w.n_vertices,
+        n_union_edges: w.n_union_edges(),
+        cc_sweeps: cc_sweep_estimate(w.n_vertices),
+        pipelined_delta_pct: (1.0 - device.end_to_end_pipelined_s / host.end_to_end_pipelined_s)
+            * 100.0,
+        cpu_share_drop_pts: host.cpu_share_pipelined_pct - device.cpu_share_pipelined_pct,
+        host,
+        device,
+    };
+    assert!(
+        report.device.cpu_s < report.host.cpu_s,
+        "[{}] edge packing must undercut the merge + union-find",
+        report.label
+    );
+    assert!(
+        report.device.cpu_share_pipelined_pct < report.host.cpu_share_pipelined_pct,
+        "[{}] the CPU column's share must drop",
+        report.label
+    );
+    report
+}
+
+#[derive(Debug, Serialize)]
+struct ResidencyReport {
+    device: String,
+    note: String,
+    host_merge_rec_per_s: f64,
+    host_union_edges_per_s: f64,
+    host_edge_emit_per_s: f64,
+    scale_20k: ScaleReport,
+    scale_2m_like: ScaleReport,
+}
+
+/// Model the two Table I scales with Phase III on the clock and write the
+/// host-vs-device components comparison.
+fn write_modeled_report() {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let report = ResidencyReport {
+        device: gpu.config().name.clone(),
+        note: "closed-form schedule model; generated by the arithmetic in \
+               crates/bench/benches/residency.rs (write_modeled_report)"
+            .to_string(),
+        host_merge_rec_per_s: HOST_MERGE_REC_PER_S,
+        host_union_edges_per_s: HOST_UNION_EDGES_PER_S,
+        host_edge_emit_per_s: HOST_EDGE_EMIT_PER_S,
+        scale_20k: model_scale(
+            &gpu,
+            &Workload {
+                label: "20K",
+                n_vertices: 20_000,
+                pass1: PassShape {
+                    n_elements: 4_000_000,
+                    trials: 200,
+                    n_segments: 20_000,
+                },
+                pass2: PassShape {
+                    n_elements: 1_000_000,
+                    trials: 100,
+                    n_segments: 40_000,
+                },
+            },
+        ),
+        scale_2m_like: model_scale(
+            &gpu,
+            &Workload {
+                label: "2M-like",
+                n_vertices: 2_000_000,
+                pass1: PassShape {
+                    n_elements: 400_000_000,
+                    trials: 200,
+                    n_segments: 2_000_000,
+                },
+                pass2: PassShape {
+                    n_elements: 100_000_000,
+                    trials: 100,
+                    n_segments: 1_000_000,
+                },
+            },
+        ),
+    };
+    assert!(
+        report.scale_2m_like.device.cpu_share_pipelined_pct < 1.0,
+        "full device residency must push the 2M pipelined CPU share below 1% \
+         (got {:.2}%)",
+        report.scale_2m_like.device.cpu_share_pipelined_pct
+    );
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = gpclust_bench::write_report("BENCH_residency.json", &json);
+    for s in [&report.scale_20k, &report.scale_2m_like] {
+        eprintln!(
+            "[{}] modeled K20 end-to-end pipelined: host-components {:.4}s \
+             (CPU share {:.2}%) -> device-resident {:.4}s (CPU share {:.2}%, \
+             {:.1} pts down, {} CC sweeps)",
+            s.label,
+            s.host.end_to_end_pipelined_s,
+            s.host.cpu_share_pipelined_pct,
+            s.device.end_to_end_pipelined_s,
+            s.device.cpu_share_pipelined_pct,
+            s.cpu_share_drop_pts,
+            s.cc_sweeps
+        );
+    }
+    eprintln!("written to {path:?}");
+}
+
+criterion_group!(benches, bench_components);
+
+fn main() {
+    write_modeled_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -220,9 +220,8 @@ fn write_modeled_report() {
         report.select.n_batches < report.sort.n_batches,
         "the halved footprint must reduce the batch count at equal capacity"
     );
-    let path = gpclust_bench::report_dir().join("BENCH_select.json");
     let json = serde_json::to_string_pretty(&report).expect("serialize report");
-    std::fs::write(&path, json).expect("write report");
+    let path = gpclust_bench::write_report("BENCH_select.json", &json);
     eprintln!(
         "modeled K20 device path: sort {:.4}s / {} batches -> select {:.4}s / {} batches \
          ({:.1}% shorter serialized, {:.1}% shorter makespan); written to {:?}",

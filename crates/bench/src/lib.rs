@@ -21,7 +21,7 @@ pub mod datasets;
 pub mod quality;
 pub mod reports;
 
-use gpclust_core::{AggregationMode, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_core::{AggregationMode, ComponentsMode, PipelineMode, ShingleKernel, ShinglingParams};
 use std::path::PathBuf;
 
 /// Directory for cached datasets (override with `GPCLUST_DATA_DIR`).
@@ -34,13 +34,35 @@ pub fn data_dir() -> PathBuf {
 }
 
 /// Directory for generated experiment reports (override with
-/// `GPCLUST_REPORT_DIR`).
+/// `GPCLUST_REPORT_DIR`). Anchored to this crate's `reports/` directory —
+/// not the invoker's working directory — so `cargo bench` and the table
+/// binaries write the same place no matter where they are launched from.
 pub fn report_dir() -> PathBuf {
     let dir = std::env::var_os("GPCLUST_REPORT_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("reports"));
+        .unwrap_or_else(|| std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("reports"));
     std::fs::create_dir_all(&dir).expect("create report dir");
     dir
+}
+
+/// Write a headline `BENCH_*.json` report: the canonical copy goes to
+/// [`report_dir`], and — unless `GPCLUST_REPORT_DIR` redirects output —
+/// a byte-identical mirror goes to the workspace root, where the
+/// checked-in copies live. Returns the canonical path.
+///
+/// Every modeled-report writer goes through here so the two locations can
+/// never drift (previously each bench picked one ad hoc: some reports
+/// existed only at the root, others only under `reports/`).
+pub fn write_report(name: &str, json: &str) -> PathBuf {
+    let path = report_dir().join(name);
+    std::fs::write(&path, json).expect("write report");
+    if std::env::var_os("GPCLUST_REPORT_DIR").is_none() {
+        let mirror = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join(name);
+        std::fs::write(&mirror, json).expect("mirror report to workspace root");
+    }
+    path
 }
 
 /// Minimal CLI flag parsing: `--key value` pairs and bare `--flag`s.
@@ -104,6 +126,7 @@ impl Args {
 /// - `--overlap` — double-buffered streams ([`PipelineMode::Overlapped`])
 /// - `--kernel sort|select` — top-s extraction kernel
 /// - `--aggregate host|device` — where the shingle sort runs
+/// - `--components host|device` — where Phase III labels clusters
 /// - `--par-sort-min N` — host parallel-sort threshold
 /// - `--max-retries N`, `--oom-backoff true|false`, `--no-degrade` —
 ///   fault policy overrides
@@ -121,6 +144,7 @@ pub struct ScheduleArgs {
     overlap: bool,
     kernel: Option<ShingleKernel>,
     aggregation: Option<AggregationMode>,
+    components: Option<ComponentsMode>,
     par_sort_min: Option<usize>,
     max_retries: Option<u32>,
     oom_backoff: Option<bool>,
@@ -144,6 +168,12 @@ impl ScheduleArgs {
                 Some("host") => Some(AggregationMode::Host),
                 Some("device") => Some(AggregationMode::Device),
                 Some(other) => panic!("--aggregate must be `host` or `device`, got `{other}`"),
+            },
+            components: match args.pairs.get("components").map(String::as_str) {
+                None => None,
+                Some("host") => Some(ComponentsMode::Host),
+                Some("device") => Some(ComponentsMode::Device),
+                Some(other) => panic!("--components must be `host` or `device`, got `{other}`"),
             },
             par_sort_min: args.pairs.get("par-sort-min").map(|v| {
                 v.parse()
@@ -180,6 +210,9 @@ impl ScheduleArgs {
         }
         if let Some(aggregation) = self.aggregation {
             params = params.with_aggregation(aggregation);
+        }
+        if let Some(components) = self.components {
+            params = params.with_components(components);
         }
         if let Some(par_sort_min) = self.par_sort_min {
             params = params.with_par_sort_min(par_sort_min);
@@ -240,6 +273,8 @@ mod tests {
                 "select",
                 "--aggregate",
                 "device",
+                "--components",
+                "device",
                 "--par-sort-min",
                 "0",
                 "--max-retries",
@@ -252,6 +287,7 @@ mod tests {
         assert_eq!(p.mode, PipelineMode::Overlapped);
         assert_eq!(p.kernel, ShingleKernel::FusedSelect);
         assert_eq!(p.aggregation, AggregationMode::Device);
+        assert_eq!(p.components, ComponentsMode::Device);
         assert_eq!(p.par_sort_min, 0);
         assert_eq!(p.fault.max_retries, 5);
         assert!(!p.fault.degrade_to_host);

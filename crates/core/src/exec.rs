@@ -11,8 +11,14 @@
 //!   selection kernel). Both emit bit-identical bytes.
 //! * `SinkStrategy` *(internal, from the public [`Sink`] request)* —
 //!   where finalized records go: a caller closure, a [`RawShingles`]
-//!   buffer, the host [`StreamAggregator`], or the device
-//!   `DeviceRunBuilder` whose flushes pack + radix-sort runs on the card.
+//!   buffer, the host [`StreamAggregator`], the device
+//!   `DeviceRunBuilder` whose flushes pack + radix-sort runs on the card,
+//!   or the Phase-III union-edge list the device connected-components
+//!   kernel labels ([`Sink::Clusters`]). Under
+//!   [`ComponentsMode::Device`] the device-sorted runs also *invert* to
+//!   the shingle graph on the card ([`thrust::invert_sorted_runs`])
+//!   instead of k-way merging on the host — records never round-trip
+//!   through a host-side sort.
 //! * `StreamSchedule` *(internal)* — serialized transfers
 //!   ([`PipelineMode::Synchronous`]) or a double-buffered compute/copy
 //!   stream pair ([`PipelineMode::Overlapped`]); the pass's pipelined
@@ -40,14 +46,15 @@ use crate::batch::BatchStats;
 use crate::gpu_pass::{
     compaction_tasks, host_trial_out, plan_batch, BatchPlan, DeviceRunBuilder, RecordSink,
 };
-use crate::minwise::{hash_with, pack, HashFamily};
-use crate::params::{AggregationMode, PipelineMode, ShingleKernel};
+use crate::minwise::{hash_with, pack, unpack_element, HashFamily};
+use crate::params::{AggregationMode, ComponentsMode, PipelineMode, ShingleKernel};
 use crate::plan::{FragmentMode, PassPlan};
+use crate::report;
 use crate::resilience::retry_transient;
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::timing::RecoveryReport;
 use gpclust_gpu::{thrust, DeviceBuffer, DeviceError, Gpu, KernelCost, Stream, StreamEvent};
-use gpclust_graph::ShingleGraph;
+use gpclust_graph::{ShingleGraph, UnionFind};
 use std::time::Instant;
 
 /// One record a batch emits: `(trial, node, top-s pairs, is_fragment)`.
@@ -87,8 +94,38 @@ pub enum Sink<'a> {
     Gather,
     /// Aggregate to the pass's [`ShingleGraph`] ([`PassReport::graph`]):
     /// the host global sort or the device run merge, per the plan's
-    /// aggregation mode. Requires [`FragmentMode::Merge`].
+    /// aggregation mode — and, under [`ComponentsMode::Device`], the
+    /// device inversion of the sorted runs instead of the host k-way
+    /// merge. Requires [`FragmentMode::Merge`].
     Aggregate,
+    /// Stream each record into the device-resident Phase III: records
+    /// reduce to the `(anchor, v)` union edges of
+    /// [`report::union_second_level_record`], and draining the sink runs
+    /// the pointer-jumping connected-components kernel over the edge list
+    /// ([`PassReport::clusters`]). Requires [`FragmentMode::Merge`]
+    /// (finalized records only).
+    Clusters {
+        /// The pass-I shingle graph the record generators expand through
+        /// (also the pass's adjacency input).
+        first: &'a ShingleGraph,
+        /// |V| of the *input* graph the component labels cover.
+        n: usize,
+    },
+}
+
+/// Device Phase-III output of [`Sink::Clusters`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterLabels {
+    /// Component label per input vertex; equal labels ⇔ same cluster.
+    /// Min-vertex ids from the device kernel, dense union–find labels
+    /// from the host fallback — either canonicalizes to the same
+    /// [`gpclust_graph::Partition`].
+    pub labels: Vec<u32>,
+    /// Second-level `<shingle, generator>` records streamed (|E″|).
+    pub records: u64,
+    /// Hook + pointer-jump sweeps to the label fixpoint (0 on the host
+    /// fallback path and for edgeless inputs).
+    pub cc_iterations: usize,
 }
 
 /// Everything one executed pass produced. Which fields are populated
@@ -108,9 +145,15 @@ pub struct PassReport {
     pub runs: Vec<SortedRun>,
     /// The aggregated shingle graph ([`Sink::Aggregate`]).
     pub graph: Option<ShingleGraph>,
+    /// Phase-III component labels ([`Sink::Clusters`]).
+    pub clusters: Option<ClusterLabels>,
     /// Modeled device seconds the aggregation kernels (pack + radix
-    /// sort) consumed.
+    /// sort, plus the run inversion under [`ComponentsMode::Device`])
+    /// consumed.
     pub agg_kernel_seconds: f64,
+    /// Modeled device seconds the Phase-III components kernels consumed
+    /// ([`Sink::Clusters`]; 0 otherwise).
+    pub cc_kernel_seconds: f64,
     /// Batch ids left unfinished plus the interrupting error — only under
     /// [`FragmentMode::Defer`], where a mid-share [`DeviceError::DeviceLost`]
     /// reports the remainder for redistribution instead of failing.
@@ -158,15 +201,16 @@ impl<'g> Executor<'g> {
                 self.run_deferred(plan, input, family, streams, recovery, &mut state)?
             }
         };
-        let (raw, runs, graph, agg_kernel_seconds) =
-            state.finish(self.gpu, streams, plan, recovery)?;
+        let out = state.finish(self.gpu, streams, plan, recovery)?;
         Ok(PassReport {
             stats: plan.stats,
             makespan: schedule.makespan(),
-            raw,
-            runs,
-            graph,
-            agg_kernel_seconds,
+            raw: out.raw,
+            runs: out.runs,
+            graph: out.graph,
+            clusters: out.clusters,
+            agg_kernel_seconds: out.agg_kernel_seconds,
+            cc_kernel_seconds: out.cc_kernel_seconds,
             unfinished,
         })
     }
@@ -744,8 +788,41 @@ enum SinkState<'a> {
     },
     /// Records aggregate straight to the pass's shingle graph on the host.
     HostAggregate(StreamAggregator),
-    /// Records aggregate via device-sorted runs, k-way merged at finish.
+    /// Records aggregate via device-sorted runs: k-way merged on the host
+    /// at finish, or inverted on the device under
+    /// [`ComponentsMode::Device`].
     DeviceAggregate(DeviceRunBuilder),
+    /// Records reduce to Phase-III union edges for the device
+    /// connected-components kernel at finish.
+    Clusters {
+        first: &'a ShingleGraph,
+        n: usize,
+        edges: Vec<u64>,
+        records: u64,
+    },
+}
+
+/// Everything a drained sink hands to the pass report.
+struct SinkOutput {
+    raw: RawShingles,
+    runs: Vec<SortedRun>,
+    graph: Option<ShingleGraph>,
+    clusters: Option<ClusterLabels>,
+    agg_kernel_seconds: f64,
+    cc_kernel_seconds: f64,
+}
+
+impl SinkOutput {
+    fn bare(raw: RawShingles) -> Self {
+        SinkOutput {
+            raw,
+            runs: Vec::new(),
+            graph: None,
+            clusters: None,
+            agg_kernel_seconds: 0.0,
+            cc_kernel_seconds: 0.0,
+        }
+    }
 }
 
 impl<'a> SinkState<'a> {
@@ -765,6 +842,12 @@ impl<'a> SinkState<'a> {
                 StreamAggregator::with_par_sort_min(plan.s, plan.par_sort_min),
             ),
             (Sink::Aggregate, AggregationMode::Device) => SinkState::DeviceAggregate(builder()),
+            (Sink::Clusters { first, n }, _) => SinkState::Clusters {
+                first,
+                n,
+                edges: Vec::new(),
+                records: 0,
+            },
         }
     }
 
@@ -794,6 +877,22 @@ impl<'a> SinkState<'a> {
                 Ok(())
             }
             SinkState::DeviceAggregate(b) => b.record(gpu, streams, trial, node, pairs),
+            SinkState::Clusters {
+                first,
+                edges,
+                records,
+                ..
+            } => {
+                debug_assert!(!fragment, "Phase-III sink needs finalized records");
+                *records += 1;
+                report::record_union_edges(
+                    first,
+                    node,
+                    pairs.iter().map(|&p| unpack_element(p)),
+                    edges,
+                );
+                Ok(())
+            }
         }
     }
 
@@ -811,20 +910,20 @@ impl<'a> SinkState<'a> {
         }
     }
 
-    /// Drain the sink: flush any staged device-aggregation tail, fold the
-    /// builder's recovery tallies into `recovery`, and hand the results
-    /// to the pass report.
-    #[allow(clippy::type_complexity)] // the four PassReport result fields
+    /// Drain the sink: flush any staged device-aggregation tail, run the
+    /// finish-time device passes (run inversion, components), fold the
+    /// recovery tallies into `recovery`, and hand the results to the pass
+    /// report.
     fn finish(
         self,
         gpu: &Gpu,
         streams: Option<(&Stream, &Stream)>,
         plan: &PassPlan,
         recovery: &mut RecoveryReport,
-    ) -> Result<(RawShingles, Vec<SortedRun>, Option<ShingleGraph>, f64), DeviceError> {
+    ) -> Result<SinkOutput, DeviceError> {
         let empty = || RawShingles::new(plan.s);
         match self {
-            SinkState::Stream(_) => Ok((empty(), Vec::new(), None, 0.0)),
+            SinkState::Stream(_) => Ok(SinkOutput::bare(empty())),
             SinkState::Gather { mut raw, builder } => {
                 let (runs, agg_seconds) = match builder {
                     Some(b) => {
@@ -841,20 +940,132 @@ impl<'a> SinkState<'a> {
                     // aggregation may skip its merge sort.
                     raw.mark_grouped();
                 }
-                Ok((raw, runs, None, agg_seconds))
+                Ok(SinkOutput {
+                    runs,
+                    agg_kernel_seconds: agg_seconds,
+                    ..SinkOutput::bare(raw)
+                })
             }
-            SinkState::HostAggregate(agg) => Ok((empty(), Vec::new(), Some(agg.finish()), 0.0)),
+            SinkState::HostAggregate(agg) => Ok(SinkOutput {
+                graph: Some(agg.finish()),
+                ..SinkOutput::bare(empty())
+            }),
             SinkState::DeviceAggregate(b) => {
-                let (runs, agg_seconds, builder_rec) = b.finish_with_recovery(gpu, streams)?;
+                let (runs, mut agg_seconds, builder_rec) = b.finish_with_recovery(gpu, streams)?;
                 recovery.merge(&builder_rec);
-                Ok((
-                    empty(),
-                    Vec::new(),
-                    Some(merge_sorted_runs(plan.s, runs)),
-                    agg_seconds,
-                ))
+                let graph = match plan.components {
+                    ComponentsMode::Host => merge_sorted_runs(plan.s, runs),
+                    ComponentsMode::Device => {
+                        device_invert_or_merge(gpu, plan, runs, recovery, &mut agg_seconds)?
+                    }
+                };
+                Ok(SinkOutput {
+                    graph: Some(graph),
+                    agg_kernel_seconds: agg_seconds,
+                    ..SinkOutput::bare(empty())
+                })
+            }
+            SinkState::Clusters {
+                n, edges, records, ..
+            } => {
+                let k0 = gpu.counters().kernel_seconds;
+                let (labels, cc_iterations) =
+                    device_components_or_union(gpu, &plan.policy, n, &edges, recovery)?;
+                Ok(SinkOutput {
+                    clusters: Some(ClusterLabels {
+                        labels,
+                        records,
+                        cc_iterations,
+                    }),
+                    cc_kernel_seconds: gpu.counters().kernel_seconds - k0,
+                    ..SinkOutput::bare(empty())
+                })
             }
         }
+    }
+}
+
+/// Invert device-sorted runs to the pass's shingle graph on the card
+/// ([`thrust::invert_sorted_runs`]), degrading to the bit-identical host
+/// k-way merge when the kernels cannot run — the same contract as the run
+/// builder's flush (`OutOfMemory` always falls back; exhausted transient
+/// retries fall back when the policy allows; anything else propagates
+/// typed). The inversion's modeled kernel time folds into the
+/// aggregation column, the fallback's wall time into recovery.
+pub(crate) fn device_invert_or_merge(
+    gpu: &Gpu,
+    plan: &PassPlan,
+    runs: Vec<SortedRun>,
+    recovery: &mut RecoveryReport,
+    agg_seconds: &mut f64,
+) -> Result<ShingleGraph, DeviceError> {
+    let k0 = gpu.counters().kernel_seconds;
+    let attempt = {
+        let slices: Vec<(&[u128], &[u32])> = runs
+            .iter()
+            .map(|r| (r.packed.as_slice(), r.elements.as_slice()))
+            .collect();
+        retry_transient(&plan.policy, recovery, || {
+            thrust::invert_sorted_runs(gpu, plan.s, &slices)
+        })
+    };
+    *agg_seconds += gpu.counters().kernel_seconds - k0;
+    match attempt {
+        Ok(inv) => Ok(ShingleGraph::from_parts(
+            plan.s,
+            inv.keys,
+            inv.elements,
+            inv.gen_offsets,
+            inv.generators,
+        )),
+        Err(e) if matches!(e, DeviceError::OutOfMemory { .. }) || plan.policy.degrade_to_host => {
+            // Same (key, node, emission-index) total order on the host;
+            // only the time moves columns.
+            recovery.host_fallbacks += 1;
+            let t0 = Instant::now();
+            let graph = merge_sorted_runs(plan.s, runs);
+            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+            Ok(graph)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Label the collected Phase-III union edges on the device
+/// ([`thrust::connected_components`]), degrading to the host union–find
+/// fold of the same edges when the kernels cannot run. Returns the
+/// per-vertex labels and the sweep count (0 on the fallback path and for
+/// edgeless inputs). The device labels are component minima, the fallback
+/// labels union–find densities — partition-equal either way.
+pub(crate) fn device_components_or_union(
+    gpu: &Gpu,
+    policy: &crate::params::FaultPolicy,
+    n: usize,
+    edges: &[u64],
+    recovery: &mut RecoveryReport,
+) -> Result<(Vec<u32>, usize), DeviceError> {
+    if edges.is_empty() {
+        // Edgeless labeling is the identity; skip the launches entirely.
+        return Ok(((0..n as u32).collect(), 0));
+    }
+    let attempt = retry_transient(policy, recovery, || {
+        let dev = gpu.htod(edges)?;
+        thrust::connected_components(gpu, n, &dev)
+    });
+    match attempt {
+        Ok(cc) => Ok((cc.labels, cc.iterations)),
+        Err(e) if matches!(e, DeviceError::OutOfMemory { .. }) || policy.degrade_to_host => {
+            recovery.host_fallbacks += 1;
+            let t0 = Instant::now();
+            let mut uf = UnionFind::new(n);
+            for &e in edges {
+                uf.union((e >> 32) as u32, (e & 0xFFFF_FFFF) as u32);
+            }
+            let (labels, _) = uf.labels();
+            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+            Ok((labels, 0))
+        }
+        Err(e) => Err(e),
     }
 }
 
@@ -1387,6 +1598,261 @@ mod tests {
                 .unwrap();
             assert_eq!(oracle, report.graph.unwrap(), "{aggregation:?}");
         }
+    }
+
+    /// `ComponentsMode::Device` replaces the host k-way merge of the
+    /// device-sorted runs with the on-card inversion — the shingle graph
+    /// must come out structurally identical, with no fallback taken and
+    /// strictly more modeled aggregation-kernel time. A forced small batch
+    /// capacity yields several sorted runs per pass (the tiny test device
+    /// would force batching too, but its 64 KiB memory cannot hold the
+    /// concatenated runs at finish, so the inversion would OOM-degrade).
+    #[test]
+    fn device_components_inversion_matches_host_merge() {
+        let g = batching_graph(19);
+        let family = HashFamily::new(12, 4);
+        for kernel in KERNELS {
+            let gpu_h = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let pass_h = pass_plan(
+                &gpu_h,
+                2,
+                kernel,
+                PipelineMode::Synchronous,
+                AggregationMode::Device,
+                Some(2048),
+                &g,
+            );
+            let oracle = Executor::new(&gpu_h)
+                .run(
+                    &pass_h,
+                    PassInput::of(&g),
+                    &family,
+                    &mut RecoveryReport::default(),
+                    Sink::Aggregate,
+                )
+                .unwrap();
+
+            let gpu_d = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+            let params = ShinglingParams::light(0)
+                .with_kernel(kernel)
+                .with_aggregation(AggregationMode::Device)
+                .with_components(ComponentsMode::Device);
+            let plan = Plan::lower(&params, std::slice::from_ref(&gpu_d)).unwrap();
+            let pass_d = plan.pass(2, AggregationMode::Device, 2048, g.offsets());
+            let mut rec = RecoveryReport::default();
+            let dev = Executor::new(&gpu_d)
+                .run(
+                    &pass_d,
+                    PassInput::of(&g),
+                    &family,
+                    &mut rec,
+                    Sink::Aggregate,
+                )
+                .unwrap();
+            assert_eq!(oracle.graph, dev.graph, "{kernel:?}");
+            assert_eq!(rec.host_fallbacks, 0, "{kernel:?}");
+            assert!(
+                dev.agg_kernel_seconds > oracle.agg_kernel_seconds,
+                "{kernel:?}: inversion must add modeled kernel time"
+            );
+        }
+    }
+
+    /// The Clusters sink must reproduce the streamed union–find partition
+    /// exactly: same record count, and labels that canonicalize to the
+    /// identical [`gpclust_graph::Partition`].
+    #[test]
+    fn clusters_sink_matches_streamed_union_find_partition() {
+        use gpclust_graph::Partition;
+        let g = planted_graph(18);
+        let family1 = HashFamily::new(10, 3);
+        let family2 = HashFamily::new(8, 11);
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let first = {
+            let pass = pass_plan(
+                &gpu,
+                2,
+                ShingleKernel::SortCompact,
+                PipelineMode::Synchronous,
+                AggregationMode::Host,
+                None,
+                &g,
+            );
+            Executor::new(&gpu)
+                .run(
+                    &pass,
+                    PassInput::of(&g),
+                    &family1,
+                    &mut RecoveryReport::default(),
+                    Sink::Aggregate,
+                )
+                .unwrap()
+                .graph
+                .unwrap()
+        };
+        let pass2 = pass_plan(
+            &gpu,
+            2,
+            ShingleKernel::SortCompact,
+            PipelineMode::Synchronous,
+            AggregationMode::Host,
+            None,
+            &first,
+        );
+
+        // Host oracle: stream pass II into the union–find.
+        let mut uf = UnionFind::new(g.n());
+        let mut n_records = 0u64;
+        {
+            let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
+                n_records += 1;
+                report::union_second_level_record(
+                    &mut uf,
+                    &first,
+                    node,
+                    pairs.iter().map(|&p| unpack_element(p)),
+                );
+            };
+            Executor::new(&gpu)
+                .run(
+                    &pass2,
+                    PassInput::of(&first),
+                    &family2,
+                    &mut RecoveryReport::default(),
+                    Sink::Stream(&mut union_record),
+                )
+                .unwrap();
+        }
+        let oracle = Partition::from_union_find(&mut uf);
+
+        // Device: the same record stream through the Clusters sink.
+        let mut rec = RecoveryReport::default();
+        let report = Executor::new(&gpu)
+            .run(
+                &pass2,
+                PassInput::of(&first),
+                &family2,
+                &mut rec,
+                Sink::Clusters {
+                    first: &first,
+                    n: g.n(),
+                },
+            )
+            .unwrap();
+        let clusters = report.clusters.unwrap();
+        assert!(clusters.records > 0, "pass II must emit records");
+        assert_eq!(clusters.records, n_records);
+        assert_eq!(clusters.labels.len(), g.n());
+        assert_eq!(Partition::from_labels(&clusters.labels), oracle);
+        assert_eq!(rec.host_fallbacks, 0);
+        if oracle.n_groups() < g.n() {
+            assert!(clusters.cc_iterations >= 1);
+            assert!(report.cc_kernel_seconds > 0.0);
+        }
+    }
+
+    /// When every kernel launch fails, the inversion exhausts its retries
+    /// and must degrade to the bit-identical host k-way merge, counted as
+    /// a host fallback.
+    #[test]
+    fn inversion_faults_degrade_to_bit_identical_host_merge() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let g = batching_graph(20);
+        let family = HashFamily::new(10, 5);
+        let runs_of = |gpu: &Gpu| {
+            let pass = pass_plan(
+                gpu,
+                2,
+                ShingleKernel::SortCompact,
+                PipelineMode::Synchronous,
+                AggregationMode::Device,
+                Some(2048),
+                &g,
+            );
+            (
+                Executor::new(gpu)
+                    .run(
+                        &pass,
+                        PassInput::of(&g),
+                        &family,
+                        &mut RecoveryReport::default(),
+                        Sink::Gather,
+                    )
+                    .unwrap()
+                    .runs,
+                pass,
+            )
+        };
+        let (oracle_runs, _) = runs_of(&Gpu::with_workers(DeviceConfig::tesla_k20(), 2));
+        let oracle = merge_sorted_runs(2, oracle_runs);
+        let clean = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let (runs, pass) = runs_of(&clean);
+
+        let faulty = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let mut fp = FaultPlan::scheduled();
+        for occ in 1..=64 {
+            fp = fp.with_fault(FaultSite::Kernel, occ, FaultKind::LaunchFailed);
+        }
+        faulty.set_fault_plan(fp);
+        let mut rec = RecoveryReport::default();
+        let mut agg = 0.0;
+        let graph = device_invert_or_merge(&faulty, &pass, runs, &mut rec, &mut agg).unwrap();
+        assert_eq!(graph, oracle);
+        assert_eq!(rec.host_fallbacks, 1);
+        assert!(rec.retries > 0);
+    }
+
+    /// Components faults: degrade to the host union–find fold of the same
+    /// edges under the default policy, surface typed under a strict one;
+    /// an empty edge list short-circuits to the identity labeling.
+    #[test]
+    fn components_faults_degrade_to_host_union_find() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let n = 40usize;
+        let edges: Vec<u64> = (0..n as u64 - 1).map(|v| (v << 32) | (v + 1)).collect();
+        let all_kernels_fail = || {
+            let mut fp = FaultPlan::scheduled();
+            for occ in 1..=64 {
+                fp = fp.with_fault(FaultSite::Kernel, occ, FaultKind::LaunchFailed);
+            }
+            fp
+        };
+
+        let faulty = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        faulty.set_fault_plan(all_kernels_fail());
+        let mut rec = RecoveryReport::default();
+        let policy = crate::params::FaultPolicy::default();
+        let (labels, iters) =
+            device_components_or_union(&faulty, &policy, n, &edges, &mut rec).unwrap();
+        assert_eq!(iters, 0, "fallback reports no sweeps");
+        assert!(
+            labels.iter().all(|&l| l == labels[0]),
+            "the path graph is one component"
+        );
+        assert_eq!(rec.host_fallbacks, 1);
+        assert!(rec.retries > 0);
+
+        let strict = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        strict.set_fault_plan(all_kernels_fail());
+        let mut rec = RecoveryReport::default();
+        let err = device_components_or_union(
+            &strict,
+            &crate::params::FaultPolicy::strict(),
+            n,
+            &edges,
+            &mut rec,
+        )
+        .unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(rec.host_fallbacks, 0);
+
+        let clean = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        let mut rec = RecoveryReport::default();
+        let (labels, iters) =
+            device_components_or_union(&clean, &policy, 5, &[], &mut rec).unwrap();
+        assert_eq!(labels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(iters, 0);
+        assert_eq!(clean.counters().kernel_launches, 0);
     }
 
     /// A deferred sub-plan covering every batch emits fragment-flagged,

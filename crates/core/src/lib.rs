@@ -65,8 +65,10 @@ pub mod weighted;
 
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
-pub use exec::{Executor, PassInput, PassReport, Sink};
-pub use params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
+pub use exec::{ClusterLabels, Executor, PassInput, PassReport, Sink};
+pub use params::{
+    AggregationMode, ComponentsMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams,
+};
 pub use pipeline::{GpClust, GpClustReport};
 pub use plan::{FragmentMode, PassPlan, Plan};
 pub use quality::{ConfusionCounts, QualityScores};

@@ -24,16 +24,17 @@
 
 use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
 use crate::batch::BatchStats;
-use crate::exec::{Executor, PassInput, PassReport, Sink};
+use crate::exec::{device_invert_or_merge, Executor, PassInput, PassReport, Sink};
 use crate::minwise::HashFamily;
-use crate::params::{AggregationMode, PipelineMode, ShinglingParams};
+use crate::params::{AggregationMode, ComponentsMode, PipelineMode, ShinglingParams};
 use crate::plan::Plan;
 use crate::report;
-use crate::resilience::with_oom_backoff;
+use crate::resilience::{retry_transient, with_oom_backoff};
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::timing::{RecoveryReport, StageTimes};
-use gpclust_gpu::{DeviceError, Gpu};
-use gpclust_graph::{Csr, Partition, ShingleGraph};
+use gpclust_gpu::{thrust, DeviceError, Gpu};
+use gpclust_graph::components::absorb_labels;
+use gpclust_graph::{Csr, Partition, ShingleGraph, UnionFind};
 use std::time::Instant;
 
 /// A gpClust pipeline spanning multiple (simulated) devices.
@@ -87,10 +88,14 @@ impl MultiGpuClust {
         // materialized reporting path.
         let (second, pipe2, stats2, agg2, rec2) =
             self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
-        let partition = report::partition_clusters(g.n(), &first, &second);
-
         let mut recovery = rec1;
         recovery.merge(&rec2);
+        let (partition, device_components) = match self.params.components {
+            ComponentsMode::Host => (report::partition_clusters(g.n(), &first, &second), 0.0),
+            ComponentsMode::Device => {
+                self.device_partition(g.n(), &first, &second, &mut recovery)?
+            }
+        };
 
         let wall = wall_start.elapsed().as_secs_f64();
         let snaps: Vec<_> = self.gpus.iter().map(|g| g.counters()).collect();
@@ -110,6 +115,7 @@ impl MultiGpuClust {
             // the aggregation-kernel share is the per-pass max over
             // devices, summed over the passes.
             device_aggregation: agg1 + agg2,
+            device_components,
             recovery,
             ..Default::default()
         };
@@ -273,19 +279,100 @@ impl MultiGpuClust {
             pending.sort_unstable();
         }
 
-        let makespan = makespan_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
-        let agg_seconds = agg_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
         let graph = if device_agg {
             // The pooled fragments, merged and host-sorted, become one
             // extra run alongside the device runs.
             if !raw.is_empty() {
                 runs.push(fragment_run(&raw, self.params.par_sort_min));
             }
-            merge_sorted_runs(s, runs)
+            match self.params.components {
+                ComponentsMode::Host => merge_sorted_runs(s, runs),
+                // The pooled runs are host-resident either way; invert
+                // them on the first surviving device (host k-way merge as
+                // fault fallback). Its kernel seconds count toward that
+                // device's aggregation share, like the sort it extends.
+                ComponentsMode::Device => {
+                    let d = self.gpus.iter().position(|g| !g.is_lost()).unwrap_or(0);
+                    let mut inv_seconds = 0.0;
+                    let graph = device_invert_or_merge(
+                        &self.gpus[d],
+                        &pass,
+                        runs,
+                        recovery,
+                        &mut inv_seconds,
+                    )?;
+                    agg_by_dev[d] += inv_seconds;
+                    graph
+                }
+            }
         } else {
             aggregate_with(&raw, self.params.par_sort_min)
         };
+        let makespan = makespan_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
+        let agg_seconds = agg_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
         Ok((graph, makespan, pass.stats, agg_seconds))
+    }
+
+    /// Device-resident Phase III across the fleet: the union-edge list of
+    /// the materialized second-level graph is dealt round-robin across the
+    /// surviving devices, each labels its share with the pointer-jumping
+    /// kernel over the full vertex range, and the host union–find
+    /// *absorbs* the per-device min-vertex labelings
+    /// ([`absorb_labels`]) — yielding the components of the union of the
+    /// edge shares, which is exactly [`report::partition_clusters`].
+    ///
+    /// A share whose kernel faults past its retries is host-unioned
+    /// directly (counted as a host fallback; dense fallback labels must
+    /// *not* be absorbed — they are component ids, not vertex ids). With
+    /// no survivors the whole edge list takes that path. Returns the
+    /// partition plus the modeled Phase-III kernel seconds (max over
+    /// devices — they label concurrently).
+    fn device_partition(
+        &self,
+        n: usize,
+        first: &ShingleGraph,
+        second: &ShingleGraph,
+        recovery: &mut RecoveryReport,
+    ) -> Result<(Partition, f64), DeviceError> {
+        let edges = report::partition_union_edges(first, second);
+        let mut uf = UnionFind::new(n);
+        let host_union = |uf: &mut UnionFind, share: &[u64], recovery: &mut RecoveryReport| {
+            recovery.host_fallbacks += 1;
+            let t0 = Instant::now();
+            for &edge in share {
+                uf.union((edge >> 32) as u32, (edge & 0xFFFF_FFFF) as u32);
+            }
+            recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+        };
+        let alive: Vec<&Gpu> = self.gpus.iter().filter(|g| !g.is_lost()).collect();
+        if alive.is_empty() {
+            host_union(&mut uf, &edges, recovery);
+            return Ok((Partition::from_union_find(&mut uf), 0.0));
+        }
+        let mut cc_seconds = 0.0f64;
+        for (i, gpu) in alive.iter().enumerate() {
+            let share: Vec<u64> = edges.iter().copied().skip(i).step_by(alive.len()).collect();
+            if share.is_empty() {
+                continue;
+            }
+            let k0 = gpu.counters().kernel_seconds;
+            let attempt = retry_transient(&self.params.fault, recovery, || {
+                let dev = gpu.htod(&share)?;
+                thrust::connected_components(gpu, n, &dev)
+            });
+            cc_seconds = cc_seconds.max(gpu.counters().kernel_seconds - k0);
+            match attempt {
+                Ok(cc) => absorb_labels(&mut uf, &cc.labels),
+                Err(e)
+                    if matches!(e, DeviceError::OutOfMemory { .. })
+                        || self.params.fault.degrade_to_host =>
+                {
+                    host_union(&mut uf, &share, recovery);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok((Partition::from_union_find(&mut uf), cc_seconds))
     }
 }
 
@@ -444,7 +531,7 @@ mod tests {
                     // splits, so the fragment-pool run actually carries
                     // records.
                     let gpus = (0..n_dev)
-                        .map(|_| Gpu::with_workers(DeviceConfig::tiny_test_device(), 1))
+                        .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
                         .collect();
                     let multi = MultiGpuClust::new(
                         params
@@ -466,6 +553,86 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Device-resident Phase III across the fleet must reproduce the
+    /// single-device host partition across schedules × aggregation modes
+    /// × device counts, with the components kernel time broken out and no
+    /// host fallback taken.
+    #[test]
+    fn device_components_match_across_devices_and_modes() {
+        let g = graph(51);
+        let params = ShinglingParams::light(27);
+        let single = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+            for agg in [AggregationMode::Host, AggregationMode::Device] {
+                for n_dev in [1usize, 2, 4] {
+                    let gpus = (0..n_dev)
+                        .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+                        .collect();
+                    let multi = MultiGpuClust::new(
+                        params
+                            .with_mode(mode)
+                            .with_aggregation(agg)
+                            .with_components(ComponentsMode::Device),
+                        gpus,
+                    )
+                    .unwrap();
+                    let report = multi.cluster(&g).unwrap();
+                    assert_eq!(
+                        report.partition, single.partition,
+                        "{mode:?} {agg:?} {n_dev} devices"
+                    );
+                    assert!(
+                        report.times.device_components > 0.0,
+                        "{mode:?} {agg:?} {n_dev} devices"
+                    );
+                    assert_eq!(
+                        report.times.recovery.host_fallbacks, 0,
+                        "{mode:?} {agg:?} {n_dev} devices"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A device lost during the passes is excluded from Phase III: the
+    /// survivors label the whole edge list and the partition is unchanged.
+    #[test]
+    fn device_components_survive_device_loss() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let g = graph(53);
+        let params = ShinglingParams::light(29).with_components(ComponentsMode::Device);
+        let oracle = GpClust::new(
+            params.with_components(ComponentsMode::Host),
+            Gpu::with_workers(DeviceConfig::tesla_k20(), 2),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        let gpus: Vec<Gpu> = (0..2)
+            .map(|d| {
+                let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+                if d == 0 {
+                    gpu.set_fault_plan(
+                        FaultPlan::scheduled()
+                            .with_fault(FaultSite::Kernel, 1, FaultKind::DeviceLost)
+                            .with_device(0),
+                    );
+                }
+                gpu
+            })
+            .collect();
+        let report = MultiGpuClust::new(params, gpus)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(report.partition, oracle.partition);
+        assert_eq!(report.times.recovery.lost_devices, 1);
+        assert!(report.times.device_components > 0.0);
     }
 
     /// Device aggregation widens the per-element footprint, and the

@@ -66,6 +66,28 @@ pub enum AggregationMode {
     Device,
 }
 
+/// Where Phase III's connected components run.
+///
+/// Both modes produce **bit-identical clustering results** — the device
+/// kernel's min-vertex-id labels induce exactly the equivalence relation
+/// the host union–find accumulates, and the partition canonicalizes group
+/// ids densely by first appearance either way. The knob only moves the
+/// inversion merge and the component computation between processors.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ComponentsMode {
+    /// The oracle: second-level records stream straight into the host
+    /// union–find ([`crate::report::union_second_level_record`]), and —
+    /// under device aggregation — the sorted runs k-way merge on the host.
+    #[default]
+    Host,
+    /// Device-resident Phase III: sorted runs invert on the card
+    /// (boundary-flag + scan + gather) and the second-level record edges
+    /// feed a hooking/pointer-jumping connected-components kernel; the
+    /// host only unions per-device label groups (multi-GPU) and
+    /// canonicalizes the final partition.
+    Device,
+}
+
 /// Default [`ShinglingParams::par_sort_min`]: below this record count the
 /// rayon fork/join overhead outweighs the parallel sort's gain, so the
 /// host aggregation sorts serially.
@@ -157,6 +179,11 @@ pub struct ShinglingParams {
     /// modes; cost model, batch plan and host merge path differ).
     #[serde(default)]
     pub aggregation: AggregationMode,
+    /// Where Phase III's inversion merge and connected components run
+    /// (results are bit-identical across modes; cost model and host/device
+    /// split differ).
+    #[serde(default)]
+    pub components: ComponentsMode,
     /// Record count at or above which host aggregation sorts switch to
     /// rayon's parallel sort. Defaults to [`PAR_SORT_MIN`]; set to 0 to
     /// force the parallel path (e.g. to exercise it on small test inputs)
@@ -182,6 +209,7 @@ impl ShinglingParams {
             mode: PipelineMode::Synchronous,
             kernel: ShingleKernel::SortCompact,
             aggregation: AggregationMode::Host,
+            components: ComponentsMode::Host,
             par_sort_min: default_par_sort_min(),
             fault: FaultPolicy::default(),
         }
@@ -198,6 +226,7 @@ impl ShinglingParams {
             mode: PipelineMode::Synchronous,
             kernel: ShingleKernel::SortCompact,
             aggregation: AggregationMode::Host,
+            components: ComponentsMode::Host,
             par_sort_min: default_par_sort_min(),
             fault: FaultPolicy::default(),
         }
@@ -218,6 +247,12 @@ impl ShinglingParams {
     /// This parameter set with the given aggregation mode.
     pub fn with_aggregation(mut self, aggregation: AggregationMode) -> Self {
         self.aggregation = aggregation;
+        self
+    }
+
+    /// This parameter set with the given components residency.
+    pub fn with_components(mut self, components: ComponentsMode) -> Self {
+        self.components = components;
         self
     }
 
@@ -339,6 +374,22 @@ mod tests {
         assert_eq!(dev.aggregation, AggregationMode::Device);
         assert_eq!((dev.s1, dev.c1, dev.seed), (2, 200, 7));
         assert_eq!(dev.with_par_sort_min(0).par_sort_min, 0);
+    }
+
+    #[test]
+    fn components_default_to_host_including_serde() {
+        assert_eq!(ComponentsMode::default(), ComponentsMode::Host);
+        assert_eq!(
+            ShinglingParams::paper_default(3).components,
+            ComponentsMode::Host
+        );
+        // Configs written before the knob existed still deserialize.
+        let legacy = r#"{"s1":2,"c1":200,"s2":2,"c2":100,"seed":7}"#;
+        let p: ShinglingParams = serde_json::from_str(legacy).unwrap();
+        assert_eq!(p.components, ComponentsMode::Host);
+        let dev = p.with_components(ComponentsMode::Device);
+        assert_eq!(dev.components, ComponentsMode::Device);
+        assert_eq!((dev.s1, dev.c1, dev.seed), (2, 200, 7));
     }
 
     #[test]

@@ -10,7 +10,11 @@
 //!    [`crate::plan::PassPlan`]s to the [`Executor`];
 //! 3. CPU aggregates the returned shingles into the shingle graph;
 //! 4. second-level shingling on the GPU over that graph;
-//! 5. CPU aggregates again and reports dense subgraphs (Phase III).
+//! 5. CPU aggregates again and reports dense subgraphs (Phase III) — or,
+//!    under [`ComponentsMode::Device`], the records reduce to Phase-III
+//!    union edges on the fly and the GPU pointer-jumping kernel labels the
+//!    components, so neither the shingle sort (device aggregation + device
+//!    inversion) nor the cluster merge round-trips through the host.
 //!
 //! Every stage is timed into [`StageTimes`]; device-side times come from
 //! the simulator's cost model, host-side times from wall-clock stopwatches
@@ -18,9 +22,9 @@
 //! from the CPU column — that time stands in for the device, not the host).
 
 use crate::batch::BatchStats;
-use crate::exec::{Executor, PassInput, Sink};
+use crate::exec::{ClusterLabels, Executor, PassInput, Sink};
 use crate::minwise::unpack_element;
-use crate::params::{AggregationMode, PipelineMode, ShinglingParams};
+use crate::params::{AggregationMode, ComponentsMode, PipelineMode, ShinglingParams};
 use crate::plan::Plan;
 use crate::report;
 use crate::resilience::with_oom_backoff;
@@ -138,38 +142,67 @@ impl GpClust {
         // aggregates on the host (the records feed the union–find, not a
         // sort), so its batch budget is the host-mode capacity.
         let mut uf = UnionFind::new(g.n());
+        let mut labels: Option<ClusterLabels> = None;
         let mut second_level_records = 0u64;
         let s2 = self.params.s2;
         let family2 = self.params.family_pass2();
         let cap2 = plan.capacity_for(AggregationMode::Host);
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
-        let (stats2, makespan2) = with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
-            uf = UnionFind::new(g.n());
-            second_level_records = 0;
-            let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
-            let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
-                second_level_records += 1;
-                report::union_second_level_record(
-                    &mut uf,
-                    &first,
-                    node,
-                    pairs.iter().map(|&p| unpack_element(p)),
-                );
-            };
-            let r = exec.run(
-                &pass,
-                PassInput::of(&first),
-                &family2,
-                &mut pass_rec,
-                Sink::Stream(&mut union_record),
-            )?;
-            Ok((r.stats, r.makespan))
-        })?;
+        let (stats2, makespan2, device_components) =
+            with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
+                let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
+                match self.params.components {
+                    ComponentsMode::Host => {
+                        uf = UnionFind::new(g.n());
+                        second_level_records = 0;
+                        let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
+                            second_level_records += 1;
+                            report::union_second_level_record(
+                                &mut uf,
+                                &first,
+                                node,
+                                pairs.iter().map(|&p| unpack_element(p)),
+                            );
+                        };
+                        let r = exec.run(
+                            &pass,
+                            PassInput::of(&first),
+                            &family2,
+                            &mut pass_rec,
+                            Sink::Stream(&mut union_record),
+                        )?;
+                        Ok((r.stats, r.makespan, 0.0))
+                    }
+                    // Device-resident Phase III: the records reduce to
+                    // packed union edges as they stream off the card, and
+                    // the pointer-jumping kernel labels the components
+                    // (host union–find only as fault fallback).
+                    ComponentsMode::Device => {
+                        let r = exec.run(
+                            &pass,
+                            PassInput::of(&first),
+                            &family2,
+                            &mut pass_rec,
+                            Sink::Clusters {
+                                first: &first,
+                                n: g.n(),
+                            },
+                        )?;
+                        let c = r.clusters.expect("clusters sink yields labels");
+                        second_level_records = c.records;
+                        labels = Some(c);
+                        Ok((r.stats, r.makespan, r.cc_kernel_seconds))
+                    }
+                }
+            })?;
         recovery.merge(&pass_rec);
         recovery.merge(&backoff_rec);
         pipelined += makespan2;
-        let partition = Partition::from_union_find(&mut uf);
+        let partition = match &labels {
+            Some(c) => Partition::from_labels(&c.labels),
+            None => Partition::from_union_find(&mut uf),
+        };
 
         let wall = wall_start.elapsed().as_secs_f64();
         let counters = self.gpu.counters();
@@ -188,6 +221,7 @@ impl GpClust {
             disk_io,
             device_pipelined,
             device_aggregation,
+            device_components,
             recovery,
             ..Default::default()
         };
@@ -273,6 +307,68 @@ mod tests {
         // The async copies are all accounted in the overlap sub-accounts.
         assert!(ovl.counters.h2d_overlapped_seconds > 0.0);
         assert!(ovl.counters.d2h_overlapped_seconds > 0.0);
+    }
+
+    /// Device-resident components must reproduce the serial oracle exactly
+    /// across schedule × aggregation combinations, with the Phase-III
+    /// kernel time broken out and no host fallback taken.
+    #[test]
+    fn device_components_match_serial_exactly() {
+        let g = graph(28);
+        let params = ShinglingParams::light(84);
+        let serial = SerialShingling::new(params).unwrap().cluster(&g);
+        let host_report = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(host_report.partition, serial);
+        assert_eq!(host_report.times.device_components, 0.0);
+        for (cfg, mode, agg) in [
+            (
+                DeviceConfig::tesla_k20(),
+                PipelineMode::Synchronous,
+                AggregationMode::Host,
+            ),
+            (
+                DeviceConfig::tesla_k20(),
+                PipelineMode::Synchronous,
+                AggregationMode::Device,
+            ),
+            (
+                DeviceConfig::tesla_k20(),
+                PipelineMode::Overlapped,
+                AggregationMode::Device,
+            ),
+        ] {
+            let gpu = Gpu::with_workers(cfg, 2);
+            let p = params
+                .with_mode(mode)
+                .with_aggregation(agg)
+                .with_components(ComponentsMode::Device);
+            let report = GpClust::new(p, gpu).unwrap().cluster(&g).unwrap();
+            assert_eq!(report.partition, serial, "{mode:?}/{agg:?}");
+            assert_eq!(
+                report.second_level_records, host_report.second_level_records,
+                "{mode:?}/{agg:?}"
+            );
+            assert!(
+                report.times.device_components > 0.0,
+                "{mode:?}/{agg:?}: Phase-III kernel time must be broken out"
+            );
+            assert!(report.times.device_components <= report.times.gpu + 1e-12);
+            assert_eq!(report.times.recovery.host_fallbacks, 0, "{mode:?}/{agg:?}");
+        }
+        // On the 64 KiB test device the finish-time edge upload cannot fit,
+        // so Phase III OOM-degrades to the bit-identical host union–find —
+        // counted as a fallback, with no components kernel time claimed.
+        let tiny = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+        let report = GpClust::new(params.with_components(ComponentsMode::Device), tiny)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(report.partition, serial);
+        assert_eq!(report.times.device_components, 0.0);
+        assert!(report.times.recovery.host_fallbacks >= 1);
     }
 
     #[test]

@@ -2,11 +2,12 @@
 //! statistics into an explicit, inspectable description of how a
 //! shingling pass will run.
 //!
-//! Four orthogonal schedule axes have accumulated — [`PipelineMode`]
+//! Five orthogonal schedule axes have accumulated — [`PipelineMode`]
 //! (serialized vs. double-buffered streams), [`ShingleKernel`]
 //! (sort-compact vs. fused-select top-s extraction), [`AggregationMode`]
-//! (host vs. device record sort) and the [`FaultPolicy`], times 1–N
-//! devices. Instead of one entry point per combination, the pipeline
+//! (host vs. device record sort), [`ComponentsMode`] (host vs. device
+//! inversion merge and Phase-III components) and the [`FaultPolicy`],
+//! times 1–N devices. Instead of one entry point per combination, the pipeline
 //! lowers its configuration once into a [`Plan`] (the run-level axes plus
 //! the capacity model's verdict), derives one [`PassPlan`] per shingling
 //! pass (the batch list and per-pass sink parameters), and hands it to
@@ -31,7 +32,9 @@
 #![deny(dead_code)]
 
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
-use crate::params::{AggregationMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams};
+use crate::params::{
+    AggregationMode, ComponentsMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams,
+};
 use gpclust_gpu::{DeviceError, Gpu};
 
 /// The run-level execution plan: every schedule axis resolved, plus the
@@ -46,6 +49,8 @@ pub struct Plan {
     pub mode: PipelineMode,
     /// Where the record sort runs (host inversion or device runs).
     pub aggregation: AggregationMode,
+    /// Where the inversion merge and Phase-III components run.
+    pub components: ComponentsMode,
     /// Recovery policy wrapped around every device operation.
     pub policy: FaultPolicy,
     /// Host-sort parallelism threshold threaded to the aggregation sinks.
@@ -79,6 +84,7 @@ impl Plan {
             kernel: params.kernel,
             mode: params.mode,
             aggregation: params.aggregation,
+            components: params.components,
             policy: params.fault,
             par_sort_min: params.par_sort_min,
             n_devices: gpus.len(),
@@ -110,9 +116,13 @@ impl Plan {
             AggregationMode::Host => "host-sort",
             AggregationMode::Device => "device-runs",
         };
+        let components = match self.components {
+            ComponentsMode::Host => "host-bfs",
+            ComponentsMode::Device => "device-cc",
+        };
         format!(
-            "kernel {kernel} | schedule {schedule} | sink {sink} | {} device(s) | \
-             {} elems/batch (retries {}, oom-backoff {}, degrade {})",
+            "kernel {kernel} | schedule {schedule} | sink {sink} | components {components} | \
+             {} device(s) | {} elems/batch (retries {}, oom-backoff {}, degrade {})",
             self.n_devices,
             self.capacity,
             self.policy.max_retries,
@@ -145,6 +155,7 @@ impl Plan {
             kernel: self.kernel,
             mode: self.mode,
             aggregation,
+            components: self.components,
             policy: self.policy,
             par_sort_min: self.par_sort_min,
             capacity,
@@ -185,6 +196,8 @@ pub struct PassPlan {
     pub mode: PipelineMode,
     /// Where this pass's records get sorted.
     pub aggregation: AggregationMode,
+    /// Where this pass's inversion merge runs (device aggregation only).
+    pub components: ComponentsMode,
     /// Recovery policy for every device op of the pass.
     pub policy: FaultPolicy,
     /// Host-sort parallelism threshold for aggregation sinks.
@@ -282,9 +295,15 @@ mod tests {
         assert!(line.contains("fused-select"), "{line}");
         assert!(line.contains("serialized"), "{line}");
         assert!(line.contains("device-runs"), "{line}");
+        assert!(line.contains("components host-bfs"), "{line}");
         assert!(line.contains("1 device(s)"), "{line}");
         assert!(line.contains("elems/batch"), "{line}");
         assert!(!line.contains('\n'), "one line: {line}");
+
+        let dev = Plan::lower(&params.with_components(ComponentsMode::Device), &gpus)
+            .unwrap()
+            .describe();
+        assert!(dev.contains("components device-cc"), "{dev}");
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! In both, connectivity in G″ is induced by second-level shingles: all
 //! first-level shingles in `L(t)` of a second-level shingle `t` are
 //! connected through `t`.
+//!
+//! For device-resident Phase III ([`crate::params::ComponentsMode::Device`])
+//! the union operands are instead *materialized* as a packed edge list
+//! ([`record_union_edges`] / [`partition_union_edges`]) and handed to the
+//! GPU pointer-jumping connected-components kernel; union–find order
+//! independence makes that path provably partition-equal to the streamed
+//! one.
 
 use gpclust_graph::{Partition, ShingleGraph, UnionFind, VertexId};
 
@@ -46,6 +53,47 @@ pub fn union_second_level_record(
     for &v in first.elements(generator as usize) {
         link(v, uf);
     }
+}
+
+/// Emit one second-level record's union operands as packed `(anchor, v)`
+/// edges — exactly the pairs [`union_second_level_record`] unions, encoded
+/// `(anchor << 32) | v` for the device connected-components kernel.
+///
+/// Folding the emitted edges into a `UnionFind` (or labeling them with the
+/// pointer-jumping kernel) therefore yields the identical partition the
+/// streamed union–find produces.
+pub fn record_union_edges(
+    first: &ShingleGraph,
+    generator: u32,
+    second_elements: impl IntoIterator<Item = VertexId>,
+    edges: &mut Vec<u64>,
+) {
+    let mut anchor: Option<VertexId> = None;
+    let mut link = |v: VertexId, edges: &mut Vec<u64>| match anchor {
+        Some(a) => edges.push(((a as u64) << 32) | v as u64),
+        None => anchor = Some(v),
+    };
+    for v in second_elements {
+        link(v, edges);
+    }
+    for &v in first.elements(generator as usize) {
+        link(v, edges);
+    }
+}
+
+/// Materialize the full Phase-III union-edge list from an aggregated
+/// second-level graph: one [`record_union_edges`] call per
+/// (second-level shingle, generator) pair — the same record set pass II
+/// streams, so component-labeling these edges reproduces
+/// [`partition_clusters`] exactly.
+pub fn partition_union_edges(first: &ShingleGraph, second: &ShingleGraph) -> Vec<u64> {
+    let mut edges = Vec::new();
+    for (_, _, elements, generators) in second.iter() {
+        for &f in generators {
+            record_union_edges(first, f, elements.iter().copied(), &mut edges);
+        }
+    }
+    edges
 }
 
 /// Union–find reporting (the paper's choice). `n` is |V| of the input
@@ -155,6 +203,29 @@ mod tests {
         assert_ne!(p.group_of(7), p.group_of(8));
         // The big cluster plus 5 singletons: 3,6,7,8,9.
         assert_eq!(p.n_groups(), 6);
+    }
+
+    #[test]
+    fn union_edges_reproduce_partition_clusters() {
+        let (first, second) = graphs();
+        let edges = partition_union_edges(&first, &second);
+        assert!(!edges.is_empty());
+        let mut uf = UnionFind::new(10);
+        for &e in &edges {
+            uf.union((e >> 32) as u32, (e & 0xFFFF_FFFF) as u32);
+        }
+        assert_eq!(
+            Partition::from_union_find(&mut uf),
+            partition_clusters(10, &first, &second)
+        );
+        // The per-record streaming form emits the same edge list.
+        let mut streamed = Vec::new();
+        for (_, _, elements, generators) in second.iter() {
+            for &f in generators {
+                record_union_edges(&first, f, elements.iter().copied(), &mut streamed);
+            }
+        }
+        assert_eq!(streamed, edges);
     }
 
     #[test]

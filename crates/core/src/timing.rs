@@ -141,6 +141,13 @@ pub struct StageTimes {
     /// the CPU→GPU column shift; 0 under host aggregation.
     #[serde(default)]
     pub device_aggregation: f64,
+    /// Modeled device seconds spent in the **Phase-III components** kernel
+    /// (edge symmetrize/sort plus hooking and pointer-jumping sweeps) under
+    /// `ComponentsMode::Device` — work that under `Host` components would
+    /// have been CPU union–find time. A subset of [`StageTimes::gpu`];
+    /// 0 under host components.
+    #[serde(default)]
+    pub device_components: f64,
     /// Batches across both device passes (capacity-driven splits must
     /// never be silent; see [`crate::batch::BatchStats`]).
     #[serde(default)]
@@ -198,11 +205,13 @@ impl std::fmt::Display for StageTimes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "CPU {:.2}s | GPU {:.4}s (agg {:.4}s) | c→g {:.4}s | g→c {:.4}s | disk {:.3}s \
-             | total {:.2}s | device pipelined {:.4}s | {} batch(es), max {} elems @ {} B/elem",
+            "CPU {:.2}s | GPU {:.4}s (agg {:.4}s, cc {:.4}s) | c→g {:.4}s | g→c {:.4}s \
+             | disk {:.3}s | total {:.2}s | device pipelined {:.4}s \
+             | {} batch(es), max {} elems @ {} B/elem",
             self.cpu,
             self.gpu,
             self.device_aggregation,
+            self.device_components,
             self.h2d,
             self.d2h,
             self.disk_io,
@@ -265,6 +274,7 @@ mod tests {
             "total",
             "pipelined",
             "agg",
+            "cc",
             "batch",
         ] {
             assert!(s.contains(needle), "missing {needle}");

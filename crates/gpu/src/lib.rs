@@ -26,7 +26,10 @@
 //! * **Thrust-like primitives** ([`thrust`]) — `transform`, `sort`,
 //!   `segmented_sort`, `reduce_by_key`, `gather`, `sequence`: the two
 //!   primitives the paper names (transform + sort) plus the helpers the
-//!   aggregation steps need.
+//!   aggregation steps need, and the composite device passes built from
+//!   them ([`thrust::invert_sorted_runs`], [`thrust::connected_components`])
+//!   that keep the shingle-graph inversion and Phase-III components
+//!   device-resident.
 //!
 //! Device time ([`clock`], [`counters`]) is *simulated* — derived from the
 //! cost model, not wall-clock — so the Table I columns (GPU seconds,

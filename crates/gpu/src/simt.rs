@@ -145,6 +145,26 @@ impl KernelCost {
             coalescing_factor: 1.0,
         }
     }
+
+    /// One hook + pointer-jump sweep of the Shiloach–Vishkin-style
+    /// connected-components kernel: per edge, two label loads, a compare
+    /// and an `atomicMin` hook; per vertex, a `label[label[v]]` jump.
+    /// Compute is a handful of integer ops (~4, with mild divergence from
+    /// edges whose endpoints already agree exiting early); memory is two
+    /// 4-byte label reads plus the conditional 4-byte hook write — all
+    /// data-dependent scatter/gather through the label array, so it pays
+    /// the same ×4 transaction-width waste as [`KernelCost::gather`].
+    /// The label array itself is iterated to fixpoint; the driving loop
+    /// charges this cost once per sweep, and random graphs converge in
+    /// O(log n) sweeps (Shiloach & Vishkin 1982).
+    pub fn cc_iteration() -> Self {
+        KernelCost {
+            ops_per_element: 4.0,
+            bytes_per_element: 12.0,
+            divergence_factor: 1.2,
+            coalescing_factor: 4.0,
+        }
+    }
 }
 
 impl Gpu {

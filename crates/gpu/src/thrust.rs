@@ -6,7 +6,11 @@
 //! adjacency list). This module provides those primitives — plus
 //! `sequence`, `gather` and `reduce_by_key` used around them — over
 //! [`DeviceBuffer`]s, each launch executing in parallel on the SM pool and
-//! charging modeled device time via its [`KernelCost`].
+//! charging modeled device time via its [`KernelCost`]. On top of those
+//! sit two composite device passes: [`invert_sorted_runs`] (shingle-graph
+//! inversion over sorted packed runs: boundary flag + scan + gather) and
+//! [`connected_components`] (hook + pointer-jump label fixpoint over a
+//! device edge list).
 //!
 //! All primitives are deterministic and independent of the worker count:
 //! work is partitioned into disjoint output ranges, so any schedule
@@ -645,6 +649,397 @@ pub fn reduce_by_key_counts(
     Ok((u, c))
 }
 
+/// The raw CSR arrays of an inverted shingle stream, in exactly the shape
+/// the graph layer's `ShingleGraph::from_parts` consumes — left as plain
+/// arrays so this crate stays independent of the graph layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvertedRuns {
+    /// Distinct shingle keys, ascending.
+    pub keys: Vec<u64>,
+    /// `s` element ids per key, from each key group's first record (the
+    /// representative).
+    pub elements: Vec<u32>,
+    /// `keys.len() + 1` offsets delimiting each key's generator span.
+    pub gen_offsets: Vec<u64>,
+    /// Generator node ids per key group, consecutive duplicates removed.
+    pub generators: Vec<u32>,
+}
+
+/// Invert sorted packed shingle runs into `(key, representative elements,
+/// generator list)` CSR segments entirely on the device — the
+/// segmented-boundary-flag + scan + gather pass that replaces the host's
+/// streaming k-way heap merge.
+///
+/// Each run is a pair `(packed, elements)` where `packed[i]` is
+/// `(key << 64) | (node << 32) | local-index`, ascending, and
+/// `elements[local-index*s ..]` holds that record's `s` element ids (the
+/// `SortedRun` layout the device aggregation downloads). The pass:
+///
+/// 1. re-ranks run-local indices to global record ids and radix-sorts the
+///    concatenated u128s (skipped for a single run, which is already
+///    globally sorted) — full-key order `(key, node, global-id)` is
+///    exactly the `((key, node), run, position)` order of the host heap
+///    merge, so every downstream tie-break matches it bit for bit;
+/// 2. flags key boundaries and `(key, node)` boundaries in one sweep;
+/// 3. exclusive-scans both flag streams into output positions;
+/// 4. gathers keys, each group's representative element block, compacted
+///    generators and the generator offsets into dense CSR arrays.
+///
+/// Injected launch faults park as usual and surface at the final
+/// device→host copies; an allocation that does not fit returns
+/// [`DeviceError::OutOfMemory`] — both feed the caller's retry /
+/// degrade-to-host combinators.
+///
+/// # Panics
+/// Panics if `s == 0` or a run's element array is not `s` per record.
+pub fn invert_sorted_runs(
+    gpu: &Gpu,
+    s: usize,
+    runs: &[(&[u128], &[u32])],
+) -> Result<InvertedRuns, DeviceError> {
+    assert!(s > 0, "shingle size must be positive");
+    const LOW32: u128 = 0xFFFF_FFFF;
+    let runs: Vec<&(&[u128], &[u32])> = runs.iter().filter(|(p, _)| !p.is_empty()).collect();
+    for (packed, elements) in runs.iter() {
+        assert_eq!(elements.len(), packed.len() * s, "run element shape");
+        debug_assert!(
+            packed.windows(2).all(|w| w[0] <= w[1]),
+            "runs must be sorted"
+        );
+    }
+    let n: usize = runs.iter().map(|(p, _)| p.len()).sum();
+    assert!(n < (1 << 32), "too many shingle records");
+    if n == 0 {
+        return Ok(InvertedRuns {
+            keys: Vec::new(),
+            elements: Vec::new(),
+            gen_offsets: vec![0],
+            generators: Vec::new(),
+        });
+    }
+
+    // Stage the concatenated runs and upload them once. Record `base + i`
+    // of the concatenation keeps its elements at `(base + i) * s`, so the
+    // global record id doubles as the element-block index.
+    let mut packed_host: Vec<u128> = Vec::with_capacity(n);
+    let mut elems_host: Vec<u32> = Vec::with_capacity(n * s);
+    let mut run_lens: Vec<usize> = Vec::with_capacity(runs.len());
+    for (p, e) in runs.iter() {
+        run_lens.push(p.len());
+        packed_host.extend_from_slice(p);
+        elems_host.extend_from_slice(e);
+    }
+    let mut packed = gpu.htod(&packed_host)?;
+    let elements = gpu.htod(&elems_host)?;
+
+    if run_lens.len() > 1 {
+        // Re-rank low 32 bits to global record ids (one transform sweep:
+        // within a run the base is a constant), then merge the runs with
+        // one full radix pair-sort.
+        {
+            let mut rest = packed.device_slice_mut();
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+            let mut base = 0usize;
+            for len in &run_lens {
+                let (region, tail) = rest.split_at_mut(*len);
+                rest = tail;
+                let run_base = base as u128;
+                for chunk in region.chunks_mut(BLOCK_ELEMS) {
+                    tasks.push(Box::new(move || {
+                        for x in chunk.iter_mut() {
+                            *x = (*x & !LOW32) | (run_base + (*x & LOW32));
+                        }
+                    }));
+                }
+                base += len;
+            }
+            gpu.launch(n, &KernelCost::transform(), tasks);
+        }
+        sort_pairs(gpu, &mut packed);
+    }
+
+    // Flag key boundaries (a new shingle) and `(key, node)` boundaries (a
+    // new generator after consecutive-duplicate removal) in one sweep.
+    // `packed >> 32` is `(key << 32) | node`, so comparing it to the
+    // previous record dedups nodes within a key group *and* always fires
+    // on a key change — the stream inverter's sentinel-reset, flag-wise.
+    let mut key_flags = gpu.alloc::<u64>(n)?;
+    let mut gen_flags = gpu.alloc::<u64>(n)?;
+    {
+        let src = packed.device_slice();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = key_flags
+            .device_slice_mut()
+            .chunks_mut(BLOCK_ELEMS)
+            .zip(gen_flags.device_slice_mut().chunks_mut(BLOCK_ELEMS))
+            .enumerate()
+            .map(|(ci, (kf, gf))| {
+                let base = ci * BLOCK_ELEMS;
+                Box::new(move || {
+                    for k in 0..kf.len() {
+                        let i = base + k;
+                        if i == 0 {
+                            kf[k] = 1;
+                            gf[k] = 1;
+                        } else {
+                            kf[k] = ((src[i - 1] >> 64) != (src[i] >> 64)) as u64;
+                            gf[k] = ((src[i - 1] >> 32) != (src[i] >> 32)) as u64;
+                        }
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        gpu.launch(n, &KernelCost::transform(), tasks);
+    }
+    let mut key_pos = gpu.alloc::<u64>(n)?;
+    exclusive_scan(gpu, &key_flags, &mut key_pos, 0);
+    let mut gen_pos = gpu.alloc::<u64>(n)?;
+    exclusive_scan(gpu, &gen_flags, &mut gen_pos, 0);
+    let n_keys = (key_pos.device_slice()[n - 1] + key_flags.device_slice()[n - 1]) as usize;
+    let n_gens = (gen_pos.device_slice()[n - 1] + gen_flags.device_slice()[n - 1]) as usize;
+
+    // Gather the dense CSR arrays: every flagged record scatters to its
+    // scanned position. Records are chunked on boundaries whose output
+    // spans are disjoint (the scans are monotone), so tasks own disjoint
+    // output windows.
+    let mut out_keys = gpu.alloc::<u64>(n_keys)?;
+    let mut out_elems = gpu.alloc::<u32>(n_keys * s)?;
+    let mut out_goffs = gpu.alloc::<u64>(n_keys + 1)?;
+    let mut out_gens = gpu.alloc::<u32>(n_gens)?;
+    {
+        let src = packed.device_slice();
+        let elems_src = elements.device_slice();
+        let kf = key_flags.device_slice();
+        let kp = key_pos.device_slice();
+        let gf = gen_flags.device_slice();
+        let gp = gen_pos.device_slice();
+        let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::new();
+        let (mut goffs_rest, goffs_last) = out_goffs.device_slice_mut().split_at_mut(n_keys);
+        tasks.push(Box::new(move || goffs_last[0] = n_gens as u64));
+        let mut keys_rest = out_keys.device_slice_mut();
+        let mut elems_rest = out_elems.device_slice_mut();
+        let mut gens_rest = out_gens.device_slice_mut();
+        let (mut k_done, mut g_done, mut lo) = (0usize, 0usize, 0usize);
+        while lo < n {
+            let hi = (lo + BLOCK_ELEMS).min(n);
+            let k_hi = if hi < n { kp[hi] as usize } else { n_keys };
+            let g_hi = if hi < n { gp[hi] as usize } else { n_gens };
+            let (keys_c, kr) = keys_rest.split_at_mut(k_hi - k_done);
+            keys_rest = kr;
+            let (elems_c, er) = elems_rest.split_at_mut((k_hi - k_done) * s);
+            elems_rest = er;
+            let (goffs_c, or) = goffs_rest.split_at_mut(k_hi - k_done);
+            goffs_rest = or;
+            let (gens_c, gr) = gens_rest.split_at_mut(g_hi - g_done);
+            gens_rest = gr;
+            let (k_base, g_base) = (k_done, g_done);
+            tasks.push(Box::new(move || {
+                for i in lo..hi {
+                    if kf[i] == 1 {
+                        let kx = kp[i] as usize - k_base;
+                        keys_c[kx] = (src[i] >> 64) as u64;
+                        goffs_c[kx] = gp[i];
+                        let g = (src[i] & LOW32) as usize;
+                        elems_c[kx * s..(kx + 1) * s]
+                            .copy_from_slice(&elems_src[g * s..(g + 1) * s]);
+                    }
+                    if gf[i] == 1 {
+                        gens_c[gp[i] as usize - g_base] = ((src[i] >> 32) & LOW32) as u32;
+                    }
+                }
+            }));
+            k_done = k_hi;
+            g_done = g_hi;
+            lo = hi;
+        }
+        gpu.launch(n, &KernelCost::gather(), tasks);
+    }
+    Ok(InvertedRuns {
+        keys: gpu.try_dtoh(&out_keys)?,
+        elements: gpu.try_dtoh(&out_elems)?,
+        gen_offsets: gpu.try_dtoh(&out_goffs)?,
+        generators: gpu.try_dtoh(&out_gens)?,
+    })
+}
+
+/// The fixpoint of [`connected_components`]: per-vertex labels (each the
+/// minimum vertex id of its component) and the number of hook + jump
+/// sweeps the fixpoint took.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CcResult {
+    /// `labels[v]` = smallest vertex id in `v`'s component.
+    pub labels: Vec<u32>,
+    /// Hook + pointer-jump sweeps until no label changed.
+    pub iterations: usize,
+}
+
+/// Sweeps the [`connected_components`] fixpoint is modeled to take on an
+/// `n`-vertex graph: hooking halves the label depth and pointer jumping
+/// halves it again, so random graphs converge in `O(log n)` sweeps
+/// (Shiloach & Vishkin 1982) plus the final no-change detection pass.
+pub fn cc_sweep_estimate(n: usize) -> usize {
+    (usize::BITS - n.max(2).leading_zeros()) as usize + 1
+}
+
+/// Connected components over a device edge list by synchronous min-label
+/// hooking + pointer jumping (Shiloach–Vishkin style).
+///
+/// `edges` holds `(a << 32) | b` endpoint pairs over vertices `0..n`
+/// (self-loops and duplicates are harmless). Setup symmetrizes and sorts
+/// the directed edge list into per-target spans — the device CSR build.
+/// Each sweep then computes, double-buffered from the previous labels:
+///
+/// * **hook**: `next[v] = min(prev[v], min over edges (u, v) of prev[u])`;
+/// * **jump**: `jumped[v] = next[next[v]]` (labels are vertex ids, so a
+///   label's label contracts the pointer chain toward the minimum);
+///
+/// and stops when no label changed. Every phase is a pure function of the
+/// previous sweep's labels over disjoint output chunks, so labels *and*
+/// the iteration count are deterministic for any worker count. Each sweep
+/// charges one [`KernelCost::cc_iteration`] launch over the `2m + n`
+/// touched elements and polls [`Gpu::take_fault`] — the per-iteration
+/// fault site the resilience layer retries.
+///
+/// The labels converge to the minimum vertex id of each component: hooks
+/// only ever lower a label to another id inside the same component, and
+/// the minimum id is a fixpoint of both phases.
+///
+/// # Panics
+/// Panics (in debug builds) if an endpoint is `>= n`.
+pub fn connected_components(
+    gpu: &Gpu,
+    n: usize,
+    edges: &DeviceBuffer<u64>,
+) -> Result<CcResult, DeviceError> {
+    if n == 0 {
+        assert!(edges.is_empty(), "edges over an empty vertex set");
+        return Ok(CcResult {
+            labels: Vec::new(),
+            iterations: 0,
+        });
+    }
+    let m = edges.len();
+
+    // Symmetrize into (target << 32) | source and sort, so each vertex's
+    // incoming sources form one contiguous span of the directed list.
+    let mut dir = gpu.alloc::<u64>(2 * m)?;
+    {
+        let src = edges.device_slice();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = src
+            .chunks(BLOCK_ELEMS)
+            .zip(dir.device_slice_mut().chunks_mut(2 * BLOCK_ELEMS))
+            .map(|(es, out)| {
+                Box::new(move || {
+                    for (k, &e) in es.iter().enumerate() {
+                        let (a, b) = (e >> 32, e & 0xFFFF_FFFF);
+                        debug_assert!(
+                            (a as usize) < n && (b as usize) < n,
+                            "edge endpoint out of range"
+                        );
+                        out[2 * k] = (b << 32) | a;
+                        out[2 * k + 1] = (a << 32) | b;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        gpu.launch(2 * m, &KernelCost::transform(), tasks);
+    }
+    sort(gpu, &mut dir);
+    // Per-vertex spans of the sorted directed list (binary search per
+    // vertex — the usual offsets-from-sorted-keys build).
+    let mut offsets = gpu.alloc::<u64>(n + 1)?;
+    {
+        let sorted = dir.device_slice();
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = offsets
+            .device_slice_mut()
+            .chunks_mut(BLOCK_ELEMS)
+            .enumerate()
+            .map(|(ci, out)| {
+                let base = ci * BLOCK_ELEMS;
+                Box::new(move || {
+                    for (k, o) in out.iter_mut().enumerate() {
+                        let v = (base + k) as u64;
+                        *o = sorted.partition_point(|&e| (e >> 32) < v) as u64;
+                    }
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        gpu.launch(n + 1, &KernelCost::transform(), tasks);
+    }
+
+    let mut prev = gpu.alloc::<u32>(n)?;
+    sequence(gpu, &mut prev, 0);
+    let mut next = gpu.alloc::<u32>(n)?;
+    let mut jumped = gpu.alloc::<u32>(n)?;
+    let n_chunks = n.div_ceil(BLOCK_ELEMS);
+    let mut iterations = 0usize;
+    loop {
+        iterations += 1;
+        // Hook phase (wall-clock on the pool; the sweep's modeled cost is
+        // charged once below, the multi-phase-primitive idiom).
+        {
+            let prev_s = prev.device_slice();
+            let sorted = dir.device_slice();
+            let offs = offsets.device_slice();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = next
+                .device_slice_mut()
+                .chunks_mut(BLOCK_ELEMS)
+                .enumerate()
+                .map(|(ci, out)| {
+                    let base = ci * BLOCK_ELEMS;
+                    Box::new(move || {
+                        for (k, slot) in out.iter_mut().enumerate() {
+                            let v = base + k;
+                            let mut label = prev_s[v];
+                            for &e in &sorted[offs[v] as usize..offs[v + 1] as usize] {
+                                label = label.min(prev_s[(e & 0xFFFF_FFFF) as usize]);
+                            }
+                            *slot = label;
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            gpu.run_tasks(tasks);
+        }
+        // Jump phase + per-chunk convergence flags.
+        let mut chunk_changed = vec![false; n_chunks];
+        {
+            let prev_s = prev.device_slice();
+            let next_s = next.device_slice();
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = jumped
+                .device_slice_mut()
+                .chunks_mut(BLOCK_ELEMS)
+                .zip(chunk_changed.iter_mut())
+                .enumerate()
+                .map(|(ci, (out, changed))| {
+                    let base = ci * BLOCK_ELEMS;
+                    Box::new(move || {
+                        let mut any = false;
+                        for (k, slot) in out.iter_mut().enumerate() {
+                            let j = next_s[next_s[base + k] as usize];
+                            any |= j != prev_s[base + k];
+                            *slot = j;
+                        }
+                        *changed = any;
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            gpu.run_tasks(tasks);
+        }
+        // One modeled sweep: the hook reads a label per directed edge, the
+        // jump chases one pointer per vertex.
+        gpu.launch(2 * m + n, &KernelCost::cc_iteration(), vec![]);
+        gpu.take_fault()?;
+        if !chunk_changed.iter().any(|&c| c) {
+            break;
+        }
+        std::mem::swap(&mut prev, &mut jumped);
+    }
+    Ok(CcResult {
+        labels: gpu.try_dtoh(&prev)?,
+        iterations,
+    })
+}
+
 /// Two-pointer merge of sorted `left` and `right` into `out`.
 fn merge_into<T: Pod + Ord>(left: &[T], right: &[T], out: &mut [T]) {
     debug_assert_eq!(left.len() + right.len(), out.len());
@@ -1147,5 +1542,301 @@ mod tests {
         let snap = g.counters();
         assert!(snap.kernel_seconds > 0.0);
         assert!(snap.kernel_launches >= 2);
+    }
+
+    /// One sorted run of `(key, node)` records: random draws, sorted, with
+    /// run-local indices in the low 32 bits and `s` random elements each.
+    fn random_run(
+        rng: &mut StdRng,
+        s: usize,
+        len: usize,
+        key_range: u64,
+        node_range: u32,
+    ) -> (Vec<u128>, Vec<u32>) {
+        let mut recs: Vec<(u64, u32)> = (0..len)
+            .map(|_| (rng.gen_range(0..key_range), rng.gen_range(0..node_range)))
+            .collect();
+        recs.sort_unstable();
+        let packed: Vec<u128> = recs
+            .iter()
+            .enumerate()
+            .map(|(i, &(k, v))| ((k as u128) << 64) | ((v as u128) << 32) | i as u128)
+            .collect();
+        let elements: Vec<u32> = (0..len * s).map(|_| rng.gen_range(0..1_000)).collect();
+        (packed, elements)
+    }
+
+    /// Host oracle for [`invert_sorted_runs`]: merge records in global
+    /// `((key, node), run, position)` order and invert them streaming —
+    /// open a group per distinct key, take the first record's elements as
+    /// the representative, dedup consecutive generator nodes.
+    fn invert_oracle(s: usize, runs: &[(Vec<u128>, Vec<u32>)]) -> InvertedRuns {
+        let mut order: Vec<(u128, usize, usize)> = Vec::new();
+        for (ri, (packed, _)) in runs.iter().enumerate() {
+            for &p in packed {
+                order.push((p >> 32, ri, (p & 0xFFFF_FFFF) as usize));
+            }
+        }
+        order.sort_unstable();
+        let mut out = InvertedRuns {
+            keys: Vec::new(),
+            elements: Vec::new(),
+            gen_offsets: vec![0],
+            generators: Vec::new(),
+        };
+        let (mut cur_key, mut last_node, mut open) = (0u64, u32::MAX, false);
+        for (kn, ri, idx) in order {
+            let key = (kn >> 32) as u64;
+            let node = (kn & 0xFFFF_FFFF) as u32;
+            if !open || key != cur_key {
+                if open {
+                    out.gen_offsets.push(out.generators.len() as u64);
+                }
+                out.keys.push(key);
+                out.elements
+                    .extend_from_slice(&runs[ri].1[idx * s..(idx + 1) * s]);
+                cur_key = key;
+                last_node = u32::MAX;
+                open = true;
+            }
+            if node != last_node {
+                out.generators.push(node);
+                last_node = node;
+            }
+        }
+        if open {
+            out.gen_offsets.push(out.generators.len() as u64);
+        }
+        out
+    }
+
+    fn as_run_slices(runs: &[(Vec<u128>, Vec<u32>)]) -> Vec<(&[u128], &[u32])> {
+        runs.iter()
+            .map(|(p, e)| (p.as_slice(), e.as_slice()))
+            .collect()
+    }
+
+    #[test]
+    fn invert_sorted_runs_matches_stream_oracle() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(31);
+        for s in [1usize, 3] {
+            // Tight key/node ranges force duplicate (key, node) records
+            // both within and across runs — the tie-break cases.
+            let runs: Vec<(Vec<u128>, Vec<u32>)> = (0..4)
+                .map(|_| {
+                    let len = rng.gen_range(0..400);
+                    random_run(&mut rng, s, len, 60, 20)
+                })
+                .collect();
+            let got = invert_sorted_runs(&g, s, &as_run_slices(&runs)).unwrap();
+            assert_eq!(got, invert_oracle(s, &runs), "s={s}");
+        }
+    }
+
+    #[test]
+    fn invert_single_run_skips_the_merge_sort() {
+        const LOW: u128 = 0xFFFF_FFFF;
+        let s = 2usize;
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(32);
+        let (packed, elements) = random_run(&mut rng, s, 5_000, 100, 30);
+        // The same records split into two runs, each re-ranked run-local.
+        let half = packed.len() / 2;
+        let run_a = (packed[..half].to_vec(), elements[..half * s].to_vec());
+        let run_b = (
+            packed[half..]
+                .iter()
+                .map(|&p| (p & !LOW) | ((p & LOW) - half as u128))
+                .collect::<Vec<u128>>(),
+            elements[half * s..].to_vec(),
+        );
+        let single = vec![(packed, elements)];
+        g.reset_counters();
+        let got_single = invert_sorted_runs(&g, s, &as_run_slices(&single)).unwrap();
+        let single_launches = g.counters().kernel_launches;
+        g.reset_counters();
+        let split = vec![run_a, run_b];
+        let got_split = invert_sorted_runs(&g, s, &as_run_slices(&split)).unwrap();
+        let split_launches = g.counters().kernel_launches;
+        // Bit-identical inversions, but the single run skips the re-rank
+        // transform and the merging pair-sort.
+        assert_eq!(got_single, invert_oracle(s, &single));
+        assert_eq!(got_single, got_split);
+        assert_eq!(split_launches, single_launches + 2);
+    }
+
+    #[test]
+    fn invert_empty_and_all_empty_runs() {
+        let g = gpu();
+        let expect = InvertedRuns {
+            keys: vec![],
+            elements: vec![],
+            gen_offsets: vec![0],
+            generators: vec![],
+        };
+        assert_eq!(invert_sorted_runs(&g, 3, &[]).unwrap(), expect);
+        let empty: Vec<(Vec<u128>, Vec<u32>)> = vec![(vec![], vec![]), (vec![], vec![])];
+        assert_eq!(
+            invert_sorted_runs(&g, 3, &as_run_slices(&empty)).unwrap(),
+            expect
+        );
+    }
+
+    #[test]
+    fn invert_deterministic_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(33);
+        let runs: Vec<(Vec<u128>, Vec<u32>)> = (0..3)
+            .map(|_| random_run(&mut rng, 2, 2_000, 40, 15))
+            .collect();
+        let mut results = Vec::new();
+        for workers in [1usize, 2, 7] {
+            let g = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+            results.push(invert_sorted_runs(&g, 2, &as_run_slices(&runs)).unwrap());
+        }
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    /// Union–find oracle whose roots are component minima (unions attach
+    /// the larger root under the smaller, so the root of every tree is its
+    /// minimum vertex id — the same labels the device kernel converges to).
+    fn min_label_oracle(n: usize, edges: &[(u32, u32)]) -> Vec<u32> {
+        fn find(parent: &mut [u32], mut v: u32) -> u32 {
+            while parent[v as usize] != v {
+                let g = parent[parent[v as usize] as usize];
+                parent[v as usize] = g;
+                v = g;
+            }
+            v
+        }
+        let mut parent: Vec<u32> = (0..n as u32).collect();
+        for &(a, b) in edges {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        (0..n as u32).map(|v| find(&mut parent, v)).collect()
+    }
+
+    fn pack_edges(edges: &[(u32, u32)]) -> Vec<u64> {
+        edges
+            .iter()
+            .map(|&(a, b)| ((a as u64) << 32) | b as u64)
+            .collect()
+    }
+
+    #[test]
+    fn cc_matches_min_label_oracle_on_random_graphs() {
+        let g = gpu();
+        let mut rng = StdRng::seed_from_u64(41);
+        for _ in 0..12 {
+            let n = rng.gen_range(1..80usize);
+            let m = rng.gen_range(0..200usize);
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+                .collect();
+            let dev = g.htod(&pack_edges(&edges)).unwrap();
+            let got = connected_components(&g, n, &dev).unwrap();
+            assert_eq!(got.labels, min_label_oracle(n, &edges), "n={n} m={m}");
+            assert!(got.iterations >= 1);
+        }
+    }
+
+    #[test]
+    fn cc_empty_edgeless_and_self_loops() {
+        let g = gpu();
+        // Empty vertex set: nothing to label, zero sweeps.
+        let none = g.htod::<u64>(&[]).unwrap();
+        let got = connected_components(&g, 0, &none).unwrap();
+        assert!(got.labels.is_empty());
+        assert_eq!(got.iterations, 0);
+        // Edgeless: every vertex its own component, one detection sweep.
+        let got = connected_components(&g, 5, &none).unwrap();
+        assert_eq!(got.labels, vec![0, 1, 2, 3, 4]);
+        assert_eq!(got.iterations, 1);
+        // Self-loops and duplicate edges change nothing.
+        let edges = pack_edges(&[(2, 2), (1, 3), (3, 1), (1, 3)]);
+        let dev = g.htod(&edges).unwrap();
+        let got = connected_components(&g, 4, &dev).unwrap();
+        assert_eq!(got.labels, vec![0, 1, 2, 1]);
+    }
+
+    #[test]
+    fn cc_single_giant_component_within_sweep_estimate() {
+        let g = gpu();
+        let n = 300usize;
+        // A ring: diameter n/2, the hostile case for plain label
+        // propagation — pointer jumping must close it in O(log n).
+        let edges: Vec<(u32, u32)> = (0..n as u32).map(|v| (v, (v + 1) % n as u32)).collect();
+        let dev = g.htod(&pack_edges(&edges)).unwrap();
+        let got = connected_components(&g, n, &dev).unwrap();
+        assert!(got.labels.iter().all(|&l| l == 0));
+        assert!(
+            got.iterations <= cc_sweep_estimate(n),
+            "{} sweeps > estimate {}",
+            got.iterations,
+            cc_sweep_estimate(n)
+        );
+    }
+
+    #[test]
+    fn cc_deterministic_across_worker_counts() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 500usize;
+        let edges: Vec<(u32, u32)> = (0..800)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+        let packed = pack_edges(&edges);
+        let mut results = Vec::new();
+        for workers in [1usize, 3, 8] {
+            let g = Gpu::with_workers(DeviceConfig::tesla_k20(), workers);
+            let dev = g.htod(&packed).unwrap();
+            results.push(connected_components(&g, n, &dev).unwrap());
+        }
+        // Labels *and* sweep counts must agree — the modeled time depends
+        // on the iteration count, so it must not vary with the schedule.
+        assert_eq!(results[0], results[1]);
+        assert_eq!(results[0], results[2]);
+    }
+
+    #[test]
+    fn cc_charges_cc_iteration_per_sweep() {
+        let g = gpu();
+        let n = 4_000usize;
+        let edges: Vec<(u32, u32)> = (0..n as u32 - 1).map(|v| (v, v + 1)).collect();
+        let dev = g.htod(&pack_edges(&edges)).unwrap();
+        g.reset_counters();
+        let got = connected_components(&g, n, &dev).unwrap();
+        // Every launch is deterministic, so the charged device time is the
+        // setup (symmetrize + sort + offsets + label init) plus exactly
+        // one cc_iteration sweep over 2m + n elements per iteration.
+        let m2 = 2 * edges.len();
+        let expected = g.model_kernel_seconds(m2, &KernelCost::transform())
+            + g.model_kernel_seconds(m2, &KernelCost::sort())
+            + g.model_kernel_seconds(n + 1, &KernelCost::transform())
+            + g.model_kernel_seconds(n, &KernelCost::transform())
+            + got.iterations as f64 * g.model_kernel_seconds(m2 + n, &KernelCost::cc_iteration());
+        let charged = g.counters().kernel_seconds;
+        assert!((charged - expected).abs() < 1e-8, "{charged} vs {expected}");
+    }
+
+    #[test]
+    fn cc_surfaces_injected_kernel_faults() {
+        use crate::fault::{FaultKind, FaultPlan, FaultSite};
+        let g = gpu();
+        let edges: Vec<(u32, u32)> = (0..99).map(|v| (v, v + 1)).collect();
+        let dev = g.htod(&pack_edges(&edges)).unwrap();
+        g.set_fault_plan(FaultPlan::scheduled().with_fault(
+            FaultSite::Kernel,
+            4,
+            FaultKind::LaunchFailed,
+        ));
+        let err = connected_components(&g, 100, &dev).unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        // The plan is exhausted; a clean retry on the same device succeeds.
+        let got = connected_components(&g, 100, &dev).unwrap();
+        assert!(got.labels.iter().all(|&l| l == 0));
     }
 }

@@ -22,6 +22,33 @@ pub struct ComponentLabels {
 }
 
 impl ComponentLabels {
+    /// Canonicalize an arbitrary labeling (any `u32` per vertex, equal iff
+    /// same component) into dense first-appearance component ids.
+    ///
+    /// [`bfs_components`] numbers components by ascending start vertex, and
+    /// a min-vertex-id labeling (what the device pointer-jumping kernel
+    /// produces) first appears in exactly that order — so canonicalizing a
+    /// correct device labeling yields a `ComponentLabels` *equal* to the
+    /// BFS oracle's, not merely partition-equivalent.
+    pub fn from_raw(raw: &[u32]) -> ComponentLabels {
+        let mut remap: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
+        let mut next = 0u32;
+        let labels = raw
+            .iter()
+            .map(|&l| {
+                *remap.entry(l).or_insert_with(|| {
+                    let id = next;
+                    next += 1;
+                    id
+                })
+            })
+            .collect();
+        ComponentLabels {
+            labels,
+            n_components: next as usize,
+        }
+    }
+
     /// Sizes of all components, indexed by component id.
     pub fn sizes(&self) -> Vec<usize> {
         let mut sizes = vec![0usize; self.n_components];
@@ -91,6 +118,19 @@ pub fn union_components(
     }
 }
 
+/// Fold a component labeling into an existing union–find: unions every
+/// vertex with its label (labels must be vertex ids, e.g. the min-vertex-id
+/// labels a pointer-jumping kernel produces — *not* dense component ids).
+///
+/// Absorbing the per-device labelings of several partial edge sets yields
+/// the connected components of their union — the host-side merge step of
+/// multi-GPU device-resident Phase III.
+pub fn absorb_labels(uf: &mut UnionFind, labels: &[u32]) {
+    for (v, &l) in labels.iter().enumerate() {
+        uf.union(v as VertexId, l);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -157,6 +197,40 @@ mod tests {
         let total: usize = groups.iter().map(Vec::len).sum();
         assert_eq!(total, g.n());
         assert!(groups.iter().all(|grp| !grp.is_empty()));
+    }
+
+    #[test]
+    fn from_raw_min_labels_equal_bfs_oracle() {
+        let g = two_triangles_and_isolated();
+        let bfs = bfs_components(&g);
+        // Min-vertex-id labeling of the same graph: {0,1,2}→0, {3,4,5}→3,
+        // {6}→6 — what the device CC kernel produces.
+        let raw = [0u32, 0, 0, 3, 3, 3, 6];
+        assert_eq!(ComponentLabels::from_raw(&raw), bfs);
+        // Canonicalization is idempotent on already-dense labels.
+        assert_eq!(ComponentLabels::from_raw(&bfs.labels), bfs);
+    }
+
+    #[test]
+    fn from_raw_empty() {
+        let cc = ComponentLabels::from_raw(&[]);
+        assert_eq!(cc.n_components, 0);
+        assert!(cc.labels.is_empty());
+    }
+
+    #[test]
+    fn absorb_labels_unions_partial_labelings() {
+        // Device 0 saw edges {0-1}, device 1 saw edges {1-2}: their min
+        // labelings are [0,0,2,3] and [0,1,1,3]; absorbing both must yield
+        // the components of the union {0,1,2},{3}.
+        let mut uf = UnionFind::new(4);
+        absorb_labels(&mut uf, &[0, 0, 2, 3]);
+        absorb_labels(&mut uf, &[0, 1, 1, 3]);
+        let (labels, n) = uf.labels();
+        assert_eq!(n, 2);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_ne!(labels[0], labels[3]);
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! * [`unionfind`] — Tarjan union–find with rank union and path halving,
 //!   the structure Phase III uses to merge clusters (paper ref \[21\]).
 //! * [`components`] — connected-component detection (BFS oracle and
-//!   union–find stream variant); also provides the largest-CC statistic of
-//!   Table II.
+//!   union–find stream variant), plus label-equivalence helpers for the
+//!   device pointer-jumping kernel (raw-label canonicalization, union–find
+//!   absorption of per-device labelings); also provides the largest-CC
+//!   statistic of Table II.
 //! * [`bipartite`] — the bipartite shingle graphs G′(S1, V′l, E′) and
 //!   G″(S2, S′1, E″) produced by the two shingling passes, stored in the
 //!   adjacency-list (`<shingle, L(shingle)>` tuple) form the paper describes.

@@ -6,7 +6,7 @@
 //! gpclust cluster     --graph graph.bin --out clusters.tsv
 //!                     [--serial] [--devices N] [--seed 7] [--overlap]
 //!                     [--kernel sort|select] [--aggregate host|device]
-//!                     [--par-sort-min N]
+//!                     [--components host|device] [--par-sort-min N]
 //!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
 //! gpclust stats       --graph graph.bin
 //! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
@@ -17,8 +17,8 @@
 
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{
-    AggregationMode, FaultPolicy, GpClust, PipelineMode, Plan, SerialShingling, ShingleKernel,
-    ShinglingParams,
+    AggregationMode, ComponentsMode, FaultPolicy, GpClust, PipelineMode, Plan, SerialShingling,
+    ShingleKernel, ShinglingParams,
 };
 use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
@@ -71,6 +71,10 @@ subcommands:
                                                top-s extraction kernel,
                                                [--aggregate host|device] for
                                                where the shingle sort runs,
+                                               [--components host|device] for
+                                               where Phase III labels clusters
+                                               (host union-find or the GPU
+                                               pointer-jumping kernel),
                                                [--par-sort-min N],
                                                [--s1/--c1/--s2/--c2],
                                                [--min-size],
@@ -178,6 +182,19 @@ fn parse_aggregation(args: &Flags, default: AggregationMode) -> Result<Aggregati
     }
 }
 
+fn parse_components(args: &Flags, default: ComponentsMode) -> Result<ComponentsMode, String> {
+    match args.get("components").map(String::as_str) {
+        None => Ok(default),
+        Some("host") => Ok(ComponentsMode::Host),
+        Some("device") => Ok(ComponentsMode::Device),
+        Some(other) => Err(format!(
+            "--components must be `host` (streamed union-find) or `device` \
+             (GPU shingle-graph inversion + pointer-jumping connected \
+             components), got `{other}`"
+        )),
+    }
+}
+
 /// `--inject-faults seed:rate` (falling back to `GPCLUST_INJECT_FAULTS`
 /// in the environment), parsed into a deterministic device fault plan.
 fn fault_plan(args: &Flags) -> Result<Option<FaultPlan>, String> {
@@ -216,6 +233,7 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         },
         kernel: parse_kernel(args, base.kernel)?,
         aggregation: parse_aggregation(args, base.aggregation)?,
+        components: parse_components(args, base.components)?,
         par_sort_min: get(args, "par-sort-min", base.par_sort_min),
         fault: fault_policy(args, base.fault),
         ..base

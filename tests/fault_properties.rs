@@ -1,8 +1,8 @@
 //! Fault-injection properties: under any injected fault schedule that
 //! does not exhaust the recovery policy, the final clusters are
 //! bit-identical to a fault-free run — across kernels, schedules,
-//! aggregation modes, and 1–4 devices. Exhausted policies surface typed
-//! errors, never panics.
+//! aggregation modes, components modes, and 1–4 devices. Exhausted
+//! policies surface typed errors, never panics.
 //!
 //! Random-rate fault injection across the full schedule matrix lives in
 //! `tests/plan_properties.rs`; this suite keeps the scheduled-fault,
@@ -10,8 +10,8 @@
 
 use gpclust::core::multi_gpu::MultiGpuClust;
 use gpclust::core::{
-    AggregationMode, FaultPolicy, GpClust, PipelineMode, SerialShingling, ShingleKernel,
-    ShinglingParams,
+    AggregationMode, ComponentsMode, FaultPolicy, GpClust, PipelineMode, SerialShingling,
+    ShingleKernel, ShinglingParams,
 };
 use gpclust::gpu::{DeviceConfig, DeviceError, FaultKind, FaultPlan, FaultSite, Gpu};
 use gpclust::graph::{Csr, EdgeList, Partition};
@@ -27,9 +27,11 @@ fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
     })
 }
 
-/// Strategy: every schedule/kernel/aggregation combination via three bits.
-fn arb_knobs() -> impl Strategy<Value = (PipelineMode, ShingleKernel, AggregationMode)> {
-    (0u8..8).prop_map(|knobs| {
+/// Strategy: every schedule/kernel/aggregation/components combination via
+/// four bits.
+fn arb_knobs(
+) -> impl Strategy<Value = (PipelineMode, ShingleKernel, AggregationMode, ComponentsMode)> {
+    (0u8..16).prop_map(|knobs| {
         (
             if knobs & 1 != 0 {
                 PipelineMode::Overlapped
@@ -45,6 +47,11 @@ fn arb_knobs() -> impl Strategy<Value = (PipelineMode, ShingleKernel, Aggregatio
                 AggregationMode::Device
             } else {
                 AggregationMode::Host
+            },
+            if knobs & 8 != 0 {
+                ComponentsMode::Device
+            } else {
+                ComponentsMode::Host
             },
         )
     })
@@ -103,7 +110,7 @@ proptest! {
     #[test]
     fn scheduled_faults_preserve_bit_identity(
         g in arb_graph(50, 250),
-        (mode, kernel, aggregation) in arb_knobs(),
+        (mode, kernel, aggregation, components) in arb_knobs(),
         seed in 0u64..1000,
         schedule in arb_schedule(),
         n_devices in 1usize..=4,
@@ -112,6 +119,7 @@ proptest! {
             mode,
             kernel,
             aggregation,
+            components,
             seed,
             ..ShinglingParams::light(seed)
         };
@@ -129,7 +137,7 @@ proptest! {
     #[test]
     fn device_loss_recovery_preserves_bit_identity(
         g in arb_graph(50, 250),
-        (mode, kernel, aggregation) in arb_knobs(),
+        (mode, kernel, aggregation, components) in arb_knobs(),
         seed in 0u64..500,
         occurrence in 1u64..20,
     ) {
@@ -137,6 +145,7 @@ proptest! {
             mode,
             kernel,
             aggregation,
+            components,
             seed,
             ..ShinglingParams::light(seed)
         };
@@ -219,6 +228,33 @@ fn strict_policy_surfaces_typed_errors() {
     ));
     let err = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap_err();
     assert!(matches!(err, DeviceError::OutOfMemory { .. }), "{err}");
+}
+
+/// `LaunchFailed` injected at every kernel-occurrence index in turn under
+/// the fully device-resident schedule — the late indices land on the
+/// finish-time inversion and connected-components launches — always yields
+/// the bit-identical serial partition under the permissive policy, and at
+/// least one index exercises the recovery machinery.
+#[test]
+fn cc_and_inversion_faults_degrade_bit_identically() {
+    let g = ring_graph(90);
+    let params = ShinglingParams::light(13)
+        .with_aggregation(AggregationMode::Device)
+        .with_components(ComponentsMode::Device);
+    let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+    let mut any_recovery = false;
+    for occurrence in 1u64..=80 {
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        gpu.set_fault_plan(FaultPlan::scheduled().with_fault(
+            FaultSite::Kernel,
+            occurrence,
+            FaultKind::LaunchFailed,
+        ));
+        let report = GpClust::new(params, gpu).unwrap().cluster(&g).unwrap();
+        assert_eq!(report.partition, oracle, "kernel occurrence {occurrence}");
+        any_recovery |= report.times.recovery.any();
+    }
+    assert!(any_recovery, "no occurrence index hit an injected fault");
 }
 
 /// Losing the only device is terminal: a typed `DeviceLost`, not a panic,

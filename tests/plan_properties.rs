@@ -13,9 +13,11 @@
 
 use gpclust::core::multi_gpu::MultiGpuClust;
 use gpclust::core::{
-    AggregationMode, GpClust, PipelineMode, SerialShingling, ShingleKernel, ShinglingParams,
+    AggregationMode, ComponentsMode, GpClust, PipelineMode, SerialShingling, ShingleKernel,
+    ShinglingParams,
 };
-use gpclust::gpu::{DeviceConfig, DeviceError, FaultPlan, Gpu};
+use gpclust::gpu::{thrust, DeviceConfig, DeviceError, FaultPlan, Gpu};
+use gpclust::graph::components::{bfs_components, ComponentLabels};
 use gpclust::graph::{Csr, EdgeList, Partition};
 use proptest::prelude::*;
 
@@ -62,7 +64,7 @@ proptest! {
 
     /// Serial oracle ≡ Executor over the full plan matrix. Each proptest
     /// case draws one graph and one parameter seed, then sweeps every
-    /// combination of the four schedule axes and both fault rates.
+    /// combination of the five schedule axes and both fault rates.
     #[test]
     fn executor_matches_serial_oracle_across_the_plan_matrix(
         g in arb_graph(40, 160),
@@ -74,29 +76,63 @@ proptest! {
         for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
             for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
                 for aggregation in [AggregationMode::Host, AggregationMode::Device] {
-                    for n_devices in 1usize..=4 {
-                        for rate in [0.0, 0.05] {
-                            let params = base
-                                .with_kernel(kernel)
-                                .with_mode(mode)
-                                .with_aggregation(aggregation);
-                            let plan = FaultPlan::random(fault_seed, rate);
-                            let got = device_partition(&g, params, n_devices, &plan)
-                                .unwrap();
-                            prop_assert_eq!(
-                                &got,
-                                &oracle,
-                                "{:?} {:?} {:?} {} device(s) rate {}",
-                                kernel,
-                                mode,
-                                aggregation,
-                                n_devices,
-                                rate
-                            );
+                    for components in [ComponentsMode::Host, ComponentsMode::Device] {
+                        for n_devices in 1usize..=4 {
+                            for rate in [0.0, 0.05] {
+                                let params = base
+                                    .with_kernel(kernel)
+                                    .with_mode(mode)
+                                    .with_aggregation(aggregation)
+                                    .with_components(components);
+                                let plan = FaultPlan::random(fault_seed, rate);
+                                let got = device_partition(&g, params, n_devices, &plan)
+                                    .unwrap();
+                                prop_assert_eq!(
+                                    &got,
+                                    &oracle,
+                                    "{:?} {:?} {:?} {:?} {} device(s) rate {}",
+                                    kernel,
+                                    mode,
+                                    aggregation,
+                                    components,
+                                    n_devices,
+                                    rate
+                                );
+                            }
                         }
                     }
                 }
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The pointer-jumping CC kernel labels any random graph exactly like
+    /// the host BFS oracle once both labelings are canonicalized
+    /// (first-appearance order over the same vertex range). Covers the
+    /// empty edge set, self-loops, duplicate edges, and disconnected
+    /// vertices by construction of [`arb_graph`].
+    #[test]
+    fn device_cc_labels_match_host_bfs(g in arb_graph(60, 240)) {
+        let mut edges: Vec<u64> = Vec::new();
+        for v in 0..g.n() as u32 {
+            for &t in g.neighbors(v) {
+                edges.push(((v as u64) << 32) | t as u64);
+            }
+        }
+        let raw: Vec<u32> = if edges.is_empty() {
+            (0..g.n() as u32).collect()
+        } else {
+            let gpu = Gpu::new(DeviceConfig::tesla_k20());
+            let dev = gpu.htod(&edges).unwrap();
+            let cc = thrust::connected_components(&gpu, g.n(), &dev).unwrap();
+            prop_assert!(cc.iterations >= 1);
+            cc.labels
+        };
+        prop_assert_eq!(raw.len(), g.n());
+        prop_assert_eq!(ComponentLabels::from_raw(&raw), bfs_components(&g));
     }
 }
