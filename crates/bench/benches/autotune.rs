@@ -1,0 +1,356 @@
+//! Plan autotuning and heterogeneous work partitioning — the cost-model
+//! argmin behind `--plan auto` (`gpclust_core::autotune`), priced over
+//! full fleets instead of re-deriving per-bench arithmetic like
+//! `aggregate_offload.rs`/`residency.rs` did.
+//!
+//! Two measurements:
+//!
+//! 1. **Criterion wall-clock** of `GpClust::cluster` under a manual plan
+//!    and under `--plan auto` on the same graph: the argmin runs once per
+//!    `cluster` call, so the selection overhead must vanish into the run
+//!    (clusters are bit-identical by contract; see
+//!    `crates/core/tests/plan_properties.rs`).
+//! 2. **Modeled makespans** from the autotuner's own predictor for every
+//!    point of the 16-way axis cross-product, on two fleets × two
+//!    Table-I-shaped scales, written via [`gpclust_bench::write_report`]
+//!    to `crates/bench/reports/BENCH_autotune.json` (mirrored at the repo
+//!    root). Device memory is capped at 256 MiB so the passes split into
+//!    enough batches for the dealing policy to matter — a 5 GB card
+//!    swallows a whole pass in one batch, where every policy deals alike.
+//!
+//! The report asserts the two headline claims: the argmin's pick matches
+//! the best manual combination exactly (it *is* the argmin over the same
+//! predictor), and on the heterogeneous fleet capability-proportional
+//! dealing beats uniform round-robin by a margin, because round-robin
+//! gates every round on the half-bandwidth card.
+
+use criterion::{criterion_group, Criterion};
+use gpclust_core::autotune::{self, PassShape, PlanAxes, Sharing, WorkloadShape};
+use gpclust_core::{ForcedAxes, GpClust, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+
+/// Shingle size of both modeled passes (the paper's default `s1 = s2`).
+const S: usize = 2;
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(4_000, 4, 200, 1.4, 23),
+        n_noise_vertices: 1_000,
+        p_intra: 0.8,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 23,
+    })
+    .graph
+}
+
+fn bench_autotune(c: &mut Criterion) {
+    let g = graph();
+    let mut grp = c.benchmark_group("plan_autotune");
+    grp.sample_size(10);
+    for (name, params) in [
+        ("manual_default", ShinglingParams::light(23)),
+        ("auto_argmin", ShinglingParams::light(23).with_plan_auto()),
+    ] {
+        grp.bench_function(name, |b| {
+            let pipeline = GpClust::new(params, Gpu::new(DeviceConfig::tesla_k20())).unwrap();
+            b.iter(|| pipeline.cluster(&g).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+/// A K20-class card with its memory capped to 256 MiB (see module docs).
+fn capped(cfg: DeviceConfig) -> Gpu {
+    Gpu::new(DeviceConfig {
+        global_mem_bytes: 256 << 20,
+        ..cfg
+    })
+}
+
+/// One pass shape: `n_elements` adjacency elements over `n_segments`
+/// lists, `trials` hash rounds.
+fn pass(n_elements: usize, n_segments: usize, trials: usize) -> PassShape {
+    PassShape {
+        n_elements,
+        n_segments,
+        out_elements: (n_segments * S).min(n_elements),
+        trials,
+        s: S,
+    }
+}
+
+/// A Table-I-shaped workload with both pass shapes given explicitly (the
+/// residency bench's numbers). The in-pipeline autotuner estimates pass
+/// II from pass I instead ([`WorkloadShape::from_input`]) — a deliberate
+/// over-estimate that ranks the candidates the same way; this report
+/// prices the realistic shapes so the absolute seconds mean something.
+fn scale(n_vertices: usize, pass1: PassShape, pass2: PassShape) -> WorkloadShape {
+    WorkloadShape {
+        n_vertices,
+        pass1,
+        pass2,
+    }
+}
+
+#[derive(Debug)]
+struct ComboRow {
+    axes: String,
+    predicted_s: f64,
+    predicted_device_s: f64,
+    n_batches: u64,
+}
+
+#[derive(Debug)]
+struct FleetScaleReport {
+    fleet: String,
+    scale: String,
+    combos: Vec<ComboRow>,
+    /// The argmin's pick (always equals the best manual combination —
+    /// asserted).
+    auto_axes: String,
+    auto_predicted_s: f64,
+    best_manual_s: f64,
+    worst_manual_s: f64,
+    /// Modeled speedup of the argmin's pick over the worst manual
+    /// combination — what `--plan auto` saves a user who guesses badly.
+    auto_vs_worst_speedup: f64,
+    /// Best-axes makespan under uniform round-robin dealing.
+    round_robin_s: f64,
+    /// … and under capability-proportional dealing.
+    weighted_s: f64,
+    /// Positive = weighted dealing wins (0 on uniform fleets, where the
+    /// two policies deal identically).
+    weighted_vs_round_robin_margin_pct: f64,
+}
+
+fn model_fleet_scale(
+    fleet_label: &str,
+    gpus: &[Gpu],
+    scale_label: &str,
+    w: &WorkloadShape,
+) -> FleetScaleReport {
+    let priced: Vec<(PlanAxes, autotune::Prediction)> = PlanAxes::all()
+        .into_iter()
+        .map(|axes| {
+            let p = autotune::predict(axes, w, gpus, Sharing::Weighted)
+                .expect("no device lost, prediction exists");
+            (axes, p)
+        })
+        .collect();
+    let best = priced
+        .iter()
+        .min_by(|a, b| a.1.seconds.total_cmp(&b.1.seconds))
+        .unwrap();
+    let worst = priced
+        .iter()
+        .max_by(|a, b| a.1.seconds.total_cmp(&b.1.seconds))
+        .unwrap();
+
+    // The argmin must land on the best manual combination — it ranks the
+    // same 16 predictions.
+    let params = ShinglingParams::paper_default(7);
+    let selection = autotune::select(&params, ForcedAxes::default(), w, gpus)
+        .expect("selection exists on a healthy fleet");
+    assert_eq!(
+        selection.axes, best.0,
+        "[{fleet_label}/{scale_label}] auto must pick the best manual combo"
+    );
+    assert!(
+        (selection.prediction.seconds - best.1.seconds).abs() <= 1e-12 * best.1.seconds.max(1.0),
+        "[{fleet_label}/{scale_label}] auto's predicted makespan must equal the best manual's"
+    );
+
+    // Dealing policy at the winning axes: capability-proportional vs
+    // uniform round-robin.
+    let weighted = selection.prediction.seconds;
+    let round_robin = autotune::predict(best.0, w, gpus, Sharing::RoundRobin)
+        .expect("round-robin prediction exists")
+        .seconds;
+
+    FleetScaleReport {
+        fleet: fleet_label.to_string(),
+        scale: scale_label.to_string(),
+        combos: priced
+            .iter()
+            .map(|(axes, p)| ComboRow {
+                axes: axes.describe(),
+                predicted_s: p.seconds,
+                predicted_device_s: p.device_seconds,
+                n_batches: p.n_batches,
+            })
+            .collect(),
+        auto_axes: selection.axes.describe(),
+        auto_predicted_s: weighted,
+        best_manual_s: best.1.seconds,
+        worst_manual_s: worst.1.seconds,
+        auto_vs_worst_speedup: worst.1.seconds / best.1.seconds,
+        round_robin_s: round_robin,
+        weighted_s: weighted,
+        weighted_vs_round_robin_margin_pct: (round_robin / weighted - 1.0) * 100.0,
+    }
+}
+
+/// Render the report as literal JSON (every label is a fixed string,
+/// every value a finite number), so the checked-in artifact regenerates
+/// byte-for-byte regardless of which serializer the build links.
+fn render_json(note: &str, runs: &[FleetScaleReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"note\": \"{note}\",\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"fleet\": \"{}\",\n", r.fleet));
+        out.push_str(&format!("      \"scale\": \"{}\",\n", r.scale));
+        out.push_str("      \"combos\": [\n");
+        for (j, c) in r.combos.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"axes\": \"{}\", \"predicted_s\": {:.6}, \
+                 \"predicted_device_s\": {:.6}, \"n_batches\": {} }}{}\n",
+                c.axes,
+                c.predicted_s,
+                c.predicted_device_s,
+                c.n_batches,
+                if j + 1 < r.combos.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!("      \"auto_axes\": \"{}\",\n", r.auto_axes));
+        out.push_str(&format!(
+            "      \"auto_predicted_s\": {:.6},\n",
+            r.auto_predicted_s
+        ));
+        out.push_str(&format!(
+            "      \"best_manual_s\": {:.6},\n",
+            r.best_manual_s
+        ));
+        out.push_str(&format!(
+            "      \"worst_manual_s\": {:.6},\n",
+            r.worst_manual_s
+        ));
+        out.push_str(&format!(
+            "      \"auto_vs_worst_speedup\": {:.4},\n",
+            r.auto_vs_worst_speedup
+        ));
+        out.push_str(&format!(
+            "      \"round_robin_s\": {:.6},\n",
+            r.round_robin_s
+        ));
+        out.push_str(&format!("      \"weighted_s\": {:.6},\n", r.weighted_s));
+        out.push_str(&format!(
+            "      \"weighted_vs_round_robin_margin_pct\": {:.4}\n",
+            r.weighted_vs_round_robin_margin_pct
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_modeled_report() {
+    let uniform = vec![
+        capped(DeviceConfig::tesla_k20()),
+        capped(DeviceConfig::tesla_k20()),
+    ];
+    let hetero = vec![
+        capped(DeviceConfig::tesla_k20()),
+        capped(DeviceConfig::tesla_k20_half_bandwidth()),
+    ];
+    // The residency bench's Table-I shapes: the 20K alignment graph and
+    // the 2M-like planted graph at the paper's default trial counts.
+    let w20k = scale(
+        20_000,
+        pass(4_000_000, 20_000, 200),
+        pass(1_000_000, 40_000, 100),
+    );
+    let w2m = scale(
+        2_000_000,
+        pass(400_000_000, 2_000_000, 200),
+        pass(100_000_000, 1_000_000, 100),
+    );
+
+    let mut runs = Vec::new();
+    for (fleet_label, gpus) in [
+        ("2x K20 (256 MiB)", &uniform),
+        ("K20 + half-bandwidth K20 (256 MiB)", &hetero),
+    ] {
+        for (scale_label, w) in [("20K", &w20k), ("2M-like", &w2m)] {
+            runs.push(model_fleet_scale(fleet_label, gpus, scale_label, w));
+        }
+    }
+
+    // Headline claims. On the uniform fleet the two dealing policies are
+    // one and the same; on the heterogeneous fleet proportional shares
+    // must beat round-robin with a real margin at the batch-rich 2M
+    // scale (round-robin gates every round on the half-bandwidth card).
+    for r in &runs {
+        if r.fleet.starts_with("2x") {
+            assert!(
+                r.weighted_vs_round_robin_margin_pct.abs() < 1e-9,
+                "[{}/{}] uniform fleets deal identically either way",
+                r.fleet,
+                r.scale
+            );
+        } else {
+            // Weighted dealing must never lose to round-robin; at the
+            // 20K scale the capped cards still fit each pass in a batch
+            // or two, so the deals can coincide — the decisive win is
+            // asserted below at the batch-rich 2M-like scale.
+            assert!(
+                r.weighted_vs_round_robin_margin_pct >= -1e-9,
+                "[{}/{}] weighted dealing must never lose to round-robin",
+                r.fleet,
+                r.scale
+            );
+        }
+        assert!(r.auto_vs_worst_speedup >= 1.0);
+    }
+    let margin_2m = runs
+        .iter()
+        .find(|r| !r.fleet.starts_with("2x") && r.scale == "2M-like")
+        .unwrap()
+        .weighted_vs_round_robin_margin_pct;
+    assert!(
+        margin_2m >= 5.0,
+        "heterogeneous 2M-like margin must be substantial, got {margin_2m:.2}%"
+    );
+
+    let json = render_json(
+        "autotuner-predicted makespans (gpclust_core::autotune::predict) for all 16 \
+         schedule-axis combinations on two fleets x two Table-I scales; generated by \
+         crates/bench/benches/autotune.rs (write_modeled_report)",
+        &runs,
+    );
+    let path = gpclust_bench::write_report("BENCH_autotune.json", &json);
+    for r in &runs {
+        eprintln!(
+            "[{} / {}] auto -> {} @ {:.4}s (worst manual {:.4}s, {:.2}x saved); \
+             round-robin {:.4}s vs weighted {:.4}s ({:+.1}%)",
+            r.fleet,
+            r.scale,
+            r.auto_axes,
+            r.auto_predicted_s,
+            r.worst_manual_s,
+            r.auto_vs_worst_speedup,
+            r.round_robin_s,
+            r.weighted_s,
+            r.weighted_vs_round_robin_margin_pct
+        );
+    }
+    eprintln!("written to {path:?}");
+}
+
+criterion_group!(benches, bench_autotune);
+
+#[allow(clippy::default_constructed_unit_structs)] // unit only in the criterion stub
+fn main() {
+    write_modeled_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

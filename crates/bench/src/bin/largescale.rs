@@ -11,7 +11,8 @@
 //!
 //! Usage: `largescale [--vertices <n>] [--seed <u64>] [--paper-scale]
 //!                    [--overlap] [--kernel sort|select]
-//!                    [--aggregate host|device] [--par-sort-min N]`
+//!                    [--aggregate host|device] [--plan auto|manual]
+//!                    [--par-sort-min N]`
 //!
 //! `--paper-scale` uses 11M vertices (~640M edges — needs ~16 GB RAM and
 //! a long run; the default is the scaled demonstration). The schedule
@@ -71,9 +72,24 @@ fn main() {
     let gpu = sched.harness_gpu(0);
     let params = sched.apply(ShinglingParams::paper_default(seed));
     let pipeline = GpClust::new(params, gpu).unwrap();
+    eprintln!(
+        "plan: {}",
+        sched.describe_plan_on(
+            &params,
+            std::slice::from_ref(pipeline.gpu()),
+            pg.graph.offsets(),
+            pg.graph.n(),
+        )
+    );
     let t0 = Instant::now();
     let report = pipeline.cluster(&pg.graph).expect("gpClust run");
     let wall = t0.elapsed().as_secs_f64();
+    if let Some(err) = report.times.prediction_error_pct() {
+        eprintln!(
+            "autotune: predicted device path {:.4}s vs measured {:.4}s ({err:+.1}%)",
+            report.times.predicted_device_seconds, report.times.device_pipelined
+        );
+    }
 
     let sizes = report.partition.sizes();
     let largest = sizes.iter().copied().max().unwrap_or(0);

@@ -14,7 +14,8 @@
 //! Usage: `qsweep [--n <seqs>] [--seed <u64>] [--min-size <20>]
 //!                [--c1-list 25,50,100,200,400] [--s1-list 1,2,3]
 //!                [--overlap] [--kernel sort|select]
-//!                [--aggregate host|device] [--par-sort-min N]`
+//!                [--aggregate host|device] [--plan auto|manual]
+//!                [--par-sort-min N]`
 //!
 //! The schedule knobs never change scores (results are bit-identical
 //! across them); they exist so the sweep can exercise any device

@@ -16,7 +16,12 @@
 //!
 //! Usage: `table1 [--n <vertices>] [--full] [--seed <u64>] [--skip-20k]
 //!                [--skip-2m] [--overlap] [--kernel sort|select]
-//!                [--aggregate host|device] [--par-sort-min N]`
+//!                [--aggregate host|device] [--plan auto|manual]
+//!                [--par-sort-min N]`
+//!
+//! `--plan auto` hands the unforced schedule axes to the cost-model
+//! argmin; each row's `plan:` line names the axes the autotuner chose
+//! and its predicted makespan, followed by the measured relative error.
 //!
 //! `--overlap` additionally reports the async-transfer ablation (the
 //! paper's stated future work): the timeline-replay bound, plus a real
@@ -82,6 +87,14 @@ struct Row {
     n_batches: [u64; 2],
     /// Per-element device footprint of the active kernel (bytes).
     elem_footprint_bytes: u64,
+    /// Autotuner-predicted device seconds (`--plan auto` only).
+    predicted_device_s: Option<f64>,
+    /// The measured device path the prediction is scored against
+    /// ([`gpclust_core::StageTimes::device_pipelined`]).
+    measured_device_s: Option<f64>,
+    /// Signed relative error of that prediction vs the measured device
+    /// path, percent (`--plan auto` only).
+    prediction_error_pct: Option<f64>,
 }
 
 fn measure(args: &Args, sched: &ScheduleArgs, graph: &Csr, label: &str, seed: u64) -> Row {
@@ -122,7 +135,12 @@ fn measure(args: &Args, sched: &ScheduleArgs, graph: &Csr, label: &str, seed: u6
     let tmp = gpclust_bench::data_dir().join(format!("table1-{label}.graph.bin"));
     graph_io::write_file(&tmp, graph).expect("write graph");
     let gpu = sched.harness_gpu(0);
-    let plan_line = sched.describe_plan(&params, std::slice::from_ref(&gpu));
+    let plan_line = sched.describe_plan_on(
+        &params,
+        std::slice::from_ref(&gpu),
+        graph.offsets(),
+        graph.n(),
+    );
     gpu.timeline().set_enabled(true);
     let pipeline = GpClust::new(params, gpu).unwrap();
     let report = pipeline.cluster_from_file(&tmp).expect("gpClust run");
@@ -190,6 +208,10 @@ fn measure(args: &Args, sched: &ScheduleArgs, graph: &Csr, label: &str, seed: u6
             report.batch_stats[1].n_batches,
         ],
         elem_footprint_bytes: t.elem_footprint_bytes,
+        predicted_device_s: (t.predicted_device_seconds > 0.0)
+            .then_some(t.predicted_device_seconds),
+        measured_device_s: t.prediction_error_pct().map(|_| t.device_pipelined),
+        prediction_error_pct: t.prediction_error_pct(),
     }
 }
 
@@ -264,6 +286,20 @@ fn main() {
             "[{}] plan: {} | pass I {} batch(es), pass II {} batch(es)",
             r.graph, r.plan, r.n_batches[0], r.n_batches[1]
         );
+        if let (Some(pred), Some(measured), Some(err)) = (
+            r.predicted_device_s,
+            r.measured_device_s,
+            r.prediction_error_pct,
+        ) {
+            println!(
+                "[{}] autotune: predicted device path {} s vs measured {} s \
+                 ({:+.1}% relative error)",
+                r.graph,
+                secs(pred),
+                secs(measured),
+                err
+            );
+        }
         if r.device_agg_s > 0.0 {
             println!(
                 "[{}] on-device aggregation: {} s of the GPU column (pack + radix sort); \

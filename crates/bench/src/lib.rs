@@ -21,7 +21,10 @@ pub mod datasets;
 pub mod quality;
 pub mod reports;
 
-use gpclust_core::{AggregationMode, ComponentsMode, PipelineMode, ShingleKernel, ShinglingParams};
+use gpclust_core::{
+    AggregationMode, ComponentsMode, ForcedAxes, PipelineMode, PlanMode, ShingleKernel,
+    ShinglingParams,
+};
 use std::path::PathBuf;
 
 /// Directory for cached datasets (override with `GPCLUST_DATA_DIR`).
@@ -127,6 +130,8 @@ impl Args {
 /// - `--kernel sort|select` — top-s extraction kernel
 /// - `--aggregate host|device` — where the shingle sort runs
 /// - `--components host|device` — where Phase III labels clusters
+/// - `--plan auto|manual` — `auto` lets the cost-model argmin pick every
+///   schedule axis not explicitly forced by one of the flags above
 /// - `--par-sort-min N` — host parallel-sort threshold
 /// - `--max-retries N`, `--oom-backoff true|false`, `--no-degrade` —
 ///   fault policy overrides
@@ -145,6 +150,7 @@ pub struct ScheduleArgs {
     kernel: Option<ShingleKernel>,
     aggregation: Option<AggregationMode>,
     components: Option<ComponentsMode>,
+    plan_auto: bool,
     par_sort_min: Option<usize>,
     max_retries: Option<u32>,
     oom_backoff: Option<bool>,
@@ -174,6 +180,11 @@ impl ScheduleArgs {
                 Some("host") => Some(ComponentsMode::Host),
                 Some("device") => Some(ComponentsMode::Device),
                 Some(other) => panic!("--components must be `host` or `device`, got `{other}`"),
+            },
+            plan_auto: match args.pairs.get("plan").map(String::as_str) {
+                None | Some("manual") => false,
+                Some("auto") => true,
+                Some(other) => panic!("--plan must be `auto` or `manual`, got `{other}`"),
             },
             par_sort_min: args.pairs.get("par-sort-min").map(|v| {
                 v.parse()
@@ -217,6 +228,16 @@ impl ScheduleArgs {
         if let Some(par_sort_min) = self.par_sort_min {
             params = params.with_par_sort_min(par_sort_min);
         }
+        if self.plan_auto {
+            // Explicitly passed axis flags stay forced; the autotuner
+            // fills in only the axes left unspecified.
+            params = params.with_plan(PlanMode::Auto(ForcedAxes {
+                kernel: self.kernel.is_some(),
+                mode: self.overlap,
+                aggregation: self.aggregation.is_some(),
+                components: self.components.is_some(),
+            }));
+        }
         params.with_fault_policy(gpclust_core::FaultPolicy {
             max_retries: self.max_retries.unwrap_or(base.fault.max_retries),
             oom_backoff: self.oom_backoff.unwrap_or(base.fault.oom_backoff),
@@ -235,10 +256,30 @@ impl ScheduleArgs {
     }
 
     /// One-line summary of the execution plan `params` lowers to on
-    /// `gpus` (see [`gpclust_core::Plan::describe`]).
+    /// `gpus` (see [`gpclust_core::Plan::describe`]). Under `--plan auto`
+    /// the summary names the axes the autotuner picked for a *nominal*
+    /// workload; [`ScheduleArgs::describe_plan_on`] resolves them against
+    /// the actual input.
     pub fn describe_plan(&self, params: &ShinglingParams, gpus: &[gpclust_gpu::Gpu]) -> String {
         gpclust_core::Plan::lower(params, gpus)
             .expect("lower execution plan")
+            .describe()
+    }
+
+    /// [`ScheduleArgs::describe_plan`] with the input in hand: under
+    /// `--plan auto` the autotuner's argmin runs over this exact
+    /// workload, so the line shows the axes (and predicted makespan) the
+    /// run will actually use.
+    pub fn describe_plan_on(
+        &self,
+        params: &ShinglingParams,
+        gpus: &[gpclust_gpu::Gpu],
+        offsets: &[u64],
+        n_vertices: usize,
+    ) -> String {
+        gpclust_core::Plan::lower_auto(params, gpus, offsets, n_vertices)
+            .expect("lower execution plan")
+            .0
             .describe()
     }
 }
@@ -297,6 +338,38 @@ mod tests {
             .schedule()
             .apply(base);
         assert_eq!(p, base);
+    }
+
+    #[test]
+    fn plan_flag_resolves_to_auto_with_passed_axes_forced() {
+        let base = ShinglingParams::light(1);
+        let a = Args::from_tokens(["--plan", "auto", "--kernel", "select"].map(String::from));
+        let p = a.schedule().apply(base);
+        match p.plan {
+            PlanMode::Auto(forced) => {
+                assert!(forced.kernel, "--kernel was passed, so it stays forced");
+                assert!(!forced.mode && !forced.aggregation && !forced.components);
+            }
+            PlanMode::Manual => panic!("--plan auto must resolve to PlanMode::Auto"),
+        }
+        assert_eq!(p.kernel, ShingleKernel::FusedSelect);
+        // `--plan manual` (and no flag at all) leave the base untouched.
+        let p = Args::from_tokens(["--plan", "manual"].map(String::from))
+            .schedule()
+            .apply(base);
+        assert_eq!(p, base);
+    }
+
+    #[test]
+    fn describe_plan_on_names_the_autotuned_axes() {
+        let sched = Args::from_tokens(["--plan", "auto"].map(String::from)).schedule();
+        let params = sched.apply(ShinglingParams::light(1));
+        let gpus = [sched.harness_gpu(0)];
+        // A small CSR-like offsets array: 4 lists of a few elements.
+        let offsets = [0u64, 3, 8, 10, 14];
+        let line = sched.describe_plan_on(&params, &gpus, &offsets, 4);
+        assert!(line.starts_with("plan auto"), "{line}");
+        assert!(line.contains("predicted"), "{line}");
     }
 
     #[test]

@@ -1,0 +1,817 @@
+//! Cost-model-driven plan autotuning — turning the roofline
+//! [`KernelCost`] model into a makespan *predictor* for a full
+//! [`crate::plan::Plan`], and the axis selection built on top of it.
+//!
+//! The Plan/Executor layer exposes a four-axis schedule space
+//! ([`ShingleKernel`] × [`PipelineMode`] × [`AggregationMode`] ×
+//! [`ComponentsMode`]), times the device count and the capacity model.
+//! Every point is bit-identical by contract (`tests/plan_properties.rs`),
+//! so the *only* thing the choice changes is time — which makes it a pure
+//! cost-model question. This module prices every point in closed form:
+//! batch count and H2D/D2H transfer time from the kernel's
+//! [`crate::batch::bytes_per_elem`] footprint, serialized vs
+//! double-buffered overlap, the device-aggregation pack + u128 radix sort
+//! extras, the on-card inversion, and the ⌊log₂n⌋+2-sweep
+//! connected-components schedule — the same arithmetic the modeled bench
+//! reports (`crates/bench/benches/residency.rs`, `aggregate_offload.rs`)
+//! already use, now shared by the runtime.
+//!
+//! Two consumers:
+//!
+//! * [`select`] — the argmin over the axis cross-product, driving
+//!   [`crate::plan::Plan::lower_auto`] under
+//!   [`crate::params::PlanMode::Auto`].
+//! * [`device_weights`] / [`capability_shares`] / [`apportion`] — the
+//!   capability-proportional share weighting the multi-GPU driver deals
+//!   batches by, so a heterogeneous fleet (say a K20 next to a
+//!   half-bandwidth card) stops being gated by its slowest member.
+//!
+//! Predictions are *simulated* seconds on the same cost model the
+//! executor charges, so predicted-vs-measured error reflects schedule
+//! approximations (estimated pass-II shape, batch rounding), not clock
+//! noise. [`Prediction`] carries two figures because the measured
+//! [`crate::timing::StageTimes::device_pipelined`] has two conventions:
+//! under [`PipelineMode::Overlapped`] it is the stream-cursor makespan,
+//! which excludes the finish-time inversion/CC launches (they run on the
+//! default stream) and the flush transfers hidden on the copy stream,
+//! while under [`PipelineMode::Synchronous`] it is the serialized counter
+//! sum, which includes everything. `seconds` is the full objective the
+//! argmin ranks; `device_seconds` is the convention-matched figure the
+//! relative-error report compares against the measurement.
+
+use crate::batch::batch_capacity;
+use crate::params::{
+    AggregationMode, ComponentsMode, ForcedAxes, PipelineMode, ShingleKernel, ShinglingParams,
+};
+use gpclust_gpu::thrust::cc_sweep_estimate;
+use gpclust_gpu::{Gpu, KernelCost};
+
+/// Host global-sort throughput, records/second — the
+/// `par_sort_unstable` over 128-bit records that dominates the CPU
+/// column under [`AggregationMode::Host`] (see
+/// `crates/bench/benches/aggregate_offload.rs`).
+pub const HOST_SORT_REC_PER_S: f64 = 5.0e7;
+
+/// Streaming k-way merge throughput, records/second — the CPU work left
+/// under [`AggregationMode::Device`] with host components.
+pub const HOST_MERGE_REC_PER_S: f64 = 2.5e8;
+
+/// Union–find fold throughput, edges/second — Phase III's CPU work under
+/// [`ComponentsMode::Host`] (a pointer chase per edge).
+pub const HOST_UNION_EDGES_PER_S: f64 = 1.0e8;
+
+/// Union-edge packing throughput, edges/second — the residual sequential
+/// append under [`ComponentsMode::Device`].
+pub const HOST_EDGE_EMIT_PER_S: f64 = 6.0e8;
+
+/// Estimated distinct-shingle fraction of the pass-I record stream: the
+/// first-level shingle graph G′ gets roughly one vertex per two records
+/// at the paper's `s1 = 2` defaults, so the pass-II shape is estimated at
+/// `segments ≈ 0.5 · records` with an average list length of 2.
+pub const DISTINCT_SHINGLE_RATIO: f64 = 0.5;
+
+/// Devices whose capability share falls below this fraction of the fleet
+/// are benched (share 0): dealing them even one batch in `1/share` would
+/// gate the makespan, and benching them also frees the capacity model
+/// from their (tiny-batch) memory bound — see
+/// [`crate::plan::Plan::lower`].
+pub const MIN_SHARE: f64 = 0.01;
+
+/// Elements of the nominal probe batch [`device_weights`] prices on every
+/// device to turn configs into relative throughput.
+pub const NOMINAL_BATCH_ELEMS: usize = 1 << 20;
+
+/// The four resolvable schedule axes of one candidate plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PlanAxes {
+    /// Top-s extraction kernel.
+    pub kernel: ShingleKernel,
+    /// Transfer/kernel schedule.
+    pub mode: PipelineMode,
+    /// Where the record sort runs.
+    pub aggregation: AggregationMode,
+    /// Where the inversion merge and Phase III run.
+    pub components: ComponentsMode,
+}
+
+impl PlanAxes {
+    /// The axes `params` currently pins.
+    pub fn of(params: &ShinglingParams) -> Self {
+        PlanAxes {
+            kernel: params.kernel,
+            mode: params.mode,
+            aggregation: params.aggregation,
+            components: params.components,
+        }
+    }
+
+    /// `params` with these axes installed (everything else untouched).
+    pub fn apply(self, params: ShinglingParams) -> ShinglingParams {
+        params
+            .with_kernel(self.kernel)
+            .with_mode(self.mode)
+            .with_aggregation(self.aggregation)
+            .with_components(self.components)
+    }
+
+    /// Every point of the axis cross-product, in a fixed deterministic
+    /// order (the argmin tie-breaks toward earlier entries).
+    pub fn all() -> Vec<PlanAxes> {
+        let mut out = Vec::with_capacity(16);
+        for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+            for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+                for aggregation in [AggregationMode::Host, AggregationMode::Device] {
+                    for components in [ComponentsMode::Host, ComponentsMode::Device] {
+                        out.push(PlanAxes {
+                            kernel,
+                            mode,
+                            aggregation,
+                            components,
+                        });
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Whether this candidate honors the axes `forced` pins to the values
+    /// in `pinned`.
+    pub fn honors(&self, forced: &ForcedAxes, pinned: &PlanAxes) -> bool {
+        (!forced.kernel || self.kernel == pinned.kernel)
+            && (!forced.mode || self.mode == pinned.mode)
+            && (!forced.aggregation || self.aggregation == pinned.aggregation)
+            && (!forced.components || self.components == pinned.components)
+    }
+
+    /// Compact one-line rendering (`sort-compact/serialized/host/host`).
+    pub fn describe(&self) -> String {
+        format!(
+            "{}/{}/{}/{}",
+            match self.kernel {
+                ShingleKernel::SortCompact => "sort-compact",
+                ShingleKernel::FusedSelect => "fused-select",
+            },
+            match self.mode {
+                PipelineMode::Synchronous => "serialized",
+                PipelineMode::Overlapped => "overlapped",
+            },
+            match self.aggregation {
+                AggregationMode::Host => "host-sort",
+                AggregationMode::Device => "device-runs",
+            },
+            match self.components {
+                ComponentsMode::Host => "host-bfs",
+                ComponentsMode::Device => "device-cc",
+            },
+        )
+    }
+}
+
+/// The size figures of one shingling pass the predictor prices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassShape {
+    /// Adjacency elements of the pass input (flat array length).
+    pub n_elements: usize,
+    /// Non-empty adjacency lists (each emits one record per trial).
+    pub n_segments: usize,
+    /// Top-s output elements per trial: `Σ min(s, len)` over the lists.
+    pub out_elements: usize,
+    /// Hash trials (`c1` / `c2`).
+    pub trials: usize,
+    /// Shingle size (`s1` / `s2`).
+    pub s: usize,
+}
+
+impl PassShape {
+    /// Exact shape of a pass over lists delimited by `offsets`.
+    pub fn from_offsets(offsets: &[u64], trials: usize, s: usize) -> Self {
+        let mut n_segments = 0usize;
+        let mut out_elements = 0usize;
+        for w in offsets.windows(2) {
+            let len = (w[1] - w[0]) as usize;
+            if len > 0 {
+                n_segments += 1;
+                out_elements += len.min(s);
+            }
+        }
+        PassShape {
+            n_elements: offsets.last().copied().unwrap_or(0) as usize,
+            n_segments,
+            out_elements,
+            trials,
+            s,
+        }
+    }
+
+    /// Records the pass emits: one per (trial, non-empty list).
+    pub fn n_records(&self) -> usize {
+        self.trials * self.n_segments
+    }
+}
+
+/// The full-pipeline workload the predictor prices: pass I over the input
+/// graph, pass II over the (estimated) first-level shingle graph, Phase
+/// III over the pass-II records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadShape {
+    /// Input-graph vertices (the Phase-III vertex range).
+    pub n_vertices: usize,
+    /// Pass I, exact from the input offsets.
+    pub pass1: PassShape,
+    /// Pass II, estimated via [`DISTINCT_SHINGLE_RATIO`] (G′ is not known
+    /// until pass I runs).
+    pub pass2: PassShape,
+}
+
+impl WorkloadShape {
+    /// Estimate the workload of clustering lists `offsets` over
+    /// `n_vertices` vertices under `params`.
+    pub fn from_input(n_vertices: usize, offsets: &[u64], params: &ShinglingParams) -> Self {
+        let pass1 = PassShape::from_offsets(offsets, params.c1, params.s1);
+        let records1 = pass1.n_records();
+        let segments2 = ((records1 as f64 * DISTINCT_SHINGLE_RATIO) as usize).max(1);
+        let pass2 = PassShape {
+            n_elements: records1.max(1),
+            n_segments: segments2,
+            out_elements: (segments2 * params.s2).min(records1.max(1)),
+            trials: params.c2,
+            s: params.s2,
+        };
+        WorkloadShape {
+            n_vertices,
+            pass1,
+            pass2,
+        }
+    }
+
+    /// Phase-III union edges: each pass-II record chains its `s` elements
+    /// and its generator's `s` elements through one anchor — `2s − 1`
+    /// packed edges per record.
+    pub fn n_union_edges(&self) -> usize {
+        self.pass2.n_records() * (2 * self.pass2.s).saturating_sub(1)
+    }
+}
+
+/// How a fleet's batches are dealt when pricing a multi-device plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sharing {
+    /// Uniform round-robin (the historical dealing; gated by the slowest
+    /// card).
+    RoundRobin,
+    /// Capability-proportional shares from [`capability_shares`].
+    Weighted,
+}
+
+/// A priced plan candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// The full objective the argmin ranks: device critical path under
+    /// the candidate schedule, plus the finish-time inversion/CC tail,
+    /// plus the modeled host seconds on the critical path.
+    pub seconds: f64,
+    /// Predicted [`crate::timing::StageTimes::device_pipelined`] under
+    /// the measurement's convention (see the module docs) — what the
+    /// relative-error report compares.
+    pub device_seconds: f64,
+    /// Modeled host seconds (sort/merge/union-find/edge packing).
+    pub host_seconds: f64,
+    /// Total batches across both passes.
+    pub n_batches: u64,
+}
+
+/// Per-round kernel seconds of one batch under `kernel`:
+/// transform + segmented sort + gather for [`ShingleKernel::SortCompact`],
+/// the single fused selection launch for [`ShingleKernel::FusedSelect`].
+fn kernel_round_seconds(
+    gpu: &Gpu,
+    kernel: ShingleKernel,
+    batch_elems: usize,
+    out_elems: usize,
+) -> f64 {
+    match kernel {
+        ShingleKernel::SortCompact => gpu.model_kernel_sequence_seconds(&[
+            (batch_elems, KernelCost::transform()),
+            (batch_elems, KernelCost::segmented_sort()),
+            (out_elems, KernelCost::gather()),
+        ]),
+        ShingleKernel::FusedSelect => {
+            gpu.model_kernel_sequence_seconds(&[(batch_elems, KernelCost::segmented_select())])
+        }
+    }
+}
+
+/// Closed-form cost of `b_d` of a pass's `n_batches` batches on `gpu`.
+struct ShareCost {
+    serialized: f64,
+    pipelined: f64,
+}
+
+fn model_pass_share(
+    gpu: &Gpu,
+    kernel: ShingleKernel,
+    aggregation: AggregationMode,
+    shape: &PassShape,
+    n_batches: usize,
+    b_d: usize,
+) -> ShareCost {
+    if n_batches == 0 || b_d == 0 {
+        return ShareCost {
+            serialized: 0.0,
+            pipelined: 0.0,
+        };
+    }
+    let batch_elems = shape.n_elements.div_ceil(n_batches);
+    let out_per_batch = shape.out_elements.div_ceil(n_batches).max(1);
+    let h2d = gpu.model_transfer_seconds(batch_elems * 4);
+    let kernels = kernel_round_seconds(gpu, kernel, batch_elems, out_per_batch);
+    let d2h = gpu.model_transfer_seconds(out_per_batch * 8);
+    let (b, t) = (b_d as f64, shape.trials as f64);
+    let mut serialized = b * (h2d + t * (kernels + d2h));
+    let mut pipelined = b * (h2d + t * kernels + d2h);
+    if aggregation == AggregationMode::Device {
+        // Pack + u128 radix sort over this share's records, plus the
+        // staged record columns up and sorted runs down. The kernels sit
+        // on the compute stream either way; the flush transfers ride the
+        // copy stream, so the overlapped schedule hides them.
+        let r = shape.n_records() * b_d / n_batches;
+        let agg_kernels = gpu.model_kernel_sequence_seconds(&[
+            (r, KernelCost::transform()),
+            (r, KernelCost::pair_sort()),
+        ]);
+        let agg_transfers = gpu.model_transfer_seconds(r * 4 * (shape.s + 2))
+            + gpu.model_transfer_seconds(r * (16 + 4 * shape.s));
+        serialized += agg_kernels + agg_transfers;
+        pipelined += agg_kernels;
+    }
+    ShareCost {
+        serialized,
+        pipelined,
+    }
+}
+
+/// Modeled seconds of the on-card inversion of `records` sorted records
+/// into the CSR shingle graph (boundary flags, scans, gathers — the
+/// single-run shape of `thrust::invert_sorted_runs`).
+pub fn model_inversion_seconds(gpu: &Gpu, records: usize) -> f64 {
+    gpu.model_kernel_sequence_seconds(&[
+        (records, KernelCost::transform()),
+        (records, KernelCost::transform()),
+        (records, KernelCost::transform()),
+        (records, KernelCost::gather()),
+    ])
+}
+
+/// Modeled seconds of the hooking + pointer-jumping components kernel
+/// over `n` vertices and `m` directed union edges
+/// (`thrust::connected_components`'s schedule: symmetrize, edge radix
+/// sort, offsets, label init, then `cc_sweep_estimate(n)` sweeps).
+pub fn model_cc_seconds(gpu: &Gpu, n: usize, m: usize) -> f64 {
+    let setup = gpu.model_kernel_sequence_seconds(&[
+        (2 * m, KernelCost::transform()),
+        (2 * m, KernelCost::pair_sort()),
+        (2 * m, KernelCost::transform()),
+        (n, KernelCost::transform()),
+    ]);
+    let sweeps = cc_sweep_estimate(n) as f64
+        * gpu.model_kernel_seconds(2 * m + n, &KernelCost::cc_iteration());
+    setup + sweeps
+}
+
+/// Modeled host seconds on the critical path for a run that emitted
+/// `records1` pass-I records and `union_edges` Phase-III edges: the
+/// global sort / k-way merge the aggregation axis leaves on the CPU, plus
+/// the union–find fold / edge packing the components axis leaves.
+pub fn host_model_seconds(
+    aggregation: AggregationMode,
+    components: ComponentsMode,
+    records1: usize,
+    union_edges: usize,
+) -> f64 {
+    let aggregation_s = match (aggregation, components) {
+        (AggregationMode::Host, _) => records1 as f64 / HOST_SORT_REC_PER_S,
+        (AggregationMode::Device, ComponentsMode::Host) => records1 as f64 / HOST_MERGE_REC_PER_S,
+        // Device runs invert on the card — no host merge left.
+        (AggregationMode::Device, ComponentsMode::Device) => 0.0,
+    };
+    let phase3_s = match components {
+        ComponentsMode::Host => union_edges as f64 / HOST_UNION_EDGES_PER_S,
+        ComponentsMode::Device => union_edges as f64 / HOST_EDGE_EMIT_PER_S,
+    };
+    aggregation_s + phase3_s
+}
+
+/// Relative throughput of each device on a nominal probe batch
+/// ([`NOMINAL_BATCH_ELEMS`] elements, half of them surviving to the top-s
+/// output) under `kernel` with `trials` hash rounds: `1 / serialized
+/// batch seconds`, 0 for lost devices. Bandwidth, compute rate, PCIe and
+/// launch overhead all land in the figure through the same model the
+/// executor charges.
+pub fn device_weights(gpus: &[Gpu], kernel: ShingleKernel, trials: usize) -> Vec<f64> {
+    gpus.iter()
+        .map(|gpu| {
+            if gpu.is_lost() {
+                return 0.0;
+            }
+            let n = NOMINAL_BATCH_ELEMS;
+            let out = n / 2;
+            let h2d = gpu.model_transfer_seconds(n * 4);
+            let kernels = kernel_round_seconds(gpu, kernel, n, out);
+            let d2h = gpu.model_transfer_seconds(out * 8);
+            1.0 / (h2d + trials.max(1) as f64 * (kernels + d2h))
+        })
+        .collect()
+}
+
+/// Normalize raw weights into capability shares summing to 1, benching
+/// any device below [`MIN_SHARE`] of the fleet (share 0) and
+/// renormalizing. All-zero input yields all-zero shares.
+pub fn capability_shares(weights: &[f64]) -> Vec<f64> {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return vec![0.0; weights.len()];
+    }
+    let mut shares: Vec<f64> = weights
+        .iter()
+        .map(|w| {
+            let s = w / total;
+            if s < MIN_SHARE {
+                0.0
+            } else {
+                s
+            }
+        })
+        .collect();
+    let kept: f64 = shares.iter().sum();
+    if kept > 0.0 {
+        for s in &mut shares {
+            *s /= kept;
+        }
+    }
+    shares
+}
+
+/// Split `total` items into per-share counts by largest-remainder
+/// (Hamilton) apportionment: each share gets `⌊share·total⌋`, leftovers
+/// go to the largest fractional parts (ties to the lower index). Counts
+/// sum to `total`, zero shares get zero, and a strictly larger share
+/// never gets fewer items than a smaller one.
+pub fn apportion(total: usize, shares: &[f64]) -> Vec<usize> {
+    let sum: f64 = shares.iter().sum();
+    if total == 0 || sum <= 0.0 {
+        return vec![0; shares.len()];
+    }
+    let quotas: Vec<f64> = shares.iter().map(|s| s / sum * total as f64).collect();
+    let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+    let assigned: usize = counts.iter().sum();
+    let mut order: Vec<usize> = (0..shares.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (fa, fb) = (quotas[a] - quotas[a].floor(), quotas[b] - quotas[b].floor());
+        fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+    });
+    for &i in order.iter().take(total - assigned) {
+        counts[i] += 1;
+    }
+    counts
+}
+
+/// Price one candidate plan on the fleet.
+///
+/// Per pass: the batch count follows the fleet capacity (smallest
+/// unbenched device under the candidate kernel/aggregation — the same
+/// rule [`crate::plan::Plan::lower`] applies), batches are apportioned by
+/// `sharing`, each device's share is priced in closed form, and the pass
+/// makespan is the maximum over devices. The inversion/CC tail runs on
+/// the first surviving device; host work is [`host_model_seconds`].
+pub fn predict(
+    axes: PlanAxes,
+    w: &WorkloadShape,
+    gpus: &[Gpu],
+    sharing: Sharing,
+) -> Option<Prediction> {
+    let weights = device_weights(gpus, axes.kernel, w.pass1.trials);
+    let shares = match sharing {
+        Sharing::Weighted => capability_shares(&weights),
+        Sharing::RoundRobin => {
+            let n_alive = weights.iter().filter(|&&w| w > 0.0).count();
+            weights
+                .iter()
+                .map(|&w| {
+                    if w > 0.0 {
+                        1.0 / n_alive.max(1) as f64
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        }
+    };
+    let min_mem = gpus
+        .iter()
+        .zip(&shares)
+        .filter(|&(_, &s)| s > 0.0)
+        .map(|(g, _)| g.mem_available())
+        .min()?;
+    let lead = gpus.iter().position(|g| !g.is_lost())?;
+
+    let mut pass_serialized = [0.0f64; 2];
+    let mut pass_pipelined = [0.0f64; 2];
+    let mut n_batches = 0u64;
+    // Pass II always aggregates on the host (its records feed Phase III,
+    // not a sort), exactly as the pipeline schedules it.
+    let passes = [
+        (&w.pass1, axes.aggregation),
+        (&w.pass2, AggregationMode::Host),
+    ];
+    for (i, (shape, aggregation)) in passes.into_iter().enumerate() {
+        let capacity = batch_capacity(min_mem, axes.kernel, aggregation);
+        let b = shape.n_elements.div_ceil(capacity.max(1));
+        n_batches += b as u64;
+        let counts = apportion(b, &shares);
+        for (gpu, &b_d) in gpus.iter().zip(&counts) {
+            let cost = model_pass_share(gpu, axes.kernel, aggregation, shape, b, b_d);
+            pass_serialized[i] = pass_serialized[i].max(cost.serialized);
+            pass_pipelined[i] = pass_pipelined[i].max(cost.pipelined);
+        }
+    }
+
+    // Finish-time tail on the lead device: inversion only when the device
+    // runs replace the host merge, CC whenever Phase III is on-card.
+    let records1 = w.pass1.n_records();
+    let m = w.n_union_edges();
+    let tail = match (axes.aggregation, axes.components) {
+        (_, ComponentsMode::Host) => 0.0,
+        (aggregation, ComponentsMode::Device) => {
+            let inversion = if aggregation == AggregationMode::Device {
+                model_inversion_seconds(&gpus[lead], records1)
+            } else {
+                0.0
+            };
+            inversion
+                + model_cc_seconds(&gpus[lead], w.n_vertices, m)
+                + gpus[lead].model_transfer_seconds(m * 8)
+                + gpus[lead].model_transfer_seconds(w.n_vertices * 4)
+        }
+    };
+    let host_seconds = host_model_seconds(axes.aggregation, axes.components, records1, m);
+
+    let (pass_path, device_seconds) = match axes.mode {
+        PipelineMode::Synchronous => {
+            let ser = pass_serialized[0] + pass_serialized[1];
+            (ser, ser + tail)
+        }
+        PipelineMode::Overlapped => {
+            let pipe = pass_pipelined[0] + pass_pipelined[1];
+            (pipe, pipe)
+        }
+    };
+    Some(Prediction {
+        seconds: pass_path + tail + host_seconds,
+        device_seconds,
+        host_seconds,
+        n_batches,
+    })
+}
+
+/// The autotuner's verdict: the chosen axes and their prediction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Selection {
+    /// The winning axis combination.
+    pub axes: PlanAxes,
+    /// Its predicted cost.
+    pub prediction: Prediction,
+}
+
+/// Argmin of [`predict`] over the axis cross-product, honoring the axes
+/// `forced` pins to the values in `params` (weighted sharing — the
+/// dealing the multi-GPU driver uses). `None` once no device survives.
+pub fn select(
+    params: &ShinglingParams,
+    forced: ForcedAxes,
+    w: &WorkloadShape,
+    gpus: &[Gpu],
+) -> Option<Selection> {
+    let pinned = PlanAxes::of(params);
+    let mut best: Option<Selection> = None;
+    for axes in PlanAxes::all() {
+        if !axes.honors(&forced, &pinned) {
+            continue;
+        }
+        let prediction = predict(axes, w, gpus, Sharing::Weighted)?;
+        if best.is_none_or(|b| prediction.seconds < b.prediction.seconds) {
+            best = Some(Selection { axes, prediction });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpclust_gpu::DeviceConfig;
+
+    fn k20() -> Gpu {
+        Gpu::with_workers(DeviceConfig::tesla_k20(), 1)
+    }
+
+    fn workload() -> WorkloadShape {
+        let params = ShinglingParams::paper_default(7);
+        // 20K-like: 4M elements over 20K lists.
+        let offsets: Vec<u64> = (0..=20_000u64).map(|i| i * 200).collect();
+        WorkloadShape::from_input(20_000, &offsets, &params)
+    }
+
+    #[test]
+    fn pass_shape_counts_segments_and_outputs() {
+        // Lists: [0..3), empty, [3..8), [8..9)
+        let shape = PassShape::from_offsets(&[0, 3, 3, 8, 9], 10, 2);
+        assert_eq!(shape.n_elements, 9);
+        assert_eq!(shape.n_segments, 3, "empty list skipped");
+        assert_eq!(shape.out_elements, 2 + 2 + 1, "min(s, len) per list");
+        assert_eq!(shape.n_records(), 30);
+    }
+
+    #[test]
+    fn workload_estimates_pass_two_from_ratio() {
+        let w = workload();
+        assert_eq!(w.pass1.n_records(), 200 * 20_000);
+        let expect_segments = (w.pass1.n_records() as f64 * DISTINCT_SHINGLE_RATIO) as usize;
+        assert_eq!(w.pass2.n_segments, expect_segments);
+        assert_eq!(w.pass2.n_elements, w.pass1.n_records());
+        assert_eq!(w.n_union_edges(), w.pass2.n_records() * 3);
+    }
+
+    #[test]
+    fn overlap_beats_serialized_and_select_beats_sort() {
+        let gpus = vec![k20()];
+        let w = workload();
+        let base = PlanAxes {
+            kernel: ShingleKernel::SortCompact,
+            mode: PipelineMode::Synchronous,
+            aggregation: AggregationMode::Host,
+            components: ComponentsMode::Host,
+        };
+        let sync = predict(base, &w, &gpus, Sharing::Weighted).unwrap();
+        let ovl = predict(
+            PlanAxes {
+                mode: PipelineMode::Overlapped,
+                ..base
+            },
+            &w,
+            &gpus,
+            Sharing::Weighted,
+        )
+        .unwrap();
+        assert!(ovl.seconds < sync.seconds, "{ovl:?} !< {sync:?}");
+        let sel = predict(
+            PlanAxes {
+                kernel: ShingleKernel::FusedSelect,
+                ..base
+            },
+            &w,
+            &gpus,
+            Sharing::Weighted,
+        )
+        .unwrap();
+        assert!(sel.seconds < sync.seconds, "{sel:?} !< {sync:?}");
+    }
+
+    #[test]
+    fn weights_follow_device_capability() {
+        let gpus = vec![
+            k20(),
+            Gpu::with_workers(DeviceConfig::tesla_k20_half_bandwidth(), 1),
+        ];
+        let weights = device_weights(&gpus, ShingleKernel::SortCompact, 200);
+        assert!(weights[0] > weights[1], "{weights:?}");
+        let shares = capability_shares(&weights);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(shares[1] > MIN_SHARE, "half-bandwidth card must keep work");
+
+        // The tiny test device stays above the benching cutoff (so the
+        // existing mixed-fleet capacity tests keep their semantics) …
+        let mixed = vec![
+            k20(),
+            Gpu::with_workers(DeviceConfig::tiny_test_device(), 1),
+        ];
+        let shares = capability_shares(&device_weights(&mixed, ShingleKernel::SortCompact, 200));
+        assert!(shares[1] > 0.0, "{shares:?}");
+
+        // … while a ~1000×-derated card gets benched.
+        let weak = vec![
+            k20(),
+            Gpu::with_workers(DeviceConfig::tesla_k20().scaled("weak", 1e-3), 1),
+        ];
+        let shares = capability_shares(&device_weights(&weak, ShingleKernel::SortCompact, 200));
+        assert_eq!(shares[1], 0.0, "{shares:?}");
+        assert_eq!(shares[0], 1.0, "{shares:?}");
+    }
+
+    #[test]
+    fn apportion_sums_and_stays_monotone() {
+        for total in [0usize, 1, 2, 7, 16, 1000] {
+            let shares = [0.5, 0.3, 0.2, 0.0];
+            let counts = apportion(total, &shares);
+            assert_eq!(counts.iter().sum::<usize>(), total);
+            assert_eq!(counts[3], 0, "zero share gets nothing");
+            assert!(
+                counts[0] >= counts[1] && counts[1] >= counts[2],
+                "{counts:?}"
+            );
+        }
+        // Uniform shares differ by at most one, earlier indices first.
+        let counts = apportion(7, &[1.0, 1.0, 1.0]);
+        assert_eq!(counts, vec![3, 2, 2]);
+        assert_eq!(apportion(5, &[0.0, 0.0]), vec![0, 0]);
+    }
+
+    #[test]
+    fn heterogeneous_weighted_beats_round_robin() {
+        // Cap device memory so the pass actually splits into enough
+        // batches for the dealing policy to matter (a 5 GB card swallows
+        // the whole pass in one batch, where every policy deals alike).
+        let small = |cfg: DeviceConfig| {
+            Gpu::with_workers(
+                DeviceConfig {
+                    global_mem_bytes: 256 << 20,
+                    ..cfg
+                },
+                1,
+            )
+        };
+        let gpus = vec![
+            small(DeviceConfig::tesla_k20()),
+            small(DeviceConfig::tesla_k20_half_bandwidth()),
+        ];
+        let params = ShinglingParams::paper_default(7);
+        // 2M-like: 400M elements over 2M lists.
+        let offsets: Vec<u64> = (0..=2_000_000u64).map(|i| i * 200).collect();
+        let w = WorkloadShape::from_input(2_000_000, &offsets, &params);
+        let axes = PlanAxes {
+            kernel: ShingleKernel::SortCompact,
+            mode: PipelineMode::Synchronous,
+            aggregation: AggregationMode::Host,
+            components: ComponentsMode::Host,
+        };
+        let rr = predict(axes, &w, &gpus, Sharing::RoundRobin).unwrap();
+        let weighted = predict(axes, &w, &gpus, Sharing::Weighted).unwrap();
+        assert!(
+            weighted.seconds < rr.seconds,
+            "weighted {weighted:?} !< round-robin {rr:?}"
+        );
+    }
+
+    #[test]
+    fn select_is_the_argmin_and_honors_forced_axes() {
+        let params = ShinglingParams::paper_default(7);
+        let gpus = vec![k20()];
+        let w = workload();
+        let free = select(&params, ForcedAxes::default(), &w, &gpus).unwrap();
+        for axes in PlanAxes::all() {
+            let p = predict(axes, &w, &gpus, Sharing::Weighted).unwrap();
+            assert!(
+                free.prediction.seconds <= p.seconds + 1e-12,
+                "{:?} beat the selection",
+                axes
+            );
+        }
+        // Pinning the kernel keeps it, even though the free argmin would
+        // switch it.
+        let forced = ForcedAxes {
+            kernel: true,
+            ..Default::default()
+        };
+        let pinned = select(&params, forced, &w, &gpus).unwrap();
+        assert_eq!(pinned.axes.kernel, params.kernel);
+        assert!(pinned.prediction.seconds >= free.prediction.seconds - 1e-12);
+        // Pinning everything reproduces the manual plan's axes.
+        let all = ForcedAxes {
+            kernel: true,
+            mode: true,
+            aggregation: true,
+            components: true,
+        };
+        let manual = select(&params, all, &w, &gpus).unwrap();
+        assert_eq!(manual.axes, PlanAxes::of(&params));
+    }
+
+    #[test]
+    fn host_model_moves_work_off_the_cpu() {
+        let (r, m) = (4_000_000usize, 6_000_000usize);
+        let host_host = host_model_seconds(AggregationMode::Host, ComponentsMode::Host, r, m);
+        let dev_host = host_model_seconds(AggregationMode::Device, ComponentsMode::Host, r, m);
+        let dev_dev = host_model_seconds(AggregationMode::Device, ComponentsMode::Device, r, m);
+        assert!(dev_host < host_host);
+        assert!(dev_dev < dev_host);
+        assert!(dev_dev > 0.0, "edge packing never free");
+    }
+
+    #[test]
+    fn empty_input_predicts_zero_batches() {
+        let params = ShinglingParams::light(1);
+        let w = WorkloadShape::from_input(2, &[0, 0, 0], &params);
+        let p = predict(PlanAxes::of(&params), &w, &[k20()], Sharing::Weighted).unwrap();
+        assert_eq!(p.n_batches, 1, "the estimated pass-II floor remains");
+        assert!(p.seconds.is_finite());
+    }
+}

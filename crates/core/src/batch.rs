@@ -97,6 +97,54 @@ pub fn plan_batches(offsets: &[u64], max_elems: usize) -> Vec<Batch> {
     batches
 }
 
+/// Plan batches of at most `max_elems` elements over the element range
+/// `[elem_lo, elem_hi)` only — the mid-pass re-planning primitive: when a
+/// device loss changes the fleet's capacity, the remaining (contiguous)
+/// element range is re-batched at the survivors' budget while completed
+/// batches stay committed. Fragment reconciliation is insensitive to
+/// batch boundaries, so the re-cut range composes with the old batches.
+///
+/// # Panics
+/// Panics if `max_elems == 0`, the range is inverted, or `elem_hi`
+/// exceeds the total element count.
+pub fn plan_batches_range(
+    offsets: &[u64],
+    elem_lo: u64,
+    elem_hi: u64,
+    max_elems: usize,
+) -> Vec<Batch> {
+    assert!(max_elems > 0, "batch capacity must be positive");
+    let total = *offsets.last().expect("offsets non-empty");
+    assert!(
+        elem_lo <= elem_hi && elem_hi <= total,
+        "invalid element range [{elem_lo}, {elem_hi}) of {total}"
+    );
+    let n = offsets.len() - 1;
+    let mut batches = Vec::new();
+    let mut lo = elem_lo;
+    // First list intersecting [elem_lo, ..).
+    let mut node_cursor = offsets.partition_point(|&o| o <= elem_lo).saturating_sub(1);
+    while lo < elem_hi {
+        let hi = (lo + max_elems as u64).min(elem_hi);
+        while node_cursor < n && offsets[node_cursor + 1] <= lo {
+            node_cursor += 1;
+        }
+        let node_lo = node_cursor;
+        let mut node_hi = node_lo;
+        while node_hi < n && offsets[node_hi] < hi {
+            node_hi += 1;
+        }
+        batches.push(Batch {
+            node_lo,
+            node_hi,
+            elem_lo: lo,
+            elem_hi: hi,
+        });
+        lo = hi;
+    }
+    batches
+}
+
 /// Device-memory footprint of one batch element under the given kernel
 /// and aggregation mode.
 ///
@@ -303,6 +351,36 @@ mod tests {
     #[test]
     fn empty_graph_no_batches() {
         assert!(plan_batches(&[0, 0, 0], 8).is_empty());
+    }
+
+    #[test]
+    fn range_replan_matches_full_plan_from_the_cut() {
+        // Re-batching the tail of a plan from any batch boundary must
+        // reproduce exactly what planning the suffix range would give.
+        for cap in [1usize, 2, 3, 4, 7, 10] {
+            let full = plan_batches(&OFFSETS, cap);
+            for start in &full {
+                let tail = plan_batches_range(&OFFSETS, start.elem_lo, 10, cap);
+                let expect: Vec<Batch> = full
+                    .iter()
+                    .filter(|b| b.elem_lo >= start.elem_lo)
+                    .copied()
+                    .collect();
+                assert_eq!(tail, expect, "cap {cap}, from {}", start.elem_lo);
+            }
+        }
+        // A *different* capacity re-cuts the same element range.
+        let tail = plan_batches_range(&OFFSETS, 4, 10, 2);
+        let mut cursor = 4u64;
+        for b in &tail {
+            assert_eq!(b.elem_lo, cursor);
+            assert!(b.n_elements() <= 2 && b.n_elements() > 0);
+            cursor = b.elem_hi;
+        }
+        assert_eq!(cursor, 10);
+        // Mid-list start is flagged as a fragment continuation.
+        assert!(tail[0].first_is_fragment(&OFFSETS));
+        assert!(plan_batches_range(&OFFSETS, 5, 5, 3).is_empty());
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`plan`] — the execution-plan IR: [`plan::Plan`] lowers
 //!   [`params::ShinglingParams`] + device statistics into an explicit
 //!   per-pass plan (batch list, kernel, schedule, sink, fault policy).
+//! * [`autotune`] — the makespan predictor over the plan axis
+//!   cross-product (`--plan auto`'s argmin) and the
+//!   capability-proportional share weighting for heterogeneous fleets.
 //! * [`exec`] — the single [`exec::Executor`] that interprets a pass plan
 //!   against the simulated device (Algorithm 1: per-trial hash transform,
 //!   segmented sort / fused selection, top-s compaction, per-iteration
@@ -43,6 +46,7 @@
 //! * [`timing`] — component timer plumbing.
 
 pub mod aggregate;
+pub mod autotune;
 pub mod baseline;
 pub mod batch;
 pub mod decompose;
@@ -63,14 +67,16 @@ pub mod shingle;
 pub mod timing;
 pub mod weighted;
 
+pub use autotune::{PlanAxes, Prediction, Selection, Sharing, WorkloadShape};
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
 pub use exec::{ClusterLabels, Executor, PassInput, PassReport, Sink};
 pub use params::{
-    AggregationMode, ComponentsMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams,
+    AggregationMode, ComponentsMode, FaultPolicy, ForcedAxes, PipelineMode, PlanMode,
+    ShingleKernel, ShinglingParams,
 };
 pub use pipeline::{GpClust, GpClustReport};
 pub use plan::{FragmentMode, PassPlan, Plan};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;
-pub use timing::RecoveryReport;
+pub use timing::{RecoveryReport, StageTimes};

@@ -23,10 +23,11 @@
 //! to the single-device pipeline in either mode (tests assert it).
 
 use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
-use crate::batch::BatchStats;
+use crate::autotune::{apportion, capability_shares, device_weights};
+use crate::batch::{plan_batches_range, BatchStats};
 use crate::exec::{device_invert_or_merge, Executor, PassInput, PassReport, Sink};
 use crate::minwise::HashFamily;
-use crate::params::{AggregationMode, ComponentsMode, PipelineMode, ShinglingParams};
+use crate::params::{AggregationMode, ComponentsMode, PipelineMode, PlanMode, ShinglingParams};
 use crate::plan::Plan;
 use crate::report;
 use crate::resilience::{retry_transient, with_oom_backoff};
@@ -80,17 +81,43 @@ impl MultiGpuClust {
         }
         let wall_start = std::time::Instant::now();
 
+        // Resolve the schedule axes once up front — the cost-model argmin
+        // under `--plan auto`, a pass-through under manual planning — and
+        // drive both passes from the *effective* parameters.
+        let (plan0, effective) = Plan::lower_auto(&self.params, &self.gpus, g.offsets(), g.n())?;
+        let predicted = plan0.predicted;
+
         let (first, pipe1, stats1, agg1, rec1) =
-            self.multi_pass(g, self.params.s1, &self.params.family_pass1())?;
+            self.multi_pass(&effective, g, effective.s1, &effective.family_pass1())?;
+
+        // If a device was lost during pass I, re-run plan *selection* over
+        // the survivors — capacity and shares re-derive inside multi_pass
+        // either way, but under `--plan auto` the argmin itself may now
+        // prefer different axes (every candidate is bit-identical, so
+        // switching between passes is safe). The pipeline-mode axis is
+        // pinned to pass I's choice so the makespan accounting keeps one
+        // convention across the run.
+        let effective = if self.gpus.iter().any(|gp| gp.is_lost())
+            && matches!(effective.plan, PlanMode::Auto(_))
+        {
+            let mut re = effective;
+            if let PlanMode::Auto(mut forced) = re.plan {
+                forced.mode = true;
+                re.plan = PlanMode::Auto(forced);
+            }
+            Plan::lower_auto(&re, &self.gpus, g.offsets(), g.n())?.1
+        } else {
+            effective
+        };
 
         // Pass II records may hold cross-device fragments, so Phase III
         // goes through the generic (merging) aggregation and the
         // materialized reporting path.
         let (second, pipe2, stats2, agg2, rec2) =
-            self.multi_pass(&first, self.params.s2, &self.params.family_pass2())?;
+            self.multi_pass(&effective, &first, effective.s2, &effective.family_pass2())?;
         let mut recovery = rec1;
         recovery.merge(&rec2);
-        let (partition, device_components) = match self.params.components {
+        let (partition, device_components) = match effective.components {
             ComponentsMode::Host => (report::partition_clusters(g.n(), &first, &second), 0.0),
             ComponentsMode::Device => {
                 self.device_partition(g.n(), &first, &second, &mut recovery)?
@@ -119,12 +146,13 @@ impl MultiGpuClust {
             recovery,
             ..Default::default()
         };
-        times.device_pipelined = match self.params.mode {
+        times.device_pipelined = match effective.mode {
             PipelineMode::Synchronous => times.device_serialized(),
             PipelineMode::Overlapped => pipe1 + pipe2,
         };
         times.record_batch_stats(&stats1);
         times.record_batch_stats(&stats2);
+        times.record_prediction(predicted.as_ref());
         Ok(MultiGpuReport {
             partition,
             times,
@@ -156,19 +184,20 @@ impl MultiGpuClust {
     /// over devices), recovery report)`.
     fn multi_pass(
         &self,
+        params: &ShinglingParams,
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64, RecoveryReport), DeviceError> {
         // Re-lowered per pass: capacity follows the smallest *surviving*
-        // device, so every batch fits anywhere it may be (re)scheduled —
-        // including after a mid-run redistribution.
-        let plan = Plan::lower(&self.params, &self.gpus)?;
+        // unbenched device, so every batch fits anywhere it may be
+        // (re)scheduled — including after a mid-run redistribution.
+        let plan = Plan::lower(params, &self.gpus)?;
         let input = PassInput::of(input);
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
         let out = with_oom_backoff(&plan.policy, &mut backoff_rec, plan.capacity, |cap| {
-            self.multi_pass_attempt(&plan, input, s, family, cap, &mut pass_rec)
+            self.multi_pass_attempt(params, &plan, input, s, family, cap, &mut pass_rec)
         })?;
         let mut recovery = pass_rec;
         recovery.merge(&backoff_rec);
@@ -176,12 +205,19 @@ impl MultiGpuClust {
         Ok((graph, makespan, stats, agg_seconds, recovery))
     }
 
-    /// One complete execution of a pass at a fixed `capacity` — the unit
-    /// [`with_oom_backoff`] re-plans. Rounds of round-robin dealing over
-    /// the surviving devices; a round whose device is lost re-queues that
-    /// device's unfinished batches for the next round.
+    /// One complete execution of a pass at a fixed starting `capacity` —
+    /// the unit [`with_oom_backoff`] re-plans. Rounds of
+    /// capability-weighted dealing over the surviving devices; a round
+    /// whose device is lost re-queues that device's unfinished batches
+    /// for the next round, re-derives the survivors' shares, and — when
+    /// the fleet's capacity changed (e.g. the smallest card died) —
+    /// re-cuts the remaining element range into batches sized for the
+    /// survivors ([`plan_batches_range`]; sound because fragment
+    /// reconciliation is insensitive to batch boundaries).
+    #[allow(clippy::too_many_arguments)] // the unit with_oom_backoff re-plans
     fn multi_pass_attempt(
         &self,
+        params: &ShinglingParams,
         plan: &Plan,
         input: PassInput<'_>,
         s: usize,
@@ -189,7 +225,8 @@ impl MultiGpuClust {
         capacity: usize,
         recovery: &mut RecoveryReport,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
-        let pass = plan.pass(s, plan.aggregation, capacity, input.offsets);
+        let mut capacity = capacity;
+        let mut pass = plan.pass(s, plan.aggregation, capacity, input.offsets);
         let device_agg = plan.aggregation == AggregationMode::Device;
 
         let mut raw = RawShingles::new(s);
@@ -210,7 +247,13 @@ impl MultiGpuClust {
                     device: self.gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
                 });
             }
-            let shares = round_robin_shares(&pending, alive.len());
+            // Capability-proportional dealing, recomputed per round so a
+            // device lost in an earlier round holds weight 0 and a fleet
+            // reduced to its slower members re-normalizes.
+            let fleet_shares =
+                capability_shares(&device_weights(&self.gpus, plan.kernel, family.len()));
+            let alive_shares: Vec<f64> = alive.iter().map(|&(d, _)| fleet_shares[d]).collect();
+            let shares = weighted_shares(&pending, &alive_shares);
             pending.clear();
             let outcomes: Vec<Result<(PassReport, RecoveryReport), DeviceError>> =
                 std::thread::scope(|scope| {
@@ -234,6 +277,7 @@ impl MultiGpuClust {
                         .collect()
                 });
             let mut fatal: Option<DeviceError> = None;
+            let mut lost_this_round = false;
             for ((d, _), outcome) in alive.iter().zip(outcomes) {
                 let (report, dev_rec) = match outcome {
                     Ok(o) => o,
@@ -265,6 +309,7 @@ impl MultiGpuClust {
                             recovery.lost_devices += 1;
                             recovery.redistributed_batches += remaining.len() as u64;
                             pending.extend(remaining);
+                            lost_this_round = true;
                             recovery.recovery_seconds += t0.elapsed().as_secs_f64();
                         }
                         e => {
@@ -277,15 +322,49 @@ impl MultiGpuClust {
                 return Err(e);
             }
             pending.sort_unstable();
+
+            // Re-run plan selection over the survivors: if the fleet's
+            // capacity changed (the lost card was the one bounding batch
+            // size), re-cut the not-yet-run element ranges into batches
+            // sized for who is left, preserving any OOM-backoff scaling.
+            if lost_this_round && !pending.is_empty() {
+                if let Ok(replan) = Plan::lower(params, &self.gpus) {
+                    let backoff = capacity as f64 / plan.capacity as f64;
+                    let new_cap = ((replan.capacity as f64 * backoff) as usize).max(1);
+                    if new_cap != capacity {
+                        let t0 = Instant::now();
+                        // Maximal runs of consecutive pending ids cover
+                        // contiguous element ranges; re-batch each range.
+                        let mut recut = Vec::new();
+                        let mut i = 0;
+                        while i < pending.len() {
+                            let mut j = i;
+                            while j + 1 < pending.len() && pending[j + 1] == pending[j] + 1 {
+                                j += 1;
+                            }
+                            let lo = pass.batches[pending[i]].elem_lo;
+                            let hi = pass.batches[pending[j]].elem_hi;
+                            for b in plan_batches_range(input.offsets, lo, hi, new_cap) {
+                                recut.push(pass.batches.len());
+                                pass.batches.push(b);
+                            }
+                            i = j + 1;
+                        }
+                        pending = recut;
+                        capacity = new_cap;
+                        recovery.recovery_seconds += t0.elapsed().as_secs_f64();
+                    }
+                }
+            }
         }
 
         let graph = if device_agg {
             // The pooled fragments, merged and host-sorted, become one
             // extra run alongside the device runs.
             if !raw.is_empty() {
-                runs.push(fragment_run(&raw, self.params.par_sort_min));
+                runs.push(fragment_run(&raw, plan.par_sort_min));
             }
-            match self.params.components {
+            match plan.components {
                 ComponentsMode::Host => merge_sorted_runs(s, runs),
                 // The pooled runs are host-resident either way; invert
                 // them on the first surviving device (host k-way merge as
@@ -306,7 +385,7 @@ impl MultiGpuClust {
                 }
             }
         } else {
-            aggregate_with(&raw, self.params.par_sort_min)
+            aggregate_with(&raw, plan.par_sort_min)
         };
         let makespan = makespan_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
         let agg_seconds = agg_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
@@ -384,6 +463,44 @@ fn round_robin_shares(pending: &[usize], n_alive: usize) -> Vec<Vec<usize>> {
     (0..n_alive)
         .map(|i| pending.iter().copied().skip(i).step_by(n_alive).collect())
         .collect()
+}
+
+/// Deal the pending batch ids across devices in proportion to their
+/// capability shares. Target counts come from largest-remainder
+/// apportionment; ids are then dealt in order by a deficit stride (each
+/// id goes to the device furthest behind its proportional quota, ties to
+/// the lowest index), so every device's share is an interleaved
+/// subsequence rather than a contiguous block — a lost device's work
+/// redistributes evenly. Uniform weights reproduce
+/// [`round_robin_shares`] exactly.
+fn weighted_shares(pending: &[usize], weights: &[f64]) -> Vec<Vec<usize>> {
+    let n = weights.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sum: f64 = weights.iter().sum();
+    if sum <= 0.0 || weights.iter().all(|&w| (w - weights[0]).abs() < 1e-12) {
+        return round_robin_shares(pending, n);
+    }
+    let counts = apportion(pending.len(), weights);
+    let total = pending.len() as f64;
+    let mut shares: Vec<Vec<usize>> = counts.iter().map(|&c| Vec::with_capacity(c)).collect();
+    for (k, &id) in pending.iter().enumerate() {
+        let mut best = 0;
+        let mut best_deficit = f64::NEG_INFINITY;
+        for d in 0..n {
+            if shares[d].len() >= counts[d] {
+                continue;
+            }
+            let deficit = counts[d] as f64 * (k + 1) as f64 / total - shares[d].len() as f64;
+            if deficit > best_deficit {
+                best_deficit = deficit;
+                best = d;
+            }
+        }
+        shares[best].push(id);
+    }
+    shares
 }
 
 #[cfg(test)]
@@ -798,5 +915,134 @@ mod tests {
             .cluster(&g)
             .unwrap_err();
         assert!(matches!(err, DeviceError::DeviceLost { .. }), "{err}");
+    }
+
+    #[test]
+    fn weighted_shares_are_disjoint_complete_and_proportional() {
+        for n_pending in [0usize, 1, 5, 16, 33] {
+            let pending: Vec<usize> = (0..n_pending).collect();
+            let weights = [2.0, 1.0, 1.0];
+            let shares = weighted_shares(&pending, &weights);
+            assert_eq!(shares.len(), weights.len());
+            let mut all: Vec<usize> = shares.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, pending, "shares must cover exactly the pending set");
+            let counts = apportion(n_pending, &weights);
+            let sizes: Vec<usize> = shares.iter().map(Vec::len).collect();
+            assert_eq!(sizes, counts, "sizes must hit the apportioned targets");
+            // The double-weight device never ends up behind an equal one.
+            assert!(sizes[0] >= sizes[1] && sizes[0] >= sizes[2], "{sizes:?}");
+        }
+    }
+
+    /// Uniform (and degenerate) weights must reproduce the round-robin
+    /// deal bit for bit — the weighted scheduler is a strict superset.
+    #[test]
+    fn weighted_shares_degrade_to_round_robin() {
+        let pending: Vec<usize> = (0..17).collect();
+        for weights in [vec![1.0; 3], vec![0.25; 4], vec![0.0; 3]] {
+            assert_eq!(
+                weighted_shares(&pending, &weights),
+                round_robin_shares(&pending, weights.len()),
+                "{weights:?}"
+            );
+        }
+        assert!(weighted_shares(&pending, &[]).is_empty());
+    }
+
+    /// A heterogeneous fleet (full-bandwidth + half-bandwidth K20) must
+    /// reproduce the single-device partition — proportional dealing only
+    /// reshuffles which card runs which batch.
+    #[test]
+    fn heterogeneous_fleet_matches_single_device() {
+        let g = graph(57);
+        let params = ShinglingParams::light(33);
+        let single = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        for mode in [PipelineMode::Synchronous, PipelineMode::Overlapped] {
+            let gpus = vec![
+                Gpu::with_workers(DeviceConfig::tesla_k20(), 1),
+                Gpu::with_workers(DeviceConfig::tesla_k20_half_bandwidth(), 1),
+            ];
+            let report = MultiGpuClust::new(params.with_mode(mode), gpus)
+                .unwrap()
+                .cluster(&g)
+                .unwrap();
+            assert_eq!(report.partition, single.partition, "{mode:?}");
+        }
+    }
+
+    /// When the capacity-bounding card dies mid-pass, the survivors
+    /// re-cut the remaining element range into their own (larger) batch
+    /// size — and the partition is still bit-identical.
+    #[test]
+    fn lost_capacity_bound_device_recuts_remaining_batches() {
+        use gpclust_gpu::{FaultKind, FaultPlan, FaultSite};
+        let g = graph(59);
+        let params = ShinglingParams::light(35);
+        let oracle = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        // Device 0 is a K20 whose memory is capped to 32 KiB — full
+        // bandwidth (so it still draws an equal share of batches), but it
+        // bounds the fleet capacity. It dies on its first kernel; the
+        // surviving K20 re-plans at its own 5 GB capacity, collapsing the
+        // small batches into large ones.
+        let gpus: Vec<Gpu> = vec![
+            {
+                let gpu = Gpu::with_workers(
+                    DeviceConfig {
+                        global_mem_bytes: 32 << 10,
+                        ..DeviceConfig::tesla_k20()
+                    },
+                    1,
+                );
+                gpu.set_fault_plan(
+                    FaultPlan::scheduled()
+                        .with_fault(FaultSite::Kernel, 1, FaultKind::DeviceLost)
+                        .with_device(0),
+                );
+                gpu
+            },
+            Gpu::with_workers(DeviceConfig::tesla_k20(), 1),
+        ];
+        let report = MultiGpuClust::new(params, gpus)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(report.partition, oracle.partition);
+        assert_eq!(report.times.recovery.lost_devices, 1);
+        // The re-cut is visible: the K20's capacity admits the whole
+        // remaining range in far fewer batches than were redistributed.
+        assert!(report.times.recovery.redistributed_batches > 0);
+    }
+
+    /// `--plan auto` across the fleet stays bit-identical to the manual
+    /// single-device oracle and attaches the prediction to the report.
+    #[test]
+    fn auto_plan_matches_manual_and_reports_prediction() {
+        let g = graph(61);
+        let params = ShinglingParams::light(37);
+        let oracle = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        let gpus = (0..2)
+            .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+            .collect();
+        let report = MultiGpuClust::new(params.with_plan_auto(), gpus)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(report.partition, oracle.partition);
+        assert!(report.times.predicted_device_seconds > 0.0);
+        assert!(report.times.predicted_total_seconds >= report.times.predicted_device_seconds);
+        assert!(
+            report.times.prediction_error_pct().is_some(),
+            "auto runs must expose the model's relative error"
+        );
     }
 }

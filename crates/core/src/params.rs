@@ -88,6 +88,43 @@ pub enum ComponentsMode {
     Device,
 }
 
+/// How [`crate::plan::Plan`] resolves the schedule axes.
+///
+/// Both modes produce **bit-identical clustering results** — every point
+/// of the axis cross-product is bit-identical by contract (pinned by
+/// `tests/plan_properties.rs`), so letting the cost model pick the point
+/// can only change the timing, never the clusters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlanMode {
+    /// The axes are exactly what the params say (the historical behavior).
+    #[default]
+    Manual,
+    /// Cost-model-driven: free axes take the predicted-makespan argmin
+    /// over the axis cross-product (see [`crate::autotune`]); axes marked
+    /// forced keep the params' explicit values — an explicit CLI flag
+    /// still wins over the model.
+    Auto(ForcedAxes),
+}
+
+/// Which schedule axes an [`PlanMode::Auto`] lowering must *not* retune —
+/// the axes the user pinned with an explicit flag. The default forces
+/// nothing (fully automatic).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForcedAxes {
+    /// Keep [`ShinglingParams::kernel`] as given.
+    #[serde(default)]
+    pub kernel: bool,
+    /// Keep [`ShinglingParams::mode`] as given.
+    #[serde(default)]
+    pub mode: bool,
+    /// Keep [`ShinglingParams::aggregation`] as given.
+    #[serde(default)]
+    pub aggregation: bool,
+    /// Keep [`ShinglingParams::components`] as given.
+    #[serde(default)]
+    pub components: bool,
+}
+
 /// Default [`ShinglingParams::par_sort_min`]: below this record count the
 /// rayon fork/join overhead outweighs the parallel sort's gain, so the
 /// host aggregation sorts serially.
@@ -195,6 +232,10 @@ pub struct ShinglingParams {
     /// [`crate::timing::RecoveryReport`] tallies differ).
     #[serde(default)]
     pub fault: FaultPolicy,
+    /// How the schedule axes are resolved at lowering time (results are
+    /// bit-identical across plan modes; only the chosen schedule differs).
+    #[serde(default)]
+    pub plan: PlanMode,
 }
 
 impl ShinglingParams {
@@ -212,6 +253,7 @@ impl ShinglingParams {
             components: ComponentsMode::Host,
             par_sort_min: default_par_sort_min(),
             fault: FaultPolicy::default(),
+            plan: PlanMode::Manual,
         }
     }
 
@@ -229,6 +271,7 @@ impl ShinglingParams {
             components: ComponentsMode::Host,
             par_sort_min: default_par_sort_min(),
             fault: FaultPolicy::default(),
+            plan: PlanMode::Manual,
         }
     }
 
@@ -266,6 +309,18 @@ impl ShinglingParams {
     pub fn with_fault_policy(mut self, fault: FaultPolicy) -> Self {
         self.fault = fault;
         self
+    }
+
+    /// This parameter set with the given plan-resolution mode.
+    pub fn with_plan(mut self, plan: PlanMode) -> Self {
+        self.plan = plan;
+        self
+    }
+
+    /// This parameter set under fully automatic plan selection (no axis
+    /// forced).
+    pub fn with_plan_auto(self) -> Self {
+        self.with_plan(PlanMode::Auto(ForcedAxes::default()))
     }
 
     /// Validate invariants (positive sizes and trial counts).
@@ -408,6 +463,29 @@ mod tests {
         assert_eq!(strict.fault.max_retries, 0);
         assert!(!strict.fault.oom_backoff);
         assert!(!strict.fault.degrade_to_host);
+    }
+
+    #[test]
+    fn plan_mode_defaults_to_manual_including_serde() {
+        assert_eq!(PlanMode::default(), PlanMode::Manual);
+        assert_eq!(ShinglingParams::paper_default(3).plan, PlanMode::Manual);
+        // Configs written before the knob existed still deserialize
+        // (skipped under a stub serde_json that cannot parse).
+        let legacy = r#"{"s1":2,"c1":200,"s2":2,"c2":100,"seed":7}"#;
+        if let Ok(p) = serde_json::from_str::<ShinglingParams>(legacy) {
+            assert_eq!(p.plan, PlanMode::Manual);
+        }
+        let auto = ShinglingParams::paper_default(3).with_plan_auto();
+        assert_eq!(auto.plan, PlanMode::Auto(ForcedAxes::default()));
+        assert!(!ForcedAxes::default().kernel);
+        let pinned = auto.with_plan(PlanMode::Auto(ForcedAxes {
+            kernel: true,
+            ..Default::default()
+        }));
+        match pinned.plan {
+            PlanMode::Auto(f) => assert!(f.kernel && !f.mode && !f.aggregation && !f.components),
+            m => panic!("expected auto, got {m:?}"),
+        }
     }
 
     #[test]

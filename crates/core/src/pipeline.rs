@@ -102,7 +102,16 @@ impl GpClust {
         let mut pipelined = 0.0f64;
         let mut device_aggregation = 0.0f64;
         let mut recovery = RecoveryReport::default();
-        let plan = Plan::lower(&self.params, std::slice::from_ref(&self.gpu))?;
+        // Resolve the schedule axes — cost-model argmin under `--plan
+        // auto`, pass-through under manual planning — and drive the whole
+        // run from the *effective* parameters.
+        let (plan, effective) = Plan::lower_auto(
+            &self.params,
+            std::slice::from_ref(&self.gpu),
+            g.offsets(),
+            g.n(),
+        )?;
+        let predicted = plan.predicted;
         let policy = plan.policy;
         let exec = Executor::new(&self.gpu);
 
@@ -114,8 +123,8 @@ impl GpClust {
         // under the fault policy: an `OutOfMemory` halves the planned batch
         // capacity and re-plans the whole pass (each executor run rebuilds
         // its sink state, so a re-plan never replays half-emitted records).
-        let s1 = self.params.s1;
-        let family1 = self.params.family_pass1();
+        let s1 = effective.s1;
+        let family1 = effective.family_pass1();
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
         let (first, stats1) = {
@@ -144,15 +153,15 @@ impl GpClust {
         let mut uf = UnionFind::new(g.n());
         let mut labels: Option<ClusterLabels> = None;
         let mut second_level_records = 0u64;
-        let s2 = self.params.s2;
-        let family2 = self.params.family_pass2();
+        let s2 = effective.s2;
+        let family2 = effective.family_pass2();
         let cap2 = plan.capacity_for(AggregationMode::Host);
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
         let (stats2, makespan2, device_components) =
             with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
                 let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
-                match self.params.components {
+                match effective.components {
                     ComponentsMode::Host => {
                         uf = UnionFind::new(g.n());
                         second_level_records = 0;
@@ -209,7 +218,7 @@ impl GpClust {
         recovery.faults_injected = counters.faults_injected;
         // Host time net of the wall time spent standing in for the device.
         let cpu = (wall - counters.kernel_wall_seconds).max(0.0);
-        let device_pipelined = match self.params.mode {
+        let device_pipelined = match effective.mode {
             PipelineMode::Synchronous => counters.serialized_device_seconds(),
             PipelineMode::Overlapped => pipelined,
         };
@@ -227,6 +236,7 @@ impl GpClust {
         };
         times.record_batch_stats(&stats1);
         times.record_batch_stats(&stats2);
+        times.record_prediction(predicted.as_ref());
         Ok(GpClustReport {
             partition,
             times,
@@ -401,6 +411,36 @@ mod tests {
             assert!(sel_report.times.n_batches <= sort_report.times.n_batches);
             assert!(sel_report.times.gpu < sort_report.times.gpu, "{mode:?}");
         }
+    }
+
+    /// `--plan auto` must stay bit-identical to the serial oracle while
+    /// attaching the autotuner's prediction and its relative error.
+    #[test]
+    fn auto_plan_matches_serial_and_reports_prediction() {
+        let g = graph(29);
+        let params = ShinglingParams::light(85);
+        let serial = SerialShingling::new(params).unwrap().cluster(&g);
+        let manual = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(manual.partition, serial);
+        assert_eq!(manual.times.prediction_error_pct(), None);
+        let auto = GpClust::new(
+            params.with_plan_auto(),
+            Gpu::with_workers(DeviceConfig::tesla_k20(), 2),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        assert_eq!(auto.partition, serial);
+        assert!(auto.times.predicted_device_seconds > 0.0);
+        assert!(auto.times.predicted_total_seconds >= auto.times.predicted_device_seconds);
+        let err = auto
+            .times
+            .prediction_error_pct()
+            .expect("auto reports error");
+        assert!(err.is_finite());
     }
 
     #[test]

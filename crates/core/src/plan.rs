@@ -31,17 +31,21 @@
 
 #![deny(dead_code)]
 
+use crate::autotune::{self, capability_shares, device_weights, Prediction, WorkloadShape};
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
 use crate::params::{
-    AggregationMode, ComponentsMode, FaultPolicy, PipelineMode, ShingleKernel, ShinglingParams,
+    AggregationMode, ComponentsMode, FaultPolicy, PipelineMode, PlanMode, ShingleKernel,
+    ShinglingParams,
 };
 use gpclust_gpu::{DeviceError, Gpu};
 
-/// The run-level execution plan: every schedule axis resolved, plus the
-/// per-batch element budget the capacity model derived from the smallest
+/// The run-level execution plan: every schedule axis resolved, the
+/// capability-proportional device shares, plus the per-batch element
+/// budget the capacity model derived from the smallest *unbenched*
 /// surviving device. Lowered once per run (or per pass for multi-device
-/// drivers, which must re-assess survivors) via [`Plan::lower`].
-#[derive(Debug, Clone, Copy, PartialEq)]
+/// drivers, which must re-assess survivors) via [`Plan::lower`], or
+/// chosen by the cost-model argmin via [`Plan::lower_auto`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct Plan {
     /// Top-s extraction kernel the device passes launch.
     pub kernel: ShingleKernel,
@@ -58,24 +62,40 @@ pub struct Plan {
     /// Devices the plan was lowered over (all of them, including lost
     /// ones — shares are dealt over survivors at execution time).
     pub n_devices: usize,
-    /// Free bytes of the smallest surviving device at lowering time.
+    /// Capability-proportional work shares, one per device (lost and
+    /// benched devices hold 0; the rest sum to 1). Uniform fleets get
+    /// uniform shares — see [`autotune::capability_shares`].
+    pub shares: Vec<f64>,
+    /// Free bytes of the smallest surviving device *with a nonzero
+    /// share* at lowering time (a benched device receives no batches, so
+    /// its memory no longer bounds anyone's batch size).
     pub min_device_mem: usize,
     /// Per-batch element budget at the configured kernel/aggregation
     /// ([`batch_capacity`] of `min_device_mem`).
     pub capacity: usize,
+    /// The autotuner's cost estimate when this plan was chosen by
+    /// [`Plan::lower_auto`] under [`PlanMode::Auto`]; `None` for manual
+    /// plans.
+    pub predicted: Option<Prediction>,
 }
 
 impl Plan {
     /// Lower `params` against the fleet: capacity is the
-    /// [`batch_capacity`] of the smallest *surviving* device under the
-    /// configured kernel and aggregation mode, so every batch fits on any
-    /// device it may be (re)scheduled to. Typed
+    /// [`batch_capacity`] of the smallest surviving device *holding a
+    /// nonzero capability share*, so every batch fits on any device it
+    /// may be (re)scheduled to. Under a uniform fleet every survivor
+    /// shares alike and this is the smallest survivor, the historical
+    /// rule; a device so slow it gets benched ([`autotune::MIN_SHARE`])
+    /// also stops bounding the batch size. Typed
     /// [`DeviceError::DeviceLost`] once no device remains.
     pub fn lower(params: &ShinglingParams, gpus: &[Gpu]) -> Result<Plan, DeviceError> {
+        let weights = device_weights(gpus, params.kernel, params.c1);
+        let shares = capability_shares(&weights);
         let min_device_mem = gpus
             .iter()
-            .filter(|g| !g.is_lost())
-            .map(|g| g.mem_available())
+            .zip(&shares)
+            .filter(|&(g, &s)| !g.is_lost() && s > 0.0)
+            .map(|(g, _)| g.mem_available())
             .min()
             .ok_or_else(|| DeviceError::DeviceLost {
                 device: gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
@@ -88,9 +108,45 @@ impl Plan {
             policy: params.fault,
             par_sort_min: params.par_sort_min,
             n_devices: gpus.len(),
+            shares,
             min_device_mem,
             capacity: batch_capacity(min_device_mem, params.kernel, params.aggregation),
+            predicted: None,
         })
+    }
+
+    /// Lower `params` with the schedule axes chosen by the cost model
+    /// when [`ShinglingParams::plan`] is [`PlanMode::Auto`]: run
+    /// [`autotune::select`] over the axis cross-product (honoring any
+    /// axes the user forced explicitly), install the winning axes, and
+    /// attach the prediction. Under [`PlanMode::Manual`] this is exactly
+    /// [`Plan::lower`].
+    ///
+    /// Returns the plan *and* the effective parameters (the input with
+    /// the chosen axes installed) so drivers derive every downstream
+    /// decision from the same axes the plan resolved.
+    pub fn lower_auto(
+        params: &ShinglingParams,
+        gpus: &[Gpu],
+        offsets: &[u64],
+        n_vertices: usize,
+    ) -> Result<(Plan, ShinglingParams), DeviceError> {
+        match params.plan {
+            PlanMode::Manual => Ok((Plan::lower(params, gpus)?, *params)),
+            PlanMode::Auto(forced) => {
+                let workload = WorkloadShape::from_input(n_vertices, offsets, params);
+                let selection =
+                    autotune::select(params, forced, &workload, gpus).ok_or_else(|| {
+                        DeviceError::DeviceLost {
+                            device: gpus.iter().position(|g| g.is_lost()).unwrap_or(0) as u32,
+                        }
+                    })?;
+                let effective = selection.axes.apply(*params);
+                let mut plan = Plan::lower(&effective, gpus)?;
+                plan.predicted = Some(selection.prediction);
+                Ok((plan, effective))
+            }
+        }
     }
 
     /// The per-batch element budget this plan's devices afford under
@@ -120,7 +176,7 @@ impl Plan {
             ComponentsMode::Host => "host-bfs",
             ComponentsMode::Device => "device-cc",
         };
-        format!(
+        let base = format!(
             "kernel {kernel} | schedule {schedule} | sink {sink} | components {components} | \
              {} device(s) | {} elems/batch (retries {}, oom-backoff {}, degrade {})",
             self.n_devices,
@@ -132,7 +188,11 @@ impl Plan {
             } else {
                 "off"
             },
-        )
+        );
+        match &self.predicted {
+            Some(p) => format!("plan auto → {base} | predicted {:.4}s", p.seconds),
+            None => base,
+        }
     }
 
     /// Lower one shingling pass: plan the batches of `offsets` at
@@ -268,6 +328,87 @@ mod tests {
         let plan = Plan::lower(&params, &gpus).unwrap();
         let tiny = Plan::lower(&params, &gpus[1..]).unwrap();
         assert_eq!(plan.capacity, tiny.capacity, "smallest device bounds");
+        assert!(
+            plan.shares[1] > 0.0,
+            "the tiny device still earns a share: {:?}",
+            plan.shares
+        );
+    }
+
+    #[test]
+    fn lower_gives_uniform_fleets_uniform_shares() {
+        let params = ShinglingParams::light(2);
+        let gpus: Vec<Gpu> = (0..3)
+            .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+            .collect();
+        let plan = Plan::lower(&params, &gpus).unwrap();
+        for &s in &plan.shares {
+            assert!((s - 1.0 / 3.0).abs() < 1e-12, "{:?}", plan.shares);
+        }
+        // Uniform fleet: the weighted rule degenerates to the historical
+        // smallest-survivor capacity.
+        assert_eq!(plan.min_device_mem, gpus[0].mem_available());
+    }
+
+    #[test]
+    fn lower_unbounds_capacity_from_benched_devices() {
+        let params = ShinglingParams::light(2);
+        // A card ~1000× slower than the K20 falls below MIN_SHARE and is
+        // benched: it gets no batches, so its memory must not bound the
+        // batch size even though it is the smallest survivor.
+        let gpus = vec![
+            Gpu::with_workers(DeviceConfig::tesla_k20(), 1),
+            Gpu::with_workers(
+                DeviceConfig {
+                    global_mem_bytes: 64 * 1024,
+                    ..DeviceConfig::tesla_k20().scaled("weak", 1e-3)
+                },
+                1,
+            ),
+        ];
+        let plan = Plan::lower(&params, &gpus).unwrap();
+        assert_eq!(plan.shares[1], 0.0, "{:?}", plan.shares);
+        let solo = Plan::lower(&params, &gpus[..1]).unwrap();
+        assert_eq!(
+            plan.capacity, solo.capacity,
+            "benched device no longer bounds capacity"
+        );
+    }
+
+    #[test]
+    fn lower_auto_picks_axes_and_attaches_the_prediction() {
+        use crate::params::ForcedAxes;
+        let gpus = vec![Gpu::with_workers(DeviceConfig::tesla_k20(), 1)];
+        let offsets: Vec<u64> = (0..=20_000u64).map(|i| i * 200).collect();
+        let manual = ShinglingParams::paper_default(7);
+        let (plan, eff) = Plan::lower_auto(&manual, &gpus, &offsets, 20_000).unwrap();
+        assert!(plan.predicted.is_none(), "manual mode never predicts");
+        assert_eq!(eff, manual);
+
+        let auto = manual.with_plan_auto();
+        let (plan, eff) = Plan::lower_auto(&auto, &gpus, &offsets, 20_000).unwrap();
+        let p = plan.predicted.expect("auto mode attaches the prediction");
+        assert!(p.seconds > 0.0);
+        assert_eq!(plan.kernel, eff.kernel);
+        assert_eq!(plan.aggregation, eff.aggregation);
+        let line = plan.describe();
+        assert!(line.starts_with("plan auto → "), "{line}");
+        assert!(line.contains("predicted"), "{line}");
+
+        // Forcing every axis reproduces the manual plan's axes, with the
+        // prediction still attached.
+        let pinned = manual.with_plan(crate::params::PlanMode::Auto(ForcedAxes {
+            kernel: true,
+            mode: true,
+            aggregation: true,
+            components: true,
+        }));
+        let (plan, _) = Plan::lower_auto(&pinned, &gpus, &offsets, 20_000).unwrap();
+        assert_eq!(plan.kernel, manual.kernel);
+        assert_eq!(plan.mode, manual.mode);
+        assert_eq!(plan.aggregation, manual.aggregation);
+        assert_eq!(plan.components, manual.components);
+        assert!(plan.predicted.is_some());
     }
 
     #[test]

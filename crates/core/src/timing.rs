@@ -159,9 +159,20 @@ pub struct StageTimes {
     /// see [`crate::batch::bytes_per_elem`]).
     #[serde(default)]
     pub elem_footprint_bytes: u64,
-    /// Recovery actions taken during the run (all zeros when fault-free).
+    /// Every recovery action the resilience layer took (all zeros on a
+    /// fault-free run).
     #[serde(default)]
     pub recovery: RecoveryReport,
+    /// The autotuner's predicted device seconds under the chosen plan's
+    /// pipeline convention — the figure [`StageTimes::device_pipelined`]
+    /// measures (0 when the run was not planned by `--plan auto`).
+    #[serde(default)]
+    pub predicted_device_seconds: f64,
+    /// The autotuner's predicted end-to-end objective (device critical
+    /// path + finish-time tail + modeled host work) the argmin ranked
+    /// plans by (0 without `--plan auto`).
+    #[serde(default)]
+    pub predicted_total_seconds: f64,
 }
 
 impl StageTimes {
@@ -170,6 +181,26 @@ impl StageTimes {
         self.n_batches += stats.n_batches;
         self.max_batch_elems = self.max_batch_elems.max(stats.max_batch_elems);
         self.elem_footprint_bytes = self.elem_footprint_bytes.max(stats.elem_footprint_bytes);
+    }
+
+    /// Attach the autotuner's cost estimate (no-op for manual plans).
+    pub fn record_prediction(&mut self, predicted: Option<&crate::autotune::Prediction>) {
+        if let Some(p) = predicted {
+            self.predicted_device_seconds = p.device_seconds;
+            self.predicted_total_seconds = p.seconds;
+        }
+    }
+
+    /// Relative error of the predicted device seconds against the
+    /// measured [`StageTimes::device_pipelined`], as a signed percentage
+    /// (positive = the model over-predicted). `None` when the run was not
+    /// auto-planned or nothing was measured — keeping the model honest is
+    /// only possible when both figures exist.
+    pub fn prediction_error_pct(&self) -> Option<f64> {
+        if self.predicted_device_seconds <= 0.0 || self.device_pipelined <= 0.0 {
+            return None;
+        }
+        Some((self.predicted_device_seconds / self.device_pipelined - 1.0) * 100.0)
     }
 }
 
@@ -221,6 +252,13 @@ impl std::fmt::Display for StageTimes {
             self.max_batch_elems,
             self.elem_footprint_bytes
         )?;
+        if let Some(err) = self.prediction_error_pct() {
+            write!(
+                f,
+                " | predicted {:.4}s ({:+.1}% vs measured)",
+                self.predicted_device_seconds, err
+            )?;
+        }
         if self.recovery.any() {
             write!(f, " | recovery: {}", self.recovery)?;
         }
@@ -320,6 +358,29 @@ mod tests {
             ..Default::default()
         };
         assert!(t.to_string().contains("recovery"));
+    }
+
+    #[test]
+    fn prediction_error_reports_only_when_both_sides_exist() {
+        let mut t = StageTimes {
+            device_pipelined: 2.0,
+            ..Default::default()
+        };
+        assert_eq!(t.prediction_error_pct(), None, "manual runs stay silent");
+        assert!(!t.to_string().contains("predicted"));
+        t.record_prediction(Some(&crate::autotune::Prediction {
+            seconds: 3.0,
+            device_seconds: 2.2,
+            host_seconds: 0.8,
+            n_batches: 4,
+        }));
+        let err = t.prediction_error_pct().unwrap();
+        assert!((err - 10.0).abs() < 1e-9, "{err}");
+        let s = t.to_string();
+        assert!(s.contains("predicted"), "{s}");
+        assert!(s.contains("+10.0%"), "{s}");
+        t.record_prediction(None);
+        assert!((t.predicted_total_seconds - 3.0).abs() < 1e-12, "no-op");
     }
 
     #[test]

@@ -103,8 +103,15 @@ impl SmPool {
                 >(task)
             };
             let wg = wg.clone();
+            let shared = Arc::clone(&self.shared);
             self.shared.injector.push(Box::new(move || {
-                task();
+                // The panic flag must be raised before the wait-group clone
+                // drops: unwinding out of `task` would release `wg` first,
+                // letting `wg.wait()` below return and read the flag before
+                // the worker's own catch_unwind records the panic.
+                if catch_unwind(AssertUnwindSafe(task)).is_err() {
+                    shared.panicked.store(true, Ordering::SeqCst);
+                }
                 drop(wg);
             }));
         }

@@ -271,6 +271,18 @@ impl Gpu {
         compute.max(memory) + c.launch_overhead_us * 1e-6
     }
 
+    /// Simulated seconds for a *sequence* of kernel launches, each an
+    /// `(element count, cost)` entry — the building block plan predictors
+    /// use to price one batch round of a lowered schedule without touching
+    /// device state. Each entry pays its own launch overhead, exactly as
+    /// the per-launch model does.
+    pub fn model_kernel_sequence_seconds(&self, launches: &[(usize, KernelCost)]) -> f64 {
+        launches
+            .iter()
+            .map(|(n, cost)| self.model_kernel_seconds(*n, cost))
+            .sum()
+    }
+
     /// Launch a kernel: run `tasks` (one per thread block / block batch) on
     /// the SM pool, then charge the modeled device time for `n_elements`.
     ///
@@ -466,6 +478,20 @@ mod tests {
             (1.9..2.1).contains(&ratio),
             "pair/key sort ratio {ratio:.3} should be ~2 (launch overhead aside)"
         );
+    }
+
+    #[test]
+    fn kernel_sequence_sums_per_launch_models() {
+        let g = gpu();
+        let seq = [
+            (1_000_000usize, KernelCost::transform()),
+            (1_000_000, KernelCost::segmented_sort()),
+            (40_000, KernelCost::gather()),
+        ];
+        let summed: f64 = seq.iter().map(|(n, c)| g.model_kernel_seconds(*n, c)).sum();
+        let got = g.model_kernel_sequence_seconds(&seq);
+        assert!((got - summed).abs() < 1e-15);
+        assert_eq!(g.model_kernel_sequence_seconds(&[]), 0.0);
     }
 
     #[test]

@@ -6,7 +6,8 @@
 //! gpclust cluster     --graph graph.bin --out clusters.tsv
 //!                     [--serial] [--devices N] [--seed 7] [--overlap]
 //!                     [--kernel sort|select] [--aggregate host|device]
-//!                     [--components host|device] [--par-sort-min N]
+//!                     [--components host|device] [--plan auto|manual]
+//!                     [--par-sort-min N]
 //!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
 //! gpclust stats       --graph graph.bin
 //! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
@@ -17,8 +18,8 @@
 
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{
-    AggregationMode, ComponentsMode, FaultPolicy, GpClust, PipelineMode, Plan, SerialShingling,
-    ShingleKernel, ShinglingParams,
+    AggregationMode, ComponentsMode, FaultPolicy, ForcedAxes, GpClust, PipelineMode, Plan,
+    PlanMode, SerialShingling, ShingleKernel, ShinglingParams,
 };
 use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
@@ -75,6 +76,10 @@ subcommands:
                                                where Phase III labels clusters
                                                (host union-find or the GPU
                                                pointer-jumping kernel),
+                                               [--plan auto|manual] — `auto`
+                                               picks the schedule axes by the
+                                               cost-model argmin; explicitly
+                                               passed axis flags stay forced,
                                                [--par-sort-min N],
                                                [--s1/--c1/--s2/--c2],
                                                [--min-size],
@@ -195,6 +200,26 @@ fn parse_components(args: &Flags, default: ComponentsMode) -> Result<ComponentsM
     }
 }
 
+/// `--plan auto` turns the cost-model argmin on; any schedule-axis flag
+/// the user passed explicitly stays *forced* — the autotuner only fills
+/// in the axes left unspecified.
+fn parse_plan(args: &Flags) -> Result<PlanMode, String> {
+    match args.get("plan").map(String::as_str) {
+        None | Some("manual") => Ok(PlanMode::Manual),
+        Some("auto") => Ok(PlanMode::Auto(ForcedAxes {
+            kernel: args.contains_key("kernel"),
+            mode: args.contains_key("overlap"),
+            aggregation: args.contains_key("aggregate"),
+            components: args.contains_key("components"),
+        })),
+        Some(other) => Err(format!(
+            "--plan must be `auto` (cost-model argmin over the unforced \
+             schedule axes) or `manual` (flags + defaults as given), got \
+             `{other}`"
+        )),
+    }
+}
+
 /// `--inject-faults seed:rate` (falling back to `GPCLUST_INJECT_FAULTS`
 /// in the environment), parsed into a deterministic device fault plan.
 fn fault_plan(args: &Flags) -> Result<Option<FaultPlan>, String> {
@@ -236,6 +261,7 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         components: parse_components(args, base.components)?,
         par_sort_min: get(args, "par-sort-min", base.par_sort_min),
         fault: fault_policy(args, base.fault),
+        plan: parse_plan(args)?,
         ..base
     };
     let plan = fault_plan(args)?;
@@ -252,13 +278,15 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
             if let Some(plan) = &plan {
                 gpu.set_fault_plan(plan.clone().with_device(0));
             }
-            let exec_plan =
-                Plan::lower(&params, std::slice::from_ref(&gpu)).map_err(|e| e.to_string())?;
+            let (exec_plan, _) =
+                Plan::lower_auto(&params, std::slice::from_ref(&gpu), g.offsets(), g.n())
+                    .map_err(|e| e.to_string())?;
             eprintln!("plan: {}", exec_plan.describe());
             let report = GpClust::new(params, gpu)?
                 .cluster(&g)
                 .map_err(|e| e.to_string())?;
             eprintln!("component times: {}", report.times);
+            print_prediction_error(&report.times);
             if report.times.recovery.any() {
                 eprintln!("recovery: {}", report.times.recovery);
             }
@@ -273,11 +301,13 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                     gpu
                 })
                 .collect();
-            let exec_plan = Plan::lower(&params, &gpus).map_err(|e| e.to_string())?;
+            let (exec_plan, _) =
+                Plan::lower_auto(&params, &gpus, g.offsets(), g.n()).map_err(|e| e.to_string())?;
             eprintln!("plan: {}", exec_plan.describe());
             let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
             let report = multi.cluster(&g).map_err(|e| e.to_string())?;
             eprintln!("component times ({} devices): {}", n_devices, report.times);
+            print_prediction_error(&report.times);
             if report.times.recovery.any() {
                 eprintln!("recovery: {}", report.times.recovery);
             }
@@ -292,6 +322,18 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         st.n_groups, st.n_assigned, st.largest
     );
     Ok(())
+}
+
+/// Under `--plan auto` the run carries the autotuner's makespan estimate;
+/// report how far off the model was (the honesty check the cost model
+/// lives or dies by). Manual runs carry no prediction and stay silent.
+fn print_prediction_error(times: &gpclust::core::StageTimes) {
+    if let Some(err) = times.prediction_error_pct() {
+        eprintln!(
+            "autotune: predicted device path {:.4}s vs measured {:.4}s ({:+.1}% relative error)",
+            times.predicted_device_seconds, times.device_pipelined, err
+        );
+    }
 }
 
 fn cmd_stats(args: &Flags) -> Result<(), String> {

@@ -11,10 +11,11 @@
 //! `tests/fault_properties.rs` (random-rate fault axis); those suites
 //! keep their record-level, cost-model, and policy-edge cases.
 
+use gpclust::core::autotune;
 use gpclust::core::multi_gpu::MultiGpuClust;
 use gpclust::core::{
-    AggregationMode, ComponentsMode, GpClust, PipelineMode, SerialShingling, ShingleKernel,
-    ShinglingParams,
+    AggregationMode, ComponentsMode, ForcedAxes, GpClust, PipelineMode, PlanAxes, SerialShingling,
+    Sharing, ShingleKernel, ShinglingParams, WorkloadShape,
 };
 use gpclust::gpu::{thrust, DeviceConfig, DeviceError, FaultPlan, Gpu};
 use gpclust::graph::components::{bfs_components, ComponentLabels};
@@ -105,6 +106,175 @@ proptest! {
             }
         }
     }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// `--plan auto` is one more point of the matrix above: whatever axes
+    /// the argmin lands on, the partition is still bit-identical to the
+    /// serial oracle — on one device and on a fleet, fault-free and under
+    /// random faults.
+    #[test]
+    fn auto_plan_matches_serial_oracle(
+        g in arb_graph(40, 160),
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+    ) {
+        let base = ShinglingParams::light(seed);
+        let oracle = SerialShingling::new(base).unwrap().cluster(&g);
+        for n_devices in 1usize..=3 {
+            for rate in [0.0, 0.05] {
+                let plan = FaultPlan::random(fault_seed, rate);
+                let got =
+                    device_partition(&g, base.with_plan_auto(), n_devices, &plan).unwrap();
+                prop_assert_eq!(
+                    &got,
+                    &oracle,
+                    "auto plan, {} device(s), rate {}",
+                    n_devices,
+                    rate
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The argmin really is the argmin: on any random workload the free
+    /// selection's predicted makespan is no worse than every one of the 16
+    /// fully-forced combinations, and forcing all four axes reproduces the
+    /// manual plan's axes exactly.
+    #[test]
+    fn auto_prediction_never_loses_to_a_forced_combo(
+        g in arb_graph(60, 240),
+        seed in 0u64..1000,
+    ) {
+        let base = ShinglingParams::light(seed);
+        let gpus = vec![Gpu::new(DeviceConfig::tesla_k20())];
+        let w = WorkloadShape::from_input(g.n(), g.offsets(), &base);
+        let free = autotune::select(&base, ForcedAxes::default(), &w, &gpus).unwrap();
+        let all_forced = ForcedAxes {
+            kernel: true,
+            mode: true,
+            aggregation: true,
+            components: true,
+        };
+        for axes in PlanAxes::all() {
+            let pinned =
+                autotune::select(&axes.apply(base), all_forced, &w, &gpus).unwrap();
+            prop_assert_eq!(pinned.axes, axes, "forcing all axes must keep them");
+            prop_assert!(
+                free.prediction.seconds
+                    <= pinned.prediction.seconds * (1.0 + 1e-12),
+                "{} predicted {:.6}s, beating auto's {:.6}s",
+                axes.describe(),
+                pinned.prediction.seconds,
+                free.prediction.seconds
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Capability-proportional dealing on a random heterogeneous fleet:
+    /// shares sum to one, batch counts partition the total exactly
+    /// (complete and disjoint by count), and a faster card — clock,
+    /// memory and PCIe bandwidth all scaled together — never gets a
+    /// smaller share or fewer batches than a slower one.
+    #[test]
+    fn heterogeneous_shares_are_complete_and_monotone_in_bandwidth(
+        factors in proptest::collection::vec(0.05f64..1.0, 2..5),
+        total in 0usize..200,
+    ) {
+        let gpus: Vec<Gpu> = factors
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                Gpu::new(DeviceConfig::tesla_k20().scaled(&format!("card-{i}"), f))
+            })
+            .collect();
+        let weights =
+            autotune::device_weights(&gpus, ShingleKernel::SortCompact, 200);
+        let shares = autotune::capability_shares(&weights);
+        prop_assert!(
+            (shares.iter().sum::<f64>() - 1.0).abs() < 1e-9,
+            "shares must sum to 1, got {:?}",
+            shares
+        );
+        let counts = autotune::apportion(total, &shares);
+        prop_assert_eq!(
+            counts.iter().sum::<usize>(),
+            total,
+            "counts must partition the batch total"
+        );
+        for i in 0..factors.len() {
+            for j in 0..factors.len() {
+                if factors[i] >= factors[j] {
+                    prop_assert!(
+                        weights[i] >= weights[j] - 1e-15,
+                        "derating a card must not raise its weight: {:?} {:?}",
+                        factors,
+                        weights
+                    );
+                }
+                if shares[i] > shares[j] + 1e-12 {
+                    prop_assert!(
+                        counts[i] >= counts[j],
+                        "larger share got fewer batches: {:?} -> {:?}",
+                        shares,
+                        counts
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// End-to-end plumbing of the acceptance claim: the prediction the
+/// pipeline records under `--plan auto` is within 5% of the best of the
+/// 16 manual combinations priced on the same workload shape (it is the
+/// argmin over exactly those candidates, so this holds with margin to
+/// spare).
+#[test]
+fn pipeline_auto_prediction_is_within_5pct_of_best_manual() {
+    let n = 60usize;
+    let mut el: EdgeList = (0..n as u32)
+        .flat_map(|v| [(v, (v * 7 + 3) % n as u32), (v, (v * 13 + 1) % n as u32)])
+        .collect();
+    let g = Csr::from_edges(n, &mut el);
+    let base = ShinglingParams::light(85);
+
+    let report = GpClust::new(base.with_plan_auto(), Gpu::new(DeviceConfig::tesla_k20()))
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+    assert!(report.times.predicted_total_seconds > 0.0);
+
+    let gpus = vec![Gpu::new(DeviceConfig::tesla_k20())];
+    let w = WorkloadShape::from_input(g.n(), g.offsets(), &base);
+    let best = PlanAxes::all()
+        .into_iter()
+        .map(|axes| {
+            autotune::predict(axes, &w, &gpus, Sharing::Weighted)
+                .unwrap()
+                .seconds
+        })
+        .fold(f64::INFINITY, f64::min);
+    assert!(
+        report.times.predicted_total_seconds <= best * 1.05,
+        "auto predicted {:.6}s, best manual {:.6}s",
+        report.times.predicted_total_seconds,
+        best
+    );
+    assert!(
+        report.times.predicted_total_seconds >= best * (1.0 - 1e-9),
+        "auto cannot beat the argmin over the same candidates"
+    );
 }
 
 proptest! {
