@@ -92,6 +92,7 @@ fn scale(n_vertices: usize, pass1: PassShape, pass2: PassShape) -> WorkloadShape
         n_vertices,
         pass1,
         pass2,
+        spilled_run_bytes: 0,
     }
 }
 

@@ -1,0 +1,357 @@
+//! Out-of-core sharded clustering — the bounded-memory path
+//! (`ShinglingParams::with_mem_budget` / `with_shards`): pass I is carved
+//! into vertex-range shards, each shard's sorted record runs spill to
+//! disk as packed `(key, node, index)` triples, and one external k-way
+//! merge reconstructs the shingle graph. The partition is bit-identical
+//! to the fully resident run by contract (`tests/oocore_properties.rs`);
+//! what this bench prices is the *premium*: the spill write/replay
+//! traffic and the deeper merge heap, against the resident-footprint
+//! reduction that is the whole point.
+//!
+//! Two measurements:
+//!
+//! 1. **Criterion wall-clock** of `GpClust::cluster` on the same planted
+//!    graph fully resident and at 2/4/8 forced shards.
+//! 2. **Modeled end-to-end seconds** on the Tesla K20 preset for the
+//!    Table-I-shaped 20K workload and the batch-splitting 2M-like one —
+//!    the `BENCH_residency.json` host-components schedule (device
+//!    aggregation, host merge + union–find) plus the out-of-core terms:
+//!    run spill at [`SPILL_BYTES_PER_S`] (writes hide behind the next
+//!    shard's device work in the pipelined schedule; the merge-time
+//!    replay cannot) and a `log2(k+1)` merge-heap factor. Written via
+//!    [`gpclust_bench::write_report`] to
+//!    `crates/bench/reports/BENCH_oocore.json` and mirrored to the repo
+//!    root. Headline: at 4 shards the modeled peak resident bytes drop
+//!    to ~25% of the in-memory footprint for a pipelined makespan
+//!    premium **under 15%** at both scales.
+
+use criterion::{criterion_group, Criterion};
+use gpclust_core::batch::batch_capacity;
+use gpclust_core::{AggregationMode, GpClust, ShingleKernel, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu, KernelCost};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::Csr;
+use serde::Serialize;
+
+/// Shingle size of both modeled passes (the paper's default `s1 = s2`).
+const S: usize = 2;
+
+/// Streaming k-way merge throughput, records/second at fan-in 2 (see
+/// `aggregate_offload.rs`); deeper heaps pay a `log2(k+1)` factor.
+const HOST_MERGE_REC_PER_S: f64 = 2.5e8;
+
+/// Union–find fold throughput, edges/second (see `residency.rs`).
+const HOST_UNION_EDGES_PER_S: f64 = 1.0e8;
+
+/// Spill-scratch streaming throughput, bytes/second — sequential buffered
+/// writes and chunked replays of packed runs through page-cache-backed
+/// temp files (the same constant `autotune.rs` prices the spill term
+/// with).
+const SPILL_BYTES_PER_S: f64 = 2.0e9;
+
+/// The external merge's replay frontier: one [`gpclust_core`] spill
+/// replay buffer per run, 16 KiB records of 16 B each.
+const REPLAY_CHUNK_BYTES: u64 = (1 << 14) * 16;
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(4_000, 4, 200, 1.4, 23),
+        n_noise_vertices: 1_000,
+        p_intra: 0.8,
+        max_intra_degree: 50.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 23,
+    })
+    .graph
+}
+
+fn bench_sharded(c: &mut Criterion) {
+    let g = graph();
+    let mut grp = c.benchmark_group("oocore_shards");
+    grp.sample_size(10);
+    for shards in [1u32, 2, 4, 8] {
+        let name = if shards == 1 {
+            "resident".to_string()
+        } else {
+            format!("shards_{shards}")
+        };
+        grp.bench_function(&name, |b| {
+            let params = if shards == 1 {
+                ShinglingParams::light(23)
+            } else {
+                ShinglingParams::light(23).with_shards(shards)
+            };
+            let pipeline = GpClust::new(params, Gpu::new(DeviceConfig::tesla_k20())).unwrap();
+            b.iter(|| pipeline.cluster(&g).unwrap())
+        });
+    }
+    grp.finish();
+}
+
+/// One modeled shingling pass (same shape as `residency.rs`).
+struct PassShape {
+    n_elements: usize,
+    trials: usize,
+    n_segments: usize,
+}
+
+impl PassShape {
+    fn n_records(&self) -> usize {
+        self.trials * self.n_segments
+    }
+}
+
+struct Workload {
+    label: &'static str,
+    n_vertices: usize,
+    pass1: PassShape,
+    pass2: PassShape,
+}
+
+impl Workload {
+    fn n_union_edges(&self) -> usize {
+        self.pass2.n_records() * (2 * S - 1)
+    }
+
+    /// Pass I's resident working set when nothing spills: the element
+    /// window plus every record held twice over (gathered raw buffer +
+    /// routed copy) — the same arithmetic as
+    /// `Plan::estimate_pass_resident_bytes`.
+    fn resident_footprint_bytes(&self) -> u64 {
+        4 * self.pass1.n_elements as u64 + self.pass1.n_records() as u64 * (32 + 16 * S as u64)
+    }
+
+    /// Bytes of packed complete-record runs the bounded path spills:
+    /// 16 B of key/node/index plus 4 B per element.
+    fn spilled_run_bytes(&self) -> u64 {
+        self.pass1.n_records() as u64 * (16 + 4 * S as u64)
+    }
+}
+
+/// Closed-form schedule of one pass (SortCompact kernel; identical
+/// arithmetic to `residency.rs` / `aggregate_offload.rs`).
+struct BasePass {
+    serialized_s: f64,
+    pipelined_s: f64,
+}
+
+fn model_base(gpu: &Gpu, aggregation: AggregationMode, shape: &PassShape) -> BasePass {
+    let capacity = batch_capacity(gpu.mem_available(), ShingleKernel::SortCompact, aggregation);
+    let n_batches = shape.n_elements.div_ceil(capacity);
+    let batch_elems = shape.n_elements.div_ceil(n_batches);
+    let out_per_batch = (shape.n_segments * S).div_ceil(n_batches);
+    let h2d = gpu.model_transfer_seconds(batch_elems * 4);
+    let kernels = gpu.model_kernel_seconds(batch_elems, &KernelCost::transform())
+        + gpu.model_kernel_seconds(batch_elems, &KernelCost::segmented_sort())
+        + gpu.model_kernel_seconds(out_per_batch, &KernelCost::gather());
+    let d2h = gpu.model_transfer_seconds(out_per_batch * 8);
+    let (b, t) = (n_batches as f64, shape.trials as f64);
+    BasePass {
+        serialized_s: b * (h2d + t * (kernels + d2h)),
+        pipelined_s: b * (h2d + t * kernels + d2h),
+    }
+}
+
+/// The pass-I device-aggregation extras (pack + pair radix sort, staged
+/// column up + sorted runs down) — `aggregate_offload.rs`'s arithmetic.
+fn model_device_agg(gpu: &Gpu, r: usize) -> f64 {
+    gpu.model_kernel_seconds(r, &KernelCost::transform())
+        + gpu.model_kernel_seconds(r, &KernelCost::pair_sort())
+        + gpu.model_transfer_seconds(r * 4 * (S + 2))
+        + gpu.model_transfer_seconds(r * (16 + 4 * S))
+}
+
+#[derive(Debug, Serialize)]
+struct ShardModel {
+    shards: u32,
+    /// Bytes of packed runs written to (and replayed from) scratch.
+    spilled_bytes: u64,
+    /// Modeled peak resident bytes: one shard's slice of the footprint
+    /// plus the merge's replay frontier (0 extra shards = the full
+    /// resident footprint).
+    peak_resident_bytes: u64,
+    peak_resident_pct_of_resident: f64,
+    /// Disk seconds on the serialized path (write + replay) and on the
+    /// pipelined path (replay only; writes hide behind the next shard's
+    /// device work).
+    spill_serialized_s: f64,
+    spill_pipelined_s: f64,
+    /// Host merge + union–find fold seconds (the merge pays a
+    /// `log2(k+1)` heap factor over the resident 2-way baseline).
+    cpu_s: f64,
+    end_to_end_serialized_s: f64,
+    end_to_end_pipelined_s: f64,
+    cpu_share_pipelined_pct: f64,
+    /// Pipelined makespan premium over the fully resident run.
+    makespan_premium_pct: f64,
+}
+
+fn model_shards(gpu: &Gpu, w: &Workload, shards: u32) -> ShardModel {
+    let base1 = model_base(gpu, AggregationMode::Device, &w.pass1);
+    let base2 = model_base(gpu, AggregationMode::Host, &w.pass2);
+    let agg = model_device_agg(gpu, w.pass1.n_records());
+    let records1 = w.pass1.n_records() as f64;
+    let union_s = w.n_union_edges() as f64 / HOST_UNION_EDGES_PER_S;
+    let footprint = w.resident_footprint_bytes();
+
+    let (spilled_bytes, heap_factor, peak_resident_bytes) = if shards <= 1 {
+        (0, 1.0, footprint)
+    } else {
+        (
+            w.spilled_run_bytes(),
+            ((shards + 1) as f64).log2(),
+            footprint / shards as u64 + (shards as u64 + 1) * REPLAY_CHUNK_BYTES,
+        )
+    };
+    let merge_s = records1 / HOST_MERGE_REC_PER_S * heap_factor;
+    let cpu_s = merge_s + union_s;
+    let spill_once = spilled_bytes as f64 / SPILL_BYTES_PER_S;
+    let spill_serialized_s = 2.0 * spill_once;
+    let spill_pipelined_s = spill_once;
+
+    let end_to_end_serialized_s =
+        base1.serialized_s + base2.serialized_s + agg + cpu_s + spill_serialized_s;
+    let end_to_end_pipelined_s =
+        base1.pipelined_s + base2.pipelined_s + agg + cpu_s + spill_pipelined_s;
+    ShardModel {
+        shards: shards.max(1),
+        spilled_bytes,
+        peak_resident_bytes,
+        peak_resident_pct_of_resident: 100.0 * peak_resident_bytes as f64 / footprint as f64,
+        spill_serialized_s,
+        spill_pipelined_s,
+        cpu_s,
+        cpu_share_pipelined_pct: 100.0 * cpu_s / end_to_end_pipelined_s,
+        end_to_end_serialized_s,
+        end_to_end_pipelined_s,
+        makespan_premium_pct: 0.0, // filled against the resident row
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct ScaleReport {
+    label: String,
+    n_vertices: usize,
+    resident_footprint_bytes: u64,
+    rows: Vec<ShardModel>,
+}
+
+fn model_scale(gpu: &Gpu, w: &Workload) -> ScaleReport {
+    let mut rows: Vec<ShardModel> = [1u32, 2, 4, 8]
+        .iter()
+        .map(|&k| model_shards(gpu, w, k))
+        .collect();
+    let baseline = rows[0].end_to_end_pipelined_s;
+    for row in &mut rows {
+        row.makespan_premium_pct = (row.end_to_end_pipelined_s / baseline - 1.0) * 100.0;
+    }
+    let four = &rows[2];
+    assert_eq!(four.shards, 4);
+    assert!(
+        four.makespan_premium_pct <= 15.0,
+        "[{}] 4-shard pipelined premium must stay under 15% (got {:.1}%)",
+        w.label,
+        four.makespan_premium_pct
+    );
+    assert!(
+        four.peak_resident_pct_of_resident <= 26.0,
+        "[{}] 4 shards must cut peak residency to ~25% (got {:.1}%)",
+        w.label,
+        four.peak_resident_pct_of_resident
+    );
+    ScaleReport {
+        label: w.label.to_string(),
+        n_vertices: w.n_vertices,
+        resident_footprint_bytes: w.resident_footprint_bytes(),
+        rows,
+    }
+}
+
+#[derive(Debug, Serialize)]
+struct OocoreReport {
+    device: String,
+    note: String,
+    spill_bytes_per_s: f64,
+    host_merge_rec_per_s: f64,
+    host_union_edges_per_s: f64,
+    scale_20k: ScaleReport,
+    scale_2m_like: ScaleReport,
+}
+
+/// Model the two Table I scales at 1/2/4/8 shards and write the
+/// out-of-core premium/residency comparison.
+fn write_modeled_report() {
+    let gpu = Gpu::new(DeviceConfig::tesla_k20());
+    let report = OocoreReport {
+        device: gpu.config().name.clone(),
+        note: "closed-form schedule model; generated by the arithmetic in \
+               crates/bench/benches/oocore.rs (write_modeled_report)"
+            .to_string(),
+        spill_bytes_per_s: SPILL_BYTES_PER_S,
+        host_merge_rec_per_s: HOST_MERGE_REC_PER_S,
+        host_union_edges_per_s: HOST_UNION_EDGES_PER_S,
+        scale_20k: model_scale(
+            &gpu,
+            &Workload {
+                label: "20K",
+                n_vertices: 20_000,
+                pass1: PassShape {
+                    n_elements: 4_000_000,
+                    trials: 200,
+                    n_segments: 20_000,
+                },
+                pass2: PassShape {
+                    n_elements: 1_000_000,
+                    trials: 100,
+                    n_segments: 40_000,
+                },
+            },
+        ),
+        scale_2m_like: model_scale(
+            &gpu,
+            &Workload {
+                label: "2M-like",
+                n_vertices: 2_000_000,
+                pass1: PassShape {
+                    n_elements: 400_000_000,
+                    trials: 200,
+                    n_segments: 2_000_000,
+                },
+                pass2: PassShape {
+                    n_elements: 100_000_000,
+                    trials: 100,
+                    n_segments: 1_000_000,
+                },
+            },
+        ),
+    };
+    if std::env::var_os("GPCLUST_DEBUG_REPORT").is_some() {
+        eprintln!("{report:#?}");
+    }
+    let json = serde_json::to_string_pretty(&report).expect("serialize report");
+    let path = gpclust_bench::write_report("BENCH_oocore.json", &json);
+    for scale in [&report.scale_20k, &report.scale_2m_like] {
+        for row in &scale.rows {
+            eprintln!(
+                "[{}] {} shard(s): modeled K20 pipelined {:.4}s ({:+.1}% premium, \
+                 resident {:.1}% of footprint, CPU share {:.2}%, spilled {} B)",
+                scale.label,
+                row.shards,
+                row.end_to_end_pipelined_s,
+                row.makespan_premium_pct,
+                row.peak_resident_pct_of_resident,
+                row.cpu_share_pipelined_pct,
+                row.spilled_bytes
+            );
+        }
+    }
+    eprintln!("written to {path:?}");
+}
+
+criterion_group!(benches, bench_sharded);
+
+fn main() {
+    write_modeled_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -12,7 +12,8 @@
 //! Usage: `largescale [--vertices <n>] [--seed <u64>] [--paper-scale]
 //!                    [--overlap] [--kernel sort|select]
 //!                    [--aggregate host|device] [--plan auto|manual]
-//!                    [--par-sort-min N]`
+//!                    [--par-sort-min N]
+//!                [--mem-budget BYTES] [--shards N]`
 //!
 //! `--paper-scale` uses 11M vertices (~640M edges — needs ~16 GB RAM and
 //! a long run; the default is the scaled demonstration). The schedule

@@ -7,7 +7,8 @@
 //! Usage: `profile_phases [--n <vertices>] [--seed <u64>]
 //!                        [--overlap] [--kernel sort|select]
 //!                        [--aggregate host|device] [--plan auto|manual]
-//!                        [--par-sort-min N]`
+//!                        [--par-sort-min N]
+//!                [--mem-budget BYTES] [--shards N]`
 //!
 //! `--par-sort-min` feeds the host aggregation's parallel-sort threshold
 //! directly into the timed `agg1`/`agg2` phases. `--aggregate device`

@@ -15,7 +15,8 @@
 //!                [--c1-list 25,50,100,200,400] [--s1-list 1,2,3]
 //!                [--overlap] [--kernel sort|select]
 //!                [--aggregate host|device] [--plan auto|manual]
-//!                [--par-sort-min N]`
+//!                [--par-sort-min N]
+//!                [--mem-budget BYTES] [--shards N]`
 //!
 //! The schedule knobs never change scores (results are bit-identical
 //! across them); they exist so the sweep can exercise any device

@@ -8,7 +8,8 @@
 //! Usage: `sweep [--sizes 20000,50000,100000,200000] [--seed <u64>]
 //!               [--overlap] [--kernel sort|select]
 //!               [--aggregate host|device] [--plan auto|manual]
-//!               [--par-sort-min N]`
+//!               [--par-sort-min N]
+//!                [--mem-budget BYTES] [--shards N]`
 //!
 //! The schedule knobs select the device configuration being swept
 //! (results stay bit-identical to the serial oracle across all of them).

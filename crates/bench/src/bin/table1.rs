@@ -17,7 +17,8 @@
 //! Usage: `table1 [--n <vertices>] [--full] [--seed <u64>] [--skip-20k]
 //!                [--skip-2m] [--overlap] [--kernel sort|select]
 //!                [--aggregate host|device] [--plan auto|manual]
-//!                [--par-sort-min N]`
+//!                [--par-sort-min N]
+//!                [--mem-budget BYTES] [--shards N]`
 //!
 //! `--plan auto` hands the unforced schedule axes to the cost-model
 //! argmin; each row's `plan:` line names the axes the autotuner chose

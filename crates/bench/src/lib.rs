@@ -133,6 +133,10 @@ impl Args {
 /// - `--plan auto|manual` — `auto` lets the cost-model argmin pick every
 ///   schedule axis not explicitly forced by one of the flags above
 /// - `--par-sort-min N` — host parallel-sort threshold
+/// - `--mem-budget BYTES` (K/M/G binary suffixes; env fallback
+///   `GPCLUST_MEM_BUDGET`) — out-of-core resident-byte budget; Pass I
+///   shards to the bound and spills sorted runs to disk
+/// - `--shards N` — pin the out-of-core shard count explicitly
 /// - `--max-retries N`, `--oom-backoff true|false`, `--no-degrade` —
 ///   fault policy overrides
 /// - `--inject-faults seed:rate` (or env `GPCLUST_INJECT_FAULTS`) —
@@ -152,6 +156,8 @@ pub struct ScheduleArgs {
     components: Option<ComponentsMode>,
     plan_auto: bool,
     par_sort_min: Option<usize>,
+    mem_budget: Option<u64>,
+    shards: Option<u32>,
     max_retries: Option<u32>,
     oom_backoff: Option<bool>,
     no_degrade: bool,
@@ -190,6 +196,15 @@ impl ScheduleArgs {
                 v.parse()
                     .unwrap_or_else(|_| panic!("--par-sort-min must be an integer, got `{v}`"))
             }),
+            mem_budget: args.pairs.get("mem-budget").map(|v| {
+                gpclust_core::parse_bytes(v).unwrap_or_else(|| {
+                    panic!("--mem-budget must be bytes with an optional K/M/G suffix, got `{v}`")
+                })
+            }),
+            shards: args.pairs.get("shards").map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--shards must be an integer, got `{v}`"))
+            }),
             max_retries: args.pairs.get("max-retries").map(|v| {
                 v.parse()
                     .unwrap_or_else(|_| panic!("--max-retries must be an integer, got `{v}`"))
@@ -227,6 +242,12 @@ impl ScheduleArgs {
         }
         if let Some(par_sort_min) = self.par_sort_min {
             params = params.with_par_sort_min(par_sort_min);
+        }
+        if let Some(bytes) = self.mem_budget {
+            params = params.with_mem_budget(bytes);
+        }
+        if let Some(shards) = self.shards {
+            params = params.with_shards(shards);
         }
         if self.plan_auto {
             // Explicitly passed axis flags stay forced; the autotuner
@@ -318,6 +339,10 @@ mod tests {
                 "device",
                 "--par-sort-min",
                 "0",
+                "--mem-budget",
+                "64M",
+                "--shards",
+                "4",
                 "--max-retries",
                 "5",
                 "--no-degrade",
@@ -330,6 +355,8 @@ mod tests {
         assert_eq!(p.aggregation, AggregationMode::Device);
         assert_eq!(p.components, ComponentsMode::Device);
         assert_eq!(p.par_sort_min, 0);
+        assert_eq!(p.mem_budget.bytes, Some(64 << 20));
+        assert_eq!(p.mem_budget.shards, Some(4));
         assert_eq!(p.fault.max_retries, 5);
         assert!(!p.fault.degrade_to_host);
         // Knobs that were not passed keep the base params' values — the

@@ -325,15 +325,16 @@ fn invert_packed(
     inv.finish()
 }
 
-/// The streaming grouping core shared by [`invert_packed`] (host mode)
-/// and [`merge_sorted_runs`] (device mode): consumes packed records in
+/// The streaming grouping core shared by [`invert_packed`] (host mode),
+/// [`merge_sorted_runs`] (device mode) and the out-of-core external merge
+/// ([`crate::spill::merge_external_runs`]): consumes packed records in
 /// ascending `(key, node)` order one at a time, opens a shingle per
 /// distinct key (filling its elements from the group's first record, the
 /// representative) and dedups consecutive generator nodes.
 ///
-/// Both aggregation modes building their graphs through this one type is
+/// Every aggregation path building its graph through this one type is
 /// what keeps their outputs structurally bit-identical.
-struct StreamInverter {
+pub(crate) struct StreamInverter {
     s: usize,
     keys: Vec<u64>,
     elements: Vec<u32>,
@@ -345,7 +346,7 @@ struct StreamInverter {
 }
 
 impl StreamInverter {
-    fn new(s: usize, n_records_hint: usize) -> Self {
+    pub(crate) fn new(s: usize, n_records_hint: usize) -> Self {
         StreamInverter {
             s,
             keys: Vec::new(),
@@ -362,7 +363,7 @@ impl StreamInverter {
     /// `fill_elements` appends its `s` element ids, invoked only when the
     /// record opens a new key group.
     #[inline]
-    fn push(&mut self, packed: u128, fill_elements: impl FnOnce(&mut Vec<u32>)) {
+    pub(crate) fn push(&mut self, packed: u128, fill_elements: impl FnOnce(&mut Vec<u32>)) {
         let key = (packed >> 64) as u64;
         let node = ((packed >> 32) & 0xFFFF_FFFF) as u32;
         if !self.open || key != self.cur_key {
@@ -385,7 +386,7 @@ impl StreamInverter {
         }
     }
 
-    fn finish(mut self) -> ShingleGraph {
+    pub(crate) fn finish(mut self) -> ShingleGraph {
         if self.open {
             self.gen_offsets.push(self.generators.len() as u64);
         }

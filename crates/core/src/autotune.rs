@@ -64,6 +64,11 @@ pub const HOST_UNION_EDGES_PER_S: f64 = 1.0e8;
 /// append under [`ComponentsMode::Device`].
 pub const HOST_EDGE_EMIT_PER_S: f64 = 6.0e8;
 
+/// Spill-scratch streaming throughput, bytes/second — the sequential
+/// buffered write and chunked replay of packed runs under a bounded
+/// [`crate::params::MemoryBudget`] (page-cache-backed temp files).
+pub const SPILL_BYTES_PER_S: f64 = 2.0e9;
+
 /// Estimated distinct-shingle fraction of the pass-I record stream: the
 /// first-level shingle graph G′ gets roughly one vertex per two records
 /// at the paper's `s1 = 2` defaults, so the pass-II shape is estimated at
@@ -222,6 +227,13 @@ pub struct WorkloadShape {
     /// Pass II, estimated via [`DISTINCT_SHINGLE_RATIO`] (G′ is not known
     /// until pass I runs).
     pub pass2: PassShape,
+    /// Bytes the bounded-budget (out-of-core) path spills to scratch —
+    /// pass I's packed record runs, written once and replayed once by the
+    /// external merge. Zero under an unbounded
+    /// [`crate::params::MemoryBudget`]. The resulting spill term is
+    /// axis-independent (every candidate shards the same way), so it
+    /// shifts predictions uniformly without changing the argmin.
+    pub spilled_run_bytes: u64,
 }
 
 impl WorkloadShape {
@@ -238,10 +250,18 @@ impl WorkloadShape {
             trials: params.c2,
             s: params.s2,
         };
+        let spilled_run_bytes = if params.mem_budget.or_env().is_unbounded() {
+            0
+        } else {
+            // Pass I's complete records reach the external merge as packed
+            // runs: 16 B of packed key/node/index plus 4 B per element.
+            records1 as u64 * (16 + 4 * params.s1 as u64)
+        };
         WorkloadShape {
             n_vertices,
             pass1,
             pass2,
+            spilled_run_bytes,
         }
     }
 
@@ -553,7 +573,12 @@ pub fn predict(
                 + gpus[lead].model_transfer_seconds(w.n_vertices * 4)
         }
     };
-    let host_seconds = host_model_seconds(axes.aggregation, axes.components, records1, m);
+    // Bounded-budget spill traffic: runs are written once and replayed
+    // once by the external merge. Identical for every candidate, so it
+    // improves absolute predictions without moving the argmin.
+    let spill_seconds = 2.0 * w.spilled_run_bytes as f64 / SPILL_BYTES_PER_S;
+    let host_seconds =
+        host_model_seconds(axes.aggregation, axes.components, records1, m) + spill_seconds;
 
     let (pass_path, device_seconds) = match axes.mode {
         PipelineMode::Synchronous => {
@@ -639,6 +664,35 @@ mod tests {
         assert_eq!(w.pass2.n_segments, expect_segments);
         assert_eq!(w.pass2.n_elements, w.pass1.n_records());
         assert_eq!(w.n_union_edges(), w.pass2.n_records() * 3);
+    }
+
+    #[test]
+    fn bounded_budget_adds_spill_cost_without_moving_the_argmin() {
+        if std::env::var_os("GPCLUST_MEM_BUDGET").is_some() {
+            // The CI out-of-core job's env bound would make the "free"
+            // workload spill too; the contrast below needs both sides.
+            return;
+        }
+        let gpus = vec![k20()];
+        let params = ShinglingParams::paper_default(7);
+        let offsets: Vec<u64> = (0..=20_000u64).map(|i| i * 200).collect();
+        let free = WorkloadShape::from_input(20_000, &offsets, &params);
+        let bounded_params = params.with_mem_budget(64 << 20);
+        let bounded = WorkloadShape::from_input(20_000, &offsets, &bounded_params);
+        assert_eq!(free.spilled_run_bytes, 0);
+        assert_eq!(
+            bounded.spilled_run_bytes,
+            free.pass1.n_records() as u64 * (16 + 4 * params.s1 as u64)
+        );
+        let forced = ForcedAxes::default();
+        let a = select(&params, forced, &free, &gpus).unwrap();
+        let b = select(&bounded_params, forced, &bounded, &gpus).unwrap();
+        assert_eq!(a.axes, b.axes, "spill term is axis-independent");
+        let spill = 2.0 * bounded.spilled_run_bytes as f64 / SPILL_BYTES_PER_S;
+        assert!(
+            (b.prediction.seconds - a.prediction.seconds - spill).abs() < 1e-9,
+            "bounded prediction carries exactly the spill term"
+        );
     }
 
     #[test]

@@ -66,10 +66,16 @@ type BatchRecord = (u32, u32, Vec<u64>, bool);
 /// worker threads can share one input without generic plumbing.
 #[derive(Clone, Copy)]
 pub struct PassInput<'a> {
-    /// `n + 1` monotone list offsets.
+    /// `n + 1` monotone list offsets (always the *global* offsets — the
+    /// batch plan addresses elements by global position).
     pub offsets: &'a [u64],
-    /// Concatenated adjacency elements.
+    /// Concatenated adjacency elements. May be a window of the global
+    /// element array starting at global position [`PassInput::base`], so
+    /// out-of-core shards never materialize the whole input.
     pub flat: &'a [u32],
+    /// Global element position of `flat[0]`. 0 for fully resident inputs;
+    /// a shard's batches index `flat[pos - base]`.
+    pub base: u64,
 }
 
 impl<'a> PassInput<'a> {
@@ -78,6 +84,18 @@ impl<'a> PassInput<'a> {
         PassInput {
             offsets: input.offsets(),
             flat: input.flat(),
+            base: 0,
+        }
+    }
+
+    /// An input whose elements are a window of the global array starting
+    /// at global element position `base` (out-of-core shards). `offsets`
+    /// stays global.
+    pub fn window(offsets: &'a [u64], flat: &'a [u32], base: u64) -> Self {
+        PassInput {
+            offsets,
+            flat,
+            base,
         }
     }
 }
@@ -232,6 +250,7 @@ impl<'g> Executor<'g> {
         let policy = &pass.policy;
         let offsets = input.offsets;
         let flat = input.flat;
+        let base = input.base;
         let s = pass.s;
         let batches = &pass.batches;
 
@@ -249,7 +268,7 @@ impl<'g> Executor<'g> {
             if plan.nodes.is_empty() {
                 continue;
             }
-            let range = batch.elem_lo as usize..batch.elem_hi as usize;
+            let range = (batch.elem_lo - base) as usize..(batch.elem_hi - base) as usize;
             let batch_elems = &flat[range];
             // Once true, every remaining trial of this batch runs on the
             // bit-identical host path.
@@ -292,7 +311,7 @@ impl<'g> Executor<'g> {
             // of the next iteration instead.
             if let Some((_, copy)) = streams {
                 if let Some(next) = batches.get(bi + 1) {
-                    let next_range = next.elem_lo as usize..next.elem_hi as usize;
+                    let next_range = (next.elem_lo - base) as usize..(next.elem_hi - base) as usize;
                     if let Ok(buf) = copy.htod_async(&flat[next_range]) {
                         staged = Some((buf, copy.record_event()));
                     }
@@ -426,7 +445,8 @@ impl<'g> Executor<'g> {
             return Ok(Vec::new());
         }
         let n_segs = plan.nodes.len();
-        let batch_elems = &input.flat[batch.elem_lo as usize..batch.elem_hi as usize];
+        let batch_elems = &input.flat
+            [(batch.elem_lo - input.base) as usize..(batch.elem_hi - input.base) as usize];
         // Once true, every remaining trial runs on the host path.
         let mut degraded = false;
 

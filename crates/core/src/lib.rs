@@ -29,6 +29,8 @@
 //!   D2H transfer), composing kernel/sink/stream strategies.
 //! * [`aggregate`] — the CPU-side shingle-graph aggregation, including the
 //!   merge of shingle fragments from split adjacency lists.
+//! * [`spill`] — spill-to-disk sorted runs and the external k-way merge,
+//!   the bounded-memory (out-of-core) variant of the aggregation layer.
 //! * [`report`] — Phase III: dense-subgraph reporting, both the overlapping
 //!   connected-component variant and the union–find partition variant the
 //!   paper adopts.
@@ -64,6 +66,7 @@ pub mod report;
 pub mod resilience;
 pub mod serial;
 pub mod shingle;
+pub mod spill;
 pub mod timing;
 pub mod weighted;
 
@@ -72,11 +75,12 @@ pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
 pub use exec::{ClusterLabels, Executor, PassInput, PassReport, Sink};
 pub use params::{
-    AggregationMode, ComponentsMode, FaultPolicy, ForcedAxes, PipelineMode, PlanMode,
-    ShingleKernel, ShinglingParams,
+    parse_bytes, AggregationMode, ComponentsMode, FaultPolicy, ForcedAxes, MemoryBudget,
+    PipelineMode, PlanMode, ShingleKernel, ShinglingParams,
 };
 pub use pipeline::{GpClust, GpClustReport};
 pub use plan::{FragmentMode, PassPlan, Plan};
 pub use quality::{ConfusionCounts, QualityScores};
 pub use serial::SerialShingling;
-pub use timing::{RecoveryReport, StageTimes};
+pub use spill::{ExternalRun, SpillStats, SpilledRun};
+pub use timing::{RecoveryReport, ResidentGauge, StageTimes};

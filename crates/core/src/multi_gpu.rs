@@ -32,6 +32,10 @@ use crate::plan::Plan;
 use crate::report;
 use crate::resilience::{retry_transient, with_oom_backoff};
 use crate::shingle::{AdjacencyInput, RawShingles};
+use crate::spill::{
+    self, merge_external_runs, route_shard_records, split_nodes, ExternalRun, SpillStats,
+    SpilledRun,
+};
 use crate::timing::{RecoveryReport, StageTimes};
 use gpclust_gpu::{thrust, DeviceError, Gpu};
 use gpclust_graph::components::absorb_labels;
@@ -86,9 +90,15 @@ impl MultiGpuClust {
         // drive both passes from the *effective* parameters.
         let (plan0, effective) = Plan::lower_auto(&self.params, &self.gpus, g.offsets(), g.n())?;
         let predicted = plan0.predicted;
+        let mut spill_stats = SpillStats::default();
 
-        let (first, pipe1, stats1, agg1, rec1) =
-            self.multi_pass(&effective, g, effective.s1, &effective.family_pass1())?;
+        let (first, pipe1, stats1, agg1, rec1) = self.multi_pass(
+            &effective,
+            g,
+            effective.s1,
+            &effective.family_pass1(),
+            &mut spill_stats,
+        )?;
 
         // If a device was lost during pass I, re-run plan *selection* over
         // the survivors — capacity and shares re-derive inside multi_pass
@@ -113,8 +123,13 @@ impl MultiGpuClust {
         // Pass II records may hold cross-device fragments, so Phase III
         // goes through the generic (merging) aggregation and the
         // materialized reporting path.
-        let (second, pipe2, stats2, agg2, rec2) =
-            self.multi_pass(&effective, &first, effective.s2, &effective.family_pass2())?;
+        let (second, pipe2, stats2, agg2, rec2) = self.multi_pass(
+            &effective,
+            &first,
+            effective.s2,
+            &effective.family_pass2(),
+            &mut spill_stats,
+        )?;
         let mut recovery = rec1;
         recovery.merge(&rec2);
         let (partition, device_components) = match effective.components {
@@ -131,12 +146,14 @@ impl MultiGpuClust {
         recovery.faults_injected = snaps.iter().map(|s| s.faults_injected).sum();
         let max =
             |f: fn(&gpclust_gpu::CountersSnapshot) -> f64| snaps.iter().map(f).fold(0.0, f64::max);
+        let spill_seconds = spill_stats.write_seconds + spill_stats.read_seconds;
         let mut times = StageTimes {
-            cpu: (wall - kernel_wall).max(0.0),
+            cpu: (wall - kernel_wall - spill_seconds).max(0.0),
             gpu: max(|s| s.kernel_seconds),
             h2d: max(|s| s.h2d_seconds),
             d2h: max(|s| s.d2h_seconds),
-            disk_io: 0.0,
+            disk_io: spill_seconds,
+            spilled_bytes: spill_stats.bytes,
             device_pipelined: 0.0,
             // Devices aggregate concurrently, so — like the gpu column —
             // the aggregation-kernel share is the per-pass max over
@@ -188,6 +205,7 @@ impl MultiGpuClust {
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
+        spill: &mut SpillStats,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64, RecoveryReport), DeviceError> {
         // Re-lowered per pass: capacity follows the smallest *surviving*
         // unbenched device, so every batch fits anywhere it may be
@@ -197,7 +215,7 @@ impl MultiGpuClust {
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
         let out = with_oom_backoff(&plan.policy, &mut backoff_rec, plan.capacity, |cap| {
-            self.multi_pass_attempt(params, &plan, input, s, family, cap, &mut pass_rec)
+            self.multi_pass_attempt(params, &plan, input, s, family, cap, &mut pass_rec, spill)
         })?;
         let mut recovery = pass_rec;
         recovery.merge(&backoff_rec);
@@ -224,10 +242,23 @@ impl MultiGpuClust {
         family: &HashFamily,
         capacity: usize,
         recovery: &mut RecoveryReport,
+        spill: &mut SpillStats,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
         let mut capacity = capacity;
         let mut pass = plan.pass(s, plan.aggregation, capacity, input.offsets);
         let device_agg = plan.aggregation == AggregationMode::Device;
+        // Bounded budget: never accumulate the whole pass's record volume —
+        // device runs spill to disk as they arrive, host-aggregated reports
+        // pack + spill their complete records per round, and only the
+        // batch-boundary fragments pool in memory. `raw` then holds the
+        // fragment pool instead of the full record stream.
+        let bounded = !plan.mem_budget.is_unbounded();
+        let mut ext_runs: Vec<ExternalRun> = Vec::new();
+        let mut split: Vec<u32> = if bounded && !device_agg {
+            split_nodes(&pass.batches, input.offsets)
+        } else {
+            Vec::new()
+        };
 
         let mut raw = RawShingles::new(s);
         let mut runs: Vec<SortedRun> = Vec::new();
@@ -291,14 +322,44 @@ impl MultiGpuClust {
                 };
                 // Commit the device's completed work even if it was lost
                 // mid-round: completed batches stay completed.
-                for i in 0..report.raw.len() {
-                    raw.push(
-                        report.raw.trial(i),
-                        report.raw.node(i),
-                        report.raw.pairs_of(i),
-                    );
+                if bounded {
+                    // A complete `(node, trial)` record lives wholly in one
+                    // batch and so in exactly one report, which makes each
+                    // report's packed output a valid external-merge run —
+                    // equal `(key, node)` entries never span runs.
+                    if device_agg {
+                        for run in &report.runs {
+                            match SpilledRun::write(s, run, spill) {
+                                Ok(sp) => ext_runs.push(ExternalRun::Disk(sp)),
+                                Err(e) => {
+                                    fatal.get_or_insert(spill::io_to_device(e));
+                                }
+                            }
+                        }
+                        raw.append(&report.raw);
+                    } else {
+                        let mut interior = RawShingles::new(s);
+                        route_shard_records(&report.raw, &split, &mut interior, &mut raw);
+                        if !interior.is_empty() {
+                            let run = fragment_run(&interior, plan.par_sort_min);
+                            match SpilledRun::write(s, &run, spill) {
+                                Ok(sp) => ext_runs.push(ExternalRun::Disk(sp)),
+                                Err(e) => {
+                                    fatal.get_or_insert(spill::io_to_device(e));
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for i in 0..report.raw.len() {
+                        raw.push(
+                            report.raw.trial(i),
+                            report.raw.node(i),
+                            report.raw.pairs_of(i),
+                        );
+                    }
+                    runs.extend(report.runs);
                 }
-                runs.extend(report.runs);
                 makespan_by_dev[*d] += report.makespan;
                 agg_by_dev[*d] += report.agg_kernel_seconds;
                 recovery.merge(&dev_rec);
@@ -352,13 +413,34 @@ impl MultiGpuClust {
                         }
                         pending = recut;
                         capacity = new_cap;
+                        // The recut may add or remove batch boundaries in
+                        // the not-yet-run range; refresh the split-node set
+                        // so later rounds route by the boundaries that
+                        // actually apply. Already-routed records are
+                        // unaffected: a recut only covers ranges that have
+                        // produced no records yet.
+                        if bounded && !device_agg {
+                            split = split_nodes(&pass.batches, input.offsets);
+                        }
                         recovery.recovery_seconds += t0.elapsed().as_secs_f64();
                     }
                 }
             }
         }
 
-        let graph = if device_agg {
+        let graph = if bounded {
+            // The pooled fragments, merged and host-sorted, become the
+            // final in-memory run alongside the spilled ones; one external
+            // k-way merge reconstructs the graph. Under
+            // [`ComponentsMode::Device`] this replaces the device-side
+            // inversion (it needs resident runs — exactly what the budget
+            // rules out) with the bit-identical host external merge; Phase
+            // III itself still runs on the devices.
+            if !raw.is_empty() {
+                ext_runs.push(ExternalRun::Mem(fragment_run(&raw, plan.par_sort_min)));
+            }
+            merge_external_runs(s, ext_runs, spill).map_err(spill::io_to_device)?
+        } else if device_agg {
             // The pooled fragments, merged and host-sorted, become one
             // extra run alongside the device runs.
             if !raw.is_empty() {
@@ -829,6 +911,33 @@ mod tests {
             gpu_times[1],
             gpu_times[0]
         );
+    }
+
+    /// A bounded memory budget across the fleet — per-report runs spilled
+    /// to disk, fragments pooled, one external merge — must reproduce the
+    /// unbounded single-device partition for both aggregation modes and
+    /// report the spill traffic.
+    #[test]
+    fn bounded_budget_spills_and_matches_across_devices() {
+        let g = graph(63);
+        let params = ShinglingParams::light(39);
+        let single = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        for agg in [AggregationMode::Host, AggregationMode::Device] {
+            for n_dev in [1usize, 3] {
+                let gpus = (0..n_dev)
+                    .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+                    .collect();
+                let multi =
+                    MultiGpuClust::new(params.with_aggregation(agg).with_shards(2), gpus).unwrap();
+                let report = multi.cluster(&g).unwrap();
+                assert_eq!(report.partition, single.partition, "{agg:?}/{n_dev}");
+                assert!(report.times.spilled_bytes > 0, "{agg:?}/{n_dev}");
+                assert!(report.times.disk_io > 0.0, "{agg:?}/{n_dev}");
+            }
+        }
     }
 
     #[test]

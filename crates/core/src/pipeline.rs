@@ -21,19 +21,147 @@
 //! (with the wall time spent *executing kernels on the pool* subtracted
 //! from the CPU column — that time stands in for the device, not the host).
 
+use crate::aggregate::fragment_run;
 use crate::batch::BatchStats;
 use crate::exec::{ClusterLabels, Executor, PassInput, Sink};
 use crate::minwise::unpack_element;
 use crate::params::{AggregationMode, ComponentsMode, PipelineMode, ShinglingParams};
-use crate::plan::Plan;
+use crate::plan::{PassPlan, Plan};
 use crate::report;
 use crate::resilience::with_oom_backoff;
-use crate::shingle::AdjacencyInput;
-use crate::timing::{RecoveryReport, StageTimes};
+use crate::shingle::{AdjacencyInput, RawShingles};
+use crate::spill::{
+    self, merge_external_runs, route_shard_records, ExternalRun, SpillStats, SpilledRun,
+};
+use crate::timing::{RecoveryReport, ResidentGauge, StageTimes};
 use gpclust_gpu::{CountersSnapshot, DeviceError, Gpu};
-use gpclust_graph::{io as graph_io, Csr, Partition, UnionFind};
+use gpclust_graph::{io as graph_io, Csr, Partition, ShingleGraph, UnionFind};
+use std::borrow::Cow;
 use std::path::Path;
 use std::time::Instant;
+
+/// Where a shard's flat adjacency elements come from: the resident CSR
+/// (borrowed windows, no copies) or the opened graph file (each window
+/// read on demand, so the target array is never fully resident).
+enum ShardSource<'a> {
+    Resident(&'a [u32]),
+    File(&'a graph_io::CsrFile),
+}
+
+impl ShardSource<'_> {
+    /// The element window `[lo, hi)` in global positions.
+    fn window(&self, lo: u64, hi: u64) -> Result<Cow<'_, [u32]>, DeviceError> {
+        match self {
+            ShardSource::Resident(flat) => Ok(Cow::Borrowed(&flat[lo as usize..hi as usize])),
+            ShardSource::File(f) => f
+                .read_targets(lo, hi)
+                .map(Cow::Owned)
+                .map_err(spill::io_to_device),
+        }
+    }
+
+    /// Total elements the source covers.
+    fn n_elements(&self) -> u64 {
+        match self {
+            ShardSource::Resident(flat) => flat.len() as u64,
+            ShardSource::File(f) => f.n_targets(),
+        }
+    }
+}
+
+/// `n_batches` batch indices carved into `n_shards` contiguous chunks of
+/// near-equal length (the vertex-range shards of the out-of-core pass —
+/// the same carving [`PassPlan::subplan`] applies to device shares).
+fn shard_chunks(n_batches: usize, n_shards: usize) -> Vec<std::ops::Range<usize>> {
+    let k = n_shards.clamp(1, n_batches.max(1));
+    (0..k)
+        .map(|i| (i * n_batches / k)..((i + 1) * n_batches / k))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Estimated working-set bytes one batch contributes to its shard: its
+/// element window, the record buffers of every emitting list that
+/// *starts* inside the window (same per-record pricing as
+/// [`Plan::estimate_pass_resident_bytes`]), and one transient raw record
+/// per boundary fragment (a list split across batch boundaries emits a
+/// fragment record in every batch it touches).
+fn batch_byte_cost(offsets: &[u64], batch: &crate::batch::Batch, s: usize, trials: u64) -> u64 {
+    let (lo, hi) = (batch.elem_lo, batch.elem_hi);
+    let heads = offsets.len() - 1;
+    let a = offsets[..heads].partition_point(|&o| o < lo);
+    let b = offsets[..heads].partition_point(|&o| o < hi);
+    let emitting = (a..b)
+        .filter(|&v| (offsets[v + 1] - offsets[v]) as usize >= s)
+        .count() as u64;
+    let fragments =
+        batch.first_is_fragment(offsets) as u64 + batch.last_is_fragment(offsets) as u64;
+    4 * (hi - lo) + (emitting + fragments) * trials * (32 + 16 * s as u64)
+}
+
+/// The nodes whose adjacency list crosses a *shard* boundary — the only
+/// records host aggregation must pool across shards (fragments split
+/// across batches *within* one shard reconcile locally in that shard's
+/// [`fragment_run`]). A chunk's first batch starting mid-list marks its
+/// head node as split.
+fn shard_split_nodes(
+    batches: &[crate::batch::Batch],
+    chunks: &[std::ops::Range<usize>],
+    offsets: &[u64],
+) -> Vec<u32> {
+    let mut nodes: Vec<u32> = chunks
+        .iter()
+        .filter(|c| batches[c.start].first_is_fragment(offsets))
+        .map(|c| batches[c.start].node_lo as u32)
+        .collect();
+    nodes.dedup();
+    nodes
+}
+
+/// Estimated bytes the split-node fragment pool holds by the end of the
+/// sharded pass. Unlike per-shard buffers the pool persists across the
+/// whole pass (fragments reconcile only in the final run), so the greedy
+/// carving reserves this amount off the budget up front. Under device
+/// aggregation every *batch*-boundary fragment pools (the card flags
+/// them); under host aggregation only *shard*-boundary nodes do. Each
+/// incidence is priced as two raw fragment records per trial plus the
+/// packed share of the final in-memory run.
+fn pool_byte_cost(incidences: u64, s: usize, trials: u64) -> u64 {
+    incidences * trials * (2 * (16 + 8 * s as u64) + (16 + 4 * s as u64))
+}
+
+/// Carve the batch list into shards by *estimated bytes* rather than by
+/// count: accumulate batches greedily until the next one would push the
+/// shard's working-set estimate past `budget`. Record density varies
+/// across the vertex range (many short emitting lists cost far more than
+/// the same elements in one long list), so equal-count chunks can blow
+/// the budget on a dense shard; equal-cost chunks keep the observed peak
+/// under it. A single batch whose own estimate exceeds the budget still
+/// forms a (best-effort) shard of its own.
+fn budget_chunks(
+    batches: &[crate::batch::Batch],
+    offsets: &[u64],
+    s: usize,
+    trials: u64,
+    budget: u64,
+) -> Vec<std::ops::Range<usize>> {
+    let mut chunks = Vec::new();
+    let mut start = 0usize;
+    let mut acc = 0u64;
+    for (i, b) in batches.iter().enumerate() {
+        let cost = batch_byte_cost(offsets, b, s, trials);
+        if i > start && acc + cost > budget {
+            chunks.push(start..i);
+            start = i;
+            acc = 0;
+        }
+        acc += cost;
+    }
+    if start < batches.len() {
+        chunks.push(start..batches.len());
+    }
+    chunks
+}
 
 /// The GPU-accelerated Shingling clustering pipeline.
 #[derive(Debug, Clone)]
@@ -85,32 +213,171 @@ impl GpClust {
     }
 
     /// Load a binary graph from `path` (timed as Disk I/O) and cluster it.
+    ///
+    /// Under a bounded [`crate::params::MemoryBudget`] only the offset
+    /// array is materialized up front; each Pass-I shard's target window
+    /// is read from the file on demand ([`graph_io::CsrFile`]), so the
+    /// input graph is never fully resident.
     pub fn cluster_from_file<P: AsRef<Path>>(
         &self,
         path: P,
     ) -> Result<GpClustReport, std::io::Error> {
         let start = Instant::now();
-        let g = graph_io::read_file(path)?;
-        let disk = start.elapsed().as_secs_f64();
-        self.run(&g, disk)
-            .map_err(|e| std::io::Error::new(std::io::ErrorKind::OutOfMemory, e.to_string()))
+        let res = if self.params.mem_budget.or_env().is_unbounded() {
+            let g = graph_io::read_file(path)?;
+            let disk = start.elapsed().as_secs_f64();
+            self.run(&g, disk)
+        } else {
+            let f = graph_io::CsrFile::open(path)?;
+            let disk = start.elapsed().as_secs_f64();
+            self.run_parts(f.offsets(), ShardSource::File(&f), disk)
+        };
+        res.map_err(|e| std::io::Error::new(std::io::ErrorKind::OutOfMemory, e.to_string()))
     }
 
     fn run(&self, g: &Csr, disk_io: f64) -> Result<GpClustReport, DeviceError> {
+        self.run_parts(g.offsets(), ShardSource::Resident(g.flat()), disk_io)
+    }
+
+    /// Out-of-core Pass I: stream contiguous batch-range shards through
+    /// the executor with [`Sink::Gather`], spill each shard's sorted run,
+    /// and reconstruct the shingle graph with one external k-way merge.
+    /// At no point is more than one shard's element window, its record
+    /// buffers, and the merge frontier resident — the [`ResidentGauge`]
+    /// records the observed peak.
+    ///
+    /// Bit-identity with the resident [`Sink::Aggregate`] path follows
+    /// the multi-device scheme's argument: complete records pack into
+    /// per-shard runs in shard order (a `(node, trial)` record lives in
+    /// exactly one run), records of nodes split across shard boundaries
+    /// pool globally and form the final run, and the external merge pops
+    /// in the same `((key, node), run)` order the in-memory merge does.
+    /// Under [`ComponentsMode::Device`] the pass-I inversion falls back
+    /// to this host external merge (the device inversion needs resident
+    /// runs, which is exactly what the budget rules out) — bit-identical
+    /// by the repo's schedule-axis contract; Phase III still runs on the
+    /// device.
+    #[allow(clippy::too_many_arguments)]
+    fn sharded_pass1(
+        exec: &Executor,
+        pass: &PassPlan,
+        offsets: &[u64],
+        source: &ShardSource<'_>,
+        family: &crate::minwise::HashFamily,
+        chunks: Vec<std::ops::Range<usize>>,
+        pass_rec: &mut RecoveryReport,
+        gauge: &mut ResidentGauge,
+        spill_stats: &mut SpillStats,
+    ) -> Result<(ShingleGraph, f64, f64), DeviceError> {
+        let s = pass.s;
+        let split = shard_split_nodes(&pass.batches, &chunks, offsets);
+        let mut pool = RawShingles::new(s);
+        let mut pool_bytes = 0u64;
+        let mut runs: Vec<ExternalRun> = Vec::new();
+        let mut makespan = 0.0f64;
+        let mut agg_seconds = 0.0f64;
+        for chunk in chunks {
+            let lo = pass.batches[chunk.start].elem_lo;
+            let hi = pass.batches[chunk.end - 1].elem_hi;
+            let window = source.window(lo, hi)?;
+            let window_bytes = 4 * (hi - lo);
+            gauge.charge(window_bytes);
+            let sub = pass.subplan(chunk.collect());
+            let r = exec.run(
+                &sub,
+                PassInput::window(offsets, &window, lo),
+                family,
+                pass_rec,
+                Sink::Gather,
+            )?;
+            if let Some((_, e)) = r.unfinished {
+                // Single executor: no surviving device to redistribute to.
+                return Err(e);
+            }
+            makespan += r.makespan;
+            agg_seconds += r.agg_kernel_seconds;
+            let raw_bytes = r.raw.approx_bytes() as u64;
+            gauge.charge(raw_bytes);
+            match pass.aggregation {
+                // Device aggregation: the card already packed + sorted the
+                // shard's complete records into runs; only fragments came
+                // back raw. Spill the runs in shard order.
+                AggregationMode::Device => {
+                    for run in &r.runs {
+                        gauge.charge(spill::run_bytes(run));
+                        let sp =
+                            SpilledRun::write(s, run, spill_stats).map_err(spill::io_to_device)?;
+                        gauge.discharge(spill::run_bytes(run));
+                        runs.push(ExternalRun::Disk(sp));
+                    }
+                    pool.append(&r.raw);
+                    drop(r);
+                    gauge.discharge(raw_bytes);
+                }
+                // Host aggregation: Gather returns every record with the
+                // fragment flags lost — a record must pool iff its node's
+                // list crosses a *shard* boundary, so route by the
+                // precomputed split-node set (fragments split across
+                // batches within this shard merge locally in the
+                // `fragment_run` below). The gathered buffer drops as soon
+                // as routing copies it out, so it never coexists with the
+                // packed run.
+                AggregationMode::Host => {
+                    let mut interior = RawShingles::new(s);
+                    route_shard_records(&r.raw, &split, &mut interior, &mut pool);
+                    let interior_bytes = interior.approx_bytes() as u64;
+                    gauge.charge(interior_bytes);
+                    drop(r);
+                    gauge.discharge(raw_bytes);
+                    if !interior.is_empty() {
+                        let run = fragment_run(&interior, pass.par_sort_min);
+                        gauge.charge(spill::run_bytes(&run));
+                        let sp =
+                            SpilledRun::write(s, &run, spill_stats).map_err(spill::io_to_device)?;
+                        gauge.discharge(spill::run_bytes(&run));
+                        runs.push(ExternalRun::Disk(sp));
+                    }
+                    gauge.discharge(interior_bytes);
+                }
+            }
+            // The shard's window drops here; the pool persists, so keep
+            // its growth charged.
+            let new_pool_bytes = pool.approx_bytes() as u64;
+            gauge.charge(new_pool_bytes - pool_bytes);
+            pool_bytes = new_pool_bytes;
+            gauge.discharge(window_bytes);
+        }
+        // Fragments of split nodes reconcile once, in the final run — the
+        // same "pooled fragments last" position the multi-device driver
+        // proved bit-identical.
+        if !pool.is_empty() {
+            let run = fragment_run(&pool, pass.par_sort_min);
+            gauge.charge(spill::run_bytes(&run));
+            runs.push(ExternalRun::Mem(run));
+        }
+        let graph = merge_external_runs(s, runs, spill_stats).map_err(spill::io_to_device)?;
+        Ok((graph, makespan, agg_seconds))
+    }
+
+    fn run_parts(
+        &self,
+        offsets: &[u64],
+        source: ShardSource<'_>,
+        disk_io: f64,
+    ) -> Result<GpClustReport, DeviceError> {
         self.gpu.reset_counters();
+        let n = offsets.len() - 1;
         let wall_start = Instant::now();
         let mut pipelined = 0.0f64;
         let mut device_aggregation = 0.0f64;
         let mut recovery = RecoveryReport::default();
+        let mut gauge = ResidentGauge::new();
+        let mut spill_stats = SpillStats::default();
         // Resolve the schedule axes — cost-model argmin under `--plan
         // auto`, pass-through under manual planning — and drive the whole
         // run from the *effective* parameters.
-        let (plan, effective) = Plan::lower_auto(
-            &self.params,
-            std::slice::from_ref(&self.gpu),
-            g.offsets(),
-            g.n(),
-        )?;
+        let (plan, effective) =
+            Plan::lower_auto(&self.params, std::slice::from_ref(&self.gpu), offsets, n)?;
         let predicted = plan.predicted;
         let policy = plan.policy;
         let exec = Executor::new(&self.gpu);
@@ -123,6 +390,9 @@ impl GpClust {
         // under the fault policy: an `OutOfMemory` halves the planned batch
         // capacity and re-plans the whole pass (each executor run rebuilds
         // its sink state, so a re-plan never replays half-emitted records).
+        // Under a bounded memory budget the pass instead runs in
+        // vertex-range shards with its runs spilled to disk — bit-identical
+        // either way (`sharded_pass1`).
         let s1 = effective.s1;
         let family1 = effective.family_pass1();
         let mut pass_rec = RecoveryReport::default();
@@ -130,12 +400,87 @@ impl GpClust {
         let (first, stats1) = {
             let (first, stats1, makespan, agg_s) =
                 with_oom_backoff(&policy, &mut backoff_rec, plan.capacity, |cap| {
-                    let pass = plan.pass(s1, plan.aggregation, cap, g.offsets());
-                    let r = exec.run(&pass, PassInput::of(g), &family1, &mut pass_rec, {
-                        Sink::Aggregate
-                    })?;
-                    let graph = r.graph.expect("aggregate sink yields a graph");
-                    Ok((graph, r.stats, r.makespan, r.agg_kernel_seconds))
+                    let n_elems = source.n_elements();
+                    let n_shards = if plan.mem_budget.is_unbounded() {
+                        1
+                    } else {
+                        let est =
+                            Plan::estimate_pass_resident_bytes(offsets, s1, effective.c1);
+                        // A shard must span at least one element, so the
+                        // element count is the only hard ceiling on how
+                        // finely the pass can be carved.
+                        plan.mem_budget
+                            .resolve_shards(est, (n_elems as usize).max(1))
+                    };
+                    if n_shards <= 1 {
+                        let pass = plan.pass(s1, plan.aggregation, cap, offsets);
+                        let flat = source.window(0, n_elems)?;
+                        let r = exec.run(
+                            &pass,
+                            PassInput::window(offsets, &flat, 0),
+                            &family1,
+                            &mut pass_rec,
+                            Sink::Aggregate,
+                        )?;
+                        let graph = r.graph.expect("aggregate sink yields a graph");
+                        Ok((graph, r.stats, r.makespan, r.agg_kernel_seconds))
+                    } else {
+                        // Shards are element ranges, so the batch list must
+                        // be comfortably longer than the shard count: cap
+                        // the pass capacity at a quarter of one shard's
+                        // element share so the greedy byte-driven carving
+                        // below has fine-grained pieces to balance with.
+                        // Bit-identity across batch capacities is part of
+                        // the schedule contract, so the re-plan cannot
+                        // change the result.
+                        let shard_cap =
+                            cap.min(n_elems.div_ceil(4 * n_shards as u64).max(1) as usize);
+                        let pass = plan.pass(s1, plan.aggregation, shard_cap, offsets);
+                        let chunks = match (plan.mem_budget.shards, plan.mem_budget.bytes) {
+                            // A byte budget carves by estimated working-set
+                            // cost, with the persistent fragment pool's
+                            // share reserved up front (best-effort floor of
+                            // a quarter budget when the pool alone would eat
+                            // it); an explicit shard count carves by count.
+                            (None, Some(b)) if b > 0 => {
+                                let trials = effective.c1 as u64;
+                                let batches = &pass.batches;
+                                let first = budget_chunks(batches, offsets, s1, trials, b);
+                                let incidences = match plan.aggregation {
+                                    // The card flags fragments per batch
+                                    // boundary; the host pools only nodes
+                                    // crossing shard boundaries.
+                                    AggregationMode::Device => batches
+                                        .iter()
+                                        .map(|bt| {
+                                            bt.first_is_fragment(offsets) as u64
+                                                + bt.last_is_fragment(offsets) as u64
+                                        })
+                                        .sum(),
+                                    AggregationMode::Host => {
+                                        shard_split_nodes(batches, &first, offsets).len() as u64
+                                    }
+                                };
+                                let reserve = pool_byte_cost(incidences, s1, trials);
+                                let target = b.saturating_sub(reserve).max(b / 4);
+                                budget_chunks(batches, offsets, s1, trials, target)
+                            }
+                            _ => shard_chunks(pass.batches.len(), n_shards),
+                        };
+                        let stats = pass.stats;
+                        let (graph, makespan, agg_s) = Self::sharded_pass1(
+                            &exec,
+                            &pass,
+                            offsets,
+                            &source,
+                            &family1,
+                            chunks,
+                            &mut pass_rec,
+                            &mut gauge,
+                            &mut spill_stats,
+                        )?;
+                        Ok((graph, stats, makespan, agg_s))
+                    }
                 })?;
             recovery.merge(&pass_rec);
             recovery.merge(&backoff_rec);
@@ -150,7 +495,7 @@ impl GpClust {
         // attempt starts from a fresh union–find. Pass II always
         // aggregates on the host (the records feed the union–find, not a
         // sort), so its batch budget is the host-mode capacity.
-        let mut uf = UnionFind::new(g.n());
+        let mut uf = UnionFind::new(n);
         let mut labels: Option<ClusterLabels> = None;
         let mut second_level_records = 0u64;
         let s2 = effective.s2;
@@ -163,7 +508,7 @@ impl GpClust {
                 let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
                 match effective.components {
                     ComponentsMode::Host => {
-                        uf = UnionFind::new(g.n());
+                        uf = UnionFind::new(n);
                         second_level_records = 0;
                         let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
                             second_level_records += 1;
@@ -193,10 +538,7 @@ impl GpClust {
                             PassInput::of(&first),
                             &family2,
                             &mut pass_rec,
-                            Sink::Clusters {
-                                first: &first,
-                                n: g.n(),
-                            },
+                            Sink::Clusters { first: &first, n },
                         )?;
                         let c = r.clusters.expect("clusters sink yields labels");
                         second_level_records = c.records;
@@ -216,8 +558,10 @@ impl GpClust {
         let wall = wall_start.elapsed().as_secs_f64();
         let counters = self.gpu.counters();
         recovery.faults_injected = counters.faults_injected;
-        // Host time net of the wall time spent standing in for the device.
-        let cpu = (wall - counters.kernel_wall_seconds).max(0.0);
+        // Host time net of the wall time spent standing in for the device
+        // — and of the spill traffic, which reports as Disk I/O instead.
+        let spill_seconds = spill_stats.write_seconds + spill_stats.read_seconds;
+        let cpu = (wall - counters.kernel_wall_seconds - spill_seconds).max(0.0);
         let device_pipelined = match effective.mode {
             PipelineMode::Synchronous => counters.serialized_device_seconds(),
             PipelineMode::Overlapped => pipelined,
@@ -227,11 +571,13 @@ impl GpClust {
             gpu: counters.kernel_seconds,
             h2d: counters.h2d_seconds,
             d2h: counters.d2h_seconds,
-            disk_io,
+            disk_io: disk_io + spill_seconds,
             device_pipelined,
             device_aggregation,
             device_components,
             recovery,
+            peak_resident_bytes: gauge.peak(),
+            spilled_bytes: spill_stats.bytes,
             ..Default::default()
         };
         times.record_batch_stats(&stats1);
@@ -504,6 +850,103 @@ mod tests {
 
         let in_memory = pipeline.cluster(&g).unwrap();
         assert_eq!(from_file.partition, in_memory.partition);
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The out-of-core sharded path must be bit-identical to the resident
+    /// oracle across shard counts × aggregation modes × kernels, while
+    /// actually spilling and measuring residency.
+    #[test]
+    fn sharded_spilled_run_matches_resident_oracle() {
+        use crate::params::ShingleKernel;
+        let g = graph(30);
+        let params = ShinglingParams::light(86);
+        let oracle = GpClust::new(
+            params,
+            Gpu::with_workers(DeviceConfig::tiny_test_device(), 2),
+        )
+        .unwrap()
+        .cluster(&g)
+        .unwrap();
+        for agg in [AggregationMode::Host, AggregationMode::Device] {
+            for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+                for shards in [2u32, 3, 8] {
+                    let p = params
+                        .with_aggregation(agg)
+                        .with_kernel(kernel)
+                        .with_shards(shards);
+                    let gpu = Gpu::with_workers(DeviceConfig::tiny_test_device(), 2);
+                    let r = GpClust::new(p, gpu).unwrap().cluster(&g).unwrap();
+                    assert_eq!(r.partition, oracle.partition, "{agg:?}/{kernel:?}/{shards}");
+                    assert_eq!(
+                        r.first_level_shingles, oracle.first_level_shingles,
+                        "{agg:?}/{kernel:?}/{shards}"
+                    );
+                    assert!(r.times.spilled_bytes > 0, "{agg:?}/{kernel:?}/{shards}");
+                    assert!(
+                        r.times.peak_resident_bytes > 0,
+                        "{agg:?}/{kernel:?}/{shards}"
+                    );
+                    assert!(r.times.disk_io > 0.0, "spill traffic reports as disk I/O");
+                }
+            }
+        }
+    }
+
+    /// A byte budget (not an explicit shard count) derives the shard count
+    /// and the recorded peak respects it.
+    #[test]
+    fn byte_budget_derives_shards_and_bounds_residency() {
+        let g = graph(31);
+        let params = ShinglingParams::light(87);
+        let oracle = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        // The CI out-of-core job exports GPCLUST_MEM_BUDGET, which bounds
+        // this oracle too; only a genuinely env-free run is spill-free.
+        if std::env::var_os("GPCLUST_MEM_BUDGET").is_none() {
+            assert_eq!(oracle.times.spilled_bytes, 0, "unbounded runs never spill");
+            assert_eq!(oracle.times.peak_resident_bytes, 0);
+        }
+        let est = Plan::estimate_pass_resident_bytes(g.offsets(), params.s1, params.c1);
+        let budget = est / 4;
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let r = GpClust::new(params.with_mem_budget(budget), gpu)
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(r.partition, oracle.partition);
+        assert!(r.times.spilled_bytes > 0);
+        assert!(
+            r.times.peak_resident_bytes <= budget,
+            "peak {} exceeds budget {budget}",
+            r.times.peak_resident_bytes
+        );
+    }
+
+    /// File-backed out-of-core: under a bounded budget the loader keeps
+    /// only the offsets resident and shards stream their target windows
+    /// from disk — same partition as the fully resident run.
+    #[test]
+    fn out_of_core_from_file_matches_resident() {
+        let g = graph(32);
+        let dir = std::env::temp_dir().join("gpclust_oocore_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        gpclust_graph::io::write_file(&path, &g).unwrap();
+        let params = ShinglingParams::light(88);
+        let resident = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 2);
+        let oocore = GpClust::new(params.with_shards(3), gpu)
+            .unwrap()
+            .cluster_from_file(&path)
+            .unwrap();
+        assert_eq!(oocore.partition, resident.partition);
+        assert!(oocore.times.spilled_bytes > 0);
         std::fs::remove_file(&path).ok();
     }
 

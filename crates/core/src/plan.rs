@@ -34,8 +34,8 @@
 use crate::autotune::{self, capability_shares, device_weights, Prediction, WorkloadShape};
 use crate::batch::{batch_capacity, plan_batches, Batch, BatchStats};
 use crate::params::{
-    AggregationMode, ComponentsMode, FaultPolicy, PipelineMode, PlanMode, ShingleKernel,
-    ShinglingParams,
+    AggregationMode, ComponentsMode, FaultPolicy, MemoryBudget, PipelineMode, PlanMode,
+    ShingleKernel, ShinglingParams,
 };
 use gpclust_gpu::{DeviceError, Gpu};
 
@@ -77,6 +77,10 @@ pub struct Plan {
     /// [`Plan::lower_auto`] under [`PlanMode::Auto`]; `None` for manual
     /// plans.
     pub predicted: Option<Prediction>,
+    /// Host-memory budget for the out-of-core path (resolved from params
+    /// and the `GPCLUST_MEM_BUDGET` environment override at lowering
+    /// time). Unbounded budgets keep every pass fully resident.
+    pub mem_budget: MemoryBudget,
 }
 
 impl Plan {
@@ -112,6 +116,7 @@ impl Plan {
             min_device_mem,
             capacity: batch_capacity(min_device_mem, params.kernel, params.aggregation),
             predicted: None,
+            mem_budget: params.mem_budget.or_env(),
         })
     }
 
@@ -189,10 +194,38 @@ impl Plan {
                 "off"
             },
         );
+        let base = if self.mem_budget.is_unbounded() {
+            base
+        } else {
+            let budget = match (self.mem_budget.bytes, self.mem_budget.shards) {
+                (Some(b), _) => format!("{b} B"),
+                (None, Some(n)) => format!("{n} shard(s)"),
+                (None, None) => unreachable!("bounded budget has bytes or shards"),
+            };
+            format!("{base} | mem-budget {budget}")
+        };
         match &self.predicted {
             Some(p) => format!("plan auto → {base} | predicted {:.4}s", p.seconds),
             None => base,
         }
+    }
+
+    /// Estimated peak host-resident bytes of one *fully resident* pass:
+    /// the flat adjacency elements plus every trial's record buffers — a
+    /// node emits a record per trial whenever its list reaches `s`
+    /// elements, and at its residency peak a record is held twice over
+    /// (`2 × (16 + 8·s) B`: the gathered raw buffer plus the routed copy
+    /// the fragment merge packs from). The budget→shard-count derivation
+    /// divides this figure by the budget; it deliberately prices the
+    /// dominant buffers only, not allocator slack, so budgets are
+    /// working-set bounds rather than RSS bounds.
+    pub fn estimate_pass_resident_bytes(offsets: &[u64], s: usize, trials: usize) -> u64 {
+        let n_elems = offsets.last().copied().unwrap_or(0) - offsets.first().copied().unwrap_or(0);
+        let emitting = offsets
+            .windows(2)
+            .filter(|w| (w[1] - w[0]) as usize >= s)
+            .count() as u64;
+        4 * n_elems + emitting * trials as u64 * (32 + 16 * s as u64)
     }
 
     /// Lower one shingling pass: plan the batches of `offsets` at
@@ -445,6 +478,52 @@ mod tests {
             .unwrap()
             .describe();
         assert!(dev.contains("components device-cc"), "{dev}");
+    }
+
+    #[test]
+    fn lower_resolves_the_memory_budget_and_describe_reports_it() {
+        let gpus = vec![Gpu::with_workers(DeviceConfig::tesla_k20(), 1)];
+        let plan = Plan::lower(&ShinglingParams::light(1), &gpus).unwrap();
+        // The CI out-of-core job exports GPCLUST_MEM_BUDGET, which lower()
+        // resolves into this otherwise-unbounded plan.
+        if std::env::var_os("GPCLUST_MEM_BUDGET").is_none() {
+            assert!(plan.mem_budget.is_unbounded());
+            assert!(!plan.describe().contains("mem-budget"));
+        }
+
+        let budgeted = ShinglingParams::light(1).with_mem_budget(1 << 20);
+        let plan = Plan::lower(&budgeted, &gpus).unwrap();
+        assert_eq!(plan.mem_budget.bytes, Some(1 << 20));
+        assert!(
+            plan.describe().contains("mem-budget 1048576 B"),
+            "{}",
+            plan.describe()
+        );
+
+        let sharded = ShinglingParams::light(1).with_shards(4);
+        let plan = Plan::lower(&sharded, &gpus).unwrap();
+        assert!(
+            plan.describe().contains("mem-budget 4 shard(s)"),
+            "{}",
+            plan.describe()
+        );
+    }
+
+    #[test]
+    fn pass_footprint_estimate_prices_flat_plus_records() {
+        // 4 lists of degrees 3, 1, 5, 0 → 9 elements; with s=2, two lists
+        // emit (deg ≥ 2), so trials × 2 records at (32 + 16·2) bytes each
+        // (raw + routed forms coexist at the peak).
+        let offsets = [0u64, 3, 4, 9, 9];
+        let est = Plan::estimate_pass_resident_bytes(&offsets, 2, 10);
+        assert_eq!(est, 4 * 9 + 2 * 10 * 64);
+        assert_eq!(Plan::estimate_pass_resident_bytes(&[0u64], 2, 10), 0);
+        // More shards than the estimate warrants clamp to the batch count.
+        let budget = crate::params::MemoryBudget {
+            bytes: Some(100),
+            shards: None,
+        };
+        assert_eq!(budget.resolve_shards(est, 3), 3, "clamped to max_shards");
     }
 
     #[test]

@@ -1,0 +1,506 @@
+//! Spill-to-disk sorted runs and the external k-way merge — the
+//! out-of-core half of the aggregation layer.
+//!
+//! The device-aggregation path already reduces each batch (or shard) of
+//! pass records to a [`SortedRun`] — packed `(key << 64 | node << 32 |
+//! local-index)` u128s plus `s` element ids per record — and
+//! [`merge_sorted_runs`] reconstructs the shingle graph from any set of
+//! such runs in one streaming heap pass. That merge only ever looks at
+//! each run's *frontier* record, so a run does not need to be resident:
+//! this module writes finished runs to chunked temp files
+//! ([`SpilledRun`]) and generalizes the binary-heap merge into
+//! [`merge_external_runs`] over any mix of in-memory and on-disk runs.
+//!
+//! ## On-disk format
+//!
+//! Records are interleaved, fixed-stride, little-endian: 16 bytes of
+//! packed key/node/local-index followed by `s × 4` bytes of element ids —
+//! `(16 + 4s)` bytes per record, in ascending packed order (the order the
+//! run was sorted in). Interleaving keeps replay strictly sequential: the
+//! reader refills a bounded chunk of records at a time, so the merge
+//! frontier holds `runs × CHUNK` records regardless of run length. The
+//! packed local index is retained verbatim but ignored on replay (the
+//! elements travel with their record), so spilling and replaying a run is
+//! byte-faithful to its in-memory form.
+//!
+//! ## Bit-identity
+//!
+//! [`merge_external_runs`] pops records in exactly the order
+//! [`merge_sorted_runs`] does — ascending `(key, node)` with ties broken
+//! by run index — and feeds the same [`StreamInverter`]. Where the
+//! records sleep between production and merge changes nothing about the
+//! sequence, so the out-of-core path inherits the in-memory path's
+//! bit-identity proof (`tests/oocore_properties.rs` pins it).
+
+use crate::aggregate::{SortedRun, StreamInverter};
+use std::collections::BinaryHeap;
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Records per replay chunk: bounds the merge frontier at
+/// `runs × CHUNK × (16 + 4s)` bytes (≈ 384 KiB per run at `s = 2`).
+const REPLAY_CHUNK: usize = 1 << 14;
+
+/// Monotone counter making spill file names unique within the process.
+static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Wall-clock seconds and byte volume of spill traffic, folded into
+/// [`crate::timing::StageTimes`] by the out-of-core drivers.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SpillStats {
+    /// Bytes written to (and later read back from) spill files.
+    pub bytes: u64,
+    /// Wall seconds spent writing spill files.
+    pub write_seconds: f64,
+    /// Wall seconds spent reading them back during the merge.
+    pub read_seconds: f64,
+}
+
+impl SpillStats {
+    /// Fold another tally into this one.
+    pub fn merge(&mut self, other: &SpillStats) {
+        self.bytes += other.bytes;
+        self.write_seconds += other.write_seconds;
+        self.read_seconds += other.read_seconds;
+    }
+}
+
+/// A [`SortedRun`] spilled to a temp file, replayable as a sequential
+/// record stream. The file is deleted on drop.
+#[derive(Debug)]
+pub struct SpilledRun {
+    path: PathBuf,
+    records: usize,
+    s: usize,
+}
+
+impl SpilledRun {
+    /// Write `run` (shingle size `s`) to a fresh temp file in bounded
+    /// chunks, tallying the traffic into `stats`.
+    pub fn write(s: usize, run: &SortedRun, stats: &mut SpillStats) -> io::Result<SpilledRun> {
+        assert_eq!(run.elements.len(), run.len() * s, "run/elements mismatch");
+        let t0 = Instant::now();
+        let path = std::env::temp_dir().join(format!(
+            "gpclust-spill-{}-{}.run",
+            std::process::id(),
+            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        // Nothing is retained per record, so the writer's resident
+        // footprint is its 1 MiB buffer.
+        let mut w = BufWriter::with_capacity(1 << 20, File::create(&path)?);
+        for &p in &run.packed {
+            w.write_all(&p.to_le_bytes())?;
+            let rep = (p & 0xFFFF_FFFF) as usize;
+            for &e in &run.elements[rep * s..(rep + 1) * s] {
+                w.write_all(&e.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        stats.bytes += (run.len() * (16 + 4 * s)) as u64;
+        stats.write_seconds += t0.elapsed().as_secs_f64();
+        Ok(SpilledRun {
+            path,
+            records: run.len(),
+            s,
+        })
+    }
+
+    /// Number of records in the spilled run.
+    pub fn len(&self) -> usize {
+        self.records
+    }
+
+    /// True if the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// On-disk size in bytes.
+    pub fn bytes(&self) -> u64 {
+        (self.records * (16 + 4 * self.s)) as u64
+    }
+
+    /// Open a sequential replay over the run's records.
+    pub fn replay(&self) -> io::Result<RunReplay> {
+        Ok(RunReplay {
+            reader: BufReader::with_capacity(1 << 20, File::open(&self.path)?),
+            s: self.s,
+            remaining: self.records,
+            packed: Vec::new(),
+            elements: Vec::new(),
+            pos: 0,
+        })
+    }
+}
+
+impl Drop for SpilledRun {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
+
+/// A bounded-memory cursor over a [`SpilledRun`]'s records, refilled
+/// [`REPLAY_CHUNK`] records at a time.
+#[derive(Debug)]
+pub struct RunReplay {
+    reader: BufReader<File>,
+    s: usize,
+    remaining: usize,
+    packed: Vec<u128>,
+    elements: Vec<u32>,
+    pos: usize,
+}
+
+impl RunReplay {
+    /// The current frontier record, refilling the chunk buffer if it is
+    /// exhausted. `None` once the run is drained.
+    pub fn peek(&mut self) -> io::Result<Option<u128>> {
+        if self.pos == self.packed.len() {
+            self.refill()?;
+        }
+        Ok(self.packed.get(self.pos).copied())
+    }
+
+    /// The current frontier record's element ids (valid after a
+    /// successful [`RunReplay::peek`]).
+    pub fn elements(&self) -> &[u32] {
+        &self.elements[self.pos * self.s..(self.pos + 1) * self.s]
+    }
+
+    /// Advance past the current frontier record.
+    pub fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn refill(&mut self) -> io::Result<()> {
+        self.packed.clear();
+        self.elements.clear();
+        self.pos = 0;
+        let n = self.remaining.min(REPLAY_CHUNK);
+        if n == 0 {
+            return Ok(());
+        }
+        let stride = 16 + 4 * self.s;
+        let mut buf = vec![0u8; n * stride];
+        self.reader.read_exact(&mut buf)?;
+        for rec in buf.chunks_exact(stride) {
+            self.packed
+                .push(u128::from_le_bytes(rec[..16].try_into().unwrap()));
+            for e in rec[16..].chunks_exact(4) {
+                self.elements
+                    .push(u32::from_le_bytes(e.try_into().unwrap()));
+            }
+        }
+        self.remaining -= n;
+        Ok(())
+    }
+}
+
+/// One run of the external merge: resident or spilled.
+#[derive(Debug)]
+pub enum ExternalRun {
+    /// A run kept in memory (e.g. the final pooled-fragment run).
+    Mem(SortedRun),
+    /// A run spilled to disk.
+    Disk(SpilledRun),
+}
+
+impl ExternalRun {
+    /// Number of records in the run.
+    pub fn len(&self) -> usize {
+        match self {
+            ExternalRun::Mem(r) => r.len(),
+            ExternalRun::Disk(r) => r.len(),
+        }
+    }
+
+    /// True if the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-run cursor state of the external merge.
+enum Cursor {
+    Mem { run: SortedRun, pos: usize },
+    Disk { replay: RunReplay },
+}
+
+impl Cursor {
+    fn peek(&mut self) -> io::Result<Option<u128>> {
+        match self {
+            Cursor::Mem { run, pos } => Ok(run.packed.get(*pos).copied()),
+            Cursor::Disk { replay } => replay.peek(),
+        }
+    }
+}
+
+/// Merge resident and spilled sorted runs into the bipartite shingle
+/// graph — [`merge_sorted_runs`] generalized over run residency.
+///
+/// Entries pop in ascending `((key, node), run-index)` order, exactly the
+/// in-memory merge's sequence, so the result is bit-identical to merging
+/// the same runs resident. Host memory holds one [`REPLAY_CHUNK`]-record
+/// frontier per on-disk run plus the growing output graph; read traffic
+/// is tallied into `stats`.
+///
+/// [`merge_sorted_runs`]: crate::aggregate::merge_sorted_runs
+pub fn merge_external_runs(
+    s: usize,
+    runs: Vec<ExternalRun>,
+    stats: &mut SpillStats,
+) -> io::Result<gpclust_graph::ShingleGraph> {
+    let t0 = Instant::now();
+    let runs: Vec<ExternalRun> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert!(total < (1 << 32), "too many shingle records");
+    let mut inv = StreamInverter::new(s, total);
+    let mut cursors: Vec<Cursor> = runs
+        .into_iter()
+        .map(|r| match r {
+            ExternalRun::Mem(run) => Ok(Cursor::Mem { run, pos: 0 }),
+            ExternalRun::Disk(spilled) => Ok(Cursor::Disk {
+                replay: spilled.replay()?,
+            }),
+        })
+        .collect::<io::Result<_>>()?;
+
+    use std::cmp::Reverse;
+    // Heap keys strip the run-local index (low 32 bits) and tie-break on
+    // the run index — the same order [`merge_sorted_runs`] restores.
+    let mut heap: BinaryHeap<Reverse<(u128, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    for (ri, c) in cursors.iter_mut().enumerate() {
+        if let Some(p) = c.peek()? {
+            heap.push(Reverse((p >> 32, ri)));
+        }
+    }
+    while let Some(Reverse((_, ri))) = heap.pop() {
+        let cursor = &mut cursors[ri];
+        match cursor {
+            Cursor::Mem { run, pos } => {
+                let p = run.packed[*pos];
+                let rep = (p & 0xFFFF_FFFF) as usize;
+                // Split borrows: elements slice is read inside the push.
+                let elems = &run.elements[rep * s..(rep + 1) * s];
+                inv.push(p, |out| out.extend_from_slice(elems));
+                *pos += 1;
+            }
+            Cursor::Disk { replay } => {
+                let p = replay.peek()?.expect("heap entry implies a record");
+                inv.push(p, |out| out.extend_from_slice(replay.elements()));
+                replay.advance();
+            }
+        }
+        if let Some(next) = cursor.peek()? {
+            heap.push(Reverse((next >> 32, ri)));
+        }
+    }
+    stats.read_seconds += t0.elapsed().as_secs_f64();
+    Ok(inv.finish())
+}
+
+/// Surface a spill/scratch I/O failure through the drivers' device-error
+/// channel ([`gpclust_gpu::DeviceError::HostIo`]).
+pub(crate) fn io_to_device(e: io::Error) -> gpclust_gpu::DeviceError {
+    gpclust_gpu::DeviceError::HostIo {
+        detail: e.to_string(),
+    }
+}
+
+/// Nodes whose adjacency lists cross a batch boundary of `batches` —
+/// exactly the nodes [`crate::plan::FragmentMode::Defer`] flags as
+/// fragments. Sorted ascending so routing can binary-search it (the batch
+/// list itself may be out of node order after a mid-pass recut appends
+/// re-planned batches).
+pub(crate) fn split_nodes(batches: &[crate::batch::Batch], offsets: &[u64]) -> Vec<u32> {
+    let mut nodes: Vec<u32> = batches
+        .iter()
+        .filter(|b| b.first_is_fragment(offsets))
+        .map(|b| b.node_lo as u32)
+        .collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    nodes
+}
+
+/// Route one shard's gathered records under host aggregation, where
+/// [`Sink::Gather`] loses the fragment flags: a record is a fragment iff
+/// its node's list crosses a batch boundary, so records of `split` nodes
+/// join the global fragment `pool` (reconciled once, after every shard)
+/// and the rest — complete by construction — go to `interior` for
+/// immediate packing and spilling.
+///
+/// [`Sink::Gather`]: crate::exec::Sink::Gather
+pub(crate) fn route_shard_records(
+    raw: &crate::shingle::RawShingles,
+    split: &[u32],
+    interior: &mut crate::shingle::RawShingles,
+    pool: &mut crate::shingle::RawShingles,
+) {
+    for (trial, node, pairs) in raw.iter() {
+        if split.binary_search(&node).is_ok() {
+            pool.push(trial, node, pairs);
+        } else {
+            interior.push(trial, node, pairs);
+        }
+    }
+}
+
+/// Resident bytes of a [`SortedRun`] (packed u128s + element ids) — what
+/// the [`crate::timing::ResidentGauge`] charges while a run awaits its
+/// spill.
+pub(crate) fn run_bytes(run: &SortedRun) -> u64 {
+    (run.packed.len() * 16 + run.elements.len() * 4) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::merge_sorted_runs;
+    use crate::minwise::{pack, unpack_element};
+    use crate::shingle::shingle_key;
+
+    /// Pack one grouped record the way a device run does (run-local idx).
+    fn push_run_record(run: &mut SortedRun, trial: u32, node: u32, pairs: &[u64]) {
+        let s = pairs.len();
+        let idx = (run.elements.len() / s) as u128;
+        for &p in pairs {
+            run.elements.push(unpack_element(p));
+        }
+        let key = shingle_key(trial, pairs.iter().map(|&p| unpack_element(p)));
+        run.packed
+            .push(((key as u128) << 64) | ((node as u128) << 32) | idx);
+    }
+
+    fn sample_runs(n_runs: usize, n_records: u32) -> Vec<SortedRun> {
+        let mut runs = vec![SortedRun::default(); n_runs];
+        for i in 0..n_records {
+            let trial = i % 5;
+            let e = i % 37;
+            let pairs = [pack(e, e), pack(e + 1, e + 1)];
+            let run = (i as usize * n_runs) / n_records as usize;
+            push_run_record(&mut runs[run], trial, i, &pairs);
+        }
+        for run in &mut runs {
+            run.packed.sort_unstable();
+        }
+        runs
+    }
+
+    #[test]
+    fn spill_roundtrip_replays_every_record() {
+        let run = sample_runs(1, 1000).pop().unwrap();
+        let mut stats = SpillStats::default();
+        let spilled = SpilledRun::write(2, &run, &mut stats).unwrap();
+        assert_eq!(spilled.len(), 1000);
+        assert_eq!(spilled.bytes(), 1000 * 24);
+        assert_eq!(stats.bytes, spilled.bytes());
+        assert!(stats.write_seconds >= 0.0);
+        let mut replay = spilled.replay().unwrap();
+        for (i, &p) in run.packed.iter().enumerate() {
+            assert_eq!(replay.peek().unwrap(), Some(p), "record {i}");
+            let rep = (p & 0xFFFF_FFFF) as usize;
+            assert_eq!(replay.elements(), &run.elements[rep * 2..rep * 2 + 2]);
+            replay.advance();
+        }
+        assert_eq!(replay.peek().unwrap(), None);
+    }
+
+    #[test]
+    fn spill_file_is_removed_on_drop() {
+        let run = sample_runs(1, 10).pop().unwrap();
+        let mut stats = SpillStats::default();
+        let spilled = SpilledRun::write(2, &run, &mut stats).unwrap();
+        let path = spilled.path.clone();
+        assert!(path.exists());
+        drop(spilled);
+        assert!(!path.exists());
+    }
+
+    #[test]
+    fn replay_crosses_chunk_boundaries() {
+        // More records than one replay chunk, so refill() runs mid-stream.
+        let n = (REPLAY_CHUNK + REPLAY_CHUNK / 3) as u32;
+        let run = sample_runs(1, n).pop().unwrap();
+        let mut stats = SpillStats::default();
+        let spilled = SpilledRun::write(2, &run, &mut stats).unwrap();
+        let mut replay = spilled.replay().unwrap();
+        let mut count = 0usize;
+        while replay.peek().unwrap().is_some() {
+            replay.advance();
+            count += 1;
+        }
+        assert_eq!(count, n as usize);
+    }
+
+    #[test]
+    fn external_merge_matches_in_memory_merge() {
+        // Every residency mix of the same runs must reproduce the
+        // in-memory k-way merge bit for bit.
+        for n_runs in [1usize, 2, 3, 7] {
+            let runs = sample_runs(n_runs, 2_000);
+            let oracle = merge_sorted_runs(2, runs.clone());
+            for spill_mask in 0..(1u32 << n_runs) {
+                let mut stats = SpillStats::default();
+                let ext: Vec<ExternalRun> = runs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| {
+                        if spill_mask & (1 << i) != 0 {
+                            Ok(ExternalRun::Disk(SpilledRun::write(2, r, &mut stats)?))
+                        } else {
+                            Ok(ExternalRun::Mem(r.clone()))
+                        }
+                    })
+                    .collect::<io::Result<_>>()
+                    .unwrap();
+                let merged = merge_external_runs(2, ext, &mut stats).unwrap();
+                assert_eq!(merged, oracle, "{n_runs} runs, mask {spill_mask:b}");
+            }
+        }
+    }
+
+    #[test]
+    fn external_merge_handles_empty_and_unbalanced_runs() {
+        let mut big = SortedRun::default();
+        let mut small = SortedRun::default();
+        for i in 0..100u32 {
+            let pairs = [pack(i % 9, i % 9)];
+            push_run_record(if i < 99 { &mut big } else { &mut small }, 0, i, &pairs);
+        }
+        big.packed.sort_unstable();
+        small.packed.sort_unstable();
+        let oracle = merge_sorted_runs(1, vec![big.clone(), small.clone()]);
+        let mut stats = SpillStats::default();
+        let ext = vec![
+            ExternalRun::Mem(SortedRun::default()),
+            ExternalRun::Disk(SpilledRun::write(1, &big, &mut stats).unwrap()),
+            ExternalRun::Mem(SortedRun::default()),
+            ExternalRun::Mem(small),
+        ];
+        assert_eq!(merge_external_runs(1, ext, &mut stats).unwrap(), oracle);
+        assert!(merge_external_runs(1, Vec::new(), &mut stats)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn spill_stats_accumulate() {
+        let mut a = SpillStats {
+            bytes: 10,
+            write_seconds: 1.0,
+            read_seconds: 2.0,
+        };
+        a.merge(&SpillStats {
+            bytes: 5,
+            write_seconds: 0.5,
+            read_seconds: 0.25,
+        });
+        assert_eq!(a.bytes, 15);
+        assert!((a.write_seconds - 1.5).abs() < 1e-12);
+        assert!((a.read_seconds - 2.25).abs() < 1e-12);
+    }
+}

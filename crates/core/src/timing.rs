@@ -41,6 +41,56 @@ impl Stopwatch {
     }
 }
 
+/// High-water-mark gauge for host-resident working-set bytes — how the
+/// out-of-core path *observes* (rather than asserts) its memory bound.
+/// Drivers charge an allocation when a shard's records materialize and
+/// discharge it once the buffer spills or drops; the peak is what the
+/// `--mem-budget` acceptance check compares against.
+///
+/// The gauge tracks the bytes the sharding machinery controls (raw
+/// record buffers, sorted runs, the merge frontier) — not the process
+/// RSS, which the simulated device model has no business estimating.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ResidentGauge {
+    current: u64,
+    peak: u64,
+}
+
+impl ResidentGauge {
+    /// Zeroed gauge.
+    pub fn new() -> Self {
+        ResidentGauge::default()
+    }
+
+    /// Charge `bytes` to the resident set, raising the peak if needed.
+    pub fn charge(&mut self, bytes: u64) {
+        self.current += bytes;
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Release `bytes` (saturating — a discharge can never go negative).
+    pub fn discharge(&mut self, bytes: u64) {
+        self.current = self.current.saturating_sub(bytes);
+    }
+
+    /// Replace the current charge with `bytes` (for callers that re-measure
+    /// a buffer instead of tracking deltas), raising the peak if needed.
+    pub fn set_floor(&mut self, bytes: u64) {
+        self.current = self.current.max(bytes);
+        self.peak = self.peak.max(self.current);
+    }
+
+    /// Bytes currently charged.
+    pub fn current(&self) -> u64 {
+        self.current
+    }
+
+    /// High-water mark over the gauge's lifetime.
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+}
+
 /// Tally of every recovery action the resilience layer took during one
 /// run (see [`crate::params::FaultPolicy`]). All zeros on a fault-free
 /// run; results are bit-identical either way — this report is how a run
@@ -173,6 +223,17 @@ pub struct StageTimes {
     /// plans by (0 without `--plan auto`).
     #[serde(default)]
     pub predicted_total_seconds: f64,
+    /// Peak host-resident working-set bytes the run's record buffers
+    /// reached ([`ResidentGauge`] high-water mark). Under a `--mem-budget`
+    /// this is the figure the bound is checked against; 0 when the run
+    /// never measured residency.
+    #[serde(default)]
+    pub peak_resident_bytes: u64,
+    /// Bytes of sorted runs spilled to disk by the out-of-core path
+    /// (0 for fully resident runs). The spill write/read wall time folds
+    /// into [`StageTimes::disk_io`].
+    #[serde(default)]
+    pub spilled_bytes: u64,
 }
 
 impl StageTimes {
@@ -252,6 +313,12 @@ impl std::fmt::Display for StageTimes {
             self.max_batch_elems,
             self.elem_footprint_bytes
         )?;
+        if self.peak_resident_bytes > 0 {
+            write!(f, " | resident peak {} B", self.peak_resident_bytes)?;
+            if self.spilled_bytes > 0 {
+                write!(f, " (spilled {} B)", self.spilled_bytes)?;
+            }
+        }
         if let Some(err) = self.prediction_error_pct() {
             write!(
                 f,
@@ -381,6 +448,38 @@ mod tests {
         assert!(s.contains("+10.0%"), "{s}");
         t.record_prediction(None);
         assert!((t.predicted_total_seconds - 3.0).abs() < 1e-12, "no-op");
+    }
+
+    #[test]
+    fn resident_gauge_tracks_the_high_water_mark() {
+        let mut g = ResidentGauge::new();
+        assert_eq!(g.peak(), 0);
+        g.charge(100);
+        g.charge(50);
+        assert_eq!(g.current(), 150);
+        assert_eq!(g.peak(), 150);
+        g.discharge(120);
+        assert_eq!(g.current(), 30);
+        assert_eq!(g.peak(), 150, "peak survives discharges");
+        g.discharge(1000);
+        assert_eq!(g.current(), 0, "discharge saturates");
+        g.set_floor(40);
+        assert_eq!(g.current(), 40);
+        g.set_floor(10);
+        assert_eq!(g.current(), 40, "set_floor never lowers the charge");
+        assert_eq!(g.peak(), 150);
+
+        // The StageTimes display stays silent without a measurement and
+        // reports peak + spill once one exists.
+        assert!(!StageTimes::default().to_string().contains("resident"));
+        let t = StageTimes {
+            peak_resident_bytes: 150,
+            spilled_bytes: 64,
+            ..Default::default()
+        };
+        let s = t.to_string();
+        assert!(s.contains("resident peak 150 B"), "{s}");
+        assert!(s.contains("spilled 64 B"), "{s}");
     }
 
     #[test]

@@ -51,6 +51,13 @@ pub enum DeviceError {
         /// Index of the lost device.
         device: u32,
     },
+    /// A host-side scratch-file operation failed (the out-of-core spill
+    /// path). Not a device fault at all — surfaced through the same error
+    /// channel because the drivers treat "the pass cannot finish" uniformly.
+    HostIo {
+        /// The underlying I/O error, rendered to text.
+        detail: String,
+    },
 }
 
 impl DeviceError {
@@ -98,6 +105,9 @@ impl std::fmt::Display for DeviceError {
             DeviceError::Ecc => write!(f, "uncorrectable ECC memory error"),
             DeviceError::DeviceLost { device } => {
                 write!(f, "device {device} lost (fell off the bus)")
+            }
+            DeviceError::HostIo { detail } => {
+                write!(f, "host spill I/O failed: {detail}")
             }
         }
     }

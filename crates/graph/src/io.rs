@@ -8,16 +8,23 @@
 //! * **binary** — little-endian framing via the `bytes` crate:
 //!   `[n: u64][m2: u64][offsets: (n+1) × u64][targets: m2 × u32]`. This is
 //!   the fast path for the large benchmark graphs.
+//!
+//! Both binary readers stream in fixed-size chunks — no `m2 × 4`-byte
+//! staging buffer — and [`CsrFile`] keeps only the offsets resident,
+//! reading target windows on demand for the out-of-core sharded passes.
 
 use crate::csr::Csr;
 use crate::edgelist::EdgeList;
 use crate::VertexId;
 use bytes::{Buf, BufMut};
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Magic header for the binary format.
 const MAGIC: &[u8; 8] = b"GPCLGRF1";
+
+/// Staging-buffer size for the chunked binary reads (bytes).
+const READ_CHUNK: usize = 1 << 20;
 
 /// Write a graph as text adjacency lists.
 pub fn write_text<W: Write>(writer: W, g: &Csr) -> io::Result<()> {
@@ -96,8 +103,8 @@ pub fn write_binary<W: Write>(writer: W, g: &Csr) -> io::Result<()> {
     w.flush()
 }
 
-/// Read a graph in the binary format.
-pub fn read_binary<R: Read>(mut reader: R) -> io::Result<Csr> {
+/// Parse the binary header, returning `(n, m2)`.
+fn read_header<R: Read>(reader: &mut R) -> io::Result<(usize, usize)> {
     let mut header = [0u8; 24];
     reader.read_exact(&mut header)?;
     let mut h = &header[..];
@@ -106,19 +113,222 @@ pub fn read_binary<R: Read>(mut reader: R) -> io::Result<Csr> {
     if &magic != MAGIC {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
     }
-    let n = h.get_u64_le() as usize;
-    let m2 = h.get_u64_le() as usize;
+    Ok((h.get_u64_le() as usize, h.get_u64_le() as usize))
+}
 
-    let mut raw = vec![0u8; (n + 1) * 8];
-    reader.read_exact(&mut raw)?;
-    let mut b = &raw[..];
-    let offsets: Vec<u64> = (0..=n).map(|_| b.get_u64_le()).collect();
+/// Read `count` little-endian u64s in [`READ_CHUNK`]-sized chunks.
+fn read_u64s_chunked<R: Read>(reader: &mut R, count: usize) -> io::Result<Vec<u64>> {
+    let mut out = Vec::with_capacity(count);
+    let mut raw = vec![0u8; READ_CHUNK.min(count.max(1) * 8)];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(raw.len() / 8);
+        let buf = &mut raw[..take * 8];
+        reader.read_exact(buf)?;
+        let mut b = &buf[..];
+        out.extend((0..take).map(|_| b.get_u64_le()));
+        remaining -= take;
+    }
+    Ok(out)
+}
 
-    let mut raw = vec![0u8; m2 * 4];
-    reader.read_exact(&mut raw)?;
-    let mut b = &raw[..];
-    let targets: Vec<VertexId> = (0..m2).map(|_| b.get_u32_le()).collect();
+/// Read `count` little-endian u32s in [`READ_CHUNK`]-sized chunks.
+fn read_u32s_chunked<R: Read>(reader: &mut R, count: usize) -> io::Result<Vec<VertexId>> {
+    let mut out = Vec::with_capacity(count);
+    let mut raw = vec![0u8; READ_CHUNK.min(count.max(1) * 4)];
+    let mut remaining = count;
+    while remaining > 0 {
+        let take = remaining.min(raw.len() / 4);
+        let buf = &mut raw[..take * 4];
+        reader.read_exact(buf)?;
+        let mut b = &buf[..];
+        out.extend((0..take).map(|_| b.get_u32_le()));
+        remaining -= take;
+    }
+    Ok(out)
+}
+
+/// Read a graph in the binary format. Streams in bounded chunks — the
+/// staging buffer never exceeds [`READ_CHUNK`] bytes regardless of the
+/// graph size (the decoded CSR itself is of course fully materialized;
+/// use [`CsrFile`] to avoid that too).
+pub fn read_binary<R: Read>(mut reader: R) -> io::Result<Csr> {
+    let (n, m2) = read_header(&mut reader)?;
+    let offsets = read_u64s_chunked(&mut reader, n + 1)?;
+    let targets = read_u32s_chunked(&mut reader, m2)?;
     Ok(Csr::from_raw(offsets, targets))
+}
+
+/// An opened binary graph whose **targets stay on disk**: only the
+/// `(n+1) × 8`-byte offset array is resident, and the out-of-core sharded
+/// passes read each shard's target window on demand with
+/// [`CsrFile::read_targets`]. This is tentpole piece (3): the input graph
+/// itself never needs to be fully resident.
+#[derive(Debug)]
+pub struct CsrFile {
+    file: std::fs::File,
+    offsets: Vec<u64>,
+    /// Byte position of `targets[0]` within the file.
+    targets_start: u64,
+}
+
+impl CsrFile {
+    /// Open `path` and read the header + offsets (targets stay on disk).
+    pub fn open<P: AsRef<Path>>(path: P) -> io::Result<CsrFile> {
+        let mut file = std::fs::File::open(path)?;
+        let (n, m2) = read_header(&mut file)?;
+        let offsets = read_u64s_chunked(&mut file, n + 1)?;
+        if *offsets.last().unwrap_or(&0) != m2 as u64 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "offsets end at {} but header claims {} targets",
+                    offsets.last().unwrap_or(&0),
+                    m2
+                ),
+            ));
+        }
+        let targets_start = file.stream_position()?;
+        Ok(CsrFile {
+            file,
+            offsets,
+            targets_start,
+        })
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// The resident `n + 1` offset array.
+    pub fn offsets(&self) -> &[u64] {
+        &self.offsets
+    }
+
+    /// Total target entries on disk (2·|E|).
+    pub fn n_targets(&self) -> u64 {
+        *self.offsets.last().unwrap_or(&0)
+    }
+
+    /// Read the target window `[lo, hi)` (global element positions).
+    pub fn read_targets(&self, lo: u64, hi: u64) -> io::Result<Vec<VertexId>> {
+        assert!(lo <= hi && hi <= self.n_targets(), "window out of bounds");
+        let mut f = &self.file;
+        f.seek(SeekFrom::Start(self.targets_start + lo * 4))?;
+        read_u32s_chunked(&mut f, (hi - lo) as usize)
+    }
+
+    /// Materialize the whole graph (the unbounded-budget fallback).
+    pub fn read_all(&self) -> io::Result<Csr> {
+        let targets = self.read_targets(0, self.n_targets())?;
+        Ok(Csr::from_raw(self.offsets.clone(), targets))
+    }
+}
+
+/// Stream a text adjacency-list file into a CSR with two line-buffered
+/// passes — degree counting, then direct placement — so no intermediate
+/// edge list is ever materialized (the historical [`read_text`] path holds
+/// an 8-byte packed entry per edge *and* sorts it). Semantics match
+/// [`read_text`] exactly: undirected, self-loops dropped, duplicate edges
+/// deduplicated, and parse errors report the offending line.
+pub fn read_text_file<P: AsRef<Path>>(path: P, n: usize) -> io::Result<Csr> {
+    // Pass 1: count both endpoints of every listed edge.
+    let mut degree = vec![0u64; n];
+    for_each_text_edge(&path, n, |v, u| {
+        degree[v as usize] += 1;
+        degree[u as usize] += 1;
+    })?;
+    let mut offsets = Vec::with_capacity(n + 1);
+    let mut acc = 0u64;
+    offsets.push(0);
+    for d in &degree {
+        acc += d;
+        offsets.push(acc);
+    }
+    // Pass 2: place each edge at both endpoints' cursors.
+    let mut cursor: Vec<u64> = offsets[..n].to_vec();
+    let mut targets = vec![0 as VertexId; acc as usize];
+    for_each_text_edge(&path, n, |v, u| {
+        targets[cursor[v as usize] as usize] = u;
+        cursor[v as usize] += 1;
+        targets[cursor[u as usize] as usize] = v;
+        cursor[u as usize] += 1;
+    })?;
+    // Sort + dedup each list in place, compacting the offsets.
+    let mut write = 0u64;
+    let mut new_offsets = Vec::with_capacity(n + 1);
+    new_offsets.push(0);
+    for v in 0..n {
+        let (lo, hi) = (offsets[v] as usize, offsets[v + 1] as usize);
+        let mut list = targets[lo..hi].to_vec();
+        list.sort_unstable();
+        list.dedup();
+        let w = write as usize;
+        targets[w..w + list.len()].copy_from_slice(&list);
+        write += list.len() as u64;
+        new_offsets.push(write);
+    }
+    targets.truncate(write as usize);
+    Ok(Csr::from_raw(new_offsets, targets))
+}
+
+/// Drive `emit(v, u)` over every undirected edge of a text adjacency-list
+/// file, line-buffered, with the same tolerances and line-numbered errors
+/// as [`read_text`]. Self-loops are skipped; each listed `v: u` pair is
+/// emitted once (callers handle symmetrization).
+fn for_each_text_edge<P: AsRef<Path>>(
+    path: P,
+    n: usize,
+    mut emit: impl FnMut(VertexId, VertexId),
+) -> io::Result<()> {
+    let r = BufReader::new(std::fs::File::open(&path)?);
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (head, rest) = line.split_once(':').ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: missing ':'", lineno + 1),
+            )
+        })?;
+        let v: VertexId = head.trim().parse().map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: bad vertex id: {e}", lineno + 1),
+            )
+        })?;
+        if v as usize >= n {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("line {}: vertex id {v} out of range (n = {n})", lineno + 1),
+            ));
+        }
+        for tok in rest.split_whitespace() {
+            let u: VertexId = tok.parse().map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("line {}: bad neighbor id: {e}", lineno + 1),
+                )
+            })?;
+            if u as usize >= n {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "line {}: neighbor id {u} out of range (n = {n})",
+                        lineno + 1
+                    ),
+                ));
+            }
+            if u != v {
+                emit(v, u);
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Write a graph to `path`, choosing format by extension (`.txt` → text,
@@ -204,5 +414,87 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&mut buf, &g).unwrap();
         assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+
+    /// A graph big enough that the chunked readers refill several times.
+    fn big_sample(n: usize) -> Csr {
+        let mut el = EdgeList::new();
+        for v in 0..n as VertexId {
+            el.push(v, (v + 1) % n as VertexId);
+            el.push(v, (v * 7 + 3) % n as VertexId);
+        }
+        Csr::from_edges(n, &mut el)
+    }
+
+    #[test]
+    fn chunked_binary_read_crosses_chunk_boundaries() {
+        // READ_CHUNK is 1 MiB; ~300K offsets (2.4 MB) force refills.
+        let g = big_sample(300_000);
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &g).unwrap();
+        assert_eq!(read_binary(&buf[..]).unwrap(), g);
+    }
+
+    #[test]
+    fn csr_file_windows_match_the_resident_graph() {
+        let g = sample();
+        let dir = std::env::temp_dir().join("gpclust_graph_io_csrfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        write_file(&path, &g).unwrap();
+        let f = CsrFile::open(&path).unwrap();
+        assert_eq!(f.n(), g.n());
+        assert_eq!(f.offsets(), g.offsets());
+        assert_eq!(f.n_targets() as usize, g.targets().len());
+        assert_eq!(f.read_all().unwrap(), g);
+        // Every window, including empty and full ones.
+        let m = g.targets().len() as u64;
+        for lo in 0..=m {
+            for hi in lo..=m {
+                assert_eq!(
+                    f.read_targets(lo, hi).unwrap(),
+                    &g.targets()[lo as usize..hi as usize],
+                    "window [{lo}, {hi})"
+                );
+            }
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_text_loader_matches_read_text() {
+        let g = big_sample(500);
+        let dir = std::env::temp_dir().join("gpclust_graph_io_text");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.txt");
+        {
+            let f = std::fs::File::create(&path).unwrap();
+            write_text(f, &g).unwrap();
+        }
+        let streamed = read_text_file(&path, g.n()).unwrap();
+        assert_eq!(streamed, g);
+
+        // One-directional listings still symmetrize, and duplicates dedup,
+        // exactly as the EdgeList-based reader does.
+        std::fs::write(&path, "0: 1 1 2\n2: 0\n").unwrap();
+        let streamed = read_text_file(&path, 4).unwrap();
+        let oracle = read_text(&b"0: 1 1 2\n2: 0\n"[..], 4).unwrap();
+        assert_eq!(streamed, oracle);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn streamed_text_loader_reports_the_offending_line() {
+        let dir = std::env::temp_dir().join("gpclust_graph_io_badtext");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bad.txt");
+        std::fs::write(&path, "0: 1\n1: zap\n").unwrap();
+        let err = read_text_file(&path, 3).unwrap_err();
+        assert!(err.to_string().contains("line 2"), "{err}");
+        std::fs::write(&path, "0: 9\n").unwrap();
+        let err = read_text_file(&path, 3).unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        assert!(err.to_string().contains("out of range"), "{err}");
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -8,6 +8,7 @@
 //!                     [--kernel sort|select] [--aggregate host|device]
 //!                     [--components host|device] [--plan auto|manual]
 //!                     [--par-sort-min N]
+//!                     [--mem-budget 64M] [--shards N]
 //!                     [--s1 2 --c1 200 --s2 2 --c2 100] [--min-size 1]
 //! gpclust stats       --graph graph.bin
 //! gpclust quality     --test clusters.tsv --benchmark truth.tsv --n <vertices>
@@ -81,6 +82,14 @@ subcommands:
                                                cost-model argmin; explicitly
                                                passed axis flags stay forced,
                                                [--par-sort-min N],
+                                               [--mem-budget BYTES] out-of-core
+                                               resident-byte budget (K/M/G
+                                               suffixes; also env
+                                               GPCLUST_MEM_BUDGET) — Pass I
+                                               shards to that bound, spilling
+                                               sorted runs to disk,
+                                               [--shards N] to pin the shard
+                                               count explicitly,
                                                [--s1/--c1/--s2/--c2],
                                                [--min-size],
                                                [--inject-faults seed:rate]
@@ -220,6 +229,28 @@ fn parse_plan(args: &Flags) -> Result<PlanMode, String> {
     }
 }
 
+/// `--mem-budget BYTES` (with `K`/`M`/`G` binary suffixes) and
+/// `--shards N` fill in the out-of-core [`MemoryBudget`]; the
+/// `GPCLUST_MEM_BUDGET` env fallback is applied later, at plan lowering.
+fn parse_mem_budget(
+    args: &Flags,
+    default: gpclust::core::MemoryBudget,
+) -> Result<gpclust::core::MemoryBudget, String> {
+    let mut budget = default;
+    if let Some(v) = args.get("mem-budget") {
+        budget.bytes = Some(gpclust::core::parse_bytes(v).ok_or_else(|| {
+            format!("--mem-budget expects bytes with an optional K/M/G suffix, got `{v}`")
+        })?);
+    }
+    if let Some(v) = args.get("shards") {
+        budget.shards = Some(
+            v.parse()
+                .map_err(|e| format!("--shards expects a shard count: {e}"))?,
+        );
+    }
+    Ok(budget)
+}
+
 /// `--inject-faults seed:rate` (falling back to `GPCLUST_INJECT_FAULTS`
 /// in the environment), parsed into a deterministic device fault plan.
 fn fault_plan(args: &Flags) -> Result<Option<FaultPlan>, String> {
@@ -262,57 +293,47 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         par_sort_min: get(args, "par-sort-min", base.par_sort_min),
         fault: fault_policy(args, base.fault),
         plan: parse_plan(args)?,
+        mem_budget: parse_mem_budget(args, base.mem_budget)?,
         ..base
     };
     let plan = fault_plan(args)?;
     let min_size = get(args, "min-size", 1usize);
-    let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
-    eprintln!("loaded graph: {} vertices, {} edges", g.n(), g.m());
+    let n_devices = get(args, "devices", 1usize);
+    // Under a bounded budget the single-device path streams the graph
+    // from the file shard by shard; don't materialize it here.
+    let out_of_core = !params.mem_budget.or_env().is_unbounded()
+        && !args.contains_key("serial")
+        && n_devices <= 1;
 
-    let partition = if args.contains_key("serial") {
-        SerialShingling::new(params)?.cluster(&g)
-    } else {
-        let n_devices = get(args, "devices", 1usize);
-        if n_devices <= 1 {
-            let gpu = Gpu::new(DeviceConfig::tesla_k20());
-            if let Some(plan) = &plan {
-                gpu.set_fault_plan(plan.clone().with_device(0));
-            }
-            let (exec_plan, _) =
-                Plan::lower_auto(&params, std::slice::from_ref(&gpu), g.offsets(), g.n())
-                    .map_err(|e| e.to_string())?;
-            eprintln!("plan: {}", exec_plan.describe());
-            let report = GpClust::new(params, gpu)?
-                .cluster(&g)
-                .map_err(|e| e.to_string())?;
-            eprintln!("component times: {}", report.times);
-            print_prediction_error(&report.times);
-            if report.times.recovery.any() {
-                eprintln!("recovery: {}", report.times.recovery);
-            }
-            report.partition
-        } else {
-            let gpus: Vec<Gpu> = (0..n_devices)
-                .map(|d| {
-                    let gpu = Gpu::new(DeviceConfig::tesla_k20());
-                    if let Some(plan) = &plan {
-                        gpu.set_fault_plan(plan.clone().with_device(d as u32));
-                    }
-                    gpu
-                })
-                .collect();
-            let (exec_plan, _) =
-                Plan::lower_auto(&params, &gpus, g.offsets(), g.n()).map_err(|e| e.to_string())?;
-            eprintln!("plan: {}", exec_plan.describe());
-            let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
-            let report = multi.cluster(&g).map_err(|e| e.to_string())?;
-            eprintln!("component times ({} devices): {}", n_devices, report.times);
-            print_prediction_error(&report.times);
-            if report.times.recovery.any() {
-                eprintln!("recovery: {}", report.times.recovery);
-            }
-            report.partition
+    let partition = if out_of_core {
+        let f = graph_io::CsrFile::open(&graph_path).map_err(|e| e.to_string())?;
+        eprintln!(
+            "opened graph: {} vertices, {} list elements (out-of-core)",
+            f.n(),
+            f.n_targets()
+        );
+        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        if let Some(plan) = &plan {
+            gpu.set_fault_plan(plan.clone().with_device(0));
         }
+        let (exec_plan, _) =
+            Plan::lower_auto(&params, std::slice::from_ref(&gpu), f.offsets(), f.n())
+                .map_err(|e| e.to_string())?;
+        eprintln!("plan: {}", exec_plan.describe());
+        drop(f);
+        let report = GpClust::new(params, gpu)?
+            .cluster_from_file(&graph_path)
+            .map_err(|e| e.to_string())?;
+        eprintln!("component times: {}", report.times);
+        print_prediction_error(&report.times);
+        if report.times.recovery.any() {
+            eprintln!("recovery: {}", report.times.recovery);
+        }
+        report.partition
+    } else {
+        let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
+        eprintln!("loaded graph: {} vertices, {} edges", g.n(), g.m());
+        cluster_resident(args, params, plan, n_devices, &g)?
     };
     let filtered = partition.filter_min_size(min_size);
     write_partition(&out, &filtered)?;
@@ -322,6 +343,61 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         st.n_groups, st.n_assigned, st.largest
     );
     Ok(())
+}
+
+/// The resident-graph cluster paths: serial oracle, single device, or
+/// the multi-device driver (which bounds its record side by spilling
+/// under a budget but keeps the input graph in memory).
+fn cluster_resident(
+    args: &Flags,
+    params: ShinglingParams,
+    plan: Option<FaultPlan>,
+    n_devices: usize,
+    g: &gpclust::graph::Csr,
+) -> Result<Partition, String> {
+    let partition = if args.contains_key("serial") {
+        SerialShingling::new(params)?.cluster(g)
+    } else if n_devices <= 1 {
+        let gpu = Gpu::new(DeviceConfig::tesla_k20());
+        if let Some(plan) = &plan {
+            gpu.set_fault_plan(plan.clone().with_device(0));
+        }
+        let (exec_plan, _) =
+            Plan::lower_auto(&params, std::slice::from_ref(&gpu), g.offsets(), g.n())
+                .map_err(|e| e.to_string())?;
+        eprintln!("plan: {}", exec_plan.describe());
+        let report = GpClust::new(params, gpu)?
+            .cluster(g)
+            .map_err(|e| e.to_string())?;
+        eprintln!("component times: {}", report.times);
+        print_prediction_error(&report.times);
+        if report.times.recovery.any() {
+            eprintln!("recovery: {}", report.times.recovery);
+        }
+        report.partition
+    } else {
+        let gpus: Vec<Gpu> = (0..n_devices)
+            .map(|d| {
+                let gpu = Gpu::new(DeviceConfig::tesla_k20());
+                if let Some(plan) = &plan {
+                    gpu.set_fault_plan(plan.clone().with_device(d as u32));
+                }
+                gpu
+            })
+            .collect();
+        let (exec_plan, _) =
+            Plan::lower_auto(&params, &gpus, g.offsets(), g.n()).map_err(|e| e.to_string())?;
+        eprintln!("plan: {}", exec_plan.describe());
+        let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
+        let report = multi.cluster(g).map_err(|e| e.to_string())?;
+        eprintln!("component times ({} devices): {}", n_devices, report.times);
+        print_prediction_error(&report.times);
+        if report.times.recovery.any() {
+            eprintln!("recovery: {}", report.times.recovery);
+        }
+        report.partition
+    };
+    Ok(partition)
 }
 
 /// Under `--plan auto` the run carries the autotuner's makespan estimate;
