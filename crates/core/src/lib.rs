@@ -31,6 +31,9 @@
 //!   merge of shingle fragments from split adjacency lists.
 //! * [`spill`] — spill-to-disk sorted runs and the external k-way merge,
 //!   the bounded-memory (out-of-core) variant of the aggregation layer.
+//! * [`checkpoint`] — the durability layer over the sharded executor: a
+//!   manifest journal of sealed, checksummed shard runs, crash-recovery
+//!   resume, and the seeded crash-injection harness.
 //! * [`report`] — Phase III: dense-subgraph reporting, both the overlapping
 //!   connected-component variant and the union–find partition variant the
 //!   paper adopts.
@@ -51,6 +54,7 @@ pub mod aggregate;
 pub mod autotune;
 pub mod baseline;
 pub mod batch;
+pub mod checkpoint;
 pub mod decompose;
 pub mod exec;
 mod gpu_pass;
@@ -73,10 +77,13 @@ pub mod weighted;
 pub use autotune::{PlanAxes, Prediction, Selection, Sharing, WorkloadShape};
 pub use baseline::{kneighbor_clusters, kneighbor_clusters_adjacent};
 pub use batch::BatchStats;
+pub use checkpoint::{
+    CheckpointConfig, CheckpointError, Checkpointer, CrashPlan, CrashSite, KILL_MARKER,
+};
 pub use exec::{ClusterLabels, Executor, PassInput, PassReport, Sink};
 pub use params::{
-    parse_bytes, AggregationMode, ComponentsMode, FaultPolicy, ForcedAxes, MemoryBudget,
-    PipelineMode, PlanMode, ShingleKernel, ShinglingParams,
+    parse_bytes, AggregationMode, BudgetError, ComponentsMode, FaultPolicy, ForcedAxes,
+    MemoryBudget, PipelineMode, PlanMode, ShingleKernel, ShinglingParams,
 };
 pub use pipeline::{GpClust, GpClustReport};
 pub use plan::{FragmentMode, PassPlan, Plan};

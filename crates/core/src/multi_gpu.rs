@@ -25,6 +25,10 @@
 use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
 use crate::autotune::{apportion, capability_shares, device_weights};
 use crate::batch::{plan_batches_range, BatchStats};
+use crate::checkpoint::{
+    self, write_pool, CheckpointConfig, Checkpointer, CrashInjector, CrashSite, PoolMeta, Reuse,
+    RunMeta,
+};
 use crate::exec::{device_invert_or_merge, Executor, PassInput, PassReport, Sink};
 use crate::minwise::HashFamily;
 use crate::params::{AggregationMode, ComponentsMode, PipelineMode, PlanMode, ShinglingParams};
@@ -47,6 +51,7 @@ use std::time::Instant;
 pub struct MultiGpuClust {
     params: ShinglingParams,
     gpus: Vec<Gpu>,
+    checkpoint: Option<CheckpointConfig>,
 }
 
 /// Report of a multi-device run.
@@ -70,7 +75,21 @@ impl MultiGpuClust {
         if gpus.is_empty() {
             return Err("at least one device required".into());
         }
-        Ok(MultiGpuClust { params, gpus })
+        Ok(MultiGpuClust {
+            params,
+            gpus,
+            checkpoint: None,
+        })
+    }
+
+    /// Attach a checkpoint journal (and optional crash-injection plan; see
+    /// [`crate::checkpoint`]). Under a bounded memory budget each pass
+    /// seals its spilled runs into the journal directory and commits once
+    /// per pass, so `--resume` replays a completed pass from disk instead
+    /// of re-executing it.
+    pub fn with_checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
     }
 
     /// Number of devices.
@@ -92,12 +111,36 @@ impl MultiGpuClust {
         let predicted = plan0.predicted;
         let mut spill_stats = SpillStats::default();
 
+        // Open the checkpoint journal (fresh or resuming) before any work:
+        // a resume whose input or plan axes differ refuses with a typed
+        // error rather than merging incompatible state.
+        let mut ckpt: Option<Checkpointer> = match &self.checkpoint {
+            Some(cfg) => {
+                let axes = checkpoint::axes_record(&effective, plan0.mem_budget, self.gpus.len());
+                // Sample the target array's head and tail alongside the
+                // offsets: degree structure alone cannot tell two graphs
+                // with the same degree sequence apart.
+                let t = g.flat();
+                let k = (checkpoint::FINGERPRINT_SAMPLE as usize).min(t.len());
+                let fp = checkpoint::fingerprint_csr(g.offsets(), &t[..k], &t[t.len() - k..]);
+                Some(Checkpointer::open(cfg, fp, &axes).map_err(checkpoint::to_device)?)
+            }
+            None => None,
+        };
+        let crash = self
+            .checkpoint
+            .as_ref()
+            .map(|cfg| CrashInjector::new(cfg.crash.clone()));
+
         let (first, pipe1, stats1, agg1, rec1) = self.multi_pass(
             &effective,
             g,
             effective.s1,
             &effective.family_pass1(),
             &mut spill_stats,
+            1,
+            ckpt.as_mut(),
+            crash.as_ref(),
         )?;
 
         // If a device was lost during pass I, re-run plan *selection* over
@@ -129,6 +172,9 @@ impl MultiGpuClust {
             effective.s2,
             &effective.family_pass2(),
             &mut spill_stats,
+            2,
+            ckpt.as_mut(),
+            crash.as_ref(),
         )?;
         let mut recovery = rec1;
         recovery.merge(&rec2);
@@ -138,6 +184,11 @@ impl MultiGpuClust {
                 self.device_partition(g.n(), &first, &second, &mut recovery)?
             }
         };
+        // The run completed: retire the journal. (Durability ends here; a
+        // crash anywhere above leaves the manifest in place for --resume.)
+        if let Some(ck) = ckpt.take() {
+            ck.finalize().map_err(checkpoint::to_device)?;
+        }
 
         let wall = wall_start.elapsed().as_secs_f64();
         let snaps: Vec<_> = self.gpus.iter().map(|g| g.counters()).collect();
@@ -199,6 +250,7 @@ impl MultiGpuClust {
     /// `(shingle graph, pipelined makespan (max over devices; 0 in
     /// synchronous mode), batch stats, aggregation kernel seconds (max
     /// over devices), recovery report)`.
+    #[allow(clippy::too_many_arguments)] // one driver call site per pass
     fn multi_pass(
         &self,
         params: &ShinglingParams,
@@ -206,16 +258,32 @@ impl MultiGpuClust {
         s: usize,
         family: &HashFamily,
         spill: &mut SpillStats,
+        pass_no: u64,
+        ckpt: Option<&mut Checkpointer>,
+        crash: Option<&CrashInjector>,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64, RecoveryReport), DeviceError> {
         // Re-lowered per pass: capacity follows the smallest *surviving*
         // unbenched device, so every batch fits anywhere it may be
         // (re)scheduled — including after a mid-run redistribution.
         let plan = Plan::lower(params, &self.gpus)?;
         let input = PassInput::of(input);
+        let mut ckpt = ckpt;
         let mut pass_rec = RecoveryReport::default();
         let mut backoff_rec = RecoveryReport::default();
         let out = with_oom_backoff(&plan.policy, &mut backoff_rec, plan.capacity, |cap| {
-            self.multi_pass_attempt(params, &plan, input, s, family, cap, &mut pass_rec, spill)
+            self.multi_pass_attempt(
+                params,
+                &plan,
+                input,
+                s,
+                family,
+                cap,
+                &mut pass_rec,
+                spill,
+                pass_no,
+                ckpt.as_deref_mut(),
+                crash,
+            )
         })?;
         let mut recovery = pass_rec;
         recovery.merge(&backoff_rec);
@@ -243,6 +311,9 @@ impl MultiGpuClust {
         capacity: usize,
         recovery: &mut RecoveryReport,
         spill: &mut SpillStats,
+        pass_no: u64,
+        mut ckpt: Option<&mut Checkpointer>,
+        crash: Option<&CrashInjector>,
     ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
         let mut capacity = capacity;
         let mut pass = plan.pass(s, plan.aggregation, capacity, input.offsets);
@@ -265,6 +336,41 @@ impl MultiGpuClust {
         let mut makespan_by_dev = vec![0.0f64; self.gpus.len()];
         let mut agg_by_dev = vec![0.0f64; self.gpus.len()];
         let mut pending: Vec<usize> = (0..pass.batches.len()).collect();
+
+        // Checkpointing covers the bounded (spill-to-disk) path: the whole
+        // pass is one journal entry whose sealed runs + fragment pool
+        // replay on resume, bit-identically (the external merge is a full
+        // sort-merge over the same record set, and the pool run keeps its
+        // "fragments last" position). Unbounded passes hold everything in
+        // memory — nothing durable to reuse.
+        let input_fp = checkpoint::fingerprint_offsets(input.offsets);
+        let mut metas: Vec<RunMeta> = Vec::new();
+        let mut run_idx = 0usize;
+        let mut reused = false;
+        if bounded {
+            if let Some(ck) = ckpt.as_deref_mut() {
+                ck.begin_group(checkpoint::signature(&[
+                    pass_no,
+                    s as u64,
+                    capacity as u64,
+                    pass.batches.len() as u64,
+                    device_agg as u64,
+                ]));
+                match ck.take_entry(0, input_fp, s) {
+                    Reuse::Hit(e) => {
+                        recovery.resumed_shards += 1;
+                        for run in e.runs {
+                            ext_runs.push(ExternalRun::Disk(run));
+                        }
+                        raw.append(&e.pool);
+                        reused = true;
+                        pending.clear();
+                    }
+                    Reuse::Invalid => recovery.checksum_failures += 1,
+                    Reuse::Miss => {}
+                }
+            }
+        }
 
         while !pending.is_empty() {
             let alive: Vec<(usize, &Gpu)> = self
@@ -327,14 +433,39 @@ impl MultiGpuClust {
                     // batch and so in exactly one report, which makes each
                     // report's packed output a valid external-merge run —
                     // equal `(key, node)` entries never span runs.
-                    if device_agg {
-                        for run in &report.runs {
-                            match SpilledRun::write(s, run, spill) {
+                    // Checkpointed runs seal into the journal directory
+                    // (durable, manifest-owned); scratch runs spill to the
+                    // drop-cleaned temp dir.
+                    let mut spill_one =
+                        |run: &SortedRun,
+                         ckpt: Option<&mut Checkpointer>,
+                         spill: &mut SpillStats,
+                         fatal: &mut Option<DeviceError>,
+                         ext_runs: &mut Vec<ExternalRun>| {
+                            let written = match ckpt {
+                                Some(ck) => SpilledRun::write_at(
+                                    ck.run_path(0, run_idx),
+                                    s,
+                                    run,
+                                    spill,
+                                    true,
+                                )
+                                .inspect(|sp| {
+                                    metas.push(RunMeta::of(ck.run_file(0, run_idx), sp));
+                                }),
+                                None => SpilledRun::write(s, run, spill),
+                            };
+                            run_idx += 1;
+                            match written {
                                 Ok(sp) => ext_runs.push(ExternalRun::Disk(sp)),
                                 Err(e) => {
                                     fatal.get_or_insert(spill::io_to_device(e));
                                 }
                             }
+                        };
+                    if device_agg {
+                        for run in &report.runs {
+                            spill_one(run, ckpt.as_deref_mut(), spill, &mut fatal, &mut ext_runs);
                         }
                         raw.append(&report.raw);
                     } else {
@@ -342,12 +473,7 @@ impl MultiGpuClust {
                         route_shard_records(&report.raw, &split, &mut interior, &mut raw);
                         if !interior.is_empty() {
                             let run = fragment_run(&interior, plan.par_sort_min);
-                            match SpilledRun::write(s, &run, spill) {
-                                Ok(sp) => ext_runs.push(ExternalRun::Disk(sp)),
-                                Err(e) => {
-                                    fatal.get_or_insert(spill::io_to_device(e));
-                                }
-                            }
+                            spill_one(&run, ckpt.as_deref_mut(), spill, &mut fatal, &mut ext_runs);
                         }
                     }
                 } else {
@@ -428,6 +554,36 @@ impl MultiGpuClust {
             }
         }
 
+        // Seal, then commit: the pass's fragment pool is made durable
+        // alongside its runs, the seal crash site fires with everything
+        // synced but nothing committed (resume re-runs the pass), and the
+        // commit site fires with the entry journaled (resume replays it).
+        if bounded && !reused {
+            if let Some(ck) = ckpt {
+                let pool_meta = if raw.is_empty() {
+                    None
+                } else {
+                    let (records, crc) = write_pool(&ck.pool_path(0), &raw, 0, spill)
+                        .map_err(spill::io_to_device)?;
+                    Some(PoolMeta {
+                        file: ck.pool_file(0),
+                        records,
+                        crc,
+                    })
+                };
+                if let Some(cr) = crash {
+                    cr.strike(CrashSite::ShardSeal)?;
+                }
+                ck.commit_entry(0, input_fp, metas, pool_meta)
+                    .map_err(spill::io_to_device)?;
+                if let Some(cr) = crash {
+                    cr.strike(CrashSite::ManifestCommit)?;
+                }
+            }
+        }
+        if let Some(cr) = crash {
+            cr.strike(CrashSite::Merge)?;
+        }
         let graph = if bounded {
             // The pooled fragments, merged and host-sorted, become the
             // final in-memory run alongside the spilled ones; one external
@@ -938,6 +1094,52 @@ mod tests {
                 assert!(report.times.disk_io > 0.0, "{agg:?}/{n_dev}");
             }
         }
+    }
+
+    /// A fleet run killed at the pass-II merge leaves both passes
+    /// committed in the journal; `--resume` replays them from their
+    /// sealed runs (no re-execution) and lands on the oracle partition.
+    #[test]
+    fn checkpointed_fleet_resumes_after_a_merge_crash() {
+        use crate::checkpoint::{CheckpointConfig, CrashPlan, CrashSite, KILL_MARKER};
+        let g = graph(67);
+        let params = ShinglingParams::light(41).with_shards(2);
+        let oracle = GpClust::new(params, Gpu::with_workers(DeviceConfig::tesla_k20(), 2))
+            .unwrap()
+            .cluster(&g)
+            .unwrap();
+        let dir = std::env::temp_dir().join(format!("gpclust-mgckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let fleet = || -> Vec<Gpu> {
+            (0..2)
+                .map(|_| Gpu::with_workers(DeviceConfig::tesla_k20(), 1))
+                .collect()
+        };
+        // Pass I strikes the merge site once (survives), pass II's strike
+        // is the second occurrence — the kill lands after both commits.
+        let cfg = CheckpointConfig::new(&dir)
+            .with_crash(CrashPlan::scheduled().with_kill(CrashSite::Merge, 2));
+        let err = MultiGpuClust::new(params, fleet())
+            .unwrap()
+            .with_checkpoint(cfg)
+            .cluster(&g)
+            .unwrap_err();
+        assert!(format!("{err}").contains(KILL_MARKER), "{err}");
+        let report = MultiGpuClust::new(params, fleet())
+            .unwrap()
+            .with_checkpoint(CheckpointConfig::new(&dir).resuming())
+            .cluster(&g)
+            .unwrap();
+        assert_eq!(report.partition, oracle.partition);
+        assert_eq!(
+            report.times.recovery.resumed_shards, 2,
+            "both passes must replay from the journal"
+        );
+        assert_eq!(report.times.recovery.checksum_failures, 0);
+        // finalize retired the journal: the directory is empty again.
+        let left: Vec<_> = std::fs::read_dir(&dir).unwrap().collect();
+        assert!(left.is_empty(), "{left:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

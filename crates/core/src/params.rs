@@ -184,7 +184,48 @@ impl MemoryBudget {
             _ => 1,
         }
     }
+
+    /// Reject a byte budget too small to hold even the largest single
+    /// vertex's working set (`min_feasible`, see
+    /// [`crate::plan::Plan::min_feasible_budget`]) — such a budget cannot
+    /// shard its way to feasibility; even a degenerate one-vertex-per-
+    /// shard plan would exceed it. An explicit `shards` override skips
+    /// the check (the operator asked for that carving by name), as does
+    /// an unbounded budget.
+    pub fn validate_feasible(&self, min_feasible: u64) -> Result<(), BudgetError> {
+        match (self.bytes, self.shards) {
+            (Some(b), None) if b < min_feasible => Err(BudgetError {
+                budget: b,
+                min_feasible,
+            }),
+            _ => Ok(()),
+        }
+    }
 }
+
+/// A memory budget no shard count can satisfy: the largest single vertex
+/// needs more resident bytes than the whole cap allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BudgetError {
+    /// The configured resident-byte cap.
+    pub budget: u64,
+    /// The smallest cap this input is feasible under.
+    pub min_feasible: u64,
+}
+
+impl std::fmt::Display for BudgetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "memory budget of {} bytes is infeasible: the largest single \
+             vertex needs {} resident bytes (set GPCLUST_MEM_BUDGET or \
+             --mem-budget to at least {})",
+            self.budget, self.min_feasible, self.min_feasible
+        )
+    }
+}
+
+impl std::error::Error for BudgetError {}
 
 /// Parse a byte count with an optional `K`/`M`/`G` (binary) suffix, e.g.
 /// `"64M"` → 67108864. Returns `None` for malformed input.

@@ -23,6 +23,10 @@
 
 use crate::aggregate::fragment_run;
 use crate::batch::BatchStats;
+use crate::checkpoint::{
+    self, write_pool, CheckpointConfig, Checkpointer, CrashInjector, CrashSite, PoolMeta, Reuse,
+    RunMeta,
+};
 use crate::exec::{ClusterLabels, Executor, PassInput, Sink};
 use crate::minwise::unpack_element;
 use crate::params::{AggregationMode, ComponentsMode, PipelineMode, ShinglingParams};
@@ -168,6 +172,7 @@ fn budget_chunks(
 pub struct GpClust {
     params: ShinglingParams,
     gpu: Gpu,
+    checkpoint: Option<CheckpointConfig>,
 }
 
 /// Everything a gpClust run produces.
@@ -194,7 +199,20 @@ impl GpClust {
     /// Create a pipeline on `gpu` with validated `params`.
     pub fn new(params: ShinglingParams, gpu: Gpu) -> Result<Self, String> {
         params.validate()?;
-        Ok(GpClust { params, gpu })
+        Ok(GpClust {
+            params,
+            gpu,
+            checkpoint: None,
+        })
+    }
+
+    /// Checkpoint the run per `cfg`: sharded Pass-I progress commits to a
+    /// durable manifest journal as each shard's runs seal, and a resuming
+    /// config re-executes only the incomplete tail (see
+    /// [`crate::checkpoint`]).
+    pub fn with_checkpoint(mut self, cfg: CheckpointConfig) -> Self {
+        self.checkpoint = Some(cfg);
+        self
     }
 
     /// The configured parameters.
@@ -268,6 +286,9 @@ impl GpClust {
         pass_rec: &mut RecoveryReport,
         gauge: &mut ResidentGauge,
         spill_stats: &mut SpillStats,
+        mut ckpt: Option<&mut Checkpointer>,
+        crash: Option<&CrashInjector>,
+        input_fp: u64,
     ) -> Result<(ShingleGraph, f64, f64), DeviceError> {
         let s = pass.s;
         let split = shard_split_nodes(&pass.batches, &chunks, offsets);
@@ -276,76 +297,154 @@ impl GpClust {
         let mut runs: Vec<ExternalRun> = Vec::new();
         let mut makespan = 0.0f64;
         let mut agg_seconds = 0.0f64;
-        for chunk in chunks {
-            let lo = pass.batches[chunk.start].elem_lo;
-            let hi = pass.batches[chunk.end - 1].elem_hi;
-            let window = source.window(lo, hi)?;
-            let window_bytes = 4 * (hi - lo);
-            gauge.charge(window_bytes);
-            let sub = pass.subplan(chunk.collect());
-            let r = exec.run(
-                &sub,
-                PassInput::window(offsets, &window, lo),
-                family,
-                pass_rec,
-                Sink::Gather,
-            )?;
-            if let Some((_, e)) = r.unfinished {
-                // Single executor: no surviving device to redistribute to.
-                return Err(e);
+        for (key, chunk) in chunks.into_iter().enumerate() {
+            let key = key as u64;
+            // A resuming checkpoint answers for completed shards: sealed
+            // runs re-verify their checksums and rejoin the merge in shard
+            // order; the pool segment replays this shard's fragment
+            // contribution exactly where the uninterrupted run put it. A
+            // verification failure counts as detected corruption and the
+            // shard simply re-executes.
+            let mut reused = false;
+            if let Some(ck) = ckpt.as_deref_mut() {
+                match ck.take_entry(key, input_fp, s) {
+                    Reuse::Hit(e) => {
+                        pass_rec.resumed_shards += 1;
+                        for run in e.runs {
+                            runs.push(ExternalRun::Disk(run));
+                        }
+                        pool.append(&e.pool);
+                        reused = true;
+                    }
+                    Reuse::Invalid => pass_rec.checksum_failures += 1,
+                    Reuse::Miss => {}
+                }
             }
-            makespan += r.makespan;
-            agg_seconds += r.agg_kernel_seconds;
-            let raw_bytes = r.raw.approx_bytes() as u64;
-            gauge.charge(raw_bytes);
-            match pass.aggregation {
-                // Device aggregation: the card already packed + sorted the
-                // shard's complete records into runs; only fragments came
-                // back raw. Spill the runs in shard order.
-                AggregationMode::Device => {
-                    for run in &r.runs {
-                        gauge.charge(spill::run_bytes(run));
-                        let sp =
-                            SpilledRun::write(s, run, spill_stats).map_err(spill::io_to_device)?;
-                        gauge.discharge(spill::run_bytes(run));
-                        runs.push(ExternalRun::Disk(sp));
-                    }
-                    pool.append(&r.raw);
-                    drop(r);
-                    gauge.discharge(raw_bytes);
+            if !reused {
+                let lo = pass.batches[chunk.start].elem_lo;
+                let hi = pass.batches[chunk.end - 1].elem_hi;
+                let window = source.window(lo, hi)?;
+                let window_bytes = 4 * (hi - lo);
+                gauge.charge(window_bytes);
+                let sub = pass.subplan(chunk.collect());
+                let r = exec.run(
+                    &sub,
+                    PassInput::window(offsets, &window, lo),
+                    family,
+                    pass_rec,
+                    Sink::Gather,
+                )?;
+                if let Some((_, e)) = r.unfinished {
+                    // Single executor: no surviving device to redistribute to.
+                    return Err(e);
                 }
-                // Host aggregation: Gather returns every record with the
-                // fragment flags lost — a record must pool iff its node's
-                // list crosses a *shard* boundary, so route by the
-                // precomputed split-node set (fragments split across
-                // batches within this shard merge locally in the
-                // `fragment_run` below). The gathered buffer drops as soon
-                // as routing copies it out, so it never coexists with the
-                // packed run.
-                AggregationMode::Host => {
-                    let mut interior = RawShingles::new(s);
-                    route_shard_records(&r.raw, &split, &mut interior, &mut pool);
-                    let interior_bytes = interior.approx_bytes() as u64;
-                    gauge.charge(interior_bytes);
-                    drop(r);
-                    gauge.discharge(raw_bytes);
-                    if !interior.is_empty() {
-                        let run = fragment_run(&interior, pass.par_sort_min);
-                        gauge.charge(spill::run_bytes(&run));
-                        let sp =
-                            SpilledRun::write(s, &run, spill_stats).map_err(spill::io_to_device)?;
-                        gauge.discharge(spill::run_bytes(&run));
-                        runs.push(ExternalRun::Disk(sp));
+                makespan += r.makespan;
+                agg_seconds += r.agg_kernel_seconds;
+                let raw_bytes = r.raw.approx_bytes() as u64;
+                gauge.charge(raw_bytes);
+                let pool_start = pool.len();
+                let mut metas: Vec<RunMeta> = Vec::new();
+                // Checkpointed shards seal into the checkpoint directory
+                // (durable, manifest-owned); scratch shards spill to the
+                // drop-cleaned temp dir.
+                let mut spill_run = |run: &crate::aggregate::SortedRun,
+                                     k: usize,
+                                     ckpt: Option<&mut Checkpointer>,
+                                     spill_stats: &mut SpillStats|
+                 -> Result<SpilledRun, DeviceError> {
+                    match ckpt {
+                        Some(ck) => {
+                            let sp = SpilledRun::write_at(
+                                ck.run_path(key, k),
+                                s,
+                                run,
+                                spill_stats,
+                                true,
+                            )
+                            .map_err(spill::io_to_device)?;
+                            metas.push(RunMeta::of(ck.run_file(key, k), &sp));
+                            Ok(sp)
+                        }
+                        None => SpilledRun::write(s, run, spill_stats).map_err(spill::io_to_device),
                     }
-                    gauge.discharge(interior_bytes);
+                };
+                match pass.aggregation {
+                    // Device aggregation: the card already packed + sorted the
+                    // shard's complete records into runs; only fragments came
+                    // back raw. Spill the runs in shard order.
+                    AggregationMode::Device => {
+                        for (k, run) in r.runs.iter().enumerate() {
+                            gauge.charge(spill::run_bytes(run));
+                            let sp = spill_run(run, k, ckpt.as_deref_mut(), spill_stats)?;
+                            gauge.discharge(spill::run_bytes(run));
+                            runs.push(ExternalRun::Disk(sp));
+                        }
+                        pool.append(&r.raw);
+                        drop(r);
+                        gauge.discharge(raw_bytes);
+                    }
+                    // Host aggregation: Gather returns every record with the
+                    // fragment flags lost — a record must pool iff its node's
+                    // list crosses a *shard* boundary, so route by the
+                    // precomputed split-node set (fragments split across
+                    // batches within this shard merge locally in the
+                    // `fragment_run` below). The gathered buffer drops as soon
+                    // as routing copies it out, so it never coexists with the
+                    // packed run.
+                    AggregationMode::Host => {
+                        let mut interior = RawShingles::new(s);
+                        route_shard_records(&r.raw, &split, &mut interior, &mut pool);
+                        let interior_bytes = interior.approx_bytes() as u64;
+                        gauge.charge(interior_bytes);
+                        drop(r);
+                        gauge.discharge(raw_bytes);
+                        if !interior.is_empty() {
+                            let run = fragment_run(&interior, pass.par_sort_min);
+                            gauge.charge(spill::run_bytes(&run));
+                            let sp = spill_run(&run, 0, ckpt.as_deref_mut(), spill_stats)?;
+                            gauge.discharge(spill::run_bytes(&run));
+                            runs.push(ExternalRun::Disk(sp));
+                        }
+                        gauge.discharge(interior_bytes);
+                    }
                 }
+                // Seal, then commit: the shard's pool delta is made durable
+                // alongside its runs, the seal crash site fires with
+                // everything synced but nothing committed (resume re-runs
+                // this shard), and the commit crash site fires with the
+                // manifest entry journaled (resume skips it).
+                if let Some(ck) = ckpt.as_deref_mut() {
+                    let pool_meta = if pool.len() > pool_start {
+                        let (records, crc) =
+                            write_pool(&ck.pool_path(key), &pool, pool_start, spill_stats)
+                                .map_err(spill::io_to_device)?;
+                        Some(PoolMeta {
+                            file: ck.pool_file(key),
+                            records,
+                            crc,
+                        })
+                    } else {
+                        None
+                    };
+                    if let Some(cr) = crash {
+                        cr.strike(CrashSite::ShardSeal)?;
+                    }
+                    ck.commit_entry(key, input_fp, metas, pool_meta)
+                        .map_err(spill::io_to_device)?;
+                    if let Some(cr) = crash {
+                        cr.strike(CrashSite::ManifestCommit)?;
+                    }
+                }
+                gauge.discharge(window_bytes);
             }
             // The shard's window drops here; the pool persists, so keep
             // its growth charged.
             let new_pool_bytes = pool.approx_bytes() as u64;
             gauge.charge(new_pool_bytes - pool_bytes);
             pool_bytes = new_pool_bytes;
-            gauge.discharge(window_bytes);
+        }
+        if let Some(cr) = crash {
+            cr.strike(CrashSite::Merge)?;
         }
         // Fragments of split nodes reconcile once, in the final run — the
         // same "pooled fragments last" position the multi-device driver
@@ -382,6 +481,31 @@ impl GpClust {
         let policy = plan.policy;
         let exec = Executor::new(&self.gpu);
 
+        // Open the checkpoint journal (fresh or resuming) before any work:
+        // a resume refuses here, with a typed error, if the manifest was
+        // written for a different input or under different plan axes. The
+        // fingerprint folds in a bounded head/tail sample of the target
+        // array — offsets alone cannot separate graphs that share a
+        // degree sequence — read through the shard source so file-backed
+        // inputs pay at most two small windows.
+        let mut input_fp = 0u64;
+        let mut ckpt: Option<Checkpointer> = match &self.checkpoint {
+            Some(cfg) => {
+                let m2 = *offsets.last().unwrap_or(&0);
+                let k = checkpoint::FINGERPRINT_SAMPLE.min(m2);
+                let head = source.window(0, k)?;
+                let tail = source.window(m2 - k, m2)?;
+                input_fp = checkpoint::fingerprint_csr(offsets, &head, &tail);
+                let axes = checkpoint::axes_record(&effective, plan.mem_budget, 1);
+                Some(Checkpointer::open(cfg, input_fp, &axes).map_err(checkpoint::to_device)?)
+            }
+            None => None,
+        };
+        let crash = self
+            .checkpoint
+            .as_ref()
+            .map(|cfg| CrashInjector::new(cfg.crash.clone()));
+
         // Pass I on the device, aggregated per the plan's sink axis:
         // `Host` streams the records into the CPU-side global sort,
         // `Device` packs and radix-sorts them on the card and k-way-merges
@@ -404,8 +528,7 @@ impl GpClust {
                     let n_shards = if plan.mem_budget.is_unbounded() {
                         1
                     } else {
-                        let est =
-                            Plan::estimate_pass_resident_bytes(offsets, s1, effective.c1);
+                        let est = Plan::estimate_pass_resident_bytes(offsets, s1, effective.c1);
                         // A shard must span at least one element, so the
                         // element count is the only hard ceiling on how
                         // finely the pass can be carved.
@@ -467,6 +590,20 @@ impl GpClust {
                             }
                             _ => shard_chunks(pass.batches.len(), n_shards),
                         };
+                        // Entry group for this exact shard carving: the
+                        // signature pins the element ranges, so entries
+                        // only ever rejoin a resume (or an OOM-backoff
+                        // replay) whose shards carve identically — a
+                        // changed carving silently starts fresh rather
+                        // than refusing the run.
+                        if let Some(ck) = ckpt.as_mut() {
+                            let mut parts = vec![s1 as u64, shard_cap as u64];
+                            for c in &chunks {
+                                parts.push(pass.batches[c.start].elem_lo);
+                                parts.push(pass.batches[c.end - 1].elem_hi);
+                            }
+                            ck.begin_group(checkpoint::signature(&parts));
+                        }
                         let stats = pass.stats;
                         let (graph, makespan, agg_s) = Self::sharded_pass1(
                             &exec,
@@ -478,6 +615,9 @@ impl GpClust {
                             &mut pass_rec,
                             &mut gauge,
                             &mut spill_stats,
+                            ckpt.as_mut(),
+                            crash.as_ref(),
+                            input_fp,
                         )?;
                         Ok((graph, stats, makespan, agg_s))
                     }
@@ -554,6 +694,12 @@ impl GpClust {
             Some(c) => Partition::from_labels(&c.labels),
             None => Partition::from_union_find(&mut uf),
         };
+
+        // The run completed: retire the journal and its sealed files. A
+        // crash anywhere above leaves the manifest in place for --resume.
+        if let Some(ck) = ckpt.take() {
+            ck.finalize().map_err(checkpoint::to_device)?;
+        }
 
         let wall = wall_start.elapsed().as_secs_f64();
         let counters = self.gpu.counters();

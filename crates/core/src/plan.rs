@@ -136,8 +136,8 @@ impl Plan {
         offsets: &[u64],
         n_vertices: usize,
     ) -> Result<(Plan, ShinglingParams), DeviceError> {
-        match params.plan {
-            PlanMode::Manual => Ok((Plan::lower(params, gpus)?, *params)),
+        let (plan, effective) = match params.plan {
+            PlanMode::Manual => (Plan::lower(params, gpus)?, *params),
             PlanMode::Auto(forced) => {
                 let workload = WorkloadShape::from_input(n_vertices, offsets, params);
                 let selection =
@@ -149,9 +149,44 @@ impl Plan {
                 let effective = selection.axes.apply(*params);
                 let mut plan = Plan::lower(&effective, gpus)?;
                 plan.predicted = Some(selection.prediction);
-                Ok((plan, effective))
+                (plan, effective)
             }
-        }
+        };
+        // A byte budget no shard count can satisfy fails here, up front,
+        // with the minimum feasible figure — not as a degenerate
+        // one-vertex-per-shard plan grinding through the pass.
+        plan.mem_budget
+            .validate_feasible(Plan::min_feasible_budget(
+                offsets,
+                effective.s1,
+                effective.c1,
+            ))
+            .map_err(|e| DeviceError::HostIo {
+                detail: e.to_string(),
+            })?;
+        Ok((plan, effective))
+    }
+
+    /// The smallest byte budget any shard carving of this input is
+    /// feasible under: the resident working set of the single heaviest
+    /// vertex (its flat adjacency plus, if it emits, its per-trial record
+    /// buffers — the same per-vertex pricing as
+    /// [`Plan::estimate_pass_resident_bytes`]). A budget below this fails
+    /// [`MemoryBudget::validate_feasible`] even at one vertex per shard.
+    pub fn min_feasible_budget(offsets: &[u64], s: usize, trials: usize) -> u64 {
+        offsets
+            .windows(2)
+            .map(|w| {
+                let deg = w[1] - w[0];
+                let records = if deg as usize >= s {
+                    trials as u64 * (32 + 16 * s as u64)
+                } else {
+                    0
+                };
+                4 * deg + records
+            })
+            .max()
+            .unwrap_or(0)
     }
 
     /// The per-batch element budget this plan's devices afford under
@@ -524,6 +559,28 @@ mod tests {
             shards: None,
         };
         assert_eq!(budget.resolve_shards(est, 3), 3, "clamped to max_shards");
+    }
+
+    #[test]
+    fn infeasible_byte_budget_is_refused_up_front_naming_the_minimum() {
+        let gpus = vec![Gpu::with_workers(DeviceConfig::tesla_k20(), 1)];
+        let offsets: Vec<u64> = vec![0, 3, 400, 404];
+        let params = ShinglingParams::light(0);
+        let min = Plan::min_feasible_budget(&offsets, params.s1, params.c1);
+        // The heaviest vertex: 397 elements flat + c1 emitted records.
+        assert_eq!(min, 4 * 397 + params.c1 as u64 * (32 + 16 * 2));
+
+        let err =
+            Plan::lower_auto(&params.with_mem_budget(min - 1), &gpus, &offsets, 3).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("infeasible"), "{msg}");
+        assert!(msg.contains(&min.to_string()), "names the minimum: {msg}");
+
+        // At exactly the minimum (or with an explicit shard count, or
+        // unbounded) lowering proceeds.
+        assert!(Plan::lower_auto(&params.with_mem_budget(min), &gpus, &offsets, 3).is_ok());
+        assert!(Plan::lower_auto(&params.with_shards(2), &gpus, &offsets, 3).is_ok());
+        assert!(Plan::lower_auto(&params, &gpus, &offsets, 3).is_ok());
     }
 
     #[test]

@@ -7,21 +7,34 @@
 //! [`merge_sorted_runs`] reconstructs the shingle graph from any set of
 //! such runs in one streaming heap pass. That merge only ever looks at
 //! each run's *frontier* record, so a run does not need to be resident:
-//! this module writes finished runs to chunked temp files
+//! this module writes finished runs to framed temp files
 //! ([`SpilledRun`]) and generalizes the binary-heap merge into
 //! [`merge_external_runs`] over any mix of in-memory and on-disk runs.
 //!
-//! ## On-disk format
+//! ## On-disk format (v2, framed + checksummed)
 //!
-//! Records are interleaved, fixed-stride, little-endian: 16 bytes of
-//! packed key/node/local-index followed by `s × 4` bytes of element ids —
-//! `(16 + 4s)` bytes per record, in ascending packed order (the order the
-//! run was sorted in). Interleaving keeps replay strictly sequential: the
-//! reader refills a bounded chunk of records at a time, so the merge
-//! frontier holds `runs × CHUNK` records regardless of run length. The
-//! packed local index is retained verbatim but ignored on replay (the
-//! elements travel with their record), so spilling and replaying a run is
-//! byte-faithful to its in-memory form.
+//! A run file opens with a 24-byte header — magic `GPCLRUN2`, the record
+//! count (u64), the shingle size `s` (u32), and a CRC-32 of those twenty
+//! bytes — followed by one *frame* per replay chunk: `[n: u32][len: u32]
+//! [crc: u32]` then `len = n × (16 + 4s)` payload bytes holding `n`
+//! interleaved little-endian records (16 bytes of packed key/node/local-
+//! index, then `s × 4` bytes of element ids), in ascending packed order.
+//! Frames are exactly the replay granularity, so every refill verifies
+//! its own length framing and checksum before a single record is
+//! surfaced: a truncated or bit-flipped spill file is *detected* — a
+//! typed [`io::ErrorKind::InvalidData`] error naming the byte offset —
+//! never silently merged. The whole-payload CRC ([`SpilledRun::crc`])
+//! additionally names the run in checkpoint manifests.
+//!
+//! ## Lifetime
+//!
+//! Scratch runs live in a per-process directory ([`spill_dir`]) and are
+//! removed when the [`SpilledRun`] drops — on success *and* on error
+//! paths, including half-written files abandoned by a failed write.
+//! Checkpointed runs ([`SpilledRun::write_at`] / [`SpilledRun::reopen`])
+//! opt out of drop-removal: they are sealed (synced) into a checkpoint
+//! directory and owned by the manifest journal, which sweeps them when
+//! the run finalizes.
 //!
 //! ## Bit-identity
 //!
@@ -33,19 +46,33 @@
 //! bit-identity proof (`tests/oocore_properties.rs` pins it).
 
 use crate::aggregate::{SortedRun, StreamInverter};
+use crate::checkpoint::{crc32, Crc32};
 use std::collections::BinaryHeap;
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
-/// Records per replay chunk: bounds the merge frontier at
-/// `runs × CHUNK × (16 + 4s)` bytes (≈ 384 KiB per run at `s = 2`).
+/// Records per replay chunk — and per on-disk frame: bounds the merge
+/// frontier at `runs × CHUNK × (16 + 4s)` bytes (≈ 384 KiB per run at
+/// `s = 2`) and scopes each checksum to one refill's worth of data.
 const REPLAY_CHUNK: usize = 1 << 14;
+
+const MAGIC: &[u8; 8] = b"GPCLRUN2";
+const HEADER_LEN: usize = 24;
+const FRAME_HEADER: usize = 12;
 
 /// Monotone counter making spill file names unique within the process.
 static SPILL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// The per-process scratch directory temp spills live in. Keeping them
+/// under one pid-stamped directory (rather than loose in the system temp
+/// dir) lets tests assert the RAII cleanup story: after a run completes,
+/// this directory is empty.
+pub fn spill_dir() -> PathBuf {
+    std::env::temp_dir().join(format!("gpclust-spill-{}", std::process::id()))
+}
 
 /// Wall-clock seconds and byte volume of spill traffic, folded into
 /// [`crate::timing::StageTimes`] by the out-of-core drivers.
@@ -68,43 +95,189 @@ impl SpillStats {
     }
 }
 
-/// A [`SortedRun`] spilled to a temp file, replayable as a sequential
-/// record stream. The file is deleted on drop.
+/// Removes a half-written file if the write that created it fails —
+/// the error-path half of the spill cleanup guarantee.
+struct PathGuard {
+    path: PathBuf,
+    armed: bool,
+}
+
+impl Drop for PathGuard {
+    fn drop(&mut self) {
+        if self.armed {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+fn header_bytes(records: u64, s: u32) -> [u8; HEADER_LEN] {
+    let mut h = [0u8; HEADER_LEN];
+    h[..8].copy_from_slice(MAGIC);
+    h[8..16].copy_from_slice(&records.to_le_bytes());
+    h[16..20].copy_from_slice(&s.to_le_bytes());
+    let crc = crc32(&h[..20]);
+    h[20..24].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+fn corrupt(path: &Path, offset: u64, detail: &str) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!(
+            "spilled run {} corrupt at byte {offset}: {detail}",
+            path.display()
+        ),
+    )
+}
+
+/// A [`SortedRun`] spilled to a framed, checksummed file, replayable as a
+/// sequential record stream. Scratch spills delete their file on drop;
+/// checkpointed spills (`keep = true`) leave it for the manifest to own.
 #[derive(Debug)]
 pub struct SpilledRun {
     path: PathBuf,
     records: usize,
     s: usize,
+    crc: u32,
+    disk_bytes: u64,
+    keep: bool,
 }
 
 impl SpilledRun {
-    /// Write `run` (shingle size `s`) to a fresh temp file in bounded
-    /// chunks, tallying the traffic into `stats`.
+    /// Write `run` (shingle size `s`) to a fresh scratch file under
+    /// [`spill_dir`] in bounded chunks, tallying the traffic into
+    /// `stats`. The file is removed when the returned run drops.
     pub fn write(s: usize, run: &SortedRun, stats: &mut SpillStats) -> io::Result<SpilledRun> {
+        let dir = spill_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.run", SPILL_SEQ.fetch_add(1, Ordering::Relaxed)));
+        SpilledRun::write_impl(path, s, run, stats, false, false)
+    }
+
+    /// Seal `run` into `path` for a checkpoint: the file is synced to
+    /// disk before returning (the manifest's commit contract) and is
+    /// *not* removed on drop — the checkpoint journal owns it.
+    pub fn write_at(
+        path: PathBuf,
+        s: usize,
+        run: &SortedRun,
+        stats: &mut SpillStats,
+        durable: bool,
+    ) -> io::Result<SpilledRun> {
+        SpilledRun::write_impl(path, s, run, stats, durable, true)
+    }
+
+    fn write_impl(
+        path: PathBuf,
+        s: usize,
+        run: &SortedRun,
+        stats: &mut SpillStats,
+        durable: bool,
+        keep: bool,
+    ) -> io::Result<SpilledRun> {
         assert_eq!(run.elements.len(), run.len() * s, "run/elements mismatch");
         let t0 = Instant::now();
-        let path = std::env::temp_dir().join(format!(
-            "gpclust-spill-{}-{}.run",
-            std::process::id(),
-            SPILL_SEQ.fetch_add(1, Ordering::Relaxed)
-        ));
+        let mut guard = PathGuard {
+            path: path.clone(),
+            armed: true,
+        };
         // Nothing is retained per record, so the writer's resident
-        // footprint is its 1 MiB buffer.
+        // footprint is its 1 MiB buffer plus one frame's payload.
         let mut w = BufWriter::with_capacity(1 << 20, File::create(&path)?);
-        for &p in &run.packed {
-            w.write_all(&p.to_le_bytes())?;
-            let rep = (p & 0xFFFF_FFFF) as usize;
-            for &e in &run.elements[rep * s..(rep + 1) * s] {
-                w.write_all(&e.to_le_bytes())?;
+        w.write_all(&header_bytes(run.len() as u64, s as u32))?;
+        let stride = 16 + 4 * s;
+        let mut digest = Crc32::new();
+        let mut disk_bytes = HEADER_LEN as u64;
+        let mut payload = Vec::with_capacity(stride * REPLAY_CHUNK.min(run.len().max(1)));
+        for frame in run.packed.chunks(REPLAY_CHUNK) {
+            payload.clear();
+            for &p in frame {
+                payload.extend_from_slice(&p.to_le_bytes());
+                let rep = (p & 0xFFFF_FFFF) as usize;
+                for &e in &run.elements[rep * s..(rep + 1) * s] {
+                    payload.extend_from_slice(&e.to_le_bytes());
+                }
             }
+            digest.update(&payload);
+            w.write_all(&(frame.len() as u32).to_le_bytes())?;
+            w.write_all(&(payload.len() as u32).to_le_bytes())?;
+            w.write_all(&crc32(&payload).to_le_bytes())?;
+            w.write_all(&payload)?;
+            disk_bytes += (FRAME_HEADER + payload.len()) as u64;
         }
         w.flush()?;
-        stats.bytes += (run.len() * (16 + 4 * s)) as u64;
+        if durable {
+            w.get_ref().sync_all()?;
+        }
+        guard.armed = false;
+        stats.bytes += disk_bytes;
         stats.write_seconds += t0.elapsed().as_secs_f64();
         Ok(SpilledRun {
             path,
             records: run.len(),
             s,
+            crc: digest.finish(),
+            disk_bytes,
+            keep,
+        })
+    }
+
+    /// Reopen a sealed run from a checkpoint directory, re-verifying the
+    /// header, every frame's length framing and checksum, and the exact
+    /// end-of-file — the resume-time proof that the survivor is intact.
+    /// The reopened run is checkpoint-owned (`keep = true`).
+    pub fn reopen(path: PathBuf) -> io::Result<SpilledRun> {
+        let mut r = BufReader::with_capacity(1 << 20, File::open(&path)?);
+        let mut header = [0u8; HEADER_LEN];
+        r.read_exact(&mut header)
+            .map_err(|_| corrupt(&path, 0, "truncated header"))?;
+        if &header[..8] != MAGIC {
+            return Err(corrupt(&path, 0, "bad magic"));
+        }
+        if crc32(&header[..20]) != u32::from_le_bytes(header[20..24].try_into().unwrap()) {
+            return Err(corrupt(&path, 20, "header CRC mismatch"));
+        }
+        let records = u64::from_le_bytes(header[8..16].try_into().unwrap()) as usize;
+        let s = u32::from_le_bytes(header[16..20].try_into().unwrap()) as usize;
+        let stride = 16 + 4 * s;
+        let mut digest = Crc32::new();
+        let mut seen = 0usize;
+        let mut offset = HEADER_LEN as u64;
+        let mut payload = Vec::new();
+        while seen < records {
+            let mut fh = [0u8; FRAME_HEADER];
+            r.read_exact(&mut fh)
+                .map_err(|_| corrupt(&path, offset, "truncated frame header"))?;
+            let n = u32::from_le_bytes(fh[..4].try_into().unwrap()) as usize;
+            let len = u32::from_le_bytes(fh[4..8].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(fh[8..12].try_into().unwrap());
+            if n == 0 || n > REPLAY_CHUNK || n > records - seen || len != n * stride {
+                return Err(corrupt(&path, offset, "bad frame framing"));
+            }
+            payload.resize(len, 0);
+            r.read_exact(&mut payload)
+                .map_err(|_| corrupt(&path, offset + FRAME_HEADER as u64, "truncated frame"))?;
+            if crc32(&payload) != crc {
+                return Err(corrupt(
+                    &path,
+                    offset + FRAME_HEADER as u64,
+                    "frame CRC mismatch",
+                ));
+            }
+            digest.update(&payload);
+            seen += n;
+            offset += (FRAME_HEADER + len) as u64;
+        }
+        if r.read(&mut [0u8; 1])? != 0 {
+            return Err(corrupt(&path, offset, "trailing bytes after last frame"));
+        }
+        Ok(SpilledRun {
+            path,
+            records,
+            s,
+            crc: digest.finish(),
+            disk_bytes: offset,
+            keep: true,
         })
     }
 
@@ -118,17 +291,44 @@ impl SpilledRun {
         self.records == 0
     }
 
-    /// On-disk size in bytes.
+    /// Shingle size the records carry.
+    pub fn s(&self) -> usize {
+        self.s
+    }
+
+    /// CRC-32 over the run's payload bytes (frame payloads concatenated).
+    pub fn crc(&self) -> u32 {
+        self.crc
+    }
+
+    /// On-disk size in bytes, framing included.
     pub fn bytes(&self) -> u64 {
-        (self.records * (16 + 4 * self.s)) as u64
+        self.disk_bytes
+    }
+
+    /// The file the run lives in.
+    pub fn path(&self) -> &Path {
+        &self.path
     }
 
     /// Open a sequential replay over the run's records.
     pub fn replay(&self) -> io::Result<RunReplay> {
+        let mut reader = BufReader::with_capacity(1 << 20, File::open(&self.path)?);
+        let mut header = [0u8; HEADER_LEN];
+        reader
+            .read_exact(&mut header)
+            .map_err(|_| corrupt(&self.path, 0, "truncated header"))?;
+        if &header[..8] != MAGIC
+            || crc32(&header[..20]) != u32::from_le_bytes(header[20..24].try_into().unwrap())
+        {
+            return Err(corrupt(&self.path, 0, "bad header"));
+        }
         Ok(RunReplay {
-            reader: BufReader::with_capacity(1 << 20, File::open(&self.path)?),
+            reader,
+            path: self.path.clone(),
             s: self.s,
             remaining: self.records,
+            offset: HEADER_LEN as u64,
             packed: Vec::new(),
             elements: Vec::new(),
             pos: 0,
@@ -138,17 +338,21 @@ impl SpilledRun {
 
 impl Drop for SpilledRun {
     fn drop(&mut self) {
-        let _ = std::fs::remove_file(&self.path);
+        if !self.keep {
+            let _ = std::fs::remove_file(&self.path);
+        }
     }
 }
 
-/// A bounded-memory cursor over a [`SpilledRun`]'s records, refilled
-/// [`REPLAY_CHUNK`] records at a time.
+/// A bounded-memory cursor over a [`SpilledRun`]'s records, refilled one
+/// verified frame ([`REPLAY_CHUNK`] records) at a time.
 #[derive(Debug)]
 pub struct RunReplay {
     reader: BufReader<File>,
+    path: PathBuf,
     s: usize,
     remaining: usize,
+    offset: u64,
     packed: Vec<u128>,
     elements: Vec<u32>,
     pos: usize,
@@ -179,13 +383,35 @@ impl RunReplay {
         self.packed.clear();
         self.elements.clear();
         self.pos = 0;
-        let n = self.remaining.min(REPLAY_CHUNK);
-        if n == 0 {
+        if self.remaining == 0 {
             return Ok(());
         }
+        let mut fh = [0u8; FRAME_HEADER];
+        self.reader
+            .read_exact(&mut fh)
+            .map_err(|_| corrupt(&self.path, self.offset, "truncated frame header"))?;
+        let n = u32::from_le_bytes(fh[..4].try_into().unwrap()) as usize;
+        let len = u32::from_le_bytes(fh[4..8].try_into().unwrap()) as usize;
+        let crc = u32::from_le_bytes(fh[8..12].try_into().unwrap());
         let stride = 16 + 4 * self.s;
-        let mut buf = vec![0u8; n * stride];
-        self.reader.read_exact(&mut buf)?;
+        if n == 0 || n > REPLAY_CHUNK || n > self.remaining || len != n * stride {
+            return Err(corrupt(&self.path, self.offset, "bad frame framing"));
+        }
+        let mut buf = vec![0u8; len];
+        self.reader.read_exact(&mut buf).map_err(|_| {
+            corrupt(
+                &self.path,
+                self.offset + FRAME_HEADER as u64,
+                "truncated frame",
+            )
+        })?;
+        if crc32(&buf) != crc {
+            return Err(corrupt(
+                &self.path,
+                self.offset + FRAME_HEADER as u64,
+                "frame CRC mismatch",
+            ));
+        }
         for rec in buf.chunks_exact(stride) {
             self.packed
                 .push(u128::from_le_bytes(rec[..16].try_into().unwrap()));
@@ -195,6 +421,7 @@ impl RunReplay {
             }
         }
         self.remaining -= n;
+        self.offset += (FRAME_HEADER + len) as u64;
         Ok(())
     }
 }
@@ -396,7 +623,8 @@ mod tests {
         let mut stats = SpillStats::default();
         let spilled = SpilledRun::write(2, &run, &mut stats).unwrap();
         assert_eq!(spilled.len(), 1000);
-        assert_eq!(spilled.bytes(), 1000 * 24);
+        // One frame: 24-byte header + 12-byte frame header + payload.
+        assert_eq!(spilled.bytes(), 24 + 12 + 1000 * 24);
         assert_eq!(stats.bytes, spilled.bytes());
         assert!(stats.write_seconds >= 0.0);
         let mut replay = spilled.replay().unwrap();
@@ -421,12 +649,86 @@ mod tests {
     }
 
     #[test]
+    fn sealed_run_survives_drop_and_reopens_verified() {
+        let run = sample_runs(1, 500).pop().unwrap();
+        let mut stats = SpillStats::default();
+        let path = spill_dir().join("sealed-test.run");
+        std::fs::create_dir_all(spill_dir()).unwrap();
+        let sealed = SpilledRun::write_at(path.clone(), 2, &run, &mut stats, true).unwrap();
+        let crc = sealed.crc();
+        drop(sealed);
+        assert!(path.exists(), "keep = true must survive the drop");
+        let back = SpilledRun::reopen(path.clone()).unwrap();
+        assert_eq!(back.len(), 500);
+        assert_eq!(back.s(), 2);
+        assert_eq!(back.crc(), crc);
+        let mut replay = back.replay().unwrap();
+        let mut count = 0;
+        while replay.peek().unwrap().is_some() {
+            replay.advance();
+            count += 1;
+        }
+        assert_eq!(count, 500);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn corruption_and_truncation_are_detected_not_merged() {
+        let run = sample_runs(1, 300).pop().unwrap();
+        let mut stats = SpillStats::default();
+        let path = spill_dir().join("corrupt-test.run");
+        std::fs::create_dir_all(spill_dir()).unwrap();
+        let sealed = SpilledRun::write_at(path.clone(), 2, &run, &mut stats, false).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+
+        // Bit-flip deep in the payload: reopen and replay both reject.
+        let mut flipped = clean.clone();
+        let mid = clean.len() - 100;
+        flipped[mid] ^= 0x04;
+        std::fs::write(&path, &flipped).unwrap();
+        let err = SpilledRun::reopen(path.clone()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("byte"), "{err}");
+        let mut replay = sealed.replay().unwrap();
+        assert!(replay.peek().is_err(), "replay must verify frames too");
+
+        // Truncation mid-frame.
+        std::fs::write(&path, &clean[..clean.len() / 2]).unwrap();
+        assert!(SpilledRun::reopen(path.clone()).is_err());
+        let mut replay = sealed.replay().unwrap();
+        assert!(replay.peek().is_err());
+
+        // Header damage.
+        let mut bad_magic = clean.clone();
+        bad_magic[0] ^= 0xFF;
+        std::fs::write(&path, &bad_magic).unwrap();
+        assert!(SpilledRun::reopen(path.clone()).is_err());
+
+        // Trailing garbage after the last frame.
+        let mut padded = clean.clone();
+        padded.push(0xAB);
+        std::fs::write(&path, &padded).unwrap();
+        assert!(SpilledRun::reopen(path.clone()).is_err());
+
+        // The pristine bytes still verify.
+        std::fs::write(&path, &clean).unwrap();
+        assert_eq!(SpilledRun::reopen(path.clone()).unwrap().len(), 300);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
     fn replay_crosses_chunk_boundaries() {
-        // More records than one replay chunk, so refill() runs mid-stream.
+        // More records than one replay chunk, so refill() runs mid-stream
+        // and the file carries multiple frames.
         let n = (REPLAY_CHUNK + REPLAY_CHUNK / 3) as u32;
         let run = sample_runs(1, n).pop().unwrap();
         let mut stats = SpillStats::default();
         let spilled = SpilledRun::write(2, &run, &mut stats).unwrap();
+        assert_eq!(
+            spilled.bytes(),
+            24 + 2 * 12 + n as u64 * 24,
+            "two frames expected"
+        );
         let mut replay = spilled.replay().unwrap();
         let mut count = 0usize;
         while replay.peek().unwrap().is_some() {

@@ -116,6 +116,14 @@ pub struct RecoveryReport {
     pub redistributed_batches: u64,
     /// Faults the injector fired during the run (0 without injection).
     pub faults_injected: u64,
+    /// Shards skipped on a checkpoint resume because their sealed runs
+    /// re-verified clean (see [`crate::checkpoint`]).
+    #[serde(default)]
+    pub resumed_shards: u64,
+    /// Sealed runs or pool segments whose checksum verification failed
+    /// on resume — detected corruption, answered by re-running the shard.
+    #[serde(default)]
+    pub checksum_failures: u64,
     /// Host wall seconds spent inside recovery (retry loops, degraded
     /// host execution, re-planning).
     pub recovery_seconds: f64,
@@ -131,6 +139,8 @@ impl RecoveryReport {
             || self.lost_devices != 0
             || self.redistributed_batches != 0
             || self.faults_injected != 0
+            || self.resumed_shards != 0
+            || self.checksum_failures != 0
     }
 
     /// Fold another report into this one (multi-device / multi-pass).
@@ -142,6 +152,8 @@ impl RecoveryReport {
         self.lost_devices += other.lost_devices;
         self.redistributed_batches += other.redistributed_batches;
         self.faults_injected += other.faults_injected;
+        self.resumed_shards += other.resumed_shards;
+        self.checksum_failures += other.checksum_failures;
         self.recovery_seconds += other.recovery_seconds;
     }
 }
@@ -152,7 +164,7 @@ impl std::fmt::Display for RecoveryReport {
             f,
             "{} fault(s) injected | {} retries | {} OOM backoff(s) | {} degraded batch(es) \
              | {} host fallback(s) | {} lost device(s), {} batch(es) redistributed \
-             | recovery {:.3}s",
+             | {} shard(s) resumed, {} checksum failure(s) | recovery {:.3}s",
             self.faults_injected,
             self.retries,
             self.oom_backoffs,
@@ -160,6 +172,8 @@ impl std::fmt::Display for RecoveryReport {
             self.host_fallbacks,
             self.lost_devices,
             self.redistributed_batches,
+            self.resumed_shards,
+            self.checksum_failures,
             self.recovery_seconds
         )
     }
@@ -396,6 +410,8 @@ mod tests {
             lost_devices: 0,
             redistributed_batches: 0,
             faults_injected: 7,
+            resumed_shards: 2,
+            checksum_failures: 1,
             recovery_seconds: 0.25,
         };
         let b = RecoveryReport {
@@ -414,7 +430,9 @@ mod tests {
         assert!(a.any());
         assert!(!RecoveryReport::default().any());
         let s = a.to_string();
-        for needle in ["retries", "OOM", "degraded", "fallback", "lost", "recovery"] {
+        for needle in [
+            "retries", "OOM", "degraded", "fallback", "lost", "resumed", "checksum", "recovery",
+        ] {
             assert!(s.contains(needle), "missing {needle}");
         }
         // A fault-free StageTimes display stays free of recovery noise; a

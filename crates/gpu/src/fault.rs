@@ -194,8 +194,11 @@ impl FaultPlan {
     }
 }
 
-/// splitmix64 — tiny, seedable, and plenty for Bernoulli draws.
-fn splitmix64(state: &mut u64) -> u64 {
+/// splitmix64 — tiny, seedable, and plenty for Bernoulli draws. Shared
+/// injection plumbing: the core crate's crash-injection harness
+/// (`CrashPlan`) seeds its kill draws from the same generator so both
+/// fault models replay deterministically from one seed convention.
+pub fn splitmix64(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
     let mut z = *state;
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);

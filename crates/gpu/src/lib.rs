@@ -57,7 +57,7 @@ pub mod transfer;
 
 pub use config::DeviceConfig;
 pub use counters::CountersSnapshot;
-pub use fault::{FaultKind, FaultPlan, FaultSite, ScheduledFault};
+pub use fault::{splitmix64, FaultKind, FaultPlan, FaultSite, ScheduledFault};
 pub use memory::{DeviceBuffer, DeviceError};
 pub use simt::{Gpu, KernelCost};
 pub use stream::{Stream, StreamEvent};

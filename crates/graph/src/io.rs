@@ -103,28 +103,69 @@ pub fn write_binary<W: Write>(writer: W, g: &Csr) -> io::Result<()> {
     w.flush()
 }
 
+/// Byte length of the binary header (magic + `n` + `m2`).
+const HEADER_LEN: u64 = 24;
+
+/// A malformed-graph error naming the byte offset the decoder gave up at
+/// — `truncated` distinguishes files that simply end early
+/// ([`io::ErrorKind::UnexpectedEof`]) from structural corruption
+/// ([`io::ErrorKind::InvalidData`]).
+fn corrupt(offset: u64, truncated: bool, detail: impl std::fmt::Display) -> io::Error {
+    let kind = if truncated {
+        io::ErrorKind::UnexpectedEof
+    } else {
+        io::ErrorKind::InvalidData
+    };
+    io::Error::new(
+        kind,
+        format!("graph file corrupt at byte {offset}: {detail}"),
+    )
+}
+
 /// Parse the binary header, returning `(n, m2)`.
 fn read_header<R: Read>(reader: &mut R) -> io::Result<(usize, usize)> {
     let mut header = [0u8; 24];
-    reader.read_exact(&mut header)?;
+    reader.read_exact(&mut header).map_err(|e| {
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            corrupt(0, true, "truncated header (need 24 bytes)")
+        } else {
+            e
+        }
+    })?;
     let mut h = &header[..];
     let mut magic = [0u8; 8];
     h.copy_to_slice(&mut magic);
     if &magic != MAGIC {
-        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+        return Err(corrupt(
+            0,
+            false,
+            format!("bad magic {magic:02x?} (expected {MAGIC:02x?})"),
+        ));
     }
     Ok((h.get_u64_le() as usize, h.get_u64_le() as usize))
 }
 
 /// Read `count` little-endian u64s in [`READ_CHUNK`]-sized chunks.
-fn read_u64s_chunked<R: Read>(reader: &mut R, count: usize) -> io::Result<Vec<u64>> {
+/// `base` is the byte position of the first word, for error reporting.
+fn read_u64s_chunked<R: Read>(reader: &mut R, count: usize, base: u64) -> io::Result<Vec<u64>> {
     let mut out = Vec::with_capacity(count);
     let mut raw = vec![0u8; READ_CHUNK.min(count.max(1) * 8)];
     let mut remaining = count;
     while remaining > 0 {
         let take = remaining.min(raw.len() / 8);
         let buf = &mut raw[..take * 8];
-        reader.read_exact(buf)?;
+        let read_at = base + (count - remaining) as u64 * 8;
+        reader.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                corrupt(
+                    read_at,
+                    true,
+                    format!("truncated: {remaining} of {count} u64 words missing"),
+                )
+            } else {
+                e
+            }
+        })?;
         let mut b = &buf[..];
         out.extend((0..take).map(|_| b.get_u64_le()));
         remaining -= take;
@@ -133,14 +174,30 @@ fn read_u64s_chunked<R: Read>(reader: &mut R, count: usize) -> io::Result<Vec<u6
 }
 
 /// Read `count` little-endian u32s in [`READ_CHUNK`]-sized chunks.
-fn read_u32s_chunked<R: Read>(reader: &mut R, count: usize) -> io::Result<Vec<VertexId>> {
+/// `base` is the byte position of the first word, for error reporting.
+fn read_u32s_chunked<R: Read>(
+    reader: &mut R,
+    count: usize,
+    base: u64,
+) -> io::Result<Vec<VertexId>> {
     let mut out = Vec::with_capacity(count);
     let mut raw = vec![0u8; READ_CHUNK.min(count.max(1) * 4)];
     let mut remaining = count;
     while remaining > 0 {
         let take = remaining.min(raw.len() / 4);
         let buf = &mut raw[..take * 4];
-        reader.read_exact(buf)?;
+        let read_at = base + (count - remaining) as u64 * 4;
+        reader.read_exact(buf).map_err(|e| {
+            if e.kind() == io::ErrorKind::UnexpectedEof {
+                corrupt(
+                    read_at,
+                    true,
+                    format!("truncated: {remaining} of {count} u32 words missing"),
+                )
+            } else {
+                e
+            }
+        })?;
         let mut b = &buf[..];
         out.extend((0..take).map(|_| b.get_u32_le()));
         remaining -= take;
@@ -148,14 +205,52 @@ fn read_u32s_chunked<R: Read>(reader: &mut R, count: usize) -> io::Result<Vec<Ve
     Ok(out)
 }
 
+/// Validate a decoded offset array against the header's target count:
+/// `offsets[0] == 0`, monotonically non-decreasing, ending at `m2`. Error
+/// offsets point at the offending word on disk.
+fn validate_offsets(offsets: &[u64], m2: usize) -> io::Result<()> {
+    match offsets.first() {
+        Some(0) => {}
+        Some(&o) => {
+            return Err(corrupt(
+                HEADER_LEN,
+                false,
+                format!("offsets[0] is {o}, not 0"),
+            ))
+        }
+        None => return Err(corrupt(HEADER_LEN, false, "empty offset array")),
+    }
+    for (i, w) in offsets.windows(2).enumerate() {
+        if w[1] < w[0] {
+            return Err(corrupt(
+                HEADER_LEN + 8 * (i as u64 + 1),
+                false,
+                format!("offsets[{}] = {} < offsets[{i}] = {}", i + 1, w[1], w[0]),
+            ));
+        }
+    }
+    let last = *offsets.last().unwrap();
+    if last != m2 as u64 {
+        return Err(corrupt(
+            HEADER_LEN + 8 * (offsets.len() as u64 - 1),
+            false,
+            format!("offsets end at {last} but the header claims {m2} targets"),
+        ));
+    }
+    Ok(())
+}
+
 /// Read a graph in the binary format. Streams in bounded chunks — the
 /// staging buffer never exceeds [`READ_CHUNK`] bytes regardless of the
 /// graph size (the decoded CSR itself is of course fully materialized;
-/// use [`CsrFile`] to avoid that too).
+/// use [`CsrFile`] to avoid that too). Truncated or structurally
+/// malformed input yields a typed [`io::Error`] naming the byte offset,
+/// never a panic.
 pub fn read_binary<R: Read>(mut reader: R) -> io::Result<Csr> {
     let (n, m2) = read_header(&mut reader)?;
-    let offsets = read_u64s_chunked(&mut reader, n + 1)?;
-    let targets = read_u32s_chunked(&mut reader, m2)?;
+    let offsets = read_u64s_chunked(&mut reader, n + 1, HEADER_LEN)?;
+    validate_offsets(&offsets, m2)?;
+    let targets = read_u32s_chunked(&mut reader, m2, HEADER_LEN + 8 * (n as u64 + 1))?;
     Ok(Csr::from_raw(offsets, targets))
 }
 
@@ -174,21 +269,26 @@ pub struct CsrFile {
 
 impl CsrFile {
     /// Open `path` and read the header + offsets (targets stay on disk).
+    /// The offsets are validated up front (monotone, ending at the
+    /// header's target count) and the file size is checked against the
+    /// target array the header promises, so a truncated or bit-damaged
+    /// file is refused here — with the byte offset — rather than
+    /// surfacing mid-pass as a short window read.
     pub fn open<P: AsRef<Path>>(path: P) -> io::Result<CsrFile> {
         let mut file = std::fs::File::open(path)?;
         let (n, m2) = read_header(&mut file)?;
-        let offsets = read_u64s_chunked(&mut file, n + 1)?;
-        if *offsets.last().unwrap_or(&0) != m2 as u64 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!(
-                    "offsets end at {} but header claims {} targets",
-                    offsets.last().unwrap_or(&0),
-                    m2
-                ),
+        let offsets = read_u64s_chunked(&mut file, n + 1, HEADER_LEN)?;
+        validate_offsets(&offsets, m2)?;
+        let targets_start = file.stream_position()?;
+        let need = targets_start + 4 * m2 as u64;
+        let actual = file.metadata()?.len();
+        if actual < need {
+            return Err(corrupt(
+                actual,
+                true,
+                format!("file is {actual} bytes but the target array ends at {need}"),
             ));
         }
-        let targets_start = file.stream_position()?;
         Ok(CsrFile {
             file,
             offsets,
@@ -211,12 +311,22 @@ impl CsrFile {
         *self.offsets.last().unwrap_or(&0)
     }
 
-    /// Read the target window `[lo, hi)` (global element positions).
+    /// Read the target window `[lo, hi)` (global element positions). A
+    /// window outside the target array is a typed [`io::Error`], not a
+    /// panic.
     pub fn read_targets(&self, lo: u64, hi: u64) -> io::Result<Vec<VertexId>> {
-        assert!(lo <= hi && hi <= self.n_targets(), "window out of bounds");
+        if lo > hi || hi > self.n_targets() {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "target window [{lo}, {hi}) out of bounds (file holds {} targets)",
+                    self.n_targets()
+                ),
+            ));
+        }
         let mut f = &self.file;
         f.seek(SeekFrom::Start(self.targets_start + lo * 4))?;
-        read_u32s_chunked(&mut f, (hi - lo) as usize)
+        read_u32s_chunked(&mut f, (hi - lo) as usize, self.targets_start + lo * 4)
     }
 
     /// Materialize the whole graph (the unbounded-budget fallback).
@@ -379,7 +489,89 @@ mod tests {
         let mut buf = Vec::new();
         write_binary(&mut buf, &sample()).unwrap();
         buf[0] = b'X';
-        assert!(read_binary(&buf[..]).is_err());
+        let err = read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("bad magic"), "{err}");
+    }
+
+    /// Every way a binary graph file can be malformed maps to a typed
+    /// error naming the byte offset — never a panic, never a silently
+    /// short graph.
+    #[test]
+    fn binary_malformations_yield_typed_errors_with_byte_offsets() {
+        let mut buf = Vec::new();
+        write_binary(&mut buf, &sample()).unwrap();
+
+        // Truncated header: file ends inside the 24-byte preamble.
+        let err = read_binary(&buf[..10]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        assert!(err.to_string().contains("at byte 0"), "{err}");
+        assert!(err.to_string().contains("truncated header"), "{err}");
+
+        // Truncated offsets: file ends inside the offset array.
+        let err = read_binary(&buf[..HEADER_LEN as usize + 12]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        assert!(err.to_string().contains("at byte 24"), "{err}");
+        assert!(err.to_string().contains("u64 words missing"), "{err}");
+
+        // Truncated targets: file ends inside the target array.
+        let err = read_binary(&buf[..buf.len() - 2]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        assert!(err.to_string().contains("u32 words missing"), "{err}");
+
+        // Non-monotone offsets: decreasing entry named by index + offset.
+        let mut bad = buf.clone();
+        let at = HEADER_LEN as usize + 8; // offsets[1]
+        bad[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = read_binary(&bad[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("offsets[2]"), "{err}");
+
+        // Size mismatch: header's target count disagrees with the
+        // offsets' end.
+        let mut bad = buf.clone();
+        bad[16..24].copy_from_slice(&999u64.to_le_bytes());
+        let err = read_binary(&bad[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+        assert!(err.to_string().contains("999 targets"), "{err}");
+    }
+
+    /// [`CsrFile::open`] runs the same validations up front, plus the
+    /// file-size check no streaming reader gets for free, and an
+    /// out-of-bounds window is an error rather than a panic.
+    #[test]
+    fn csr_file_refuses_malformed_files_up_front() {
+        let dir = std::env::temp_dir().join("gpclust_graph_io_malformed");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("g.bin");
+        let g = sample();
+        write_file(&path, &g).unwrap();
+        let mut buf = std::fs::read(&path).unwrap();
+
+        // Pristine file: opens, but a window past the end is refused.
+        let f = CsrFile::open(&path).unwrap();
+        let m = f.n_targets();
+        let err = f.read_targets(0, m + 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+        assert!(err.to_string().contains("out of bounds"), "{err}");
+        let err = f.read_targets(2, 1).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput, "{err}");
+        drop(f);
+
+        // Truncated target array: refused at open with the byte count.
+        std::fs::write(&path, &buf[..buf.len() - 3]).unwrap();
+        let err = CsrFile::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof, "{err}");
+        assert!(err.to_string().contains("target array ends at"), "{err}");
+
+        // Non-monotone offsets: refused at open.
+        let at = HEADER_LEN as usize + 8;
+        buf[at..at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &buf).unwrap();
+        let err = CsrFile::open(&path).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{err}");
+
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

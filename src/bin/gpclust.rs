@@ -19,8 +19,8 @@
 
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{
-    AggregationMode, ComponentsMode, FaultPolicy, ForcedAxes, GpClust, PipelineMode, Plan,
-    PlanMode, SerialShingling, ShingleKernel, ShinglingParams,
+    AggregationMode, CheckpointConfig, ComponentsMode, CrashPlan, FaultPolicy, ForcedAxes, GpClust,
+    PipelineMode, Plan, PlanMode, SerialShingling, ShingleKernel, ShinglingParams,
 };
 use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
@@ -98,7 +98,21 @@ subcommands:
                                                [--max-retries N],
                                                [--oom-backoff true|false],
                                                [--no-degrade] to forbid the
-                                               per-batch host fallback)
+                                               per-batch host fallback,
+                                               [--checkpoint-dir PATH] durable
+                                               run manifest: sealed, checksummed
+                                               spill runs + a journal of
+                                               completed shards,
+                                               [--resume] replay completed
+                                               shards from the manifest
+                                               (refuses on input or plan
+                                               mismatch),
+                                               [--inject-crash SPEC] seeded
+                                               kill injection, SPEC =
+                                               `seed:rate` or
+                                               `site:occurrence,...` with sites
+                                               shard-seal|manifest-commit|merge
+                                               (also env GPCLUST_INJECT_CRASH))
   stats        Table II statistics            (--graph)
   quality      score clusters vs a benchmark  (--test, --benchmark, --n)";
 
@@ -271,6 +285,34 @@ fn fault_policy(args: &Flags, default: FaultPolicy) -> FaultPolicy {
     }
 }
 
+/// `--checkpoint-dir PATH` opens the durable run manifest there;
+/// `--resume` replays completed shards from it; `--inject-crash SPEC`
+/// (falling back to `GPCLUST_INJECT_CRASH` in the environment) arms the
+/// seeded in-process kill used by the crash-recovery harness.
+fn checkpoint_config(args: &Flags) -> Result<Option<CheckpointConfig>, String> {
+    let crash = match args.get("inject-crash") {
+        Some(spec) => Some(CrashPlan::parse(spec)?),
+        None => CrashPlan::from_env(),
+    };
+    let Some(dir) = args.get("checkpoint-dir") else {
+        if args.contains_key("resume") {
+            return Err("--resume requires --checkpoint-dir".into());
+        }
+        if crash.is_some() && args.contains_key("inject-crash") {
+            return Err("--inject-crash requires --checkpoint-dir".into());
+        }
+        return Ok(None);
+    };
+    let mut cfg = CheckpointConfig::new(dir);
+    if args.contains_key("resume") {
+        cfg = cfg.resuming();
+    }
+    if let Some(crash) = crash {
+        cfg = cfg.with_crash(crash);
+    }
+    Ok(Some(cfg))
+}
+
 fn cmd_cluster(args: &Flags) -> Result<(), String> {
     let graph_path = need(args, "graph")?;
     let out = need(args, "out")?;
@@ -297,6 +339,10 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         ..base
     };
     let plan = fault_plan(args)?;
+    let ckpt = checkpoint_config(args)?;
+    if ckpt.is_some() && args.contains_key("serial") {
+        return Err("--checkpoint-dir applies to the device paths, not --serial".into());
+    }
     let min_size = get(args, "min-size", 1usize);
     let n_devices = get(args, "devices", 1usize);
     // Under a bounded budget the single-device path streams the graph
@@ -321,7 +367,11 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         eprintln!("plan: {}", exec_plan.describe());
         drop(f);
-        let report = GpClust::new(params, gpu)?
+        let mut clust = GpClust::new(params, gpu)?;
+        if let Some(cfg) = ckpt.clone() {
+            clust = clust.with_checkpoint(cfg);
+        }
+        let report = clust
             .cluster_from_file(&graph_path)
             .map_err(|e| e.to_string())?;
         eprintln!("component times: {}", report.times);
@@ -333,7 +383,7 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
     } else {
         let g = graph_io::read_file(&graph_path).map_err(|e| e.to_string())?;
         eprintln!("loaded graph: {} vertices, {} edges", g.n(), g.m());
-        cluster_resident(args, params, plan, n_devices, &g)?
+        cluster_resident(args, params, plan, ckpt, n_devices, &g)?
     };
     let filtered = partition.filter_min_size(min_size);
     write_partition(&out, &filtered)?;
@@ -352,6 +402,7 @@ fn cluster_resident(
     args: &Flags,
     params: ShinglingParams,
     plan: Option<FaultPlan>,
+    ckpt: Option<CheckpointConfig>,
     n_devices: usize,
     g: &gpclust::graph::Csr,
 ) -> Result<Partition, String> {
@@ -366,9 +417,11 @@ fn cluster_resident(
             Plan::lower_auto(&params, std::slice::from_ref(&gpu), g.offsets(), g.n())
                 .map_err(|e| e.to_string())?;
         eprintln!("plan: {}", exec_plan.describe());
-        let report = GpClust::new(params, gpu)?
-            .cluster(g)
-            .map_err(|e| e.to_string())?;
+        let mut clust = GpClust::new(params, gpu)?;
+        if let Some(cfg) = ckpt {
+            clust = clust.with_checkpoint(cfg);
+        }
+        let report = clust.cluster(g).map_err(|e| e.to_string())?;
         eprintln!("component times: {}", report.times);
         print_prediction_error(&report.times);
         if report.times.recovery.any() {
@@ -388,7 +441,10 @@ fn cluster_resident(
         let (exec_plan, _) =
             Plan::lower_auto(&params, &gpus, g.offsets(), g.n()).map_err(|e| e.to_string())?;
         eprintln!("plan: {}", exec_plan.describe());
-        let multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
+        let mut multi = gpclust::core::multi_gpu::MultiGpuClust::new(params, gpus)?;
+        if let Some(cfg) = ckpt {
+            multi = multi.with_checkpoint(cfg);
+        }
         let report = multi.cluster(g).map_err(|e| e.to_string())?;
         eprintln!("component times ({} devices): {}", n_devices, report.times);
         print_prediction_error(&report.times);

@@ -1,0 +1,317 @@
+//! Crash-recovery properties of the checkpointed executor: a run killed
+//! at any crash site resumes to a partition bit-identical to the serial
+//! oracle, completed shards are replayed from their sealed runs rather
+//! than re-executed, any corrupted or truncated sealed file is *detected*
+//! (never silently merged), and a resume against the wrong input or plan
+//! refuses with a typed error.
+
+use gpclust::core::{
+    AggregationMode, CheckpointConfig, CrashPlan, CrashSite, GpClust, SerialShingling,
+    ShingleKernel, ShinglingParams, StageTimes, KILL_MARKER,
+};
+use gpclust::gpu::{DeviceConfig, DeviceError, Gpu};
+use gpclust::graph::{Csr, EdgeList, Partition};
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A fresh checkpoint directory unique to this test invocation.
+fn checkpoint_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "gpclust-ckpt-{tag}-{}-{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One single-device checkpointed run.
+fn checkpointed_run(
+    g: &Csr,
+    params: ShinglingParams,
+    cfg: CheckpointConfig,
+) -> Result<(Partition, StageTimes), DeviceError> {
+    let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+    let r = GpClust::new(params, gpu)
+        .unwrap()
+        .with_checkpoint(cfg)
+        .cluster(g)?;
+    Ok((r.partition, r.times))
+}
+
+fn assert_killed(err: &DeviceError) {
+    let msg = format!("{err}");
+    assert!(
+        msg.contains(KILL_MARKER),
+        "expected injected kill, got {msg}"
+    );
+}
+
+/// The sealed files (runs + pool segments) currently in a journal dir,
+/// sorted by name for determinism.
+fn sealed_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|it| {
+            it.flatten()
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.extension()
+                        .is_some_and(|ext| ext == "run" || ext == "pool")
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+/// Strategy: a random undirected graph of up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (8..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), max_m / 2..max_m).prop_map(
+            move |pairs| {
+                let mut el: EdgeList = pairs.into_iter().collect();
+                Csr::from_edges(n, &mut el)
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole acceptance: kill the run at every crash site in turn;
+    /// each resume completes to the serial oracle's partition, and a
+    /// resume after a manifest commit replays exactly the committed
+    /// shards from disk (the RecoveryReport counters prove no completed
+    /// shard re-executed).
+    #[test]
+    fn kill_at_any_site_then_resume_matches_the_serial_oracle(
+        g in arb_graph(40, 160),
+        seed in 0u64..1000,
+    ) {
+        let base = ShinglingParams::light(seed);
+        let oracle = SerialShingling::new(base).unwrap().cluster(&g);
+        let params = base.with_shards(2);
+        for (site, occurrence) in [
+            (CrashSite::ShardSeal, 1),
+            (CrashSite::ManifestCommit, 1),
+            (CrashSite::Merge, 1),
+        ] {
+            let dir = checkpoint_dir("kill");
+            let cfg = CheckpointConfig::new(&dir)
+                .with_crash(CrashPlan::scheduled().with_kill(site, occurrence));
+            let err = checkpointed_run(&g, params, cfg).unwrap_err();
+            assert_killed(&err);
+            let (got, times) = checkpointed_run(
+                &g,
+                params,
+                CheckpointConfig::new(&dir).resuming(),
+            )
+            .unwrap();
+            prop_assert_eq!(&got, &oracle, "kill at {:?}", site);
+            let rec = &times.recovery;
+            prop_assert_eq!(rec.checksum_failures, 0, "kill at {:?}", site);
+            match site {
+                // Sealed but never committed: nothing to replay.
+                CrashSite::ShardSeal => prop_assert_eq!(rec.resumed_shards, 0),
+                // Exactly the one committed shard replays from disk.
+                CrashSite::ManifestCommit => prop_assert_eq!(rec.resumed_shards, 1),
+                // Every pass-I shard committed before the merge died.
+                CrashSite::Merge => prop_assert!(rec.resumed_shards >= 1),
+            }
+            // finalize retired the journal on success.
+            prop_assert!(sealed_files(&dir).is_empty());
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Satellite: any single corrupted *or* truncated sealed file is
+    /// caught by checksum verification on resume — the damaged shard
+    /// re-executes and the partition still matches the oracle — across
+    /// kernels × aggregation modes × shard counts.
+    #[test]
+    fn corrupted_or_truncated_sealed_runs_are_detected_not_merged(
+        g in arb_graph(40, 160),
+        seed in 0u64..1000,
+        truncate in proptest::bool::ANY,
+    ) {
+        let base = ShinglingParams::light(seed);
+        let oracle = SerialShingling::new(base).unwrap().cluster(&g);
+        for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
+            for aggregation in [AggregationMode::Host, AggregationMode::Device] {
+                for shards in [2u32, 3] {
+                    let params = base
+                        .with_kernel(kernel)
+                        .with_aggregation(aggregation)
+                        .with_shards(shards);
+                    let dir = checkpoint_dir("corrupt");
+                    // Die at the pass-I merge: every shard is committed
+                    // and its sealed files survive on disk.
+                    let cfg = CheckpointConfig::new(&dir)
+                        .with_crash(CrashPlan::scheduled().with_kill(CrashSite::Merge, 1));
+                    let err = checkpointed_run(&g, params, cfg).unwrap_err();
+                    assert_killed(&err);
+                    let files = sealed_files(&dir);
+                    let damaged = if let Some(f) = files.first() {
+                        let bytes = std::fs::read(f).unwrap();
+                        if truncate {
+                            std::fs::write(f, &bytes[..bytes.len() - 5]).unwrap();
+                        } else {
+                            let mut bytes = bytes;
+                            let at = bytes.len() - 5;
+                            bytes[at] ^= 0x40;
+                            std::fs::write(f, &bytes).unwrap();
+                        }
+                        true
+                    } else {
+                        false
+                    };
+                    let (got, times) = checkpointed_run(
+                        &g,
+                        params,
+                        CheckpointConfig::new(&dir).resuming(),
+                    )
+                    .unwrap();
+                    prop_assert_eq!(
+                        &got,
+                        &oracle,
+                        "{:?} {:?} {} shard(s) truncate={}",
+                        kernel,
+                        aggregation,
+                        shards,
+                        truncate
+                    );
+                    if damaged {
+                        prop_assert_eq!(
+                            times.recovery.checksum_failures,
+                            1,
+                            "{:?} {:?} {} shard(s) truncate={}",
+                            kernel,
+                            aggregation,
+                            shards,
+                            truncate
+                        );
+                    }
+                    std::fs::remove_dir_all(&dir).ok();
+                }
+            }
+        }
+    }
+}
+
+/// Resuming against a different input graph or different plan axes is a
+/// typed refusal naming what disagrees — never a silent merge of
+/// incompatible state.
+#[test]
+fn resume_refuses_wrong_input_and_wrong_axes() {
+    let g = {
+        let mut el: EdgeList = (0..30u32).map(|v| (v, (v + 1) % 30)).collect();
+        Csr::from_edges(30, &mut el)
+    };
+    let other = {
+        let mut el: EdgeList = (0..30u32).map(|v| (v, (v + 2) % 30)).collect();
+        Csr::from_edges(30, &mut el)
+    };
+    let params = ShinglingParams::light(5).with_shards(2);
+    let dir = checkpoint_dir("refuse");
+    let cfg = CheckpointConfig::new(&dir)
+        .with_crash(CrashPlan::scheduled().with_kill(CrashSite::ManifestCommit, 1));
+    let err = checkpointed_run(&g, params, cfg).unwrap_err();
+    assert_killed(&err);
+
+    // Same plan, different graph: fingerprint mismatch.
+    let err = checkpointed_run(&other, params, CheckpointConfig::new(&dir).resuming()).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("input fingerprint mismatch"), "{msg}");
+
+    // Same graph, different aggregation axis: axes mismatch naming it.
+    let err = checkpointed_run(
+        &g,
+        params.with_aggregation(AggregationMode::Device),
+        CheckpointConfig::new(&dir).resuming(),
+    )
+    .unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("plan axes mismatch"), "{msg}");
+    assert!(msg.contains("aggregation"), "{msg}");
+
+    // Resume with nothing there at all.
+    let empty = checkpoint_dir("refuse-empty");
+    let err = checkpointed_run(&g, params, CheckpointConfig::new(&empty).resuming()).unwrap_err();
+    let msg = format!("{err}");
+    assert!(msg.contains("nothing to resume"), "{msg}");
+
+    // The matching resume still works and retires the journal.
+    let (got, _) = checkpointed_run(&g, params, CheckpointConfig::new(&dir).resuming()).unwrap();
+    assert_eq!(got, SerialShingling::new(params).unwrap().cluster(&g));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::remove_dir_all(&empty).ok();
+}
+
+/// A deterministic GOS-shaped graph (copy of the oocore helper): a few
+/// high-degree family hubs, a long tail of small lists.
+fn gos_shaped_graph(n: usize, avg_deg: usize, seed: u64) -> Csr {
+    let mut state = seed | 1;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        state >> 33
+    };
+    let m = n * avg_deg / 2;
+    let mut el: EdgeList = (0..m)
+        .map(|_| {
+            let a = next() as usize % n;
+            let b = ((next() as usize % n) * (next() as usize % n)) / n.max(1);
+            (a as u32, (b % n) as u32)
+        })
+        .collect();
+    Csr::from_edges(n, &mut el)
+}
+
+/// The CI crash-recovery soak: on a GOS-shaped input, kill the run with
+/// a different random crash seed on every attempt, resuming each time,
+/// until a run survives — then diff against the resident oracle.
+/// Committed shards accumulate monotonically across attempts, so the
+/// soak converges long before the attempt cap.
+#[test]
+fn kill_resume_soak_on_gos_shaped_input_matches_resident_oracle() {
+    let g = gos_shaped_graph(2_000, 6, 17);
+    let base = ShinglingParams::light(21);
+    let oracle = {
+        let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+        GpClust::new(base, gpu).unwrap().cluster(&g).unwrap()
+    };
+    let params = base.with_shards(3);
+    let dir = checkpoint_dir("soak");
+    let mut attempt = 0u64;
+    let mut resumed_total = 0u64;
+    let outcome = loop {
+        let mut cfg =
+            CheckpointConfig::new(&dir).with_crash(CrashPlan::random(1000 + attempt, 0.5));
+        if attempt > 0 {
+            cfg = cfg.resuming();
+        }
+        match checkpointed_run(&g, params, cfg) {
+            Ok(out) => break out,
+            Err(err) => assert_killed(&err),
+        }
+        attempt += 1;
+        assert!(attempt < 60, "soak failed to converge in 60 attempts");
+        // Count what the next resume can reuse before it runs.
+        resumed_total += 1;
+    };
+    let (got, times) = outcome;
+    assert_eq!(got, oracle.partition);
+    assert!(resumed_total >= 1, "the soak never actually crashed");
+    assert_eq!(times.recovery.checksum_failures, 0);
+    assert!(sealed_files(&dir).is_empty());
+    std::fs::remove_dir_all(&dir).ok();
+}

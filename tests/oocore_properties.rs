@@ -14,6 +14,25 @@ use gpclust::gpu::{DeviceConfig, DeviceError, FaultPlan, Gpu};
 use gpclust::graph::{Csr, EdgeList, Partition};
 use proptest::prelude::*;
 
+/// The spill directory is per-process, so tests that assert on its
+/// contents must not spill concurrently.
+static SPILL_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Every spilled run is scratch outside a checkpoint: the RAII guard on
+/// `SpilledRun` must leave the per-process spill directory empty once a
+/// run completes, success or failure.
+fn assert_spill_dir_empty(context: &str) {
+    let dir = gpclust::core::spill::spill_dir();
+    if let Ok(entries) = std::fs::read_dir(&dir) {
+        let left: Vec<_> = entries.flatten().map(|e| e.file_name()).collect();
+        assert!(
+            left.is_empty(),
+            "{context}: spill dir {} still holds {left:?}",
+            dir.display()
+        );
+    }
+}
+
 /// Strategy: a random undirected graph of up to `max_n` vertices.
 fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
     (2..max_n).prop_flat_map(move |n| {
@@ -60,6 +79,7 @@ proptest! {
         seed in 0u64..1000,
         fault_seed in 0u64..1000,
     ) {
+        let _spill = SPILL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let base = ShinglingParams::light(seed);
         let oracle = SerialShingling::new(base).unwrap().cluster(&g);
         for kernel in [ShingleKernel::SortCompact, ShingleKernel::FusedSelect] {
@@ -97,6 +117,7 @@ proptest! {
                 }
             }
         }
+        assert_spill_dir_empty("sharded matrix case");
     }
 }
 
@@ -113,12 +134,17 @@ proptest! {
         divisor in 2u64..6,
         n_devices in 1usize..=3,
     ) {
+        let _spill = SPILL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
         let base = ShinglingParams::light(seed);
         let oracle = SerialShingling::new(base).unwrap().cluster(&g);
         let est = Plan::estimate_pass_resident_bytes(g.offsets(), base.s1, base.c1);
-        let params = base.with_mem_budget((est / divisor).max(1));
+        // Squeezing below the largest single vertex's resident need is a
+        // typed up-front refusal, not a run — clamp to stay feasible.
+        let floor = Plan::min_feasible_budget(g.offsets(), base.s1, base.c1);
+        let params = base.with_mem_budget((est / divisor).max(floor));
         let (got, _) = device_run(&g, params, n_devices, &FaultPlan::scheduled()).unwrap();
         prop_assert_eq!(&got, &oracle, "budget est/{} on {} device(s)", divisor, n_devices);
+        assert_spill_dir_empty("byte budget case");
     }
 }
 
@@ -151,6 +177,7 @@ fn gos_shaped_graph(n: usize, avg_deg: usize, seed: u64) -> Csr {
 /// observed peak resident bytes inside the budget.
 #[test]
 fn big_graph_peak_resident_stays_under_quarter_budget() {
+    let _spill = SPILL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let g = gos_shaped_graph(60_000, 8, 11);
     // Few trials keep the debug-mode runtime bounded; the record volume
     // (and therefore the spill pressure) stays 2M-like in shape.
@@ -193,4 +220,5 @@ fn big_graph_peak_resident_stays_under_quarter_budget() {
         budget,
         est
     );
+    assert_spill_dir_empty("big-graph bounded run");
 }
