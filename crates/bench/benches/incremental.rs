@@ -1,0 +1,313 @@
+//! Incremental clustering — delta passes against full reclusters
+//! (`gpclust_core::incremental`), the refresh decision `gpclust serve`'s
+//! `--refresh auto` makes on every flush.
+//!
+//! Two measurements:
+//!
+//! 1. **Criterion wall-clock** of one engine refresh cycle (bootstrap a
+//!    base graph, stream in a delta, flush) with the refresh path pinned
+//!    to `Delta` and to `Full` on the same base/delta split. The
+//!    bootstrap is identical in both, so the gap between the pair is the
+//!    delta-pass saving at that delta fraction; the partitions are
+//!    bit-identical by contract (`tests/incremental_properties.rs`).
+//! 2. **Modeled makespans** from the autotuner's own delta predictor
+//!    ([`autotune::predict_delta`] vs [`autotune::predict`]) at 1%, 5%
+//!    and 20% delta fractions on the two Table-I-shaped scales the
+//!    autotune bench prices (20K alignment graph, 2M-like planted
+//!    graph), plus the autotuned crossover fraction
+//!    ([`autotune::delta_crossover_fraction`]) above which a full
+//!    recluster is the cheaper refresh. Written via
+//!    [`gpclust_bench::write_report`] to
+//!    `crates/bench/reports/BENCH_incremental.json` (mirrored at the
+//!    repo root).
+//!
+//! The report asserts the headline claim: every priced fraction below
+//! the crossover has the delta pass strictly beating the full recluster,
+//! and the crossover itself is interior — small deltas are cheap because
+//! they skip re-sorting the (1-f) untouched share of pass I at host-sort
+//! rates, but the fixed index upkeep (retraction scan + k-way merge +
+//! posting-list inversion) eventually outweighs that saving.
+
+use criterion::{criterion_group, Criterion};
+use gpclust_core::autotune::{self, PassShape, Sharing, WorkloadShape};
+use gpclust_core::{IncrementalEngine, RefreshMode, ShinglingParams};
+use gpclust_gpu::{DeviceConfig, Gpu};
+use gpclust_graph::generate::{planted_partition, PlantedConfig};
+use gpclust_graph::{Csr, EdgeList, VertexId};
+
+/// Shingle size of both modeled passes (the paper's default `s1 = s2`).
+const S: usize = 2;
+
+fn graph() -> Csr {
+    planted_partition(&PlantedConfig {
+        group_sizes: PlantedConfig::zipf_groups(1_600, 4, 120, 1.4, 31),
+        n_noise_vertices: 400,
+        p_intra: 0.8,
+        max_intra_degree: 30.0,
+        inter_edges_per_vertex: 0.1,
+        seed: 31,
+    })
+    .graph
+}
+
+/// Split `g` into a base CSR holding the first `(1-f)` share of its
+/// canonical edge list and an edge tail to stream as the delta.
+fn split(g: &Csr, fraction: f64) -> (Csr, Vec<(VertexId, VertexId)>) {
+    let all: Vec<(VertexId, VertexId)> = g
+        .iter()
+        .flat_map(|(v, ns)| {
+            ns.iter()
+                .filter(move |&&u| v < u)
+                .map(move |&u| (v, u))
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let cut = ((all.len() as f64) * (1.0 - fraction)).round() as usize;
+    let cut = cut.min(all.len());
+    let mut base_edges: EdgeList = all[..cut].iter().copied().collect();
+    (Csr::from_edges(g.n(), &mut base_edges), all[cut..].to_vec())
+}
+
+/// Bootstrap on `base`, stream `delta`, flush with the pinned refresh
+/// path — one full refresh cycle, the unit of work `serve` repeats.
+fn refresh_cycle(
+    params: &ShinglingParams,
+    base: &Csr,
+    delta: &[(VertexId, VertexId)],
+    refresh: RefreshMode,
+) -> u64 {
+    let mut engine = IncrementalEngine::bootstrap(
+        params,
+        vec![Gpu::new(DeviceConfig::tesla_k20())],
+        base.clone(),
+    )
+    .unwrap()
+    .with_refresh(refresh);
+    for &(a, b) in delta {
+        engine.add_edge(a, b);
+    }
+    engine.flush().unwrap();
+    engine.generation()
+}
+
+fn bench_incremental(c: &mut Criterion) {
+    let g = graph();
+    let params = ShinglingParams::light(31);
+    let mut grp = c.benchmark_group("incremental_refresh");
+    grp.sample_size(10);
+    for pct in [1usize, 5, 20] {
+        let (base, delta) = split(&g, pct as f64 / 100.0);
+        for (path, refresh) in [("delta", RefreshMode::Delta), ("full", RefreshMode::Full)] {
+            grp.bench_function(format!("{path}_{pct}pct"), |b| {
+                b.iter(|| refresh_cycle(&params, &base, &delta, refresh))
+            });
+        }
+    }
+    grp.finish();
+}
+
+/// A K20-class card with its memory capped to 256 MiB so the modeled
+/// passes split into several batches (mirrors the autotune bench).
+fn capped() -> Gpu {
+    Gpu::new(DeviceConfig {
+        global_mem_bytes: 256 << 20,
+        ..DeviceConfig::tesla_k20()
+    })
+}
+
+/// One pass shape: `n_elements` adjacency elements over `n_segments`
+/// lists, `trials` hash rounds.
+fn pass(n_elements: usize, n_segments: usize, trials: usize) -> PassShape {
+    PassShape {
+        n_elements,
+        n_segments,
+        out_elements: (n_segments * S).min(n_elements),
+        trials,
+        s: S,
+    }
+}
+
+/// `pass1` scaled down to the `f` share of the union its delta touches.
+fn delta_pass(pass1: PassShape, f: f64) -> PassShape {
+    PassShape {
+        n_elements: ((pass1.n_elements as f64) * f).round() as usize,
+        n_segments: (((pass1.n_segments as f64) * f).round() as usize).max(1),
+        out_elements: ((pass1.out_elements as f64) * f).round() as usize,
+        ..pass1
+    }
+}
+
+#[derive(Debug)]
+struct FractionRow {
+    fraction: f64,
+    delta_s: f64,
+    full_s: f64,
+    /// `full_s / delta_s` — above 1, the delta pass wins.
+    delta_speedup: f64,
+}
+
+#[derive(Debug)]
+struct ScaleReport {
+    scale: String,
+    index_records: usize,
+    fractions: Vec<FractionRow>,
+    /// Delta fraction above which `--refresh auto` flips to a full
+    /// recluster (1.0 if the delta path wins everywhere).
+    crossover_fraction: f64,
+}
+
+fn model_scale(label: &str, w: &WorkloadShape, gpus: &[Gpu]) -> ScaleReport {
+    let params = ShinglingParams::paper_default(7);
+    // One stored record per (trial, non-empty list): the index holds
+    // pass I's full output.
+    let index_records = w.pass1.n_records();
+    let full = autotune::predict(autotune::PlanAxes::of(&params), w, gpus, Sharing::Weighted)
+        .expect("healthy fleet predicts");
+    let fractions = [0.01, 0.05, 0.20]
+        .into_iter()
+        .map(|f| {
+            let d =
+                autotune::predict_delta(&params, w, delta_pass(w.pass1, f), index_records, gpus)
+                    .expect("healthy fleet predicts");
+            FractionRow {
+                fraction: f,
+                delta_s: d.seconds,
+                full_s: full.seconds,
+                delta_speedup: full.seconds / d.seconds,
+            }
+        })
+        .collect();
+    let crossover = autotune::delta_crossover_fraction(&params, w, index_records, gpus)
+        .expect("healthy fleet predicts");
+    ScaleReport {
+        scale: label.to_string(),
+        index_records,
+        fractions,
+        crossover_fraction: crossover,
+    }
+}
+
+/// Render the report as literal JSON (fixed labels, finite numbers), so
+/// the checked-in artifact regenerates byte-for-byte regardless of which
+/// serializer the build links.
+fn render_json(note: &str, runs: &[ScaleReport]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"note\": \"{note}\",\n"));
+    out.push_str("  \"runs\": [\n");
+    for (i, r) in runs.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scale\": \"{}\",\n", r.scale));
+        out.push_str(&format!("      \"index_records\": {},\n", r.index_records));
+        out.push_str("      \"fractions\": [\n");
+        for (j, f) in r.fractions.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{ \"fraction\": {:.2}, \"delta_s\": {:.6}, \"full_s\": {:.6}, \
+                 \"delta_speedup\": {:.4} }}{}\n",
+                f.fraction,
+                f.delta_s,
+                f.full_s,
+                f.delta_speedup,
+                if j + 1 < r.fractions.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("      ],\n");
+        out.push_str(&format!(
+            "      \"crossover_fraction\": {:.4}\n",
+            r.crossover_fraction
+        ));
+        out.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn write_modeled_report() {
+    let gpus = vec![capped(), capped()];
+    // The autotune bench's Table-I shapes: the 20K alignment graph and
+    // the 2M-like planted graph at the paper's default trial counts.
+    let w20k = WorkloadShape {
+        n_vertices: 20_000,
+        pass1: pass(4_000_000, 20_000, 200),
+        pass2: pass(1_000_000, 40_000, 100),
+        spilled_run_bytes: 0,
+    };
+    let w2m = WorkloadShape {
+        n_vertices: 2_000_000,
+        pass1: pass(400_000_000, 2_000_000, 200),
+        pass2: pass(100_000_000, 1_000_000, 100),
+        spilled_run_bytes: 0,
+    };
+
+    let runs = vec![
+        model_scale("20K", &w20k, &gpus),
+        model_scale("2M-like", &w2m, &gpus),
+    ];
+
+    // Headline claims: the crossover is a real decision boundary, and
+    // every priced fraction below it has the delta pass strictly winning.
+    for r in &runs {
+        assert!(
+            r.crossover_fraction > 0.0 && r.crossover_fraction <= 1.0,
+            "[{}] crossover must be a valid fraction, got {}",
+            r.scale,
+            r.crossover_fraction
+        );
+        for f in &r.fractions {
+            if f.fraction < r.crossover_fraction {
+                assert!(
+                    f.delta_speedup > 1.0,
+                    "[{}] delta must beat full below the crossover: f={} speedup={:.4}",
+                    r.scale,
+                    f.fraction,
+                    f.delta_speedup
+                );
+            } else {
+                assert!(
+                    f.delta_speedup <= 1.0 + 1e-9,
+                    "[{}] full must win at or above the crossover: f={} speedup={:.4}",
+                    r.scale,
+                    f.fraction,
+                    f.delta_speedup
+                );
+            }
+        }
+        let small = &r.fractions[0];
+        assert!(
+            small.delta_speedup > 1.0,
+            "[{}] a 1% delta must be cheaper than a full recluster",
+            r.scale
+        );
+    }
+
+    let json = render_json(
+        "delta-pass vs full-recluster makespans (gpclust_core::autotune::predict_delta vs \
+         predict) at 1%/5%/20% delta fractions on two Table-I scales, with the autotuned \
+         crossover fraction; generated by crates/bench/benches/incremental.rs \
+         (write_modeled_report)",
+        &runs,
+    );
+    let path = gpclust_bench::write_report("BENCH_incremental.json", &json);
+    for r in &runs {
+        for f in &r.fractions {
+            eprintln!(
+                "[{}] f={:.2}: delta {:.4}s vs full {:.4}s ({:.2}x)",
+                r.scale, f.fraction, f.delta_s, f.full_s, f.delta_speedup
+            );
+        }
+        eprintln!("[{}] crossover at f={:.4}", r.scale, r.crossover_fraction);
+    }
+    eprintln!("written to {path:?}");
+}
+
+criterion_group!(benches, bench_incremental);
+
+#[allow(clippy::default_constructed_unit_structs)] // unit only in the criterion stub
+fn main() {
+    write_modeled_report();
+    benches();
+    Criterion::default().configure_from_args().final_summary();
+}

@@ -234,6 +234,55 @@ pub fn merge_sorted_runs(s: usize, runs: Vec<SortedRun>) -> ShingleGraph {
     inv.finish()
 }
 
+/// Merge sorted runs into one [`SortedRun`], re-ranking local indices
+/// globally — the record-level sibling of [`merge_sorted_runs`], for when
+/// the merged records must *outlive* the pass (the persistent shingle
+/// index) instead of collapsing straight into a graph.
+///
+/// Records pop in exactly the order [`merge_sorted_runs`] consumes them
+/// (ascending `(key, node)`, run-index tie-break), so
+/// `merge_sorted_runs(s, vec![merge_runs_to_run(s, runs)])` is
+/// bit-identical to `merge_sorted_runs(s, runs)` — which is what lets a
+/// delta pass fold fresh records into a stored run and still reproduce
+/// the from-scratch aggregation byte for byte.
+pub fn merge_runs_to_run(s: usize, runs: Vec<SortedRun>) -> SortedRun {
+    let mut runs: Vec<SortedRun> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert!(total < (1 << 32), "too many shingle records");
+    debug_assert!(runs
+        .iter()
+        .all(|r| r.packed.windows(2).all(|w| w[0] <= w[1])));
+    if runs.len() == 1 {
+        return runs.pop().unwrap();
+    }
+    let mut out = SortedRun {
+        packed: Vec::with_capacity(total),
+        elements: Vec::with_capacity(total * s),
+    };
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut cursors = vec![0usize; runs.len()];
+    let mut heap: BinaryHeap<Reverse<(u128, usize)>> = runs
+        .iter()
+        .enumerate()
+        .map(|(ri, r)| Reverse((r.packed[0] >> 32, ri)))
+        .collect();
+    while let Some(Reverse((key_node, ri))) = heap.pop() {
+        let run = &runs[ri];
+        let p = run.packed[cursors[ri]];
+        let rep = (p & 0xFFFF_FFFF) as usize;
+        let idx = out.packed.len() as u128;
+        out.packed.push((key_node << 32) | idx);
+        out.elements
+            .extend_from_slice(&run.elements[rep * s..(rep + 1) * s]);
+        cursors[ri] += 1;
+        if let Some(&next) = run.packed.get(cursors[ri]) {
+            heap.push(Reverse((next >> 32, ri)));
+        }
+    }
+    out
+}
+
 /// Streaming shingle aggregation: records flow in one at a time (from
 /// [`crate::serial::shingle_pass_foreach`] or the device pass), are packed
 /// immediately into the 128-bit sort representation, and never exist as a
@@ -575,6 +624,32 @@ mod tests {
         let runs = vec![SortedRun::default(), big, SortedRun::default(), small];
         assert_eq!(merge_sorted_runs(s, runs), oracle.finish());
         assert!(merge_sorted_runs(s, Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn merge_runs_to_run_commutes_with_graph_merge() {
+        // Collapsing runs into one run first, then inverting, must equal
+        // inverting the runs directly — for any split, including ties on
+        // (key, node) across runs.
+        let s = 2;
+        for n_runs in [1usize, 2, 3, 5] {
+            let mut runs: Vec<SortedRun> = vec![SortedRun::default(); n_runs];
+            for i in 0..1_500u32 {
+                let trial = i % 4;
+                let e = i % 23;
+                let pairs = [pack(e, e), pack(e + 1, e + 1)];
+                let run = (i as usize * n_runs) / 1_500;
+                push_run_record(&mut runs[run], trial, i, &pairs);
+            }
+            for run in &mut runs {
+                run.packed.sort_unstable();
+            }
+            let direct = merge_sorted_runs(s, runs.clone());
+            let merged = merge_runs_to_run(s, runs);
+            assert!(merged.packed.windows(2).all(|w| w[0] < w[1]));
+            assert_eq!(merge_sorted_runs(s, vec![merged]), direct, "{n_runs} runs");
+        }
+        assert!(merge_runs_to_run(s, Vec::new()).is_empty());
     }
 
     #[test]

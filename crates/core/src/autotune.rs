@@ -630,6 +630,78 @@ pub fn select(
     best
 }
 
+/// Price an incremental refresh under `params`' (already-resolved) axes:
+/// Pass I runs over only the touched lists (`delta_pass1`), then the
+/// host retracts those vertices' records from the stored index (one scan
+/// of `index_records`), k-way-merges the fresh run back in, and rebuilds
+/// G′ from the merged index before Passes II/III run at full union size
+/// exactly as a from-scratch recluster would. The extra index-upkeep
+/// terms are what a full recluster never pays; the savings are the
+/// untouched share of Pass I. Compare against [`predict`] on the union
+/// shape to decide a refresh.
+pub fn predict_delta(
+    params: &ShinglingParams,
+    union: &WorkloadShape,
+    delta_pass1: PassShape,
+    index_records: usize,
+    gpus: &[Gpu],
+) -> Option<Prediction> {
+    let axes = PlanAxes::of(params);
+    let mut w = *union;
+    w.pass1 = delta_pass1;
+    w.spilled_run_bytes = if params.mem_budget.or_env().is_unbounded() {
+        0
+    } else {
+        delta_pass1.n_records() as u64 * (16 + 4 * params.s1 as u64)
+    };
+    let mut p = predict(axes, &w, gpus, Sharing::Weighted)?;
+    // Retraction scan + k-way merge + StreamInverter rebuild, all at
+    // host merge throughput. The full path's own inversion of its
+    // (delta-sized) pass-I records is already inside `predict`'s host
+    // term, so only the merged-index work is added here.
+    let merged = index_records + delta_pass1.n_records();
+    let upkeep = (index_records + 2 * merged) as f64 / HOST_MERGE_REC_PER_S;
+    p.seconds += upkeep;
+    p.host_seconds += upkeep;
+    Some(p)
+}
+
+/// The touched fraction at which an incremental refresh stops paying:
+/// the smallest share of the union's pass-I work (uniform scaling of
+/// its shape) where [`predict_delta`] prices at or above a full
+/// recluster ([`predict`] on the union shape, weighted sharing). `1.0`
+/// when the delta pass wins at every fraction. `None` once no device
+/// survives.
+pub fn delta_crossover_fraction(
+    params: &ShinglingParams,
+    union: &WorkloadShape,
+    index_records: usize,
+    gpus: &[Gpu],
+) -> Option<f64> {
+    let axes = PlanAxes::of(params);
+    let full = predict(axes, union, gpus, Sharing::Weighted)?.seconds;
+    let scaled = |f: f64| PassShape {
+        n_elements: (union.pass1.n_elements as f64 * f).round() as usize,
+        n_segments: ((union.pass1.n_segments as f64 * f).round() as usize).max(1),
+        out_elements: (union.pass1.out_elements as f64 * f).round() as usize,
+        ..union.pass1
+    };
+    if predict_delta(params, union, scaled(1.0), index_records, gpus)?.seconds < full {
+        return Some(1.0);
+    }
+    let (mut lo, mut hi) = (0.0f64, 1.0f64);
+    for _ in 0..32 {
+        let mid = 0.5 * (lo + hi);
+        let d = predict_delta(params, union, scaled(mid), index_records, gpus)?.seconds;
+        if d < full {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1017,7 +1017,7 @@ pub fn read_pool(
     Ok(())
 }
 
-fn esc(s: &str) -> String {
+pub(crate) fn esc(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -1036,7 +1036,7 @@ fn esc(s: &str) -> String {
 // ---------------------------------------------------------------------------
 
 #[derive(Debug, Clone, PartialEq)]
-enum Json {
+pub(crate) enum Json {
     Num(u64),
     Str(String),
     Arr(Vec<Json>),
@@ -1044,28 +1044,28 @@ enum Json {
 }
 
 impl Json {
-    fn as_u64(&self) -> Result<u64, String> {
+    pub(crate) fn as_u64(&self) -> Result<u64, String> {
         match self {
             Json::Num(n) => Ok(*n),
             other => Err(format!("expected number, got {other:?}")),
         }
     }
 
-    fn as_str(&self) -> Result<&str, String> {
+    pub(crate) fn as_str(&self) -> Result<&str, String> {
         match self {
             Json::Str(s) => Ok(s),
             other => Err(format!("expected string, got {other:?}")),
         }
     }
 
-    fn as_arr(&self) -> Result<&[Json], String> {
+    pub(crate) fn as_arr(&self) -> Result<&[Json], String> {
         match self {
             Json::Arr(a) => Ok(a),
             other => Err(format!("expected array, got {other:?}")),
         }
     }
 
-    fn get(&self, key: &str) -> Result<&Json, String> {
+    pub(crate) fn get(&self, key: &str) -> Result<&Json, String> {
         match self {
             Json::Obj(kv) => kv
                 .iter()
@@ -1076,7 +1076,7 @@ impl Json {
         }
     }
 
-    fn get_opt(&self, key: &str) -> Option<&Json> {
+    pub(crate) fn get_opt(&self, key: &str) -> Option<&Json> {
         match self {
             Json::Obj(kv) => kv.iter().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
@@ -1084,13 +1084,13 @@ impl Json {
     }
 }
 
-struct Parser<'a> {
-    b: &'a [u8],
-    i: usize,
+pub(crate) struct Parser<'a> {
+    pub(crate) b: &'a [u8],
+    pub(crate) i: usize,
 }
 
 impl<'a> Parser<'a> {
-    fn ws(&mut self) {
+    pub(crate) fn ws(&mut self) {
         while self
             .b
             .get(self.i)
@@ -1115,7 +1115,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn value(&mut self) -> Result<Json, String> {
+    pub(crate) fn value(&mut self) -> Result<Json, String> {
         self.ws();
         match self.b.get(self.i) {
             Some(b'{') => self.object(),

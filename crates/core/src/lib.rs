@@ -34,6 +34,11 @@
 //! * [`checkpoint`] — the durability layer over the sharded executor: a
 //!   manifest journal of sealed, checksummed shard runs, crash-recovery
 //!   resume, and the seeded crash-injection harness.
+//! * [`index`] — the persistent shingle index: Pass I's shingle→vertex
+//!   posting lists as a durable, incrementally maintained artifact.
+//! * [`incremental`] — the base+delta clustering engine: delta passes over
+//!   touched vertices merged into the stored index, bit-identical to
+//!   re-clustering the union graph from scratch.
 //! * [`report`] — Phase III: dense-subgraph reporting, both the overlapping
 //!   connected-component variant and the union–find partition variant the
 //!   paper adopts.
@@ -58,6 +63,8 @@ pub mod checkpoint;
 pub mod decompose;
 pub mod exec;
 mod gpu_pass;
+pub mod incremental;
+pub mod index;
 pub mod mcl;
 pub mod minwise;
 pub mod multi_gpu;
@@ -81,6 +88,8 @@ pub use checkpoint::{
     CheckpointConfig, CheckpointError, Checkpointer, CrashPlan, CrashSite, KILL_MARKER,
 };
 pub use exec::{ClusterLabels, Executor, PassInput, PassReport, Sink};
+pub use incremental::{EngineError, IncrementalEngine, RefreshDecision, RefreshMode};
+pub use index::{IndexSnapshot, IndexStore, ShingleIndex};
 pub use params::{
     parse_bytes, AggregationMode, BudgetError, ComponentsMode, FaultPolicy, ForcedAxes,
     MemoryBudget, PipelineMode, PlanMode, ShingleKernel, ShinglingParams,

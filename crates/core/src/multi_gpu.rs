@@ -22,7 +22,9 @@
 //! makespans, summed over the two passes. The result is provably identical
 //! to the single-device pipeline in either mode (tests assert it).
 
-use crate::aggregate::{aggregate_with, fragment_run, merge_sorted_runs, SortedRun};
+use crate::aggregate::{
+    aggregate_with, fragment_run, merge_runs_to_run, merge_sorted_runs, SortedRun,
+};
 use crate::autotune::{apportion, capability_shares, device_weights};
 use crate::batch::{plan_batches_range, BatchStats};
 use crate::checkpoint::{
@@ -37,14 +39,41 @@ use crate::report;
 use crate::resilience::{retry_transient, with_oom_backoff};
 use crate::shingle::{AdjacencyInput, RawShingles};
 use crate::spill::{
-    self, merge_external_runs, route_shard_records, split_nodes, ExternalRun, SpillStats,
-    SpilledRun,
+    self, merge_external_runs, merge_external_to_run, route_shard_records, split_nodes,
+    ExternalRun, SpillStats, SpilledRun,
 };
 use crate::timing::{RecoveryReport, StageTimes};
 use gpclust_gpu::{thrust, DeviceError, Gpu};
 use gpclust_graph::components::absorb_labels;
 use gpclust_graph::{Csr, Partition, ShingleGraph, UnionFind};
 use std::time::Instant;
+
+/// What a fleet pass hands back: the aggregated shingle graph (the batch
+/// pipeline's shape) or the canonical record run *before* inversion (the
+/// incremental engine's shape — records that must outlive the pass to be
+/// folded into the persistent shingle index). Both shapes flow through
+/// identical gathering, fault handling and merge order; `Records`'s run
+/// inverts to exactly `Graph`'s graph.
+pub(crate) enum PassYield {
+    Graph(ShingleGraph),
+    Records(SortedRun),
+}
+
+impl PassYield {
+    fn graph(self) -> ShingleGraph {
+        match self {
+            PassYield::Graph(g) => g,
+            PassYield::Records(_) => unreachable!("pass ran with to_records = false"),
+        }
+    }
+
+    fn records(self) -> SortedRun {
+        match self {
+            PassYield::Records(r) => r,
+            PassYield::Graph(_) => unreachable!("pass ran with to_records = true"),
+        }
+    }
+}
 
 /// A gpClust pipeline spanning multiple (simulated) devices.
 #[derive(Debug, Clone)]
@@ -97,6 +126,12 @@ impl MultiGpuClust {
         self.gpus.len()
     }
 
+    /// The fleet itself (the incremental engine prices refresh plans
+    /// against the same devices the passes run on).
+    pub(crate) fn gpus(&self) -> &[Gpu] {
+        &self.gpus
+    }
+
     /// Cluster `g` across all devices.
     pub fn cluster(&self, g: &Csr) -> Result<MultiGpuReport, DeviceError> {
         for gpu in &self.gpus {
@@ -137,11 +172,13 @@ impl MultiGpuClust {
             g,
             effective.s1,
             &effective.family_pass1(),
+            false,
             &mut spill_stats,
             1,
             ckpt.as_mut(),
             crash.as_ref(),
         )?;
+        let first = first.graph();
 
         // If a device was lost during pass I, re-run plan *selection* over
         // the survivors — capacity and shares re-derive inside multi_pass
@@ -171,11 +208,13 @@ impl MultiGpuClust {
             &first,
             effective.s2,
             &effective.family_pass2(),
+            false,
             &mut spill_stats,
             2,
             ckpt.as_mut(),
             crash.as_ref(),
         )?;
+        let second = second.graph();
         let mut recovery = rec1;
         recovery.merge(&rec2);
         let (partition, device_components) = match effective.components {
@@ -229,6 +268,64 @@ impl MultiGpuClust {
         })
     }
 
+    /// Pass-I shingle records for `input`, gathered across the fleet and
+    /// merged into one canonical record run — the incremental engine's
+    /// delta pass. Runs under the full fault machinery (transient retries,
+    /// OOM re-plans, lost-device redistribution) but without a run
+    /// checkpoint: the engine's durability lives in the index store, and a
+    /// delta pass is idempotent until its records are merged into the
+    /// index. Returns the run, the pipelined makespan, and the recovery
+    /// report.
+    pub(crate) fn gather_pass1_records(
+        &self,
+        params: &ShinglingParams,
+        input: &impl AdjacencyInput,
+        spill: &mut SpillStats,
+    ) -> Result<(SortedRun, f64, RecoveryReport), DeviceError> {
+        let (yielded, pipe, _stats, _agg, rec) = self.multi_pass(
+            params,
+            input,
+            params.s1,
+            &params.family_pass1(),
+            true,
+            spill,
+            1,
+            None,
+            None,
+        )?;
+        Ok((yielded.records(), pipe, rec))
+    }
+
+    /// Passes II + III from a first-level shingle graph: the cheap passes
+    /// the incremental engine re-runs after merging a delta into its
+    /// index. Fleet-dealt like any pass; the partition is bit-identical
+    /// to the batch pipeline's given the same `first`.
+    pub(crate) fn partition_from_first(
+        &self,
+        params: &ShinglingParams,
+        n: usize,
+        first: &ShingleGraph,
+        spill: &mut SpillStats,
+    ) -> Result<(Partition, f64, RecoveryReport), DeviceError> {
+        let (second, pipe, _stats, _agg, mut recovery) = self.multi_pass(
+            params,
+            first,
+            params.s2,
+            &params.family_pass2(),
+            false,
+            spill,
+            2,
+            None,
+            None,
+        )?;
+        let second = second.graph();
+        let partition = match params.components {
+            ComponentsMode::Host => report::partition_clusters(n, first, &second),
+            ComponentsMode::Device => self.device_partition(n, first, &second, &mut recovery)?.0,
+        };
+        Ok((partition, pipe, recovery))
+    }
+
     /// One shingling pass with batches dealt round-robin across devices,
     /// one executor per device, **aggregated**. Under
     /// [`AggregationMode::Host`] the per-device record streams merge into
@@ -257,11 +354,12 @@ impl MultiGpuClust {
         input: &impl AdjacencyInput,
         s: usize,
         family: &HashFamily,
+        to_records: bool,
         spill: &mut SpillStats,
         pass_no: u64,
         ckpt: Option<&mut Checkpointer>,
         crash: Option<&CrashInjector>,
-    ) -> Result<(ShingleGraph, f64, BatchStats, f64, RecoveryReport), DeviceError> {
+    ) -> Result<(PassYield, f64, BatchStats, f64, RecoveryReport), DeviceError> {
         // Re-lowered per pass: capacity follows the smallest *surviving*
         // unbenched device, so every batch fits anywhere it may be
         // (re)scheduled — including after a mid-run redistribution.
@@ -277,6 +375,7 @@ impl MultiGpuClust {
                 input,
                 s,
                 family,
+                to_records,
                 cap,
                 &mut pass_rec,
                 spill,
@@ -287,8 +386,8 @@ impl MultiGpuClust {
         })?;
         let mut recovery = pass_rec;
         recovery.merge(&backoff_rec);
-        let (graph, makespan, stats, agg_seconds) = out;
-        Ok((graph, makespan, stats, agg_seconds, recovery))
+        let (yielded, makespan, stats, agg_seconds) = out;
+        Ok((yielded, makespan, stats, agg_seconds, recovery))
     }
 
     /// One complete execution of a pass at a fixed starting `capacity` —
@@ -308,13 +407,14 @@ impl MultiGpuClust {
         input: PassInput<'_>,
         s: usize,
         family: &HashFamily,
+        to_records: bool,
         capacity: usize,
         recovery: &mut RecoveryReport,
         spill: &mut SpillStats,
         pass_no: u64,
         mut ckpt: Option<&mut Checkpointer>,
         crash: Option<&CrashInjector>,
-    ) -> Result<(ShingleGraph, f64, BatchStats, f64), DeviceError> {
+    ) -> Result<(PassYield, f64, BatchStats, f64), DeviceError> {
         let mut capacity = capacity;
         let mut pass = plan.pass(s, plan.aggregation, capacity, input.offsets);
         let device_agg = plan.aggregation == AggregationMode::Device;
@@ -584,10 +684,11 @@ impl MultiGpuClust {
         if let Some(cr) = crash {
             cr.strike(CrashSite::Merge)?;
         }
-        let graph = if bounded {
+        let yielded = if bounded {
             // The pooled fragments, merged and host-sorted, become the
             // final in-memory run alongside the spilled ones; one external
-            // k-way merge reconstructs the graph. Under
+            // k-way merge reconstructs the graph (or, for the index path,
+            // the record run — the merges pop in the same order). Under
             // [`ComponentsMode::Device`] this replaces the device-side
             // inversion (it needs resident runs — exactly what the budget
             // rules out) with the bit-identical host external merge; Phase
@@ -595,39 +696,61 @@ impl MultiGpuClust {
             if !raw.is_empty() {
                 ext_runs.push(ExternalRun::Mem(fragment_run(&raw, plan.par_sort_min)));
             }
-            merge_external_runs(s, ext_runs, spill).map_err(spill::io_to_device)?
+            if to_records {
+                PassYield::Records(
+                    merge_external_to_run(s, ext_runs, spill).map_err(spill::io_to_device)?,
+                )
+            } else {
+                PassYield::Graph(
+                    merge_external_runs(s, ext_runs, spill).map_err(spill::io_to_device)?,
+                )
+            }
         } else if device_agg {
             // The pooled fragments, merged and host-sorted, become one
             // extra run alongside the device runs.
             if !raw.is_empty() {
                 runs.push(fragment_run(&raw, plan.par_sort_min));
             }
-            match plan.components {
-                ComponentsMode::Host => merge_sorted_runs(s, runs),
-                // The pooled runs are host-resident either way; invert
-                // them on the first surviving device (host k-way merge as
-                // fault fallback). Its kernel seconds count toward that
-                // device's aggregation share, like the sort it extends.
-                ComponentsMode::Device => {
-                    let d = self.gpus.iter().position(|g| !g.is_lost()).unwrap_or(0);
-                    let mut inv_seconds = 0.0;
-                    let graph = device_invert_or_merge(
-                        &self.gpus[d],
-                        &pass,
-                        runs,
-                        recovery,
-                        &mut inv_seconds,
-                    )?;
-                    agg_by_dev[d] += inv_seconds;
-                    graph
-                }
+            if to_records {
+                // The index path stops at the record-level merge: the
+                // records must outlive the pass, and their later inversion
+                // ([`crate::index::ShingleIndex::to_graph`]) reproduces
+                // exactly the graph the merge below would have built.
+                PassYield::Records(merge_runs_to_run(s, runs))
+            } else {
+                PassYield::Graph(match plan.components {
+                    ComponentsMode::Host => merge_sorted_runs(s, runs),
+                    // The pooled runs are host-resident either way; invert
+                    // them on the first surviving device (host k-way merge
+                    // as fault fallback). Its kernel seconds count toward
+                    // that device's aggregation share, like the sort it
+                    // extends.
+                    ComponentsMode::Device => {
+                        let d = self.gpus.iter().position(|g| !g.is_lost()).unwrap_or(0);
+                        let mut inv_seconds = 0.0;
+                        let graph = device_invert_or_merge(
+                            &self.gpus[d],
+                            &pass,
+                            runs,
+                            recovery,
+                            &mut inv_seconds,
+                        )?;
+                        agg_by_dev[d] += inv_seconds;
+                        graph
+                    }
+                })
             }
+        } else if to_records {
+            // All records came back raw (host aggregation gathers them
+            // ungrouped); one canonical fragment-merge sort is exactly the
+            // run [`aggregate_with`] would invert.
+            PassYield::Records(fragment_run(&raw, plan.par_sort_min))
         } else {
-            aggregate_with(&raw, plan.par_sort_min)
+            PassYield::Graph(aggregate_with(&raw, plan.par_sort_min))
         };
         let makespan = makespan_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
         let agg_seconds = agg_by_dev.iter().fold(0.0f64, |a, &b| a.max(b));
-        Ok((graph, makespan, pass.stats, agg_seconds))
+        Ok((yielded, makespan, pass.stats, agg_seconds))
     }
 
     /// Device-resident Phase III across the fleet: the union-edge list of

@@ -629,71 +629,15 @@ impl GpClust {
             (first, stats1)
         };
 
-        // Pass II on the device, streamed straight into Phase III's
-        // union–find — G″ is never materialized (see report module docs).
-        // A backed-off re-plan replays the whole record stream, so each
-        // attempt starts from a fresh union–find. Pass II always
-        // aggregates on the host (the records feed the union–find, not a
-        // sort), so its batch budget is the host-mode capacity.
-        let mut uf = UnionFind::new(n);
-        let mut labels: Option<ClusterLabels> = None;
-        let mut second_level_records = 0u64;
-        let s2 = effective.s2;
-        let family2 = effective.family_pass2();
-        let cap2 = plan.capacity_for(AggregationMode::Host);
-        let mut pass_rec = RecoveryReport::default();
-        let mut backoff_rec = RecoveryReport::default();
-        let (stats2, makespan2, device_components) =
-            with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
-                let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
-                match effective.components {
-                    ComponentsMode::Host => {
-                        uf = UnionFind::new(n);
-                        second_level_records = 0;
-                        let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
-                            second_level_records += 1;
-                            report::union_second_level_record(
-                                &mut uf,
-                                &first,
-                                node,
-                                pairs.iter().map(|&p| unpack_element(p)),
-                            );
-                        };
-                        let r = exec.run(
-                            &pass,
-                            PassInput::of(&first),
-                            &family2,
-                            &mut pass_rec,
-                            Sink::Stream(&mut union_record),
-                        )?;
-                        Ok((r.stats, r.makespan, 0.0))
-                    }
-                    // Device-resident Phase III: the records reduce to
-                    // packed union edges as they stream off the card, and
-                    // the pointer-jumping kernel labels the components
-                    // (host union–find only as fault fallback).
-                    ComponentsMode::Device => {
-                        let r = exec.run(
-                            &pass,
-                            PassInput::of(&first),
-                            &family2,
-                            &mut pass_rec,
-                            Sink::Clusters { first: &first, n },
-                        )?;
-                        let c = r.clusters.expect("clusters sink yields labels");
-                        second_level_records = c.records;
-                        labels = Some(c);
-                        Ok((r.stats, r.makespan, r.cc_kernel_seconds))
-                    }
-                }
-            })?;
-        recovery.merge(&pass_rec);
-        recovery.merge(&backoff_rec);
-        pipelined += makespan2;
-        let partition = match &labels {
-            Some(c) => Partition::from_labels(&c.labels),
-            None => Partition::from_union_find(&mut uf),
-        };
+        // Pass II on the device, streamed straight into Phase III —
+        // extracted into `second_pass_partition`, which the incremental
+        // engine also re-runs from its merged shingle index.
+        let second = second_pass_partition(&exec, &plan, &effective, &first, n, &mut recovery)?;
+        let stats2 = second.stats;
+        pipelined += second.makespan;
+        let device_components = second.device_components;
+        let second_level_records = second.second_level_records;
+        let partition = second.partition;
 
         // The run completed: retire the journal and its sealed files. A
         // crash anywhere above leaves the manifest in place for --resume.
@@ -738,6 +682,105 @@ impl GpClust {
             batch_stats: [stats1, stats2],
         })
     }
+}
+
+/// Outcome of Passes II + III run from a first-level shingle graph.
+pub(crate) struct SecondPassOutcome {
+    /// Pass II batch statistics.
+    pub(crate) stats: BatchStats,
+    /// Pipelined makespan of Pass II.
+    pub(crate) makespan: f64,
+    /// Modeled device seconds of the Phase-III components kernels.
+    pub(crate) device_components: f64,
+    /// Second-level shingle records streamed into Phase III.
+    pub(crate) second_level_records: u64,
+    /// The clustering.
+    pub(crate) partition: Partition,
+}
+
+/// Pass II, streamed straight into Phase III's union–find — G″ is never
+/// materialized (see report module docs). A backed-off re-plan replays
+/// the whole record stream, so each attempt starts from a fresh
+/// union–find. Pass II always aggregates on the host (the records feed
+/// the union–find, not a sort), so its batch budget is the host-mode
+/// capacity. Shared by the batch pipeline and the incremental engine:
+/// given the same `first` graph the partition is bit-identical, which is
+/// what lets a delta pass stop at the merged shingle index and re-run
+/// only these cheap passes.
+pub(crate) fn second_pass_partition(
+    exec: &Executor<'_>,
+    plan: &Plan,
+    effective: &ShinglingParams,
+    first: &ShingleGraph,
+    n: usize,
+    recovery: &mut RecoveryReport,
+) -> Result<SecondPassOutcome, DeviceError> {
+    let mut uf = UnionFind::new(n);
+    let mut labels: Option<ClusterLabels> = None;
+    let mut second_level_records = 0u64;
+    let s2 = effective.s2;
+    let family2 = effective.family_pass2();
+    let cap2 = plan.capacity_for(AggregationMode::Host);
+    let policy = plan.policy;
+    let mut pass_rec = RecoveryReport::default();
+    let mut backoff_rec = RecoveryReport::default();
+    let (stats, makespan, device_components) =
+        with_oom_backoff(&policy, &mut backoff_rec, cap2, |cap| {
+            let pass = plan.pass(s2, AggregationMode::Host, cap, first.offsets());
+            match effective.components {
+                ComponentsMode::Host => {
+                    uf = UnionFind::new(n);
+                    second_level_records = 0;
+                    let mut union_record = |_trial: u32, node: u32, pairs: &[u64]| {
+                        second_level_records += 1;
+                        report::union_second_level_record(
+                            &mut uf,
+                            first,
+                            node,
+                            pairs.iter().map(|&p| unpack_element(p)),
+                        );
+                    };
+                    let r = exec.run(
+                        &pass,
+                        PassInput::of(first),
+                        &family2,
+                        &mut pass_rec,
+                        Sink::Stream(&mut union_record),
+                    )?;
+                    Ok((r.stats, r.makespan, 0.0))
+                }
+                // Device-resident Phase III: the records reduce to
+                // packed union edges as they stream off the card, and
+                // the pointer-jumping kernel labels the components
+                // (host union–find only as fault fallback).
+                ComponentsMode::Device => {
+                    let r = exec.run(
+                        &pass,
+                        PassInput::of(first),
+                        &family2,
+                        &mut pass_rec,
+                        Sink::Clusters { first, n },
+                    )?;
+                    let c = r.clusters.expect("clusters sink yields labels");
+                    second_level_records = c.records;
+                    labels = Some(c);
+                    Ok((r.stats, r.makespan, r.cc_kernel_seconds))
+                }
+            }
+        })?;
+    recovery.merge(&pass_rec);
+    recovery.merge(&backoff_rec);
+    let partition = match &labels {
+        Some(c) => Partition::from_labels(&c.labels),
+        None => Partition::from_union_find(&mut uf),
+    };
+    Ok(SecondPassOutcome {
+        stats,
+        makespan,
+        device_components,
+        second_level_records,
+        partition,
+    })
 }
 
 #[cfg(test)]

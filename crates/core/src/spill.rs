@@ -529,6 +529,69 @@ pub fn merge_external_runs(
     Ok(inv.finish())
 }
 
+/// Merge resident and spilled sorted runs into one in-memory
+/// [`SortedRun`] — [`crate::aggregate::merge_runs_to_run`] generalized
+/// over run residency, for when the merged records must outlive the merge
+/// (the incremental engine folds delta-pass shard runs into its persistent
+/// shingle index this way). Pops in exactly [`merge_external_runs`]'s
+/// order, so collapsing through this run first then inverting is
+/// bit-identical to inverting the runs directly.
+pub fn merge_external_to_run(
+    s: usize,
+    runs: Vec<ExternalRun>,
+    stats: &mut SpillStats,
+) -> io::Result<SortedRun> {
+    let t0 = Instant::now();
+    let runs: Vec<ExternalRun> = runs.into_iter().filter(|r| !r.is_empty()).collect();
+    let total: usize = runs.iter().map(|r| r.len()).sum();
+    assert!(total < (1 << 32), "too many shingle records");
+    let mut out = SortedRun {
+        packed: Vec::with_capacity(total),
+        elements: Vec::with_capacity(total * s),
+    };
+    let mut cursors: Vec<Cursor> = runs
+        .into_iter()
+        .map(|r| match r {
+            ExternalRun::Mem(run) => Ok(Cursor::Mem { run, pos: 0 }),
+            ExternalRun::Disk(spilled) => Ok(Cursor::Disk {
+                replay: spilled.replay()?,
+            }),
+        })
+        .collect::<io::Result<_>>()?;
+
+    use std::cmp::Reverse;
+    let mut heap: BinaryHeap<Reverse<(u128, usize)>> = BinaryHeap::with_capacity(cursors.len());
+    for (ri, c) in cursors.iter_mut().enumerate() {
+        if let Some(p) = c.peek()? {
+            heap.push(Reverse((p >> 32, ri)));
+        }
+    }
+    while let Some(Reverse((key_node, ri))) = heap.pop() {
+        let cursor = &mut cursors[ri];
+        let idx = out.packed.len() as u128;
+        out.packed.push((key_node << 32) | idx);
+        match cursor {
+            Cursor::Mem { run, pos } => {
+                let p = run.packed[*pos];
+                let rep = (p & 0xFFFF_FFFF) as usize;
+                out.elements
+                    .extend_from_slice(&run.elements[rep * s..(rep + 1) * s]);
+                *pos += 1;
+            }
+            Cursor::Disk { replay } => {
+                replay.peek()?.expect("heap entry implies a record");
+                out.elements.extend_from_slice(replay.elements());
+                replay.advance();
+            }
+        }
+        if let Some(next) = cursor.peek()? {
+            heap.push(Reverse((next >> 32, ri)));
+        }
+    }
+    stats.read_seconds += t0.elapsed().as_secs_f64();
+    Ok(out)
+}
+
 /// Surface a spill/scratch I/O failure through the drivers' device-error
 /// channel ([`gpclust_gpu::DeviceError::HostIo`]).
 pub(crate) fn io_to_device(e: io::Error) -> gpclust_gpu::DeviceError {

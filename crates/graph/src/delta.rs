@@ -1,0 +1,250 @@
+//! Graph deltas for incremental clustering.
+//!
+//! A [`GraphDelta`] accumulates vertex additions and undirected edge
+//! insertions against a frozen base [`Csr`]. Applying a delta produces the
+//! union CSR — bit-identical to rebuilding [`Csr::from_edges`] over the
+//! union edge set, because both paths canonicalize the same way (sorted,
+//! deduplicated per-vertex neighbor lists). The incremental engine only
+//! re-shingles the *touched* vertices: min-wise shingles are a pure
+//! function of one vertex's adjacency list, so a delta invalidates exactly
+//! the lists it extends.
+
+use crate::csr::Csr;
+use crate::edgelist::EdgeList;
+use crate::VertexId;
+
+/// Pending mutations against a base graph: appended vertices plus an
+/// undirected edge-insertion set. Deletions are out of scope — protein
+/// family graphs only grow as new sequences are aligned.
+#[derive(Debug, Clone, Default)]
+pub struct GraphDelta {
+    /// Vertices appended past the base graph's `n` (isolated until an
+    /// edge references them).
+    n_new_vertices: usize,
+    /// Edge insertions (canonicalized, self-loops dropped). May duplicate
+    /// base edges; duplicates are no-ops under [`GraphDelta::apply`].
+    edges: EdgeList,
+}
+
+impl GraphDelta {
+    /// An empty delta.
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Append `k` fresh vertices after the base graph's range.
+    pub fn add_vertices(&mut self, k: usize) {
+        self.n_new_vertices += k;
+    }
+
+    /// Insert the undirected edge `(a, b)`. Self-loops are ignored;
+    /// vertices past the current range are implicitly created by
+    /// [`GraphDelta::union_n`].
+    pub fn add_edge(&mut self, a: VertexId, b: VertexId) {
+        self.edges.push(a, b);
+    }
+
+    /// Fold another delta into this one.
+    pub fn merge(&mut self, other: &GraphDelta) {
+        self.n_new_vertices += other.n_new_vertices;
+        self.edges.extend_from(&other.edges);
+    }
+
+    /// Number of (possibly duplicate) pending edge insertions.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the delta carries neither vertices nor edges.
+    pub fn is_empty(&self) -> bool {
+        self.n_new_vertices == 0 && self.edges.is_empty()
+    }
+
+    /// Vertices appended by this delta (excluding ones implicitly created
+    /// by out-of-range edge endpoints).
+    pub fn n_new_vertices(&self) -> usize {
+        self.n_new_vertices
+    }
+
+    /// The pending edge insertions.
+    pub fn edges(&self) -> &EdgeList {
+        &self.edges
+    }
+
+    /// |V| of the union graph over a base with `base_n` vertices: the base
+    /// range, plus explicitly appended vertices, grown to cover any edge
+    /// endpoint past both.
+    pub fn union_n(&self, base_n: usize) -> usize {
+        let mut n = base_n + self.n_new_vertices;
+        if let Some(maxv) = self.edges.max_vertex() {
+            n = n.max(maxv as usize + 1);
+        }
+        n
+    }
+
+    /// Per-vertex genuinely-new neighbors (insertions not already present
+    /// in `base`), sorted and deduplicated, over the union vertex range.
+    fn additions(&self, base: &Csr) -> Vec<Vec<VertexId>> {
+        let n = self.union_n(base.n());
+        let mut edges = self.edges.clone();
+        edges.finish();
+        let mut add: Vec<Vec<VertexId>> = vec![Vec::new(); n];
+        for (a, b) in edges.iter() {
+            let present = (a as usize) < base.n() && base.has_edge(a, b);
+            if !present {
+                add[a as usize].push(b);
+                add[b as usize].push(a);
+            }
+        }
+        // Canonical edge order almost sorts each list; finish the job so
+        // the merge in `apply` sees strictly sorted unique inputs.
+        for list in &mut add {
+            list.sort_unstable();
+            list.dedup();
+        }
+        add
+    }
+
+    /// Sorted unique vertices whose adjacency list actually changes —
+    /// exactly the set whose Pass-I shingles a delta pass must recompute.
+    /// Inserting an edge the base already has touches nothing.
+    pub fn touched(&self, base: &Csr) -> Vec<VertexId> {
+        self.additions(base)
+            .iter()
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Compact the overlay: merge the delta into `base`, producing the
+    /// union CSR. Equal to `Csr::from_edges` over the union edge set (see
+    /// `apply_matches_from_edges_rebuild`), so downstream fingerprints and
+    /// shingles cannot tell an incrementally-grown graph from a batch one.
+    pub fn apply(&self, base: &Csr) -> Csr {
+        let add = self.additions(base);
+        let n = add.len();
+        let extra: usize = add.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u64);
+        let mut targets: Vec<VertexId> = Vec::with_capacity(base.targets().len() + extra);
+        for (v, news) in add.iter().enumerate() {
+            let olds: &[VertexId] = if v < base.n() {
+                base.neighbors(v as VertexId)
+            } else {
+                &[]
+            };
+            // Merge two sorted disjoint lists (additions exclude present
+            // edges, so no dedup is needed across them).
+            let (mut i, mut j) = (0, 0);
+            while i < olds.len() && j < news.len() {
+                if olds[i] < news[j] {
+                    targets.push(olds[i]);
+                    i += 1;
+                } else {
+                    targets.push(news[j]);
+                    j += 1;
+                }
+            }
+            targets.extend_from_slice(&olds[i..]);
+            targets.extend_from_slice(&news[j..]);
+            offsets.push(targets.len() as u64);
+        }
+        Csr::from_raw(offsets, targets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> Csr {
+        // 0-1, 1-2 path; 3 isolated.
+        let mut el: EdgeList = [(0, 1), (1, 2)].into_iter().collect();
+        Csr::from_edges(4, &mut el)
+    }
+
+    /// Rebuild the union graph from scratch: base edges + delta edges.
+    fn rebuild(basis: &Csr, delta: &GraphDelta) -> Csr {
+        let mut el = EdgeList::new();
+        for (v, ns) in basis.iter() {
+            for &u in ns {
+                el.push(v, u);
+            }
+        }
+        el.extend_from(delta.edges());
+        Csr::from_edges(delta.union_n(basis.n()), &mut el)
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = base();
+        let d = GraphDelta::new();
+        assert!(d.is_empty());
+        assert_eq!(d.apply(&g), g);
+        assert!(d.touched(&g).is_empty());
+    }
+
+    #[test]
+    fn apply_matches_from_edges_rebuild() {
+        let g = base();
+        let mut d = GraphDelta::new();
+        d.add_vertices(2); // 4, 5
+        d.add_edge(3, 4);
+        d.add_edge(0, 2);
+        d.add_edge(5, 1);
+        d.add_edge(2, 1); // duplicate of a base edge
+        let merged = d.apply(&g);
+        assert_eq!(merged, rebuild(&g, &d));
+        assert_eq!(merged.n(), 6);
+        assert!(merged.has_edge(3, 4));
+        assert!(merged.has_edge(0, 2));
+    }
+
+    #[test]
+    fn touched_excludes_present_edges() {
+        let g = base();
+        let mut d = GraphDelta::new();
+        d.add_edge(0, 1); // already present
+        assert!(d.touched(&g).is_empty());
+        d.add_edge(2, 3);
+        assert_eq!(d.touched(&g), vec![2, 3]);
+    }
+
+    #[test]
+    fn out_of_range_endpoint_grows_union() {
+        let g = base();
+        let mut d = GraphDelta::new();
+        d.add_edge(0, 9);
+        assert_eq!(d.union_n(g.n()), 10);
+        let merged = d.apply(&g);
+        assert_eq!(merged.n(), 10);
+        assert!(merged.has_edge(0, 9));
+        assert_eq!(d.touched(&g), vec![0, 9]);
+    }
+
+    #[test]
+    fn merge_folds_both_parts() {
+        let g = base();
+        let mut a = GraphDelta::new();
+        a.add_edge(0, 3);
+        let mut b = GraphDelta::new();
+        b.add_vertices(1);
+        b.add_edge(3, 4);
+        a.merge(&b);
+        assert_eq!(a.union_n(g.n()), 5);
+        assert_eq!(a.apply(&g), rebuild(&g, &a));
+    }
+
+    #[test]
+    fn isolated_new_vertices_touch_nothing() {
+        let g = base();
+        let mut d = GraphDelta::new();
+        d.add_vertices(3);
+        assert!(!d.is_empty());
+        assert!(d.touched(&g).is_empty());
+        let merged = d.apply(&g);
+        assert_eq!(merged.n(), 7);
+        assert_eq!(merged.m(), g.m());
+    }
+}

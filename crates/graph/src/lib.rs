@@ -20,6 +20,8 @@
 //!   (Figure 5).
 //! * [`generate`] — planted-partition graph generators for the large-scale
 //!   demo run and for property tests.
+//! * [`delta`] — pending vertex/edge insertions against a frozen base CSR,
+//!   with overlay compaction to the union graph for incremental clustering.
 //! * [`subgraph`] — induced subgraphs for pClust's connected-component
 //!   decomposition preprocessing.
 //! * [`io`] — adjacency-list serialization (text and binary), the pipeline's
@@ -29,6 +31,7 @@
 pub mod bipartite;
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod edgelist;
 pub mod generate;
 pub mod io;
@@ -42,6 +45,7 @@ pub type VertexId = u32;
 
 pub use bipartite::ShingleGraph;
 pub use csr::Csr;
+pub use delta::GraphDelta;
 pub use edgelist::EdgeList;
 pub use partition::Partition;
 pub use unionfind::UnionFind;

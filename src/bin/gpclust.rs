@@ -20,7 +20,8 @@
 use gpclust::core::quality::ConfusionCounts;
 use gpclust::core::{
     AggregationMode, CheckpointConfig, ComponentsMode, CrashPlan, FaultPolicy, ForcedAxes, GpClust,
-    PipelineMode, Plan, PlanMode, SerialShingling, ShingleKernel, ShinglingParams,
+    IncrementalEngine, IndexStore, PipelineMode, Plan, PlanMode, RefreshMode, SerialShingling,
+    ShingleKernel, ShinglingParams,
 };
 use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
 use gpclust::graph::{io as graph_io, Partition};
@@ -42,6 +43,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "build-graph" => cmd_build_graph(&args),
         "cluster" => cmd_cluster(&args),
+        "serve" => cmd_serve(&args),
         "stats" => cmd_stats(&args),
         "quality" => cmd_quality(&args),
         "--help" | "-h" | "help" => {
@@ -113,6 +115,36 @@ subcommands:
                                                `site:occurrence,...` with sites
                                                shard-seal|manifest-commit|merge
                                                (also env GPCLUST_INJECT_CRASH))
+  serve        long-running incremental       (--index-dir DIR durable shingle
+               clustering engine               index + snapshots,
+                                               --graph graph.bin base graph
+                                               (bootstrap; omit with --resume),
+                                               [--resume] reopen the last
+                                               sealed generation (refuses on
+                                               axes/fingerprint mismatch),
+                                               [--delta-batch N] auto-flush
+                                               once N edges are pending
+                                               (default: explicit `flush`),
+                                               [--refresh auto|delta|full]
+                                               refresh policy (auto prices the
+                                               delta pass against a full
+                                               recluster per flush),
+                                               plus the `cluster` schedule
+                                               flags: --devices, --seed,
+                                               --overlap, --kernel,
+                                               --aggregate, --components,
+                                               --plan, --par-sort-min,
+                                               --mem-budget, --shards,
+                                               --s1/--c1/--s2/--c2.
+               stdin commands (one per line, replies on stdout):
+                 vertices K   append K vertices      -> ok
+                 add U V      insert edge (U,V)      -> ok
+                 flush        apply pending delta    -> flushed gen=G n=N
+                                                        touched=T path=P
+                 query V      family membership      -> family <id> | none
+                 dump PATH    write partition TSV    -> ok
+                 crash        exit(137), no flush    (crash-recovery testing)
+                 quit         exit cleanly
   stats        Table II statistics            (--graph)
   quality      score clusters vs a benchmark  (--test, --benchmark, --n)";
 
@@ -313,13 +345,12 @@ fn checkpoint_config(args: &Flags) -> Result<Option<CheckpointConfig>, String> {
     Ok(Some(cfg))
 }
 
-fn cmd_cluster(args: &Flags) -> Result<(), String> {
-    let graph_path = need(args, "graph")?;
-    let out = need(args, "out")?;
-    // All defaults come from the paper-default params; every flag is an
-    // override.
+/// The shared flag → parameter resolution: paper defaults, every flag an
+/// override. Used identically by `cluster` and `serve` so an index built
+/// by one is resumable by the other.
+fn params_from_flags(args: &Flags) -> Result<ShinglingParams, String> {
     let base = ShinglingParams::paper_default(get(args, "seed", 7u64));
-    let params = ShinglingParams {
+    Ok(ShinglingParams {
         s1: get(args, "s1", base.s1),
         c1: get(args, "c1", base.c1),
         s2: get(args, "s2", base.s2),
@@ -337,7 +368,13 @@ fn cmd_cluster(args: &Flags) -> Result<(), String> {
         plan: parse_plan(args)?,
         mem_budget: parse_mem_budget(args, base.mem_budget)?,
         ..base
-    };
+    })
+}
+
+fn cmd_cluster(args: &Flags) -> Result<(), String> {
+    let graph_path = need(args, "graph")?;
+    let out = need(args, "out")?;
+    let params = params_from_flags(args)?;
     let plan = fault_plan(args)?;
     let ckpt = checkpoint_config(args)?;
     if ckpt.is_some() && args.contains_key("serial") {
@@ -454,6 +491,157 @@ fn cluster_resident(
         report.partition
     };
     Ok(partition)
+}
+
+/// `--refresh auto|delta|full`: how `serve` refreshes on each flush.
+fn parse_refresh(args: &Flags) -> Result<RefreshMode, String> {
+    match args.get("refresh").map(String::as_str) {
+        None | Some("auto") => Ok(RefreshMode::Auto),
+        Some("delta") => Ok(RefreshMode::Delta),
+        Some("full") => Ok(RefreshMode::Full),
+        Some(other) => Err(format!(
+            "--refresh must be `auto` (cost-model decision per flush), \
+             `delta` (always the incremental pass) or `full` (always \
+             re-cluster from scratch), got `{other}`"
+        )),
+    }
+}
+
+fn cmd_serve(args: &Flags) -> Result<(), String> {
+    let dir = need(args, "index-dir")?;
+    let params = params_from_flags(args)?;
+    let plan = fault_plan(args)?;
+    let n_devices = get(args, "devices", 1usize);
+    let gpus: Vec<Gpu> = (0..n_devices)
+        .map(|d| {
+            let gpu = Gpu::new(DeviceConfig::tesla_k20());
+            if let Some(plan) = &plan {
+                gpu.set_fault_plan(plan.clone().with_device(d as u32));
+            }
+            gpu
+        })
+        .collect();
+    let store = IndexStore::new(&dir);
+    let mut engine = if args.contains_key("resume") {
+        let engine = IncrementalEngine::resume(&params, gpus, store).map_err(|e| e.to_string())?;
+        eprintln!(
+            "resumed generation {} from {dir} ({} vertices)",
+            engine.generation(),
+            engine.n_vertices()
+        );
+        engine
+    } else {
+        let graph_path = args
+            .get("graph")
+            .ok_or("bootstrapping requires --graph (or pass --resume)")?;
+        let g = graph_io::read_file(graph_path).map_err(|e| e.to_string())?;
+        eprintln!("loaded graph: {} vertices, {} edges", g.n(), g.m());
+        let engine = IncrementalEngine::bootstrap(&params, gpus, g)
+            .map_err(|e| e.to_string())?
+            .with_store(store)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "bootstrapped generation {} into {dir} ({} vertices)",
+            engine.generation(),
+            engine.n_vertices()
+        );
+        engine
+    }
+    .with_refresh(parse_refresh(args)?);
+    let delta_batch = get(args, "delta-batch", 0usize);
+
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let mut say = move |line: String| -> Result<(), String> {
+        writeln!(out, "{line}")
+            .and_then(|()| out.flush())
+            .map_err(|e| e.to_string())
+    };
+    for line in stdin.lock().lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let mut words = line.split_whitespace();
+        match words.next() {
+            None => {}
+            Some("vertices") => match words.next().and_then(|k| k.parse::<usize>().ok()) {
+                Some(k) => {
+                    engine.add_vertices(k);
+                    say("ok".into())?;
+                }
+                None => say("error: usage `vertices K`".into())?,
+            },
+            Some("add") => {
+                let (u, v) = (
+                    words.next().and_then(|w| w.parse::<u32>().ok()),
+                    words.next().and_then(|w| w.parse::<u32>().ok()),
+                );
+                match (u, v) {
+                    (Some(u), Some(v)) => {
+                        engine.add_edge(u, v);
+                        say("ok".into())?;
+                        if delta_batch > 0 && engine.pending_edges() >= delta_batch {
+                            let d = engine.flush().map_err(|e| e.to_string())?;
+                            say(flushed_line(&engine, &d))?;
+                        }
+                    }
+                    _ => say("error: usage `add U V`".into())?,
+                }
+            }
+            Some("flush") => {
+                let d = engine.flush().map_err(|e| e.to_string())?;
+                say(flushed_line(&engine, &d))?;
+            }
+            Some("query") => match words.next().and_then(|w| w.parse::<u32>().ok()) {
+                Some(v) => match engine.query(v) {
+                    Some(g) => say(format!("family {g}"))?,
+                    None => say("none".into())?,
+                },
+                None => say("error: usage `query V`".into())?,
+            },
+            Some("dump") => match words.next() {
+                Some(path) => {
+                    write_partition(path, engine.partition())?;
+                    say("ok".into())?;
+                }
+                None => say("error: usage `dump PATH`".into())?,
+            },
+            Some("crash") => {
+                // Deterministic kill for the crash-recovery harness: no
+                // flush, no teardown — pending deltas are lost, the last
+                // sealed generation survives.
+                std::process::exit(137);
+            }
+            Some("quit") => break,
+            Some(other) => say(format!("error: unknown command `{other}`"))?,
+        }
+    }
+    eprintln!(
+        "serve: exiting at generation {} ({} vertices, {} pending edges dropped)",
+        engine.generation(),
+        engine.n_vertices(),
+        engine.pending_edges()
+    );
+    Ok(())
+}
+
+/// The `flushed` reply: what happened and which path the engine took.
+fn flushed_line(
+    engine: &gpclust::core::IncrementalEngine,
+    d: &gpclust::core::RefreshDecision,
+) -> String {
+    let path = if d.touched == 0 {
+        "noop"
+    } else if d.full {
+        "full"
+    } else {
+        "delta"
+    };
+    format!(
+        "flushed gen={} n={} touched={} path={path}",
+        engine.generation(),
+        d.n_vertices.max(engine.n_vertices()),
+        d.touched
+    )
 }
 
 /// Under `--plan auto` the run carries the autotuner's makespan estimate;

@@ -1,0 +1,247 @@
+//! Incremental-engine properties: ANY split of a random graph into a base
+//! plus a sequence of deltas, streamed through [`IncrementalEngine`],
+//! yields a partition (and index) identical to clustering the union graph
+//! from scratch — across kernels × aggregation × components × pipeline
+//! modes × 1–4 devices × fault rates, under bounded memory, and with
+//! vertex growth mixed in. The serial pClust implementation is the
+//! oracle, exactly as in `tests/plan_properties.rs`.
+
+use gpclust::core::{
+    AggregationMode, ComponentsMode, IncrementalEngine, PipelineMode, RefreshMode, SerialShingling,
+    ShingleKernel, ShinglingParams,
+};
+use gpclust::gpu::{DeviceConfig, FaultPlan, Gpu};
+use gpclust::graph::{Csr, EdgeList, VertexId};
+use proptest::prelude::*;
+
+/// Strategy: a random undirected graph of up to `max_n` vertices.
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = Csr> {
+    (2..max_n).prop_flat_map(move |n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m).prop_map(move |pairs| {
+            let mut el: EdgeList = pairs.into_iter().collect();
+            Csr::from_edges(n, &mut el)
+        })
+    })
+}
+
+/// Strategy: every schedule/kernel/aggregation/components combination via
+/// four bits.
+fn arb_knobs(
+) -> impl Strategy<Value = (PipelineMode, ShingleKernel, AggregationMode, ComponentsMode)> {
+    (0u8..16).prop_map(|knobs| {
+        (
+            if knobs & 1 != 0 {
+                PipelineMode::Overlapped
+            } else {
+                PipelineMode::Synchronous
+            },
+            if knobs & 2 != 0 {
+                ShingleKernel::FusedSelect
+            } else {
+                ShingleKernel::SortCompact
+            },
+            if knobs & 4 != 0 {
+                AggregationMode::Device
+            } else {
+                AggregationMode::Host
+            },
+            if knobs & 8 != 0 {
+                ComponentsMode::Device
+            } else {
+                ComponentsMode::Host
+            },
+        )
+    })
+}
+
+/// The canonical (v < u) edge list of `g`.
+fn edges_of(g: &Csr) -> Vec<(VertexId, VertexId)> {
+    g.iter()
+        .flat_map(|(v, ns)| {
+            ns.iter()
+                .filter(move |&&u| v < u)
+                .map(move |&u| (v, u))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+/// A fleet of `n_devices` simulated GPUs with `plan` installed on each.
+fn fleet(n_devices: usize, plan: &FaultPlan) -> Vec<Gpu> {
+    (0..n_devices)
+        .map(|d| {
+            let gpu = Gpu::with_workers(DeviceConfig::tesla_k20(), 1);
+            gpu.set_fault_plan(plan.clone().with_device(d as u32));
+            gpu
+        })
+        .collect()
+}
+
+/// Stream `g` through the engine: first `cut` edges as the base, the rest
+/// in `n_batches` flushed deltas. Returns the engine after the last flush.
+fn stream_through_engine(
+    g: &Csr,
+    params: &ShinglingParams,
+    gpus: Vec<Gpu>,
+    cut: usize,
+    n_batches: usize,
+    refresh: RefreshMode,
+) -> IncrementalEngine {
+    let all = edges_of(g);
+    let cut = cut.min(all.len());
+    let mut base_edges: EdgeList = all[..cut].iter().copied().collect();
+    let base = Csr::from_edges(g.n(), &mut base_edges);
+    let mut engine = IncrementalEngine::bootstrap(params, gpus, base)
+        .unwrap()
+        .with_refresh(refresh);
+    let rest = &all[cut..];
+    let chunk = rest.len().div_ceil(n_batches).max(1);
+    for batch in rest.chunks(chunk) {
+        for &(a, b) in batch {
+            engine.add_edge(a, b);
+        }
+        engine.flush().unwrap();
+    }
+    engine
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any base/delta split, streamed in any number of batches, lands on
+    /// the serial oracle's partition — over the schedule-axis knobs,
+    /// fleet sizes, and fault rates.
+    #[test]
+    fn base_plus_delta_stream_matches_serial_oracle(
+        g in arb_graph(40, 160),
+        (mode, kernel, aggregation, components) in arb_knobs(),
+        seed in 0u64..1000,
+        fault_seed in 0u64..1000,
+        split_pct in 0usize..=100,
+        n_batches in 1usize..4,
+        n_devices in 1usize..=4,
+        faulty in any::<bool>(),
+    ) {
+        let rate = if faulty { 0.05 } else { 0.0 };
+        let params = ShinglingParams {
+            mode,
+            kernel,
+            aggregation,
+            components,
+            ..ShinglingParams::light(seed)
+        };
+        let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+        let cut = edges_of(&g).len() * split_pct / 100;
+        let engine = stream_through_engine(
+            &g,
+            &params,
+            fleet(n_devices, &FaultPlan::random(fault_seed, rate)),
+            cut,
+            n_batches,
+            RefreshMode::Delta,
+        );
+        prop_assert_eq!(
+            engine.partition(),
+            &oracle,
+            "{:?} {:?} {:?} {:?} split {}% batches {} devices {} rate {}",
+            kernel, mode, aggregation, components,
+            split_pct, n_batches, n_devices, rate
+        );
+    }
+
+    /// The maintained index is byte-identical to the one a from-scratch
+    /// bootstrap of the union graph builds, whichever refresh path each
+    /// flush takes (Auto may mix delta passes and full reclusters).
+    #[test]
+    fn streamed_index_is_bit_identical_to_from_scratch(
+        g in arb_graph(40, 160),
+        seed in 0u64..1000,
+        split_pct in 0usize..=100,
+        n_batches in 1usize..3,
+        refresh_bits in 0u8..3,
+    ) {
+        let refresh = match refresh_bits {
+            0 => RefreshMode::Auto,
+            1 => RefreshMode::Delta,
+            _ => RefreshMode::Full,
+        };
+        let params = ShinglingParams::light(seed);
+        let cut = edges_of(&g).len() * split_pct / 100;
+        let engine = stream_through_engine(
+            &g,
+            &params,
+            fleet(1, &FaultPlan::random(0, 0.0)),
+            cut,
+            n_batches,
+            refresh,
+        );
+        let scratch =
+            IncrementalEngine::bootstrap(&params, fleet(1, &FaultPlan::random(0, 0.0)), g.clone())
+                .unwrap();
+        prop_assert_eq!(engine.index(), scratch.index(), "refresh {:?}", refresh);
+        prop_assert_eq!(engine.partition(), scratch.partition());
+    }
+
+    /// Bounded-memory delta passes spill and external-merge without
+    /// disturbing bit identity.
+    #[test]
+    fn bounded_budget_stream_matches_serial_oracle(
+        g in arb_graph(30, 120),
+        seed in 0u64..500,
+        split_pct in 0usize..=100,
+        n_devices in 1usize..=2,
+    ) {
+        let params = ShinglingParams::light(seed).with_mem_budget(1 << 20);
+        let oracle = SerialShingling::new(params).unwrap().cluster(&g);
+        let cut = edges_of(&g).len() * split_pct / 100;
+        let engine = stream_through_engine(
+            &g,
+            &params,
+            fleet(n_devices, &FaultPlan::random(0, 0.0)),
+            cut,
+            1,
+            RefreshMode::Delta,
+        );
+        prop_assert_eq!(engine.partition(), &oracle, "split {}%", split_pct);
+    }
+
+    /// Growing the vertex range mid-stream (new sequences arriving) keeps
+    /// the engine on the oracle of the grown union graph.
+    #[test]
+    fn vertex_growth_stream_matches_serial_oracle(
+        g in arb_graph(30, 120),
+        seed in 0u64..500,
+        extra in 1usize..6,
+        n_devices in 1usize..=2,
+    ) {
+        let params = ShinglingParams::light(seed);
+        let n = g.n();
+        let mut engine = IncrementalEngine::bootstrap(
+            &params,
+            fleet(n_devices, &FaultPlan::random(0, 0.0)),
+            g.clone(),
+        )
+        .unwrap();
+        engine.add_vertices(extra);
+        // Chain each new vertex to vertex 0 and to its predecessor.
+        for i in 0..extra {
+            let v = (n + i) as u32;
+            engine.add_edge(v, 0);
+            if i > 0 {
+                engine.add_edge(v, v - 1);
+            }
+        }
+        engine.flush().unwrap();
+        let mut union_edges: EdgeList = edges_of(&g).into_iter().collect();
+        for i in 0..extra {
+            let v = (n + i) as u32;
+            union_edges.push(v, 0);
+            if i > 0 {
+                union_edges.push(v, v - 1);
+            }
+        }
+        let union = Csr::from_edges(n + extra, &mut union_edges);
+        let oracle = SerialShingling::new(params).unwrap().cluster(&union);
+        prop_assert_eq!(engine.partition(), &oracle, "extra {}", extra);
+    }
+}

@@ -1,0 +1,213 @@
+//! End-to-end test of `gpclust serve`: bootstrap an index from a base
+//! graph, apply a scripted delta stream over stdin, kill the server
+//! mid-stream (the `crash` command — pending deltas lost, sealed
+//! generation durable), resume from the index directory, finish the
+//! stream, and diff the dumped partition against a from-scratch
+//! `gpclust cluster` run on the union graph. This is the same lifecycle
+//! the CI `test-incremental` job scripts.
+
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+
+use gpclust::graph::generate::{planted_partition, PlantedConfig};
+use gpclust::graph::io as graph_io;
+use gpclust::graph::{Csr, EdgeList, VertexId};
+
+fn bin() -> &'static str {
+    env!("CARGO_BIN_EXE_gpclust")
+}
+
+fn tmpdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("gpclust_serve_{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The schedule/parameter flags shared by every invocation — an index
+/// bootstrapped by one run must be resumable by the next, so `serve`
+/// and `cluster` must agree on them.
+const PARAM_FLAGS: &[&str] = &["--seed", "9", "--c1", "40", "--c2", "20"];
+
+/// Run `serve` with `extra` flags, feeding `script` on stdin; returns
+/// (exit_code, stdout, stderr).
+fn serve(dir: &Path, extra: &[&str], script: &str) -> (Option<i32>, String, String) {
+    let mut child = Command::new(bin())
+        .arg("serve")
+        .args(["--index-dir", dir.join("idx").to_str().unwrap()])
+        .args(extra)
+        .args(PARAM_FLAGS)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(script.as_bytes())
+        .expect("write script");
+    let out = child.wait_with_output().expect("wait serve");
+    (
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+/// The canonical (v < u) edge list of `g`.
+fn edges_of(g: &Csr) -> Vec<(VertexId, VertexId)> {
+    g.iter()
+        .flat_map(|(v, ns)| {
+            ns.iter()
+                .filter(move |&&u| v < u)
+                .map(move |&u| (v, u))
+                .collect::<Vec<_>>()
+        })
+        .collect()
+}
+
+#[test]
+fn serve_stream_crash_resume_matches_from_scratch_cluster() {
+    let dir = tmpdir("lifecycle");
+    let union = planted_partition(&PlantedConfig {
+        group_sizes: vec![40, 30, 30, 20],
+        n_noise_vertices: 30,
+        p_intra: 0.8,
+        max_intra_degree: 12.0,
+        inter_edges_per_vertex: 0.3,
+        seed: 41,
+    })
+    .graph;
+    let all = edges_of(&union);
+    let cut = all.len() * 9 / 10;
+    let (base_edges, delta) = all.split_at(cut);
+    let mut el: EdgeList = base_edges.iter().copied().collect();
+    let base = Csr::from_edges(union.n(), &mut el);
+    let base_path = dir.join("base.bin");
+    let union_path = dir.join("union.bin");
+    graph_io::write_file(&base_path, &base).unwrap();
+    graph_io::write_file(&union_path, &union).unwrap();
+
+    // Session 1: bootstrap, stream the first half of the delta, flush
+    // (seals a generation), stream part of the rest WITHOUT flushing,
+    // then crash — the unflushed tail must be lost, the sealed
+    // generation must survive.
+    let half = delta.len() / 2;
+    let mut script = String::new();
+    for (a, b) in &delta[..half] {
+        script.push_str(&format!("add {a} {b}\n"));
+    }
+    script.push_str("flush\n");
+    for (a, b) in &delta[half..] {
+        script.push_str(&format!("add {a} {b}\n"));
+    }
+    script.push_str("crash\n");
+    let (code, stdout, stderr) = serve(&dir, &["--graph", base_path.to_str().unwrap()], &script);
+    assert_eq!(code, Some(137), "crash must exit 137: {stderr}");
+    assert!(
+        stderr.contains("bootstrapped generation 1"),
+        "bootstrap banner missing: {stderr}"
+    );
+    assert!(
+        stdout.contains("flushed gen=2"),
+        "mid-stream flush must seal generation 2: {stdout}"
+    );
+
+    // Session 2: resume from the sealed generation and re-apply the
+    // lost tail (the client's job — the server told it what was
+    // dropped), flush, answer a query, dump the partition.
+    let mut script = String::new();
+    for (a, b) in &delta[half..] {
+        script.push_str(&format!("add {a} {b}\n"));
+    }
+    script.push_str("flush\n");
+    script.push_str("query 0\n");
+    let dump = dir.join("served.tsv");
+    script.push_str(&format!("dump {}\nquit\n", dump.display()));
+    let (code, stdout, stderr) = serve(&dir, &["--resume"], &script);
+    assert_eq!(code, Some(0), "resume session failed: {stderr}");
+    assert!(
+        stderr.contains("resumed generation 2"),
+        "resume banner missing: {stderr}"
+    );
+    assert!(
+        stdout.contains("flushed gen=3"),
+        "post-resume flush must advance the generation: {stdout}"
+    );
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.starts_with("family ") || l == "none"),
+        "query must answer from the cached partition: {stdout}"
+    );
+
+    // From-scratch run on the union graph: the streamed partition must
+    // be bit-identical (same group ids, same TSV bytes; --min-size 1
+    // keeps the full partition).
+    let full = dir.join("scratch.tsv");
+    let status = Command::new(bin())
+        .arg("cluster")
+        .args(["--graph", union_path.to_str().unwrap()])
+        .args(["--out", full.to_str().unwrap()])
+        .args(["--min-size", "1"])
+        .args(PARAM_FLAGS)
+        .output()
+        .expect("spawn cluster");
+    assert!(
+        status.status.success(),
+        "cluster failed: {}",
+        String::from_utf8_lossy(&status.stderr)
+    );
+    let served = std::fs::read_to_string(&dump).unwrap();
+    let scratch = std::fs::read_to_string(&full).unwrap();
+    assert!(!served.is_empty());
+    assert_eq!(
+        served, scratch,
+        "streamed partition must be bit-identical to the from-scratch run"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn serve_refuses_a_stale_index() {
+    let dir = tmpdir("stale");
+    let union = planted_partition(&PlantedConfig {
+        group_sizes: vec![20, 15],
+        n_noise_vertices: 10,
+        p_intra: 0.85,
+        max_intra_degree: 10.0,
+        inter_edges_per_vertex: 0.2,
+        seed: 42,
+    })
+    .graph;
+    let path = dir.join("g.bin");
+    graph_io::write_file(&path, &union).unwrap();
+    let (code, _, stderr) = serve(&dir, &["--graph", path.to_str().unwrap()], "quit\n");
+    assert_eq!(code, Some(0), "bootstrap session failed: {stderr}");
+
+    // A resume under a different seed must be a typed refusal naming
+    // the axis, not a silent re-bootstrap.
+    let mut child = Command::new(bin())
+        .arg("serve")
+        .args(["--index-dir", dir.join("idx").to_str().unwrap()])
+        .args(["--resume", "--seed", "11", "--c1", "40", "--c2", "20"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn serve");
+    child.stdin.take().unwrap().write_all(b"quit\n").unwrap();
+    let out = child.wait_with_output().unwrap();
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!out.status.success(), "stale resume must fail");
+    assert!(
+        stderr.contains("seed"),
+        "refusal must name the mismatched axis: {stderr}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
